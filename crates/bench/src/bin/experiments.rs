@@ -1,0 +1,37 @@
+//! Regenerate the paper-reproduction tables (EXPERIMENTS.md content).
+//!
+//! Usage:
+//! ```text
+//! experiments              # run everything, full sizes
+//! experiments --quick      # smaller sizes (CI-friendly)
+//! experiments e2 e9        # selected experiments
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let ids = if selected.is_empty() {
+        cq_bench::experiment_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        selected
+    };
+
+    println!("# Experiment results ({})\n", if quick { "quick sizes" } else { "full sizes" });
+    for id in ids {
+        match cq_bench::run_experiment(&id, quick) {
+            Some(table) => {
+                println!("{table}");
+                println!();
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment `{id}`; available: {}",
+                    cq_bench::experiment_ids().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # cq-bench — the experiment harness
+//!
+//! One experiment per theorem/example/figure with empirical content in
+//! the paper (the paper is a theory survey: its “evaluation section” is
+//! its theorems, so DESIGN.md maps experiments E1–E15 to theorems rather
+//! than to numbered tables). Each `eNN` function runs a size sweep,
+//! fits log–log runtime exponents, and returns a markdown [`Table`];
+//! the `experiments` binary prints them, and EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+//!
+//! All workloads are seeded and deterministic.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Run one experiment by id ("e1".."e15"), `quick` shrinks sizes.
+pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
+    let f = experiments::ALL.iter().find(|(name, _)| *name == id)?;
+    Some((f.1)(quick))
+}
+
+/// All experiment ids in order.
+pub fn experiment_ids() -> Vec<&'static str> {
+    experiments::ALL.iter().map(|(n, _)| *n).collect()
+}

@@ -1,0 +1,133 @@
+//! Markdown table rendering for the experiment harness.
+
+use std::fmt;
+
+/// A rendered experiment result.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id, e.g. "E2".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Paper reference (theorem / example / figure).
+    pub paper_ref: String,
+    /// What the paper predicts (the "shape").
+    pub expected: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Measured summary lines (exponent fits, verdicts).
+    pub findings: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(id: &str, title: &str, paper_ref: &str, expected: &str) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_ref: paper_ref.to_string(),
+            expected: expected.to_string(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn columns(&mut self, cols: &[&str]) -> &mut Self {
+        self.columns = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Append a data row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Append a finding line.
+    pub fn finding(&mut self, s: String) -> &mut Self {
+        self.findings.push(s);
+        self
+    }
+}
+
+/// Format seconds human-readably.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Format a fitted exponent.
+pub fn fmt_exp(e: Option<f64>) -> String {
+    match e {
+        Some(e) => format!("{e:.2}"),
+        None => "n/a".to_string(),
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "### {}: {} [{}]", self.id, self.title, self.paper_ref)?;
+        writeln!(f)?;
+        writeln!(f, "*Expected shape:* {}", self.expected)?;
+        writeln!(f)?;
+        writeln!(f, "| {} |", self.columns.join(" | "))?;
+        writeln!(
+            f,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "| {} |", row.join(" | "))?;
+        }
+        writeln!(f)?;
+        for finding in &self.findings {
+            writeln!(f, "* **Measured:** {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("E0", "demo", "Thm 0.0", "linear");
+        t.columns(&["m", "time"]);
+        t.row(vec!["10".into(), "1 ms".into()]);
+        t.finding("exponent 1.00".into());
+        let s = t.to_string();
+        assert!(s.contains("### E0: demo [Thm 0.0]"));
+        assert!(s.contains("| m | time |"));
+        assert!(s.contains("| 10 | 1 ms |"));
+        assert!(s.contains("**Measured:** exponent 1.00"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.5e-4), "50.0 µs");
+        assert_eq!(fmt_secs(0.05), "50.00 ms");
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+        assert_eq!(fmt_exp(Some(1.234)), "1.23");
+        assert_eq!(fmt_exp(None), "n/a");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("E0", "demo", "x", "y");
+        t.columns(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,547 @@
+//! The fine-grained complexity classifier.
+//!
+//! [`classify`] maps a conjunctive query to its complexity profile across
+//! the paper's four tasks — Boolean decision, counting, enumeration, and
+//! direct access — reporting for each task either the (quasi-)linear
+//! upper bound with the algorithm achieving it, or the conditional lower
+//! bound with the hypothesis it rests on and the witnessing structure.
+//! This is the executable form of the paper's dichotomy theorems
+//! (Thm 3.7, 3.13, 3.17, 3.18, 3.24, 3.26, 4.6).
+
+use crate::brault_baron::{self, Witness, WitnessKind};
+use crate::disruptive_trio::find_disruptive_trio;
+use crate::free_connex::connexity;
+use crate::hypergraph::mask_vertices;
+use crate::hypotheses::Hypothesis;
+use crate::query::{ConjunctiveQuery, Var};
+use crate::star_size::quantified_star_size;
+use std::fmt;
+
+/// Verdict for one evaluation task on one query.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Verdict {
+    /// Solvable in Õ(m) (for enumeration: Õ(m) preprocessing + Õ(1)
+    /// delay; for direct access: Õ(m) preprocessing + Õ(log m) access).
+    Easy {
+        /// Name of the algorithm achieving the bound (implemented in
+        /// `cq-engine`).
+        algorithm: &'static str,
+        /// Paper reference for the upper bound.
+        reference: &'static str,
+    },
+    /// Conditionally not solvable in (quasi-)linear time.
+    Hard {
+        /// The hypotheses the lower bound rests on (any of them suffices).
+        hypotheses: Vec<Hypothesis>,
+        /// Conditional runtime exponent lower bound in m, when the paper
+        /// gives one (e.g. 2.0 for counting non-free-connex queries,
+        /// `k` for quantified star size `k`).
+        exponent: Option<f64>,
+        /// Human-readable witness (embedded structure).
+        witness: String,
+        /// Paper reference for the lower bound.
+        reference: &'static str,
+    },
+    /// The paper's theory does not settle this case (e.g. cyclic queries
+    /// with self-joins for enumeration, see [26]).
+    Open {
+        /// Why it is open / out of scope.
+        note: String,
+    },
+}
+
+impl Verdict {
+    /// Is this the easy side of the dichotomy?
+    pub fn is_easy(&self) -> bool {
+        matches!(self, Verdict::Easy { .. })
+    }
+    /// Is this the conditionally hard side?
+    pub fn is_hard(&self) -> bool {
+        matches!(self, Verdict::Hard { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Easy { algorithm, reference } => {
+                write!(f, "EASY via {algorithm} [{reference}]")
+            }
+            Verdict::Hard { hypotheses, exponent, witness, reference } => {
+                let hs: Vec<&str> = hypotheses.iter().map(|h| h.name()).collect();
+                write!(f, "HARD under {} [{reference}]; witness: {witness}", hs.join(" / "))?;
+                if let Some(e) = exponent {
+                    write!(f, "; conditional lower bound m^{e}")?;
+                }
+                Ok(())
+            }
+            Verdict::Open { note } => write!(f, "OPEN: {note}"),
+        }
+    }
+}
+
+/// Complexity profile of a query across the paper's tasks.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Rendered query text.
+    pub query: String,
+    /// Structural facts.
+    pub acyclic: bool,
+    pub free_connex: bool,
+    pub self_join_free: bool,
+    pub quantified_star_size: usize,
+    /// The AGM exponent ρ*(H): the worst-case output size is m^{ρ*} and
+    /// the generic join runs in Õ(m^{ρ*}) (§2.1).
+    pub agm_exponent: Option<f64>,
+    /// Brault-Baron witness if cyclic.
+    pub bb_witness: Option<Witness>,
+    /// Boolean decision (the query with all variables projected away).
+    pub decision: Verdict,
+    /// Counting |q(D)|.
+    pub counting: Verdict,
+    /// Constant-delay enumeration of q(D).
+    pub enumeration: Verdict,
+    /// Direct access in some query-chosen order (Thm 3.18).
+    pub direct_access_unordered: Verdict,
+}
+
+fn witness_text(q: &ConjunctiveQuery, w: &Witness) -> String {
+    let vars: Vec<&str> =
+        mask_vertices(w.vertices).map(|v| q.var_name(Var(v as u32))).collect();
+    match w.kind {
+        WitnessKind::Cycle => {
+            format!("induced cycle on {{{}}} (embeds triangle finding)", vars.join(", "))
+        }
+        WitnessKind::NearUniformHyperclique => format!(
+            "{}-uniform hyperclique pattern on {{{}}} (Loomis–Whitney q^LW_{})",
+            vars.len() - 1,
+            vars.join(", "),
+            vars.len()
+        ),
+    }
+}
+
+fn cyclic_hypotheses(w: &Witness) -> Vec<Hypothesis> {
+    match w.kind {
+        WitnessKind::Cycle => vec![Hypothesis::Triangle],
+        WitnessKind::NearUniformHyperclique => vec![Hypothesis::Hyperclique],
+    }
+}
+
+/// Classify `q` across all tasks.
+pub fn classify(q: &ConjunctiveQuery) -> Profile {
+    let conn = connexity(q);
+    let sjf = q.is_self_join_free();
+    let star = quantified_star_size(q);
+    let bb = if conn.acyclic { None } else { brault_baron::find_witness(&q.hypergraph()) };
+
+    // --- Boolean decision (Thm 3.1 / 3.7) ---
+    let decision = if conn.acyclic {
+        Verdict::Easy { algorithm: "Yannakakis", reference: "Thm 3.1" }
+    } else {
+        let w = bb.as_ref().unwrap();
+        if sjf {
+            Verdict::Hard {
+                hypotheses: cyclic_hypotheses(w),
+                exponent: None,
+                witness: witness_text(q, w),
+                reference: "Thm 3.7",
+            }
+        } else {
+            Verdict::Open {
+                note: format!(
+                    "cyclic with self-joins; Thm 3.7 needs self-join-freeness \
+                     (cf. [14, 26]); contains {}",
+                    witness_text(q, w)
+                ),
+            }
+        }
+    };
+
+    // --- Counting (Thm 3.8 / 3.12 / 3.13 / 4.6) ---
+    let counting = if q.is_join_query() {
+        if conn.acyclic {
+            // Thm 3.8 explicitly does not require self-join freeness.
+            Verdict::Easy { algorithm: "Yannakakis counting DP", reference: "Thm 3.8" }
+        } else {
+            let w = bb.as_ref().unwrap();
+            Verdict::Hard {
+                hypotheses: cyclic_hypotheses(w),
+                exponent: None,
+                witness: witness_text(q, w),
+                reference: "Thm 3.8 (self-joins via interpolation [35])",
+            }
+        }
+    } else if conn.free_connex {
+        Verdict::Easy {
+            algorithm: "projection elimination + Yannakakis counting DP",
+            reference: "Thm 3.13",
+        }
+    } else if conn.acyclic {
+        // acyclic but not free-connex
+        if sjf {
+            Verdict::Hard {
+                hypotheses: vec![Hypothesis::Seth],
+                exponent: Some((star.max(2)) as f64),
+                witness: format!("embeds q*_{} (quantified star size {star})", star.max(2)),
+                reference: "Thm 3.12 / Thm 4.6",
+            }
+        } else {
+            Verdict::Open {
+                note: format!(
+                    "acyclic, not free-connex, with self-joins; Thm 3.12 is \
+                     stated self-join-free (but cf. Cor 3.11 for q*_k); \
+                     quantified star size {star}"
+                ),
+            }
+        }
+    } else {
+        let w = bb.as_ref().unwrap();
+        if sjf {
+            Verdict::Hard {
+                hypotheses: cyclic_hypotheses(w),
+                exponent: None,
+                witness: witness_text(q, w),
+                reference: "Thm 3.13 (via Boolean decision, Thm 3.7)",
+            }
+        } else {
+            Verdict::Open {
+                note: "cyclic with self-joins; counting hardness via \
+                       interpolation applies to join queries only here"
+                    .to_string(),
+            }
+        }
+    };
+
+    // --- Enumeration (Thm 3.14 / 3.16 / 3.17 / 4.5) ---
+    let enumeration = if conn.free_connex {
+        Verdict::Easy {
+            algorithm: "free-connex constant-delay enumeration",
+            reference: "Thm 3.17 [BDG07]",
+        }
+    } else if conn.acyclic {
+        if sjf {
+            Verdict::Hard {
+                hypotheses: vec![Hypothesis::SparseBmm],
+                exponent: None,
+                witness: "embeds q̄*_2; enumeration would do sparse Boolean MM".to_string(),
+                reference: "Thm 3.16",
+            }
+        } else {
+            Verdict::Open {
+                note: "acyclic, not free-connex, with self-joins; enumeration \
+                       with self-joins is subtle [26]"
+                    .to_string(),
+            }
+        }
+    } else {
+        let w = bb.as_ref().unwrap();
+        if sjf {
+            let mut hyps = cyclic_hypotheses(w);
+            if q.is_join_query() {
+                // Thm 4.5 gives the same characterization from Zero-k-Clique.
+                hyps.push(Hypothesis::ZeroKClique);
+            }
+            Verdict::Hard {
+                hypotheses: hyps,
+                exponent: None,
+                witness: witness_text(q, w),
+                reference: "Thm 3.14 / Thm 4.5",
+            }
+        } else {
+            Verdict::Open {
+                note: "cyclic with self-joins: constant-delay enumeration can \
+                       exist (see [14, 26])"
+                    .to_string(),
+            }
+        }
+    };
+
+    // --- Direct access, query-chosen order (Thm 3.18) ---
+    let direct_access_unordered = if conn.free_connex {
+        Verdict::Easy {
+            algorithm: "free-connex direct access (linear preprocessing, log access)",
+            reference: "Thm 3.18 [19, 27]",
+        }
+    } else if sjf {
+        match (&enumeration, conn.acyclic) {
+            (_, true) => Verdict::Hard {
+                hypotheses: vec![Hypothesis::SparseBmm],
+                exponent: None,
+                witness: "direct access would enumerate q̄*_2".to_string(),
+                reference: "Thm 3.18",
+            },
+            (_, false) => {
+                let w = bb.as_ref().unwrap();
+                Verdict::Hard {
+                    hypotheses: cyclic_hypotheses(w),
+                    exponent: None,
+                    witness: witness_text(q, w),
+                    reference: "Thm 3.18",
+                }
+            }
+        }
+    } else {
+        Verdict::Open {
+            note: "not free-connex, with self-joins; Thm 3.18 is stated \
+                   self-join-free"
+                .to_string(),
+        }
+    };
+
+    Profile {
+        query: q.to_string(),
+        acyclic: conn.acyclic,
+        free_connex: conn.free_connex,
+        self_join_free: sjf,
+        quantified_star_size: star,
+        agm_exponent: crate::agm::agm_exponent(q),
+        bb_witness: bb,
+        decision,
+        counting,
+        enumeration,
+        direct_access_unordered,
+    }
+}
+
+/// Classify lexicographic direct access of a *join query* under the
+/// variable order `order` (Thm 3.24, Lemma 3.23).
+pub fn classify_direct_access_lex(q: &ConjunctiveQuery, order: &[Var]) -> Verdict {
+    if !q.is_join_query() {
+        return Verdict::Open {
+            note: "Thm 3.24 covers join queries; for projections see the \
+                   incompatibility number of [22]"
+                .to_string(),
+        };
+    }
+    let conn = connexity(q);
+    if !conn.acyclic {
+        let w = brault_baron::find_witness(&q.hypergraph()).unwrap();
+        return Verdict::Hard {
+            hypotheses: cyclic_hypotheses(&w),
+            exponent: None,
+            witness: witness_text(q, &w),
+            reference: "Thm 3.24 (via Boolean decision)",
+        };
+    }
+    match find_disruptive_trio(q, order) {
+        None => Verdict::Easy {
+            algorithm: "ordered join tree + mixed-radix navigation",
+            reference: "Thm 3.24 [27]",
+        },
+        Some(t) => Verdict::Hard {
+            // Lemma 3.23 derives the bound from the Triangle Hypothesis;
+            // [22] re-derives it from Zero-k-Clique for all k.
+            hypotheses: vec![Hypothesis::Triangle, Hypothesis::ZeroKClique],
+            exponent: None,
+            witness: format!(
+                "disruptive trio ({}, {}, {}) embeds q̂*_2 with z last",
+                q.var_name(t.y1),
+                q.var_name(t.y2),
+                q.var_name(t.y3)
+            ),
+            reference: "Thm 3.24 / Lemma 3.23",
+        },
+    }
+}
+
+/// Classify sum-order direct access of a self-join-free acyclic *join
+/// query* (Thm 3.26, Lemma 3.25).
+pub fn classify_direct_access_sum(q: &ConjunctiveQuery) -> Verdict {
+    if !q.is_join_query() {
+        return Verdict::Open { note: "Thm 3.26 covers join queries".to_string() };
+    }
+    let all = q.all_vars_mask();
+    if q.atoms().iter().any(|a| a.scope() == all) {
+        return Verdict::Easy {
+            algorithm: "materialize the covering atom + sort by weight",
+            reference: "Thm 3.26",
+        };
+    }
+    // find two variables with no common atom (Lemma 3.25's precondition)
+    let h = q.hypergraph();
+    let n = q.n_vars();
+    let pair = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .find(|&(a, b)| !h.adjacent(a, b));
+    match pair {
+        Some((a, b)) if q.is_self_join_free() => Verdict::Hard {
+            hypotheses: vec![Hypothesis::ThreeSum],
+            exponent: None,
+            witness: format!(
+                "variables {} and {} share no atom (Lemma 3.25 applies)",
+                q.var_name(Var(a as u32)),
+                q.var_name(Var(b as u32))
+            ),
+            reference: "Thm 3.26 / Lemma 3.25",
+        },
+        Some(_) => Verdict::Open {
+            note: "Lemma 3.25 is stated for self-join-free queries".to_string(),
+        },
+        None => {
+            // every pair co-occurs but no atom covers all variables —
+            // only possible for cyclic queries (by [39, Lemma 19], in
+            // acyclic hypergraphs max independent set = min edge cover).
+            Verdict::Open {
+                note: "all variable pairs co-occur but no atom covers all \
+                       variables (cyclic); Lemma 3.25 does not apply"
+                    .to_string(),
+            }
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query: {}", self.query)?;
+        writeln!(
+            f,
+            "structure: {}, {}, {}, quantified star size {}{}",
+            if self.acyclic { "acyclic" } else { "cyclic" },
+            if self.free_connex { "free-connex" } else { "not free-connex" },
+            if self.self_join_free { "self-join free" } else { "has self-joins" },
+            self.quantified_star_size,
+            match self.agm_exponent {
+                Some(rho) => format!(", AGM exponent {rho:.2}"),
+                None => String::new(),
+            }
+        )?;
+        writeln!(f, "  decision:      {}", self.decision)?;
+        writeln!(f, "  counting:      {}", self.counting)?;
+        writeln!(f, "  enumeration:   {}", self.enumeration)?;
+        write!(f, "  direct access: {}", self.direct_access_unordered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::zoo;
+
+    #[test]
+    fn acyclic_join_all_easy() {
+        let p = classify(&zoo::path_join(3));
+        assert!(p.acyclic && p.free_connex);
+        assert!(p.decision.is_easy());
+        assert!(p.counting.is_easy());
+        assert!(p.enumeration.is_easy());
+        assert!(p.direct_access_unordered.is_easy());
+    }
+
+    #[test]
+    fn triangle_hard_everywhere() {
+        let p = classify(&zoo::triangle_boolean());
+        assert!(!p.acyclic);
+        match &p.decision {
+            Verdict::Hard { hypotheses, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::Triangle])
+            }
+            other => panic!("expected hard decision, got {other:?}"),
+        }
+        assert!(p.counting.is_hard());
+        assert!(p.enumeration.is_hard());
+    }
+
+    #[test]
+    fn lw5_hard_under_hyperclique() {
+        let p = classify(&zoo::loomis_whitney_boolean(5));
+        match &p.decision {
+            Verdict::Hard { hypotheses, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::Hyperclique])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_counting_hard_with_star_exponent() {
+        // q̄*_3: acyclic, not free-connex, self-join free, star size 3.
+        let p = classify(&zoo::star_selfjoin_free(3));
+        assert!(p.acyclic && !p.free_connex);
+        match &p.counting {
+            Verdict::Hard { hypotheses, exponent, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::Seth]);
+                assert_eq!(*exponent, Some(3.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &p.enumeration {
+            Verdict::Hard { hypotheses, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::SparseBmm])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn selfjoin_star_counting_open() {
+        // q*_2 has self-joins: Thm 3.12 formally doesn't cover it.
+        let p = classify(&zoo::star_selfjoin(2));
+        assert!(matches!(p.counting, Verdict::Open { .. }));
+    }
+
+    #[test]
+    fn matmul_projection_profile() {
+        let p = classify(&zoo::matmul_projection());
+        assert!(p.acyclic && !p.free_connex && p.self_join_free);
+        assert!(p.decision.is_easy());
+        match &p.counting {
+            Verdict::Hard { exponent, .. } => assert_eq!(*exponent, Some(2.0)),
+            other => panic!("{other:?}"),
+        }
+        assert!(p.enumeration.is_hard());
+        assert!(p.direct_access_unordered.is_hard());
+    }
+
+    #[test]
+    fn lex_direct_access_dichotomy_for_star_full() {
+        let q = zoo::star_full(2);
+        let x1 = q.var_by_name("x1").unwrap();
+        let x2 = q.var_by_name("x2").unwrap();
+        let z = q.var_by_name("z").unwrap();
+        assert!(classify_direct_access_lex(&q, &[z, x1, x2]).is_easy());
+        assert!(classify_direct_access_lex(&q, &[x1, x2, z]).is_hard());
+    }
+
+    #[test]
+    fn lex_direct_access_cyclic_hard() {
+        let q = zoo::triangle_join();
+        let order: Vec<Var> = q.vars().collect();
+        assert!(classify_direct_access_lex(&q, &order).is_hard());
+    }
+
+    #[test]
+    fn sum_order_dichotomy() {
+        // single-atom query: easy
+        let q = crate::parse_query("q(a,b) :- R(a,b)").unwrap();
+        assert!(classify_direct_access_sum(&q).is_easy());
+        // path: x0 and x2 share no atom: 3SUM-hard
+        let q = zoo::path_join(2);
+        match classify_direct_access_sum(&q) {
+            Verdict::Hard { hypotheses, .. } => {
+                assert_eq!(hypotheses, vec![Hypothesis::ThreeSum])
+            }
+            other => panic!("{other:?}"),
+        }
+        // triangle join query: every pair co-occurs, no covering atom
+        let q = zoo::triangle_join();
+        assert!(matches!(classify_direct_access_sum(&q), Verdict::Open { .. }));
+    }
+
+    #[test]
+    fn profile_display_mentions_tasks() {
+        let p = classify(&zoo::matmul_projection());
+        let s = p.to_string();
+        for key in ["decision", "counting", "enumeration", "direct access"] {
+            assert!(s.contains(key), "{s}");
+        }
+    }
+
+    #[test]
+    fn boolean_cyclic_selfjoin_open() {
+        let q = zoo::clique_join(3).boolean_version();
+        // uses E three times → self-joins → decision open per Thm 3.7 scope
+        let p = classify(&q);
+        assert!(matches!(p.decision, Verdict::Open { .. }));
+    }
+}

@@ -1,0 +1,125 @@
+//! Free-connex acyclicity (paper §3.2, after [BDG07]).
+//!
+//! An acyclic conjunctive query with hypergraph `H` and free variables `S`
+//! is **free-connex** if `H ∪ {S}` — the hypergraph with `S` added as an
+//! extra edge — is acyclic as well. Free-connexness is the dividing line
+//! of the counting dichotomy (Thm 3.13), the enumeration dichotomy
+//! (Thm 3.17), and unordered direct access (Thm 3.18).
+
+use crate::query::ConjunctiveQuery;
+
+/// Structural acyclicity facts about a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConnexityReport {
+    /// Is the query hypergraph acyclic?
+    pub acyclic: bool,
+    /// Is `H ∪ {free}` acyclic (only meaningful when `acyclic`)?
+    pub free_connex: bool,
+}
+
+/// Compute acyclicity and free-connexness of `q`.
+///
+/// Conventions: Boolean queries and join queries are free-connex iff they
+/// are acyclic (adding the empty edge or the full-variable edge of a
+/// *join* query... the latter is **not** a no-op: a join query is
+/// free-connex iff acyclic because the full edge subsumes every other
+/// edge, and a hypergraph with an edge containing all vertices is always
+/// acyclic — but `H` itself must also be acyclic, which we check
+/// separately; for join queries `H ∪ {V}` is trivially acyclic, so
+/// free-connexness reduces to plain acyclicity).
+pub fn connexity(q: &ConjunctiveQuery) -> ConnexityReport {
+    let h = q.hypergraph();
+    let acyclic = h.is_acyclic();
+    if !acyclic {
+        return ConnexityReport { acyclic: false, free_connex: false };
+    }
+    let free = q.free_mask();
+    let free_connex = if free == 0 {
+        true
+    } else {
+        h.with_edge(free).is_acyclic()
+    };
+    ConnexityReport { acyclic, free_connex }
+}
+
+/// Is `q` free-connex acyclic?
+pub fn is_free_connex(q: &ConjunctiveQuery) -> bool {
+    connexity(q).free_connex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::zoo;
+
+    #[test]
+    fn star_projected_not_free_connex() {
+        // q*_2(x1,x2) :- R(x1,z), R(x2,z): acyclic, but adding {x1,x2}
+        // creates a cycle (the "triangle" x1-z-x2-x1).
+        let q = zoo::star_selfjoin(2);
+        let r = connexity(&q);
+        assert!(r.acyclic);
+        assert!(!r.free_connex);
+    }
+
+    #[test]
+    fn star_full_is_free_connex() {
+        let q = zoo::star_full(2);
+        let r = connexity(&q);
+        assert!(r.acyclic && r.free_connex);
+    }
+
+    #[test]
+    fn matmul_projection_not_free_connex() {
+        // q(x,z) :- R1(x,y), R2(y,z): the Thm 3.12/3.15 hard query.
+        let q = zoo::matmul_projection();
+        let r = connexity(&q);
+        assert!(r.acyclic);
+        assert!(!r.free_connex);
+    }
+
+    #[test]
+    fn path_boolean_free_connex() {
+        let q = zoo::path_boolean(4);
+        assert!(is_free_connex(&q));
+    }
+
+    #[test]
+    fn path_join_free_connex() {
+        assert!(is_free_connex(&zoo::path_join(4)));
+    }
+
+    #[test]
+    fn path_prefix_projection_free_connex() {
+        // q(x0, x1) :- R1(x0,x1), R2(x1,x2): free vars form an edge's scope.
+        let q = zoo::path_join(2);
+        let x0 = q.var_by_name("x0").unwrap();
+        let x1 = q.var_by_name("x1").unwrap();
+        let q2 = q.with_free_mask(x0.mask() | x1.mask());
+        assert!(is_free_connex(&q2));
+    }
+
+    #[test]
+    fn cyclic_never_free_connex() {
+        assert!(!is_free_connex(&zoo::triangle_boolean()));
+        assert!(!is_free_connex(&zoo::triangle_join()));
+        assert!(!is_free_connex(&zoo::cycle_join(5)));
+    }
+
+    #[test]
+    fn selfjoin_free_star_matches_selfjoin_star() {
+        for k in 1..=4 {
+            assert_eq!(
+                connexity(&zoo::star_selfjoin(k)),
+                connexity(&zoo::star_selfjoin_free(k)),
+                "connexity only depends on the hypergraph, k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_1_is_free_connex() {
+        // q*_1(x1) :- R(x1, z): hypergraph one edge; adding {x1} is fine.
+        assert!(is_free_connex(&zoo::star_selfjoin(1)));
+    }
+}

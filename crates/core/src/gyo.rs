@@ -1,0 +1,193 @@
+//! GYO reduction: acyclicity testing and join-tree extraction.
+//!
+//! The paper (§2.1) defines acyclicity by the vertex/edge deletion
+//! process; we implement the equivalent *ear removal* formulation, which
+//! directly yields a join tree: an edge `e` is an **ear** if the vertices
+//! it shares with the rest of the hypergraph are all contained in a single
+//! other edge `f` (the *witness*). Repeatedly removing ears (attaching
+//! each to its witness) succeeds — leaving a single edge — exactly when
+//! the hypergraph is acyclic, and the attachment forest is a join tree.
+
+use crate::hypergraph::Hypergraph;
+use crate::join_tree::JoinTree;
+
+/// Outcome of running the GYO / ear-removal reduction.
+#[derive(Clone, Debug)]
+pub struct GyoResult {
+    /// Whether the hypergraph is acyclic.
+    pub is_acyclic: bool,
+    /// For each edge removed as an ear, the witness edge it was attached
+    /// to (`None` only for the final remaining edge, the root).
+    pub parent: Vec<Option<usize>>,
+    /// Edge indices in removal order (the root last, if acyclic).
+    pub elimination_order: Vec<usize>,
+    /// The root edge index, if acyclic and there was at least one edge.
+    pub root: Option<usize>,
+    /// Indices of the edges still alive when the reduction got stuck
+    /// (empty iff acyclic or no edges).
+    pub stuck_edges: Vec<usize>,
+}
+
+/// Run the ear-removal reduction on `h`.
+///
+/// Deterministic: ears and witnesses are chosen by smallest index, so
+/// results are reproducible across runs.
+pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
+    let l = h.edges().len();
+    let mut alive: Vec<bool> = vec![true; l];
+    let mut n_alive = l;
+    let mut parent: Vec<Option<usize>> = vec![None; l];
+    let mut order: Vec<usize> = Vec::with_capacity(l);
+
+    while n_alive > 1 {
+        let mut removed_this_round = false;
+        'search: for e in 0..l {
+            if !alive[e] {
+                continue;
+            }
+            // vertices e shares with other alive edges
+            let mut others = 0u64;
+            for f in 0..l {
+                if f != e && alive[f] {
+                    others |= h.edges()[f];
+                }
+            }
+            let shared = h.edges()[e] & others;
+            // find a witness: an alive edge f != e containing all shared vars
+            for f in 0..l {
+                if f != e && alive[f] && shared & !h.edges()[f] == 0 {
+                    parent[e] = Some(f);
+                    alive[e] = false;
+                    n_alive -= 1;
+                    order.push(e);
+                    removed_this_round = true;
+                    break 'search;
+                }
+            }
+        }
+        if !removed_this_round {
+            let stuck: Vec<usize> = (0..l).filter(|&e| alive[e]).collect();
+            return GyoResult {
+                is_acyclic: false,
+                parent,
+                elimination_order: order,
+                root: None,
+                stuck_edges: stuck,
+            };
+        }
+    }
+
+    let root = (0..l).find(|&e| alive[e]);
+    if let Some(r) = root {
+        order.push(r);
+    }
+    GyoResult {
+        is_acyclic: true,
+        parent,
+        elimination_order: order,
+        root,
+        stuck_edges: Vec::new(),
+    }
+}
+
+/// Build a join tree for `h`, if it is acyclic.
+///
+/// The returned tree has one node per edge of `h` (in the same indexing)
+/// and satisfies the running-intersection property, which is re-validated
+/// in debug builds.
+pub fn join_tree(h: &Hypergraph) -> Option<JoinTree> {
+    let r = gyo_reduce(h);
+    if !r.is_acyclic || h.edges().is_empty() {
+        return None;
+    }
+    let tree = JoinTree::from_parents(h.edges().to_vec(), r.parent, r.root.unwrap());
+    debug_assert!(tree.validate_running_intersection());
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::mask_of;
+    use crate::query::zoo;
+
+    #[test]
+    fn single_edge_acyclic() {
+        let h = Hypergraph::new(3, vec![mask_of(&[0, 1, 2])]);
+        let r = gyo_reduce(&h);
+        assert!(r.is_acyclic);
+        assert_eq!(r.root, Some(0));
+        let t = join_tree(&h).unwrap();
+        assert_eq!(t.n_nodes(), 1);
+    }
+
+    #[test]
+    fn path_join_tree() {
+        let h = zoo::path_join(4).hypergraph();
+        let t = join_tree(&h).unwrap();
+        assert_eq!(t.n_nodes(), 4);
+        assert!(t.validate_running_intersection());
+    }
+
+    #[test]
+    fn triangle_stuck() {
+        let h = zoo::triangle_boolean().hypergraph();
+        let r = gyo_reduce(&h);
+        assert!(!r.is_acyclic);
+        assert_eq!(r.stuck_edges.len(), 3);
+        assert!(join_tree(&h).is_none());
+    }
+
+    #[test]
+    fn duplicate_edges_are_ears() {
+        // R(x,y), S(x,y): S is an ear into R.
+        let h = Hypergraph::new(2, vec![mask_of(&[0, 1]), mask_of(&[0, 1])]);
+        let r = gyo_reduce(&h);
+        assert!(r.is_acyclic);
+        let t = join_tree(&h).unwrap();
+        assert!(t.validate_running_intersection());
+    }
+
+    #[test]
+    fn disconnected_components_joined() {
+        let h = Hypergraph::new(4, vec![mask_of(&[0, 1]), mask_of(&[2, 3])]);
+        let t = join_tree(&h).unwrap();
+        assert_eq!(t.n_nodes(), 2);
+        assert!(t.validate_running_intersection());
+    }
+
+    #[test]
+    fn star_join_tree() {
+        let h = zoo::star_selfjoin_free(5).hypergraph();
+        let t = join_tree(&h).unwrap();
+        assert!(t.validate_running_intersection());
+        // star: all atoms share only z; any tree over them is fine.
+        assert_eq!(t.n_nodes(), 5);
+    }
+
+    #[test]
+    fn lw4_cyclic() {
+        let h = zoo::loomis_whitney_boolean(4).hypergraph();
+        assert!(!gyo_reduce(&h).is_acyclic);
+    }
+
+    #[test]
+    fn subsumed_edge_attaches_to_superset() {
+        // R(x,y,z), S(x,y): the two nodes must be linked (either may be
+        // removed first — both orientations are valid join trees).
+        let h = Hypergraph::new(3, vec![mask_of(&[0, 1, 2]), mask_of(&[0, 1])]);
+        let r = gyo_reduce(&h);
+        assert!(r.is_acyclic);
+        assert!(r.parent[1] == Some(0) || r.parent[0] == Some(1));
+        assert!(join_tree(&h).unwrap().validate_running_intersection());
+    }
+
+    #[test]
+    fn elimination_order_covers_all_edges() {
+        let h = zoo::path_join(6).hypergraph();
+        let r = gyo_reduce(&h);
+        let mut o = r.elimination_order.clone();
+        o.sort_unstable();
+        assert_eq!(o, (0..6).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,153 @@
+//! The fine-grained hypotheses the paper's lower bounds rest on
+//! (Hypotheses 1–8).
+//!
+//! Each variant carries its formal statement and paper reference, so the
+//! classifier ([`crate::classify`]) can report not just *that* a query is
+//! conditionally hard but *which* unproven-but-plausible statement the
+//! hardness follows from — the defining evidence structure of
+//! fine-grained complexity (paper §1).
+
+use std::fmt;
+
+/// A hypothesis from fine-grained complexity used in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Hypothesis {
+    /// Hypothesis 1: no Õ(m) algorithm for sparse Boolean matrix
+    /// multiplication (m = non-zeros of input + output).
+    SparseBmm,
+    /// Hypothesis 2: no Õ(m) algorithm deciding if an m-edge graph has a
+    /// triangle. (Common concrete form: Ω(m^{4/3}).)
+    Triangle,
+    /// Hypothesis 3: no Õ(n^{k−ε}) algorithm finding k-hypercliques in
+    /// h-uniform hypergraphs, for any k > h > 2.
+    Hyperclique,
+    /// Hypothesis 4 (SETH): for every ε > 0 there is k with k-SAT not
+    /// solvable in Õ(2^{n(1−ε)}).
+    Seth,
+    /// Hypothesis 5: no Õ(n^{2−ε}) algorithm for 3SUM.
+    ThreeSum,
+    /// Hypothesis 6: combinatorial algorithms cannot solve k-Clique in
+    /// Õ(n^{k−ε}).
+    CombinatorialKClique,
+    /// Hypothesis 7: no Õ(n^{k−ε}) algorithm for Min-Weight-k-Clique.
+    MinWeightKClique,
+    /// Hypothesis 8: no Õ(n^{k−ε}) algorithm for Zero-k-Clique.
+    ZeroKClique,
+}
+
+impl Hypothesis {
+    /// All hypotheses, in paper numbering order.
+    pub const ALL: [Hypothesis; 8] = [
+        Hypothesis::SparseBmm,
+        Hypothesis::Triangle,
+        Hypothesis::Hyperclique,
+        Hypothesis::Seth,
+        Hypothesis::ThreeSum,
+        Hypothesis::CombinatorialKClique,
+        Hypothesis::MinWeightKClique,
+        Hypothesis::ZeroKClique,
+    ];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hypothesis::SparseBmm => "Sparse Boolean Matrix Multiplication Hypothesis",
+            Hypothesis::Triangle => "Triangle Hypothesis",
+            Hypothesis::Hyperclique => "Hyperclique Hypothesis",
+            Hypothesis::Seth => "Strong Exponential Time Hypothesis",
+            Hypothesis::ThreeSum => "3SUM Hypothesis",
+            Hypothesis::CombinatorialKClique => "Combinatorial k-Clique Hypothesis",
+            Hypothesis::MinWeightKClique => "Min-Weight-k-Clique Hypothesis",
+            Hypothesis::ZeroKClique => "Zero-k-Clique Hypothesis",
+        }
+    }
+
+    /// The paper's hypothesis number.
+    pub fn paper_number(self) -> u8 {
+        match self {
+            Hypothesis::SparseBmm => 1,
+            Hypothesis::Triangle => 2,
+            Hypothesis::Hyperclique => 3,
+            Hypothesis::Seth => 4,
+            Hypothesis::ThreeSum => 5,
+            Hypothesis::CombinatorialKClique => 6,
+            Hypothesis::MinWeightKClique => 7,
+            Hypothesis::ZeroKClique => 8,
+        }
+    }
+
+    /// Formal statement, paraphrased from the paper.
+    pub fn statement(self) -> &'static str {
+        match self {
+            Hypothesis::SparseBmm => {
+                "There is no algorithm that solves sparse Boolean matrix \
+                 multiplication in time Õ(m), where m counts the non-zero \
+                 entries of the inputs and output."
+            }
+            Hypothesis::Triangle => {
+                "There is no algorithm that, given a graph G with m edges, \
+                 decides in time Õ(m) whether G contains a triangle."
+            }
+            Hypothesis::Hyperclique => {
+                "For no pair k > h > 2 of integers is there an ε > 0 and an \
+                 algorithm that, given an h-uniform hypergraph H with n \
+                 vertices, decides in time Õ(n^{k−ε}) whether H contains a \
+                 hyperclique of size k."
+            }
+            Hypothesis::Seth => {
+                "For every ε > 0 there is a k such that k-SAT cannot be \
+                 solved on n-variable instances in time Õ(2^{n(1−ε)})."
+            }
+            Hypothesis::ThreeSum => {
+                "There is no algorithm for the 3SUM problem with runtime \
+                 Õ(n^{2−ε}) for any ε > 0."
+            }
+            Hypothesis::CombinatorialKClique => {
+                "Combinatorial algorithms cannot solve k-Clique in time \
+                 Õ(n^{k−ε}) on n-vertex graphs for any ε > 0 and k ≥ 3."
+            }
+            Hypothesis::MinWeightKClique => {
+                "There is no algorithm that solves Min-Weight-k-Clique in \
+                 time Õ(n^{k−ε}) on n-vertex edge-weighted graphs for any \
+                 ε > 0 and k ≥ 3."
+            }
+            Hypothesis::ZeroKClique => {
+                "There is no algorithm that solves Zero-k-Clique in time \
+                 Õ(n^{k−ε}) on n-vertex edge-weighted graphs for any ε > 0 \
+                 and k ≥ 3."
+            }
+        }
+    }
+}
+
+impl fmt::Display for Hypothesis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_matches_paper() {
+        for (i, h) in Hypothesis::ALL.iter().enumerate() {
+            assert_eq!(h.paper_number() as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn statements_nonempty_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for h in Hypothesis::ALL {
+            assert!(!h.statement().is_empty());
+            assert!(seen.insert(h.statement()), "duplicate statement for {h}");
+        }
+    }
+
+    #[test]
+    fn display_is_name() {
+        assert_eq!(Hypothesis::Triangle.to_string(), "Triangle Hypothesis");
+    }
+}

@@ -1,0 +1,292 @@
+//! Rooted join trees with the running-intersection property.
+//!
+//! A join tree for a hypergraph has one node per edge; for every vertex,
+//! the set of nodes whose edges contain it induces a connected subtree.
+//! Join trees drive every upper-bound algorithm in the reproduction:
+//! Yannakakis (Thm 3.1), counting (Thm 3.8/3.13), constant-delay
+//! enumeration (Thm 3.17), and direct access (§3.4).
+
+/// A rooted join tree. Node `i` carries the scope `scopes[i]` (a variable
+/// bitmask); node indices correspond to edge indices of the originating
+/// hypergraph (and thus usually to atom indices of a query).
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    scopes: Vec<u64>,
+    root: usize,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl JoinTree {
+    /// Construct from parent pointers (as produced by GYO). The root's
+    /// parent entry is ignored/overwritten with `None`.
+    pub fn from_parents(scopes: Vec<u64>, mut parent: Vec<Option<usize>>, root: usize) -> Self {
+        assert_eq!(scopes.len(), parent.len());
+        assert!(root < scopes.len());
+        parent[root] = None;
+        let mut children = vec![Vec::new(); scopes.len()];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = *p {
+                children[p].push(i);
+            }
+        }
+        let t = JoinTree { scopes, root, parent, children };
+        t.assert_is_tree();
+        t
+    }
+
+    fn assert_is_tree(&self) {
+        // every node reachable from root exactly once
+        let mut seen = vec![false; self.scopes.len()];
+        let mut stack = vec![self.root];
+        let mut count = 0;
+        while let Some(u) = stack.pop() {
+            assert!(!seen[u], "cycle in join tree at node {u}");
+            seen[u] = true;
+            count += 1;
+            stack.extend(self.children[u].iter().copied());
+        }
+        assert_eq!(count, self.scopes.len(), "join tree is disconnected");
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Scope (variable mask) of node `u`.
+    pub fn scope(&self, u: usize) -> u64 {
+        self.scopes[u]
+    }
+
+    /// All scopes.
+    pub fn scopes(&self) -> &[u64] {
+        &self.scopes
+    }
+
+    /// Parent of `u` (`None` for the root).
+    pub fn parent(&self, u: usize) -> Option<usize> {
+        self.parent[u]
+    }
+
+    /// Children of `u`.
+    pub fn children(&self, u: usize) -> &[usize] {
+        &self.children[u]
+    }
+
+    /// The *key* of node `u`: variables shared with its parent
+    /// (empty mask at the root).
+    pub fn key_mask(&self, u: usize) -> u64 {
+        match self.parent[u] {
+            Some(p) => self.scopes[u] & self.scopes[p],
+            None => 0,
+        }
+    }
+
+    /// Nodes in bottom-up order (every node after all its children).
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let mut order = self.top_down();
+        order.reverse();
+        order
+    }
+
+    /// Nodes in top-down (preorder DFS) order, children visited in index
+    /// order.
+    pub fn top_down(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n_nodes());
+        let mut stack = vec![self.root];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            // push children reversed so they pop in index order
+            for &c in self.children[u].iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Re-root the tree at `new_root` (the underlying undirected tree is
+    /// unchanged, so running intersection is preserved).
+    pub fn rerooted(&self, new_root: usize) -> JoinTree {
+        assert!(new_root < self.n_nodes());
+        // undirected adjacency
+        let mut adj = vec![Vec::new(); self.n_nodes()];
+        for u in 0..self.n_nodes() {
+            if let Some(p) = self.parent[u] {
+                adj[u].push(p);
+                adj[p].push(u);
+            }
+        }
+        let mut parent = vec![None; self.n_nodes()];
+        let mut visited = vec![false; self.n_nodes()];
+        let mut stack = vec![new_root];
+        visited[new_root] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some(u);
+                    stack.push(v);
+                }
+            }
+        }
+        JoinTree::from_parents(self.scopes.clone(), parent, new_root)
+    }
+
+    /// Check the running-intersection property: for each variable, the
+    /// nodes containing it form a connected subtree.
+    pub fn validate_running_intersection(&self) -> bool {
+        let all: u64 = self.scopes.iter().fold(0, |m, &s| m | s);
+        let mut m = all;
+        while m != 0 {
+            let v = m.trailing_zeros() as u64;
+            let bit = 1u64 << v;
+            m &= m - 1;
+            // nodes containing v
+            let holders: Vec<usize> =
+                (0..self.n_nodes()).filter(|&u| self.scopes[u] & bit != 0).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // connected: every holder except the "highest" one must have a
+            // parent that is also a holder. Equivalently: walk up from each
+            // holder; count holders whose parent is not a holder — must be 1.
+            let mut tops = 0;
+            for &u in &holders {
+                match self.parent[u] {
+                    Some(p) if self.scopes[p] & bit != 0 => {}
+                    _ => tops += 1,
+                }
+            }
+            if tops != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Render as an ASCII tree, scopes printed through `fmt_scope`.
+    pub fn render(&self, fmt_scope: impl Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        fn rec(
+            t: &JoinTree,
+            u: usize,
+            depth: usize,
+            out: &mut String,
+            fmt_scope: &impl Fn(usize) -> String,
+        ) {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+            out.push_str(&fmt_scope(u));
+            out.push('\n');
+            for &c in t.children(u) {
+                rec(t, c, depth + 1, out, fmt_scope);
+            }
+        }
+        rec(self, self.root, 0, &mut out, &fmt_scope);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gyo::join_tree;
+    use crate::hypergraph::{mask_of, Hypergraph};
+    use crate::query::zoo;
+
+    fn path4_tree() -> JoinTree {
+        join_tree(&zoo::path_join(4).hypergraph()).unwrap()
+    }
+
+    #[test]
+    fn orders_cover_all_nodes() {
+        let t = path4_tree();
+        let mut bu = t.bottom_up();
+        bu.sort_unstable();
+        assert_eq!(bu, vec![0, 1, 2, 3]);
+        let mut td = t.top_down();
+        td.sort_unstable();
+        assert_eq!(td, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bottom_up_children_first() {
+        let t = path4_tree();
+        let order = t.bottom_up();
+        let pos: Vec<usize> =
+            (0..t.n_nodes()).map(|u| order.iter().position(|&x| x == u).unwrap()).collect();
+        for u in 0..t.n_nodes() {
+            for &c in t.children(u) {
+                assert!(pos[c] < pos[u], "child {c} must come before parent {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn rerooting_preserves_running_intersection() {
+        let t = path4_tree();
+        for r in 0..t.n_nodes() {
+            let t2 = t.rerooted(r);
+            assert_eq!(t2.root(), r);
+            assert!(t2.validate_running_intersection());
+            assert_eq!(t2.n_nodes(), t.n_nodes());
+        }
+    }
+
+    #[test]
+    fn key_masks_path() {
+        // path: R1(x0,x1), R2(x1,x2): key of the non-root node is {x1}
+        let h = zoo::path_join(2).hypergraph();
+        let t = join_tree(&h).unwrap();
+        let non_root = (0..2).find(|&u| u != t.root()).unwrap();
+        assert_eq!(t.key_mask(non_root), mask_of(&[1]));
+        assert_eq!(t.key_mask(t.root()), 0);
+    }
+
+    #[test]
+    fn validation_catches_bad_tree() {
+        // scopes {0,1}, {2,3}, {0,3}: chain 0-1-2 with vertex 0 at both
+        // ends but not the middle → running intersection fails.
+        let scopes = vec![mask_of(&[0, 1]), mask_of(&[2, 3]), mask_of(&[0, 3])];
+        let t = JoinTree::from_parents(scopes, vec![None, Some(0), Some(1)], 0);
+        assert!(!t.validate_running_intersection());
+    }
+
+    #[test]
+    fn render_contains_all_nodes() {
+        let t = path4_tree();
+        let s = t.render(|u| format!("node{u}"));
+        for u in 0..4 {
+            assert!(s.contains(&format!("node{u}")));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn disconnected_parents_panic() {
+        let scopes = vec![mask_of(&[0]), mask_of(&[1])];
+        // node 1 unreachable from root 0
+        let _ = JoinTree::from_parents(scopes, vec![None, None], 0);
+    }
+
+    #[test]
+    fn star_tree_keys_are_center() {
+        let h = Hypergraph::new(
+            4,
+            vec![mask_of(&[0, 3]), mask_of(&[1, 3]), mask_of(&[2, 3])],
+        );
+        let t = join_tree(&h).unwrap();
+        for u in 0..t.n_nodes() {
+            if u != t.root() {
+                assert_eq!(t.key_mask(u), mask_of(&[3]));
+            }
+        }
+    }
+}

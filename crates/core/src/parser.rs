@@ -1,0 +1,315 @@
+//! A small text syntax for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := head ":-" body "."?
+//! head   := ident "(" varlist? ")"
+//! body   := atom ("," atom)*
+//! atom   := ident "(" varlist ")"
+//! varlist:= ident ("," ident)*
+//! ```
+//!
+//! Example: `q(x, z) :- R(x, y), S(y, z).`
+//!
+//! Head variables are the free variables; `q() :- ...` is a Boolean query.
+
+use crate::query::{ConjunctiveQuery, QueryBuilder, QueryError};
+use std::fmt;
+
+/// Parse errors with byte positions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Unexpected character or token.
+    Unexpected { pos: usize, expected: &'static str, found: String },
+    /// End of input reached prematurely.
+    UnexpectedEnd { expected: &'static str },
+    /// The parsed query failed semantic validation.
+    Invalid(QueryError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Unexpected { pos, expected, found } => {
+                write!(f, "at byte {pos}: expected {expected}, found `{found}`")
+            }
+            ParseError::UnexpectedEnd { expected } => {
+                write!(f, "unexpected end of input: expected {expected}")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Dot,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b':' => {
+                if self.pos + 1 < self.src.len() && self.src[self.pos + 1] == b'-' {
+                    self.pos += 2;
+                    Tok::Turnstile
+                } else {
+                    return Err(ParseError::Unexpected {
+                        pos: start,
+                        expected: "`:-`",
+                        found: ":".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == b'_' => {
+                let mut end = self.pos;
+                while end < self.src.len()
+                    && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+                {
+                    end += 1;
+                }
+                let s = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                self.pos = end;
+                Tok::Ident(s)
+            }
+            other => {
+                return Err(ParseError::Unexpected {
+                    pos: start,
+                    expected: "identifier or punctuation",
+                    found: (other as char).to_string(),
+                })
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<Option<(usize, Tok)>>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&mut self) -> Result<&Option<(usize, Tok)>, ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next()?);
+        }
+        Ok(self.peeked.as_ref().unwrap())
+    }
+
+    fn advance(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &'static str) -> Result<(), ParseError> {
+        match self.advance()? {
+            Some((_, t)) if t == want => Ok(()),
+            Some((pos, t)) => {
+                Err(ParseError::Unexpected { pos, expected: what, found: format!("{t:?}") })
+            }
+            None => Err(ParseError::UnexpectedEnd { expected: what }),
+        }
+    }
+
+    fn ident(&mut self, what: &'static str) -> Result<String, ParseError> {
+        match self.advance()? {
+            Some((_, Tok::Ident(s))) => Ok(s),
+            Some((pos, t)) => {
+                Err(ParseError::Unexpected { pos, expected: what, found: format!("{t:?}") })
+            }
+            None => Err(ParseError::UnexpectedEnd { expected: what }),
+        }
+    }
+
+    /// varlist inside parens; parens already handled by caller when empty
+    fn varlist(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut vs = vec![self.ident("variable name")?];
+        loop {
+            match self.peek()? {
+                Some((_, Tok::Comma)) => {
+                    self.advance()?;
+                    vs.push(self.ident("variable name")?);
+                }
+                _ => break,
+            }
+        }
+        Ok(vs)
+    }
+}
+
+/// Parse a conjunctive query from text.
+///
+/// ```
+/// let q = cq_core::parse_query("q(x, z) :- R(x, y), S(y, z).").unwrap();
+/// assert_eq!(q.to_string(), "q(x, z) :- R(x, y), S(y, z)");
+/// assert_eq!(q.free_vars().len(), 2);
+/// ```
+pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let mut p = Parser { lexer: Lexer::new(src), peeked: None };
+    let head_name = p.ident("query head name")?;
+    p.expect(Tok::LParen, "`(`")?;
+    let head_vars = match p.peek()? {
+        Some((_, Tok::RParen)) => {
+            p.advance()?;
+            Vec::new()
+        }
+        _ => {
+            let vs = p.varlist()?;
+            p.expect(Tok::RParen, "`)`")?;
+            vs
+        }
+    };
+    p.expect(Tok::Turnstile, "`:-`")?;
+
+    let mut builder = QueryBuilder::new(&head_name);
+    loop {
+        let rel = p.ident("relation name")?;
+        p.expect(Tok::LParen, "`(`")?;
+        let vars = p.varlist()?;
+        p.expect(Tok::RParen, "`)`")?;
+        let vs: Vec<_> = vars.iter().map(|v| builder.var(v)).collect();
+        builder.atom(&rel, &vs);
+        match p.advance()? {
+            Some((_, Tok::Comma)) => continue,
+            Some((_, Tok::Dot)) | None => break,
+            Some((pos, t)) => {
+                return Err(ParseError::Unexpected {
+                    pos,
+                    expected: "`,`, `.`, or end of input",
+                    found: format!("{t:?}"),
+                })
+            }
+        }
+    }
+    // Free variables must already occur in the body; interning them now
+    // after the body means unknown head variables produce a build error.
+    let mut frees = Vec::new();
+    for v in &head_vars {
+        frees.push(builder.var(v));
+    }
+    builder.free(&frees);
+    builder.build().map_err(ParseError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let q = parse_query("q(x, y) :- R(x, y)").unwrap();
+        assert_eq!(q.to_string(), "q(x, y) :- R(x, y)");
+    }
+
+    #[test]
+    fn parse_boolean() {
+        let q = parse_query("q() :- R(x, y), S(y, z).").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms().len(), 2);
+    }
+
+    #[test]
+    fn parse_triangle() {
+        let q = parse_query("t() :- R1(x,y), R2(y,z), R3(z,x)").unwrap();
+        assert_eq!(q.n_vars(), 3);
+        assert!(!q.hypergraph().is_acyclic());
+    }
+
+    #[test]
+    fn parse_projection() {
+        let q = parse_query("q(x) :- R(x, y)").unwrap();
+        assert_eq!(q.free_vars().len(), 1);
+        assert_eq!(q.quantified_mask().count_ones(), 1);
+    }
+
+    #[test]
+    fn parse_self_join() {
+        let q = parse_query("q(x1, x2) :- R(x1, z), R(x2, z)").unwrap();
+        assert!(!q.is_self_join_free());
+    }
+
+    #[test]
+    fn head_var_not_in_body_rejected() {
+        let e = parse_query("q(w) :- R(x, y)").unwrap_err();
+        assert!(matches!(e, ParseError::Invalid(QueryError::FreeVariableNotInBody(_))));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_query("q(x) :- ").is_err());
+        assert!(parse_query("q(x)").is_err());
+        assert!(parse_query("q(x) :- R(x,)").is_err());
+        assert!(parse_query("(x) :- R(x)").is_err());
+        assert!(parse_query("q(x) :- R(x) ; S(x)").is_err());
+        assert!(parse_query("q(x) : R(x)").is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_query("q(x,z):-R(x,y),S(y,z)").unwrap();
+        let b = parse_query("  q ( x , z )  :-  R ( x , y ) , S ( y , z ) . ").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_var_in_atom() {
+        let q = parse_query("q(x) :- R(x, x)").unwrap();
+        assert_eq!(q.n_vars(), 1);
+        assert_eq!(q.atoms()[0].arity(), 2);
+    }
+
+    #[test]
+    fn error_display_has_position() {
+        let e = parse_query("q(x) :- R(x) ; S(x)").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("byte"), "{msg}");
+    }
+}

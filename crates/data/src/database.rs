@@ -1,0 +1,126 @@
+//! Databases: named relation instances.
+
+use crate::hasher::FxHashMap;
+use crate::relation::Relation;
+use crate::value::Val;
+use std::fmt;
+
+/// A database: a mapping from relation names to instances.
+///
+/// The paper's size measure `m` (total number of tuples) is [`size`];
+/// the active domain size `n` is [`active_domain`]`.len()`.
+///
+/// [`size`]: Database::size
+/// [`active_domain`]: Database::active_domain
+#[derive(Clone, Default, Debug)]
+pub struct Database {
+    relations: FxHashMap<String, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) a relation.
+    pub fn insert(&mut self, name: &str, rel: Relation) -> &mut Self {
+        self.relations.insert(name.to_string(), rel);
+        self
+    }
+
+    /// Get a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Get a relation, panicking with a clear message if missing.
+    pub fn expect(&self, name: &str) -> &Relation {
+        self.relations
+            .get(name)
+            .unwrap_or_else(|| panic!("database has no relation named `{name}`"))
+    }
+
+    /// Number of relations.
+    pub fn n_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations — the `m` of the paper.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterate (name, relation) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All values appearing anywhere, sorted + deduped.
+    pub fn active_domain(&self) -> Vec<Val> {
+        let mut vs: Vec<Val> = Vec::new();
+        for r in self.relations.values() {
+            vs.extend_from_slice(r.raw());
+        }
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.relations.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        writeln!(f, "database: {} relations, {} tuples", self.n_relations(), self.size())?;
+        for n in names {
+            let r = &self.relations[n];
+            writeln!(f, "  {n}: arity {}, {} rows", r.arity(), r.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_sums_tuples() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 2), (2, 3)]));
+        db.insert("S", Relation::from_values(vec![7]));
+        assert_eq!(db.size(), 3);
+        assert_eq!(db.n_relations(), 2);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_values(vec![1, 2, 3]));
+        db.insert("R", Relation::from_values(vec![1]));
+        assert_eq!(db.size(), 1);
+    }
+
+    #[test]
+    fn active_domain_merged() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 5)]));
+        db.insert("S", Relation::from_values(vec![5, 9]));
+        assert_eq!(db.active_domain(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no relation named")]
+    fn expect_missing_panics() {
+        Database::new().expect("nope");
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 2)]));
+        let s = db.to_string();
+        assert!(s.contains("R: arity 2, 1 rows"));
+    }
+}

@@ -1,0 +1,120 @@
+//! A vendored Fx-style hasher.
+//!
+//! The standard library's SipHash is DoS-resistant but slow for the
+//! integer keys that dominate our hot paths (domain values, row keys).
+//! We vendor the tiny multiply-rotate hash used by rustc (`rustc-hash`)
+//! instead of adding a dependency; databases here are generated inputs,
+//! so hash-flooding is not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply constant (64-bit golden-ratio-ish mixer from rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast, non-cryptographic hasher for integer-heavy keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // process 8 bytes at a time, then the tail
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&37], 74);
+    }
+
+    #[test]
+    fn set_dedup() {
+        let mut s: FxHashSet<(u64, u64)> = FxHashSet::default();
+        s.insert((1, 2));
+        s.insert((1, 2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn hash_spreads_consecutive_keys() {
+        // Fx is weak but should still spread consecutive integers across
+        // the full 64-bit range (no identical hashes).
+        let mut hs = FxHashSet::default();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            hs.insert(h.finish());
+        }
+        assert_eq!(hs.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_writes_match_tail_handling() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

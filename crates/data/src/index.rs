@@ -1,0 +1,276 @@
+//! Secondary indexes over relations.
+//!
+//! * [`SortedView`]: a relation's rows re-sorted under a column
+//!   permutation, supporting prefix-range lookups — the workhorse of the
+//!   join-tree algorithms (semijoins, counting DP, direct access).
+//! * [`HashIndex`]: key-columns → row-id lists, used where hash probes
+//!   beat binary search (e.g. the light part of degree splits).
+
+use crate::hasher::FxHashMap;
+use crate::relation::Relation;
+use crate::value::Val;
+
+/// A relation's rows re-sorted so that the columns `key_cols` come first
+/// (in the given order), followed by the remaining columns in original
+/// order. Supports binary-search prefix lookups on the key columns.
+#[derive(Clone, Debug)]
+pub struct SortedView {
+    /// New column order: `key_cols` then the rest.
+    col_order: Vec<usize>,
+    /// Number of key columns.
+    n_key: usize,
+    /// Rows in the permuted column order, sorted lexicographically.
+    data: Vec<Val>,
+    arity: usize,
+}
+
+impl SortedView {
+    /// Build a view of `rel` keyed on `key_cols`.
+    pub fn new(rel: &Relation, key_cols: &[usize]) -> Self {
+        let arity = rel.arity();
+        let mut col_order: Vec<usize> = key_cols.to_vec();
+        for c in 0..arity {
+            if !key_cols.contains(&c) {
+                col_order.push(c);
+            }
+        }
+        assert_eq!(col_order.len(), arity, "key_cols must be distinct and in range");
+        let mut data: Vec<Val> = Vec::with_capacity(rel.raw().len());
+        for row in rel.iter() {
+            for &c in &col_order {
+                data.push(row[c]);
+            }
+        }
+        // sort rows
+        let mut view = SortedView { col_order, n_key: key_cols.len(), data, arity };
+        view.sort();
+        view
+    }
+
+    fn sort(&mut self) {
+        let arity = self.arity;
+        if arity == 0 || self.data.is_empty() {
+            return;
+        }
+        let n = self.data.len() / arity;
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let data = &self.data;
+        idx.sort_unstable_by(|&a, &b| {
+            data[a as usize * arity..(a as usize + 1) * arity]
+                .cmp(&data[b as usize * arity..(b as usize + 1) * arity])
+        });
+        let mut out = Vec::with_capacity(self.data.len());
+        for &i in &idx {
+            out.extend_from_slice(&data[i as usize * arity..(i as usize + 1) * arity]);
+        }
+        self.data = out;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.arity == 0 {
+            0
+        } else {
+            self.data.len() / self.arity
+        }
+    }
+
+    /// Is the view empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Arity (same as the underlying relation).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of key columns.
+    pub fn n_key(&self) -> usize {
+        self.n_key
+    }
+
+    /// The permuted column order (key columns first).
+    pub fn col_order(&self) -> &[usize] {
+        &self.col_order
+    }
+
+    /// Row `i` in the *permuted* column order.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Val] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Range of row indices whose key columns equal `key`
+    /// (`key.len() ≤ n_key`; shorter keys match by prefix).
+    pub fn key_range(&self, key: &[Val]) -> std::ops::Range<usize> {
+        assert!(key.len() <= self.n_key);
+        let n = self.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.row(mid)[..key.len()] < *key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let start = lo;
+        let mut lo2 = start;
+        let mut hi2 = n;
+        while lo2 < hi2 {
+            let mid = lo2 + (hi2 - lo2) / 2;
+            if self.row(mid)[..key.len()] <= *key {
+                lo2 = mid + 1;
+            } else {
+                hi2 = mid;
+            }
+        }
+        start..lo2
+    }
+
+    /// Does any row have key columns equal to `key`?
+    pub fn contains_key(&self, key: &[Val]) -> bool {
+        !self.key_range(key).is_empty()
+    }
+
+    /// Iterate over the groups of equal full keys: yields
+    /// `(key, row_range)` pairs in key order.
+    pub fn groups(&self) -> impl Iterator<Item = (&[Val], std::ops::Range<usize>)> + '_ {
+        let mut i = 0usize;
+        std::iter::from_fn(move || {
+            if i >= self.len() {
+                return None;
+            }
+            let key = &self.row(i)[..self.n_key];
+            let mut j = i + 1;
+            while j < self.len() && &self.row(j)[..self.n_key] == key {
+                j += 1;
+            }
+            let out = (key, i..j);
+            i = j;
+            Some(out)
+        })
+    }
+}
+
+/// Hash index from key-column values to row indices of the underlying
+/// relation (row indices refer to the relation's sorted order).
+#[derive(Clone, Debug)]
+pub struct HashIndex {
+    map: FxHashMap<Box<[Val]>, Vec<u32>>,
+    key_cols: Vec<usize>,
+}
+
+impl HashIndex {
+    /// Build an index of `rel` on `key_cols`.
+    pub fn new(rel: &Relation, key_cols: &[usize]) -> Self {
+        let mut map: FxHashMap<Box<[Val]>, Vec<u32>> = FxHashMap::default();
+        let mut keybuf: Vec<Val> = Vec::with_capacity(key_cols.len());
+        for (i, row) in rel.iter().enumerate() {
+            keybuf.clear();
+            keybuf.extend(key_cols.iter().map(|&c| row[c]));
+            map.entry(keybuf.as_slice().into()).or_default().push(i as u32);
+        }
+        HashIndex { map, key_cols: key_cols.to_vec() }
+    }
+
+    /// Row indices whose key columns equal `key`.
+    pub fn get(&self, key: &[Val]) -> &[u32] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Does the key occur?
+    pub fn contains(&self, key: &[Val]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn n_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The indexed key columns.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Iterate `(key, row indices)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Val], &[u32])> {
+        self.map.iter().map(|(k, v)| (&**k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::from_rows(
+            3,
+            vec![
+                vec![1, 10, 100],
+                vec![2, 10, 200],
+                vec![1, 20, 300],
+                vec![3, 10, 100],
+            ],
+        )
+    }
+
+    #[test]
+    fn sorted_view_keys_first() {
+        let v = SortedView::new(&rel(), &[1]);
+        // sorted by column 1 first: keys 10,10,10,20
+        assert_eq!(v.row(0)[0], 10);
+        assert_eq!(v.row(3)[0], 20);
+        assert_eq!(v.key_range(&[10]).len(), 3);
+        assert_eq!(v.key_range(&[20]).len(), 1);
+        assert_eq!(v.key_range(&[15]).len(), 0);
+        assert!(v.contains_key(&[10]));
+        assert!(!v.contains_key(&[11]));
+    }
+
+    #[test]
+    fn sorted_view_multi_key() {
+        let v = SortedView::new(&rel(), &[1, 0]);
+        assert_eq!(v.key_range(&[10, 1]).len(), 1);
+        assert_eq!(v.key_range(&[10]).len(), 3);
+        // remaining column order: the leftover col 2
+        assert_eq!(v.col_order(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn groups_cover_all_rows() {
+        let v = SortedView::new(&rel(), &[0]);
+        let groups: Vec<_> = v.groups().map(|(k, r)| (k.to_vec(), r)).collect();
+        assert_eq!(groups.len(), 3); // keys 1, 2, 3
+        let total: usize = groups.iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(groups[0].0, vec![1]);
+        assert_eq!(groups[0].1.len(), 2);
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let r = rel();
+        let ix = HashIndex::new(&r, &[1]);
+        assert_eq!(ix.get(&[10]).len(), 3);
+        assert_eq!(ix.get(&[20]).len(), 1);
+        assert!(ix.get(&[99]).is_empty());
+        assert_eq!(ix.n_keys(), 2);
+        // row ids point into the sorted relation
+        for &i in ix.get(&[20]) {
+            assert_eq!(r.row(i as usize)[1], 20);
+        }
+    }
+
+    #[test]
+    fn empty_view() {
+        let r = Relation::new(2);
+        let v = SortedView::new(&r, &[0]);
+        assert!(v.is_empty());
+        assert_eq!(v.key_range(&[1]), 0..0);
+        assert_eq!(v.groups().count(), 0);
+    }
+}

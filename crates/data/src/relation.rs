@@ -1,0 +1,366 @@
+//! Relations: sorted, deduplicated, row-major flat storage.
+
+use crate::value::Val;
+use std::fmt;
+
+/// A relation instance of fixed arity.
+///
+/// Rows are stored row-major in one flat buffer and kept **sorted
+/// lexicographically and deduplicated** (set semantics, as in the paper).
+/// Mutating constructors accept unsorted input and normalize once.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    data: Vec<Val>,
+}
+
+impl Relation {
+    /// Empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, data: Vec::new() }
+    }
+
+    /// Build from rows (each of length `arity`); sorts and dedups.
+    ///
+    /// # Panics
+    /// If any row has the wrong length.
+    pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Vec<Val>>) -> Self {
+        let mut r = Relation::new(arity);
+        for row in rows {
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            r.data.extend_from_slice(&row);
+        }
+        r.normalize();
+        r
+    }
+
+    /// Build from an iterator of row slices; sorts and dedups.
+    pub fn from_row_slices<'a>(
+        arity: usize,
+        rows: impl IntoIterator<Item = &'a [Val]>,
+    ) -> Self {
+        let mut r = Relation::new(arity);
+        for row in rows {
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            r.data.extend_from_slice(row);
+        }
+        r.normalize();
+        r
+    }
+
+    /// Build a binary relation from pairs; sorts and dedups.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Val, Val)>) -> Self {
+        let mut r = Relation::new(2);
+        for (a, b) in pairs {
+            r.data.push(a);
+            r.data.push(b);
+        }
+        r.normalize();
+        r
+    }
+
+    /// Build a unary relation from values; sorts and dedups.
+    pub fn from_values(values: impl IntoIterator<Item = Val>) -> Self {
+        let mut r = Relation::new(1);
+        r.data.extend(values);
+        r.normalize();
+        r
+    }
+
+    /// Append a row without normalizing (call [`Relation::normalize`]
+    /// before reading). Useful for bulk loads.
+    pub fn push_row(&mut self, row: &[Val]) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Restore the sorted + deduplicated invariant after bulk loads.
+    pub fn normalize(&mut self) {
+        if self.arity == 0 {
+            // nullary relation: either empty or the single empty tuple;
+            // data is always empty, presence tracked by... we represent
+            // nullary relations as arity ≥ 1 in practice; keep data empty.
+            return;
+        }
+        let arity = self.arity;
+        let n = self.data.len() / arity;
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let data = &self.data;
+        idx.sort_unstable_by(|&a, &b| {
+            let ra = &data[a as usize * arity..a as usize * arity + arity];
+            let rb = &data[b as usize * arity..b as usize * arity + arity];
+            ra.cmp(rb)
+        });
+        let mut out: Vec<Val> = Vec::with_capacity(self.data.len());
+        let mut last: Option<&[Val]> = None;
+        for &i in &idx {
+            let row = &data[i as usize * arity..i as usize * arity + arity];
+            if last != Some(row) {
+                out.extend_from_slice(row);
+            }
+            last = Some(row);
+        }
+        self.data = out;
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.arity == 0 {
+            0
+        } else {
+            self.data.len() / self.arity
+        }
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The `i`-th row (rows are in sorted order).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Val] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterate over rows in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Val]> + '_ {
+        self.data.chunks_exact(self.arity.max(1))
+    }
+
+    /// Raw flat buffer (row-major, sorted).
+    pub fn raw(&self) -> &[Val] {
+        &self.data
+    }
+
+    /// Membership test by binary search, O(arity · log m).
+    pub fn contains(&self, row: &[Val]) -> bool {
+        assert_eq!(row.len(), self.arity);
+        self.binary_search(row).is_ok()
+    }
+
+    fn binary_search(&self, row: &[Val]) -> Result<usize, usize> {
+        let n = self.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.row(mid).cmp(row) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Row index range whose rows start with `prefix` (binary search).
+    pub fn prefix_range(&self, prefix: &[Val]) -> std::ops::Range<usize> {
+        assert!(prefix.len() <= self.arity);
+        let n = self.len();
+        // lower bound: first row ≥ prefix
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.row(mid)[..prefix.len()] < *prefix {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let start = lo;
+        // upper bound: first row with prefix > `prefix`
+        let mut hi2 = n;
+        let mut lo2 = start;
+        while lo2 < hi2 {
+            let mid = lo2 + (hi2 - lo2) / 2;
+            if self.row(mid)[..prefix.len()] <= *prefix {
+                lo2 = mid + 1;
+            } else {
+                hi2 = mid;
+            }
+        }
+        start..lo2
+    }
+
+    /// Project onto the given column indices (result sorted + deduped).
+    pub fn project(&self, cols: &[usize]) -> Relation {
+        for &c in cols {
+            assert!(c < self.arity, "column {c} out of range");
+        }
+        let mut out = Relation::new(cols.len());
+        out.data.reserve(self.len() * cols.len());
+        for row in self.iter() {
+            for &c in cols {
+                out.data.push(row[c]);
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Keep only rows satisfying `pred`.
+    pub fn filter(&self, mut pred: impl FnMut(&[Val]) -> bool) -> Relation {
+        let mut out = Relation::new(self.arity);
+        for row in self.iter() {
+            if pred(row) {
+                out.data.extend_from_slice(row);
+            }
+        }
+        // rows remain sorted and distinct
+        out
+    }
+
+    /// The set of values appearing in column `c`.
+    pub fn column_values(&self, c: usize) -> Vec<Val> {
+        assert!(c < self.arity);
+        let mut vs: Vec<Val> = self.iter().map(|r| r[c]).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// The active domain: all values in any column, sorted + deduped.
+    pub fn active_domain(&self) -> Vec<Val> {
+        let mut vs = self.data.clone();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Reorder columns by `perm` (`perm[i]` = source column of new
+    /// column `i`); result normalized.
+    pub fn permute(&self, perm: &[usize]) -> Relation {
+        assert_eq!(perm.len(), self.arity);
+        self.project(perm)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "({} rows, arity {})", self.len(), self.arity)?;
+        for row in self.iter().take(20) {
+            writeln!(f, "  {row:?}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r3() -> Relation {
+        Relation::from_rows(2, vec![vec![3, 1], vec![1, 2], vec![3, 1], vec![1, 1]])
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let r = r3();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(0), &[1, 1]);
+        assert_eq!(r.row(1), &[1, 2]);
+        assert_eq!(r.row(2), &[3, 1]);
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let r = r3();
+        assert!(r.contains(&[1, 2]));
+        assert!(!r.contains(&[2, 2]));
+        assert!(!r.contains(&[0, 0]));
+        assert!(!r.contains(&[9, 9]));
+    }
+
+    #[test]
+    fn prefix_range_groups() {
+        let r = Relation::from_rows(
+            2,
+            vec![vec![1, 1], vec![1, 2], vec![2, 5], vec![4, 0], vec![4, 9]],
+        );
+        assert_eq!(r.prefix_range(&[1]), 0..2);
+        assert_eq!(r.prefix_range(&[2]), 2..3);
+        assert_eq!(r.prefix_range(&[3]), 3..3);
+        assert_eq!(r.prefix_range(&[4]), 3..5);
+        assert_eq!(r.prefix_range(&[]), 0..5);
+        assert_eq!(r.prefix_range(&[4, 9]), 4..5);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = Relation::from_rows(2, vec![vec![1, 7], vec![2, 7], vec![3, 8]]);
+        let p = r.project(&[1]);
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&[7]) && p.contains(&[8]));
+    }
+
+    #[test]
+    fn project_reorder() {
+        let r = Relation::from_rows(2, vec![vec![1, 7]]);
+        let p = r.permute(&[1, 0]);
+        assert_eq!(p.row(0), &[7, 1]);
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let r = Relation::from_rows(2, vec![vec![1, 1], vec![2, 2], vec![3, 3]]);
+        let f = r.filter(|row| row[0] != 2);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.row(0), &[1, 1]);
+        assert_eq!(f.row(1), &[3, 3]);
+    }
+
+    #[test]
+    fn column_values_and_adom() {
+        let r = Relation::from_rows(2, vec![vec![1, 7], vec![2, 7], vec![2, 9]]);
+        assert_eq!(r.column_values(0), vec![1, 2]);
+        assert_eq!(r.column_values(1), vec![7, 9]);
+        assert_eq!(r.active_domain(), vec![1, 2, 7, 9]);
+    }
+
+    #[test]
+    fn from_pairs_and_values() {
+        let r = Relation::from_pairs(vec![(2, 1), (1, 1), (2, 1)]);
+        assert_eq!(r.len(), 2);
+        let u = Relation::from_values(vec![5, 3, 5]);
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&[3]));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.prefix_range(&[1]), 0..0);
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn push_then_normalize() {
+        let mut r = Relation::new(1);
+        r.push_row(&[9]);
+        r.push_row(&[1]);
+        r.push_row(&[9]);
+        r.normalize();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), &[1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let mut r = Relation::new(2);
+        r.push_row(&[1]);
+    }
+}

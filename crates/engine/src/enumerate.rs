@@ -1,0 +1,319 @@
+//! Constant-delay enumeration for free-connex queries (Theorem 3.17).
+//!
+//! Preprocessing (linear in m): eliminate the quantified variables
+//! ([`crate::count::eliminate_projections`]), fully semijoin-reduce the
+//! resulting acyclic join query over the free variables, and index each
+//! node of its join tree by its parent key. Enumeration then walks the
+//! tree as an odometer: because every relation is globally consistent,
+//! every key lookup is non-empty, so the delay between answers is bounded
+//! by the number of tree nodes — a constant depending only on the query,
+//! exactly the guarantee of [BDG07].
+
+use crate::bind::{BoundAtom, EvalError};
+use crate::count::eliminate_projections;
+use crate::yannakakis::{downward_sweep, upward_sweep};
+use cq_core::hypergraph::mask_vertices;
+use cq_core::{ConjunctiveQuery, Var};
+use cq_data::{Database, Relation, SortedView, Val};
+
+struct Level {
+    view: SortedView,
+    n_key: usize,
+    /// schema slots supplying the key values (ancestor-assigned)
+    key_slots: Vec<usize>,
+    /// schema slots written by this level's non-key columns
+    out_slots: Vec<usize>,
+    /// current row range for the bound key
+    range: std::ops::Range<usize>,
+    /// current row within `range`
+    pos: usize,
+}
+
+/// A prepared constant-delay enumerator. Create with
+/// [`Enumerator::preprocess`], consume with [`Enumerator::for_each`] or
+/// the [`Iterator`] from [`Enumerator::iter`].
+pub struct Enumerator {
+    /// Free variables in interning order — the output schema.
+    schema: Vec<Var>,
+    levels: Vec<Level>,
+    /// The whole result is empty.
+    empty: bool,
+}
+
+impl std::fmt::Debug for Enumerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enumerator")
+            .field("schema", &self.schema)
+            .field("levels", &self.levels.len())
+            .field("empty", &self.empty)
+            .finish()
+    }
+}
+
+impl Enumerator {
+    /// Linear-time preprocessing. Fails with `NotFreeConnex` /
+    /// `NotAcyclic` on the hard side of the dichotomy.
+    pub fn preprocess(q: &ConjunctiveQuery, db: &Database) -> Result<Self, EvalError> {
+        let schema: Vec<Var> = q.free_vars();
+        if q.is_boolean() {
+            let res = crate::yannakakis::decide_acyclic(q, db)?;
+            return Ok(Enumerator { schema, levels: Vec::new(), empty: !res });
+        }
+        let mut msgs = match eliminate_projections(q, db)? {
+            Some(m) => m,
+            None => {
+                return Ok(Enumerator { schema, levels: Vec::new(), empty: true })
+            }
+        };
+        // q' join tree + full reduction → global consistency
+        let scopes: Vec<u64> = msgs.iter().map(BoundAtom::scope).collect();
+        let h = cq_core::Hypergraph::new(q.n_vars(), scopes);
+        let tree = cq_core::gyo::join_tree(&h).ok_or(EvalError::NotFreeConnex)?;
+        upward_sweep(&mut msgs, &tree);
+        downward_sweep(&mut msgs, &tree);
+        if msgs[tree.root()].rel.is_empty() {
+            return Ok(Enumerator { schema, levels: Vec::new(), empty: true });
+        }
+
+        let slot_of = |v: Var| schema.iter().position(|&s| s == v).unwrap();
+        let mut levels = Vec::with_capacity(tree.n_nodes());
+        for u in tree.top_down() {
+            let a = &msgs[u];
+            let key_mask = tree.key_mask(u);
+            let key_vars: Vec<Var> =
+                mask_vertices(key_mask).map(|v| Var(v as u32)).collect();
+            let key_cols: Vec<usize> =
+                key_vars.iter().map(|&v| a.col_of(v).unwrap()).collect();
+            let view = SortedView::new(&a.rel, &key_cols);
+            let out_slots: Vec<usize> = view.col_order()[key_cols.len()..]
+                .iter()
+                .map(|&c| slot_of(a.vars[c]))
+                .collect();
+            let key_slots: Vec<usize> = key_vars.iter().map(|&v| slot_of(v)).collect();
+            levels.push(Level {
+                view,
+                n_key: key_cols.len(),
+                key_slots,
+                out_slots,
+                range: 0..0,
+                pos: 0,
+            });
+        }
+        Ok(Enumerator { schema, levels, empty: false })
+    }
+
+    /// The output schema (free variables in interning order).
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+
+    /// Visit every answer with constant delay; `visit` returns `false`
+    /// to stop early. Returns `true` if enumeration ran to completion.
+    pub fn for_each(&mut self, mut visit: impl FnMut(&[Val]) -> bool) -> bool {
+        if self.empty {
+            return true;
+        }
+        if self.levels.is_empty() {
+            // Boolean query that is true: the single empty answer.
+            return visit(&[]);
+        }
+        let mut current: Vec<Val> = vec![0; self.schema.len()];
+        let mut keybuf: Vec<Val> = Vec::new();
+        // descend all levels from 0
+        let l = self.levels.len();
+        for i in 0..l {
+            descend(&mut self.levels[i], &mut current, &mut keybuf);
+        }
+        loop {
+            if !visit(&current) {
+                return false;
+            }
+            // odometer: advance deepest level possible
+            let mut i = l;
+            loop {
+                if i == 0 {
+                    return true; // exhausted
+                }
+                i -= 1;
+                let lev = &mut self.levels[i];
+                if lev.pos + 1 < lev.range.end {
+                    lev.pos += 1;
+                    write_row(lev, &mut current);
+                    break;
+                }
+            }
+            for j in (i + 1)..l {
+                descend(&mut self.levels[j], &mut current, &mut keybuf);
+            }
+        }
+    }
+
+    /// Materialize all answers (ordered by the enumeration order).
+    pub fn collect_all(&mut self) -> Vec<Vec<Val>> {
+        let mut out = Vec::new();
+        self.for_each(|row| {
+            out.push(row.to_vec());
+            true
+        });
+        out
+    }
+
+    /// Count answers by enumeration (for cross-checking; prefer
+    /// `cq_engine::count` for counting).
+    pub fn count(&mut self) -> u64 {
+        let mut c = 0u64;
+        self.for_each(|_| {
+            c += 1;
+            true
+        });
+        c
+    }
+
+    /// Collect answers into a [`Relation`] over the schema.
+    pub fn to_relation(&mut self) -> Relation {
+        let mut rel = Relation::new(self.schema.len());
+        self.for_each(|row| {
+            rel.push_row(row);
+            true
+        });
+        rel.normalize();
+        rel
+    }
+}
+
+fn descend(lev: &mut Level, current: &mut [Val], keybuf: &mut Vec<Val>) {
+    keybuf.clear();
+    keybuf.extend(lev.key_slots.iter().map(|&s| current[s]));
+    lev.range = lev.view.key_range(keybuf);
+    debug_assert!(
+        !lev.range.is_empty(),
+        "full reduction guarantees non-empty extensions"
+    );
+    lev.pos = lev.range.start;
+    write_row(lev, current);
+}
+
+#[inline]
+fn write_row(lev: &Level, current: &mut [Val]) {
+    let row = lev.view.row(lev.pos);
+    for (i, &slot) in lev.out_slots.iter().enumerate() {
+        current[slot] = row[lev.n_key + i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::brute_force_answers;
+    use cq_core::parse_query;
+    use cq_core::query::zoo;
+    use cq_data::generate::{path_database, seeded_rng, star_database};
+
+    fn check_matches_brute_force(q: &ConjunctiveQuery, db: &Database) {
+        let mut e = Enumerator::preprocess(q, db).unwrap();
+        let got = e.to_relation();
+        let want = brute_force_answers(q, db).unwrap();
+        assert_eq!(got, want, "query {q}");
+    }
+
+    #[test]
+    fn path_join_enumeration() {
+        let db = path_database(3, 60, &mut seeded_rng(1));
+        check_matches_brute_force(&zoo::path_join(3), &db);
+    }
+
+    #[test]
+    fn star_full_enumeration() {
+        let db = star_database(3, 80, 5, &mut seeded_rng(2));
+        check_matches_brute_force(&zoo::star_full(3), &db);
+    }
+
+    #[test]
+    fn free_connex_projection_enumeration() {
+        let db = path_database(3, 60, &mut seeded_rng(3));
+        let q = parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap();
+        assert!(cq_core::free_connex::is_free_connex(&q));
+        check_matches_brute_force(&q, &db);
+    }
+
+    #[test]
+    fn non_free_connex_rejected() {
+        let db = star_database(2, 30, 3, &mut seeded_rng(4));
+        assert_eq!(
+            Enumerator::preprocess(&zoo::star_selfjoin(2), &db).unwrap_err(),
+            EvalError::NotFreeConnex
+        );
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let db = cq_data::generate::triangle_database(&cq_data::Relation::from_pairs(
+            vec![(0, 1)],
+        ));
+        assert_eq!(
+            Enumerator::preprocess(&zoo::triangle_join(), &db).unwrap_err(),
+            EvalError::NotAcyclic
+        );
+    }
+
+    #[test]
+    fn boolean_true_yields_empty_tuple() {
+        let db = path_database(2, 20, &mut seeded_rng(5));
+        let mut e = Enumerator::preprocess(&zoo::path_boolean(2), &db).unwrap();
+        let all = e.collect_all();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn early_stop() {
+        let db = path_database(2, 100, &mut seeded_rng(6));
+        let mut e = Enumerator::preprocess(&zoo::path_join(2), &db).unwrap();
+        let mut n = 0;
+        let completed = e.for_each(|_| {
+            n += 1;
+            n < 5
+        });
+        assert!(!completed);
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn count_matches_count_module() {
+        let db = path_database(3, 80, &mut seeded_rng(7));
+        let q = parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap();
+        let mut e = Enumerator::preprocess(&q, &db).unwrap();
+        assert_eq!(e.count(), crate::count::count_free_connex(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn no_duplicates_emitted() {
+        let db = star_database(2, 60, 4, &mut seeded_rng(8));
+        let q = zoo::star_full(2);
+        let mut e = Enumerator::preprocess(&q, &db).unwrap();
+        let all = e.collect_all();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "enumeration must not repeat answers");
+    }
+
+    #[test]
+    fn empty_database_empty_enumeration() {
+        let mut db = Database::new();
+        db.insert("R1", cq_data::Relation::new(2));
+        db.insert("R2", cq_data::Relation::new(2));
+        let mut e = Enumerator::preprocess(&zoo::path_join(2), &db).unwrap();
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn unsatisfiable_quantified_component() {
+        let mut db = Database::new();
+        db.insert("R", cq_data::Relation::from_values(vec![1, 2, 3]));
+        db.insert("S", cq_data::Relation::new(2));
+        let q = parse_query("q(x) :- R(x), S(y, z)").unwrap();
+        let mut e = Enumerator::preprocess(&q, &db).unwrap();
+        assert_eq!(e.count(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! The unified evaluator: pick the dichotomy-optimal algorithm from the
+//! cq-core classification and report which one ran.
+
+use crate::bind::EvalError;
+use crate::count;
+use crate::enumerate::Enumerator;
+use crate::generic_join;
+use crate::yannakakis;
+use cq_core::ConjunctiveQuery;
+use cq_data::{Database, Relation};
+
+/// Which decision algorithm ran.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecisionAlgorithm {
+    /// Acyclic: semijoin sweeps (Thm 3.1).
+    Yannakakis,
+    /// Cyclic: worst-case optimal join with early stop.
+    GenericJoin,
+}
+
+/// Which answer-production algorithm ran.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnswerAlgorithm {
+    /// Free-connex constant-delay enumeration (Thm 3.17).
+    ConstantDelay,
+    /// Generic join + projection (the materialization baseline).
+    Materialization,
+}
+
+/// Decide whether `q(D)` is non-empty, with the structurally best
+/// algorithm.
+pub fn decide(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(bool, DecisionAlgorithm), EvalError> {
+    if q.hypergraph().is_acyclic() {
+        Ok((yannakakis::decide_acyclic(q, db)?, DecisionAlgorithm::Yannakakis))
+    } else {
+        Ok((generic_join::decide(q, db)?, DecisionAlgorithm::GenericJoin))
+    }
+}
+
+/// Produce all answers (distinct projections onto the free variables).
+pub fn answers(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(Relation, AnswerAlgorithm), EvalError> {
+    if cq_core::free_connex::is_free_connex(q) {
+        let mut e = Enumerator::preprocess(q, db)?;
+        Ok((e.to_relation(), AnswerAlgorithm::ConstantDelay))
+    } else {
+        Ok((generic_join::answers(q, db)?, AnswerAlgorithm::Materialization))
+    }
+}
+
+/// Count answers (re-export of the counting facade for discoverability).
+pub fn count(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(u64, count::CountAlgorithm), EvalError> {
+    count::count_answers(q, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::{brute_force_answers, brute_force_decide};
+    use cq_core::query::zoo;
+    use cq_data::generate::{path_database, random_pairs, seeded_rng, triangle_database};
+
+    #[test]
+    fn decide_picks_yannakakis_for_acyclic() {
+        let db = path_database(3, 50, &mut seeded_rng(1));
+        let q = zoo::path_boolean(3);
+        let (res, alg) = decide(&q, &db).unwrap();
+        assert_eq!(alg, DecisionAlgorithm::Yannakakis);
+        assert_eq!(res, brute_force_decide(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn decide_picks_generic_for_cyclic() {
+        let db = triangle_database(&random_pairs(40, 10, &mut seeded_rng(2)));
+        let q = zoo::triangle_boolean();
+        let (res, alg) = decide(&q, &db).unwrap();
+        assert_eq!(alg, DecisionAlgorithm::GenericJoin);
+        assert_eq!(res, brute_force_decide(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn answers_picks_constant_delay_for_free_connex() {
+        let db = path_database(2, 40, &mut seeded_rng(3));
+        let q = zoo::path_join(2);
+        let (rel, alg) = answers(&q, &db).unwrap();
+        assert_eq!(alg, AnswerAlgorithm::ConstantDelay);
+        assert_eq!(rel, brute_force_answers(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn answers_falls_back_for_projections() {
+        let db = cq_data::generate::star_database(2, 40, 4, &mut seeded_rng(4));
+        let q = zoo::star_selfjoin(2);
+        let (rel, alg) = answers(&q, &db).unwrap();
+        assert_eq!(alg, AnswerAlgorithm::Materialization);
+        assert_eq!(rel, brute_force_answers(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn answers_falls_back_for_cyclic() {
+        let db = triangle_database(&random_pairs(30, 10, &mut seeded_rng(5)));
+        let q = zoo::triangle_join();
+        let (rel, alg) = answers(&q, &db).unwrap();
+        assert_eq!(alg, AnswerAlgorithm::Materialization);
+        assert_eq!(rel, brute_force_answers(&q, &db).unwrap());
+    }
+}

@@ -1,0 +1,237 @@
+//! Direct access for free-connex queries with projections — the full
+//! Theorem 3.18 upper bound.
+//!
+//! Theorem 3.18 promises, for every free-connex query, a direct-access
+//! structure with Õ(m) preprocessing and Õ(log m) access in *some*
+//! query-chosen order. The construction composes two pieces already in
+//! the engine: projection elimination
+//! ([`crate::count::eliminate_projections`]) turns the query into an
+//! acyclic *join* query `q'` over exactly the free variables, and the
+//! ⪯-compatible-tree structure ([`LexDirectAccess`]) serves `q'` under
+//! a DFS order of its join tree — an order that is compatible *by
+//! construction* (each node's variables are introduced right after its
+//! parent's, and subtree blocks are contiguous), so the build can never
+//! be rejected.
+
+use crate::bind::{BoundAtom, EvalError};
+use crate::count::eliminate_projections;
+use crate::direct_access::{DirectAccess, LexDirectAccess};
+use cq_core::hypergraph::mask_vertices;
+use cq_core::{ConjunctiveQuery, Var};
+use cq_data::{Database, Val};
+
+/// Direct access to the answers of a free-connex query, in a
+/// query-chosen lexicographic order over the free variables.
+pub struct FreeConnexDirectAccess {
+    inner: Option<LexDirectAccess>,
+    /// Free variables in output order (interning order).
+    schema: Vec<Var>,
+    /// The lexicographic variable order the simulated array is sorted by.
+    order: Vec<Var>,
+}
+
+/// A DFS variable order of a join tree over `atoms`: node by node in
+/// preorder, each node's newly introduced variables in ascending index.
+/// Such an order always satisfies the compatibility conditions of
+/// [`LexDirectAccess`] for that same tree.
+fn dfs_order(atoms: &[BoundAtom], n_vars: usize) -> Result<Vec<Var>, EvalError> {
+    let scopes: Vec<u64> = atoms.iter().map(BoundAtom::scope).collect();
+    let h = cq_core::Hypergraph::new(n_vars, scopes);
+    let tree = cq_core::gyo::join_tree(&h).ok_or(EvalError::NotFreeConnex)?;
+    let mut seen = 0u64;
+    let mut order = Vec::new();
+    for u in tree.top_down() {
+        let intro = tree.scope(u) & !seen;
+        seen |= intro;
+        order.extend(mask_vertices(intro).map(|v| Var(v as u32)));
+    }
+    Ok(order)
+}
+
+impl FreeConnexDirectAccess {
+    /// Linear-time preprocessing (Thm 3.18). Fails with `NotFreeConnex`
+    /// / `NotAcyclic` on the hard side of the dichotomy, and with
+    /// `Unsupported` for Boolean queries (no variables to access).
+    pub fn build(q: &ConjunctiveQuery, db: &Database) -> Result<Self, EvalError> {
+        if q.is_boolean() {
+            return Err(EvalError::Unsupported(
+                "Boolean queries have no output positions to access".into(),
+            ));
+        }
+        let schema: Vec<Var> = q.free_vars();
+        let msgs = match eliminate_projections(q, db)? {
+            Some(m) => m,
+            None => {
+                return Ok(FreeConnexDirectAccess {
+                    inner: None,
+                    schema: schema.clone(),
+                    order: schema,
+                })
+            }
+        };
+        let order = dfs_order(&msgs, q.n_vars())?;
+        let inner = LexDirectAccess::build_from_atoms(msgs, q.n_vars(), &order)
+            .expect("DFS orders of the q' join tree are always compatible");
+        Ok(FreeConnexDirectAccess { inner: Some(inner), schema, order })
+    }
+
+    /// The query-chosen lexicographic order (over the free variables).
+    pub fn order(&self) -> &[Var] {
+        &self.order
+    }
+
+    /// The output schema: free variables in interning order.
+    pub fn schema(&self) -> &[Var] {
+        &self.schema
+    }
+}
+
+impl DirectAccess for FreeConnexDirectAccess {
+    fn len(&self) -> u64 {
+        self.inner.as_ref().map_or(0, DirectAccess::len)
+    }
+
+    /// The `i`-th answer, as values of the free variables in schema
+    /// (interning) order.
+    fn access(&self, i: u64) -> Option<Vec<Val>> {
+        let full = self.inner.as_ref()?.access(i)?;
+        Some(self.schema.iter().map(|v| full[v.index()]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::brute_force_answers;
+    use cq_core::parse_query;
+    use cq_core::query::zoo;
+    use cq_data::generate::{path_database, seeded_rng, star_database};
+    use cq_data::Relation;
+
+    /// All accesses together must be exactly the brute-force answers,
+    /// sorted by the structure's chosen order.
+    fn check(q: &ConjunctiveQuery, db: &Database) {
+        let da = FreeConnexDirectAccess::build(q, db).unwrap();
+        let mut got: Vec<Vec<Val>> = (0..da.len()).map(|i| da.access(i).unwrap()).collect();
+        let want = brute_force_answers(q, db).unwrap();
+        assert_eq!(got.len(), want.len(), "{q}");
+        // sorted by the chosen order: check monotone
+        let schema = da.schema().to_vec();
+        let pos_in_schema: Vec<usize> = da
+            .order()
+            .iter()
+            .map(|v| schema.iter().position(|s| s == v).unwrap())
+            .collect();
+        for w in got.windows(2) {
+            let key =
+                |row: &Vec<Val>| pos_in_schema.iter().map(|&p| row[p]).collect::<Vec<_>>();
+            assert!(key(&w[0]) < key(&w[1]), "{q}: array must be strictly sorted");
+        }
+        // set equality with brute force
+        got.sort();
+        let want_rows: Vec<Vec<Val>> = want.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(got, want_rows, "{q}");
+        assert_eq!(da.access(da.len()), None);
+    }
+
+    #[test]
+    fn projected_path_queries() {
+        let db = path_database(3, 50, &mut seeded_rng(1));
+        check(
+            &parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap(),
+            &db,
+        );
+        check(
+            &parse_query("q(x1, x2) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap(),
+            &db,
+        );
+    }
+
+    #[test]
+    fn join_queries_still_work() {
+        let db = path_database(3, 40, &mut seeded_rng(2));
+        check(&zoo::path_join(3), &db);
+        let db2 = star_database(2, 60, 5, &mut seeded_rng(3));
+        check(&zoo::star_full(2), &db2);
+    }
+
+    #[test]
+    fn star_with_free_center() {
+        // q(z, x1) :- R1(x1, z), R2(x2, z): free-connex
+        let db = star_database(2, 60, 6, &mut seeded_rng(4));
+        let q = parse_query("q(z, x1) :- R1(x1, z), R2(x2, z)").unwrap();
+        assert!(cq_core::free_connex::is_free_connex(&q));
+        check(&q, &db);
+    }
+
+    #[test]
+    fn non_free_connex_rejected() {
+        let db = star_database(2, 30, 4, &mut seeded_rng(5));
+        assert!(matches!(
+            FreeConnexDirectAccess::build(&zoo::star_selfjoin(2), &db),
+            Err(EvalError::NotFreeConnex)
+        ));
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let db = cq_data::generate::triangle_database(&Relation::from_pairs(vec![(0, 1)]));
+        assert!(matches!(
+            FreeConnexDirectAccess::build(&zoo::triangle_join(), &db),
+            Err(EvalError::NotAcyclic)
+        ));
+    }
+
+    #[test]
+    fn boolean_rejected() {
+        let db = path_database(2, 10, &mut seeded_rng(6));
+        assert!(matches!(
+            FreeConnexDirectAccess::build(&zoo::path_boolean(2), &db),
+            Err(EvalError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_component_empty() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_values(vec![1, 2]));
+        db.insert("S", Relation::new(2));
+        let q = parse_query("q(x) :- R(x), S(y, z)").unwrap();
+        let da = FreeConnexDirectAccess::build(&q, &db).unwrap();
+        assert_eq!(da.len(), 0);
+        assert_eq!(da.access(0), None);
+    }
+
+    #[test]
+    fn testing_via_prefix_works() {
+        // Lemma 3.20 on the free-connex structure
+        let db = star_database(2, 60, 5, &mut seeded_rng(7));
+        let q = parse_query("q(z, x1) :- R1(x1, z), R2(x2, z)").unwrap();
+        let da = FreeConnexDirectAccess::build(&q, &db).unwrap();
+        // prefix var: first of the chosen order; collect true values
+        let first = da.order()[0];
+        let sch_pos = da.schema().iter().position(|v| *v == first).unwrap();
+        let mut truths = std::collections::BTreeSet::new();
+        for i in 0..da.len() {
+            truths.insert(da.access(i).unwrap()[sch_pos]);
+        }
+        // test_prefix works on full-assignment access structures; here we
+        // check against the projected accessor manually via binary search
+        for v in 0..10u64 {
+            let expected = truths.contains(&v);
+            // binary search over the array on the first order position
+            let mut lo = 0u64;
+            let mut hi = da.len();
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if da.access(mid).unwrap()[sch_pos] < v {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            let found = lo < da.len() && da.access(lo).unwrap()[sch_pos] == v;
+            assert_eq!(found, expected, "value {v}");
+        }
+    }
+}

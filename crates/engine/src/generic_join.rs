@@ -1,0 +1,367 @@
+//! Worst-case optimal generic join (paper §2.1's AGM / WCOJ background).
+//!
+//! The leapfrog-style variable-elimination join: fix a global variable
+//! order; at each level intersect, by galloping binary search, the
+//! candidate values offered by every atom containing the variable. The
+//! runtime is bounded by the AGM fractional-edge-cover bound of the query
+//! — e.g. m^{3/2} for the triangle query and m^{1+1/(k−1)} for
+//! Loomis–Whitney q^LW_k (Example 3.4), which is why this single
+//! algorithm is both the m^{3/2} triangle baseline of Thm 3.2 and the
+//! *optimal* LW algorithm of Thm 3.5.
+
+use crate::bind::{bind, BoundAtom, EvalError};
+use cq_core::{ConjunctiveQuery, Var};
+use cq_data::{Database, FxHashSet, Relation, SortedView, Val};
+
+/// One atom prepared for the join: its view is sorted with columns in
+/// global variable order.
+struct PreparedAtom {
+    view: SortedView,
+    /// for each of the atom's columns (in view order), the global depth
+    /// of the corresponding variable
+    depths: Vec<usize>,
+}
+
+/// Run the generic join over `atoms` with the given global variable
+/// `order` (must cover every variable of the atoms). `visit` is called
+/// with the full assignment in `order`-order for every satisfying
+/// assignment; returning `false` stops the join early.
+///
+/// Returns `true` if the enumeration ran to completion, `false` if it was
+/// stopped by the visitor.
+pub fn generic_join_visit(
+    atoms: &[BoundAtom],
+    order: &[Var],
+    visit: &mut dyn FnMut(&[Val]) -> bool,
+) -> bool {
+    let pos_of = |v: Var| -> usize {
+        order.iter().position(|&u| u == v).expect("order must cover all variables")
+    };
+    if atoms.iter().any(|a| a.rel.is_empty()) {
+        return true;
+    }
+    let prepared: Vec<PreparedAtom> = atoms
+        .iter()
+        .map(|a| {
+            // column permutation: atom vars sorted by global position
+            let mut cols: Vec<usize> = (0..a.vars.len()).collect();
+            cols.sort_by_key(|&c| pos_of(a.vars[c]));
+            let depths: Vec<usize> = cols.iter().map(|&c| pos_of(a.vars[c])).collect();
+            let view = SortedView::new(&a.rel, &cols);
+            PreparedAtom { view, depths }
+        })
+        .collect();
+
+    // for each global depth: (atom index, local column) of involved atoms
+    let mut involved: Vec<Vec<(usize, usize)>> = vec![Vec::new(); order.len()];
+    for (ai, p) in prepared.iter().enumerate() {
+        for (lc, &d) in p.depths.iter().enumerate() {
+            involved[d].push((ai, lc));
+        }
+    }
+    // every variable must be constrained by some atom
+    assert!(
+        involved.iter().all(|v| !v.is_empty()),
+        "every variable in the order must occur in some atom"
+    );
+
+    let mut assignment: Vec<Val> = vec![0; order.len()];
+    let mut ranges: Vec<std::ops::Range<usize>> =
+        prepared.iter().map(|p| 0..p.view.len()).collect();
+
+    search(&prepared, &involved, 0, &mut assignment, &mut ranges, visit)
+}
+
+/// Position of the first row in `view[range]` whose column `col` is
+/// `>= value` (rows in the range share their first `col` columns, so the
+/// column is sorted within the range).
+fn lower_bound(view: &SortedView, range: &std::ops::Range<usize>, col: usize, value: Val) -> usize {
+    let (mut lo, mut hi) = (range.start, range.end);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if view.row(mid)[col] < value {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn search(
+    prepared: &[PreparedAtom],
+    involved: &[Vec<(usize, usize)>],
+    depth: usize,
+    assignment: &mut Vec<Val>,
+    ranges: &mut Vec<std::ops::Range<usize>>,
+    visit: &mut dyn FnMut(&[Val]) -> bool,
+) -> bool {
+    if depth == involved.len() {
+        return visit(assignment);
+    }
+    let inv = &involved[depth];
+    // leapfrog: maintain a candidate value; every involved atom must
+    // offer it.
+    let mut cursors: Vec<usize> = inv.iter().map(|&(ai, _)| ranges[ai].start).collect();
+    // initial candidate: max of first values
+    let mut candidate: Val = 0;
+    for (ci, &(ai, lc)) in inv.iter().enumerate() {
+        if cursors[ci] >= ranges[ai].end {
+            return true; // some atom has no rows left
+        }
+        candidate = candidate.max(prepared[ai].view.row(cursors[ci])[lc]);
+    }
+    'outer: loop {
+        // align all cursors to candidate
+        for (ci, &(ai, lc)) in inv.iter().enumerate() {
+            let pos =
+                lower_bound(&prepared[ai].view, &(cursors[ci]..ranges[ai].end), lc, candidate);
+            cursors[ci] = pos;
+            if pos >= ranges[ai].end {
+                return true; // exhausted
+            }
+            let v = prepared[ai].view.row(pos)[lc];
+            if v > candidate {
+                candidate = v;
+                continue 'outer; // realign from the first atom
+            }
+        }
+        // all atoms agree on `candidate`: narrow ranges to the value group
+        assignment[depth] = candidate;
+        let saved: Vec<std::ops::Range<usize>> =
+            inv.iter().map(|&(ai, _)| ranges[ai].clone()).collect();
+        for (ci, &(ai, lc)) in inv.iter().enumerate() {
+            let start = cursors[ci];
+            let end =
+                lower_bound(&prepared[ai].view, &(start..ranges[ai].end), lc, candidate + 1);
+            ranges[ai] = start..end;
+        }
+        let keep_going = search(prepared, involved, depth + 1, assignment, ranges, visit);
+        // restore ranges
+        for (ci, &(ai, _)) in inv.iter().enumerate() {
+            ranges[ai] = saved[ci].clone();
+        }
+        if !keep_going {
+            return false;
+        }
+        // advance past `candidate`
+        let mut new_candidate = candidate;
+        for (ci, &(ai, lc)) in inv.iter().enumerate() {
+            let pos =
+                lower_bound(&prepared[ai].view, &(cursors[ci]..ranges[ai].end), lc, candidate + 1);
+            cursors[ci] = pos;
+            if pos >= ranges[ai].end {
+                return true;
+            }
+            new_candidate = new_candidate.max(prepared[ai].view.row(pos)[lc]);
+        }
+        candidate = new_candidate.max(candidate + 1);
+    }
+}
+
+/// Default variable order: interning order.
+pub fn default_order(q: &ConjunctiveQuery) -> Vec<Var> {
+    q.vars().collect()
+}
+
+/// All answers of `q` (distinct projections onto the free variables),
+/// computed by generic join + projection. Worst-case optimal for join
+/// queries; for projections this is the *materialization baseline* the
+/// paper's counting/enumeration lower bounds are about.
+pub fn answers(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, EvalError> {
+    let atoms = bind(q, db)?;
+    let order = default_order(q);
+    let free = q.free_vars();
+    let free_pos: Vec<usize> = free
+        .iter()
+        .map(|f| order.iter().position(|v| v == f).unwrap())
+        .collect();
+    let mut out = Relation::new(free.len());
+    let mut buf: Vec<Val> = vec![0; free.len()];
+    generic_join_visit(&atoms, &order, &mut |assignment| {
+        for (b, &p) in buf.iter_mut().zip(&free_pos) {
+            *b = assignment[p];
+        }
+        out.push_row(&buf);
+        true
+    });
+    out.normalize();
+    Ok(out)
+}
+
+/// Boolean decision by generic join with early stop — the fallback for
+/// cyclic queries (runtime = AGM bound of the query).
+pub fn decide(q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalError> {
+    let atoms = bind(q, db)?;
+    let order = default_order(q);
+    let mut found = false;
+    generic_join_visit(&atoms, &order, &mut |_| {
+        found = true;
+        false
+    });
+    Ok(found)
+}
+
+/// Count *distinct free-variable projections* by materializing the
+/// projection set during the join — the generic counting baseline
+/// (m^k-shaped for q*_k; Lemma 3.9 says this is essentially optimal).
+pub fn count_distinct(q: &ConjunctiveQuery, db: &Database) -> Result<u64, EvalError> {
+    let atoms = bind(q, db)?;
+    let order = default_order(q);
+    let free = q.free_vars();
+    let free_pos: Vec<usize> = free
+        .iter()
+        .map(|f| order.iter().position(|v| v == f).unwrap())
+        .collect();
+    let mut set: FxHashSet<Box<[Val]>> = FxHashSet::default();
+    let mut buf: Vec<Val> = vec![0; free.len()];
+    generic_join_visit(&atoms, &order, &mut |assignment| {
+        for (b, &p) in buf.iter_mut().zip(&free_pos) {
+            *b = assignment[p];
+        }
+        set.insert(buf.as_slice().into());
+        true
+    });
+    Ok(set.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::brute_force_answers;
+    use cq_core::parse_query;
+    use cq_core::query::zoo;
+    use cq_data::generate::{
+        full_relation, lw_database, path_database, random_pairs, seeded_rng,
+        triangle_database,
+    };
+
+    #[test]
+    fn triangle_join_matches_brute_force() {
+        let mut rng = seeded_rng(1);
+        let edges = random_pairs(60, 15, &mut rng);
+        let db = triangle_database(&edges);
+        let q = zoo::triangle_join();
+        assert_eq!(answers(&q, &db).unwrap(), brute_force_answers(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn triangle_boolean_decide() {
+        let mut rng = seeded_rng(2);
+        for trial in 0..10 {
+            let edges = random_pairs(20 + trial, 10, &mut rng);
+            let db = triangle_database(&edges);
+            let q = zoo::triangle_boolean();
+            assert_eq!(
+                decide(&q, &db).unwrap(),
+                crate::bind::brute_force_decide(&q, &db).unwrap(),
+                "trial={trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_join_matches_brute_force() {
+        let db = path_database(3, 50, &mut seeded_rng(3));
+        let q = zoo::path_join(3);
+        assert_eq!(answers(&q, &db).unwrap(), brute_force_answers(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn lw_worst_case_has_agm_many_answers() {
+        // LW_3 with full [d]^2 relations: d^3 answers.
+        let d = 5;
+        let rel = full_relation(2, d);
+        let db = lw_database(3, &rel);
+        let q = zoo::loomis_whitney_boolean(3).join_version();
+        let ans = answers(&q, &db).unwrap();
+        assert_eq!(ans.len(), (d * d * d) as usize);
+    }
+
+    #[test]
+    fn lw4_matches_brute_force() {
+        let mut rng = seeded_rng(4);
+        let rel = cq_data::generate::random_relation(3, 80, 6, &mut rng);
+        let db = lw_database(4, &rel);
+        let q = zoo::loomis_whitney_boolean(4).join_version();
+        assert_eq!(answers(&q, &db).unwrap(), brute_force_answers(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn projection_counting_matches() {
+        let db = cq_data::generate::star_database(2, 100, 5, &mut seeded_rng(5));
+        let q = zoo::star_selfjoin(2);
+        assert_eq!(
+            count_distinct(&q, &db).unwrap(),
+            brute_force_answers(&q, &db).unwrap().len() as u64
+        );
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let db = path_database(2, 100, &mut seeded_rng(6));
+        let atoms = bind(&zoo::path_join(2), &db).unwrap();
+        let order = default_order(&zoo::path_join(2));
+        let mut count = 0;
+        let completed = generic_join_visit(&atoms, &order, &mut |_| {
+            count += 1;
+            count < 3
+        });
+        assert!(!completed);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn empty_relation_early_exit() {
+        let mut db = path_database(2, 10, &mut seeded_rng(7));
+        db.insert("R2", cq_data::Relation::new(2));
+        assert!(answers(&zoo::path_join(2), &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn different_orders_same_result() {
+        let mut rng = seeded_rng(8);
+        let edges = random_pairs(40, 12, &mut rng);
+        let db = triangle_database(&edges);
+        let q = zoo::triangle_join();
+        let atoms = bind(&q, &db).unwrap();
+        let want = answers(&q, &db).unwrap();
+        // try all 6 variable orders
+        let vars: Vec<Var> = q.vars().collect();
+        let orders = [
+            vec![vars[0], vars[1], vars[2]],
+            vec![vars[0], vars[2], vars[1]],
+            vec![vars[1], vars[0], vars[2]],
+            vec![vars[1], vars[2], vars[0]],
+            vec![vars[2], vars[0], vars[1]],
+            vec![vars[2], vars[1], vars[0]],
+        ];
+        for order in orders {
+            let mut got: Vec<Vec<Val>> = Vec::new();
+            generic_join_visit(&atoms, &order, &mut |a| {
+                // re-sort into interning order
+                let mut row = vec![0; 3];
+                for (i, &v) in order.iter().enumerate() {
+                    row[v.index()] = a[i];
+                }
+                got.push(row);
+                true
+            });
+            let rel = Relation::from_rows(3, got);
+            assert_eq!(rel, want, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn selfjoin_with_repeats() {
+        let q = parse_query("q(x, y) :- R(x, y), R(y, x)").unwrap();
+        let mut db = Database::new();
+        db.insert(
+            "R",
+            Relation::from_pairs(vec![(1, 2), (2, 1), (3, 4), (5, 5)]),
+        );
+        let ans = answers(&q, &db).unwrap();
+        assert_eq!(ans.len(), 3); // (1,2), (2,1), (5,5)
+        assert!(ans.contains(&[5, 5]));
+    }
+}

@@ -1,0 +1,237 @@
+//! The triangle query algorithm of Theorem 3.2 (Alon–Yuster–Zwick on
+//! relations).
+//!
+//! `q△() :- R1(x,y), R2(y,z), R3(z,x)` on a database of size m:
+//! elements of degree ≤ Δ are *light*; answers with a light value at
+//! some variable are found by expanding the light element's tuples
+//! (cost O(m·Δ)); all-heavy answers are found by one Boolean matrix
+//! multiplication over the ≤ m/Δ heavy elements (cost O((m/Δ)^ω)).
+//! With Δ = m^{(ω−1)/(ω+1)} the total is Õ(m^{2ω/(ω+1)}) — the algorithm
+//! the Triangle Hypothesis says is close to optimal.
+
+use crate::bind::EvalError;
+use cq_data::{Database, FxHashMap, Relation, SortedView, Val};
+use cq_matrix::dense::multiply_rowwise;
+use cq_matrix::BitMatrix;
+
+/// Decide `q△` with the degree-split algorithm. `delta` is the
+/// light/heavy threshold (use `cq_matrix::omega::ayz_delta`).
+pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalError> {
+    let r1 = db.get("R1").ok_or_else(|| EvalError::MissingRelation("R1".into()))?;
+    let r2 = db.get("R2").ok_or_else(|| EvalError::MissingRelation("R2".into()))?;
+    let r3 = db.get("R3").ok_or_else(|| EvalError::MissingRelation("R3".into()))?;
+    for (name, r) in [("R1", r1), ("R2", r2), ("R3", r3)] {
+        if r.arity() != 2 {
+            return Err(EvalError::ArityMismatch {
+                relation: name.to_string(),
+                expected: 2,
+                found: r.arity(),
+            });
+        }
+    }
+    let delta = delta.max(1);
+
+    // degree of a domain element: number of tuples containing it
+    let mut degree: FxHashMap<Val, usize> = FxHashMap::default();
+    for r in [r1, r2, r3] {
+        for row in r.iter() {
+            *degree.entry(row[0]).or_insert(0) += 1;
+            if row[1] != row[0] {
+                *degree.entry(row[1]).or_insert(0) += 1;
+            }
+        }
+    }
+    let light = |v: Val| degree.get(&v).copied().unwrap_or(0) <= delta;
+
+    // --- light phases ---
+    // indexes: R2 by y (col 0), R3 by z (col 0), R1 by x (col 0)
+    let r2_by_y = SortedView::new(r2, &[0]);
+    let r3_by_z = SortedView::new(r3, &[0]);
+    let r1_by_x = SortedView::new(r1, &[0]);
+
+    // light y: (x,y) ∈ R1, y light: expand y's R2-tuples, check R3(z,x)
+    for row in r1.iter() {
+        let (x, y) = (row[0], row[1]);
+        if !light(y) {
+            continue;
+        }
+        let range = r2_by_y.key_range(&[y]);
+        for i in range {
+            let z = r2_by_y.row(i)[1];
+            if r3.contains(&[z, x]) {
+                return Ok(true);
+            }
+        }
+    }
+    // light z: (y,z) ∈ R2, z light: expand z's R3-tuples, check R1(x,y)
+    for row in r2.iter() {
+        let (y, z) = (row[0], row[1]);
+        if !light(z) {
+            continue;
+        }
+        let range = r3_by_z.key_range(&[z]);
+        for i in range {
+            let x = r3_by_z.row(i)[1];
+            if r1.contains(&[x, y]) {
+                return Ok(true);
+            }
+        }
+    }
+    // light x: (z,x) ∈ R3, x light: expand x's R1-tuples, check R2(y,z)
+    for row in r3.iter() {
+        let (z, x) = (row[0], row[1]);
+        if !light(x) {
+            continue;
+        }
+        let range = r1_by_x.key_range(&[x]);
+        for i in range {
+            let y = r1_by_x.row(i)[1];
+            if r2.contains(&[y, z]) {
+                return Ok(true);
+            }
+        }
+    }
+
+    // --- heavy phase: all three values heavy ---
+    let mut heavy: Vec<Val> =
+        degree.iter().filter(|&(_, &d)| d > delta).map(|(&v, _)| v).collect();
+    heavy.sort_unstable();
+    if heavy.is_empty() {
+        return Ok(false);
+    }
+    let idx_of = |v: Val| -> Option<usize> { heavy.binary_search(&v).ok() };
+    let h = heavy.len();
+    let mut a = BitMatrix::zero(h, h); // R1 on heavy×heavy
+    for row in r1.iter() {
+        if let (Some(i), Some(j)) = (idx_of(row[0]), idx_of(row[1])) {
+            a.set(i, j, true);
+        }
+    }
+    let mut b = BitMatrix::zero(h, h); // R2 on heavy×heavy
+    for row in r2.iter() {
+        if let (Some(i), Some(j)) = (idx_of(row[0]), idx_of(row[1])) {
+            b.set(i, j, true);
+        }
+    }
+    let c = multiply_rowwise(&a, &b); // c[x][z]: ∃ heavy y with R1(x,y), R2(y,z)
+    for row in r3.iter() {
+        if let (Some(zi), Some(xi)) = (idx_of(row[0]), idx_of(row[1])) {
+            if c.get(xi, zi) {
+                return Ok(true);
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// The generic-join baseline for `q△` (the m^{3/2} algorithm the paper
+/// contrasts Theorem 3.2 against).
+pub fn decide_triangle_generic(db: &Database) -> Result<bool, EvalError> {
+    crate::generic_join::decide(&cq_core::query::zoo::triangle_boolean(), db)
+}
+
+/// Build a `q△` database directly from three relations.
+pub fn triangle_db(r1: Relation, r2: Relation, r3: Relation) -> Database {
+    let mut db = Database::new();
+    db.insert("R1", r1);
+    db.insert("R2", r2);
+    db.insert("R3", r3);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::generate::{random_pairs, seeded_rng, skewed_pairs, triangle_database};
+
+    #[test]
+    fn simple_triangle_found() {
+        let db = triangle_db(
+            Relation::from_pairs(vec![(1, 2)]),
+            Relation::from_pairs(vec![(2, 3)]),
+            Relation::from_pairs(vec![(3, 1)]),
+        );
+        for delta in [1usize, 2, 100] {
+            assert!(decide_triangle_ayz(&db, delta).unwrap(), "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn no_triangle() {
+        let db = triangle_db(
+            Relation::from_pairs(vec![(1, 2)]),
+            Relation::from_pairs(vec![(2, 3)]),
+            Relation::from_pairs(vec![(1, 3)]), // wrong direction
+        );
+        for delta in [1usize, 2, 100] {
+            assert!(!decide_triangle_ayz(&db, delta).unwrap(), "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn matches_generic_on_random() {
+        let mut rng = seeded_rng(1);
+        for trial in 0..20 {
+            let db = triangle_database(&random_pairs(40 + trial, 12, &mut rng));
+            let want = decide_triangle_generic(&db).unwrap();
+            for delta in [1usize, 3, 7, 1000] {
+                assert_eq!(
+                    decide_triangle_ayz(&db, delta).unwrap(),
+                    want,
+                    "trial={trial} delta={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_generic_on_skew() {
+        // heavy hubs exercise the matrix phase
+        let mut rng = seeded_rng(2);
+        for trial in 0..10 {
+            let r1 = skewed_pairs(150, 40, 2, &mut rng);
+            let r2 = skewed_pairs(150, 40, 2, &mut rng);
+            let r3 = skewed_pairs(150, 40, 2, &mut rng);
+            let db = triangle_db(r1, r2, r3);
+            let want = decide_triangle_generic(&db).unwrap();
+            for delta in [1usize, 5, 20] {
+                assert_eq!(
+                    decide_triangle_ayz(&db, delta).unwrap(),
+                    want,
+                    "trial={trial} delta={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_relations_not_graph() {
+        // R1, R2, R3 genuinely different: answer exists only through the
+        // right relation roles.
+        let db = triangle_db(
+            Relation::from_pairs(vec![(10, 20), (1, 1)]),
+            Relation::from_pairs(vec![(20, 30)]),
+            Relation::from_pairs(vec![(30, 10), (2, 2)]),
+        );
+        assert!(decide_triangle_ayz(&db, 1).unwrap());
+        assert!(decide_triangle_ayz(&db, 100).unwrap());
+    }
+
+    #[test]
+    fn missing_relation_error() {
+        let mut db = Database::new();
+        db.insert("R1", Relation::from_pairs(vec![(1, 2)]));
+        assert!(matches!(
+            decide_triangle_ayz(&db, 2),
+            Err(EvalError::MissingRelation(_))
+        ));
+    }
+
+    #[test]
+    fn self_loop_triangle() {
+        // x=y=z=5: R1(5,5), R2(5,5), R3(5,5)
+        let r = Relation::from_pairs(vec![(5, 5)]);
+        let db = triangle_db(r.clone(), r.clone(), r);
+        assert!(decide_triangle_ayz(&db, 3).unwrap());
+    }
+}

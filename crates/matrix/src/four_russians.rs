@@ -1,0 +1,130 @@
+//! The Method of Four Russians for Boolean matrix multiplication.
+//!
+//! Split the middle dimension into groups of `t ≈ log₂ n` indices. For
+//! each group, precompute the OR of every subset of the corresponding `t`
+//! rows of `B` (2^t table entries, built incrementally in one OR each).
+//! A row of `A` then consumes each group with a single table lookup.
+//! Total: O(n³ / (w·log n)) with w-bit words — asymptotically better than
+//! the plain word-parallel multiply, and the classical example of a
+//! *combinatorial* sub-n³ algorithm (paper §4.1.1 contrasts such
+//! algorithms with Strassen-style algebraic ones).
+
+use crate::bitmat::BitMatrix;
+
+/// Four-Russians Boolean multiply. `t = 0` picks `t` automatically
+/// (`⌈log₂ max(rows,2)⌉`, capped at 16 to bound table memory).
+pub fn multiply_four_russians(a: &BitMatrix, b: &BitMatrix, t: usize) -> BitMatrix {
+    assert_eq!(a.cols(), b.rows(), "dimension mismatch");
+    let n_mid = a.cols();
+    let t = if t == 0 {
+        ((n_mid.max(2) as f64).log2().ceil() as usize).clamp(1, 16)
+    } else {
+        t.min(16)
+    };
+    let mut c = BitMatrix::zero(a.rows(), b.cols());
+    if n_mid == 0 {
+        return c;
+    }
+    let words = b.cols().div_ceil(64);
+    // table[s] = OR of rows {k0 + i : bit i set in s} of B
+    let mut table: Vec<u64> = vec![0u64; (1usize << t) * words];
+
+    let mut k0 = 0usize;
+    while k0 < n_mid {
+        let g = t.min(n_mid - k0);
+        let size = 1usize << g;
+        // build incrementally: table[s] = table[s without lowest bit] | row
+        for s in 1..size {
+            let low = s.trailing_zeros() as usize;
+            let prev = s & (s - 1);
+            let row = b.row_words(k0 + low);
+            let (dst_lo, src) = if prev == 0 {
+                (s * words, None)
+            } else {
+                (s * words, Some(prev * words))
+            };
+            for w in 0..words {
+                let base = match src {
+                    Some(p) => table[p + w],
+                    None => 0,
+                };
+                table[dst_lo + w] = base | row[w];
+            }
+        }
+        // consume: extract the g bits [k0, k0+g) from each row of A
+        for i in 0..a.rows() {
+            let mut s = 0usize;
+            for d in 0..g {
+                if a.get(i, k0 + d) {
+                    s |= 1 << d;
+                }
+            }
+            if s != 0 {
+                let src = s * words;
+                let dst = c.row_words_mut(i);
+                for w in 0..words {
+                    dst[w] |= table[src + w];
+                }
+            }
+        }
+        k0 += g;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::multiply_rowwise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random(r: usize, c: usize, seed: u64, d: f64) -> BitMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        BitMatrix::random(r, c, d, &mut rng)
+    }
+
+    #[test]
+    fn matches_rowwise_square() {
+        for n in [1usize, 5, 64, 65, 129] {
+            let a = random(n, n, n as u64, 0.15);
+            let b = random(n, n, n as u64 + 7, 0.15);
+            assert_eq!(
+                multiply_four_russians(&a, &b, 0),
+                multiply_rowwise(&a, &b),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_rowwise_rectangular() {
+        let a = random(20, 33, 3, 0.2);
+        let b = random(33, 70, 4, 0.2);
+        assert_eq!(multiply_four_russians(&a, &b, 0), multiply_rowwise(&a, &b));
+    }
+
+    #[test]
+    fn explicit_group_sizes() {
+        let a = random(40, 40, 11, 0.1);
+        let b = random(40, 40, 12, 0.1);
+        let want = multiply_rowwise(&a, &b);
+        for t in [1usize, 2, 3, 8, 16] {
+            assert_eq!(multiply_four_russians(&a, &b, t), want, "t={t}");
+        }
+    }
+
+    #[test]
+    fn dense_inputs() {
+        let a = random(64, 64, 21, 0.9);
+        let b = random(64, 64, 22, 0.9);
+        assert_eq!(multiply_four_russians(&a, &b, 0), multiply_rowwise(&a, &b));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = BitMatrix::zero(10, 10);
+        let b = random(10, 10, 30, 0.5);
+        assert!(!multiply_four_russians(&a, &b, 0).any());
+    }
+}

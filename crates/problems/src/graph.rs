@@ -1,0 +1,265 @@
+//! Simple undirected graphs with sorted adjacency lists and bitset rows.
+
+use cq_matrix::BitMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// Adjacency lists are sorted (binary-search edge tests, linear-merge
+/// intersections); a parallel bitset adjacency is kept when `n` is modest
+/// so clique algorithms can intersect neighborhoods word-parallel.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+    m: usize,
+}
+
+impl Graph {
+    /// Build from undirected edges (self-loops and duplicates dropped).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            let (a, b) = (a as usize, b as usize);
+            assert!(a < n && b < n, "edge endpoint out of range");
+            if a == b {
+                continue;
+            }
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        let mut m = 0;
+        for l in adj.iter_mut() {
+            l.sort_unstable();
+            l.dedup();
+            m += l.len();
+        }
+        Graph { n, adj, m: m / 2 }
+    }
+
+    /// Erdős–Rényi G(n, m): exactly `m` distinct random edges.
+    pub fn random_gnm(n: usize, m: usize, rng: &mut StdRng) -> Self {
+        let max_m = n * (n - 1) / 2;
+        assert!(m <= max_m, "too many edges requested");
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < m {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a != b {
+                set.insert((a.min(b), a.max(b)));
+            }
+        }
+        Self::from_edges(n, set)
+    }
+
+    /// G(n, p): each edge present independently with probability `p`.
+    pub fn random_gnp(n: usize, p: f64, rng: &mut StdRng) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// A tripartite graph with parts of size `s` and random cross edges —
+    /// the worst-case-flavored triangle workload (triangles must use one
+    /// vertex per part).
+    pub fn random_tripartite(s: usize, p: f64, rng: &mut StdRng) -> Self {
+        let n = 3 * s;
+        let mut edges = Vec::new();
+        for part in 0..3usize {
+            let next = (part + 1) % 3;
+            for i in 0..s {
+                for j in 0..s {
+                    if rng.gen_bool(p) {
+                        edges.push(((part * s + i) as u32, (next * s + j) as u32));
+                    }
+                }
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// A triangle-free graph with many edges: the complete bipartite
+    /// K_{n/2,n/2} restricted to `m` random edges. Worst case for
+    /// triangle *detection* (the answer is always "no").
+    pub fn random_bipartite(n: usize, m: usize, rng: &mut StdRng) -> Self {
+        let half = n / 2;
+        assert!(half >= 1 && m <= half * (n - half));
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < m {
+            let a = rng.gen_range(0..half as u32);
+            let b = rng.gen_range(half as u32..n as u32);
+            set.insert((a, b));
+        }
+        Self::from_edges(n, set)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Sorted neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Edge test by binary search.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Undirected edges (a < b), ascending.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n).flat_map(move |a| {
+            self.adj[a]
+                .iter()
+                .filter(move |&&b| (a as u32) < b)
+                .map(move |&b| (a as u32, b))
+        })
+    }
+
+    /// Dense adjacency matrix.
+    pub fn adjacency_matrix(&self) -> BitMatrix {
+        let mut m = BitMatrix::zero(self.n, self.n);
+        for a in 0..self.n {
+            for &b in &self.adj[a] {
+                m.set(a, b as usize, true);
+            }
+        }
+        m
+    }
+
+    /// Per-vertex neighborhood bitsets (`n.div_ceil(64)` words each).
+    pub fn adjacency_bitsets(&self) -> Vec<Vec<u64>> {
+        let words = self.n.div_ceil(64);
+        let mut rows = vec![vec![0u64; words]; self.n];
+        for a in 0..self.n {
+            for &b in &self.adj[a] {
+                rows[a][b as usize / 64] |= 1u64 << (b % 64);
+            }
+        }
+        rows
+    }
+
+    /// The subgraph induced by `keep` (vertices renumbered by rank in
+    /// `keep`); returns the subgraph and the old-id table.
+    pub fn induced(&self, keep: &[u32]) -> (Graph, Vec<u32>) {
+        let mut rank = vec![u32::MAX; self.n];
+        for (i, &v) in keep.iter().enumerate() {
+            rank[v as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for &v in keep {
+            for &u in &self.adj[v as usize] {
+                if v < u && rank[u as usize] != u32::MAX {
+                    edges.push((rank[v as usize], rank[u as usize]));
+                }
+            }
+        }
+        (Graph::from_edges(keep.len(), edges), keep.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn from_edges_dedup_and_loops() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 0), (2, 2), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn gnm_exact_edges() {
+        let g = Graph::random_gnm(50, 200, &mut rng());
+        assert_eq!(g.m(), 200);
+        assert_eq!(g.n(), 50);
+    }
+
+    #[test]
+    fn edges_iterator_matches_m() {
+        let g = Graph::random_gnm(30, 100, &mut rng());
+        assert_eq!(g.edges().count(), 100);
+        for (a, b) in g.edges() {
+            assert!(a < b);
+            assert!(g.has_edge(a as usize, b as usize));
+        }
+    }
+
+    #[test]
+    fn adjacency_matrix_symmetric() {
+        let g = Graph::random_gnm(20, 50, &mut rng());
+        let m = g.adjacency_matrix();
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+                assert_eq!(m.get(i, j), g.has_edge(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn bitsets_match_adjacency() {
+        let g = Graph::random_gnm(70, 300, &mut rng());
+        let rows = g.adjacency_bitsets();
+        for v in 0..70 {
+            for u in 0..70 {
+                let bit = rows[v][u / 64] >> (u % 64) & 1 == 1;
+                assert_eq!(bit, g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn tripartite_has_no_intra_part_edges() {
+        let g = Graph::random_tripartite(10, 0.5, &mut rng());
+        for (a, b) in g.edges() {
+            assert_ne!(a as usize / 10, b as usize / 10);
+        }
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free_by_construction() {
+        let g = Graph::random_bipartite(40, 200, &mut rng());
+        for (a, b) in g.edges() {
+            assert!((a as usize) < 20 && (b as usize) >= 20);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (sub, ids) = g.induced(&[1, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && !sub.has_edge(0, 2));
+    }
+}

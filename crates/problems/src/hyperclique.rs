@@ -1,0 +1,309 @@
+//! h-uniform hypergraphs and (k,h)-hyperclique detection (Hypothesis 3).
+//!
+//! A hyperclique of size `k` in an h-uniform hypergraph is a vertex set
+//! `V'` of size `k` all of whose h-subsets are edges. For `h > 2`, no
+//! algorithm with runtime Õ(n^{k−ε}) is known — that is Hypothesis 3,
+//! the source of the Loomis–Whitney lower bound (Thm 3.5). We implement
+//! ordered backtracking with incremental edge checks (the practical
+//! baseline the hypothesis says cannot be beaten by a polynomial factor).
+
+use cq_data::FxHashSet;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An h-uniform hypergraph on vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct UniformHypergraph {
+    n: usize,
+    h: usize,
+    edges: Vec<Vec<u32>>,
+    edge_set: FxHashSet<Vec<u32>>,
+}
+
+impl UniformHypergraph {
+    /// Build from edges; each edge must have exactly `h` distinct
+    /// vertices. Edges are stored sorted; duplicates collapse.
+    pub fn from_edges(n: usize, h: usize, edges: impl IntoIterator<Item = Vec<u32>>) -> Self {
+        assert!(h >= 1);
+        let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
+        for mut e in edges {
+            e.sort_unstable();
+            e.dedup();
+            assert_eq!(e.len(), h, "edge must have {h} distinct vertices");
+            assert!(e.iter().all(|&v| (v as usize) < n), "vertex out of range");
+            set.insert(e);
+        }
+        let mut edges: Vec<Vec<u32>> = set.iter().cloned().collect();
+        edges.sort_unstable();
+        UniformHypergraph { n, h, edges, edge_set: set }
+    }
+
+    /// Random h-uniform hypergraph with `m` distinct edges.
+    pub fn random(n: usize, h: usize, m: usize, rng: &mut StdRng) -> Self {
+        let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
+        let mut guard = 0usize;
+        while set.len() < m && guard < 100 * m + 1000 {
+            guard += 1;
+            let mut e: Vec<u32> = Vec::with_capacity(h);
+            while e.len() < h {
+                let v = rng.gen_range(0..n as u32);
+                if !e.contains(&v) {
+                    e.push(v);
+                }
+            }
+            e.sort_unstable();
+            set.insert(e);
+        }
+        let edges: Vec<Vec<u32>> = set.into_iter().collect();
+        Self::from_edges(n, h, edges)
+    }
+
+    /// Plant a k-hyperclique into an existing hypergraph: adds all
+    /// h-subsets of the first `k` vertices.
+    pub fn plant_hyperclique(&mut self, k: usize) {
+        assert!(k >= self.h && k <= self.n);
+        let vs: Vec<u32> = (0..k as u32).collect();
+        let mut subset: Vec<u32> = Vec::with_capacity(self.h);
+        plant_rec(&vs, 0, self.h, &mut subset, &mut self.edge_set);
+        self.edges = self.edge_set.iter().cloned().collect();
+        self.edges.sort_unstable();
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Uniformity h.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The sorted edge list.
+    pub fn edges(&self) -> &[Vec<u32>] {
+        &self.edges
+    }
+
+    /// Is the (sorted) vertex set `e` an edge?
+    pub fn has_edge_sorted(&self, e: &[u32]) -> bool {
+        self.edge_set.contains(e)
+    }
+}
+
+fn plant_rec(
+    vs: &[u32],
+    from: usize,
+    need: usize,
+    cur: &mut Vec<u32>,
+    out: &mut FxHashSet<Vec<u32>>,
+) {
+    if need == 0 {
+        out.insert(cur.clone());
+        return;
+    }
+    for i in from..vs.len() {
+        if vs.len() - i < need {
+            break;
+        }
+        cur.push(vs[i]);
+        plant_rec(vs, i + 1, need - 1, cur, out);
+        cur.pop();
+    }
+}
+
+/// Find a k-hyperclique by ordered backtracking: extend a partial set
+/// `S` by `v` only if every h-subset of `S ∪ {v}` containing `v` is an
+/// edge. Returns the sorted witness.
+pub fn find_hyperclique(g: &UniformHypergraph, k: usize) -> Option<Vec<u32>> {
+    assert!(k >= g.h(), "hyperclique size must be at least the uniformity");
+    let mut chosen: Vec<u32> = Vec::with_capacity(k);
+
+    fn extension_ok(g: &UniformHypergraph, chosen: &[u32], v: u32) -> bool {
+        // all (h-1)-subsets of `chosen` + v must be edges
+        let h = g.h();
+        if chosen.len() + 1 < h {
+            return true; // nothing to check yet
+        }
+        let mut subset: Vec<u32> = Vec::with_capacity(h);
+        fn rec(
+            g: &UniformHypergraph,
+            chosen: &[u32],
+            from: usize,
+            need: usize,
+            v: u32,
+            subset: &mut Vec<u32>,
+        ) -> bool {
+            if need == 0 {
+                let mut e = subset.clone();
+                e.push(v);
+                e.sort_unstable();
+                return g.has_edge_sorted(&e);
+            }
+            for i in from..chosen.len() {
+                if chosen.len() - i < need {
+                    break;
+                }
+                subset.push(chosen[i]);
+                let ok = rec(g, chosen, i + 1, need - 1, v, subset);
+                subset.pop();
+                if !ok {
+                    return false;
+                }
+            }
+            true
+        }
+        rec(g, chosen, 0, h - 1, v, &mut subset)
+    }
+
+    fn search(g: &UniformHypergraph, k: usize, from: usize, chosen: &mut Vec<u32>) -> bool {
+        if chosen.len() == k {
+            return true;
+        }
+        for v in from..g.n() {
+            if g.n() - v < k - chosen.len() {
+                break;
+            }
+            if extension_ok(g, chosen, v as u32) {
+                chosen.push(v as u32);
+                if search(g, k, v + 1, chosen) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+
+    if search(g, k, 0, &mut chosen) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+/// Verify that `vs` is a k-hyperclique of `g`.
+pub fn is_hyperclique(g: &UniformHypergraph, vs: &[u32], k: usize) -> bool {
+    if vs.len() != k {
+        return false;
+    }
+    let mut sorted = vs.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != k {
+        return false;
+    }
+    // every h-subset must be an edge
+    let mut subset: Vec<u32> = Vec::with_capacity(g.h());
+    fn rec(g: &UniformHypergraph, vs: &[u32], from: usize, need: usize, cur: &mut Vec<u32>) -> bool {
+        if need == 0 {
+            return g.has_edge_sorted(cur);
+        }
+        for i in from..vs.len() {
+            if vs.len() - i < need {
+                break;
+            }
+            cur.push(vs[i]);
+            let ok = rec(g, vs, i + 1, need - 1, cur);
+            cur.pop();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    rec(g, &sorted, 0, g.h(), &mut subset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_hyperclique_found() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = UniformHypergraph::random(12, 3, 30, &mut rng);
+        assert_eq!(g.h(), 3);
+        g.plant_hyperclique(5);
+        let w = find_hyperclique(&g, 5).unwrap();
+        assert!(is_hyperclique(&g, &w, 5));
+    }
+
+    #[test]
+    fn no_false_positives_sparse() {
+        // a 3-uniform hypergraph with very few edges cannot host a
+        // 4-hyperclique (needs C(4,3)=4 specific edges).
+        let g = UniformHypergraph::from_edges(
+            6,
+            3,
+            vec![vec![0, 1, 2], vec![3, 4, 5]],
+        );
+        assert!(find_hyperclique(&g, 4).is_none());
+        // but each edge is itself a 3-hyperclique
+        let w = find_hyperclique(&g, 3).unwrap();
+        assert!(is_hyperclique(&g, &w, 3));
+    }
+
+    #[test]
+    fn exact_threshold_case() {
+        // K^{(3)}_4 minus one edge: no 4-hyperclique.
+        let g = UniformHypergraph::from_edges(
+            4,
+            3,
+            vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 2, 3]],
+        );
+        assert!(find_hyperclique(&g, 4).is_none());
+        // adding the last edge makes it one
+        let g2 = UniformHypergraph::from_edges(
+            4,
+            3,
+            vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 2, 3], vec![1, 2, 3]],
+        );
+        let w = find_hyperclique(&g2, 4).unwrap();
+        assert_eq!(w, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn brute_force_agreement_small() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..10 {
+            let g = UniformHypergraph::random(9, 3, 40 + trial, &mut rng);
+            // brute force over all 4-subsets
+            let mut expected = false;
+            for a in 0..9u32 {
+                for b in (a + 1)..9 {
+                    for c in (b + 1)..9 {
+                        for d in (c + 1)..9 {
+                            if is_hyperclique(&g, &[a, b, c, d], 4) {
+                                expected = true;
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(find_hyperclique(&g, 4).is_some(), expected, "trial={trial}");
+        }
+    }
+
+    #[test]
+    fn random_hits_target_edge_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = UniformHypergraph::random(20, 4, 100, &mut rng);
+        assert_eq!(g.m(), 100);
+        for e in g.edges() {
+            assert_eq!(e.len(), 4);
+            assert!(e.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct vertices")]
+    fn rejects_degenerate_edges() {
+        let _ = UniformHypergraph::from_edges(3, 3, vec![vec![0, 1, 1]]);
+    }
+}

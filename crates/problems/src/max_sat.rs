@@ -1,0 +1,203 @@
+//! Max-k-SAT (the §3.1.2 context for the Hyperclique Hypothesis).
+//!
+//! The paper motivates Hypothesis 3 by noting that "improving algorithms
+//! for hypercliques would give an improvement for Max-k-SAT [61], a
+//! problem that … has so far resisted all tries to improve upon the
+//! trivial runtime Õ(2ⁿ)". We implement that trivial algorithm (full
+//! assignment enumeration with word-parallel clause evaluation) plus a
+//! branch-and-bound variant, as the reference points of that remark.
+
+use crate::sat::Cnf;
+
+/// Maximum number of simultaneously satisfiable clauses, by exhaustive
+/// enumeration of all 2ⁿ assignments — the Õ(2ⁿ) baseline the paper
+/// says is unbeaten for k ≥ 3. Returns `(best count, witness)`.
+///
+/// # Panics
+/// With more than 24 variables.
+pub fn max_sat_exhaustive(cnf: &Cnf) -> (usize, Vec<bool>) {
+    assert!(cnf.n_vars <= 24, "exhaustive Max-SAT limited to 24 variables");
+    // precompute per clause: positive/negative literal masks
+    let masks: Vec<(u32, u32)> = cnf
+        .clauses
+        .iter()
+        .map(|c| {
+            let mut pos = 0u32;
+            let mut neg = 0u32;
+            for &l in c {
+                let v = l.unsigned_abs() - 1;
+                if l > 0 {
+                    pos |= 1 << v;
+                } else {
+                    neg |= 1 << v;
+                }
+            }
+            (pos, neg)
+        })
+        .collect();
+    let mut best = 0usize;
+    let mut best_assignment = 0u32;
+    for a in 0u32..(1u32 << cnf.n_vars) {
+        let sat = masks
+            .iter()
+            .filter(|&&(pos, neg)| (a & pos) != 0 || (!a & neg) != 0)
+            .count();
+        if sat > best {
+            best = sat;
+            best_assignment = a;
+            if best == cnf.clauses.len() {
+                break;
+            }
+        }
+    }
+    let witness: Vec<bool> = (0..cnf.n_vars).map(|v| best_assignment >> v & 1 == 1).collect();
+    (best, witness)
+}
+
+/// Branch and bound: assigns variables in order, pruning when the
+/// currently satisfied count plus the still-undecided clauses cannot
+/// beat the incumbent. Same worst-case 2ⁿ, often much faster — but no
+/// `2^{n(1−ε)}` guarantee, which is precisely the state of affairs the
+/// Hyperclique Hypothesis encodes.
+pub fn max_sat_branch_bound(cnf: &Cnf) -> (usize, Vec<bool>) {
+    let n = cnf.n_vars;
+    let mut assign: Vec<Option<bool>> = vec![None; n];
+    let mut best = 0usize;
+    let mut best_assignment = vec![false; n];
+
+    fn count_status(cnf: &Cnf, assign: &[Option<bool>]) -> (usize, usize) {
+        // (definitely satisfied, definitely falsified)
+        let mut sat = 0;
+        let mut falsified = 0;
+        'clauses: for c in &cnf.clauses {
+            let mut open = false;
+            for &l in c {
+                let v = l.unsigned_abs() as usize - 1;
+                match assign[v] {
+                    Some(val) => {
+                        if (l > 0) == val {
+                            sat += 1;
+                            continue 'clauses;
+                        }
+                    }
+                    None => open = true,
+                }
+            }
+            if !open {
+                falsified += 1;
+            }
+        }
+        (sat, falsified)
+    }
+
+    fn rec(
+        cnf: &Cnf,
+        v: usize,
+        assign: &mut Vec<Option<bool>>,
+        best: &mut usize,
+        best_assignment: &mut Vec<bool>,
+    ) {
+        let (sat, falsified) = count_status(cnf, assign);
+        if sat + (cnf.clauses.len() - sat - falsified) <= *best {
+            return; // even satisfying every open clause cannot win
+        }
+        if v == assign.len() {
+            if sat > *best {
+                *best = sat;
+                for (i, a) in assign.iter().enumerate() {
+                    best_assignment[i] = a.unwrap_or(false);
+                }
+            }
+            return;
+        }
+        for val in [true, false] {
+            assign[v] = Some(val);
+            rec(cnf, v + 1, assign, best, best_assignment);
+        }
+        assign[v] = None;
+    }
+
+    rec(cnf, 0, &mut assign, &mut best, &mut best_assignment);
+    (best, best_assignment)
+}
+
+/// Number of clauses an assignment satisfies.
+pub fn satisfied_count(cnf: &Cnf, assignment: &[bool]) -> usize {
+    cnf.clauses
+        .iter()
+        .filter(|c| {
+            c.iter().any(|&l| {
+                let v = l.unsigned_abs() as usize - 1;
+                (l > 0) == assignment[v]
+            })
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn satisfiable_formula_hits_all_clauses() {
+        let cnf = Cnf::new(3, vec![vec![1, 2], vec![-1, 3], vec![2, -3]]);
+        let (best, w) = max_sat_exhaustive(&cnf);
+        assert_eq!(best, 3);
+        assert_eq!(satisfied_count(&cnf, &w), 3);
+    }
+
+    #[test]
+    fn contradiction_loses_exactly_one() {
+        // (x)(¬x): at most 1 of 2
+        let cnf = Cnf::new(1, vec![vec![1], vec![-1]]);
+        let (best, _) = max_sat_exhaustive(&cnf);
+        assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn branch_bound_matches_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..15 {
+            let cnf = Cnf::random_ksat(7, 15 + trial, 3, &mut rng);
+            let (a, wa) = max_sat_exhaustive(&cnf);
+            let (b, wb) = max_sat_branch_bound(&cnf);
+            assert_eq!(a, b, "trial {trial}");
+            assert_eq!(satisfied_count(&cnf, &wa), a);
+            assert_eq!(satisfied_count(&cnf, &wb), b);
+        }
+    }
+
+    #[test]
+    fn witnesses_are_optimal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cnf = Cnf::random_ksat(6, 20, 2, &mut rng);
+        let (best, w) = max_sat_branch_bound(&cnf);
+        assert_eq!(satisfied_count(&cnf, &w), best);
+        // no assignment beats it (exhaustive check)
+        for a in 0u32..(1 << 6) {
+            let assignment: Vec<bool> = (0..6).map(|v| a >> v & 1 == 1).collect();
+            assert!(satisfied_count(&cnf, &assignment) <= best);
+        }
+    }
+
+    #[test]
+    fn empty_formula() {
+        let cnf = Cnf::new(2, vec![]);
+        assert_eq!(max_sat_exhaustive(&cnf).0, 0);
+        assert_eq!(max_sat_branch_bound(&cnf).0, 0);
+    }
+
+    #[test]
+    fn max2sat_vs_sat_agreement() {
+        // dpll says satisfiable ⟺ max-sat hits all clauses
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..10 {
+            let cnf = Cnf::random_ksat(6, 14 + trial, 3, &mut rng);
+            let sat = crate::sat::dpll(&cnf).is_some();
+            let (best, _) = max_sat_exhaustive(&cnf);
+            assert_eq!(sat, best == cnf.clauses.len(), "trial {trial}");
+        }
+    }
+}

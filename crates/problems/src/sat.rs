@@ -1,0 +1,282 @@
+//! CNF satisfiability — the SETH side (Hypothesis 4).
+//!
+//! A compact DPLL solver with unit propagation and pure-literal
+//! elimination. SETH says k-SAT needs ~2^n time in the worst case; the
+//! solver exists so the SAT → k-DS → star-counting pipeline (Thm 3.10 +
+//! Lemma 3.9) is executable end to end, and as the baseline oracle in
+//! the reduction tests.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A CNF formula. Literals are non-zero `i32`s: `+v` / `−v` for variable
+/// `v ∈ 1..=n_vars`.
+#[derive(Clone, Debug)]
+pub struct Cnf {
+    pub n_vars: usize,
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Build, validating literal ranges.
+    pub fn new(n_vars: usize, clauses: Vec<Vec<i32>>) -> Self {
+        for c in &clauses {
+            for &l in c {
+                assert!(l != 0 && l.unsigned_abs() as usize <= n_vars, "bad literal {l}");
+            }
+        }
+        Cnf { n_vars, clauses }
+    }
+
+    /// Uniformly random k-CNF with `m` clauses (distinct variables within
+    /// each clause).
+    pub fn random_ksat(n_vars: usize, m: usize, k: usize, rng: &mut StdRng) -> Self {
+        assert!(k <= n_vars && k >= 1);
+        let mut clauses = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut vars: Vec<i32> = Vec::with_capacity(k);
+            while vars.len() < k {
+                let v = rng.gen_range(1..=n_vars as i32);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            clauses.push(
+                vars.into_iter()
+                    .map(|v| if rng.gen_bool(0.5) { v } else { -v })
+                    .collect(),
+            );
+        }
+        Cnf::new(n_vars, clauses)
+    }
+
+    /// Evaluate under a full assignment (`assignment[v-1]` = value of v).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.n_vars);
+        self.clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = l.unsigned_abs() as usize - 1;
+                (l > 0) == assignment[v]
+            })
+        })
+    }
+}
+
+/// DPLL with unit propagation and pure-literal elimination. Returns a
+/// satisfying assignment if one exists.
+pub fn dpll(cnf: &Cnf) -> Option<Vec<bool>> {
+    // assignment: 0 = unset, 1 = true, -1 = false
+    let mut assign: Vec<i8> = vec![0; cnf.n_vars];
+    if solve(&cnf.clauses, &mut assign) {
+        Some(assign.iter().map(|&a| a == 1).collect())
+    } else {
+        None
+    }
+}
+
+fn solve(clauses: &[Vec<i32>], assign: &mut Vec<i8>) -> bool {
+    // unit propagation + conflict detection loop
+    loop {
+        let mut unit: Option<i32> = None;
+        let mut progress = false;
+        for c in clauses {
+            let mut satisfied = false;
+            let mut unassigned: Option<i32> = None;
+            let mut n_unassigned = 0;
+            for &l in c {
+                let v = l.unsigned_abs() as usize - 1;
+                match assign[v] {
+                    0 => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    a => {
+                        if (a == 1) == (l > 0) {
+                            satisfied = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => return false, // conflict
+                1 => {
+                    unit = unassigned;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if let Some(l) = unit {
+            let v = l.unsigned_abs() as usize - 1;
+            assign[v] = if l > 0 { 1 } else { -1 };
+            progress = true;
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    // pure literal elimination
+    {
+        let mut pos = vec![false; assign.len()];
+        let mut neg = vec![false; assign.len()];
+        for c in clauses {
+            // skip satisfied clauses
+            let satisfied = c.iter().any(|&l| {
+                let v = l.unsigned_abs() as usize - 1;
+                assign[v] != 0 && (assign[v] == 1) == (l > 0)
+            });
+            if satisfied {
+                continue;
+            }
+            for &l in c {
+                let v = l.unsigned_abs() as usize - 1;
+                if assign[v] == 0 {
+                    if l > 0 {
+                        pos[v] = true;
+                    } else {
+                        neg[v] = true;
+                    }
+                }
+            }
+        }
+        let mut assigned_pure = false;
+        for v in 0..assign.len() {
+            if assign[v] == 0 && (pos[v] ^ neg[v]) {
+                assign[v] = if pos[v] { 1 } else { -1 };
+                assigned_pure = true;
+            }
+        }
+        if assigned_pure {
+            return solve(clauses, assign);
+        }
+    }
+
+    // pick a branching variable: first unset appearing in an unsatisfied
+    // clause
+    let mut branch: Option<usize> = None;
+    let mut all_satisfied = true;
+    for c in clauses {
+        let satisfied = c.iter().any(|&l| {
+            let v = l.unsigned_abs() as usize - 1;
+            assign[v] != 0 && (assign[v] == 1) == (l > 0)
+        });
+        if !satisfied {
+            all_satisfied = false;
+            for &l in c {
+                let v = l.unsigned_abs() as usize - 1;
+                if assign[v] == 0 {
+                    branch = Some(v);
+                    break;
+                }
+            }
+            if branch.is_some() {
+                break;
+            }
+        }
+    }
+    if all_satisfied {
+        // set remaining freely
+        for a in assign.iter_mut() {
+            if *a == 0 {
+                *a = 1;
+            }
+        }
+        return true;
+    }
+    let v = match branch {
+        Some(v) => v,
+        None => return false, // unsatisfied clause with no unset literal
+    };
+    for &val in &[1i8, -1] {
+        let snapshot = assign.clone();
+        assign[v] = val;
+        if solve(clauses, assign) {
+            return true;
+        }
+        *assign = snapshot;
+    }
+    false
+}
+
+/// Brute-force satisfiability (≤ 20 variables) — the testing oracle.
+pub fn brute_force_sat(cnf: &Cnf) -> Option<Vec<bool>> {
+    assert!(cnf.n_vars <= 20, "brute force limited to 20 variables");
+    for mask in 0u64..(1u64 << cnf.n_vars) {
+        let assignment: Vec<bool> =
+            (0..cnf.n_vars).map(|v| mask >> v & 1 == 1).collect();
+        if cnf.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_cases() {
+        let sat = Cnf::new(2, vec![vec![1, 2], vec![-1, 2]]);
+        let a = dpll(&sat).unwrap();
+        assert!(sat.eval(&a));
+        let unsat = Cnf::new(1, vec![vec![1], vec![-1]]);
+        assert!(dpll(&unsat).is_none());
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // x1, x1→x2, x2→x3 as clauses: (x1)(¬x1∨x2)(¬x2∨x3)
+        let cnf = Cnf::new(3, vec![vec![1], vec![-1, 2], vec![-2, 3]]);
+        let a = dpll(&cnf).unwrap();
+        assert_eq!(a, vec![true, true, true]);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // two pigeons, one hole: p1 ∧ p2 ∧ ¬(p1∧p2) encoded
+        let cnf = Cnf::new(2, vec![vec![1], vec![2], vec![-1, -2]]);
+        assert!(dpll(&cnf).is_none());
+    }
+
+    #[test]
+    fn dpll_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..40 {
+            let n = 8;
+            let m = 20 + trial % 20;
+            let cnf = Cnf::random_ksat(n, m, 3, &mut rng);
+            let bf = brute_force_sat(&cnf).is_some();
+            let dp = dpll(&cnf);
+            assert_eq!(dp.is_some(), bf, "trial={trial}");
+            if let Some(a) = dp {
+                assert!(cnf.eval(&a), "trial={trial}: returned non-model");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let cnf = Cnf::new(3, vec![]);
+        let a = dpll(&cnf).unwrap();
+        assert!(cnf.eval(&a));
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let cnf = Cnf::new(2, vec![vec![]]);
+        assert!(dpll(&cnf).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad literal")]
+    fn literal_range_checked() {
+        let _ = Cnf::new(2, vec![vec![3]]);
+    }
+}

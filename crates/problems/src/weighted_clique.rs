@@ -1,0 +1,270 @@
+//! Edge-weighted cliques: Min-Weight-k-Clique and Zero-k-Clique
+//! (Hypotheses 7 and 8, §4.1.2).
+//!
+//! Both problems are conjectured to need ~n^k time; the backtracking
+//! searches here are the baselines the clique-embedding lower bounds
+//! (§4.2, Example 4.3) are calibrated against, and the ground truth the
+//! tropical-semiring aggregation engine is tested against.
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An edge-weighted undirected graph (weights on existing edges only).
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    graph: Graph,
+    /// weight matrix, `i64::MAX` marking absent edges
+    w: Vec<i64>,
+    n: usize,
+}
+
+impl WeightedGraph {
+    /// Build from weighted edges.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32, i64)>) -> Self {
+        let mut plain = Vec::new();
+        let mut w = vec![i64::MAX; n * n];
+        for (a, b, weight) in edges {
+            plain.push((a, b));
+            w[a as usize * n + b as usize] = weight;
+            w[b as usize * n + a as usize] = weight;
+        }
+        WeightedGraph { graph: Graph::from_edges(n, plain), w, n }
+    }
+
+    /// Complete graph with uniform random weights in `±bound` — the
+    /// canonical hard distribution for weighted clique problems.
+    pub fn random_complete(n: usize, bound: i64, rng: &mut StdRng) -> Self {
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                edges.push((a, b, rng.gen_range(-bound..=bound)));
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Plant a zero-weight triangle on vertices (0, 1, 2): re-weights the
+    /// edge (0,1) so the triangle sums to zero.
+    pub fn plant_zero_triangle(&mut self) {
+        assert!(self.n >= 3);
+        let w12 = self.weight(1, 2).expect("edge (1,2) missing");
+        let w02 = self.weight(0, 2).expect("edge (0,2) missing");
+        let new01 = -(w12 + w02);
+        self.w[self.n] = new01; // (0,1)
+        self.w[1] = new01; // (1,0)
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Weight of edge (a, b), if present.
+    pub fn weight(&self, a: usize, b: usize) -> Option<i64> {
+        let w = self.w[a * self.n + b];
+        (w != i64::MAX).then_some(w)
+    }
+
+    /// Total weight of the clique `vs` (None if some edge is missing).
+    pub fn clique_weight(&self, vs: &[u32]) -> Option<i64> {
+        let mut total = 0i64;
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                total += self.weight(vs[i] as usize, vs[j] as usize)?;
+            }
+        }
+        Some(total)
+    }
+}
+
+/// Minimum-weight k-clique by backtracking (weight = sum of the C(k,2)
+/// edge weights). Returns `(weight, clique)`.
+pub fn min_weight_k_clique(g: &WeightedGraph, k: usize) -> Option<(i64, Vec<u32>)> {
+    assert!(k >= 2);
+    let mut best: Option<(i64, Vec<u32>)> = None;
+    let mut cur: Vec<u32> = Vec::with_capacity(k);
+    fn rec(
+        g: &WeightedGraph,
+        k: usize,
+        from: usize,
+        cur: &mut Vec<u32>,
+        acc: i64,
+        best: &mut Option<(i64, Vec<u32>)>,
+    ) {
+        if cur.len() == k {
+            if best.as_ref().is_none_or(|(bw, _)| acc < *bw) {
+                *best = Some((acc, cur.clone()));
+            }
+            return;
+        }
+        for v in from..g.n() {
+            if g.n() - v < k - cur.len() {
+                break;
+            }
+            let mut add = 0i64;
+            let mut ok = true;
+            for &u in cur.iter() {
+                match g.weight(u as usize, v) {
+                    Some(w) => add += w,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                cur.push(v as u32);
+                rec(g, k, v + 1, cur, acc + add, best);
+                cur.pop();
+            }
+        }
+    }
+    rec(g, k, 0, &mut cur, 0, &mut best);
+    best
+}
+
+/// Zero-weight k-clique by backtracking. Returns a witness clique.
+pub fn zero_k_clique(g: &WeightedGraph, k: usize) -> Option<Vec<u32>> {
+    assert!(k >= 2);
+    let mut cur: Vec<u32> = Vec::with_capacity(k);
+    fn rec(g: &WeightedGraph, k: usize, from: usize, cur: &mut Vec<u32>, acc: i64) -> bool {
+        if cur.len() == k {
+            return acc == 0;
+        }
+        for v in from..g.n() {
+            if g.n() - v < k - cur.len() {
+                break;
+            }
+            let mut add = 0i64;
+            let mut ok = true;
+            for &u in cur.iter() {
+                match g.weight(u as usize, v) {
+                    Some(w) => add += w,
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                cur.push(v as u32);
+                if rec(g, k, v + 1, cur, acc + add) {
+                    return true;
+                }
+                cur.pop();
+            }
+        }
+        false
+    }
+    if rec(g, k, 0, &mut cur, 0) {
+        Some(cur)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_symmetric() {
+        let g = WeightedGraph::from_edges(3, vec![(0, 1, 5), (1, 2, -2)]);
+        assert_eq!(g.weight(0, 1), Some(5));
+        assert_eq!(g.weight(1, 0), Some(5));
+        assert_eq!(g.weight(0, 2), None);
+    }
+
+    #[test]
+    fn min_weight_triangle_exact() {
+        // triangle (0,1,2) weight 5-2+1=4; triangle (0,1,3) weight 5+7+3=15
+        let g = WeightedGraph::from_edges(
+            4,
+            vec![
+                (0, 1, 5),
+                (1, 2, -2),
+                (0, 2, 1),
+                (1, 3, 7),
+                (0, 3, 3),
+            ],
+        );
+        let (w, c) = min_weight_k_clique(&g, 3).unwrap();
+        assert_eq!(w, 4);
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn min_weight_matches_enumeration() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = WeightedGraph::random_complete(10, 100, &mut rng);
+        for k in [3usize, 4, 5] {
+            let (w, c) = min_weight_k_clique(&g, k).unwrap();
+            assert_eq!(g.clique_weight(&c), Some(w));
+            // brute force
+            let mut best = i64::MAX;
+            let n = g.n() as u32;
+            let mut stack = vec![(Vec::<u32>::new(), 0u32)];
+            while let Some((cur, from)) = stack.pop() {
+                if cur.len() == k {
+                    best = best.min(g.clique_weight(&cur).unwrap());
+                    continue;
+                }
+                for v in from..n {
+                    let mut next = cur.clone();
+                    next.push(v);
+                    stack.push((next, v + 1));
+                }
+            }
+            assert_eq!(w, best, "k={k}");
+        }
+    }
+
+    #[test]
+    fn planted_zero_triangle_found() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let mut g = WeightedGraph::random_complete(12, 1_000_000, &mut rng);
+            assert!(
+                zero_k_clique(&g, 3).is_none(),
+                "huge random weights should have no zero triangle"
+            );
+            g.plant_zero_triangle();
+            let c = zero_k_clique(&g, 3).unwrap();
+            assert_eq!(g.clique_weight(&c), Some(0));
+        }
+    }
+
+    #[test]
+    fn zero_4clique_detection() {
+        // K4 with all zero weights: any 4-clique sums to 0
+        let mut edges = vec![];
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                edges.push((a, b, 0i64));
+            }
+        }
+        let g = WeightedGraph::from_edges(4, edges);
+        assert_eq!(zero_k_clique(&g, 4), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn missing_edges_block_cliques() {
+        let g = WeightedGraph::from_edges(3, vec![(0, 1, 0), (1, 2, 0)]);
+        assert!(min_weight_k_clique(&g, 3).is_none());
+        assert!(zero_k_clique(&g, 3).is_none());
+    }
+
+    #[test]
+    fn clique_weight_none_for_nonclique() {
+        let g = WeightedGraph::from_edges(3, vec![(0, 1, 1)]);
+        assert_eq!(g.clique_weight(&[0, 1]), Some(1));
+        assert_eq!(g.clique_weight(&[0, 1, 2]), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! Theorem 4.1 (Nešetřil–Poljak): k-clique reduces to triangle finding
+//! on the derived graph of ⌈k/3⌉-ish cliques — the reason k-Clique (for
+//! plain graphs) is *not* a good basis for tight query lower bounds, and
+//! the motivation for the hyperclique/weighted variants (§4.1.2).
+//!
+//! The algorithm itself lives in `cq_problems::clique::find_k_clique_np`;
+//! this module adds the size accounting the theorem's runtime analysis
+//! rests on.
+
+use cq_problems::clique::{enumerate_cliques, np_split};
+use cq_problems::Graph;
+
+/// Size report for the derived "clique graph" of the reduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DerivedSize {
+    /// Split of k into three near-equal parts.
+    pub parts: (usize, usize, usize),
+    /// Number of derived vertices (Σ #rᵢ-cliques) — the `O(n^{k/3})` of
+    /// the proof.
+    pub n_vertices: usize,
+}
+
+/// Compute the derived-graph size for `(g, k)` without running the full
+/// reduction.
+pub fn derived_size(g: &Graph, k: usize) -> DerivedSize {
+    let parts = np_split(k);
+    let (r1, r2, r3) = parts;
+    let c1 = enumerate_cliques(g, r1).len();
+    let c2 = if r2 == r1 { c1 } else { enumerate_cliques(g, r2).len() };
+    let c3 = if r3 == r2 { c2 } else { enumerate_cliques(g, r3).len() };
+    DerivedSize { parts, n_vertices: c1 + c2 + c3 }
+}
+
+/// Re-export: k-clique via triangles on the derived graph.
+pub use cq_problems::clique::find_k_clique_np as kclique_via_triangle;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::generate::seeded_rng;
+    use cq_problems::clique::{find_k_clique_backtracking, is_clique};
+
+    #[test]
+    fn end_to_end_agreement() {
+        let mut rng = seeded_rng(1);
+        for trial in 0..8 {
+            let g = Graph::random_gnp(15, 0.45, &mut rng);
+            for k in [4usize, 5, 6] {
+                let via_triangle = kclique_via_triangle(&g, k);
+                let reference = find_k_clique_backtracking(&g, k);
+                assert_eq!(
+                    via_triangle.is_some(),
+                    reference.is_some(),
+                    "trial={trial} k={k}"
+                );
+                if let Some(c) = via_triangle {
+                    assert!(is_clique(&g, &c, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derived_vertices_bounded_by_binomial() {
+        let mut rng = seeded_rng(2);
+        let g = Graph::random_gnp(12, 0.5, &mut rng);
+        let ds = derived_size(&g, 6);
+        assert_eq!(ds.parts, (2, 2, 2));
+        // at most 3 · C(12, 2) derived vertices
+        assert!(ds.n_vertices <= 3 * 66);
+    }
+
+    #[test]
+    fn split_consistency() {
+        for k in 3..=9 {
+            let (a, b, c) = np_split(k);
+            assert_eq!(a + b + c, k);
+            assert!(a >= b && b >= c && c >= 1);
+            assert!(a - c <= 1);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Theorem 3.10 (Pătraşcu–Williams): CNF-SAT reduces to k-Dominating-Set
+//! with n_G ≈ k·2^{n/k} vertices — so an O(n_G^{k−ε}) k-DS algorithm
+//! would give an O(2^{n(1−ε′)}) SAT algorithm, refuting SETH.
+//!
+//! Construction: split the variables into `k` groups. For each group, a
+//! *cloud* of 2^{|group|} vertices (one per partial assignment), made a
+//! clique, plus a pendant *guard* adjacent to exactly its cloud. One
+//! vertex per clause, adjacent to the partial assignments that satisfy
+//! it. The guards' closed neighborhoods are disjoint, forcing any size-k
+//! dominating set to pick one vertex per cloud (or its guard); those
+//! picks dominate every clause iff the union of the partial assignments
+//! satisfies the formula.
+
+use cq_problems::sat::Cnf;
+use cq_problems::Graph;
+
+/// The reduction output: the graph, the DS size bound (= k), and the
+/// vertex layout for diagnostics.
+pub struct KdsInstance {
+    pub graph: Graph,
+    /// dominating-set size to test (the k of k-DS).
+    pub k: usize,
+    /// number of assignment vertices (Σ 2^{group size}).
+    pub n_assignment_vertices: usize,
+}
+
+/// Build the Theorem 3.10 instance.
+///
+/// # Panics
+/// If `k < 1` or any group would exceed 20 variables (2^20 cloud cap).
+pub fn build(cnf: &Cnf, k: usize) -> KdsInstance {
+    assert!(k >= 1);
+    let n = cnf.n_vars;
+    // split variables 1..=n into k groups round-robin by contiguous blocks
+    let base = n / k;
+    let extra = n % k;
+    let mut groups: Vec<Vec<usize>> = Vec::with_capacity(k);
+    let mut next = 1usize;
+    for i in 0..k {
+        let size = base + usize::from(i < extra);
+        groups.push((next..next + size).collect());
+        next += size;
+    }
+    for g in &groups {
+        assert!(g.len() <= 20, "group too large for the cloud construction");
+    }
+
+    // vertex layout: clouds first, then guards, then clauses
+    let cloud_sizes: Vec<usize> = groups.iter().map(|g| 1usize << g.len()).collect();
+    let mut cloud_offset = vec![0usize; k];
+    let mut acc = 0usize;
+    for i in 0..k {
+        cloud_offset[i] = acc;
+        acc += cloud_sizes[i];
+    }
+    let n_assign = acc;
+    let guard_offset = n_assign;
+    let clause_offset = guard_offset + k;
+    let n_vertices = clause_offset + cnf.clauses.len();
+
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // cloud cliques + guards
+    for i in 0..k {
+        let off = cloud_offset[i];
+        let size = cloud_sizes[i];
+        for a in 0..size {
+            for b in (a + 1)..size {
+                edges.push(((off + a) as u32, (off + b) as u32));
+            }
+            edges.push(((off + a) as u32, (guard_offset + i) as u32));
+        }
+    }
+    // clause adjacency: assignment (i, mask) satisfies clause c if some
+    // literal of c is over a variable of group i and made true by mask
+    for (ci, clause) in cnf.clauses.iter().enumerate() {
+        let cv = (clause_offset + ci) as u32;
+        for (i, group) in groups.iter().enumerate() {
+            let off = cloud_offset[i];
+            for mask in 0..cloud_sizes[i] {
+                let satisfies = clause.iter().any(|&lit| {
+                    let var = lit.unsigned_abs() as usize;
+                    match group.iter().position(|&v| v == var) {
+                        Some(pos) => {
+                            let val = mask >> pos & 1 == 1;
+                            (lit > 0) == val
+                        }
+                        None => false,
+                    }
+                });
+                if satisfies {
+                    edges.push(((off + mask) as u32, cv));
+                }
+            }
+        }
+    }
+    KdsInstance {
+        graph: Graph::from_edges(n_vertices, edges),
+        k,
+        n_assignment_vertices: n_assign,
+    }
+}
+
+/// End-to-end: decide satisfiability through k-Dominating-Set.
+pub fn sat_via_kds(cnf: &Cnf, k: usize) -> bool {
+    let inst = build(cnf, k);
+    cq_problems::dominating_set::find_dominating_set(&inst.graph, inst.k).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::generate::seeded_rng;
+    use cq_problems::sat::{dpll, Cnf};
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        let sat = Cnf::new(2, vec![vec![1, 2], vec![-1, 2]]);
+        let unsat = Cnf::new(1, vec![vec![1], vec![-1]]);
+        for k in [1usize, 2] {
+            assert!(sat_via_kds(&sat, k), "k={k}");
+            assert!(!sat_via_kds(&unsat, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn agreement_with_dpll_random() {
+        let mut rng = seeded_rng(1);
+        for trial in 0..15 {
+            let n = 6;
+            let m = 8 + trial; // denser → more unsat cases
+            let cnf = Cnf::random_ksat(n, m, 3, &mut rng);
+            let expected = dpll(&cnf).is_some();
+            for k in [2usize, 3] {
+                assert_eq!(sat_via_kds(&cnf, k), expected, "trial={trial} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let cnf = Cnf::new(4, vec![]);
+        assert!(sat_via_kds(&cnf, 2));
+    }
+
+    #[test]
+    fn vertex_count_accounting() {
+        // n_G = Σ 2^{n/k} + k + #clauses
+        let cnf = Cnf::new(6, vec![vec![1, -2, 3], vec![4, 5, -6]]);
+        let inst = build(&cnf, 2);
+        assert_eq!(inst.n_assignment_vertices, 8 + 8);
+        assert_eq!(inst.graph.n(), 16 + 2 + 2);
+    }
+
+    #[test]
+    fn uneven_groups() {
+        // 5 variables into 2 groups: 3 + 2
+        let cnf = Cnf::new(5, vec![vec![1, 5], vec![-3, 4]]);
+        let inst = build(&cnf, 2);
+        assert_eq!(inst.n_assignment_vertices, 8 + 4);
+        assert_eq!(sat_via_kds(&cnf, 2), dpll(&cnf).is_some());
+    }
+
+    #[test]
+    fn k_larger_than_needed_still_correct() {
+        let mut rng = seeded_rng(2);
+        let cnf = Cnf::random_ksat(4, 10, 2, &mut rng);
+        let expected = dpll(&cnf).is_some();
+        assert_eq!(sat_via_kds(&cnf, 4), expected);
+    }
+}

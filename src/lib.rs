@@ -1,0 +1,72 @@
+//! # cq-lower-bounds
+//!
+//! A from-scratch Rust reproduction of
+//!
+//! > Stefan Mengel, **“Lower Bounds for Conjunctive Query Evaluation”**,
+//! > PODS 2025 (arXiv:2506.17702),
+//!
+//! as a usable library: the structure theory and fine-grained
+//! classification of conjunctive queries ([`core`]), the evaluation
+//! algorithms achieving every upper bound in the paper ([`engine`]), the
+//! problem zoo behind every hypothesis ([`problems`]), the matrix
+//! multiplication substrate ([`matrix`]), and every lower-bound
+//! reduction as executable, testable code ([`reductions`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cq_lower_bounds::prelude::*;
+//!
+//! // parse a conjunctive query
+//! let q = parse_query("q(x, z) :- R(x, y), S(y, z)").unwrap();
+//!
+//! // classify it: which tasks are linear-time, which are conditionally hard?
+//! let profile = classify(&q);
+//! assert!(profile.acyclic && !profile.free_connex);
+//! assert!(profile.decision.is_easy());   // Yannakakis, Thm 3.1
+//! assert!(profile.counting.is_hard());   // SETH, Thm 3.12
+//!
+//! // evaluate on data
+//! let mut db = Database::new();
+//! db.insert("R", Relation::from_pairs(vec![(1, 10), (2, 10)]));
+//! db.insert("S", Relation::from_pairs(vec![(10, 7)]));
+//! let (n, _) = cq_engine::count_answers(&q, &db).unwrap();
+//! assert_eq!(n, 2); // (1,7) and (2,7)
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction map.
+
+pub use cq_core as core;
+pub use cq_data as data;
+pub use cq_engine as engine;
+pub use cq_matrix as matrix;
+pub use cq_problems as problems;
+pub use cq_reductions as reductions;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use cq_core::classify::{classify, classify_direct_access_lex, classify_direct_access_sum, Profile, Verdict};
+    pub use cq_core::query::zoo;
+    pub use cq_core::{parse_query, ConjunctiveQuery, Hypothesis, QueryBuilder, Var};
+    pub use cq_data::{Database, Relation, Val};
+    pub use cq_engine::direct_access::{DirectAccess, LexDirectAccess, MaterializedDirectAccess};
+    pub use cq_engine::{count_answers, CountAlgorithm, Enumerator, EvalError, SumOrderAccess};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let q = parse_query("q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let profile = classify(&q);
+        assert!(profile.acyclic && !profile.free_connex);
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 10), (2, 10)]));
+        db.insert("S", Relation::from_pairs(vec![(10, 7)]));
+        let (n, _) = count_answers(&q, &db).unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration tests: every algorithm in the engine must agree with
+//! every other algorithm (and the brute-force oracle) on a shared suite
+//! of queries and random databases.
+
+use cq_lower_bounds::prelude::*;
+use cq_engine::bind::{brute_force_answers, brute_force_count, brute_force_decide};
+use cq_engine::{generic_join, yannakakis};
+
+/// The query suite: one representative per dichotomy class.
+fn suite() -> Vec<ConjunctiveQuery> {
+    vec![
+        zoo::path_join(2),
+        zoo::path_join(3),
+        zoo::path_boolean(4),
+        zoo::star_full(2),
+        zoo::star_full(3),
+        zoo::star_selfjoin(2),
+        zoo::star_selfjoin_free(2),
+        zoo::star_selfjoin_free(3),
+        zoo::matmul_projection(),
+        zoo::triangle_boolean(),
+        zoo::triangle_join(),
+        zoo::cycle_join(4),
+        parse_query("q(x0, x1) :- R1(x0, x1), R2(x1, x2)").unwrap(),
+        parse_query("q(a) :- R1(a, b), R2(b, c), R3(c, d)").unwrap(),
+        parse_query("q(a, c) :- R1(a, b), R2(b, c), R3(c, d)").unwrap(),
+    ]
+}
+
+/// A database covering every relation name the suite uses, with small
+/// domains so joins are non-trivial.
+fn random_db(seed: u64, m: usize) -> Database {
+    let mut rng = cq_data::generate::seeded_rng(seed);
+    let mut db = Database::new();
+    for name in ["R", "R1", "R2", "R3", "R4"] {
+        db.insert(name, cq_data::generate::random_pairs(m, 12, &mut rng));
+    }
+    db
+}
+
+#[test]
+fn decision_all_algorithms_agree() {
+    for seed in 0..5u64 {
+        let db = random_db(seed, 40);
+        for q in suite() {
+            let expected = brute_force_decide(&q, &db).unwrap();
+            let (got, _) = cq_engine::eval::decide(&q, &db).unwrap();
+            assert_eq!(got, expected, "eval::decide on {q} (seed {seed})");
+            assert_eq!(
+                generic_join::decide(&q, &db).unwrap(),
+                expected,
+                "generic_join::decide on {q} (seed {seed})"
+            );
+            if q.hypergraph().is_acyclic() {
+                assert_eq!(
+                    yannakakis::decide_acyclic(&q, &db).unwrap(),
+                    expected,
+                    "yannakakis on {q} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn counting_all_algorithms_agree() {
+    for seed in 0..5u64 {
+        let db = random_db(seed, 35);
+        for q in suite() {
+            let expected = brute_force_count(&q, &db).unwrap();
+            let (got, _) = count_answers(&q, &db).unwrap();
+            assert_eq!(got, expected, "count_answers on {q} (seed {seed})");
+            assert_eq!(
+                generic_join::count_distinct(&q, &db).unwrap(),
+                expected,
+                "count_distinct on {q} (seed {seed})"
+            );
+            if cq_core::free_connex::is_free_connex(&q) {
+                assert_eq!(
+                    cq_engine::count::count_free_connex(&q, &db).unwrap(),
+                    expected,
+                    "count_free_connex on {q} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn answers_and_enumeration_agree() {
+    for seed in 0..4u64 {
+        let db = random_db(seed, 30);
+        for q in suite() {
+            let expected = brute_force_answers(&q, &db).unwrap();
+            let (got, _) = cq_engine::eval::answers(&q, &db).unwrap();
+            assert_eq!(got, expected, "answers on {q} (seed {seed})");
+            if cq_core::free_connex::is_free_connex(&q) {
+                let mut e = Enumerator::preprocess(&q, &db).unwrap();
+                assert_eq!(e.to_relation(), expected, "enumerate on {q} (seed {seed})");
+            }
+        }
+    }
+}
+
+#[test]
+fn direct_access_agrees_on_all_trio_free_orders() {
+    // exhaustively: for small join queries, every trio-free order the
+    // builder accepts must agree with materialize+sort.
+    let queries = vec![zoo::path_join(2), zoo::star_full(2), zoo::path_join(3)];
+    for seed in 0..3u64 {
+        let db = random_db(seed, 25);
+        for q in &queries {
+            for order in cq_core::disruptive_trio::trio_free_orders(q) {
+                match LexDirectAccess::build(q, &db, &order) {
+                    Ok(lex) => {
+                        let mat = MaterializedDirectAccess::build(q, &db, &order).unwrap();
+                        assert_eq!(lex.len(), mat.len(), "{q} order {order:?}");
+                        for i in 0..lex.len() {
+                            assert_eq!(
+                                lex.access(i),
+                                mat.access(i),
+                                "{q} order {order:?} index {i}"
+                            );
+                        }
+                    }
+                    Err(EvalError::Unsupported(_)) => {
+                        // The builder's sufficient condition is allowed to
+                        // be incomplete; correctness is what we verify.
+                    }
+                    Err(other) => panic!("unexpected error on {q}: {other}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_covers_all_trio_free_orders_of_paper_examples() {
+    // On the paper's example families the builder should succeed on
+    // *every* trio-free order (and fail on every disrupted one).
+    let db = random_db(99, 25);
+    for q in [zoo::star_full(2), zoo::star_full(3), zoo::path_join(2), zoo::path_join(3)] {
+        let mut n_free = 0;
+        let mut n_built = 0;
+        let all_orders = {
+            // enumerate all permutations
+            fn perms(vs: &[Var]) -> Vec<Vec<Var>> {
+                if vs.len() <= 1 {
+                    return vec![vs.to_vec()];
+                }
+                let mut out = Vec::new();
+                for i in 0..vs.len() {
+                    let mut rest = vs.to_vec();
+                    let v = rest.remove(i);
+                    for mut p in perms(&rest) {
+                        p.insert(0, v);
+                        out.push(p);
+                    }
+                }
+                out
+            }
+            perms(&q.vars().collect::<Vec<_>>())
+        };
+        for order in all_orders {
+            let trio_free =
+                cq_core::disruptive_trio::find_disruptive_trio(&q, &order).is_none();
+            let built = LexDirectAccess::build(&q, &db, &order).is_ok();
+            if trio_free {
+                n_free += 1;
+            }
+            if built {
+                n_built += 1;
+            }
+            assert_eq!(
+                built, trio_free,
+                "{q}: order {:?} trio_free={trio_free} but built={built}",
+                order.iter().map(|&v| q.var_name(v)).collect::<Vec<_>>()
+            );
+        }
+        assert!(n_free > 0 && n_built == n_free, "{q}");
+    }
+}
+
+#[test]
+fn counting_via_semiring_crosscheck() {
+    use cq_engine::aggregate::{aggregate_acyclic_join, CountingSemiring, WeightFn};
+    for seed in 0..3u64 {
+        let db = random_db(seed, 30);
+        for q in [zoo::path_join(3), zoo::star_full(3)] {
+            let ones: WeightFn<u64> = &|_, _| 1u64;
+            assert_eq!(
+                aggregate_acyclic_join(&q, &db, ones, &CountingSemiring).unwrap(),
+                brute_force_count(&q, &db).unwrap(),
+                "{q} seed {seed}"
+            );
+        }
+    }
+}

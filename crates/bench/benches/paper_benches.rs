@@ -5,13 +5,13 @@
 //! statistically robust single-size timings for regression tracking of
 //! every algorithm the paper credits.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::query::zoo;
 use cq_core::Var;
 use cq_data::generate as gen;
 use cq_data::{Database, Relation, Val};
 use cq_engine::direct_access::DirectAccess;
 use cq_problems::Graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 
 /// E1 — Yannakakis Boolean decision (Thm 3.1).
@@ -114,15 +114,22 @@ fn bench_e06_count(c: &mut Criterion) {
     g.bench_function("acyclic_join_dp", |b| {
         b.iter(|| cq_engine::count::count_acyclic_join(&join, &db).unwrap())
     });
-    let fc = cq_core::parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap();
+    let fc =
+        cq_core::parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap();
     g.bench_function("free_connex", |b| {
         b.iter(|| cq_engine::count::count_free_connex(&fc, &db).unwrap())
     });
     let qmm = zoo::matmul_projection();
     let mut rng = gen::seeded_rng(5);
     let mut db2 = Database::new();
-    db2.insert("R1", Relation::from_pairs((0..2_000).map(|i| (i as Val, rng.gen_range(0..4u64)))));
-    db2.insert("R2", Relation::from_pairs((0..2_000).map(|i| (rng.gen_range(0..4u64), i as Val))));
+    db2.insert(
+        "R1",
+        Relation::from_pairs((0..2_000).map(|i| (i as Val, rng.gen_range(0..4u64)))),
+    );
+    db2.insert(
+        "R2",
+        Relation::from_pairs((0..2_000).map(|i| (rng.gen_range(0..4u64), i as Val))),
+    );
     g.bench_function("materialization_qmm", |b| {
         b.iter(|| cq_engine::generic_join::count_distinct(&qmm, &db2).unwrap())
     });
@@ -190,7 +197,8 @@ fn bench_e10_sum_order(c: &mut Criterion) {
     g.bench_function("covering_atom_build", |b| {
         b.iter(|| cq_engine::SumOrderAccess::build_covering_atom(&q, &db, &wf).unwrap())
     });
-    let inst = cq_problems::three_sum::ThreeSumInstance::random(400, 1_000_000, false, &mut rng);
+    let inst =
+        cq_problems::three_sum::ThreeSumInstance::random(400, 1_000_000, false, &mut rng);
     g.bench_function("three_sum_two_pointer", |b| {
         b.iter(|| cq_problems::three_sum::three_sum_sorted(&inst))
     });

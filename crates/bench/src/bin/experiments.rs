@@ -18,7 +18,10 @@ fn main() {
         selected
     };
 
-    println!("# Experiment results ({})\n", if quick { "quick sizes" } else { "full sizes" });
+    println!(
+        "# Experiment results ({})\n",
+        if quick { "quick sizes" } else { "full sizes" }
+    );
     for id in ids {
         match cq_bench::run_experiment(&id, quick) {
             Some(table) => {

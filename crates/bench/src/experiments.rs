@@ -17,7 +17,10 @@ use cq_problems::Graph;
 use rand::Rng;
 
 /// All experiments, in order.
-pub static ALL: &[(&str, fn(bool) -> Table)] = &[
+/// An experiment: its id and the function running it (`quick` shrinks sizes).
+pub type Experiment = (&'static str, fn(bool) -> Table);
+
+pub static ALL: &[Experiment] = &[
     ("e1", e01_yannakakis),
     ("e2", e02_triangle),
     ("e3", e03_cyclic_embedding),
@@ -36,7 +39,11 @@ pub static ALL: &[(&str, fn(bool) -> Table)] = &[
 ];
 
 fn sweep(quick: bool, full: &[usize], small: &[usize]) -> Vec<usize> {
-    if quick { small.to_vec() } else { full.to_vec() }
+    if quick {
+        small.to_vec()
+    } else {
+        full.to_vec()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -50,15 +57,22 @@ pub fn e01_yannakakis(quick: bool) -> Table {
         "runtime exponent ≈ 1.0 in m for acyclic Boolean queries",
     );
     t.columns(&["query", "m", "time", "answer"]);
-    let sizes = sweep(quick, &[100_000, 200_000, 400_000, 800_000], &[20_000, 40_000, 80_000]);
+    let sizes =
+        sweep(quick, &[100_000, 200_000, 400_000, 800_000], &[20_000, 40_000, 80_000]);
     for (name, k) in [("path-3", 3usize), ("path-5", 5)] {
         let q = zoo::path_boolean(k);
         let mut pts = Vec::new();
         for &m in &sizes {
             let db = gen::path_database(k, m / k, &mut gen::seeded_rng(m as u64));
-            let (dt, res) = time_secs(|| cq_engine::yannakakis::decide_acyclic(&q, &db).unwrap());
+            let (dt, res) =
+                time_secs(|| cq_engine::yannakakis::decide_acyclic(&q, &db).unwrap());
             pts.push((db.size() as f64, dt.max(1e-9)));
-            t.row(vec![name.into(), db.size().to_string(), fmt_secs(dt), res.to_string()]);
+            t.row(vec![
+                name.into(),
+                db.size().to_string(),
+                fmt_secs(dt),
+                res.to_string(),
+            ]);
         }
         t.finding(format!("{name}: fitted exponent {}", fmt_exp(fit_exponent(&pts))));
     }
@@ -82,7 +96,8 @@ pub fn e02_triangle(quick: bool) -> Table {
     })
     .unwrap_or(3.0);
     t.columns(&["m", "Δ (calibrated)", "edge-iterator", "AYZ", "dense BMM"]);
-    let sizes = sweep(quick, &[20_000, 40_000, 80_000, 160_000], &[5_000, 10_000, 20_000]);
+    let sizes =
+        sweep(quick, &[20_000, 40_000, 80_000, 160_000], &[5_000, 10_000, 20_000]);
     let (mut p_edge, mut p_ayz, mut p_bmm) = (Vec::new(), Vec::new(), Vec::new());
     for &m in &sizes {
         // triangle-free bipartite worst case: the detector must do all
@@ -92,7 +107,8 @@ pub fn e02_triangle(quick: bool) -> Table {
         let delta = ayz_delta(m, omega_eff);
         let (t_edge, r1) =
             time_secs(|| cq_problems::triangle::find_triangle_edge_iterator(&g));
-        let (t_ayz, r2) = time_secs(|| cq_problems::triangle::find_triangle_ayz(&g, delta));
+        let (t_ayz, r2) =
+            time_secs(|| cq_problems::triangle::find_triangle_ayz(&g, delta));
         let (t_bmm, r3) = time_secs(|| cq_problems::triangle::find_triangle_bmm(&g));
         assert!(r1.is_none() && r2.is_none() && r3.is_none());
         p_edge.push((m as f64, t_edge.max(1e-9)));
@@ -241,11 +257,18 @@ pub fn e05_star_counting(quick: bool) -> Table {
             let db = gen::star_database(k, m, 1, &mut gen::seeded_rng(m as u64));
             // warmup run: the first execution after a large drop pays
             // allocator/page-reclaim costs that would pollute the fit
-            std::hint::black_box(cq_engine::generic_join::count_distinct(&q, &db).unwrap());
+            std::hint::black_box(
+                cq_engine::generic_join::count_distinct(&q, &db).unwrap(),
+            );
             let (dt, count) =
                 time_secs(|| cq_engine::generic_join::count_distinct(&q, &db).unwrap());
             pts.push((db.size() as f64, dt.max(1e-9)));
-            t.row(vec![k.to_string(), db.size().to_string(), count.to_string(), fmt_secs(dt)]);
+            t.row(vec![
+                k.to_string(),
+                db.size().to_string(),
+                count.to_string(),
+                fmt_secs(dt),
+            ]);
         }
         t.finding(format!(
             "k={k}: fitted exponent {} (conditional floor: k = {k})",
@@ -262,7 +285,9 @@ pub fn e05_star_counting(quick: bool) -> Table {
         let (got, _, _) = cq_reductions::kds_to_star::kds_via_star_counting(&g, 2, 2);
         ok += usize::from(got == expected);
     }
-    t.finding(format!("k′-DS → star-counting reduction correct on {ok}/{trials} random graphs"));
+    t.finding(format!(
+        "k′-DS → star-counting reduction correct on {ok}/{trials} random graphs"
+    ));
     t
 }
 
@@ -279,16 +304,18 @@ pub fn e06_counting_dichotomy(quick: bool) -> Table {
     t.columns(&["query", "class", "m", "count", "time"]);
 
     // linear side: join query + free-connex projection
-    let sizes = sweep(quick, &[50_000, 100_000, 200_000, 400_000], &[10_000, 20_000, 40_000]);
+    let sizes =
+        sweep(quick, &[50_000, 100_000, 200_000, 400_000], &[10_000, 20_000, 40_000]);
     let path = zoo::path_join(3);
-    let fc = cq_core::parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap();
+    let fc =
+        cq_core::parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap();
     for (label, q, class) in
         [("path-3 join", &path, "acyclic join"), ("path-3 prefix", &fc, "free-connex")]
     {
         let mut pts = Vec::new();
         for &m in &sizes {
             let db = gen::path_database(3, m / 3, &mut gen::seeded_rng(m as u64));
-            let (dt, c) = time_secs(|| cq_engine::count_answers(q, &db).unwrap().0);
+            let (dt, c) = time_secs(|| cq_planner::eval::count(q, &db).unwrap().0);
             pts.push((db.size() as f64, dt.max(1e-9)));
             t.row(vec![
                 label.into(),
@@ -313,7 +340,7 @@ pub fn e06_counting_dichotomy(quick: bool) -> Table {
         let r2 = Relation::from_pairs((0..m).map(|i| (rng.gen_range(0..4u64), i as Val)));
         db.insert("R1", r1);
         db.insert("R2", r2);
-        let (dt, c) = time_secs(|| cq_engine::count_answers(&qmm, &db).unwrap().0);
+        let (dt, c) = time_secs(|| cq_planner::eval::count(&qmm, &db).unwrap().0);
         pts.push((db.size() as f64, dt.max(1e-9)));
         t.row(vec![
             "q_mm".into(),
@@ -418,11 +445,13 @@ pub fn e08_direct_access(quick: bool) -> Table {
     let x1 = q.var_by_name("x1").unwrap();
     let x2 = q.var_by_name("x2").unwrap();
     let order = vec![z, x1, x2];
-    let sizes = sweep(quick, &[50_000, 100_000, 200_000, 400_000], &[10_000, 20_000, 40_000]);
+    let sizes =
+        sweep(quick, &[50_000, 100_000, 200_000, 400_000], &[10_000, 20_000, 40_000]);
     let mut build_pts = Vec::new();
     for &m in &sizes {
         let db = gen::star_database(2, m, 256, &mut gen::seeded_rng(m as u64));
-        let (t_build, da) = time_secs(|| LexDirectAccess::build(&q, &db, &order).unwrap());
+        let (t_build, da) =
+            time_secs(|| LexDirectAccess::build(&q, &db, &order).unwrap());
         let n = da.len();
         let probes = 1_000u64;
         let mut rng = gen::seeded_rng(m as u64 + 1);
@@ -463,7 +492,9 @@ pub fn e08_direct_access(quick: bool) -> Table {
             cq_reductions::triangle_to_testing::triangle_via_star_testing(&g) == expected,
         );
     }
-    t.finding(format!("triangle → star-testing reduction correct on {ok}/{trials} graphs"));
+    t.finding(format!(
+        "triangle → star-testing reduction correct on {ok}/{trials} graphs"
+    ));
     t
 }
 
@@ -549,7 +580,9 @@ pub fn e10_sum_order(quick: bool) -> Table {
     let mut p_hard = Vec::new();
     for &n in &ns {
         let mut rng = gen::seeded_rng(n as u64);
-        let inst = cq_problems::three_sum::ThreeSumInstance::random(n, 1_000_000, false, &mut rng);
+        let inst = cq_problems::three_sum::ThreeSumInstance::random(
+            n, 1_000_000, false, &mut rng,
+        );
         let red = cq_reductions::three_sum_to_sum_da::build(&inst);
         let wf = |v: Val| red.weights[v as usize];
         let (dt, da) = time_secs(|| {
@@ -572,13 +605,21 @@ pub fn e10_sum_order(quick: bool) -> Table {
     let trials = 10;
     let mut ok = 0;
     for i in 0..trials {
-        let inst = cq_problems::three_sum::ThreeSumInstance::random(20, 40, i % 2 == 0, &mut rng);
+        let inst = cq_problems::three_sum::ThreeSumInstance::random(
+            20,
+            40,
+            i % 2 == 0,
+            &mut rng,
+        );
         let expected = cq_problems::three_sum::three_sum_sorted(&inst).is_some();
         ok += usize::from(
-            cq_reductions::three_sum_to_sum_da::three_sum_via_sum_order_da(&inst) == expected,
+            cq_reductions::three_sum_to_sum_da::three_sum_via_sum_order_da(&inst)
+                == expected,
         );
     }
-    t.finding(format!("3SUM → sum-order DA reduction correct on {ok}/{trials} instances"));
+    t.finding(format!(
+        "3SUM → sum-order DA reduction correct on {ok}/{trials} instances"
+    ));
     t
 }
 
@@ -592,7 +633,14 @@ pub fn e11_kclique(quick: bool) -> Table {
         "Theorem 4.1",
         "the derived graph has O(n^{⌈k/3⌉}) vertices and its triangles are exactly the k-cliques; with fast MM the exponent drops below k (here: word-parallel BMM gives the constant-factor form of that win)",
     );
-    t.columns(&["k", "n", "derived vertices", "backtracking", "via triangle", "k-clique?"]);
+    t.columns(&[
+        "k",
+        "n",
+        "derived vertices",
+        "backtracking",
+        "via triangle",
+        "k-clique?",
+    ]);
     // complete (k−1)-partite graphs: dense and K_k-free — the worst case
     // for detection (answer "no" with maximum density).
     for k in [4usize, 5, 6] {
@@ -648,18 +696,29 @@ pub fn e12_clique_embedding(quick: bool) -> Table {
         "Example 4.2 / Example 4.3 / Figure 1 / Hypothesis 7",
         "database size Θ(n⁴) per relation (weak edge depth 4, power 5/4); aggregation result equals brute-force Min-Weight-5-Clique",
     );
-    t.columns(&["n", r"\|D\|", "build", "aggregate (tropical)", "brute force", "min weight"]);
+    t.columns(&[
+        "n",
+        r"\|D\|",
+        "build",
+        "aggregate (tropical)",
+        "brute force",
+        "min weight",
+    ]);
     let ns = if quick { vec![6usize, 7, 8] } else { vec![7usize, 8, 9, 10] };
     let mut agree = 0;
     for &n in &ns {
         let mut rng = gen::seeded_rng(n as u64);
-        let g = cq_problems::weighted_clique::WeightedGraph::random_complete(n, 100, &mut rng);
+        let g = cq_problems::weighted_clique::WeightedGraph::random_complete(
+            n, 100, &mut rng,
+        );
         let (t_build, inst) =
             time_secs(|| cq_reductions::clique_embedding_db::build(5, &g));
-        let (t_agg, min_via_cycle) =
-            time_secs(|| cq_reductions::clique_embedding_db::min_weight_clique_via_cycle(5, &g));
-        let (t_bf, min_bf) =
-            time_secs(|| cq_problems::weighted_clique::min_weight_k_clique(&g, 5).map(|(w, _)| w));
+        let (t_agg, min_via_cycle) = time_secs(|| {
+            cq_reductions::clique_embedding_db::min_weight_clique_via_cycle(5, &g)
+        });
+        let (t_bf, min_bf) = time_secs(|| {
+            cq_problems::weighted_clique::min_weight_k_clique(&g, 5).map(|(w, _)| w)
+        });
         agree += usize::from(min_via_cycle == min_bf);
         t.row(vec![
             n.to_string(),
@@ -670,7 +729,10 @@ pub fn e12_clique_embedding(quick: bool) -> Table {
             format!("{min_via_cycle:?}"),
         ]);
     }
-    t.finding(format!("cycle-aggregation minimum equals brute force on {agree}/{} sizes", ns.len()));
+    t.finding(format!(
+        "cycle-aggregation minimum equals brute force on {agree}/{} sizes",
+        ns.len()
+    ));
     let (h, emb) = cq_core::embedding::k5_into_c5();
     t.finding(format!(
         "Figure 1 reproduced in code: max weak edge depth {} ⇒ |relation| ≤ n⁴, embedding power {} ⇒ conditional floor m^1.25",
@@ -697,8 +759,13 @@ pub fn e13_star_size(quick: bool) -> Table {
         let s = cq_core::star_size::quantified_star_size(&q);
         assert_eq!(s, k);
         let db = gen::star_database(k, m, 1, &mut gen::seeded_rng(k as u64));
-        let (dt, _) = time_secs(|| cq_engine::count_answers(&q, &db).unwrap().0);
-        t.row(vec![format!("q̄*_{k}"), s.to_string(), db.size().to_string(), fmt_secs(dt)]);
+        let (dt, _) = time_secs(|| cq_planner::eval::count(&q, &db).unwrap().0);
+        t.row(vec![
+            format!("q̄*_{k}"),
+            s.to_string(),
+            db.size().to_string(),
+            fmt_secs(dt),
+        ]);
     }
     // structural spot checks from the paper
     for (src, expect) in [
@@ -770,9 +837,19 @@ pub fn e14_sparse_bmm(quick: bool) -> Table {
     let m = if quick { 8_000 } else { 40_000 };
     let (a, b) = hubby(m, 999);
     let mut ablation = Vec::new();
-    for delta in [1usize, default_delta(m) / 4 + 1, default_delta(m), default_delta(m) * 4, usize::MAX] {
+    for delta in [
+        1usize,
+        default_delta(m) / 4 + 1,
+        default_delta(m),
+        default_delta(m) * 4,
+        usize::MAX,
+    ] {
         let (dt, _) = time_secs(|| spgemm_heavy_light(&a, &b, delta));
-        ablation.push(format!("Δ={}: {}", if delta == usize::MAX { "∞".into() } else { delta.to_string() }, fmt_secs(dt)));
+        ablation.push(format!(
+            "Δ={}: {}",
+            if delta == usize::MAX { "∞".into() } else { delta.to_string() },
+            fmt_secs(dt)
+        ));
     }
     t.finding(format!("Δ ablation at m={m}: {}", ablation.join(", ")));
 
@@ -784,8 +861,10 @@ pub fn e14_sparse_bmm(quick: bool) -> Table {
         let x = cq_matrix::BitMatrix::random(n, n, 0.5, &mut rng);
         let y = cq_matrix::BitMatrix::random(n, n, 0.5, &mut rng);
         let (t_row, _) = time_secs(|| cq_matrix::dense::multiply_rowwise(&x, &y));
-        let (t_4r, _) = time_secs(|| cq_matrix::four_russians::multiply_four_russians(&x, &y, 0));
-        let (t_str, _) = time_secs(|| cq_matrix::strassen::bool_multiply_strassen(&x, &y, 64));
+        let (t_4r, _) =
+            time_secs(|| cq_matrix::four_russians::multiply_four_russians(&x, &y, 0));
+        let (t_str, _) =
+            time_secs(|| cq_matrix::strassen::bool_multiply_strassen(&x, &y, 64));
         cal.push(format!(
             "n={n}: rowwise {}, four-russians {}, strassen {}",
             fmt_secs(t_row),
@@ -818,7 +897,8 @@ pub fn e15_sat_chain(quick: bool) -> Table {
         let expected = cq_problems::sat::dpll(&cnf).is_some();
         let k = 2 + i % 2;
         let inst = cq_reductions::sat_to_kds::build(&cnf, k);
-        let got = cq_problems::dominating_set::find_dominating_set(&inst.graph, k).is_some();
+        let got =
+            cq_problems::dominating_set::find_dominating_set(&inst.graph, k).is_some();
         all_ok &= got == expected;
         t.row(vec![
             n.to_string(),
@@ -829,9 +909,7 @@ pub fn e15_sat_chain(quick: bool) -> Table {
             (got == expected).to_string(),
         ]);
     }
-    t.finding(format!(
-        "reduction agreed with DPLL on all {trials} instances: {all_ok}"
-    ));
+    t.finding(format!("reduction agreed with DPLL on all {trials} instances: {all_ok}"));
     t
 }
 
@@ -845,8 +923,7 @@ mod tests {
     /// experiment so `cargo test` stays fast.
     #[test]
     fn all_experiments_run_quick() {
-        let to_run: &[(&str, fn(bool) -> Table)] =
-            if cfg!(debug_assertions) { &ALL[..1] } else { ALL };
+        let to_run: &[Experiment] = if cfg!(debug_assertions) { &ALL[..1] } else { ALL };
         for (name, f) in to_run {
             let table = f(true);
             assert!(!table.rows.is_empty(), "{name} produced no rows");

@@ -43,17 +43,13 @@ fn simplex_max_ones(a: &[Vec<f64>], n_vars: usize) -> f64 {
         t[r][cols - 1] = 1.0; // rhs
     }
     // objective row: maximize Σ y  ⇒ row = -1 for each y (standard form)
-    for c in 0..n_vars {
-        t[m][c] = -1.0;
+    for cell in t[m].iter_mut().take(n_vars) {
+        *cell = -1.0;
     }
     let mut basis: Vec<usize> = (n_vars..n_vars + m).collect();
 
-    loop {
-        // entering: first column with negative objective coefficient (Bland)
-        let enter = match (0..cols - 1).find(|&c| t[m][c] < -EPS) {
-            Some(c) => c,
-            None => break,
-        };
+    // entering: first column with negative objective coefficient (Bland)
+    while let Some(enter) = (0..cols - 1).find(|&c| t[m][c] < -EPS) {
         // leaving: min ratio, ties by smallest basis index (Bland)
         let mut leave: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
@@ -75,15 +71,16 @@ fn simplex_max_ones(a: &[Vec<f64>], n_vars: usize) -> f64 {
         };
         // pivot
         let piv = t[leave][enter];
-        for c in 0..cols {
-            t[leave][c] /= piv;
+        for cell in t[leave].iter_mut().take(cols) {
+            *cell /= piv;
         }
-        for r in 0..=m {
+        let pivot_row = t[leave].clone();
+        for (r, row) in t.iter_mut().enumerate().take(m + 1) {
             if r != leave {
-                let f = t[r][enter];
+                let f = row[enter];
                 if f.abs() > EPS {
-                    for c in 0..cols {
-                        t[r][c] -= f * t[leave][c];
+                    for (cell, &p) in row.iter_mut().zip(&pivot_row) {
+                        *cell -= f * p;
                     }
                 }
             }
@@ -161,12 +158,10 @@ mod tests {
     fn loomis_whitney_exponent() {
         // Example 3.4: ρ*(q^LW_k) = 1 + 1/(k−1) (uniform weight 1/(k−1))
         for k in [3usize, 4, 5, 6] {
-            let rho =
-                fractional_edge_cover_number(&zoo::loomis_whitney_boolean(k).hypergraph());
-            assert!(
-                close(rho, 1.0 + 1.0 / (k as f64 - 1.0)),
-                "ρ*(LW_{k}) = {rho}"
+            let rho = fractional_edge_cover_number(
+                &zoo::loomis_whitney_boolean(k).hypergraph(),
             );
+            assert!(close(rho, 1.0 + 1.0 / (k as f64 - 1.0)), "ρ*(LW_{k}) = {rho}");
         }
     }
 

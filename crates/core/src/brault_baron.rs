@@ -70,7 +70,10 @@ pub fn find_witness(h: &Hypergraph) -> Option<Witness> {
                 break;
             }
             if h.induced_is_near_uniform_hyperclique(s) && found.is_none() {
-                found = Some(Witness { vertices: s, kind: WitnessKind::NearUniformHyperclique });
+                found = Some(Witness {
+                    vertices: s,
+                    kind: WitnessKind::NearUniformHyperclique,
+                });
                 // keep scanning this size for a cycle witness? Cycles and
                 // hypercliques of the same size are equally small; prefer
                 // the first found for determinism.
@@ -89,7 +92,9 @@ pub fn find_witness(h: &Hypergraph) -> Option<Witness> {
         }
     }
     // Theorem 3.6 guarantees a witness exists for cyclic hypergraphs.
-    unreachable!("cyclic hypergraph without Brault-Baron witness — contradicts Theorem 3.6")
+    unreachable!(
+        "cyclic hypergraph without Brault-Baron witness — contradicts Theorem 3.6"
+    )
 }
 
 #[cfg(test)]
@@ -140,12 +145,7 @@ mod tests {
         // the triangle, not include vertex 3.
         let h = Hypergraph::new(
             4,
-            vec![
-                mask_of(&[0, 1]),
-                mask_of(&[1, 2]),
-                mask_of(&[2, 0]),
-                mask_of(&[2, 3]),
-            ],
+            vec![mask_of(&[0, 1]), mask_of(&[1, 2]), mask_of(&[2, 0]), mask_of(&[2, 3])],
         );
         let w = find_witness(&h).unwrap();
         assert_eq!(w.vertices, mask_of(&[0, 1, 2]));

@@ -1,0 +1,441 @@
+//! Canonical forms of query shapes, for shape-keyed caching.
+//!
+//! Two conjunctive queries have the same *shape* when some bijection of
+//! their variables maps one's hypergraph, free-variable set, and
+//! self-join pattern (which atoms share a relation symbol) onto the
+//! other's. Everything the paper's dichotomies — and therefore the
+//! planner's algorithm choice — depend on is shape-invariant:
+//! acyclicity, free-connexity, quantified star size, disruptive trios,
+//! Brault-Baron witnesses, and the AGM exponent are all preserved by
+//! such bijections. A plan cache can therefore be keyed by the
+//! canonical shape and shared across all isomorphic queries.
+//!
+//! [`canonical_shape`] computes a *canonical representative* of the
+//! shape's isomorphism class: the lexicographically smallest encoding
+//! over all vertex relabelings, found by ordered-partition refinement
+//! (vertices are first split by cheap invariants) followed by
+//! backtracking over the refinement-compatible relabelings. Highly
+//! symmetric queries (cliques, Loomis–Whitney) produce a factorial
+//! search within cells; [`CanonicalShape::is_exact`] reports whether the
+//! search completed within budget. When it did not, the encoding falls
+//! back to an invariant-only digest, which is still *sound* for caching
+//! as long as the cache stores the representative query and verifies
+//! isomorphism on lookup — or, as `cq-planner` does, simply refuses to
+//! cache inexact shapes.
+
+use crate::hypergraph::mask_vertices;
+use crate::query::ConjunctiveQuery;
+
+/// Budget on relabelings explored by the exact canonical search. 40320
+/// = 8! covers every fully symmetric 8-variable query; beyond that the
+/// shape is marked inexact rather than stalling the planner.
+const PERMUTATION_BUDGET: usize = 40_320;
+
+/// Canonical representative of a query's shape-isomorphism class.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalShape {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// Atom scopes under the canonical relabeling, paired with the
+    /// canonical id of their relation symbol's self-join group, sorted.
+    pub edges: Vec<(u64, usize)>,
+    /// Free-variable mask under the canonical relabeling.
+    pub free: u64,
+    /// Atom arities per self-join group (repeated variables inside an
+    /// atom change evaluation, so arity is part of the shape), sorted in
+    /// group order.
+    pub group_arities: Vec<usize>,
+    /// Whether the canonical search completed within budget; inexact
+    /// shapes must not be used as cache keys without a verification step.
+    exact: bool,
+}
+
+impl CanonicalShape {
+    /// Did the canonicalization search complete (making equality of
+    /// shapes equivalent to isomorphism of queries)?
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+}
+
+/// The best candidate found so far by the canonical search: encoded
+/// edges, encoded free mask, and the permutation producing them.
+type BestCandidate = (Vec<(u64, usize)>, u64, Vec<usize>);
+
+/// The vertex relabeling found by [`canonical_shape`], mapping original
+/// variable indices to canonical ones.
+#[derive(Clone, Debug)]
+pub struct Relabeling {
+    /// `perm[original_index] = canonical_index`.
+    pub perm: Vec<usize>,
+}
+
+impl Relabeling {
+    /// Map a mask of original variables to canonical space.
+    pub fn map_mask(&self, m: u64) -> u64 {
+        mask_vertices(m).fold(0u64, |acc, v| acc | (1u64 << self.perm[v]))
+    }
+
+    /// The inverse relabeling (canonical index → original index).
+    pub fn inverse(&self) -> Relabeling {
+        let mut inv = vec![0usize; self.perm.len()];
+        for (orig, &canon) in self.perm.iter().enumerate() {
+            inv[canon] = orig;
+        }
+        Relabeling { perm: inv }
+    }
+}
+
+/// Group atoms by relation symbol; returns per-atom group ids numbered
+/// by first occurrence, plus each group's arity.
+fn self_join_groups(q: &ConjunctiveQuery) -> (Vec<usize>, Vec<usize>) {
+    let mut names: Vec<&str> = Vec::new();
+    let mut ids = Vec::with_capacity(q.atoms().len());
+    let mut arities = Vec::new();
+    for a in q.atoms() {
+        match names.iter().position(|&n| n == a.relation) {
+            Some(i) => ids.push(i),
+            None => {
+                names.push(&a.relation);
+                arities.push(a.arity());
+                ids.push(names.len() - 1);
+            }
+        }
+    }
+    (ids, arities)
+}
+
+/// The shape encoding of a fixed relabeling: sorted (mapped scope,
+/// group) pairs plus the mapped free mask.
+fn encode(
+    scopes: &[u64],
+    groups: &[usize],
+    free: u64,
+    perm: &[usize],
+) -> (Vec<(u64, usize)>, u64) {
+    let map = |m: u64| mask_vertices(m).fold(0u64, |acc, v| acc | (1u64 << perm[v]));
+    let mut edges: Vec<(u64, usize)> =
+        scopes.iter().zip(groups).map(|(&s, &g)| (map(s), g)).collect();
+    edges.sort_unstable();
+    (edges, map(free))
+}
+
+/// Cheap per-vertex invariant used to pre-partition vertices before the
+/// backtracking search: (is free, degree, sorted multiset of incident
+/// edge sizes, sorted multiset of incident groups).
+fn vertex_invariant(
+    v: usize,
+    scopes: &[u64],
+    groups: &[usize],
+    free: u64,
+) -> (bool, usize, Vec<usize>, Vec<usize>) {
+    let bit = 1u64 << v;
+    let mut sizes = Vec::new();
+    let mut gs = Vec::new();
+    for (&s, &g) in scopes.iter().zip(groups) {
+        if s & bit != 0 {
+            sizes.push(s.count_ones() as usize);
+            gs.push(g);
+        }
+    }
+    sizes.sort_unstable();
+    gs.sort_unstable();
+    (free & bit != 0, sizes.len(), sizes, gs)
+}
+
+/// Compute the canonical shape of `q` together with the relabeling that
+/// produces it.
+///
+/// Complexity: polynomial refinement plus a backtracking search bounded
+/// by [`PERMUTATION_BUDGET`] relabelings; queries whose automorphism
+/// class is larger come back with `is_exact() == false`.
+pub fn canonical_shape(q: &ConjunctiveQuery) -> (CanonicalShape, Relabeling) {
+    let n = q.n_vars();
+    let scopes: Vec<u64> = q.atoms().iter().map(|a| a.scope()).collect();
+    let (groups, group_arities) = self_join_groups(q);
+    let free = q.free_mask();
+
+    // Partition vertices into cells by invariant; cells are ordered by
+    // the invariant value, and only within-cell orderings are searched.
+    let mut order: Vec<usize> = (0..n).collect();
+    let invs: Vec<_> =
+        (0..n).map(|v| vertex_invariant(v, &scopes, &groups, free)).collect();
+    order.sort_by(|&a, &b| invs[a].cmp(&invs[b]));
+    let mut cells: Vec<Vec<usize>> = Vec::new();
+    for &v in &order {
+        match cells.last() {
+            Some(c) if invs[c[0]] == invs[v] => cells.last_mut().unwrap().push(v),
+            _ => cells.push(vec![v]),
+        }
+    }
+
+    // Search all within-cell permutations for the lexicographically
+    // smallest encoding, up to the budget.
+    let mut budget = PERMUTATION_BUDGET;
+    let mut truncated = false;
+    let mut best: Option<BestCandidate> = None;
+    let mut perm = vec![usize::MAX; n];
+    search_cells(
+        &cells,
+        0,
+        &mut perm,
+        0,
+        &scopes,
+        &groups,
+        free,
+        &mut best,
+        &mut budget,
+        &mut truncated,
+    );
+
+    match best {
+        Some((edges, cfree, perm)) if !truncated => (
+            CanonicalShape {
+                n_vars: n,
+                edges,
+                free: cfree,
+                group_arities: group_arities.clone(),
+                exact: true,
+            },
+            Relabeling { perm },
+        ),
+        _ => {
+            // Budget exhausted: fall back to the refinement ordering
+            // alone. Deterministic but not canonical across all
+            // isomorphic presentations — flagged via `exact = false`.
+            let mut perm = vec![0usize; n];
+            for (canon, &orig) in cells.iter().flatten().enumerate() {
+                perm[orig] = canon;
+            }
+            let (edges, cfree) = encode(&scopes, &groups, free, &perm);
+            (
+                CanonicalShape {
+                    n_vars: n,
+                    edges,
+                    free: cfree,
+                    group_arities,
+                    exact: false,
+                },
+                Relabeling { perm },
+            )
+        }
+    }
+}
+
+/// Recursive within-cell permutation search. `next_id` is the next
+/// canonical index to assign; cells are consumed in order so canonical
+/// indices respect the invariant ordering. `truncated` is set when the
+/// budget runs out while candidates remain unexplored — a search that
+/// finishes on exactly its last budget unit is still complete.
+#[allow(clippy::too_many_arguments)]
+fn search_cells(
+    cells: &[Vec<usize>],
+    cell_idx: usize,
+    perm: &mut Vec<usize>,
+    next_id: usize,
+    scopes: &[u64],
+    groups: &[usize],
+    free: u64,
+    best: &mut Option<BestCandidate>,
+    budget: &mut usize,
+    truncated: &mut bool,
+) {
+    if *budget == 0 {
+        *truncated = true;
+        return;
+    }
+    if cell_idx == cells.len() {
+        *budget -= 1;
+        let (edges, cfree) = encode(scopes, groups, free, perm);
+        let candidate = (edges, cfree);
+        let better = match best {
+            None => true,
+            Some((be, bf, _)) => candidate < (be.clone(), *bf),
+        };
+        if better {
+            *best = Some((candidate.0, candidate.1, perm.clone()));
+        }
+        return;
+    }
+    let cell = &cells[cell_idx];
+    // permute the current cell in place (Heap's-style recursion over a
+    // chosen-set vector keeps this allocation-free per level)
+    let mut chosen = vec![false; cell.len()];
+    assign_cell(
+        cells,
+        cell_idx,
+        cell,
+        &mut chosen,
+        perm,
+        next_id,
+        scopes,
+        groups,
+        free,
+        best,
+        budget,
+        truncated,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign_cell(
+    cells: &[Vec<usize>],
+    cell_idx: usize,
+    cell: &[usize],
+    chosen: &mut Vec<bool>,
+    perm: &mut Vec<usize>,
+    next_id: usize,
+    scopes: &[u64],
+    groups: &[usize],
+    free: u64,
+    best: &mut Option<BestCandidate>,
+    budget: &mut usize,
+    truncated: &mut bool,
+) {
+    if *budget == 0 {
+        *truncated = true;
+        return;
+    }
+    let assigned = chosen.iter().filter(|&&c| c).count();
+    if assigned == cell.len() {
+        search_cells(
+            cells,
+            cell_idx + 1,
+            perm,
+            next_id + cell.len(),
+            scopes,
+            groups,
+            free,
+            best,
+            budget,
+            truncated,
+        );
+        return;
+    }
+    for i in 0..cell.len() {
+        if chosen[i] {
+            continue;
+        }
+        chosen[i] = true;
+        perm[cell[i]] = next_id + assigned;
+        assign_cell(
+            cells, cell_idx, cell, chosen, perm, next_id, scopes, groups, free, best,
+            budget, truncated,
+        );
+        chosen[i] = false;
+        perm[cell[i]] = usize::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{zoo, QueryBuilder};
+
+    /// Build the triangle query with a different variable interning
+    /// order and rotated relation roles.
+    fn triangle_rotated() -> ConjunctiveQuery {
+        let mut b = QueryBuilder::new("q_rot");
+        let c = b.var("c");
+        let a = b.var("a");
+        let bb = b.var("b");
+        b.atom("S1", &[bb, c]).atom("S2", &[c, a]).atom("S3", &[a, bb]).free(&[]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn isomorphic_triangles_share_shape() {
+        let (s1, _) = canonical_shape(&zoo::triangle_boolean());
+        let (s2, _) = canonical_shape(&triangle_rotated());
+        assert!(s1.is_exact() && s2.is_exact());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn free_mask_distinguishes_boolean_from_join() {
+        let (s1, _) = canonical_shape(&zoo::triangle_boolean());
+        let (s2, _) = canonical_shape(&zoo::triangle_join());
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn self_join_pattern_distinguishes_stars() {
+        let (with_sj, _) = canonical_shape(&zoo::star_selfjoin(3));
+        let (without, _) = canonical_shape(&zoo::star_selfjoin_free(3));
+        assert_ne!(with_sj, without, "self-join grouping must be part of the shape");
+    }
+
+    #[test]
+    fn leaf_permutations_of_stars_coincide() {
+        // q(x1,x2,x3) :- R1(x1,z), R2(x2,z), R3(x3,z) vs. a version with
+        // the leaves declared in another order.
+        let (s1, _) = canonical_shape(&zoo::star_selfjoin_free(3));
+        let mut b = QueryBuilder::new("q");
+        let z = b.var("z");
+        let x3 = b.var("u3");
+        let x1 = b.var("u1");
+        let x2 = b.var("u2");
+        b.atom("T1", &[x2, z]).atom("T2", &[x3, z]).atom("T3", &[x1, z]);
+        b.free(&[x1, x2, x3]);
+        let (s2, _) = canonical_shape(&b.build().unwrap());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn relabeling_roundtrips() {
+        let q = zoo::matmul_projection();
+        let (shape, relab) = canonical_shape(&q);
+        assert!(shape.is_exact());
+        assert_eq!(relab.map_mask(q.free_mask()), shape.free);
+        let inv = relab.inverse();
+        assert_eq!(inv.map_mask(shape.free), q.free_mask());
+        // perm ∘ inverse = identity
+        for v in 0..q.n_vars() {
+            assert_eq!(relab.perm[inv.perm[v]], v);
+        }
+    }
+
+    #[test]
+    fn path_and_star_differ() {
+        let (p, _) = canonical_shape(&zoo::path_join(2));
+        let (s, _) = canonical_shape(&zoo::star_selfjoin_free(2).join_version());
+        // path: x0-x1-x2 chain; sjf-star joined: two leaves off z — these
+        // are actually isomorphic as hypergraphs ({a,b},{b,c}), and both
+        // are full join queries with distinct symbols, so shapes agree.
+        assert_eq!(p, s);
+        // but the *projected* star (z quantified) differs
+        let (s2, _) = canonical_shape(&zoo::star_selfjoin_free(2));
+        assert_ne!(p, s2);
+    }
+
+    #[test]
+    fn symmetric_queries_stay_exact_within_budget() {
+        let (s, _) = canonical_shape(&zoo::loomis_whitney_boolean(5));
+        assert!(s.is_exact());
+        let (s, _) = canonical_shape(&zoo::clique_join(6));
+        assert!(s.is_exact());
+        // 8 fully symmetric variables = exactly 8! = PERMUTATION_BUDGET
+        // leaves; a search that finishes on its last budget unit must
+        // still count as complete (regression: off-by-one on the budget)
+        let (s, _) = canonical_shape(&zoo::clique_join(8));
+        assert!(s.is_exact(), "exact-budget search must not be marked truncated");
+    }
+
+    #[test]
+    fn canonical_is_invariant_under_random_relabelings() {
+        // relabel the 4-cycle's variables several ways; all must agree
+        let base = zoo::cycle_boolean(4);
+        let (s0, _) = canonical_shape(&base);
+        for shift in 1..4 {
+            let mut b = QueryBuilder::new("q");
+            let vs: Vec<_> =
+                (0..4).map(|i| b.var(&format!("w{}", (i + shift) % 4))).collect();
+            for i in 0..4 {
+                b.atom(&format!("E{i}"), &[vs[i], vs[(i + 1) % 4]]);
+            }
+            b.free(&[]);
+            let (s, _) = canonical_shape(&b.build().unwrap());
+            assert_eq!(s0, s, "shift {shift}");
+        }
+    }
+}

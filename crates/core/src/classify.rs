@@ -69,7 +69,11 @@ impl fmt::Display for Verdict {
             }
             Verdict::Hard { hypotheses, exponent, witness, reference } => {
                 let hs: Vec<&str> = hypotheses.iter().map(|h| h.name()).collect();
-                write!(f, "HARD under {} [{reference}]; witness: {witness}", hs.join(" / "))?;
+                write!(
+                    f,
+                    "HARD under {} [{reference}]; witness: {witness}",
+                    hs.join(" / ")
+                )?;
                 if let Some(e) = exponent {
                     write!(f, "; conditional lower bound m^{e}")?;
                 }
@@ -133,7 +137,8 @@ pub fn classify(q: &ConjunctiveQuery) -> Profile {
     let conn = connexity(q);
     let sjf = q.is_self_join_free();
     let star = quantified_star_size(q);
-    let bb = if conn.acyclic { None } else { brault_baron::find_witness(&q.hypergraph()) };
+    let bb =
+        if conn.acyclic { None } else { brault_baron::find_witness(&q.hypergraph()) };
 
     // --- Boolean decision (Thm 3.1 / 3.7) ---
     let decision = if conn.acyclic {
@@ -183,7 +188,10 @@ pub fn classify(q: &ConjunctiveQuery) -> Profile {
             Verdict::Hard {
                 hypotheses: vec![Hypothesis::Seth],
                 exponent: Some((star.max(2)) as f64),
-                witness: format!("embeds q*_{} (quantified star size {star})", star.max(2)),
+                witness: format!(
+                    "embeds q*_{} (quantified star size {star})",
+                    star.max(2)
+                ),
                 reference: "Thm 3.12 / Thm 4.6",
             }
         } else {
@@ -224,7 +232,8 @@ pub fn classify(q: &ConjunctiveQuery) -> Profile {
             Verdict::Hard {
                 hypotheses: vec![Hypothesis::SparseBmm],
                 exponent: None,
-                witness: "embeds q̄*_2; enumeration would do sparse Boolean MM".to_string(),
+                witness: "embeds q̄*_2; enumeration would do sparse Boolean MM"
+                    .to_string(),
                 reference: "Thm 3.16",
             }
         } else {

@@ -144,8 +144,11 @@ mod tests {
     fn independence_never_exceeds_cover() {
         // weak duality holds for all hypergraphs (each independent vertex
         // needs its own covering edge)
-        for q in [zoo::triangle_boolean(), zoo::cycle_boolean(5), zoo::loomis_whitney_boolean(4)]
-        {
+        for q in [
+            zoo::triangle_boolean(),
+            zoo::cycle_boolean(5),
+            zoo::loomis_whitney_boolean(4),
+        ] {
             let h = q.hypergraph();
             assert!(max_independent_set(&h) <= min_edge_cover(&h), "{q}");
         }
@@ -155,16 +158,16 @@ mod tests {
     /// variables share no atom (independence ≥ 2).
     #[test]
     fn no_covering_atom_implies_independent_pair() {
-        for q in [zoo::path_join(3), zoo::star_selfjoin_free(2), zoo::matmul_projection()] {
+        for q in [zoo::path_join(3), zoo::star_selfjoin_free(2), zoo::matmul_projection()]
+        {
             let h = q.hypergraph();
             let full = h.vertices_mask();
-            let has_covering = h.edges().iter().any(|&e| e == full);
+            let has_covering = h.edges().contains(&full);
             assert!(!has_covering);
             assert!(max_independent_set(&h) >= 2, "{q}");
             // exhibit the pair explicitly
-            let found = mask_vertices(full).any(|a| {
-                mask_vertices(full).any(|b| a < b && !h.adjacent(a, b))
-            });
+            let found = mask_vertices(full)
+                .any(|a| mask_vertices(full).any(|b| a < b && !h.adjacent(a, b)));
             assert!(found, "{q}");
         }
     }

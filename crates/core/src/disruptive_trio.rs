@@ -49,11 +49,10 @@ pub fn find_disruptive_trio(
             if !adjacent(y1, y3) {
                 continue;
             }
-            for p2 in 0..p3 {
+            for (p2, &y2) in order.iter().enumerate().take(p3) {
                 if p2 == p1 {
                     continue;
                 }
-                let y2 = order[p2];
                 if adjacent(y2, y3) && !adjacent(y1, y2) {
                     return Some(DisruptiveTrio { y1, y2, y3 });
                 }

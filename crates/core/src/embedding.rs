@@ -56,8 +56,8 @@ impl CliqueEmbedding {
         for i in 0..self.psi.len() {
             for j in (i + 1)..self.psi.len() {
                 let (a, b) = (self.psi[i], self.psi[j]);
-                let touching = a & b != 0
-                    || h.edges().iter().any(|&e| e & a != 0 && e & b != 0);
+                let touching =
+                    a & b != 0 || h.edges().iter().any(|&e| e & a != 0 && e & b != 0);
                 if !touching {
                     return Err(EmbeddingError::NotTouching(i, j));
                 }
@@ -94,10 +94,9 @@ impl CliqueEmbedding {
 /// For `k = 5` this is exactly the paper's Example 4.2 / Figure 1.
 pub fn clique_into_cycle(k: usize) -> (Hypergraph, CliqueEmbedding) {
     assert!(k >= 3 && k % 2 == 1, "window embedding requires odd k ≥ 3");
-    let edges: Vec<u64> =
-        (0..k).map(|i| (1u64 << i) | (1u64 << ((i + 1) % k))).collect();
+    let edges: Vec<u64> = (0..k).map(|i| (1u64 << i) | (1u64 << ((i + 1) % k))).collect();
     let h = Hypergraph::new(k, edges);
-    let w = (k + 1) / 2;
+    let w = k.div_ceil(2);
     let psi: Vec<u64> = (0..k)
         .map(|start| (0..w).fold(0u64, |m, d| m | (1u64 << ((start + d) % k))))
         .collect();

@@ -34,11 +34,7 @@ pub fn connexity(q: &ConjunctiveQuery) -> ConnexityReport {
         return ConnexityReport { acyclic: false, free_connex: false };
     }
     let free = q.free_mask();
-    let free_connex = if free == 0 {
-        true
-    } else {
-        h.with_edge(free).is_acyclic()
-    };
+    let free_connex = if free == 0 { true } else { h.with_edge(free).is_acyclic() };
     ConnexityReport { acyclic, free_connex }
 }
 

@@ -47,8 +47,8 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoResult {
             }
             // vertices e shares with other alive edges
             let mut others = 0u64;
-            for f in 0..l {
-                if f != e && alive[f] {
+            for (f, &af) in alive.iter().enumerate().take(l) {
+                if f != e && af {
                     others |= h.edges()[f];
                 }
             }

@@ -20,7 +20,11 @@ pub struct JoinTree {
 impl JoinTree {
     /// Construct from parent pointers (as produced by GYO). The root's
     /// parent entry is ignored/overwritten with `None`.
-    pub fn from_parents(scopes: Vec<u64>, mut parent: Vec<Option<usize>>, root: usize) -> Self {
+    pub fn from_parents(
+        scopes: Vec<u64>,
+        mut parent: Vec<Option<usize>>,
+        root: usize,
+    ) -> Self {
         assert_eq!(scopes.len(), parent.len());
         assert!(root < scopes.len());
         parent[root] = None;
@@ -220,8 +224,9 @@ mod tests {
     fn bottom_up_children_first() {
         let t = path4_tree();
         let order = t.bottom_up();
-        let pos: Vec<usize> =
-            (0..t.n_nodes()).map(|u| order.iter().position(|&x| x == u).unwrap()).collect();
+        let pos: Vec<usize> = (0..t.n_nodes())
+            .map(|u| order.iter().position(|&x| x == u).unwrap())
+            .collect();
         for u in 0..t.n_nodes() {
             for &c in t.children(u) {
                 assert!(pos[c] < pos[u], "child {c} must come before parent {u}");

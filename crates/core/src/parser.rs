@@ -113,7 +113,8 @@ impl<'a> Lexer<'a> {
                 {
                     end += 1;
                 }
-                let s = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                let s =
+                    std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
                 self.pos = end;
                 Tok::Ident(s)
             }
@@ -152,9 +153,11 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, want: Tok, what: &'static str) -> Result<(), ParseError> {
         match self.advance()? {
             Some((_, t)) if t == want => Ok(()),
-            Some((pos, t)) => {
-                Err(ParseError::Unexpected { pos, expected: what, found: format!("{t:?}") })
-            }
+            Some((pos, t)) => Err(ParseError::Unexpected {
+                pos,
+                expected: what,
+                found: format!("{t:?}"),
+            }),
             None => Err(ParseError::UnexpectedEnd { expected: what }),
         }
     }
@@ -162,9 +165,11 @@ impl<'a> Parser<'a> {
     fn ident(&mut self, what: &'static str) -> Result<String, ParseError> {
         match self.advance()? {
             Some((_, Tok::Ident(s))) => Ok(s),
-            Some((pos, t)) => {
-                Err(ParseError::Unexpected { pos, expected: what, found: format!("{t:?}") })
-            }
+            Some((pos, t)) => Err(ParseError::Unexpected {
+                pos,
+                expected: what,
+                found: format!("{t:?}"),
+            }),
             None => Err(ParseError::UnexpectedEnd { expected: what }),
         }
     }
@@ -172,14 +177,9 @@ impl<'a> Parser<'a> {
     /// varlist inside parens; parens already handled by caller when empty
     fn varlist(&mut self) -> Result<Vec<String>, ParseError> {
         let mut vs = vec![self.ident("variable name")?];
-        loop {
-            match self.peek()? {
-                Some((_, Tok::Comma)) => {
-                    self.advance()?;
-                    vs.push(self.ident("variable name")?);
-                }
-                _ => break,
-            }
+        while let Some((_, Tok::Comma)) = self.peek()? {
+            self.advance()?;
+            vs.push(self.ident("variable name")?);
         }
         Ok(vs)
     }

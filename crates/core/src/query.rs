@@ -77,7 +77,9 @@ impl fmt::Display for QueryError {
             QueryError::InconsistentArity(r) => {
                 write!(f, "relation `{r}` used with two different arities")
             }
-            QueryError::DuplicateVariable(v) => write!(f, "variable `{v}` declared twice"),
+            QueryError::DuplicateVariable(v) => {
+                write!(f, "variable `{v}` declared twice")
+            }
         }
     }
 }
@@ -175,7 +177,8 @@ impl ConjunctiveQuery {
 
     /// Is the query self-join free (all relation symbols distinct)?
     pub fn is_self_join_free(&self) -> bool {
-        let mut names: Vec<&str> = self.atoms.iter().map(|a| a.relation.as_str()).collect();
+        let mut names: Vec<&str> =
+            self.atoms.iter().map(|a| a.relation.as_str()).collect();
         names.sort_unstable();
         names.windows(2).all(|w| w[0] != w[1])
     }
@@ -398,8 +401,7 @@ pub mod zoo {
         let mut b = QueryBuilder::new(&format!("q_lw{k}"));
         let vs: Vec<Var> = (0..k).map(|i| b.var(&format!("x{}", i + 1))).collect();
         for out in 0..k {
-            let vars: Vec<Var> =
-                (0..k).filter(|&i| i != out).map(|i| vs[i]).collect();
+            let vars: Vec<Var> = (0..k).filter(|&i| i != out).map(|i| vs[i]).collect();
             b.atom(&format!("R{}", out + 1), &vars);
         }
         b.free(&[]);

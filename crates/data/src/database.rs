@@ -72,7 +72,12 @@ impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.relations.keys().map(|s| s.as_str()).collect();
         names.sort_unstable();
-        writeln!(f, "database: {} relations, {} tuples", self.n_relations(), self.size())?;
+        writeln!(
+            f,
+            "database: {} relations, {} tuples",
+            self.n_relations(),
+            self.size()
+        )?;
         for n in names {
             let r = &self.relations[n];
             writeln!(f, "  {n}: arity {}, {} rows", r.arity(), r.len())?;

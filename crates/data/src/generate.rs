@@ -22,7 +22,12 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// uniform in `0..domain`. (Slightly fewer rows may result only if the
 /// space is nearly exhausted; we retry until the target is met or the
 /// space is provably too small.)
-pub fn random_relation(arity: usize, rows: usize, domain: Val, rng: &mut StdRng) -> Relation {
+pub fn random_relation(
+    arity: usize,
+    rows: usize,
+    domain: Val,
+    rng: &mut StdRng,
+) -> Relation {
     assert!(domain >= 1);
     let space = (domain as f64).powi(arity as i32);
     assert!(
@@ -104,7 +109,12 @@ pub fn path_database(k: usize, rows: usize, rng: &mut StdRng) -> Database {
 /// (replicated under `k` names `R1..Rk` and once as `R`) with `rows`
 /// edges `(x, z)` where `z` ranges over `centers` hub values — so hub
 /// degrees are `rows / centers`, the knob for projection hardness.
-pub fn star_database(k: usize, rows: usize, centers: usize, rng: &mut StdRng) -> Database {
+pub fn star_database(
+    k: usize,
+    rows: usize,
+    centers: usize,
+    rng: &mut StdRng,
+) -> Database {
     assert!(centers >= 1);
     let mut rel = Relation::new(2);
     let leaves = (rows as Val).max(1);
@@ -125,7 +135,12 @@ pub fn star_database(k: usize, rows: usize, centers: usize, rng: &mut StdRng) ->
 /// A skewed binary relation: `heavy` hub values of degree
 /// `rows / (2·heavy)` each (half the tuples), the rest uniform — the
 /// degree-split stress case of Theorem 3.2.
-pub fn skewed_pairs(rows: usize, domain: Val, heavy: usize, rng: &mut StdRng) -> Relation {
+pub fn skewed_pairs(
+    rows: usize,
+    domain: Val,
+    heavy: usize,
+    rng: &mut StdRng,
+) -> Relation {
     assert!(heavy >= 1);
     let mut rel = Relation::new(2);
     let half = rows / 2;

@@ -68,11 +68,7 @@ impl SortedView {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.arity == 0 {
-            0
-        } else {
-            self.data.len() / self.arity
-        }
+        self.data.len().checked_div(self.arity).unwrap_or(0)
     }
 
     /// Is the view empty?
@@ -209,12 +205,7 @@ mod tests {
     fn rel() -> Relation {
         Relation::from_rows(
             3,
-            vec![
-                vec![1, 10, 100],
-                vec![2, 10, 200],
-                vec![1, 20, 300],
-                vec![3, 10, 100],
-            ],
+            vec![vec![1, 10, 100], vec![2, 10, 200], vec![1, 20, 300], vec![3, 10, 100]],
         )
     }
 

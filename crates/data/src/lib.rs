@@ -16,10 +16,12 @@ pub mod generate;
 pub mod hasher;
 pub mod index;
 pub mod relation;
+pub mod stats;
 pub mod value;
 
 pub use database::Database;
 pub use hasher::{FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedView};
 pub use relation::Relation;
+pub use stats::{DataStats, RelationStats};
 pub use value::{Interner, Val};

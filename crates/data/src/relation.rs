@@ -110,11 +110,7 @@ impl Relation {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.arity == 0 {
-            0
-        } else {
-            self.data.len() / self.arity
-        }
+        self.data.len().checked_div(self.arity).unwrap_or(0)
     }
 
     /// Is the relation empty?

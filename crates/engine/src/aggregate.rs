@@ -97,7 +97,8 @@ pub fn aggregate_acyclic_join<S: Semiring>(
     let atoms = bind(q, db)?;
     let tree = join_tree_of(q)?;
 
-    let mut msgs: Vec<Option<FxHashMap<Box<[Val]>, S::T>>> = vec![None; atoms.len()];
+    type Messages<T> = Vec<Option<FxHashMap<Box<[Val]>, T>>>;
+    let mut msgs: Messages<S::T> = vec![None; atoms.len()];
     let mut total = sr.zero();
     for u in tree.bottom_up() {
         let a: &BoundAtom = &atoms[u];
@@ -163,10 +164,7 @@ pub fn aggregate_generic<S: Semiring>(
     let projections: Vec<Vec<usize>> = atoms
         .iter()
         .map(|a| {
-            a.vars
-                .iter()
-                .map(|v| order.iter().position(|u| u == v).unwrap())
-                .collect()
+            a.vars.iter().map(|v| order.iter().position(|u| u == v).unwrap()).collect()
         })
         .collect();
     let mut total = sr.zero();
@@ -253,7 +251,7 @@ mod tests {
         let wf: WeightFn<i64> = &|_, _| 1; // each atom contributes 1
         let min = min_weight_answer(&q, &db, wf).unwrap();
         assert_eq!(min, Some(3)); // 3 atoms × weight 1
-        // cyclic query rejected by the acyclic DP
+                                  // cyclic query rejected by the acyclic DP
         assert!(matches!(
             aggregate_acyclic_join(&q, &db, wf, &Tropical),
             Err(EvalError::NotAcyclic)

@@ -124,7 +124,10 @@ pub fn bind(q: &ConjunctiveQuery, db: &Database) -> Result<Vec<BoundAtom>, EvalE
 /// testing oracle every engine algorithm is validated against. Returns
 /// the *distinct projections* of satisfying assignments onto the free
 /// variables, sorted. Exponential; only for small inputs.
-pub fn brute_force_answers(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, EvalError> {
+pub fn brute_force_answers(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<Relation, EvalError> {
     let atoms = bind(q, db)?;
     let n = q.n_vars();
     // candidate values per variable: intersection of column values
@@ -144,6 +147,7 @@ pub fn brute_force_answers(q: &ConjunctiveQuery, db: &Database) -> Result<Relati
     let free: Vec<Var> = q.free_vars();
     let mut out = Relation::new(free.len());
     let mut assignment: Vec<Val> = vec![0; n];
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         v: usize,
         n: usize,
@@ -185,7 +189,10 @@ pub fn brute_force_answers(q: &ConjunctiveQuery, db: &Database) -> Result<Relati
 }
 
 /// Brute-force Boolean decision.
-pub fn brute_force_decide(q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalError> {
+pub fn brute_force_decide(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<bool, EvalError> {
     let all = brute_force_answers(&q.join_version(), db)?;
     Ok(!all.is_empty())
 }

@@ -7,10 +7,12 @@
 //!   quantified variables along a join tree of `H ∪ {free}` rooted at
 //!   the virtual free-edge, producing an acyclic join query over exactly
 //!   the free variables, then run the DP (Thm 3.13, see the discussion in
-//!   [14, §4.1]);
-//! * [`count_answers`] — facade picking the right algorithm, with the
-//!   generic-join materialization as the fallback on the hard side of the
-//!   dichotomy (the m^k-shaped baseline of Lemma 3.9 / Cor 3.11).
+//!   [14, §4.1]).
+//!
+//! Cross-algorithm dispatch (formerly a `count_answers` facade here)
+//! lives in `cq-planner`, which picks between these entry points and
+//! the generic-join materialization baseline of Lemma 3.9 / Cor 3.11
+//! from the query's classification.
 
 use crate::bind::{bind, BoundAtom, EvalError};
 use crate::semijoin::semijoin;
@@ -18,18 +20,6 @@ use crate::yannakakis;
 use cq_core::hypergraph::mask_vertices;
 use cq_core::{ConjunctiveQuery, JoinTree, Var};
 use cq_data::{Database, FxHashMap, Val};
-
-/// Which algorithm [`count_answers`] used.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum CountAlgorithm {
-    /// Counting DP over the join tree (linear; Thm 3.8).
-    AcyclicJoinDp,
-    /// Projection elimination + DP (linear; Thm 3.13).
-    FreeConnex,
-    /// Generic join + distinct-projection materialization (the
-    /// conditionally-optimal superlinear baseline).
-    Materialization,
-}
 
 /// The counting DP over a join tree: each node aggregates, per parent
 /// key, the semiring-weighted count of its subtree's joinable tuples.
@@ -206,24 +196,6 @@ pub fn count_free_connex(q: &ConjunctiveQuery, db: &Database) -> Result<u64, Eva
     Ok(count_dp(&msgs, &tree))
 }
 
-/// Count with the best algorithm the dichotomy allows.
-pub fn count_answers(
-    q: &ConjunctiveQuery,
-    db: &Database,
-) -> Result<(u64, CountAlgorithm), EvalError> {
-    let conn = cq_core::free_connex::connexity(q);
-    if conn.acyclic && q.is_join_query() {
-        return Ok((count_acyclic_join(q, db)?, CountAlgorithm::AcyclicJoinDp));
-    }
-    if conn.free_connex {
-        return Ok((count_free_connex(q, db)?, CountAlgorithm::FreeConnex));
-    }
-    Ok((
-        crate::generic_join::count_distinct(q, db)?,
-        CountAlgorithm::Materialization,
-    ))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,10 +255,9 @@ mod tests {
     fn count_free_connex_path_projections() {
         // project a 4-path onto a prefix: free-connex
         let db = path_database(4, 70, &mut seeded_rng(3));
-        let q = parse_query(
-            "q(x0, x1, x2) :- R1(x0,x1), R2(x1,x2), R3(x2,x3), R4(x3,x4)",
-        )
-        .unwrap();
+        let q =
+            parse_query("q(x0, x1, x2) :- R1(x0,x1), R2(x1,x2), R3(x2,x3), R4(x3,x4)")
+                .unwrap();
         assert!(cq_core::free_connex::is_free_connex(&q));
         assert_eq!(
             count_free_connex(&q, &db).unwrap(),
@@ -304,18 +275,12 @@ mod tests {
     }
 
     #[test]
-    fn count_answers_facade_picks_algorithms() {
-        let db = path_database(2, 50, &mut seeded_rng(5));
-        let (_, alg) = count_answers(&zoo::path_join(2), &db).unwrap();
-        assert_eq!(alg, CountAlgorithm::AcyclicJoinDp);
-
-        let q = parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2)").unwrap();
-        let (_, alg) = count_answers(&q, &db).unwrap();
-        assert_eq!(alg, CountAlgorithm::FreeConnex);
-
+    fn count_distinct_matches_on_the_hard_side() {
+        // the materialization baseline the planner falls back to on the
+        // hard side of the counting dichotomy
         let db2 = star_database(2, 50, 4, &mut seeded_rng(6));
-        let (c, alg) = count_answers(&zoo::star_selfjoin(2), &db2).unwrap();
-        assert_eq!(alg, CountAlgorithm::Materialization);
+        let c =
+            crate::generic_join::count_distinct(&zoo::star_selfjoin(2), &db2).unwrap();
         assert_eq!(c, brute_force_count(&zoo::star_selfjoin(2), &db2).unwrap());
     }
 
@@ -324,8 +289,7 @@ mod tests {
         let edges = random_pairs(50, 12, &mut seeded_rng(7));
         let db = triangle_database(&edges);
         let q = zoo::triangle_join();
-        let (c, alg) = count_answers(&q, &db).unwrap();
-        assert_eq!(alg, CountAlgorithm::Materialization);
+        let c = crate::generic_join::count_distinct(&q, &db).unwrap();
         assert_eq!(c, brute_force_count(&q, &db).unwrap());
     }
 
@@ -347,7 +311,12 @@ mod tests {
         for k in 1..=3usize {
             let db = star_database(k, 40, 3, &mut seeded_rng(10 + k as u64));
             let q = zoo::star_selfjoin_free(k);
-            let (c, _) = count_answers(&q, &db).unwrap();
+            // k = 1 is free-connex; k ≥ 2 takes the materialization baseline
+            let c = if cq_core::free_connex::is_free_connex(&q) {
+                count_free_connex(&q, &db).unwrap()
+            } else {
+                crate::generic_join::count_distinct(&q, &db).unwrap()
+            };
             assert_eq!(c, brute_force_count(&q, &db).unwrap(), "k={k}");
         }
     }

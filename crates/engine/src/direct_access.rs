@@ -118,15 +118,12 @@ fn check_compatible(tree: &JoinTree, order: &[Var]) -> Option<Vec<u64>> {
         order.iter().position(|u| u.index() == v).expect("order must cover variables")
     };
     let n = tree.n_nodes();
-    let mut intro: Vec<u64> = vec![0; n];
-    for u in 0..n {
-        intro[u] = tree.scope(u) & !tree.key_mask(u);
-    }
+    let intro: Vec<u64> = (0..n).map(|u| tree.scope(u) & !tree.key_mask(u)).collect();
     // condition A: intro(u) after all of scope(parent)
-    for u in 0..n {
+    for (u, &iu) in intro.iter().enumerate().take(n) {
         if let Some(p) = tree.parent(u) {
             let pmax = mask_vertices(tree.scope(p)).map(&pos_of).max();
-            let imin = mask_vertices(intro[u]).map(&pos_of).min();
+            let imin = mask_vertices(iu).map(&pos_of).min();
             if let (Some(pmax), Some(imin)) = (pmax, imin) {
                 if imin < pmax {
                     return None;
@@ -142,11 +139,11 @@ fn check_compatible(tree: &JoinTree, order: &[Var]) -> Option<Vec<u64>> {
             subtree[p] |= s;
         }
     }
-    for u in 0..n {
+    for (u, &sub) in subtree.iter().enumerate().take(n) {
         if tree.parent(u).is_none() {
             continue;
         }
-        let positions: Vec<usize> = mask_vertices(subtree[u]).map(&pos_of).collect();
+        let positions: Vec<usize> = mask_vertices(sub).map(&pos_of).collect();
         if positions.is_empty() {
             continue;
         }
@@ -205,17 +202,15 @@ impl LexDirectAccess {
         Self::build_from_atoms(atoms, q.n_vars(), order).map_err(|e| match e {
             EvalError::Unsupported(_) => EvalError::Unsupported(format!(
                 "no ⪯-compatible join tree for order {:?} (disruptive trio: {:?})",
-                order
-                    .iter()
-                    .map(|&v| q.var_name(v).to_string())
-                    .collect::<Vec<_>>(),
-                cq_core::disruptive_trio::find_disruptive_trio(q, order)
-                    .map(|t| format!(
+                order.iter().map(|&v| q.var_name(v).to_string()).collect::<Vec<_>>(),
+                cq_core::disruptive_trio::find_disruptive_trio(q, order).map(
+                    |t| format!(
                         "({}, {}, {})",
                         q.var_name(t.y1),
                         q.var_name(t.y2),
                         q.var_name(t.y3)
-                    ))
+                    )
+                )
             )),
             other => other,
         })
@@ -246,7 +241,9 @@ impl LexDirectAccess {
             }
         }
         let tree = chosen.ok_or_else(|| {
-            EvalError::Unsupported(format!("no ⪯-compatible join tree for order {order:?}"))
+            EvalError::Unsupported(format!(
+                "no ⪯-compatible join tree for order {order:?}"
+            ))
         })?;
 
         // full reduction → every tuple participates in an answer
@@ -266,7 +263,8 @@ impl LexDirectAccess {
         let n = tree.n_nodes();
 
         // block start position per subtree, for child ordering
-        let mut intro: Vec<u64> = (0..n).map(|u| tree.scope(u) & !tree.key_mask(u)).collect();
+        let mut intro: Vec<u64> =
+            (0..n).map(|u| tree.scope(u) & !tree.key_mask(u)).collect();
         let mut subtree: Vec<u64> = intro.clone();
         for &u in &tree.bottom_up() {
             if let Some(p) = tree.parent(u) {
@@ -290,15 +288,15 @@ impl LexDirectAccess {
             col_order.extend_from_slice(&rest);
             let view = SortedView::new(&a.rel, &col_order);
             let intro_vars: Vec<Var> = rest.iter().map(|&c| a.vars[c]).collect();
-            debug_assert_eq!(
-                intro_vars.iter().fold(0u64, |m, v| m | v.mask()),
-                intro[u]
-            );
+            debug_assert_eq!(intro_vars.iter().fold(0u64, |m, v| m | v.mask()), intro[u]);
 
             // children in block order
             let mut children: Vec<usize> = tree.children(u).to_vec();
             children.sort_by_key(|&c| {
-                mask_vertices(subtree[c]).map(|v| pos_of(Var(v as u32))).min().unwrap_or(usize::MAX)
+                mask_vertices(subtree[c])
+                    .map(|v| pos_of(Var(v as u32)))
+                    .min()
+                    .unwrap_or(usize::MAX)
             });
 
             // weights: product over children of S_c(key_c(row))
@@ -413,11 +411,7 @@ impl DirectAccess for LexDirectAccess {
 /// structure whose order starts with the variables of `prefix_vars`
 /// (a ⪯-prefix), decide whether some answer extends the assignment
 /// `prefix_vals` — with O(log |q(D)|) accesses.
-pub fn test_prefix(
-    da: &dyn DirectAccess,
-    order: &[Var],
-    prefix_vals: &[Val],
-) -> bool {
+pub fn test_prefix(da: &dyn DirectAccess, order: &[Var], prefix_vals: &[Val]) -> bool {
     let n = da.len();
     if n == 0 {
         return false;

@@ -61,9 +61,7 @@ impl Enumerator {
         }
         let mut msgs = match eliminate_projections(q, db)? {
             Some(m) => m,
-            None => {
-                return Ok(Enumerator { schema, levels: Vec::new(), empty: true })
-            }
+            None => return Ok(Enumerator { schema, levels: Vec::new(), empty: true }),
         };
         // q' join tree + full reduction → global consistency
         let scopes: Vec<u64> = msgs.iter().map(BoundAtom::scope).collect();

@@ -112,7 +112,8 @@ mod tests {
     /// sorted by the structure's chosen order.
     fn check(q: &ConjunctiveQuery, db: &Database) {
         let da = FreeConnexDirectAccess::build(q, db).unwrap();
-        let mut got: Vec<Vec<Val>> = (0..da.len()).map(|i| da.access(i).unwrap()).collect();
+        let mut got: Vec<Vec<Val>> =
+            (0..da.len()).map(|i| da.access(i).unwrap()).collect();
         let want = brute_force_answers(q, db).unwrap();
         assert_eq!(got.len(), want.len(), "{q}");
         // sorted by the chosen order: check monotone
@@ -123,8 +124,9 @@ mod tests {
             .map(|v| schema.iter().position(|s| s == v).unwrap())
             .collect();
         for w in got.windows(2) {
-            let key =
-                |row: &Vec<Val>| pos_in_schema.iter().map(|&p| row[p]).collect::<Vec<_>>();
+            let key = |row: &Vec<Val>| {
+                pos_in_schema.iter().map(|&p| row[p]).collect::<Vec<_>>()
+            };
             assert!(key(&w[0]) < key(&w[1]), "{q}: array must be strictly sorted");
         }
         // set equality with brute force
@@ -137,14 +139,8 @@ mod tests {
     #[test]
     fn projected_path_queries() {
         let db = path_database(3, 50, &mut seeded_rng(1));
-        check(
-            &parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap(),
-            &db,
-        );
-        check(
-            &parse_query("q(x1, x2) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap(),
-            &db,
-        );
+        check(&parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap(), &db);
+        check(&parse_query("q(x1, x2) :- R1(x0,x1), R2(x1,x2), R3(x2,x3)").unwrap(), &db);
     }
 
     #[test]
@@ -175,7 +171,8 @@ mod tests {
 
     #[test]
     fn cyclic_rejected() {
-        let db = cq_data::generate::triangle_database(&Relation::from_pairs(vec![(0, 1)]));
+        let db =
+            cq_data::generate::triangle_database(&Relation::from_pairs(vec![(0, 1)]));
         assert!(matches!(
             FreeConnexDirectAccess::build(&zoo::triangle_join(), &db),
             Err(EvalError::NotAcyclic)

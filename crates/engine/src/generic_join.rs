@@ -75,7 +75,12 @@ pub fn generic_join_visit(
 /// Position of the first row in `view[range]` whose column `col` is
 /// `>= value` (rows in the range share their first `col` columns, so the
 /// column is sorted within the range).
-fn lower_bound(view: &SortedView, range: &std::ops::Range<usize>, col: usize, value: Val) -> usize {
+fn lower_bound(
+    view: &SortedView,
+    range: &std::ops::Range<usize>,
+    col: usize,
+    value: Val,
+) -> usize {
     let (mut lo, mut hi) = (range.start, range.end);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
@@ -114,8 +119,12 @@ fn search(
     'outer: loop {
         // align all cursors to candidate
         for (ci, &(ai, lc)) in inv.iter().enumerate() {
-            let pos =
-                lower_bound(&prepared[ai].view, &(cursors[ci]..ranges[ai].end), lc, candidate);
+            let pos = lower_bound(
+                &prepared[ai].view,
+                &(cursors[ci]..ranges[ai].end),
+                lc,
+                candidate,
+            );
             cursors[ci] = pos;
             if pos >= ranges[ai].end {
                 return true; // exhausted
@@ -132,8 +141,12 @@ fn search(
             inv.iter().map(|&(ai, _)| ranges[ai].clone()).collect();
         for (ci, &(ai, lc)) in inv.iter().enumerate() {
             let start = cursors[ci];
-            let end =
-                lower_bound(&prepared[ai].view, &(start..ranges[ai].end), lc, candidate + 1);
+            let end = lower_bound(
+                &prepared[ai].view,
+                &(start..ranges[ai].end),
+                lc,
+                candidate + 1,
+            );
             ranges[ai] = start..end;
         }
         let keep_going = search(prepared, involved, depth + 1, assignment, ranges, visit);
@@ -147,8 +160,12 @@ fn search(
         // advance past `candidate`
         let mut new_candidate = candidate;
         for (ci, &(ai, lc)) in inv.iter().enumerate() {
-            let pos =
-                lower_bound(&prepared[ai].view, &(cursors[ci]..ranges[ai].end), lc, candidate + 1);
+            let pos = lower_bound(
+                &prepared[ai].view,
+                &(cursors[ci]..ranges[ai].end),
+                lc,
+                candidate + 1,
+            );
             cursors[ci] = pos;
             if pos >= ranges[ai].end {
                 return true;
@@ -169,16 +186,23 @@ pub fn default_order(q: &ConjunctiveQuery) -> Vec<Var> {
 /// queries; for projections this is the *materialization baseline* the
 /// paper's counting/enumeration lower bounds are about.
 pub fn answers(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, EvalError> {
+    answers_with_order(q, db, &default_order(q))
+}
+
+/// [`answers`] with a caller-chosen (e.g. planner-chosen) global
+/// variable order. The order must cover every variable of the query.
+pub fn answers_with_order(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+) -> Result<Relation, EvalError> {
     let atoms = bind(q, db)?;
-    let order = default_order(q);
     let free = q.free_vars();
-    let free_pos: Vec<usize> = free
-        .iter()
-        .map(|f| order.iter().position(|v| v == f).unwrap())
-        .collect();
+    let free_pos: Vec<usize> =
+        free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
     let mut out = Relation::new(free.len());
     let mut buf: Vec<Val> = vec![0; free.len()];
-    generic_join_visit(&atoms, &order, &mut |assignment| {
+    generic_join_visit(&atoms, order, &mut |assignment| {
         for (b, &p) in buf.iter_mut().zip(&free_pos) {
             *b = assignment[p];
         }
@@ -192,10 +216,18 @@ pub fn answers(q: &ConjunctiveQuery, db: &Database) -> Result<Relation, EvalErro
 /// Boolean decision by generic join with early stop — the fallback for
 /// cyclic queries (runtime = AGM bound of the query).
 pub fn decide(q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalError> {
+    decide_with_order(q, db, &default_order(q))
+}
+
+/// [`decide`] with a caller-chosen global variable order.
+pub fn decide_with_order(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+) -> Result<bool, EvalError> {
     let atoms = bind(q, db)?;
-    let order = default_order(q);
     let mut found = false;
-    generic_join_visit(&atoms, &order, &mut |_| {
+    generic_join_visit(&atoms, order, &mut |_| {
         found = true;
         false
     });
@@ -206,16 +238,22 @@ pub fn decide(q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalError> {
 /// projection set during the join — the generic counting baseline
 /// (m^k-shaped for q*_k; Lemma 3.9 says this is essentially optimal).
 pub fn count_distinct(q: &ConjunctiveQuery, db: &Database) -> Result<u64, EvalError> {
+    count_distinct_with_order(q, db, &default_order(q))
+}
+
+/// [`count_distinct`] with a caller-chosen global variable order.
+pub fn count_distinct_with_order(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+) -> Result<u64, EvalError> {
     let atoms = bind(q, db)?;
-    let order = default_order(q);
     let free = q.free_vars();
-    let free_pos: Vec<usize> = free
-        .iter()
-        .map(|f| order.iter().position(|v| v == f).unwrap())
-        .collect();
+    let free_pos: Vec<usize> =
+        free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
     let mut set: FxHashSet<Box<[Val]>> = FxHashSet::default();
     let mut buf: Vec<Val> = vec![0; free.len()];
-    generic_join_visit(&atoms, &order, &mut |assignment| {
+    generic_join_visit(&atoms, order, &mut |assignment| {
         for (b, &p) in buf.iter_mut().zip(&free_pos) {
             *b = assignment[p];
         }
@@ -356,10 +394,7 @@ mod tests {
     fn selfjoin_with_repeats() {
         let q = parse_query("q(x, y) :- R(x, y), R(y, x)").unwrap();
         let mut db = Database::new();
-        db.insert(
-            "R",
-            Relation::from_pairs(vec![(1, 2), (2, 1), (3, 4), (5, 5)]),
-        );
+        db.insert("R", Relation::from_pairs(vec![(1, 2), (2, 1), (3, 4), (5, 5)]));
         let ans = answers(&q, &db).unwrap();
         assert_eq!(ans.len(), 3); // (1,2), (2,1), (5,5)
         assert!(ans.contains(&[5, 5]));

@@ -18,15 +18,17 @@
 //! | Semiring aggregation | FAQ-style DP / generic fold | §4.1.2, Ex 4.3 | [`aggregate`] |
 //!
 //! All algorithms are validated against the brute-force oracle in
-//! [`bind`] and against each other; the facade in [`eval`] picks the
-//! dichotomy-optimal algorithm from the `cq-core` classification.
+//! [`bind`] and against each other. Cross-algorithm *dispatch* — picking
+//! the dichotomy-optimal algorithm for a query — lives one layer up, in
+//! `cq-planner`: this crate exposes the per-theorem entry points
+//! (including the `*_with_order` generic-join variants the planner's
+//! variable-order choice drives) and stays policy-free.
 
 pub mod aggregate;
 pub mod bind;
 pub mod count;
 pub mod direct_access;
 pub mod enumerate;
-pub mod eval;
 pub mod fc_direct_access;
 pub mod generic_join;
 pub mod semijoin;
@@ -36,8 +38,7 @@ pub mod triangle_query;
 pub mod yannakakis;
 
 pub use bind::{bind, BoundAtom, EvalError};
-pub use count::{count_answers, CountAlgorithm};
 pub use direct_access::{DirectAccess, LexDirectAccess, MaterializedDirectAccess};
-pub use fc_direct_access::FreeConnexDirectAccess;
 pub use enumerate::Enumerator;
+pub use fc_direct_access::FreeConnexDirectAccess;
 pub use sum_order::SumOrderAccess;

@@ -40,25 +40,20 @@ impl SumOrderAccess {
         }
         let atoms = bind(q, db)?;
         let all = q.all_vars_mask();
-        let cover = atoms
-            .iter()
-            .position(|a| a.scope() == all)
-            .ok_or_else(|| {
-                EvalError::Unsupported(
-                    "no atom contains all variables (Thm 3.26: sum-order direct \
+        let cover = atoms.iter().position(|a| a.scope() == all).ok_or_else(|| {
+            EvalError::Unsupported(
+                "no atom contains all variables (Thm 3.26: sum-order direct \
                      access is then 3SUM-hard, Lemma 3.25)"
-                        .to_string(),
-                )
-            })?;
+                    .to_string(),
+            )
+        })?;
         let mut rel = atoms[cover].rel.clone();
         for (i, other) in atoms.iter().enumerate() {
             if i == cover {
                 continue;
             }
-            let covering = crate::bind::BoundAtom {
-                vars: atoms[cover].vars.clone(),
-                rel,
-            };
+            let covering =
+                crate::bind::BoundAtom { vars: atoms[cover].vars.clone(), rel };
             let (cc, co) = shared_cols(&covering, other);
             rel = semijoin(&covering.rel, &cc, &other.rel, &co);
         }
@@ -136,10 +131,7 @@ mod tests {
     #[test]
     fn covering_atom_sorted_by_weight() {
         let mut db = Database::new();
-        db.insert(
-            "R",
-            Relation::from_rows(2, vec![vec![0, 1], vec![2, 3], vec![1, 1]]),
-        );
+        db.insert("R", Relation::from_rows(2, vec![vec![0, 1], vec![2, 3], vec![1, 1]]));
         db.insert("S", Relation::from_values(vec![0, 1, 2]));
         // q(a, b) :- R(a, b), S(a): covering atom R
         let q = parse_query("q(a, b) :- R(a, b), S(a)").unwrap();

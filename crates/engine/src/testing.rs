@@ -107,8 +107,8 @@ mod tests {
         let t = StarTester::preprocess(&r);
         for a1 in 0..20u64 {
             for a2 in 0..20u64 {
-                let expected = (0..20u64)
-                    .any(|z| r.contains(&[a1, z]) && r.contains(&[a2, z]));
+                let expected =
+                    (0..20u64).any(|z| r.contains(&[a1, z]) && r.contains(&[a2, z]));
                 assert_eq!(t.test(&[a1, a2]), expected, "({a1},{a2})");
             }
         }

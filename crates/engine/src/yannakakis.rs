@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn cyclic_rejected() {
-        let db = cq_data::generate::triangle_database(&Relation::from_pairs(vec![(0, 1)]));
+        let db =
+            cq_data::generate::triangle_database(&Relation::from_pairs(vec![(0, 1)]));
         assert_eq!(
             decide_acyclic(&zoo::triangle_boolean(), &db).unwrap_err(),
             EvalError::NotAcyclic
@@ -131,7 +132,8 @@ mod tests {
         db.insert("S", Relation::from_pairs(vec![(2, 3), (9, 9)]));
         let q = parse_query("q() :- R(x,y), S(y,z)").unwrap();
         assert!(decide_acyclic(&q, &db).unwrap());
-        let (atoms, _) = full_reduce(&q, db.clone().insert("T", Relation::new(1))).unwrap();
+        let (atoms, _) =
+            full_reduce(&q, db.clone().insert("T", Relation::new(1))).unwrap();
         // after full reduction: R keeps (1,2) only; S keeps (2,3) only
         let r = &atoms[0].rel;
         let s = &atoms[1].rel;

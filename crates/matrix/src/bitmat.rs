@@ -98,10 +98,8 @@ impl BitMatrix {
     #[inline]
     pub fn or_row_from(&mut self, i: usize, src: &BitMatrix, src_row: usize) {
         debug_assert_eq!(self.cols, src.cols);
-        let dst =
-            &mut self.bits[i * self.words_per_row..(i + 1) * self.words_per_row];
-        let s = &src.bits
-            [src_row * src.words_per_row..(src_row + 1) * src.words_per_row];
+        let dst = &mut self.bits[i * self.words_per_row..(i + 1) * self.words_per_row];
+        let s = &src.bits[src_row * src.words_per_row..(src_row + 1) * src.words_per_row];
         for (d, &w) in dst.iter_mut().zip(s) {
             *d |= w;
         }

@@ -147,8 +147,7 @@ mod tests {
     #[test]
     fn square_triangle_detection() {
         // path 0-1-2: A² has (0,2) via 1, but A ∧ A² empty → no triangle
-        let path =
-            BitMatrix::from_entries(3, 3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let path = BitMatrix::from_entries(3, 3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
         let sq = square(&path);
         assert!(sq.get(0, 2));
         // triangle 0-1-2-0: A ∧ A² nonzero

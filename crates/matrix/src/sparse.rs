@@ -233,9 +233,9 @@ pub fn spgemm_heavy_light(
             }
         }
         let ch = multiply_rowwise(&ah, &bh);
-        for i in 0..a.n_rows {
+        for (i, out_row) in out_rows.iter_mut().enumerate().take(a.n_rows) {
             for j in ch.row_ones(i) {
-                out_rows[i].push(j as u32);
+                out_row.push(j as u32);
             }
         }
     }
@@ -245,10 +245,7 @@ pub fn spgemm_heavy_light(
         row.sort_unstable();
         row.dedup();
     }
-    (
-        SparseBoolMat { n_rows: a.n_rows, n_cols: b.n_cols, rows: out_rows },
-        stats,
-    )
+    (SparseBoolMat { n_rows: a.n_rows, n_cols: b.n_cols, rows: out_rows }, stats)
 }
 
 /// The Δ used by default for inputs with `m` total non-zeros: `m^{1/3}`,

@@ -110,7 +110,8 @@ pub fn strassen_multiply(a: &IntMatrix, b: &IntMatrix, cutoff: usize) -> IntMatr
 fn pad(m: &IntMatrix, n: usize) -> IntMatrix {
     let mut p = IntMatrix::zero(n, n);
     for i in 0..m.rows() {
-        p.data[i * n..i * n + m.cols()].copy_from_slice(&m.data[i * m.cols()..(i + 1) * m.cols()]);
+        p.data[i * n..i * n + m.cols()]
+            .copy_from_slice(&m.data[i * m.cols()..(i + 1) * m.cols()]);
     }
     p
 }
@@ -118,7 +119,8 @@ fn pad(m: &IntMatrix, n: usize) -> IntMatrix {
 fn crop(m: &IntMatrix, rows: usize, cols: usize) -> IntMatrix {
     let mut c = IntMatrix::zero(rows, cols);
     for i in 0..rows {
-        c.data[i * cols..(i + 1) * cols].copy_from_slice(&m.data[i * m.cols()..i * m.cols() + cols]);
+        c.data[i * cols..(i + 1) * cols]
+            .copy_from_slice(&m.data[i * m.cols()..i * m.cols() + cols]);
     }
     c
 }

@@ -1,0 +1,170 @@
+//! The one-call evaluation facade: plan, execute, report.
+//!
+//! These are the entry points the rest of the workspace (facade crate,
+//! examples, experiment harness) routes through. Each call plans
+//! against a process-wide shared [`Planner`] (so repeated query shapes
+//! hit the plan cache across call sites), executes the plan, and
+//! returns the result together with the plan that produced it — the
+//! plan replaces the old ad-hoc "which algorithm ran" enums and carries
+//! citations, cost, and the lower-bound story for free.
+//!
+//! For cache-controlled workflows (benchmarks, servers with per-tenant
+//! planners) use the `*_with` variants with an explicit [`Planner`] and
+//! pre-collected [`DataStats`].
+
+use crate::execute::{execute, Output};
+use crate::ir::{QueryPlan, Task};
+use crate::planner::Planner;
+use cq_core::ConjunctiveQuery;
+use cq_data::{DataStats, Database, Relation};
+use cq_engine::bind::EvalError;
+use std::sync::{Mutex, OnceLock};
+
+/// The process-wide planner behind the facade functions.
+fn global() -> &'static Mutex<Planner> {
+    static GLOBAL: OnceLock<Mutex<Planner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Planner::new()))
+}
+
+/// Run `f` with the process-wide planner (used by the facade and
+/// available for diagnostics, e.g. reading cache hit rates).
+pub fn with_global_planner<T>(f: impl FnOnce(&mut Planner) -> T) -> T {
+    let mut guard = global().lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    f(&mut guard)
+}
+
+/// Plan `task` for `q` on `db` with the process-wide planner.
+pub fn plan(q: &ConjunctiveQuery, db: &Database, task: Task) -> QueryPlan {
+    let stats = DataStats::collect(db);
+    with_global_planner(|p| p.plan(q, task, &stats))
+}
+
+/// Decide whether `q(D)` is non-empty with the dichotomy-optimal
+/// algorithm; returns the result and the plan that ran.
+pub fn decide(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(bool, QueryPlan), EvalError> {
+    let stats = DataStats::collect(db);
+    with_global_planner(|p| decide_with(p, q, db, &stats))
+}
+
+/// [`decide`] with an explicit planner and pre-collected statistics.
+pub fn decide_with(
+    planner: &mut Planner,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    stats: &DataStats,
+) -> Result<(bool, QueryPlan), EvalError> {
+    let plan = planner.plan(q, Task::Decide, stats);
+    let out = execute(&plan, q, db)?;
+    Ok((out.as_decision().expect("decide plan yields decision"), plan))
+}
+
+/// Count `|q(D)|` with the dichotomy-optimal algorithm; returns the
+/// count and the plan that ran.
+pub fn count(q: &ConjunctiveQuery, db: &Database) -> Result<(u64, QueryPlan), EvalError> {
+    let stats = DataStats::collect(db);
+    with_global_planner(|p| count_with(p, q, db, &stats))
+}
+
+/// [`count`] with an explicit planner and pre-collected statistics.
+pub fn count_with(
+    planner: &mut Planner,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    stats: &DataStats,
+) -> Result<(u64, QueryPlan), EvalError> {
+    let plan = planner.plan(q, Task::Count, stats);
+    let out = execute(&plan, q, db)?;
+    Ok((out.as_count().expect("count plan yields count"), plan))
+}
+
+/// Produce all answers of `q(D)` (distinct projections onto the free
+/// variables) with the dichotomy-optimal algorithm; returns the answer
+/// relation and the plan that ran.
+pub fn answers(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(Relation, QueryPlan), EvalError> {
+    let stats = DataStats::collect(db);
+    with_global_planner(|p| answers_with(p, q, db, &stats))
+}
+
+/// [`answers`] with an explicit planner and pre-collected statistics.
+pub fn answers_with(
+    planner: &mut Planner,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    stats: &DataStats,
+) -> Result<(Relation, QueryPlan), EvalError> {
+    let plan = planner.plan(q, Task::Answers, stats);
+    match execute(&plan, q, db)? {
+        Output::Answers(r) => Ok((r, plan)),
+        // execute() dispatches on plan.task, and the Answers dispatcher
+        // returns Output::Answers from every arm (Boolean queries get an
+        // empty nullary relation), so nothing else can come back.
+        other => unreachable!("answers plan yielded {other:?}"),
+    }
+}
+
+/// EXPLAIN `task` for `q` on `db`: plan it (feeding the shared cache)
+/// and render the plan with citations and lower-bound hypotheses.
+pub fn explain(q: &ConjunctiveQuery, db: &Database, task: Task) -> String {
+    let p = plan(q, db, task);
+    crate::explain::render(&p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_core::query::zoo;
+    use cq_data::generate::{path_database, random_pairs, seeded_rng, triangle_database};
+    use cq_engine::bind::{brute_force_answers, brute_force_count, brute_force_decide};
+
+    #[test]
+    fn facade_matches_brute_force_and_reports_plans() {
+        let db = path_database(3, 40, &mut seeded_rng(1));
+        let q = zoo::path_boolean(3);
+        let (res, plan) = decide(&q, &db).unwrap();
+        assert_eq!(res, brute_force_decide(&q, &db).unwrap());
+        assert_eq!(plan.op.name(), "Yannakakis semijoin sweep");
+
+        let q = zoo::path_join(3);
+        let (n, plan) = count(&q, &db).unwrap();
+        assert_eq!(n, brute_force_count(&q, &db).unwrap());
+        assert_eq!(plan.op.name(), "counting DP over join tree");
+
+        let db = triangle_database(&random_pairs(40, 10, &mut seeded_rng(2)));
+        let q = zoo::triangle_join();
+        let (rel, plan) = answers(&q, &db).unwrap();
+        assert_eq!(rel, brute_force_answers(&q, &db).unwrap());
+        assert_eq!(plan.op.name(), "generic join + projection");
+    }
+
+    #[test]
+    fn facade_shares_one_cache_across_calls() {
+        let db = path_database(2, 20, &mut seeded_rng(3));
+        let q = zoo::path_join(2);
+        let (_, _first) = count(&q, &db).unwrap();
+        let (_, second) = count(&q, &db).unwrap();
+        assert!(second.cache_hit, "second facade call must hit the shared cache");
+    }
+
+    #[test]
+    fn explain_facade_renders() {
+        let db = triangle_database(&random_pairs(20, 8, &mut seeded_rng(4)));
+        let text = explain(&zoo::triangle_boolean(), &db, Task::Decide);
+        assert!(text.contains("generic join"));
+        assert!(text.contains("Hypothesis"));
+    }
+
+    #[test]
+    fn boolean_answers_are_empty_schema() {
+        let db = triangle_database(&random_pairs(20, 8, &mut seeded_rng(5)));
+        let q = zoo::triangle_boolean();
+        let (rel, plan) = answers(&q, &db).unwrap();
+        assert_eq!(rel.arity(), 0);
+        assert_eq!(plan.op.name(), "generic join (worst-case optimal)");
+    }
+}

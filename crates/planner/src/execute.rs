@@ -1,0 +1,342 @@
+//! The plan executor: dispatch a [`QueryPlan`] to the `cq-engine`
+//! algorithm it names.
+//!
+//! Execution is strict about the plan/task pairing — a plan produced
+//! for [`Task::Count`] cannot be executed as enumeration — but
+//! deliberately forgiving about *re-use*: a plan can be executed any
+//! number of times, against any database (the plan stays *correct* on
+//! other databases; only its cost estimate and trivial-empty
+//! short-circuit are tied to the statistics it was planned with, which
+//! is why [`execute`] re-checks nothing and `TrivialEmpty` plans should
+//! only be replayed against the database they were planned for).
+
+use crate::ir::{PlanOp, QueryPlan, Task};
+use cq_core::ConjunctiveQuery;
+use cq_data::{Database, Relation};
+use cq_engine::bind::EvalError;
+use cq_engine::direct_access::DirectAccess;
+use cq_engine::{count, generic_join, yannakakis, Enumerator};
+
+/// The result of executing a plan: one variant per task.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Output {
+    /// `Task::Decide`: is the answer set non-empty?
+    Decision(bool),
+    /// `Task::Count`: number of answers.
+    Count(u64),
+    /// `Task::Answers`: the materialized (or enumerated) answer
+    /// relation over the free variables, sorted and deduplicated.
+    Answers(Relation),
+}
+
+impl Output {
+    /// The Boolean payload, if this is a decision.
+    pub fn as_decision(&self) -> Option<bool> {
+        match self {
+            Output::Decision(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The count payload, if this is a count.
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            Output::Count(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The relation payload, if this is an answer set.
+    pub fn into_answers(self) -> Option<Relation> {
+        match self {
+            Output::Answers(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Execute `plan` for `q` on `db`.
+///
+/// # Errors
+/// Propagates the underlying engine's [`EvalError`]s (missing
+/// relations, arity mismatches, structure violations). Returns
+/// [`EvalError::Unsupported`] if the plan's operator cannot serve the
+/// plan's task (a planner bug, not a data condition).
+pub fn execute(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<Output, EvalError> {
+    match plan.task {
+        Task::Decide => decide(plan, q, db).map(Output::Decision),
+        Task::Count => count_task(plan, q, db).map(Output::Count),
+        Task::Answers => answers(plan, q, db).map(Output::Answers),
+        Task::Access => Err(EvalError::Unsupported(
+            "direct-access plans are built with `build_lex_access`, not `execute`"
+                .to_string(),
+        )),
+    }
+}
+
+fn unsupported(plan: &QueryPlan) -> EvalError {
+    EvalError::Unsupported(format!(
+        "operator `{}` cannot serve task `{}`",
+        plan.op.name(),
+        plan.task
+    ))
+}
+
+fn decide(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<bool, EvalError> {
+    match &plan.op {
+        PlanOp::TrivialEmpty => Ok(false),
+        PlanOp::SemijoinSweep => yannakakis::decide_acyclic(q, db),
+        PlanOp::GenericJoin { order } => generic_join::decide_with_order(q, db, order),
+        _ => Err(unsupported(plan)),
+    }
+}
+
+fn count_task(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<u64, EvalError> {
+    match &plan.op {
+        PlanOp::TrivialEmpty => Ok(0),
+        // Boolean counting reuses the decision operators (|q(D)| ∈ {0,1})
+        PlanOp::SemijoinSweep if q.is_boolean() => {
+            Ok(u64::from(yannakakis::decide_acyclic(q, db)?))
+        }
+        PlanOp::GenericJoin { order } if q.is_boolean() => {
+            Ok(u64::from(generic_join::decide_with_order(q, db, order)?))
+        }
+        PlanOp::CountingDp => count::count_acyclic_join(q, db),
+        PlanOp::ProjectionEliminationDp => count::count_free_connex(q, db),
+        PlanOp::CountDistinctProject { order } => {
+            generic_join::count_distinct_with_order(q, db, order)
+        }
+        _ => Err(unsupported(plan)),
+    }
+}
+
+fn answers(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<Relation, EvalError> {
+    match &plan.op {
+        PlanOp::TrivialEmpty => Ok(Relation::new(q.free_vars().len())),
+        PlanOp::ConstantDelayEnumeration => {
+            let mut e = Enumerator::preprocess(q, db)?;
+            Ok(e.to_relation())
+        }
+        PlanOp::MaterializeProject { order } => {
+            generic_join::answers_with_order(q, db, order)
+        }
+        // cyclic Boolean queries route their (empty-schema) answer task
+        // through the early-stopping decision join
+        PlanOp::SemijoinSweep if q.is_boolean() => {
+            yannakakis::decide_acyclic(q, db)?;
+            Ok(Relation::new(0))
+        }
+        PlanOp::GenericJoin { order } if q.is_boolean() => {
+            generic_join::decide_with_order(q, db, order)?;
+            Ok(Relation::new(0))
+        }
+        _ => Err(unsupported(plan)),
+    }
+}
+
+/// Materialize-and-sort direct access for queries *with projections* —
+/// the hard-side fallback when the engine's `MaterializedDirectAccess`
+/// (which requires a join query) does not apply. Answers are the
+/// distinct free-variable projections, reported in free-variable
+/// interning order, sorted by the plan's order restricted to the free
+/// variables (remaining free variables break ties in interning order).
+struct ProjectedMaterializedAccess {
+    rows: Vec<Vec<cq_data::Val>>,
+}
+
+impl ProjectedMaterializedAccess {
+    fn build(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        order: &[cq_core::Var],
+    ) -> Result<Self, EvalError> {
+        let rel = generic_join::answers_with_order(q, db, order)?;
+        let fv = q.free_vars();
+        // sort key: columns of `rel` (= free vars in interning order) in
+        // the sequence they appear in `order`, then the rest
+        let mut key_cols: Vec<usize> =
+            order.iter().filter_map(|v| fv.iter().position(|f| f == v)).collect();
+        for c in 0..fv.len() {
+            if !key_cols.contains(&c) {
+                key_cols.push(c);
+            }
+        }
+        let mut rows: Vec<Vec<cq_data::Val>> = rel.iter().map(|r| r.to_vec()).collect();
+        rows.sort_by(|a, b| {
+            key_cols.iter().map(|&c| a[c]).cmp(key_cols.iter().map(|&c| b[c]))
+        });
+        Ok(ProjectedMaterializedAccess { rows })
+    }
+}
+
+impl DirectAccess for ProjectedMaterializedAccess {
+    fn len(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    fn access(&self, i: u64) -> Option<Vec<cq_data::Val>> {
+        self.rows.get(i as usize).cloned()
+    }
+}
+
+/// Build the direct-access structure a [`Task::Access`] plan names
+/// (lexicographic variants; see [`crate::planner::Planner::plan_lex_access`]).
+pub fn build_lex_access(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<Box<dyn DirectAccess>, EvalError> {
+    match &plan.op {
+        PlanOp::LexDirectAccess { order } => {
+            Ok(Box::new(cq_engine::direct_access::LexDirectAccess::build(q, db, order)?))
+        }
+        // the engine's materialized access handles join queries; queries
+        // with projections take the projected materialization fallback
+        PlanOp::MaterializedDirectAccess { order } if q.is_join_query() => Ok(Box::new(
+            cq_engine::direct_access::MaterializedDirectAccess::build(q, db, order)?,
+        )),
+        PlanOp::MaterializedDirectAccess { order } => {
+            Ok(Box::new(ProjectedMaterializedAccess::build(q, db, order)?))
+        }
+        PlanOp::FreeConnexDirectAccess => Ok(Box::new(
+            cq_engine::fc_direct_access::FreeConnexDirectAccess::build(q, db)?,
+        )),
+        _ => Err(unsupported(plan)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Task;
+    use crate::planner::Planner;
+    use cq_core::query::zoo;
+    use cq_data::generate::{path_database, random_pairs, seeded_rng, triangle_database};
+    use cq_data::DataStats;
+    use cq_engine::bind::{brute_force_count, brute_force_decide};
+
+    #[test]
+    fn executes_each_operator_kind() {
+        let mut p = Planner::new();
+        let db = path_database(3, 40, &mut seeded_rng(1));
+        let stats = DataStats::collect(&db);
+
+        let q = zoo::path_boolean(3);
+        let plan = p.plan(&q, Task::Decide, &stats);
+        let got = execute(&plan, &q, &db).unwrap().as_decision().unwrap();
+        assert_eq!(got, brute_force_decide(&q, &db).unwrap());
+
+        let q = zoo::path_join(3);
+        let plan = p.plan(&q, Task::Count, &stats);
+        let got = execute(&plan, &q, &db).unwrap().as_count().unwrap();
+        assert_eq!(got, brute_force_count(&q, &db).unwrap());
+
+        let db = triangle_database(&random_pairs(30, 10, &mut seeded_rng(2)));
+        let stats = DataStats::collect(&db);
+        let q = zoo::triangle_join();
+        let plan = p.plan(&q, Task::Answers, &stats);
+        let got = execute(&plan, &q, &db).unwrap().into_answers().unwrap();
+        assert_eq!(got, cq_engine::bind::brute_force_answers(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn task_op_mismatch_is_an_error() {
+        let db = path_database(2, 10, &mut seeded_rng(3));
+        let stats = DataStats::collect(&db);
+        let q = zoo::path_join(2);
+        let count_plan = Planner::new().plan(&q, Task::Count, &stats);
+        let wrong = QueryPlan { task: Task::Decide, ..count_plan };
+        assert!(matches!(execute(&wrong, &q, &db), Err(EvalError::Unsupported(_))));
+    }
+
+    #[test]
+    fn trivial_empty_plans_execute_in_constant_time() {
+        let mut db = cq_data::Database::new();
+        db.insert("R1", cq_data::Relation::new(2));
+        db.insert("R2", cq_data::Relation::from_pairs(vec![(1, 2)]));
+        let stats = DataStats::collect(&db);
+        let q = zoo::path_join(2);
+        let mut p = Planner::new();
+        for task in [Task::Decide, Task::Count, Task::Answers] {
+            let plan = p.plan(&q, task, &stats);
+            assert_eq!(plan.op, PlanOp::TrivialEmpty);
+            match execute(&plan, &q, &db).unwrap() {
+                Output::Decision(b) => assert!(!b),
+                Output::Count(c) => assert_eq!(c, 0),
+                Output::Answers(r) => assert!(r.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_relation_errors_like_the_engine() {
+        let db = cq_data::Database::new();
+        let stats = DataStats::collect(&db);
+        let q = zoo::path_join(2);
+        let plan = Planner::new().plan(&q, Task::Count, &stats);
+        assert!(matches!(execute(&plan, &q, &db), Err(EvalError::MissingRelation(_))));
+    }
+
+    #[test]
+    fn access_plans_for_projected_queries_build_and_match_answers() {
+        // regression: the hard-side Task::Access fallback must be
+        // buildable for non-join queries (the engine's materialized
+        // access rejects them)
+        let db = path_database(2, 30, &mut seeded_rng(8));
+        let stats = DataStats::collect(&db);
+        for q in [zoo::matmul_projection(), zoo::star_selfjoin_free(2)] {
+            let mut db = cq_data::Database::new();
+            let mut rng = seeded_rng(9);
+            for atom in q.atoms() {
+                db.insert(
+                    &atom.relation,
+                    cq_data::generate::random_relation(atom.vars.len(), 25, 6, &mut rng),
+                );
+            }
+            let plan = Planner::new().plan(&q, Task::Access, &stats);
+            assert!(matches!(plan.op, PlanOp::MaterializedDirectAccess { .. }), "{q}");
+            let da = build_lex_access(&plan, &q, &db).unwrap();
+            let expected = cq_engine::bind::brute_force_answers(&q, &db).unwrap();
+            assert_eq!(da.len(), expected.len() as u64, "{q}");
+            // every answer reachable, none out of range
+            for i in 0..da.len() {
+                let row = da.access(i).unwrap();
+                assert!(expected.contains(&row), "{q}: row {row:?} not an answer");
+            }
+            assert_eq!(da.access(da.len()), None);
+        }
+    }
+
+    #[test]
+    fn lex_access_builds_and_matches_materialized() {
+        let db = path_database(2, 30, &mut seeded_rng(4));
+        let stats = DataStats::collect(&db);
+        let q = zoo::path_join(2);
+        let order: Vec<_> = q.vars().collect();
+        let plan = Planner::plan_lex_access(&q, &order, &stats);
+        let da = build_lex_access(&plan, &q, &db).unwrap();
+        let mat =
+            cq_engine::direct_access::MaterializedDirectAccess::build(&q, &db, &order)
+                .unwrap();
+        assert_eq!(da.len(), mat.len());
+        for i in 0..da.len() {
+            assert_eq!(da.access(i), mat.access(i));
+        }
+    }
+}

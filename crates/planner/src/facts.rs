@@ -1,0 +1,147 @@
+//! Structural facts of a query shape — the unit the plan cache stores.
+//!
+//! Everything the planner's *algorithm choice* depends on is collected
+//! into [`ShapeFacts`]: the dichotomy-relevant structure (acyclicity,
+//! free-connexity, self-join-freeness, quantified star size, the
+//! Brault-Baron witness, the AGM exponent). Facts are computed once per
+//! query *shape* — they are invariant under variable relabelings, so a
+//! cache hit on the canonical shape skips the entire classification
+//! pass. The only non-shape inputs to planning are data statistics,
+//! which are folded in at instantiation time (see
+//! [`crate::planner::Planner`]).
+
+use cq_core::brault_baron::{self, WitnessKind};
+use cq_core::canonical::Relabeling;
+use cq_core::free_connex::connexity;
+use cq_core::hypergraph::mask_vertices;
+use cq_core::star_size::quantified_star_size;
+use cq_core::{agm, ConjunctiveQuery, Var};
+
+/// Shape-level facts driving algorithm choice. All masks are in the
+/// space of the query (or, inside the cache, the canonical space).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ShapeFacts {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// α-acyclic hypergraph?
+    pub acyclic: bool,
+    /// Free-connex (acyclic and `H ∪ {free}` acyclic)?
+    pub free_connex: bool,
+    /// All relation symbols distinct?
+    pub self_join_free: bool,
+    /// Every variable free?
+    pub join_query: bool,
+    /// No variable free?
+    pub boolean: bool,
+    /// Quantified star size (§4.4) — the counting exponent.
+    pub star_size: usize,
+    /// AGM fractional edge-cover exponent ρ*, when defined.
+    pub agm_exponent: Option<f64>,
+    /// Brault-Baron witness for cyclic queries (Thm 3.6): kind and
+    /// vertex mask.
+    pub bb_witness: Option<(WitnessKind, u64)>,
+}
+
+impl ShapeFacts {
+    /// Compute the facts of `q` — the expensive classification pass the
+    /// plan cache exists to skip.
+    pub fn of(q: &ConjunctiveQuery) -> ShapeFacts {
+        let conn = connexity(q);
+        let bb = if conn.acyclic {
+            None
+        } else {
+            brault_baron::find_witness(&q.hypergraph()).map(|w| (w.kind, w.vertices))
+        };
+        ShapeFacts {
+            n_vars: q.n_vars(),
+            acyclic: conn.acyclic,
+            free_connex: conn.free_connex,
+            self_join_free: q.is_self_join_free(),
+            join_query: q.is_join_query(),
+            boolean: q.is_boolean(),
+            star_size: quantified_star_size(q),
+            agm_exponent: agm::agm_exponent(q),
+            bb_witness: bb,
+        }
+    }
+
+    /// Map the facts' masks through `relab` (used to store facts in
+    /// canonical space and to bring cached facts back into a concrete
+    /// query's variable space).
+    pub fn relabeled(&self, relab: &Relabeling) -> ShapeFacts {
+        let mut f = self.clone();
+        f.bb_witness = self.bb_witness.map(|(k, m)| (k, relab.map_mask(m)));
+        f
+    }
+
+    /// Render a witness mask with the query's variable names, in the
+    /// style of `cq_core::classify`.
+    pub fn witness_text(q: &ConjunctiveQuery, kind: WitnessKind, mask: u64) -> String {
+        let vars: Vec<&str> =
+            mask_vertices(mask).map(|v| q.var_name(Var(v as u32))).collect();
+        match kind {
+            WitnessKind::Cycle => format!(
+                "induced cycle on {{{}}} (embeds triangle finding)",
+                vars.join(", ")
+            ),
+            WitnessKind::NearUniformHyperclique => format!(
+                "{}-uniform hyperclique pattern on {{{}}} (Loomis–Whitney q^LW_{})",
+                vars.len() - 1,
+                vars.join(", "),
+                vars.len()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_core::canonical::canonical_shape;
+    use cq_core::query::zoo;
+
+    #[test]
+    fn facts_match_classify_on_zoo() {
+        for q in [
+            zoo::triangle_boolean(),
+            zoo::triangle_join(),
+            zoo::path_join(3),
+            zoo::star_selfjoin(2),
+            zoo::star_selfjoin_free(3),
+            zoo::matmul_projection(),
+            zoo::loomis_whitney_boolean(4),
+        ] {
+            let f = ShapeFacts::of(&q);
+            let p = cq_core::classify::classify(&q);
+            assert_eq!(f.acyclic, p.acyclic, "{q}");
+            assert_eq!(f.free_connex, p.free_connex, "{q}");
+            assert_eq!(f.self_join_free, p.self_join_free, "{q}");
+            assert_eq!(f.star_size, p.quantified_star_size, "{q}");
+            assert_eq!(f.agm_exponent, p.agm_exponent, "{q}");
+            assert_eq!(
+                f.bb_witness,
+                p.bb_witness.as_ref().map(|w| (w.kind, w.vertices)),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn relabeling_roundtrips_witness_mask() {
+        let q = zoo::cycle_boolean(4);
+        let facts = ShapeFacts::of(&q);
+        let (_, relab) = canonical_shape(&q);
+        let canon = facts.relabeled(&relab);
+        let back = canon.relabeled(&relab.inverse());
+        assert_eq!(facts, back);
+        assert!(facts.bb_witness.is_some());
+    }
+
+    #[test]
+    fn witness_text_uses_query_names() {
+        let q = zoo::triangle_boolean();
+        let (kind, mask) = ShapeFacts::of(&q).bb_witness.unwrap();
+        let text = ShapeFacts::witness_text(&q, kind, mask);
+        assert!(text.contains('x') && text.contains("cycle"), "{text}");
+    }
+}

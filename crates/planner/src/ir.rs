@@ -1,0 +1,268 @@
+//! The plan intermediate representation.
+//!
+//! A [`QueryPlan`] is the planner's contract with the executor and with
+//! the user: *which* physical operator runs (one per upper-bound theorem
+//! implemented in `cq-engine`), *what it costs* on this database, and
+//! *why nothing asymptotically faster exists* (the conditional lower
+//! bound of the paper's dichotomies, or the note explaining why the case
+//! is open). Plans are plain data — they can be cached, compared,
+//! rendered ([`QueryPlan::explain`]), and executed any number of times.
+
+use cq_core::{ConjunctiveQuery, Hypothesis, Var};
+use std::fmt;
+
+/// The evaluation task a plan answers, matching the paper's task
+/// taxonomy (§1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Task {
+    /// Boolean decision: is `q(D)` non-empty?
+    Decide,
+    /// Counting: `|q(D)|`.
+    Count,
+    /// Producing all answers (materialized or enumerated).
+    Answers,
+    /// Direct access: the `i`-th answer in a fixed order.
+    Access,
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Task::Decide => "Boolean decision",
+            Task::Count => "counting",
+            Task::Answers => "answer production",
+            Task::Access => "direct access",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A physical operator, each backed by one `cq-engine` algorithm.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PlanOp {
+    /// The database makes the answer trivially empty (some body relation
+    /// has no tuples): answer in O(1) without touching the engine.
+    TrivialEmpty,
+    /// Yannakakis semijoin sweeps over a join tree (Thm 3.1).
+    SemijoinSweep,
+    /// Worst-case optimal generic join with the given global variable
+    /// order, with early stop for decision (§2.1, Ex 3.4).
+    GenericJoin {
+        /// Planner-chosen global variable order (cheapest column first).
+        order: Vec<Var>,
+    },
+    /// Counting DP over a join tree of an acyclic join query (Thm 3.8).
+    CountingDp,
+    /// Projection elimination along a join tree of `H ∪ {free}`, then
+    /// the counting DP — free-connex counting (Thm 3.13).
+    ProjectionEliminationDp,
+    /// Generic join materializing the distinct free-variable
+    /// projections, for counting on the hard side (Lemma 3.9 baseline).
+    CountDistinctProject {
+        /// Planner-chosen global variable order.
+        order: Vec<Var>,
+    },
+    /// Free-connex constant-delay enumeration: linear preprocessing,
+    /// constant delay per answer (Thm 3.17).
+    ConstantDelayEnumeration,
+    /// Generic join + distinct projection — the materialization baseline
+    /// for answer production on the hard side.
+    MaterializeProject {
+        /// Planner-chosen global variable order.
+        order: Vec<Var>,
+    },
+    /// Lexicographic direct access through a ⪯-compatible join tree and
+    /// mixed-radix navigation (Thm 3.24).
+    LexDirectAccess {
+        /// The lexicographic variable order accessed.
+        order: Vec<Var>,
+    },
+    /// Free-connex direct access in a query-chosen order (Thm 3.18).
+    FreeConnexDirectAccess,
+    /// Materialize-and-sort fallback for direct access on the hard side.
+    MaterializedDirectAccess {
+        /// The order materialized.
+        order: Vec<Var>,
+    },
+}
+
+impl PlanOp {
+    /// Human-readable operator name (stable across releases; EXPLAIN
+    /// output and tests key on it).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::TrivialEmpty => "trivial-empty short-circuit",
+            PlanOp::SemijoinSweep => "Yannakakis semijoin sweep",
+            PlanOp::GenericJoin { .. } => "generic join (worst-case optimal)",
+            PlanOp::CountingDp => "counting DP over join tree",
+            PlanOp::ProjectionEliminationDp => "projection elimination + counting DP",
+            PlanOp::CountDistinctProject { .. } => {
+                "generic join + distinct-projection count"
+            }
+            PlanOp::ConstantDelayEnumeration => "constant-delay enumeration",
+            PlanOp::MaterializeProject { .. } => "generic join + projection",
+            PlanOp::LexDirectAccess { .. } => "ordered join tree + mixed-radix access",
+            PlanOp::FreeConnexDirectAccess => "free-connex direct access",
+            PlanOp::MaterializedDirectAccess { .. } => "materialize + sort access",
+        }
+    }
+
+    /// The planner-chosen variable order, when the operator has one.
+    pub fn order(&self) -> Option<&[Var]> {
+        match self {
+            PlanOp::GenericJoin { order }
+            | PlanOp::CountDistinctProject { order }
+            | PlanOp::MaterializeProject { order }
+            | PlanOp::LexDirectAccess { order }
+            | PlanOp::MaterializedDirectAccess { order } => Some(order),
+            _ => None,
+        }
+    }
+}
+
+/// Estimated cost of a plan on the database it was planned against:
+/// roughly `m^exponent` operations up to polylog factors.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CostEstimate {
+    /// Database size `m` (total tuples) at planning time.
+    pub m: usize,
+    /// Runtime exponent: 1.0 on the (quasi-)linear side, the AGM
+    /// fractional edge-cover number ρ* for generic-join plans.
+    pub exponent: f64,
+}
+
+impl CostEstimate {
+    /// `m^exponent`, the estimated operation count.
+    pub fn operations(&self) -> f64 {
+        (self.m.max(1) as f64).powf(self.exponent)
+    }
+}
+
+impl fmt::Display for CostEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if (self.exponent - 1.0).abs() < 1e-9 {
+            write!(f, "Õ(m) with m = {}", self.m)
+        } else {
+            write!(
+                f,
+                "Õ(m^{:.2}) with m = {} (≈ {:.1e} ops)",
+                self.exponent,
+                self.m,
+                self.operations()
+            )
+        }
+    }
+}
+
+/// Why the plan cannot be beaten asymptotically — the lower-bound half
+/// of the paper's dichotomy, attached to every plan.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LowerBound {
+    /// The plan already runs in quasi-linear time; no conditional
+    /// hypothesis is needed.
+    Linear {
+        /// Paper reference for the matching upper bound.
+        reference: &'static str,
+    },
+    /// Anything faster than this plan would refute one of the listed
+    /// hypotheses (via the witnessing substructure).
+    Conditional {
+        /// Hypotheses any faster algorithm would refute.
+        hypotheses: Vec<Hypothesis>,
+        /// Conditional runtime exponent, when the paper pins one down
+        /// (e.g. quantified star size for counting, Thm 4.6).
+        exponent: Option<f64>,
+        /// Human-readable witnessing structure, rendered with this
+        /// query's variable names.
+        witness: String,
+        /// Paper reference for the lower bound.
+        reference: &'static str,
+    },
+    /// The paper's theory does not settle the case (typically self-joins
+    /// outside a theorem's scope).
+    Open {
+        /// Why the case is open.
+        note: String,
+    },
+}
+
+/// A complete, executable query plan.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QueryPlan {
+    /// The task this plan answers.
+    pub task: Task,
+    /// The physical operator.
+    pub op: PlanOp,
+    /// Paper reference for the algorithm (upper bound).
+    pub algorithm_reference: &'static str,
+    /// Estimated cost on the planned database.
+    pub cost: CostEstimate,
+    /// Why nothing asymptotically faster exists (or why that is open).
+    pub lower_bound: LowerBound,
+    /// Rendered query text (for EXPLAIN and diagnostics).
+    pub query: String,
+    /// Whether this plan was instantiated from a plan-cache hit.
+    pub cache_hit: bool,
+}
+
+impl QueryPlan {
+    /// Do two plans agree on everything except cache provenance? The
+    /// plan-cache contract is that hits instantiate *identical* plans —
+    /// this is what tests assert.
+    pub fn same_decision(&self, other: &QueryPlan) -> bool {
+        self.task == other.task
+            && self.op == other.op
+            && self.algorithm_reference == other.algorithm_reference
+            && self.cost == other.cost
+            && self.lower_bound == other.lower_bound
+            && self.query == other.query
+    }
+
+    /// Render the variable order with the query's variable names.
+    pub(crate) fn render_order(q: &ConjunctiveQuery, order: &[Var]) -> String {
+        let names: Vec<&str> = order.iter().map(|&v| q.var_name(v)).collect();
+        format!("[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_names_are_distinct() {
+        let ops = [
+            PlanOp::TrivialEmpty,
+            PlanOp::SemijoinSweep,
+            PlanOp::GenericJoin { order: vec![] },
+            PlanOp::CountingDp,
+            PlanOp::ProjectionEliminationDp,
+            PlanOp::CountDistinctProject { order: vec![] },
+            PlanOp::ConstantDelayEnumeration,
+            PlanOp::MaterializeProject { order: vec![] },
+            PlanOp::LexDirectAccess { order: vec![] },
+            PlanOp::FreeConnexDirectAccess,
+            PlanOp::MaterializedDirectAccess { order: vec![] },
+        ];
+        let mut names: Vec<&str> = ops.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ops.len());
+    }
+
+    #[test]
+    fn cost_display_linear_vs_superlinear() {
+        let lin = CostEstimate { m: 100, exponent: 1.0 };
+        assert!(lin.to_string().contains("Õ(m)"));
+        let tri = CostEstimate { m: 100, exponent: 1.5 };
+        assert!(tri.to_string().contains("m^1.50"));
+        assert!((tri.operations() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_accessor() {
+        let op = PlanOp::GenericJoin { order: vec![Var(1), Var(0)] };
+        assert_eq!(op.order(), Some(&[Var(1), Var(0)][..]));
+        assert_eq!(PlanOp::SemijoinSweep.order(), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! # cq-planner — plan IR, cost-aware planning, and execution
+//!
+//! The paper's dichotomies say *which algorithm is optimal for which
+//! query structure*; this crate turns that knowledge into an explicit,
+//! inspectable pipeline:
+//!
+//! ```text
+//!   parse ──► classify ──────► plan ─────► execute
+//!   (cq-core)  (ShapeFacts,     (QueryPlan)  (cq-engine
+//!               shape-cached)                 algorithms)
+//! ```
+//!
+//! * [`ir`] — the plan intermediate representation: [`QueryPlan`] over
+//!   physical operators ([`PlanOp`]), each backed by one `cq-engine`
+//!   algorithm and annotated with its cost estimate and the paper's
+//!   lower-bound story ([`LowerBound`]).
+//! * [`planner`] — [`Planner`]: consumes structural facts
+//!   ([`facts::ShapeFacts`], the executable form of the classification
+//!   theorems) plus data statistics ([`cq_data::DataStats`]) and emits
+//!   the dichotomy-optimal plan per task.
+//! * [`cache`] — the plan cache, keyed by the canonical hypergraph
+//!   shape ([`cq_core::canonical`]): repeated and isomorphic queries
+//!   skip classification entirely.
+//! * [`execute`] — the executor dispatching plans to `cq-engine`.
+//! * [`explain`] — EXPLAIN rendering with theorem citations and the
+//!   hypothesis ruling out anything faster.
+//! * [`eval`] — the one-call facade (`decide` / `count` / `answers` /
+//!   `explain`) used by the facade crate, examples, and experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use cq_planner::{eval, Task};
+//! use cq_core::query::zoo;
+//! use cq_data::{Database, Relation};
+//!
+//! let q = zoo::triangle_boolean();
+//! let mut db = Database::new();
+//! for r in ["R1", "R2", "R3"] {
+//!     db.insert(r, Relation::from_pairs(vec![(1, 2), (2, 3)]));
+//! }
+//! let (nonempty, _plan) = eval::decide(&q, &db).unwrap();
+//! assert!(!nonempty);
+//! // the plan knows what ran and why nothing faster exists:
+//! let text = eval::explain(&q, &db, Task::Decide);
+//! assert!(text.contains("generic join"));
+//! ```
+
+pub mod cache;
+pub mod eval;
+pub mod execute;
+pub mod explain;
+pub mod facts;
+pub mod ir;
+pub mod planner;
+
+pub use cache::{CacheStats, PlanCache};
+pub use execute::{build_lex_access, execute, Output};
+pub use ir::{CostEstimate, LowerBound, PlanOp, QueryPlan, Task};
+pub use planner::Planner;

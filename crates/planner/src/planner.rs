@@ -1,0 +1,615 @@
+//! The cost-aware, dichotomy-driven planner.
+//!
+//! [`Planner::plan`] turns (query, task, statistics) into a
+//! [`QueryPlan`]: the structural side (which algorithm family is
+//! dichotomy-optimal, and which hypothesis rules out anything faster)
+//! comes from the cached [`ShapeFacts`]; the physical side (generic-join
+//! variable order, trivial-empty short-circuits, cost estimates) comes
+//! from the per-database [`DataStats`]. Planning is deterministic: the
+//! same query, task, and statistics always produce the same plan,
+//! whether or not the shape came from the cache — the property the
+//! cache consistency tests pin down.
+
+use crate::cache::PlanCache;
+use crate::facts::ShapeFacts;
+use crate::ir::{CostEstimate, LowerBound, PlanOp, QueryPlan, Task};
+use cq_core::brault_baron::WitnessKind;
+use cq_core::classify::{classify_direct_access_lex, Verdict};
+use cq_core::{ConjunctiveQuery, Hypothesis, Var};
+use cq_data::DataStats;
+
+/// The planning subsystem: a [`PlanCache`] plus the choice logic.
+#[derive(Debug, Default)]
+pub struct Planner {
+    cache: PlanCache,
+}
+
+impl Planner {
+    /// A planner with an empty cache.
+    pub fn new() -> Self {
+        Planner::default()
+    }
+
+    /// The plan cache (hit counters, size).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Drop all cached shapes.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Plan `task` for `q` against a database summarized by `stats`,
+    /// using (and feeding) the plan cache.
+    pub fn plan(
+        &mut self,
+        q: &ConjunctiveQuery,
+        task: Task,
+        stats: &DataStats,
+    ) -> QueryPlan {
+        let (facts, cache_hit) = self.cache.facts_for(q);
+        let mut plan = choose(q, task, &facts, stats);
+        plan.cache_hit = cache_hit;
+        plan
+    }
+
+    /// One-shot planning without a cache (the cold path, for benchmarks
+    /// and comparisons).
+    pub fn plan_uncached(
+        q: &ConjunctiveQuery,
+        task: Task,
+        stats: &DataStats,
+    ) -> QueryPlan {
+        choose(q, task, &ShapeFacts::of(q), stats)
+    }
+
+    /// Plan lexicographic direct access under `order` (Thm 3.24). These
+    /// plans are order-dependent and bypass the shape cache.
+    pub fn plan_lex_access(
+        q: &ConjunctiveQuery,
+        order: &[Var],
+        stats: &DataStats,
+    ) -> QueryPlan {
+        let m = stats.m();
+        let facts = ShapeFacts::of(q);
+        let verdict = classify_direct_access_lex(q, order);
+        let (op, algorithm_reference, cost) = match &verdict {
+            Verdict::Easy { .. } => (
+                PlanOp::LexDirectAccess { order: order.to_vec() },
+                "Thm 3.24 [27]",
+                CostEstimate { m, exponent: 1.0 },
+            ),
+            _ => (
+                // hard or out-of-scope orders: materialize + sort
+                PlanOp::MaterializedDirectAccess { order: order.to_vec() },
+                "materialization baseline (Lemma 3.9)",
+                CostEstimate { m, exponent: facts.agm_exponent.unwrap_or(2.0) },
+            ),
+        };
+        QueryPlan {
+            task: Task::Access,
+            op,
+            algorithm_reference,
+            cost,
+            lower_bound: lower_bound_from_verdict(&verdict),
+            query: q.to_string(),
+            cache_hit: false,
+        }
+    }
+}
+
+/// Translate a `cq_core` verdict into a plan lower bound (used for the
+/// order-dependent direct-access tasks that keep their classification in
+/// `cq_core::classify`).
+fn lower_bound_from_verdict(v: &Verdict) -> LowerBound {
+    match v {
+        Verdict::Easy { reference, .. } => LowerBound::Linear { reference },
+        Verdict::Hard { hypotheses, exponent, witness, reference } => {
+            LowerBound::Conditional {
+                hypotheses: hypotheses.clone(),
+                exponent: *exponent,
+                witness: witness.clone(),
+                reference,
+            }
+        }
+        Verdict::Open { note } => LowerBound::Open { note: note.clone() },
+    }
+}
+
+/// Hypotheses refuted by a faster algorithm on a cyclic query, by
+/// witness kind (Thm 3.7's case split).
+fn cyclic_hypotheses(kind: WitnessKind) -> Vec<Hypothesis> {
+    match kind {
+        WitnessKind::Cycle => vec![Hypothesis::Triangle],
+        WitnessKind::NearUniformHyperclique => vec![Hypothesis::Hyperclique],
+    }
+}
+
+/// The planner's variable-order heuristic for generic-join operators:
+/// ascending estimated candidate count, where a variable's estimate is
+/// the minimum distinct-value count over the atom columns it occurs in.
+/// Smallest-first minimizes the branching at the top of the leapfrog
+/// search; ties break on interning order so planning is deterministic.
+fn variable_order(q: &ConjunctiveQuery, stats: &DataStats) -> Vec<Var> {
+    let n = q.n_vars();
+    let mut est: Vec<u64> = vec![u64::MAX; n];
+    for atom in q.atoms() {
+        let rel = stats.relation(&atom.relation);
+        for (c, v) in atom.vars.iter().enumerate() {
+            let d = match rel {
+                Some(r) => r.distinct(c) as u64,
+                None => u64::MAX,
+            };
+            est[v.index()] = est[v.index()].min(d);
+        }
+    }
+    let mut order: Vec<Var> = q.vars().collect();
+    order.sort_by_key(|v| (est[v.index()], v.0));
+    order
+}
+
+/// Is some body relation present (with the right arity) but empty, so
+/// the answer is trivially empty? Missing relations and arity
+/// mismatches are *not* short-circuited: those must surface as the
+/// executor's `EvalError`, identically to an unplanned evaluation.
+fn trivially_empty(q: &ConjunctiveQuery, stats: &DataStats) -> bool {
+    q.atoms().iter().any(|a| {
+        stats.relation(&a.relation).is_some_and(|r| r.rows == 0 && r.arity == a.arity())
+    })
+}
+
+/// The dichotomy + cost choice. Deterministic in its arguments.
+fn choose(
+    q: &ConjunctiveQuery,
+    task: Task,
+    facts: &ShapeFacts,
+    stats: &DataStats,
+) -> QueryPlan {
+    let m = stats.m();
+    let linear = CostEstimate { m, exponent: 1.0 };
+    let agm = CostEstimate {
+        m,
+        exponent: facts.agm_exponent.unwrap_or(q.atoms().len() as f64),
+    };
+
+    // Data-driven short-circuit: an empty body relation empties q(D).
+    if trivially_empty(q, stats) {
+        return QueryPlan {
+            task,
+            op: PlanOp::TrivialEmpty,
+            algorithm_reference: "empty body relation",
+            cost: CostEstimate { m, exponent: 0.0 },
+            lower_bound: LowerBound::Linear { reference: "O(1): some relation is empty" },
+            query: q.to_string(),
+            cache_hit: false,
+        };
+    }
+
+    let witness = |kind: WitnessKind, mask: u64| ShapeFacts::witness_text(q, kind, mask);
+
+    let (op, algorithm_reference, cost, lower_bound) = match task {
+        // ---- Boolean decision (Thm 3.1 / Thm 3.7) ----
+        Task::Decide => {
+            if facts.acyclic {
+                (
+                    PlanOp::SemijoinSweep,
+                    "Thm 3.1 (Yannakakis)",
+                    linear,
+                    LowerBound::Linear { reference: "Thm 3.1" },
+                )
+            } else {
+                let (kind, mask) = facts.bb_witness.expect("cyclic ⇒ witness (Thm 3.6)");
+                let lb = if facts.self_join_free {
+                    LowerBound::Conditional {
+                        hypotheses: cyclic_hypotheses(kind),
+                        exponent: None,
+                        witness: witness(kind, mask),
+                        reference: "Thm 3.7",
+                    }
+                } else {
+                    LowerBound::Open {
+                        note: format!(
+                            "cyclic with self-joins; Thm 3.7 needs \
+                             self-join-freeness (cf. [14, 26]); contains {}",
+                            witness(kind, mask)
+                        ),
+                    }
+                };
+                (
+                    PlanOp::GenericJoin { order: variable_order(q, stats) },
+                    "§2.1 / Ex 3.4 (AGM-optimal generic join, early stop)",
+                    agm,
+                    lb,
+                )
+            }
+        }
+
+        // ---- Counting (Thm 3.8 / 3.12 / 3.13 / 4.6) ----
+        Task::Count => {
+            if facts.boolean {
+                // counting a Boolean query is deciding it
+                return decide_as_count(choose(q, Task::Decide, facts, stats));
+            }
+            if facts.join_query && facts.acyclic {
+                (
+                    PlanOp::CountingDp,
+                    "Thm 3.8 (counting DP over join tree)",
+                    linear,
+                    LowerBound::Linear { reference: "Thm 3.8" },
+                )
+            } else if facts.free_connex {
+                (
+                    PlanOp::ProjectionEliminationDp,
+                    "Thm 3.13 (projection elimination + counting DP)",
+                    linear,
+                    LowerBound::Linear { reference: "Thm 3.13" },
+                )
+            } else {
+                let lb = counting_lower_bound(facts, &witness);
+                (
+                    PlanOp::CountDistinctProject { order: variable_order(q, stats) },
+                    "Lemma 3.9 / Cor 3.11 (materialization baseline)",
+                    CostEstimate {
+                        m,
+                        exponent: agm.exponent.max(facts.star_size.max(1) as f64),
+                    },
+                    lb,
+                )
+            }
+        }
+
+        // ---- Answer production (Thm 3.17 / 3.14 / 3.16 / 4.5) ----
+        Task::Answers => {
+            if facts.boolean && !facts.acyclic {
+                // a cyclic Boolean query has no output columns: run the
+                // early-stopping decision join instead of materializing
+                let decide_plan = choose(q, Task::Decide, facts, stats);
+                return QueryPlan { task: Task::Answers, ..decide_plan };
+            }
+            if facts.free_connex {
+                (
+                    PlanOp::ConstantDelayEnumeration,
+                    "Thm 3.17 [BDG07] (constant delay after linear preprocessing)",
+                    linear,
+                    LowerBound::Linear { reference: "Thm 3.17" },
+                )
+            } else {
+                let lb = enumeration_lower_bound(facts, &witness);
+                (
+                    PlanOp::MaterializeProject { order: variable_order(q, stats) },
+                    "materialization baseline (generic join + projection)",
+                    agm,
+                    lb,
+                )
+            }
+        }
+
+        // ---- Direct access in a query-chosen order (Thm 3.18) ----
+        Task::Access => {
+            if facts.free_connex {
+                (
+                    PlanOp::FreeConnexDirectAccess,
+                    "Thm 3.18 [19, 27] (linear preprocessing, log access)",
+                    linear,
+                    LowerBound::Linear { reference: "Thm 3.18" },
+                )
+            } else {
+                let lb = access_lower_bound(facts, &witness);
+                (
+                    PlanOp::MaterializedDirectAccess { order: variable_order(q, stats) },
+                    "materialization baseline (Lemma 3.9)",
+                    agm,
+                    lb,
+                )
+            }
+        }
+    };
+
+    QueryPlan {
+        task,
+        op,
+        algorithm_reference,
+        cost,
+        lower_bound,
+        query: q.to_string(),
+        cache_hit: false,
+    }
+}
+
+/// Rebrand a decision plan as the counting plan for a Boolean query
+/// (`|q(D)| ∈ {0, 1}` is exactly the decision problem).
+fn decide_as_count(decide_plan: QueryPlan) -> QueryPlan {
+    QueryPlan { task: Task::Count, ..decide_plan }
+}
+
+/// Counting lower bound on the hard side (Thm 3.12 / 3.13 / 4.6).
+fn counting_lower_bound(
+    facts: &ShapeFacts,
+    witness: &dyn Fn(WitnessKind, u64) -> String,
+) -> LowerBound {
+    if facts.acyclic {
+        // acyclic but not free-connex
+        let star = facts.star_size;
+        if facts.self_join_free {
+            LowerBound::Conditional {
+                hypotheses: vec![Hypothesis::Seth],
+                exponent: Some(star.max(2) as f64),
+                witness: format!(
+                    "embeds q*_{} (quantified star size {star})",
+                    star.max(2)
+                ),
+                reference: "Thm 3.12 / Thm 4.6",
+            }
+        } else {
+            LowerBound::Open {
+                note: format!(
+                    "acyclic, not free-connex, with self-joins; Thm 3.12 is \
+                     stated self-join-free (but cf. Cor 3.11 for q*_k); \
+                     quantified star size {star}"
+                ),
+            }
+        }
+    } else {
+        let (kind, mask) = facts.bb_witness.expect("cyclic ⇒ witness");
+        if facts.join_query {
+            // Thm 3.8's hard side holds even with self-joins, via
+            // interpolation [35].
+            LowerBound::Conditional {
+                hypotheses: cyclic_hypotheses(kind),
+                exponent: None,
+                witness: witness(kind, mask),
+                reference: "Thm 3.8 (self-joins via interpolation [35])",
+            }
+        } else if facts.self_join_free {
+            LowerBound::Conditional {
+                hypotheses: cyclic_hypotheses(kind),
+                exponent: None,
+                witness: witness(kind, mask),
+                reference: "Thm 3.13 (via Boolean decision, Thm 3.7)",
+            }
+        } else {
+            LowerBound::Open {
+                note: "cyclic with self-joins; counting hardness via \
+                       interpolation applies to join queries only here"
+                    .to_string(),
+            }
+        }
+    }
+}
+
+/// Enumeration lower bound on the hard side (Thm 3.14 / 3.16 / 4.5).
+fn enumeration_lower_bound(
+    facts: &ShapeFacts,
+    witness: &dyn Fn(WitnessKind, u64) -> String,
+) -> LowerBound {
+    if facts.acyclic {
+        if facts.self_join_free {
+            LowerBound::Conditional {
+                hypotheses: vec![Hypothesis::SparseBmm],
+                exponent: None,
+                witness: "embeds q̄*_2; enumeration would do sparse Boolean MM"
+                    .to_string(),
+                reference: "Thm 3.16",
+            }
+        } else {
+            LowerBound::Open {
+                note: "acyclic, not free-connex, with self-joins; enumeration \
+                       with self-joins is subtle [26]"
+                    .to_string(),
+            }
+        }
+    } else {
+        let (kind, mask) = facts.bb_witness.expect("cyclic ⇒ witness");
+        if facts.self_join_free {
+            let mut hyps = cyclic_hypotheses(kind);
+            if facts.join_query {
+                hyps.push(Hypothesis::ZeroKClique);
+            }
+            LowerBound::Conditional {
+                hypotheses: hyps,
+                exponent: None,
+                witness: witness(kind, mask),
+                reference: "Thm 3.14 / Thm 4.5",
+            }
+        } else {
+            LowerBound::Open {
+                note: "cyclic with self-joins: constant-delay enumeration can \
+                       exist (see [14, 26])"
+                    .to_string(),
+            }
+        }
+    }
+}
+
+/// Query-chosen-order direct-access lower bound (Thm 3.18).
+fn access_lower_bound(
+    facts: &ShapeFacts,
+    witness: &dyn Fn(WitnessKind, u64) -> String,
+) -> LowerBound {
+    if !facts.self_join_free {
+        return LowerBound::Open {
+            note: "not free-connex, with self-joins; Thm 3.18 is stated \
+                   self-join-free"
+                .to_string(),
+        };
+    }
+    if facts.acyclic {
+        LowerBound::Conditional {
+            hypotheses: vec![Hypothesis::SparseBmm],
+            exponent: None,
+            witness: "direct access would enumerate q̄*_2".to_string(),
+            reference: "Thm 3.18",
+        }
+    } else {
+        let (kind, mask) = facts.bb_witness.expect("cyclic ⇒ witness");
+        LowerBound::Conditional {
+            hypotheses: cyclic_hypotheses(kind),
+            exponent: None,
+            witness: witness(kind, mask),
+            reference: "Thm 3.18",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_core::query::zoo;
+    use cq_data::generate::{path_database, random_pairs, seeded_rng, triangle_database};
+    use cq_data::{Database, Relation};
+
+    fn stats_for(db: &Database) -> DataStats {
+        DataStats::collect(db)
+    }
+
+    #[test]
+    fn acyclic_decision_plans_semijoin_sweep() {
+        let db = path_database(3, 30, &mut seeded_rng(1));
+        let plan =
+            Planner::new().plan(&zoo::path_boolean(3), Task::Decide, &stats_for(&db));
+        assert_eq!(plan.op, PlanOp::SemijoinSweep);
+        assert!(matches!(plan.lower_bound, LowerBound::Linear { .. }));
+    }
+
+    #[test]
+    fn triangle_decision_plans_generic_join_citing_triangle_hypothesis() {
+        let db = triangle_database(&random_pairs(30, 10, &mut seeded_rng(2)));
+        let plan =
+            Planner::new().plan(&zoo::triangle_boolean(), Task::Decide, &stats_for(&db));
+        assert!(matches!(plan.op, PlanOp::GenericJoin { .. }));
+        assert!((plan.cost.exponent - 1.5).abs() < 1e-9, "triangle AGM is 3/2");
+        match &plan.lower_bound {
+            LowerBound::Conditional { hypotheses, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::Triangle])
+            }
+            other => panic!("expected conditional bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lw5_decision_cites_hyperclique() {
+        let db = Database::new(); // stats only; no short-circuit w/o relations
+        let plan = Planner::new().plan(
+            &zoo::loomis_whitney_boolean(5),
+            Task::Decide,
+            &stats_for(&db),
+        );
+        match &plan.lower_bound {
+            LowerBound::Conditional { hypotheses, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::Hyperclique])
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn counting_tasks_follow_the_dichotomy() {
+        let db = path_database(2, 20, &mut seeded_rng(3));
+        let stats = stats_for(&db);
+        let mut p = Planner::new();
+        assert_eq!(
+            p.plan(&zoo::path_join(2), Task::Count, &stats).op,
+            PlanOp::CountingDp
+        );
+        let fc = cq_core::parse_query("q(x0, x1) :- R1(x0,x1), R2(x1,x2)").unwrap();
+        assert_eq!(p.plan(&fc, Task::Count, &stats).op, PlanOp::ProjectionEliminationDp);
+        let star = zoo::star_selfjoin_free(2);
+        let plan = p.plan(&star, Task::Count, &stats);
+        assert!(matches!(plan.op, PlanOp::CountDistinctProject { .. }));
+        match plan.lower_bound {
+            LowerBound::Conditional { ref hypotheses, exponent, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::Seth]);
+                assert_eq!(exponent, Some(2.0));
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_counting_reuses_the_decision_plan() {
+        let db = path_database(3, 20, &mut seeded_rng(4));
+        let mut p = Planner::new();
+        let plan = p.plan(&zoo::path_boolean(3), Task::Count, &stats_for(&db));
+        assert_eq!(plan.task, Task::Count);
+        assert_eq!(plan.op, PlanOp::SemijoinSweep);
+    }
+
+    #[test]
+    fn free_connex_answers_plan_constant_delay() {
+        let db = path_database(2, 20, &mut seeded_rng(5));
+        let mut p = Planner::new();
+        let plan = p.plan(&zoo::path_join(2), Task::Answers, &stats_for(&db));
+        assert_eq!(plan.op, PlanOp::ConstantDelayEnumeration);
+        let plan = p.plan(&zoo::matmul_projection(), Task::Answers, &stats_for(&db));
+        assert!(matches!(plan.op, PlanOp::MaterializeProject { .. }));
+        match plan.lower_bound {
+            LowerBound::Conditional { ref hypotheses, .. } => {
+                assert_eq!(hypotheses, &vec![Hypothesis::SparseBmm])
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_relation_short_circuits() {
+        let mut db = Database::new();
+        db.insert("R1", Relation::from_pairs(vec![(1, 2)]));
+        db.insert("R2", Relation::new(2)); // present but empty
+        let mut p = Planner::new();
+        let plan = p.plan(&zoo::path_join(2), Task::Count, &stats_for(&db));
+        assert_eq!(plan.op, PlanOp::TrivialEmpty);
+        // missing relations must NOT short-circuit (the executor should
+        // report the error exactly like the unplanned engine would)
+        let db2 = Database::new();
+        let plan = p.plan(&zoo::path_join(2), Task::Count, &stats_for(&db2));
+        assert_ne!(plan.op, PlanOp::TrivialEmpty);
+    }
+
+    #[test]
+    fn variable_order_prefers_small_columns() {
+        let mut db = Database::new();
+        // x column of R1 has 1 distinct value; y has 20; z has 20
+        db.insert("R1", Relation::from_pairs((0..20).map(|i| (7, i))));
+        db.insert("R2", Relation::from_pairs((0..20).map(|i| (i, i + 100))));
+        let q = cq_core::parse_query("q(x, y, z) :- R1(x, y), R2(y, z)").unwrap();
+        let order = variable_order(&q, &stats_for(&db));
+        let x = q.var_by_name("x").unwrap();
+        assert_eq!(order[0], x, "cheapest column first, got {order:?}");
+    }
+
+    #[test]
+    fn lex_access_plans_follow_the_trio_dichotomy() {
+        let db = Database::new();
+        let stats = stats_for(&db);
+        let q = zoo::star_full(2);
+        let x1 = q.var_by_name("x1").unwrap();
+        let x2 = q.var_by_name("x2").unwrap();
+        let z = q.var_by_name("z").unwrap();
+        let good = Planner::plan_lex_access(&q, &[z, x1, x2], &stats);
+        assert!(matches!(good.op, PlanOp::LexDirectAccess { .. }));
+        let bad = Planner::plan_lex_access(&q, &[x1, x2, z], &stats);
+        assert!(matches!(bad.op, PlanOp::MaterializedDirectAccess { .. }));
+        match bad.lower_bound {
+            LowerBound::Conditional { ref hypotheses, .. } => {
+                assert!(hypotheses.contains(&Hypothesis::Triangle))
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic_and_cache_transparent() {
+        let db = triangle_database(&random_pairs(25, 8, &mut seeded_rng(6)));
+        let stats = stats_for(&db);
+        let q = zoo::triangle_join();
+        let mut p = Planner::new();
+        let cold = p.plan(&q, Task::Answers, &stats);
+        assert!(!cold.cache_hit);
+        let warm = p.plan(&q, Task::Answers, &stats);
+        assert!(warm.cache_hit);
+        assert!(cold.same_decision(&warm), "cache hits must not change plans");
+        let uncached = Planner::plan_uncached(&q, Task::Answers, &stats);
+        assert!(cold.same_decision(&uncached));
+    }
+}

@@ -24,7 +24,7 @@ pub fn find_k_clique_backtracking(g: &Graph, k: usize) -> Option<Vec<u32>> {
     let bits = g.adjacency_bitsets();
     let words = g.n().div_ceil(64);
     let mut full = vec![u64::MAX; words];
-    if g.n() % 64 != 0 && words > 0 {
+    if !g.n().is_multiple_of(64) && words > 0 {
         full[words - 1] = (1u64 << (g.n() % 64)) - 1;
     }
     let mut chosen: Vec<u32> = Vec::with_capacity(k);
@@ -85,7 +85,13 @@ pub fn np_split(k: usize) -> (usize, usize, usize) {
 pub fn enumerate_cliques(g: &Graph, size: usize) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     let mut cur: Vec<u32> = Vec::with_capacity(size);
-    fn rec(g: &Graph, size: usize, from: usize, cur: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+    fn rec(
+        g: &Graph,
+        size: usize,
+        from: usize,
+        cur: &mut Vec<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
         if cur.len() == size {
             out.push(cur.clone());
             return;
@@ -116,7 +122,7 @@ pub fn find_k_clique_np(g: &Graph, k: usize) -> Option<Vec<u32>> {
         vec![c1, c2, c3]
     };
     let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
-    if sizes.iter().any(|&s| s == 0) {
+    if sizes.contains(&0) {
         return None;
     }
     let offset = [0usize, sizes[0], sizes[0] + sizes[1]];

@@ -38,7 +38,7 @@ pub fn find_dominating_set(g: &Graph, k: usize) -> Option<Vec<u32>> {
     let words = n.div_ceil(64);
     let full: Vec<u64> = {
         let mut f = vec![u64::MAX; words];
-        if n % 64 != 0 {
+        if !n.is_multiple_of(64) {
             f[words - 1] = (1u64 << (n % 64)) - 1;
         }
         f
@@ -55,7 +55,6 @@ pub fn find_dominating_set(g: &Graph, k: usize) -> Option<Vec<u32>> {
         nbrs: &[Vec<u64>],
         full: &[u64],
         cover: &[u64],
-        from: usize,
         k: usize,
         chosen: &mut Vec<u32>,
     ) -> bool {
@@ -89,7 +88,7 @@ pub fn find_dominating_set(g: &Graph, k: usize) -> Option<Vec<u32>> {
                 *c |= b;
             }
             chosen.push(v);
-            if rec(g, nbrs, full, &next, from, k, chosen) {
+            if rec(g, nbrs, full, &next, k, chosen) {
                 return true;
             }
             chosen.pop();
@@ -98,7 +97,7 @@ pub fn find_dominating_set(g: &Graph, k: usize) -> Option<Vec<u32>> {
     }
 
     let cover = vec![0u64; words];
-    if rec(g, &nbrs, &full, &cover, 0, k, &mut chosen) {
+    if rec(g, &nbrs, &full, &cover, k, &mut chosen) {
         Some(chosen)
     } else {
         None

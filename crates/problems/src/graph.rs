@@ -150,9 +150,9 @@ impl Graph {
     pub fn adjacency_bitsets(&self) -> Vec<Vec<u64>> {
         let words = self.n.div_ceil(64);
         let mut rows = vec![vec![0u64; words]; self.n];
-        for a in 0..self.n {
-            for &b in &self.adj[a] {
-                rows[a][b as usize / 64] |= 1u64 << (b % 64);
+        for (row, nbrs) in rows.iter_mut().zip(&self.adj) {
+            for &b in nbrs {
+                row[b as usize / 64] |= 1u64 << (b % 64);
             }
         }
         rows
@@ -229,9 +229,9 @@ mod tests {
     fn bitsets_match_adjacency() {
         let g = Graph::random_gnm(70, 300, &mut rng());
         let rows = g.adjacency_bitsets();
-        for v in 0..70 {
+        for (v, row) in rows.iter().enumerate() {
             for u in 0..70 {
-                let bit = rows[v][u / 64] >> (u % 64) & 1 == 1;
+                let bit = row[u / 64] >> (u % 64) & 1 == 1;
                 assert_eq!(bit, g.has_edge(v, u));
             }
         }

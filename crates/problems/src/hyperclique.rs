@@ -23,7 +23,11 @@ pub struct UniformHypergraph {
 impl UniformHypergraph {
     /// Build from edges; each edge must have exactly `h` distinct
     /// vertices. Edges are stored sorted; duplicates collapse.
-    pub fn from_edges(n: usize, h: usize, edges: impl IntoIterator<Item = Vec<u32>>) -> Self {
+    pub fn from_edges(
+        n: usize,
+        h: usize,
+        edges: impl IntoIterator<Item = Vec<u32>>,
+    ) -> Self {
         assert!(h >= 1);
         let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
         for mut e in edges {
@@ -160,7 +164,12 @@ pub fn find_hyperclique(g: &UniformHypergraph, k: usize) -> Option<Vec<u32>> {
         rec(g, chosen, 0, h - 1, v, &mut subset)
     }
 
-    fn search(g: &UniformHypergraph, k: usize, from: usize, chosen: &mut Vec<u32>) -> bool {
+    fn search(
+        g: &UniformHypergraph,
+        k: usize,
+        from: usize,
+        chosen: &mut Vec<u32>,
+    ) -> bool {
         if chosen.len() == k {
             return true;
         }
@@ -199,7 +208,13 @@ pub fn is_hyperclique(g: &UniformHypergraph, vs: &[u32], k: usize) -> bool {
     }
     // every h-subset must be an edge
     let mut subset: Vec<u32> = Vec::with_capacity(g.h());
-    fn rec(g: &UniformHypergraph, vs: &[u32], from: usize, need: usize, cur: &mut Vec<u32>) -> bool {
+    fn rec(
+        g: &UniformHypergraph,
+        vs: &[u32],
+        from: usize,
+        need: usize,
+        cur: &mut Vec<u32>,
+    ) -> bool {
         if need == 0 {
             return g.has_edge_sorted(cur);
         }
@@ -238,11 +253,7 @@ mod tests {
     fn no_false_positives_sparse() {
         // a 3-uniform hypergraph with very few edges cannot host a
         // 4-hyperclique (needs C(4,3)=4 specific edges).
-        let g = UniformHypergraph::from_edges(
-            6,
-            3,
-            vec![vec![0, 1, 2], vec![3, 4, 5]],
-        );
+        let g = UniformHypergraph::from_edges(6, 3, vec![vec![0, 1, 2], vec![3, 4, 5]]);
         assert!(find_hyperclique(&g, 4).is_none());
         // but each edge is itself a 3-hyperclique
         let w = find_hyperclique(&g, 3).unwrap();

@@ -38,10 +38,8 @@ pub fn max_sat_exhaustive(cnf: &Cnf) -> (usize, Vec<bool>) {
     let mut best = 0usize;
     let mut best_assignment = 0u32;
     for a in 0u32..(1u32 << cnf.n_vars) {
-        let sat = masks
-            .iter()
-            .filter(|&&(pos, neg)| (a & pos) != 0 || (!a & neg) != 0)
-            .count();
+        let sat =
+            masks.iter().filter(|&&(pos, neg)| (a & pos) != 0 || (!a & neg) != 0).count();
         if sat > best {
             best = sat;
             best_assignment = a;
@@ -50,7 +48,8 @@ pub fn max_sat_exhaustive(cnf: &Cnf) -> (usize, Vec<bool>) {
             }
         }
     }
-    let witness: Vec<bool> = (0..cnf.n_vars).map(|v| best_assignment >> v & 1 == 1).collect();
+    let witness: Vec<bool> =
+        (0..cnf.n_vars).map(|v| best_assignment >> v & 1 == 1).collect();
     (best, witness)
 }
 

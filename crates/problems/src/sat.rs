@@ -207,8 +207,7 @@ fn solve(clauses: &[Vec<i32>], assign: &mut Vec<i8>) -> bool {
 pub fn brute_force_sat(cnf: &Cnf) -> Option<Vec<bool>> {
     assert!(cnf.n_vars <= 20, "brute force limited to 20 variables");
     for mask in 0u64..(1u64 << cnf.n_vars) {
-        let assignment: Vec<bool> =
-            (0..cnf.n_vars).map(|v| mask >> v & 1 == 1).collect();
+        let assignment: Vec<bool> = (0..cnf.n_vars).map(|v| mask >> v & 1 == 1).collect();
         if cnf.eval(&assignment) {
             return Some(assignment);
         }

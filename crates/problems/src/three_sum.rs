@@ -122,7 +122,8 @@ mod tests {
                 ("sorted", three_sum_sorted as fn(&ThreeSumInstance) -> Option<Witness>),
                 ("hash", three_sum_hashing as fn(&ThreeSumInstance) -> Option<Witness>),
             ] {
-                let w = f(&inst).unwrap_or_else(|| panic!("{name} missed planted solution"));
+                let w =
+                    f(&inst).unwrap_or_else(|| panic!("{name} missed planted solution"));
                 assert!(check_witness(&inst, w), "{name} returned bad witness");
             }
         }
@@ -142,11 +143,8 @@ mod tests {
     #[test]
     fn no_solution_case() {
         // all of C far below any a + b
-        let inst = ThreeSumInstance {
-            a: vec![100, 200],
-            b: vec![300, 400],
-            c: vec![0, 1, 2],
-        };
+        let inst =
+            ThreeSumInstance { a: vec![100, 200], b: vec![300, 400], c: vec![0, 1, 2] };
         assert!(three_sum_naive(&inst).is_none());
         assert!(three_sum_sorted(&inst).is_none());
         assert!(three_sum_hashing(&inst).is_none());

@@ -84,9 +84,8 @@ pub fn find_triangle_ayz(g: &Graph, delta: usize) -> Option<(u32, u32, u32)> {
         return None;
     }
     let (hg, ids) = g.induced(&heavy);
-    find_triangle_bmm(&hg).map(|(a, b, c)| {
-        (ids[a as usize], ids[b as usize], ids[c as usize])
-    })
+    find_triangle_bmm(&hg)
+        .map(|(a, b, c)| (ids[a as usize], ids[b as usize], ids[c as usize]))
 }
 
 /// Exact triangle count by the edge-iterator (each triangle counted once
@@ -127,12 +126,7 @@ pub fn count_triangles_strassen(g: &Graph) -> u64 {
 /// Is `(a, b, c)` a triangle of `g`?
 pub fn is_triangle(g: &Graph, t: (u32, u32, u32)) -> bool {
     let (a, b, c) = (t.0 as usize, t.1 as usize, t.2 as usize);
-    a != b
-        && b != c
-        && a != c
-        && g.has_edge(a, b)
-        && g.has_edge(b, c)
-        && g.has_edge(a, c)
+    a != b && b != c && a != c && g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c)
 }
 
 #[cfg(test)]
@@ -245,7 +239,8 @@ mod tests {
     #[test]
     fn heavy_only_triangle_found() {
         // K4: with delta=1 every vertex is heavy → exercises phase 2.
-        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let g =
+            Graph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         let t = find_triangle_ayz(&g, 1).unwrap();
         assert!(is_triangle(&g, t));
     }

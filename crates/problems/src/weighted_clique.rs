@@ -21,7 +21,10 @@ pub struct WeightedGraph {
 
 impl WeightedGraph {
     /// Build from weighted edges.
-    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32, i64)>) -> Self {
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32, i64)>,
+    ) -> Self {
         let mut plain = Vec::new();
         let mut w = vec![i64::MAX; n * n];
         for (a, b, weight) in edges {
@@ -133,7 +136,13 @@ pub fn min_weight_k_clique(g: &WeightedGraph, k: usize) -> Option<(i64, Vec<u32>
 pub fn zero_k_clique(g: &WeightedGraph, k: usize) -> Option<Vec<u32>> {
     assert!(k >= 2);
     let mut cur: Vec<u32> = Vec::with_capacity(k);
-    fn rec(g: &WeightedGraph, k: usize, from: usize, cur: &mut Vec<u32>, acc: i64) -> bool {
+    fn rec(
+        g: &WeightedGraph,
+        k: usize,
+        from: usize,
+        cur: &mut Vec<u32>,
+        acc: i64,
+    ) -> bool {
         if cur.len() == k {
             return acc == 0;
         }
@@ -187,13 +196,7 @@ mod tests {
         // triangle (0,1,2) weight 5-2+1=4; triangle (0,1,3) weight 5+7+3=15
         let g = WeightedGraph::from_edges(
             4,
-            vec![
-                (0, 1, 5),
-                (1, 2, -2),
-                (0, 2, 1),
-                (1, 3, 7),
-                (0, 3, 3),
-            ],
+            vec![(0, 1, 5), (1, 2, -2), (0, 2, 1), (1, 3, 7), (0, 3, 3)],
         );
         let (w, c) = min_weight_k_clique(&g, 3).unwrap();
         assert_eq!(w, 4);

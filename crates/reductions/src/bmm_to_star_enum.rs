@@ -17,9 +17,8 @@ use cq_matrix::SparseBoolMat;
 /// Build the Theorem 3.15 database for two sparse matrices.
 pub fn build(a: &SparseBoolMat, b: &SparseBoolMat) -> (ConjunctiveQuery, Database) {
     assert_eq!(a.n_cols(), b.n_rows(), "dimension mismatch");
-    let r1 = Relation::from_pairs(
-        a.entries().into_iter().map(|(i, k)| (i as Val, k as Val)),
-    );
+    let r1 =
+        Relation::from_pairs(a.entries().into_iter().map(|(i, k)| (i as Val, k as Val)));
     let r2 = Relation::from_pairs(
         b.entries().into_iter().map(|(k, j)| (j as Val, k as Val)), // transpose
     );

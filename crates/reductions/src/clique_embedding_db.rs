@@ -201,10 +201,8 @@ mod tests {
         for trial in 0..5 {
             // random graph with 0-weight edges
             let plain = Graph::random_gnp(9, 0.6, &mut rng);
-            let wg = WeightedGraph::from_edges(
-                9,
-                plain.edges().map(|(a, b)| (a, b, 0i64)),
-            );
+            let wg =
+                WeightedGraph::from_edges(9, plain.edges().map(|(a, b)| (a, b, 0i64)));
             assert_eq!(
                 has_clique_via_cycle(5, &wg),
                 find_k_clique_backtracking(&plain, 5).is_some(),

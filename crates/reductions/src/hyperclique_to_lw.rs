@@ -24,7 +24,7 @@ pub fn permutations(items: &[Val]) -> Vec<Vec<Val>> {
         }
         for i in 0..k {
             heap(a, k - 1, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 a.swap(i, k - 1);
             } else {
                 a.swap(0, k - 1);
@@ -82,10 +82,7 @@ mod tests {
     fn planted_hyperclique_detected() {
         let mut rng = seeded_rng(1);
         let mut h = UniformHypergraph::random(10, 3, 25, &mut rng);
-        assert_eq!(
-            hyperclique_via_lw(&h, 4),
-            find_hyperclique(&h, 4).is_some()
-        );
+        assert_eq!(hyperclique_via_lw(&h, 4), find_hyperclique(&h, 4).is_some());
         h.plant_hyperclique(4);
         assert!(hyperclique_via_lw(&h, 4));
     }

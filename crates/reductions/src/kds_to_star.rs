@@ -30,7 +30,10 @@ pub fn encode_block(block: &[u32], n: usize) -> Val {
 /// # Panics
 /// If `kprime` is not a positive multiple of `k`.
 pub fn build(g: &Graph, k: usize, kprime: usize) -> (ConjunctiveQuery, Database) {
-    assert!(k >= 1 && kprime >= k && kprime % k == 0, "k′ must be a multiple of k");
+    assert!(
+        k >= 1 && kprime >= k && kprime.is_multiple_of(k),
+        "k′ must be a multiple of k"
+    );
     let b = kprime / k; // block length
     let n = g.n();
     let mut rel = Relation::new(2);
@@ -73,7 +76,7 @@ pub fn build(g: &Graph, k: usize, kprime: usize) -> (ConjunctiveQuery, Database)
 /// `has_dominating_set = answers < total = n^{k′}`.
 pub fn kds_via_star_counting(g: &Graph, k: usize, kprime: usize) -> (bool, u64, u64) {
     let (q, db) = build(g, k, kprime);
-    let (count, _) = cq_engine::count_answers(&q, &db).expect("instance must bind");
+    let (count, _) = cq_planner::eval::count(&q, &db).expect("instance must bind");
     let total = (g.n() as u64).pow(kprime as u32);
     (count < total, count, total)
 }

@@ -66,8 +66,9 @@ pub fn colorful_count_by_inclusion_exclusion(
         union.normalize();
         let mut db = Database::new();
         db.insert(symbol, union);
-        let (count, _) = cq_engine::count_answers(q, &db).expect("instance must bind");
-        let sign = if (t - mask.count_ones() as usize) % 2 == 0 { 1 } else { -1 };
+        let (count, _) = cq_planner::eval::count(q, &db).expect("instance must bind");
+        let sign =
+            if (t - mask.count_ones() as usize).is_multiple_of(2) { 1 } else { -1 };
         total += sign * count as i64;
     }
     total
@@ -81,7 +82,7 @@ pub fn selfjoin_free_count(q: &ConjunctiveQuery, parts: &[Relation]) -> u64 {
     for (i, atom) in q.atoms().iter().enumerate() {
         db.insert(&format!("{}__{}", atom.relation, i), parts[i].clone());
     }
-    let (count, _) = cq_engine::count_answers(&qf, &db).expect("instance must bind");
+    let (count, _) = cq_planner::eval::count(&qf, &db).expect("instance must bind");
     count
 }
 
@@ -101,7 +102,8 @@ mod tests {
             (0..m).map(|_| (rng.gen_range(0..20u64), 100 + rng.gen_range(0..20u64))),
         );
         let s2 = Relation::from_pairs(
-            (0..m).map(|_| (100 + rng.gen_range(0..20u64), 200 + rng.gen_range(0..20u64))),
+            (0..m)
+                .map(|_| (100 + rng.gen_range(0..20u64), 200 + rng.gen_range(0..20u64))),
         );
         vec![s1, s2]
     }
@@ -122,9 +124,9 @@ mod tests {
         let q = parse_query("q(x,y,z,w) :- R(x,y), R(y,z), R(z,w)").unwrap();
         let mut rng = seeded_rng(9);
         let mk = |lo: u64, rng: &mut rand::rngs::StdRng| {
-            Relation::from_pairs(
-                (0..30).map(|_| (lo + rng.gen_range(0..10u64), lo + 100 + rng.gen_range(0..10u64))),
-            )
+            Relation::from_pairs((0..30).map(|_| {
+                (lo + rng.gen_range(0..10u64), lo + 100 + rng.gen_range(0..10u64))
+            }))
         };
         let parts = vec![mk(0, &mut rng), mk(100, &mut rng), mk(200, &mut rng)];
         assert_eq!(
@@ -154,6 +156,9 @@ mod tests {
     #[should_panic(expected = "join queries")]
     fn projections_rejected() {
         let q = parse_query("q(x) :- R(x, y), R(y, x)").unwrap();
-        let _ = colorful_count_by_inclusion_exclusion(&q, &[Relation::new(2), Relation::new(2)]);
+        let _ = colorful_count_by_inclusion_exclusion(
+            &q,
+            &[Relation::new(2), Relation::new(2)],
+        );
     }
 }

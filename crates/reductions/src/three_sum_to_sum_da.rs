@@ -59,8 +59,8 @@ pub fn build(inst: &ThreeSumInstance) -> SumDaInstance {
 pub fn three_sum_via_sum_order_da(inst: &ThreeSumInstance) -> bool {
     let red = build(inst);
     let w = |v: Val| red.weights[v as usize];
-    let da = SumOrderAccess::build_materialized(&red.query, &red.db, &w)
-        .expect("join query");
+    let da =
+        SumOrderAccess::build_materialized(&red.query, &red.db, &w).expect("join query");
     inst.c.iter().any(|&c| da.has_weight(c))
 }
 

@@ -46,7 +46,8 @@ pub fn build(q: &ConjunctiveQuery, g: &Graph) -> Result<Database, ReductionError
         return Err(ReductionError::NotSelfJoinFree);
     }
     let h = q.hypergraph();
-    let witness = cq_core::brault_baron::find_witness(&h).ok_or(ReductionError::NotCyclicBinary)?;
+    let witness =
+        cq_core::brault_baron::find_witness(&h).ok_or(ReductionError::NotCyclicBinary)?;
     if witness.kind != cq_core::brault_baron::WitnessKind::Cycle {
         // arity-2 cyclic queries always contain an induced cycle
         return Err(ReductionError::NotCyclicBinary);
@@ -86,8 +87,9 @@ pub fn build(q: &ConjunctiveQuery, g: &Graph) -> Result<Database, ReductionError
     let mut db = Database::new();
     for atom in q.atoms() {
         let pair_mask = atom.scope() & s;
-        let rel = if let Some(pos) =
-            ordered_edges.iter().position(|&e| e == pair_mask && pair_mask.count_ones() == 2)
+        let rel = if let Some(pos) = ordered_edges
+            .iter()
+            .position(|&e| e == pair_mask && pair_mask.count_ones() == 2)
         {
             // a cycle atom: first three walk edges carry E, the rest are
             // equality. E is symmetric and equality is symmetric, so the
@@ -115,7 +117,10 @@ pub fn build(q: &ConjunctiveQuery, g: &Graph) -> Result<Database, ReductionError
 
 /// End-to-end: decide triangle existence in `g` through evaluating the
 /// cyclic query `q` on the constructed database.
-pub fn triangle_via_query(q: &ConjunctiveQuery, g: &Graph) -> Result<bool, ReductionError> {
+pub fn triangle_via_query(
+    q: &ConjunctiveQuery,
+    g: &Graph,
+) -> Result<bool, ReductionError> {
     let db = build(q, g)?;
     Ok(cq_engine::generic_join::decide(&q.boolean_version(), &db)
         .expect("constructed database must bind"))
@@ -164,10 +169,8 @@ mod tests {
     #[test]
     fn cycle_with_pendant_atoms() {
         // triangle plus pendant edges and a far-away atom
-        let q = cq_core::parse_query(
-            "q() :- A(x,y), B(y,z), C(z,x), P(x,w), Q(u,t)",
-        )
-        .unwrap();
+        let q = cq_core::parse_query("q() :- A(x,y), B(y,z), C(z,x), P(x,w), Q(u,t)")
+            .unwrap();
         check_on_graphs(&q);
     }
 

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates-registry access, so this crate
+//! implements the slice of criterion's API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up,
+//! then timed for `sample_size` samples of auto-calibrated batches; the
+//! median per-iteration time is printed. No plots, no statistics files —
+//! just stable wall-clock numbers for regression eyeballing. Benches
+//! compile under `cargo test` (they contain no `#[test]`s, so the
+//! harness exits immediately in test mode).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `{name}/{parameter}`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Trait unifying the `&str` / `String` / [`BenchmarkId`] arguments
+/// accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Filled by [`Bencher::iter`]: median per-iteration nanoseconds.
+    result_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, auto-calibrating the batch size so one sample
+    /// takes roughly `measurement_time / sample_size`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up and calibration: run until warm_up_time elapses,
+        // growing the batch geometrically.
+        let mut batch: u64 = 1;
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut last_batch_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            last_batch_time = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            if last_batch_time < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        // choose a batch so one sample ≈ measurement_time / sample_size
+        let per_iter = last_batch_time.as_secs_f64() / batch as f64;
+        let target_sample =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let batch = if per_iter > 0.0 {
+            ((target_sample / per_iter).ceil() as u64).clamp(1, 1 << 24)
+        } else {
+            batch.max(1)
+        };
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(samples[samples.len() / 2] * 1e9);
+    }
+}
+
+/// Format nanoseconds the way criterion does (ns/µs/ms/s).
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: Config,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Apply `CLI`-style filtering (substring match on the full id),
+    /// mirroring `cargo bench -- <filter>`.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(&self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { config: &self.config, result_ns: None };
+        f(&mut b);
+        match b.result_ns {
+            Some(ns) => println!("{id:<60} time: {}", fmt_time(ns)),
+            None => println!("{id:<60} (no measurement)"),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` under `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Benchmark `f` with an explicit input under `{group}/{id}`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.config.measurement_time = d;
+        self
+    }
+
+    /// End the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group: both the `name/config/targets` form and the
+/// positional form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut filter: ::core::option::Option<::std::string::String> = None;
+            // honor `cargo bench -- <filter>`: skip harness-injected flags
+            for arg in ::std::env::args().skip(1) {
+                if !arg.starts_with('-') {
+                    filter = Some(arg);
+                    break;
+                }
+            }
+            let mut c: $crate::Criterion = $config;
+            if let Some(f) = filter {
+                c = c.with_filter(f);
+            }
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, honoring `--test` (run nothing,
+/// so `cargo test` passes) like real criterion does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                // `cargo test` runs bench binaries with --test: no-op.
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_function("f", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 42), &42u64, |b, &n| {
+            assert_eq!(n, 42);
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = quick().with_filter("match_me");
+        let mut executed = false;
+        c.bench_function("other", |_b| {
+            executed = true;
+        });
+        assert!(!executed);
+        c.bench_function("match_me_please", |b| {
+            b.iter(|| black_box(0));
+            executed = true;
+        });
+        assert!(executed);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(500.0), "500.00 ns");
+        assert_eq!(fmt_time(1_500.0), "1.50 µs");
+        assert_eq!(fmt_time(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_time(3_000_000_000.0), "3.00 s");
+    }
+}

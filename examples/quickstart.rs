@@ -26,16 +26,14 @@ fn main() {
     // ------------------------------------------------------------------
     let q = parse_query("path(x, y, z) :- Follows(x, y), Follows2(y, z)").unwrap();
     let mut db = Database::new();
-    db.insert(
-        "Follows",
-        Relation::from_pairs(vec![(1, 2), (1, 3), (2, 3), (4, 1)]),
-    );
+    db.insert("Follows", Relation::from_pairs(vec![(1, 2), (1, 3), (2, 3), (4, 1)]));
     db.insert("Follows2", Relation::from_pairs(vec![(2, 5), (3, 5), (3, 6)]));
 
-    let (count, alg) = count_answers(&q, &db).unwrap();
+    let (count, plan) = eval::count(&q, &db).unwrap();
     println!("=== evaluation ===\n");
     println!("{q}");
-    println!("  |answers| = {count}   (algorithm: {alg:?})");
+    println!("  |answers| = {count}   (operator: {})", plan.op.name());
+    print!("{}", eval::explain(&q, &db, Task::Count));
 
     let mut e = Enumerator::preprocess(&q, &db).unwrap();
     println!("  constant-delay enumeration:");
@@ -47,10 +45,8 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Direct access in lexicographic order (Thm 3.24).
     // ------------------------------------------------------------------
-    let order: Vec<Var> = ["x", "y", "z"]
-        .iter()
-        .map(|n| q.var_by_name(n).unwrap())
-        .collect();
+    let order: Vec<Var> =
+        ["x", "y", "z"].iter().map(|n| q.var_by_name(n).unwrap()).collect();
     let da = LexDirectAccess::build(&q, &db, &order).unwrap();
     println!("\n=== direct access (order x ≺ y ≺ z) ===");
     println!("  simulated array length: {}", da.len());
@@ -61,10 +57,8 @@ fn main() {
     // An order with a disruptive trio is rejected by the efficient
     // builder — exactly the Thm 3.24 dichotomy.
     let common = parse_query("common(x1, x2, z) :- L1(x1, z), L2(x2, z)").unwrap();
-    let bad_order: Vec<Var> = ["x1", "x2", "z"]
-        .iter()
-        .map(|n| common.var_by_name(n).unwrap())
-        .collect();
+    let bad_order: Vec<Var> =
+        ["x1", "x2", "z"].iter().map(|n| common.var_by_name(n).unwrap()).collect();
     println!(
         "\n  q̂*_2 with order (x1, x2, z): {}",
         classify_direct_access_lex(&common, &bad_order)

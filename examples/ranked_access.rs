@@ -31,12 +31,18 @@ fn main() {
     // ------------------------------------------------------------------
     // Lexicographic direct access: jump straight to any rank.
     // ------------------------------------------------------------------
-    let order: Vec<Var> = ["c", "p", "w"].iter().map(|n| q.var_by_name(n).unwrap()).collect();
+    let order: Vec<Var> =
+        ["c", "p", "w"].iter().map(|n| q.var_by_name(n).unwrap()).collect();
+    let stats = DataStats::collect(&db);
+    let plan = Planner::plan_lex_access(&q, &order, &stats);
+    println!("\n{}", cq_lower_bounds::planner::explain::render(&plan, &q));
     let t0 = std::time::Instant::now();
-    let da = LexDirectAccess::build(&q, &db, &order).unwrap();
+    let da = cq_lower_bounds::planner::build_lex_access(&plan, &q, &db).unwrap();
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
     let total = da.len();
-    println!("\nlexicographic order (c ≺ p ≺ w): {total} answers, built in {build_ms:.1} ms");
+    println!(
+        "lexicographic order (c ≺ p ≺ w): {total} answers, built in {build_ms:.1} ms"
+    );
 
     let t0 = std::time::Instant::now();
     let mut probes = 0u64;
@@ -57,13 +63,17 @@ fn main() {
         total
     );
 
-    // Disrupted order: the builder refuses, and says why.
-    let bad: Vec<Var> = ["p", "w", "c"].iter().map(|n| q.var_by_name(n).unwrap()).collect();
+    // Disrupted order: the efficient builder refuses, and says why; the
+    // planner falls back to the materialize + sort baseline instead.
+    let bad: Vec<Var> =
+        ["p", "w", "c"].iter().map(|n| q.var_by_name(n).unwrap()).collect();
     match LexDirectAccess::build(&q, &db, &bad) {
         Err(e) => println!("\norder (p ≺ w ≺ c) rejected: {e}"),
         Ok(_) => unreachable!(),
     }
     println!("  -> {}", classify_direct_access_lex(&q, &bad));
+    let bad_plan = Planner::plan_lex_access(&q, &bad, &stats);
+    println!("  planner fallback: {}", bad_plan.op.name());
 
     // ------------------------------------------------------------------
     // Sum-order direct access (Thm 3.26): cheapest availability first.

@@ -49,13 +49,16 @@ fn main() {
     println!("\n{}", classify(&q));
 
     let t0 = Instant::now();
-    let (pairs, alg) = cq_engine::eval::answers(&q, &db).unwrap();
+    let (pairs, plan) = eval::answers(&q, &db).unwrap();
     println!(
-        "\ncommon-interest pairs: {} (algorithm {alg:?}, {:.1} ms — the output can be \
+        "\ncommon-interest pairs: {} (operator: {}, {:.1} ms — the output can be \
          quadratic, which is exactly why Thm 3.16 forbids constant delay)",
         pairs.len(),
+        plan.op.name(),
         t0.elapsed().as_secs_f64() * 1e3
     );
+    println!("\nEXPLAIN says why nothing faster exists:");
+    print!("{}", eval::explain(&q, &db, Task::Answers));
 
     // The full version q̂*_2 (interest kept in the output) IS free-connex:
     let q_full = parse_query("common(u1, u2, i) :- L1(u1, i), L2(u2, i)").unwrap();
@@ -78,10 +81,13 @@ fn main() {
     // ------------------------------------------------------------------
     // Measured scaling: is triangle detection really superlinear here?
     // ------------------------------------------------------------------
-    println!("\nscaling check (edge-iterator triangle detection on bipartite worst cases):");
+    println!(
+        "\nscaling check (edge-iterator triangle detection on bipartite worst cases):"
+    );
     let mut points = Vec::new();
     for &mm in &[20_000usize, 40_000, 80_000, 160_000] {
-        let g = Graph::random_bipartite(2 * (mm as f64).sqrt() as usize + 2, mm, &mut rng);
+        let g =
+            Graph::random_bipartite(2 * (mm as f64).sqrt() as usize + 2, mm, &mut rng);
         let t0 = Instant::now();
         let res = triangle::find_triangle_edge_iterator(&g);
         let dt = t0.elapsed().as_secs_f64();

@@ -8,6 +8,8 @@
 //! as a usable library: the structure theory and fine-grained
 //! classification of conjunctive queries ([`core`]), the evaluation
 //! algorithms achieving every upper bound in the paper ([`engine`]), the
+//! cost-aware planner that routes every task to its dichotomy-optimal
+//! algorithm with an inspectable, cacheable plan ([`planner`]), the
 //! problem zoo behind every hypothesis ([`problems`]), the matrix
 //! multiplication substrate ([`matrix`]), and every lower-bound
 //! reduction as executable, testable code ([`reductions`]).
@@ -26,12 +28,17 @@
 //! assert!(profile.decision.is_easy());   // Yannakakis, Thm 3.1
 //! assert!(profile.counting.is_hard());   // SETH, Thm 3.12
 //!
-//! // evaluate on data
+//! // evaluate on data: plan → execute, one call
 //! let mut db = Database::new();
 //! db.insert("R", Relation::from_pairs(vec![(1, 10), (2, 10)]));
 //! db.insert("S", Relation::from_pairs(vec![(10, 7)]));
-//! let (n, _) = cq_engine::count_answers(&q, &db).unwrap();
+//! let (n, plan) = eval::count(&q, &db).unwrap();
 //! assert_eq!(n, 2); // (1,7) and (2,7)
+//!
+//! // the plan explains itself: operator, citation, lower bound
+//! let text = eval::explain(&q, &db, Task::Count);
+//! assert!(text.contains("generic join"));
+//! assert!(!plan.cache_hit || text.contains("cache"));
 //! ```
 //!
 //! See `examples/` for end-to-end scenarios and `DESIGN.md` /
@@ -41,17 +48,24 @@ pub use cq_core as core;
 pub use cq_data as data;
 pub use cq_engine as engine;
 pub use cq_matrix as matrix;
+pub use cq_planner as planner;
 pub use cq_problems as problems;
 pub use cq_reductions as reductions;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use cq_core::classify::{classify, classify_direct_access_lex, classify_direct_access_sum, Profile, Verdict};
+    pub use cq_core::classify::{
+        classify, classify_direct_access_lex, classify_direct_access_sum, Profile,
+        Verdict,
+    };
     pub use cq_core::query::zoo;
     pub use cq_core::{parse_query, ConjunctiveQuery, Hypothesis, QueryBuilder, Var};
-    pub use cq_data::{Database, Relation, Val};
-    pub use cq_engine::direct_access::{DirectAccess, LexDirectAccess, MaterializedDirectAccess};
-    pub use cq_engine::{count_answers, CountAlgorithm, Enumerator, EvalError, SumOrderAccess};
+    pub use cq_data::{DataStats, Database, Relation, Val};
+    pub use cq_engine::direct_access::{
+        DirectAccess, LexDirectAccess, MaterializedDirectAccess,
+    };
+    pub use cq_engine::{Enumerator, EvalError, SumOrderAccess};
+    pub use cq_planner::{eval, LowerBound, PlanOp, Planner, QueryPlan, Task};
 }
 
 #[cfg(test)]
@@ -66,7 +80,11 @@ mod tests {
         let mut db = Database::new();
         db.insert("R", Relation::from_pairs(vec![(1, 10), (2, 10)]));
         db.insert("S", Relation::from_pairs(vec![(10, 7)]));
-        let (n, _) = count_answers(&q, &db).unwrap();
+        let (n, plan) = eval::count(&q, &db).unwrap();
         assert_eq!(n, 2);
+        // this query is acyclic but not free-connex: the planner must
+        // take the materialization baseline and cite SETH
+        assert!(matches!(plan.op, PlanOp::CountDistinctProject { .. }));
+        assert!(matches!(plan.lower_bound, LowerBound::Conditional { .. }));
     }
 }

@@ -1,10 +1,11 @@
-//! Integration tests: every algorithm in the engine must agree with
-//! every other algorithm (and the brute-force oracle) on a shared suite
-//! of queries and random databases.
+//! Integration tests: every algorithm in the engine — and the planner
+//! routing between them — must agree with every other algorithm (and
+//! the brute-force oracle) on a shared suite of queries and random
+//! databases.
 
-use cq_lower_bounds::prelude::*;
 use cq_engine::bind::{brute_force_answers, brute_force_count, brute_force_decide};
 use cq_engine::{generic_join, yannakakis};
+use cq_lower_bounds::prelude::*;
 
 /// The query suite: one representative per dichotomy class.
 fn suite() -> Vec<ConjunctiveQuery> {
@@ -44,8 +45,8 @@ fn decision_all_algorithms_agree() {
         let db = random_db(seed, 40);
         for q in suite() {
             let expected = brute_force_decide(&q, &db).unwrap();
-            let (got, _) = cq_engine::eval::decide(&q, &db).unwrap();
-            assert_eq!(got, expected, "eval::decide on {q} (seed {seed})");
+            let (got, _) = eval::decide(&q, &db).unwrap();
+            assert_eq!(got, expected, "planner decide on {q} (seed {seed})");
             assert_eq!(
                 generic_join::decide(&q, &db).unwrap(),
                 expected,
@@ -68,8 +69,8 @@ fn counting_all_algorithms_agree() {
         let db = random_db(seed, 35);
         for q in suite() {
             let expected = brute_force_count(&q, &db).unwrap();
-            let (got, _) = count_answers(&q, &db).unwrap();
-            assert_eq!(got, expected, "count_answers on {q} (seed {seed})");
+            let (got, _) = eval::count(&q, &db).unwrap();
+            assert_eq!(got, expected, "planner count on {q} (seed {seed})");
             assert_eq!(
                 generic_join::count_distinct(&q, &db).unwrap(),
                 expected,
@@ -92,8 +93,8 @@ fn answers_and_enumeration_agree() {
         let db = random_db(seed, 30);
         for q in suite() {
             let expected = brute_force_answers(&q, &db).unwrap();
-            let (got, _) = cq_engine::eval::answers(&q, &db).unwrap();
-            assert_eq!(got, expected, "answers on {q} (seed {seed})");
+            let (got, _) = eval::answers(&q, &db).unwrap();
+            assert_eq!(got, expected, "planner answers on {q} (seed {seed})");
             if cq_core::free_connex::is_free_connex(&q) {
                 let mut e = Enumerator::preprocess(&q, &db).unwrap();
                 assert_eq!(e.to_relation(), expected, "enumerate on {q} (seed {seed})");
@@ -113,7 +114,8 @@ fn direct_access_agrees_on_all_trio_free_orders() {
             for order in cq_core::disruptive_trio::trio_free_orders(q) {
                 match LexDirectAccess::build(q, &db, &order) {
                     Ok(lex) => {
-                        let mat = MaterializedDirectAccess::build(q, &db, &order).unwrap();
+                        let mat =
+                            MaterializedDirectAccess::build(q, &db, &order).unwrap();
                         assert_eq!(lex.len(), mat.len(), "{q} order {order:?}");
                         for i in 0..lex.len() {
                             assert_eq!(
@@ -139,7 +141,8 @@ fn builder_covers_all_trio_free_orders_of_paper_examples() {
     // On the paper's example families the builder should succeed on
     // *every* trio-free order (and fail on every disrupted one).
     let db = random_db(99, 25);
-    for q in [zoo::star_full(2), zoo::star_full(3), zoo::path_join(2), zoo::path_join(3)] {
+    for q in [zoo::star_full(2), zoo::star_full(3), zoo::path_join(2), zoo::path_join(3)]
+    {
         let mut n_free = 0;
         let mut n_built = 0;
         let all_orders = {
@@ -172,7 +175,8 @@ fn builder_covers_all_trio_free_orders_of_paper_examples() {
                 n_built += 1;
             }
             assert_eq!(
-                built, trio_free,
+                built,
+                trio_free,
                 "{q}: order {:?} trio_free={trio_free} but built={built}",
                 order.iter().map(|&v| q.var_name(v)).collect::<Vec<_>>()
             );

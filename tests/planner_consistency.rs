@@ -1,0 +1,211 @@
+//! Planner consistency: for every query in the zoo (and randomly
+//! generated queries), the planner's executed answers, counts, and
+//! decisions must agree with the brute-force oracle, and plan-cache
+//! hits must return plans identical to cold planning.
+
+use cq_engine::bind::{brute_force_answers, brute_force_count, brute_force_decide};
+use cq_lower_bounds::prelude::*;
+use cq_planner::execute::{execute, Output};
+use proptest::prelude::*;
+
+/// Every query family the paper names, at small sizes.
+fn zoo_suite() -> Vec<ConjunctiveQuery> {
+    let mut qs = vec![
+        zoo::triangle_boolean(),
+        zoo::triangle_join(),
+        zoo::matmul_projection(),
+        zoo::clique_join(3),
+        zoo::clique_join(3).boolean_version(),
+    ];
+    for k in 2..=4 {
+        qs.push(zoo::path_join(k));
+        qs.push(zoo::path_boolean(k));
+        qs.push(zoo::cycle_boolean(k.max(3)));
+        qs.push(zoo::cycle_join(k.max(3)));
+        qs.push(zoo::star_selfjoin(k));
+        qs.push(zoo::star_selfjoin_free(k));
+        qs.push(zoo::star_full(k));
+        qs.push(zoo::loomis_whitney_boolean(k.max(3)));
+    }
+    qs
+}
+
+/// A database covering every relation name the zoo uses, with arities
+/// looked up per atom so LW queries (arity 3+) bind too.
+fn db_for(q: &ConjunctiveQuery, seed: u64, rows: usize) -> Database {
+    let mut rng = cq_data::generate::seeded_rng(seed);
+    let mut db = Database::new();
+    for atom in q.atoms() {
+        db.insert(
+            &atom.relation,
+            cq_data::generate::random_relation(atom.vars.len(), rows, 8, &mut rng),
+        );
+    }
+    db
+}
+
+#[test]
+fn zoo_decide_count_answers_match_oracle() {
+    let mut planner = Planner::new();
+    for (i, q) in zoo_suite().into_iter().enumerate() {
+        for seed in 0..3u64 {
+            let db = db_for(&q, 101 * i as u64 + seed, 25);
+            let stats = DataStats::collect(&db);
+
+            let plan = planner.plan(&q, Task::Decide, &stats);
+            let got = execute(&plan, &q, &db).unwrap().as_decision().unwrap();
+            assert_eq!(
+                got,
+                brute_force_decide(&q, &db).unwrap(),
+                "decide {q} seed {seed}"
+            );
+
+            let plan = planner.plan(&q, Task::Count, &stats);
+            let got = execute(&plan, &q, &db).unwrap().as_count().unwrap();
+            assert_eq!(got, brute_force_count(&q, &db).unwrap(), "count {q} seed {seed}");
+
+            let plan = planner.plan(&q, Task::Answers, &stats);
+            match execute(&plan, &q, &db).unwrap() {
+                Output::Answers(rel) => {
+                    assert_eq!(
+                        rel,
+                        brute_force_answers(&q, &db).unwrap(),
+                        "answers {q} seed {seed}"
+                    );
+                }
+                other => panic!("answers task yielded {other:?} for {q}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn zoo_cache_hits_return_identical_plans() {
+    for q in zoo_suite() {
+        let db = db_for(&q, 7, 20);
+        let stats = DataStats::collect(&db);
+        for task in [Task::Decide, Task::Count, Task::Answers] {
+            let mut planner = Planner::new();
+            let cold = planner.plan(&q, task, &stats);
+            assert!(!cold.cache_hit, "{q} {task:?}");
+            let warm = planner.plan(&q, task, &stats);
+            assert!(warm.cache_hit, "{q} {task:?} must hit after a cold plan");
+            assert!(
+                cold.same_decision(&warm),
+                "{q} {task:?}: cache hit changed the plan:\ncold: {cold:?}\nwarm: {warm:?}"
+            );
+            // and both agree with a cache-free planning pass
+            let uncached = Planner::plan_uncached(&q, task, &stats);
+            assert!(cold.same_decision(&uncached), "{q} {task:?}");
+        }
+    }
+}
+
+#[test]
+fn zoo_cached_plans_execute_identically() {
+    let mut planner = Planner::new();
+    for q in zoo_suite() {
+        let db = db_for(&q, 13, 20);
+        let stats = DataStats::collect(&db);
+        for task in [Task::Decide, Task::Count, Task::Answers] {
+            let cold = planner.plan(&q, task, &stats);
+            let warm = planner.plan(&q, task, &stats);
+            let a = execute(&cold, &q, &db).unwrap();
+            let b = execute(&warm, &q, &db).unwrap();
+            assert_eq!(a, b, "{q} {task:?}");
+        }
+    }
+}
+
+#[test]
+fn explain_triangle_acceptance() {
+    // Acceptance criterion: EXPLAIN for the triangle query names generic
+    // join and cites the BMM / hyperclique lower-bound hypotheses.
+    let q = zoo::triangle_boolean();
+    let db = db_for(&q, 3, 30);
+    let text = eval::explain(&q, &db, Task::Decide);
+    for needle in ["generic join", "BMM", "Hyperclique", "Triangle Hypothesis"] {
+        assert!(text.contains(needle), "EXPLAIN missing {needle:?}:\n{text}");
+    }
+}
+
+/// Random-query strategy mirroring `proptest_invariants`.
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    (2usize..=5, 2usize..=5, any::<u64>()).prop_map(|(nv, na, bits)| {
+        let mut b = QueryBuilder::new("q");
+        let vars: Vec<Var> = (0..nv).map(|i| b.var(&format!("v{i}"))).collect();
+        let mut x = bits;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        for i in 0..na {
+            let a = vars[next() % nv];
+            let c = vars[next() % nv];
+            b.atom(&format!("R{i}"), &[a, c]);
+        }
+        let fm = next();
+        let free: Vec<Var> = vars
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| fm >> i & 1 == 1)
+            .map(|(_, v)| v)
+            .collect();
+        b.free(&free);
+        match b.build() {
+            Ok(q) => q,
+            Err(_) => {
+                let mut b = QueryBuilder::new("q");
+                let x0 = b.var("v0");
+                let x1 = b.var("v1");
+                b.atom("R0", &[x0, x1]);
+                b.build().unwrap()
+            }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Planner-executed counting equals brute force on random queries.
+    #[test]
+    fn random_queries_count_matches_oracle(q in query_strategy(), seed in 0u64..1000) {
+        let db = db_for(&q, seed, 12);
+        let (got, _) = eval::count(&q, &db).unwrap();
+        prop_assert_eq!(got, brute_force_count(&q, &db).unwrap(), "query {}", q);
+    }
+
+    /// Planner-executed decision equals brute force on random queries.
+    #[test]
+    fn random_queries_decide_matches_oracle(q in query_strategy(), seed in 0u64..1000) {
+        let db = db_for(&q, seed, 12);
+        let (got, _) = eval::decide(&q, &db).unwrap();
+        prop_assert_eq!(got, brute_force_decide(&q, &db).unwrap(), "query {}", q);
+    }
+
+    /// Planner-executed answers equal brute force on random queries.
+    #[test]
+    fn random_queries_answers_match_oracle(q in query_strategy(), seed in 0u64..500) {
+        if q.is_boolean() {
+            return Ok(());
+        }
+        let db = db_for(&q, seed, 10);
+        let (got, _) = eval::answers(&q, &db).unwrap();
+        prop_assert_eq!(got, brute_force_answers(&q, &db).unwrap(), "query {}", q);
+    }
+
+    /// Cache hits never change plans, on random queries either.
+    #[test]
+    fn random_queries_cache_transparent(q in query_strategy(), seed in 0u64..200) {
+        let db = db_for(&q, seed, 10);
+        let stats = DataStats::collect(&db);
+        let mut planner = Planner::new();
+        for task in [Task::Decide, Task::Count, Task::Answers] {
+            let cold = planner.plan(&q, task, &stats);
+            let warm = planner.plan(&q, task, &stats);
+            prop_assert!(cold.same_decision(&warm), "query {} task {:?}", q, task);
+        }
+    }
+}

@@ -2,13 +2,13 @@
 //! paper executed from the source problem to the query-evaluation target
 //! and back.
 
+use cq_data::generate::seeded_rng;
 use cq_lower_bounds::problems::sat::{dpll, Cnf};
 use cq_lower_bounds::problems::three_sum::{three_sum_sorted, ThreeSumInstance};
 use cq_lower_bounds::problems::triangle::find_triangle_edge_iterator;
 use cq_lower_bounds::problems::weighted_clique::{min_weight_k_clique, WeightedGraph};
 use cq_lower_bounds::problems::Graph;
 use cq_lower_bounds::reductions as red;
-use cq_data::generate::seeded_rng;
 
 /// The full SETH chain of §3.2: SAT → k-DS (Thm 3.10) → star counting
 /// (Lemma 3.9). One reduction feeding the next, with the final answer
@@ -153,7 +153,8 @@ fn bmm_routes_agree() {
             .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
             .collect();
         let a = SparseBoolMat::from_entries(n, n, entries.clone());
-        let b = SparseBoolMat::from_entries(n, n, entries.into_iter().map(|(x, y)| (y, x)));
+        let b =
+            SparseBoolMat::from_entries(n, n, entries.into_iter().map(|(x, y)| (y, x)));
         let via_query = red::bmm_to_star_enum::multiply_via_query(&a, &b);
         assert_eq!(via_query, spgemm(&a, &b), "trial {trial}");
         let (hl, _) = spgemm_heavy_light(&a, &b, 4);

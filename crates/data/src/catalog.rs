@@ -1,0 +1,332 @@
+//! The per-database index catalog: memoized secondary indexes and
+//! statistics, invalidated by the database's generation stamp.
+//!
+//! Every evaluation algorithm in `cq-engine` wants sorted/indexed
+//! relations, but a [`SortedView`] costs an O(n log n) sort and a
+//! [`HashIndex`] an O(n) hash build — on repeated query shapes that
+//! preprocessing dwarfs the actual join work. The catalog memoizes:
+//!
+//! * [`SortedView`]s and [`HashIndex`]es keyed by
+//!   `(relation name, key-column permutation)`;
+//! * one [`DataStats`] per database state (the planner's input);
+//! * arbitrary **artifacts** — opaque preprocessing products keyed by
+//!   `(kind, key)` strings, used by the engine for query-level
+//!   structures that are derived from the data but not addressable by a
+//!   single `(relation, columns)` pair: bound atoms, projection
+//!   elimination messages, enumerator cores, direct-access structures.
+//!
+//! Consistency is by construction: every accessor takes the database
+//! and compares [`Database::generation`] against the generation the
+//! memo was filled under. Generations are process-unique per mutation,
+//! so a hit can only ever serve indexes built from byte-identical
+//! content; on mismatch the whole memo is dropped before the lookup.
+//! There is no way to read a stale view out of a catalog.
+//!
+//! The catalog is deliberately single-threaded (`&mut self`); callers
+//! that share one across threads wrap it in a lock, as
+//! `cq_planner::eval` does for its per-database catalog registry.
+
+use crate::database::Database;
+use crate::hasher::FxHashMap;
+use crate::index::{HashIndex, SortedView};
+use crate::stats::DataStats;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Key of a memoized view/index: relation name + key-column permutation.
+type ViewKey = (String, Vec<usize>);
+
+/// Key of a memoized artifact: `(kind, key)` — `kind` namespaces the
+/// stored type (e.g. `"enumerator"`), `key` identifies the instance
+/// (typically the query's canonical text plus any parameters).
+type ArtifactKey = (&'static str, String);
+
+/// Upper bound on memoized entries (views + hash indexes + artifacts)
+/// per catalog. Entries can be O(m)-sized, so without a bound a stream
+/// of distinct query shapes against one long-lived database state
+/// would grow memory linearly in the number of shapes seen. Reaching
+/// the cap drops the memo (counted as an invalidation) — correctness
+/// never depends on the memo's contents.
+pub const MEMO_CAP: usize = 512;
+
+/// Hit/miss/invalidation counters plus memo sizes (for diagnostics,
+/// benchmarks, and the experiment harness).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CatalogStats {
+    /// Lookups served from the memo.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Times the memo was dropped because the database mutated.
+    pub invalidations: u64,
+    /// Currently memoized sorted views.
+    pub views: usize,
+    /// Currently memoized hash indexes.
+    pub hash_indexes: usize,
+    /// Currently memoized artifacts.
+    pub artifacts: usize,
+}
+
+/// Per-database memo of secondary indexes, statistics, and derived
+/// preprocessing artifacts. See the module docs.
+#[derive(Default)]
+pub struct IndexCatalog {
+    /// Generation the memo is valid for (`None` = empty memo).
+    generation: Option<u64>,
+    views: FxHashMap<ViewKey, Arc<SortedView>>,
+    hash_indexes: FxHashMap<ViewKey, Arc<HashIndex>>,
+    stats: Option<Arc<DataStats>>,
+    artifacts: FxHashMap<ArtifactKey, Arc<dyn Any + Send + Sync>>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl std::fmt::Debug for IndexCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexCatalog")
+            .field("generation", &self.generation)
+            .field("stats", &self.snapshot())
+            .finish()
+    }
+}
+
+impl IndexCatalog {
+    /// An empty catalog (valid for whichever database is passed first).
+    pub fn new() -> Self {
+        IndexCatalog::default()
+    }
+
+    /// Drop the memo if `db` is not the state it was filled under.
+    fn sync(&mut self, db: &Database) {
+        if self.generation == Some(db.generation()) {
+            return;
+        }
+        if self.generation.is_some() {
+            self.invalidations += 1;
+        }
+        self.views.clear();
+        self.hash_indexes.clear();
+        self.stats = None;
+        self.artifacts.clear();
+        self.generation = Some(db.generation());
+    }
+
+    /// The memoized [`DataStats`] of `db`, collecting on first use.
+    pub fn stats(&mut self, db: &Database) -> Arc<DataStats> {
+        self.sync(db);
+        if let Some(s) = &self.stats {
+            self.hits += 1;
+            return Arc::clone(s);
+        }
+        self.misses += 1;
+        let s = Arc::new(DataStats::collect(db));
+        self.stats = Some(Arc::clone(&s));
+        s
+    }
+
+    /// Keep the memo bounded: if the maps together exceed
+    /// [`MEMO_CAP`] entries (a pathological stream of distinct query
+    /// shapes against one database state), drop them and start over —
+    /// a cleared memo is always safe, it just rebuilds on demand.
+    fn ensure_capacity(&mut self) {
+        if self.views.len() + self.hash_indexes.len() + self.artifacts.len() >= MEMO_CAP {
+            self.views.clear();
+            self.hash_indexes.clear();
+            self.artifacts.clear();
+            self.invalidations += 1;
+        }
+    }
+
+    /// The memoized [`SortedView`] of relation `name` keyed on
+    /// `key_cols`, building on first use. `None` if the relation is
+    /// missing (the caller reports its own error).
+    pub fn sorted_view(
+        &mut self,
+        db: &Database,
+        name: &str,
+        key_cols: &[usize],
+    ) -> Option<Arc<SortedView>> {
+        self.sync(db);
+        let key = (name.to_string(), key_cols.to_vec());
+        if let Some(v) = self.views.get(&key) {
+            self.hits += 1;
+            return Some(Arc::clone(v));
+        }
+        let rel = db.get(name)?;
+        self.misses += 1;
+        self.ensure_capacity();
+        let v = Arc::new(SortedView::new(rel, key_cols));
+        self.views.insert(key, Arc::clone(&v));
+        Some(v)
+    }
+
+    /// The memoized [`HashIndex`] of relation `name` on `key_cols`,
+    /// building on first use. `None` if the relation is missing.
+    pub fn hash_index(
+        &mut self,
+        db: &Database,
+        name: &str,
+        key_cols: &[usize],
+    ) -> Option<Arc<HashIndex>> {
+        self.sync(db);
+        let key = (name.to_string(), key_cols.to_vec());
+        if let Some(ix) = self.hash_indexes.get(&key) {
+            self.hits += 1;
+            return Some(Arc::clone(ix));
+        }
+        let rel = db.get(name)?;
+        self.misses += 1;
+        self.ensure_capacity();
+        let ix = Arc::new(HashIndex::new(rel, key_cols));
+        self.hash_indexes.insert(key, Arc::clone(&ix));
+        Some(ix)
+    }
+
+    /// The memoized artifact of `(kind, key)`, building with `build` on
+    /// first use. Build failures are returned and **not** memoized, so
+    /// data-dependent errors surface identically on every call.
+    ///
+    /// `kind` should be a fixed string per stored type; if a key
+    /// collision ever yields a stored value of the wrong type, the
+    /// artifact is rebuilt and replaced rather than served.
+    pub fn artifact<T, E, F>(
+        &mut self,
+        db: &Database,
+        kind: &'static str,
+        key: &str,
+        build: F,
+    ) -> Result<Arc<T>, E>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> Result<T, E>,
+    {
+        self.sync(db);
+        let key = (kind, key.to_string());
+        if let Some(a) = self.artifacts.get(&key) {
+            if let Ok(t) = Arc::clone(a).downcast::<T>() {
+                self.hits += 1;
+                return Ok(t);
+            }
+        }
+        self.misses += 1;
+        self.ensure_capacity();
+        let t = Arc::new(build()?);
+        self.artifacts.insert(key, Arc::clone(&t) as _);
+        Ok(t)
+    }
+
+    /// Current counters and memo sizes.
+    pub fn snapshot(&self) -> CatalogStats {
+        CatalogStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            views: self.views.len(),
+            hash_indexes: self.hash_indexes.len(),
+            artifacts: self.artifacts.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 10), (2, 20), (2, 10)]));
+        db.insert("S", Relation::from_values(vec![7, 8]));
+        db
+    }
+
+    #[test]
+    fn views_are_shared_until_mutation() {
+        let mut db = db();
+        let mut cat = IndexCatalog::new();
+        let a = cat.sorted_view(&db, "R", &[1]).unwrap();
+        let b = cat.sorted_view(&db, "R", &[1]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the same view");
+        assert_eq!(cat.snapshot().hits, 1);
+        assert_eq!(cat.snapshot().misses, 1);
+        // different key = different view
+        let c = cat.sorted_view(&db, "R", &[0, 1]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // mutation invalidates everything
+        db.insert("R", Relation::from_pairs(vec![(9, 9)]));
+        let d = cat.sorted_view(&db, "R", &[1]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(d.len(), 1);
+        assert_eq!(cat.snapshot().invalidations, 1);
+    }
+
+    #[test]
+    fn stats_and_hash_indexes_memoize() {
+        let db = db();
+        let mut cat = IndexCatalog::new();
+        let s1 = cat.stats(&db);
+        let s2 = cat.stats(&db);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(s1.m(), 5);
+        let i1 = cat.hash_index(&db, "R", &[0]).unwrap();
+        let i2 = cat.hash_index(&db, "R", &[0]).unwrap();
+        assert!(Arc::ptr_eq(&i1, &i2));
+        assert_eq!(i1.get(&[2]).len(), 2);
+        assert!(cat.sorted_view(&db, "missing", &[0]).is_none());
+        assert!(cat.hash_index(&db, "missing", &[0]).is_none());
+    }
+
+    #[test]
+    fn artifacts_memoize_and_do_not_cache_errors() {
+        let db = db();
+        let mut cat = IndexCatalog::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let v: Arc<Vec<u64>> = cat
+                .artifact(&db, "test", "k", || {
+                    builds += 1;
+                    Ok::<_, ()>(vec![1, 2, 3])
+                })
+                .unwrap();
+            assert_eq!(*v, vec![1, 2, 3]);
+        }
+        assert_eq!(builds, 1, "artifact must build once");
+        // errors are propagated and not memoized
+        for want in 1..=2 {
+            let r: Result<Arc<u64>, String> =
+                cat.artifact(&db, "test", "err", || Err(format!("boom {want}")));
+            assert_eq!(r.unwrap_err(), format!("boom {want}"));
+        }
+    }
+
+    #[test]
+    fn memo_is_bounded() {
+        let db = db();
+        let mut cat = IndexCatalog::new();
+        for i in 0..(2 * MEMO_CAP) {
+            let _: Arc<u64> = cat
+                .artifact(&db, "spam", &format!("k{i}"), || Ok::<_, ()>(i as u64))
+                .unwrap();
+            assert!(cat.snapshot().artifacts < MEMO_CAP + 1, "memo must stay bounded");
+        }
+        assert!(cat.snapshot().invalidations >= 1, "cap must have tripped");
+        // the catalog still works after tripping the cap
+        assert!(cat.sorted_view(&db, "R", &[0]).is_some());
+    }
+
+    #[test]
+    fn clone_keeps_catalog_valid_mutated_original_does_not() {
+        let mut orig = db();
+        let mut cat = IndexCatalog::new();
+        let a = cat.sorted_view(&orig, "R", &[0]).unwrap();
+        let clone = orig.clone();
+        orig.insert("R", Relation::from_pairs(vec![(5, 5)]));
+        // the clone still has the content the view was built from
+        let b = cat.sorted_view(&clone, "R", &[0]).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "clone shares the generation stamp");
+        // the mutated original must rebuild
+        let c = cat.sorted_view(&orig, "R", &[0]).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -4,6 +4,17 @@ use crate::hasher::FxHashMap;
 use crate::relation::Relation;
 use crate::value::Val;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global generation source: every fresh or mutated [`Database`]
+/// gets a value no other database state in this process has ever had, so
+/// a generation identifies one exact database *content* (see
+/// [`Database::generation`]).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A database: a mapping from relation names to instances.
 ///
@@ -12,9 +23,18 @@ use std::fmt;
 ///
 /// [`size`]: Database::size
 /// [`active_domain`]: Database::active_domain
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Debug)]
 pub struct Database {
     relations: FxHashMap<String, Relation>,
+    /// Content identity stamp, process-unique per mutation (see
+    /// [`Database::generation`]).
+    generation: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database { relations: FxHashMap::default(), generation: next_generation() }
+    }
 }
 
 impl Database {
@@ -26,7 +46,29 @@ impl Database {
     /// Insert (or replace) a relation.
     pub fn insert(&mut self, name: &str, rel: Relation) -> &mut Self {
         self.relations.insert(name.to_string(), rel);
+        self.generation = next_generation();
         self
+    }
+
+    /// Remove a relation, if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        let removed = self.relations.remove(name);
+        if removed.is_some() {
+            self.generation = next_generation();
+        }
+        removed
+    }
+
+    /// The content-identity generation of this database.
+    ///
+    /// Every mutation stamps the database with a fresh process-unique
+    /// value, so two databases with the same generation are clones with
+    /// identical content: `clone()` keeps the stamp (same content),
+    /// mutating either side re-stamps it. [`crate::IndexCatalog`] uses
+    /// this to invalidate memoized indexes and statistics without ever
+    /// diffing relation data.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Get a relation by name.
@@ -119,6 +161,31 @@ mod tests {
     #[should_panic(expected = "no relation named")]
     fn expect_missing_panics() {
         Database::new().expect("nope");
+    }
+
+    #[test]
+    fn generation_tracks_content_identity() {
+        let mut db = Database::new();
+        let g0 = db.generation();
+        db.insert("R", Relation::from_values(vec![1]));
+        let g1 = db.generation();
+        assert_ne!(g0, g1, "insert must re-stamp");
+        // clones share the stamp (identical content)...
+        let clone = db.clone();
+        assert_eq!(clone.generation(), g1);
+        // ...until either side mutates
+        db.insert("S", Relation::from_values(vec![2]));
+        assert_ne!(db.generation(), g1);
+        assert_eq!(clone.generation(), g1);
+        // distinct fresh databases never share a stamp
+        assert_ne!(Database::new().generation(), Database::new().generation());
+        // removal is a mutation too; removing nothing is not
+        let mut db2 = clone.clone();
+        let g = db2.generation();
+        assert!(db2.remove("missing").is_none());
+        assert_eq!(db2.generation(), g);
+        assert!(db2.remove("R").is_some());
+        assert_ne!(db2.generation(), g);
     }
 
     #[test]

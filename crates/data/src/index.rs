@@ -53,15 +53,19 @@ impl SortedView {
             return;
         }
         let n = self.data.len() / arity;
-        let mut idx: Vec<u32> = (0..n as u32).collect();
+        // Already sorted — the common case when the key columns are a
+        // prefix of the relation's own (sorted) column order: skip the
+        // index sort and the permutation copy entirely.
         let data = &self.data;
-        idx.sort_unstable_by(|&a, &b| {
-            data[a as usize * arity..(a as usize + 1) * arity]
-                .cmp(&data[b as usize * arity..(b as usize + 1) * arity])
-        });
+        let row = |i: usize| &data[i * arity..(i + 1) * arity];
+        if (1..n).all(|i| row(i - 1) <= row(i)) {
+            return;
+        }
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.sort_unstable_by(|&a, &b| (row(a as usize)).cmp(row(b as usize)));
         let mut out = Vec::with_capacity(self.data.len());
         for &i in &idx {
-            out.extend_from_slice(&data[i as usize * arity..(i as usize + 1) * arity]);
+            out.extend_from_slice(row(i as usize));
         }
         self.data = out;
     }
@@ -161,13 +165,21 @@ pub struct HashIndex {
 
 impl HashIndex {
     /// Build an index of `rel` on `key_cols`.
+    ///
+    /// The probe loop hashes a reused key buffer; a boxed key is only
+    /// allocated for the first row of each distinct key, not per row.
     pub fn new(rel: &Relation, key_cols: &[usize]) -> Self {
         let mut map: FxHashMap<Box<[Val]>, Vec<u32>> = FxHashMap::default();
+        map.reserve(rel.len());
         let mut keybuf: Vec<Val> = Vec::with_capacity(key_cols.len());
         for (i, row) in rel.iter().enumerate() {
             keybuf.clear();
             keybuf.extend(key_cols.iter().map(|&c| row[c]));
-            map.entry(keybuf.as_slice().into()).or_default().push(i as u32);
+            if let Some(rows) = map.get_mut(keybuf.as_slice()) {
+                rows.push(i as u32);
+            } else {
+                map.insert(keybuf.as_slice().into(), vec![i as u32]);
+            }
         }
         HashIndex { map, key_cols: key_cols.to_vec() }
     }

@@ -11,6 +11,7 @@
 //! The database size measure `m` used throughout the paper — the total
 //! number of tuples — is [`Database::size`].
 
+pub mod catalog;
 pub mod database;
 pub mod generate;
 pub mod hasher;
@@ -19,6 +20,7 @@ pub mod relation;
 pub mod stats;
 pub mod value;
 
+pub use catalog::{CatalogStats, IndexCatalog};
 pub use database::Database;
 pub use hasher::{FxHashMap, FxHashSet};
 pub use index::{HashIndex, SortedView};

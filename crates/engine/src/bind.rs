@@ -68,53 +68,75 @@ impl BoundAtom {
     }
 }
 
+/// Look up and validate the relation instance of one atom: present and
+/// of the right arity. Shared by [`bind`] and the catalog-aware
+/// preparation paths so both report identical errors.
+pub fn validate_atom<'a>(
+    relation: &str,
+    vars: &[Var],
+    db: &'a Database,
+) -> Result<&'a Relation, EvalError> {
+    let rel = db
+        .get(relation)
+        .ok_or_else(|| EvalError::MissingRelation(relation.to_string()))?;
+    if rel.arity() != vars.len() {
+        return Err(EvalError::ArityMismatch {
+            relation: relation.to_string(),
+            expected: vars.len(),
+            found: rel.arity(),
+        });
+    }
+    Ok(rel)
+}
+
+/// An atom's distinct variables, in first-occurrence order.
+pub fn distinct_vars(atom_vars: &[Var]) -> Vec<Var> {
+    let mut vars: Vec<Var> = Vec::with_capacity(atom_vars.len());
+    for &v in atom_vars {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    vars
+}
+
+/// Collapse a relation to an atom's distinct variables `vars`
+/// (first-occurrence order): rows inconsistent with repeated variables
+/// are dropped, repeated columns collapse to their first occurrence.
+/// When the atom has no repeats this is a plain clone.
+pub fn collapse_rel(atom_vars: &[Var], vars: &[Var], rel: &Relation) -> Relation {
+    if vars.len() == atom_vars.len() {
+        return rel.clone();
+    }
+    // filter rows consistent with repeats, collapse columns
+    let keep_cols: Vec<usize> =
+        vars.iter().map(|&v| atom_vars.iter().position(|&u| u == v).unwrap()).collect();
+    let mut filtered = Relation::new(vars.len());
+    let mut buf: Vec<Val> = vec![0; vars.len()];
+    'rows: for row in rel.iter() {
+        // repeated positions must agree
+        for (i, &vi) in atom_vars.iter().enumerate() {
+            let first = atom_vars.iter().position(|&u| u == vi).unwrap();
+            if row[i] != row[first] {
+                continue 'rows;
+            }
+        }
+        for (b, &c) in buf.iter_mut().zip(&keep_cols) {
+            *b = row[c];
+        }
+        filtered.push_row(&buf);
+    }
+    filtered.normalize();
+    filtered
+}
+
 /// Bind all atoms of `q` against `db`.
 pub fn bind(q: &ConjunctiveQuery, db: &Database) -> Result<Vec<BoundAtom>, EvalError> {
     let mut out = Vec::with_capacity(q.atoms().len());
     for atom in q.atoms() {
-        let rel = db
-            .get(&atom.relation)
-            .ok_or_else(|| EvalError::MissingRelation(atom.relation.clone()))?;
-        if rel.arity() != atom.vars.len() {
-            return Err(EvalError::ArityMismatch {
-                relation: atom.relation.clone(),
-                expected: atom.vars.len(),
-                found: rel.arity(),
-            });
-        }
-        // distinct variables in first-occurrence order
-        let mut vars: Vec<Var> = Vec::with_capacity(atom.vars.len());
-        for &v in &atom.vars {
-            if !vars.contains(&v) {
-                vars.push(v);
-            }
-        }
-        let bound_rel = if vars.len() == atom.vars.len() {
-            rel.clone()
-        } else {
-            // filter rows consistent with repeats, collapse columns
-            let keep_cols: Vec<usize> = vars
-                .iter()
-                .map(|&v| atom.vars.iter().position(|&u| u == v).unwrap())
-                .collect();
-            let mut filtered = Relation::new(vars.len());
-            let mut buf: Vec<Val> = vec![0; vars.len()];
-            'rows: for row in rel.iter() {
-                // repeated positions must agree
-                for (i, &vi) in atom.vars.iter().enumerate() {
-                    let first = atom.vars.iter().position(|&u| u == vi).unwrap();
-                    if row[i] != row[first] {
-                        continue 'rows;
-                    }
-                }
-                for (b, &c) in buf.iter_mut().zip(&keep_cols) {
-                    *b = row[c];
-                }
-                filtered.push_row(&buf);
-            }
-            filtered.normalize();
-            filtered
-        };
+        let rel = validate_atom(&atom.relation, &atom.vars, db)?;
+        let vars = distinct_vars(&atom.vars);
+        let bound_rel = collapse_rel(&atom.vars, &vars, rel);
         out.push(BoundAtom { vars, rel: bound_rel });
     }
     Ok(out)

@@ -90,6 +90,22 @@ pub fn count_acyclic_join(q: &ConjunctiveQuery, db: &Database) -> Result<u64, Ev
     Ok(count_dp(&atoms, &tree))
 }
 
+/// [`count_acyclic_join`] with the bound atoms memoized in the catalog:
+/// repeated counts of the same query skip the bind (relation clones and
+/// repeated-variable collapsing) and pay for the DP only.
+pub fn count_acyclic_join_with_catalog(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut cq_data::IndexCatalog,
+) -> Result<u64, EvalError> {
+    if !q.is_join_query() {
+        return Err(EvalError::NotJoinQuery);
+    }
+    let atoms = catalog.artifact(db, "bound_atoms", &q.to_string(), || bind(q, db))?;
+    let tree = yannakakis::join_tree_of(q)?;
+    Ok(count_dp(&atoms, &tree))
+}
+
 /// The projection-elimination step shared by counting, enumeration, and
 /// direct access for free-connex queries: returns bound atoms over
 /// *exactly the free variables* whose join equals `q(D)`, or `None` if
@@ -189,11 +205,38 @@ pub fn count_free_connex(q: &ConjunctiveQuery, db: &Database) -> Result<u64, Eva
         Some(m) => m,
         None => return Ok(0),
     };
-    // q' is an acyclic join query over the free variables
-    let scopes: Vec<u64> = msgs.iter().map(|m| m.scope()).collect();
+    count_eliminated(q, &msgs)
+}
+
+/// [`count_free_connex`] with the projection-elimination messages
+/// memoized in the catalog: the semijoin/projection phase (the bulk of
+/// the linear-time preprocessing) runs once per database state, and
+/// repeated counts pay for the DP over the (typically smaller) messages
+/// only.
+pub fn count_free_connex_with_catalog(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut cq_data::IndexCatalog,
+) -> Result<u64, EvalError> {
+    if q.is_boolean() {
+        let res = yannakakis::decide_acyclic_with_catalog(q, db, catalog)?;
+        return Ok(u64::from(res));
+    }
+    let msgs = catalog
+        .artifact(db, "elim_msgs", &q.to_string(), || eliminate_projections(q, db))?;
+    match &*msgs {
+        Some(m) => count_eliminated(q, m),
+        None => Ok(0),
+    }
+}
+
+/// The shared DP over projection-elimination messages: `q'` is an
+/// acyclic join query over the free variables.
+fn count_eliminated(q: &ConjunctiveQuery, msgs: &[BoundAtom]) -> Result<u64, EvalError> {
+    let scopes: Vec<u64> = msgs.iter().map(BoundAtom::scope).collect();
     let h = cq_core::Hypergraph::new(q.n_vars(), scopes);
     let tree = cq_core::gyo::join_tree(&h).ok_or(EvalError::NotFreeConnex)?;
-    Ok(count_dp(&msgs, &tree))
+    Ok(count_dp(msgs, &tree))
 }
 
 #[cfg(test)]
@@ -319,6 +362,33 @@ mod tests {
             };
             assert_eq!(c, brute_force_count(&q, &db).unwrap(), "k={k}");
         }
+    }
+
+    #[test]
+    fn catalog_counting_matches_plain() {
+        let mut cat = cq_data::IndexCatalog::new();
+        let db = path_database(3, 60, &mut seeded_rng(21));
+        let q = zoo::path_join(3);
+        let want = count_acyclic_join(&q, &db).unwrap();
+        assert_eq!(count_acyclic_join_with_catalog(&q, &db, &mut cat).unwrap(), want);
+        let before = cat.snapshot();
+        assert_eq!(count_acyclic_join_with_catalog(&q, &db, &mut cat).unwrap(), want);
+        assert_eq!(cat.snapshot().misses, before.misses, "bound atoms memoized");
+
+        let fc = parse_query("q(x0, x1) :- R1(x0, x1), R2(x1, x2)").unwrap();
+        let db = path_database(2, 80, &mut seeded_rng(22));
+        let want = count_free_connex(&fc, &db).unwrap();
+        assert_eq!(count_free_connex_with_catalog(&fc, &db, &mut cat).unwrap(), want);
+        let before = cat.snapshot();
+        assert_eq!(count_free_connex_with_catalog(&fc, &db, &mut cat).unwrap(), want);
+        assert_eq!(cat.snapshot().misses, before.misses, "messages memoized");
+
+        // boolean routes through the catalog decide
+        let qb = zoo::path_boolean(2);
+        assert_eq!(
+            count_free_connex_with_catalog(&qb, &db, &mut cat).unwrap(),
+            count_free_connex(&qb, &db).unwrap()
+        );
     }
 
     #[test]

@@ -14,54 +14,53 @@ use crate::count::eliminate_projections;
 use crate::yannakakis::{downward_sweep, upward_sweep};
 use cq_core::hypergraph::mask_vertices;
 use cq_core::{ConjunctiveQuery, Var};
-use cq_data::{Database, Relation, SortedView, Val};
+use cq_data::{Database, IndexCatalog, Relation, SortedView, Val};
+use std::sync::Arc;
 
-struct Level {
+/// One join-tree level of the preprocessed structure (immutable).
+struct LevelIndex {
     view: SortedView,
     n_key: usize,
     /// schema slots supplying the key values (ancestor-assigned)
     key_slots: Vec<usize>,
     /// schema slots written by this level's non-key columns
     out_slots: Vec<usize>,
+}
+
+/// Per-enumeration cursor over one level.
+#[derive(Clone, Default)]
+struct Cursor {
     /// current row range for the bound key
     range: std::ops::Range<usize>,
     /// current row within `range`
     pos: usize,
 }
 
-/// A prepared constant-delay enumerator. Create with
-/// [`Enumerator::preprocess`], consume with [`Enumerator::for_each`] or
-/// the [`Iterator`] from [`Enumerator::iter`].
-pub struct Enumerator {
+/// The immutable product of enumeration preprocessing: the reduced,
+/// indexed join-tree levels. Shared (`Arc`) between enumerators so a
+/// catalog can hand the preprocessing out once per database state.
+pub struct EnumeratorCore {
     /// Free variables in interning order — the output schema.
     schema: Vec<Var>,
-    levels: Vec<Level>,
+    levels: Vec<LevelIndex>,
     /// The whole result is empty.
     empty: bool,
 }
 
-impl std::fmt::Debug for Enumerator {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Enumerator")
-            .field("schema", &self.schema)
-            .field("levels", &self.levels.len())
-            .field("empty", &self.empty)
-            .finish()
-    }
-}
-
-impl Enumerator {
+impl EnumeratorCore {
     /// Linear-time preprocessing. Fails with `NotFreeConnex` /
     /// `NotAcyclic` on the hard side of the dichotomy.
-    pub fn preprocess(q: &ConjunctiveQuery, db: &Database) -> Result<Self, EvalError> {
+    pub fn build(q: &ConjunctiveQuery, db: &Database) -> Result<Self, EvalError> {
         let schema: Vec<Var> = q.free_vars();
         if q.is_boolean() {
             let res = crate::yannakakis::decide_acyclic(q, db)?;
-            return Ok(Enumerator { schema, levels: Vec::new(), empty: !res });
+            return Ok(EnumeratorCore { schema, levels: Vec::new(), empty: !res });
         }
         let mut msgs = match eliminate_projections(q, db)? {
             Some(m) => m,
-            None => return Ok(Enumerator { schema, levels: Vec::new(), empty: true }),
+            None => {
+                return Ok(EnumeratorCore { schema, levels: Vec::new(), empty: true })
+            }
         };
         // q' join tree + full reduction → global consistency
         let scopes: Vec<u64> = msgs.iter().map(BoundAtom::scope).collect();
@@ -70,7 +69,7 @@ impl Enumerator {
         upward_sweep(&mut msgs, &tree);
         downward_sweep(&mut msgs, &tree);
         if msgs[tree.root()].rel.is_empty() {
-            return Ok(Enumerator { schema, levels: Vec::new(), empty: true });
+            return Ok(EnumeratorCore { schema, levels: Vec::new(), empty: true });
         }
 
         let slot_of = |v: Var| schema.iter().position(|&s| s == v).unwrap();
@@ -88,39 +87,84 @@ impl Enumerator {
                 .map(|&c| slot_of(a.vars[c]))
                 .collect();
             let key_slots: Vec<usize> = key_vars.iter().map(|&v| slot_of(v)).collect();
-            levels.push(Level {
-                view,
-                n_key: key_cols.len(),
-                key_slots,
-                out_slots,
-                range: 0..0,
-                pos: 0,
-            });
+            levels.push(LevelIndex { view, n_key: key_cols.len(), key_slots, out_slots });
         }
-        Ok(Enumerator { schema, levels, empty: false })
+        Ok(EnumeratorCore { schema, levels, empty: false })
+    }
+}
+
+/// A prepared constant-delay enumerator. Create with
+/// [`Enumerator::preprocess`] (or, sharing preprocessing across calls,
+/// [`Enumerator::preprocess_with_catalog`]), consume with
+/// [`Enumerator::for_each`] or [`Enumerator::collect_all`].
+pub struct Enumerator {
+    core: Arc<EnumeratorCore>,
+    cursors: Vec<Cursor>,
+}
+
+impl std::fmt::Debug for Enumerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enumerator")
+            .field("schema", &self.core.schema)
+            .field("levels", &self.core.levels.len())
+            .field("empty", &self.core.empty)
+            .finish()
+    }
+}
+
+impl From<Arc<EnumeratorCore>> for Enumerator {
+    fn from(core: Arc<EnumeratorCore>) -> Self {
+        let cursors = vec![Cursor::default(); core.levels.len()];
+        Enumerator { core, cursors }
+    }
+}
+
+impl Enumerator {
+    /// Linear-time preprocessing. Fails with `NotFreeConnex` /
+    /// `NotAcyclic` on the hard side of the dichotomy.
+    pub fn preprocess(q: &ConjunctiveQuery, db: &Database) -> Result<Self, EvalError> {
+        Ok(Enumerator::from(Arc::new(EnumeratorCore::build(q, db)?)))
+    }
+
+    /// [`Enumerator::preprocess`] with the preprocessing product
+    /// memoized in the catalog: repeated enumerations of the same query
+    /// on an unchanged database skip the reduction and index builds
+    /// entirely and pay for the walk only — the preprocessing /
+    /// enumeration split of Thm 3.17 made operational.
+    pub fn preprocess_with_catalog(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        catalog: &mut IndexCatalog,
+    ) -> Result<Self, EvalError> {
+        let core = catalog.artifact(db, "enumerator", &q.to_string(), || {
+            EnumeratorCore::build(q, db)
+        })?;
+        Ok(Enumerator::from(core))
     }
 
     /// The output schema (free variables in interning order).
     pub fn schema(&self) -> &[Var] {
-        &self.schema
+        &self.core.schema
     }
 
     /// Visit every answer with constant delay; `visit` returns `false`
     /// to stop early. Returns `true` if enumeration ran to completion.
     pub fn for_each(&mut self, mut visit: impl FnMut(&[Val]) -> bool) -> bool {
-        if self.empty {
+        let core = &self.core;
+        let cursors = &mut self.cursors;
+        if core.empty {
             return true;
         }
-        if self.levels.is_empty() {
+        if core.levels.is_empty() {
             // Boolean query that is true: the single empty answer.
             return visit(&[]);
         }
-        let mut current: Vec<Val> = vec![0; self.schema.len()];
+        let mut current: Vec<Val> = vec![0; core.schema.len()];
         let mut keybuf: Vec<Val> = Vec::new();
         // descend all levels from 0
-        let l = self.levels.len();
-        for i in 0..l {
-            descend(&mut self.levels[i], &mut current, &mut keybuf);
+        let l = core.levels.len();
+        for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()) {
+            descend(lev, cur, &mut current, &mut keybuf);
         }
         loop {
             if !visit(&current) {
@@ -133,15 +177,15 @@ impl Enumerator {
                     return true; // exhausted
                 }
                 i -= 1;
-                let lev = &mut self.levels[i];
-                if lev.pos + 1 < lev.range.end {
-                    lev.pos += 1;
-                    write_row(lev, &mut current);
+                let (lev, cur) = (&core.levels[i], &mut cursors[i]);
+                if cur.pos + 1 < cur.range.end {
+                    cur.pos += 1;
+                    write_row(lev, cur, &mut current);
                     break;
                 }
             }
-            for j in (i + 1)..l {
-                descend(&mut self.levels[j], &mut current, &mut keybuf);
+            for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()).skip(i + 1) {
+                descend(lev, cur, &mut current, &mut keybuf);
             }
         }
     }
@@ -169,7 +213,7 @@ impl Enumerator {
 
     /// Collect answers into a [`Relation`] over the schema.
     pub fn to_relation(&mut self) -> Relation {
-        let mut rel = Relation::new(self.schema.len());
+        let mut rel = Relation::new(self.core.schema.len());
         self.for_each(|row| {
             rel.push_row(row);
             true
@@ -179,21 +223,26 @@ impl Enumerator {
     }
 }
 
-fn descend(lev: &mut Level, current: &mut [Val], keybuf: &mut Vec<Val>) {
+fn descend(
+    lev: &LevelIndex,
+    cur: &mut Cursor,
+    current: &mut [Val],
+    keybuf: &mut Vec<Val>,
+) {
     keybuf.clear();
     keybuf.extend(lev.key_slots.iter().map(|&s| current[s]));
-    lev.range = lev.view.key_range(keybuf);
+    cur.range = lev.view.key_range(keybuf);
     debug_assert!(
-        !lev.range.is_empty(),
+        !cur.range.is_empty(),
         "full reduction guarantees non-empty extensions"
     );
-    lev.pos = lev.range.start;
-    write_row(lev, current);
+    cur.pos = cur.range.start;
+    write_row(lev, cur, current);
 }
 
 #[inline]
-fn write_row(lev: &Level, current: &mut [Val]) {
-    let row = lev.view.row(lev.pos);
+fn write_row(lev: &LevelIndex, cur: &Cursor, current: &mut [Val]) {
+    let row = lev.view.row(cur.pos);
     for (i, &slot) in lev.out_slots.iter().enumerate() {
         current[slot] = row[lev.n_key + i];
     }
@@ -294,6 +343,23 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(all.len(), dedup.len(), "enumeration must not repeat answers");
+    }
+
+    #[test]
+    fn catalog_enumeration_shares_preprocessing() {
+        let db = path_database(3, 60, &mut seeded_rng(9));
+        let q = zoo::path_join(3);
+        let mut cat = cq_data::IndexCatalog::new();
+        let mut a = Enumerator::preprocess_with_catalog(&q, &db, &mut cat).unwrap();
+        let want = brute_force_answers(&q, &db).unwrap();
+        assert_eq!(a.to_relation(), want);
+        // warm: same core, fresh cursors, same answers
+        let before = cat.snapshot();
+        let mut b = Enumerator::preprocess_with_catalog(&q, &db, &mut cat).unwrap();
+        assert_eq!(b.to_relation(), want);
+        assert_eq!(cat.snapshot().misses, before.misses, "no rebuild on warm path");
+        // an enumerator can also be re-consumed after sharing
+        assert_eq!(a.count(), want.len() as u64);
     }
 
     #[test]

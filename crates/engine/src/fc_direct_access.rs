@@ -18,7 +18,8 @@ use crate::count::eliminate_projections;
 use crate::direct_access::{DirectAccess, LexDirectAccess};
 use cq_core::hypergraph::mask_vertices;
 use cq_core::{ConjunctiveQuery, Var};
-use cq_data::{Database, Val};
+use cq_data::{Database, IndexCatalog, Val};
+use std::sync::Arc;
 
 /// Direct access to the answers of a free-connex query, in a
 /// query-chosen lexicographic order over the free variables.
@@ -73,6 +74,17 @@ impl FreeConnexDirectAccess {
         let inner = LexDirectAccess::build_from_atoms(msgs, q.n_vars(), &order)
             .expect("DFS orders of the q' join tree are always compatible");
         Ok(FreeConnexDirectAccess { inner: Some(inner), schema, order })
+    }
+
+    /// [`FreeConnexDirectAccess::build`] memoized in the catalog: the
+    /// Õ(m) preprocessing runs once per database state, repeated
+    /// `access` calls share the structure.
+    pub fn build_with_catalog(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        catalog: &mut IndexCatalog,
+    ) -> Result<Arc<Self>, EvalError> {
+        catalog.artifact(db, "fc_da", &q.to_string(), || Self::build(q, db))
     }
 
     /// The query-chosen lexicographic order (over the free variables).

@@ -9,17 +9,75 @@
 //! algorithm is both the m^{3/2} triangle baseline of Thm 3.2 and the
 //! *optimal* LW algorithm of Thm 3.5.
 
-use crate::bind::{bind, BoundAtom, EvalError};
+use crate::bind::{
+    bind, collapse_rel, distinct_vars, validate_atom, BoundAtom, EvalError,
+};
 use cq_core::{ConjunctiveQuery, Var};
-use cq_data::{Database, FxHashSet, Relation, SortedView, Val};
+use cq_data::{Database, FxHashSet, IndexCatalog, Relation, SortedView, Val};
+use std::sync::Arc;
 
 /// One atom prepared for the join: its view is sorted with columns in
-/// global variable order.
+/// global variable order. Views are shared (`Arc`) so the catalog path
+/// can hand out memoized indexes without copying.
 struct PreparedAtom {
-    view: SortedView,
+    view: Arc<SortedView>,
     /// for each of the atom's columns (in view order), the global depth
     /// of the corresponding variable
     depths: Vec<usize>,
+}
+
+/// `pos[v.index()]` = position of `v` in `order` (`usize::MAX` when the
+/// variable is not in the order). Replaces the per-variable linear scan
+/// of the order — O(|order|) once instead of O(|order|) per lookup.
+fn position_map(order: &[Var]) -> Vec<usize> {
+    let n = order.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    let mut pos = vec![usize::MAX; n];
+    for (i, v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    pos
+}
+
+#[inline]
+fn pos_in(pos: &[usize], v: Var) -> usize {
+    let p = pos.get(v.index()).copied().unwrap_or(usize::MAX);
+    assert!(p != usize::MAX, "order must cover all variables");
+    p
+}
+
+/// Column permutation of an atom's (distinct) variables sorted by global
+/// position, and the global depth of each permuted column.
+fn atom_layout(vars: &[Var], pos: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut cols: Vec<usize> = (0..vars.len()).collect();
+    cols.sort_by_key(|&c| pos_in(pos, vars[c]));
+    let depths: Vec<usize> = cols.iter().map(|&c| pos_in(pos, vars[c])).collect();
+    (cols, depths)
+}
+
+/// Run the prepared join: intersect per depth, visit full assignments.
+fn run_prepared(
+    prepared: &[PreparedAtom],
+    n_depths: usize,
+    visit: &mut dyn FnMut(&[Val]) -> bool,
+) -> bool {
+    // for each global depth: (atom index, local column) of involved atoms
+    let mut involved: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_depths];
+    for (ai, p) in prepared.iter().enumerate() {
+        for (lc, &d) in p.depths.iter().enumerate() {
+            involved[d].push((ai, lc));
+        }
+    }
+    // every variable must be constrained by some atom
+    assert!(
+        involved.iter().all(|v| !v.is_empty()),
+        "every variable in the order must occur in some atom"
+    );
+
+    let mut assignment: Vec<Val> = vec![0; n_depths];
+    let mut ranges: Vec<std::ops::Range<usize>> =
+        prepared.iter().map(|p| 0..p.view.len()).collect();
+
+    search(prepared, &involved, 0, &mut assignment, &mut ranges, visit)
 }
 
 /// Run the generic join over `atoms` with the given global variable
@@ -34,63 +92,104 @@ pub fn generic_join_visit(
     order: &[Var],
     visit: &mut dyn FnMut(&[Val]) -> bool,
 ) -> bool {
-    let pos_of = |v: Var| -> usize {
-        order.iter().position(|&u| u == v).expect("order must cover all variables")
-    };
     if atoms.iter().any(|a| a.rel.is_empty()) {
         return true;
     }
+    let pos = position_map(order);
     let prepared: Vec<PreparedAtom> = atoms
         .iter()
         .map(|a| {
-            // column permutation: atom vars sorted by global position
-            let mut cols: Vec<usize> = (0..a.vars.len()).collect();
-            cols.sort_by_key(|&c| pos_of(a.vars[c]));
-            let depths: Vec<usize> = cols.iter().map(|&c| pos_of(a.vars[c])).collect();
-            let view = SortedView::new(&a.rel, &cols);
+            let (cols, depths) = atom_layout(&a.vars, &pos);
+            let view = Arc::new(SortedView::new(&a.rel, &cols));
             PreparedAtom { view, depths }
         })
         .collect();
+    run_prepared(&prepared, order.len(), visit)
+}
 
-    // for each global depth: (atom index, local column) of involved atoms
-    let mut involved: Vec<Vec<(usize, usize)>> = vec![Vec::new(); order.len()];
-    for (ai, p) in prepared.iter().enumerate() {
-        for (lc, &d) in p.depths.iter().enumerate() {
-            involved[d].push((ai, lc));
-        }
+/// [`generic_join_visit`] with all index acquisition routed through the
+/// per-database [`IndexCatalog`]: atoms with distinct variables use the
+/// memoized `(relation, permutation)` view of the base relation; atoms
+/// with repeated variables memoize their collapsed view as a catalog
+/// artifact. On a warm catalog no sort or copy happens at all — the
+/// call costs only the leapfrog search itself.
+pub fn generic_join_visit_catalog(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &mut IndexCatalog,
+    visit: &mut dyn FnMut(&[Val]) -> bool,
+) -> Result<bool, EvalError> {
+    // validate every atom first (error parity with `bind`), and return
+    // before building any view if some relation is empty
+    let mut rels: Vec<&cq_data::Relation> = Vec::with_capacity(q.atoms().len());
+    for atom in q.atoms() {
+        rels.push(validate_atom(&atom.relation, &atom.vars, db)?);
     }
-    // every variable must be constrained by some atom
-    assert!(
-        involved.iter().all(|v| !v.is_empty()),
-        "every variable in the order must occur in some atom"
-    );
-
-    let mut assignment: Vec<Val> = vec![0; order.len()];
-    let mut ranges: Vec<std::ops::Range<usize>> =
-        prepared.iter().map(|p| 0..p.view.len()).collect();
-
-    search(&prepared, &involved, 0, &mut assignment, &mut ranges, visit)
+    if rels.iter().any(|r| r.is_empty()) {
+        return Ok(true);
+    }
+    let pos = position_map(order);
+    let mut prepared: Vec<PreparedAtom> = Vec::with_capacity(q.atoms().len());
+    for (atom, rel) in q.atoms().iter().zip(rels) {
+        let vars = distinct_vars(&atom.vars);
+        let (cols, depths) = atom_layout(&vars, &pos);
+        let view = if vars.len() == atom.vars.len() {
+            catalog
+                .sorted_view(db, &atom.relation, &cols)
+                .expect("relation validated above")
+        } else {
+            // repeated variables: the view is over the collapsed
+            // relation, memoized per (relation, pattern, permutation)
+            let key = format!("{}|{:?}|{cols:?}", atom.relation, atom.vars);
+            catalog.artifact(db, "bound_view", &key, || {
+                let bound = collapse_rel(&atom.vars, &vars, rel);
+                Ok::<_, EvalError>(SortedView::new(&bound, &cols))
+            })?
+        };
+        prepared.push(PreparedAtom { view, depths });
+    }
+    Ok(run_prepared(&prepared, order.len(), visit))
 }
 
 /// Position of the first row in `view[range]` whose column `col` is
-/// `>= value` (rows in the range share their first `col` columns, so the
-/// column is sorted within the range).
+/// `>= value`, by galloping (exponential) search from the range start
+/// (rows in the range share their first `col` columns, so the column is
+/// sorted within the range). Callers pass ranges starting at the
+/// current leapfrog cursor, so successive seeks pay O(log gap) in the
+/// distance actually advanced rather than O(log |range|) each.
 fn lower_bound(
     view: &SortedView,
     range: &std::ops::Range<usize>,
     col: usize,
     value: Val,
 ) -> usize {
-    let (mut lo, mut hi) = (range.start, range.end);
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if view.row(mid)[col] < value {
-            lo = mid + 1;
-        } else {
-            hi = mid;
-        }
+    let (start, end) = (range.start, range.end);
+    if start >= end || view.row(start)[col] >= value {
+        return start;
     }
-    lo
+    // gallop: view.row(prev)[col] < value holds throughout
+    let mut prev = start;
+    let mut step = 1usize;
+    loop {
+        let probe = prev.saturating_add(step).min(end);
+        if probe < end && view.row(probe)[col] < value {
+            prev = probe;
+            step <<= 1;
+            continue;
+        }
+        // binary search in (prev, probe]
+        let (mut lo, mut hi) = (prev + 1, probe);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if view.row(mid)[col] < value {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
 }
 
 fn search(
@@ -213,6 +312,30 @@ pub fn answers_with_order(
     Ok(out)
 }
 
+/// [`answers_with_order`] acquiring all indexes through the catalog: on
+/// a warm catalog the call pays for the join and the output only.
+pub fn answers_with_order_catalog(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &mut IndexCatalog,
+) -> Result<Relation, EvalError> {
+    let free = q.free_vars();
+    let free_pos: Vec<usize> =
+        free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
+    let mut out = Relation::new(free.len());
+    let mut buf: Vec<Val> = vec![0; free.len()];
+    generic_join_visit_catalog(q, db, order, catalog, &mut |assignment| {
+        for (b, &p) in buf.iter_mut().zip(&free_pos) {
+            *b = assignment[p];
+        }
+        out.push_row(&buf);
+        true
+    })?;
+    out.normalize();
+    Ok(out)
+}
+
 /// Boolean decision by generic join with early stop — the fallback for
 /// cyclic queries (runtime = AGM bound of the query).
 pub fn decide(q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalError> {
@@ -231,6 +354,21 @@ pub fn decide_with_order(
         found = true;
         false
     });
+    Ok(found)
+}
+
+/// [`decide_with_order`] acquiring all indexes through the catalog.
+pub fn decide_with_order_catalog(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &mut IndexCatalog,
+) -> Result<bool, EvalError> {
+    let mut found = false;
+    generic_join_visit_catalog(q, db, order, catalog, &mut |_| {
+        found = true;
+        false
+    })?;
     Ok(found)
 }
 
@@ -260,6 +398,29 @@ pub fn count_distinct_with_order(
         set.insert(buf.as_slice().into());
         true
     });
+    Ok(set.len() as u64)
+}
+
+/// [`count_distinct_with_order`] acquiring all indexes through the
+/// catalog.
+pub fn count_distinct_with_order_catalog(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &mut IndexCatalog,
+) -> Result<u64, EvalError> {
+    let free = q.free_vars();
+    let free_pos: Vec<usize> =
+        free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
+    let mut set: FxHashSet<Box<[Val]>> = FxHashSet::default();
+    let mut buf: Vec<Val> = vec![0; free.len()];
+    generic_join_visit_catalog(q, db, order, catalog, &mut |assignment| {
+        for (b, &p) in buf.iter_mut().zip(&free_pos) {
+            *b = assignment[p];
+        }
+        set.insert(buf.as_slice().into());
+        true
+    })?;
     Ok(set.len() as u64)
 }
 
@@ -398,5 +559,66 @@ mod tests {
         let ans = answers(&q, &db).unwrap();
         assert_eq!(ans.len(), 3); // (1,2), (2,1), (5,5)
         assert!(ans.contains(&[5, 5]));
+    }
+
+    #[test]
+    fn catalog_join_matches_plain_and_reuses_indexes() {
+        let mut rng = seeded_rng(20);
+        let edges = random_pairs(60, 15, &mut rng);
+        let db = triangle_database(&edges);
+        let q = zoo::triangle_join();
+        let order = default_order(&q);
+        let mut cat = cq_data::IndexCatalog::new();
+        let cold = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        assert_eq!(cold, answers(&q, &db).unwrap());
+        let before = cat.snapshot();
+        let warm = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        assert_eq!(cold, warm);
+        let after = cat.snapshot();
+        assert_eq!(after.misses, before.misses, "warm run must build nothing");
+        assert!(after.hits > before.hits);
+        assert_eq!(
+            decide_with_order_catalog(&q, &db, &order, &mut cat).unwrap(),
+            decide(&q, &db).unwrap()
+        );
+        assert_eq!(
+            count_distinct_with_order_catalog(&q, &db, &order, &mut cat).unwrap(),
+            count_distinct(&q, &db).unwrap()
+        );
+    }
+
+    #[test]
+    fn catalog_join_handles_repeated_variable_atoms() {
+        let q = parse_query("q(x, y) :- R(x, x), S(x, y)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 1), (2, 3), (4, 4)]));
+        db.insert("S", Relation::from_pairs(vec![(1, 9), (4, 8), (2, 7)]));
+        let order = default_order(&q);
+        let mut cat = cq_data::IndexCatalog::new();
+        let got = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        assert_eq!(got, brute_force_answers(&q, &db).unwrap());
+        // the collapsed view is an artifact: a second run reuses it
+        let before = cat.snapshot();
+        let again = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        assert_eq!(got, again);
+        assert_eq!(cat.snapshot().misses, before.misses);
+    }
+
+    #[test]
+    fn catalog_join_error_parity_with_bind() {
+        let q = parse_query("q(x, y) :- R(x, y), T(y)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 2)]));
+        let order = default_order(&q);
+        let mut cat = cq_data::IndexCatalog::new();
+        assert_eq!(
+            decide_with_order_catalog(&q, &db, &order, &mut cat).unwrap_err(),
+            decide(&q, &db).unwrap_err()
+        );
+        db.insert("T", Relation::from_pairs(vec![(1, 2)])); // wrong arity
+        assert_eq!(
+            decide_with_order_catalog(&q, &db, &order, &mut cat).unwrap_err(),
+            decide(&q, &db).unwrap_err()
+        );
     }
 }

@@ -39,6 +39,6 @@ pub mod yannakakis;
 
 pub use bind::{bind, BoundAtom, EvalError};
 pub use direct_access::{DirectAccess, LexDirectAccess, MaterializedDirectAccess};
-pub use enumerate::Enumerator;
+pub use enumerate::{Enumerator, EnumeratorCore};
 pub use fc_direct_access::FreeConnexDirectAccess;
 pub use sum_order::SumOrderAccess;

@@ -15,8 +15,8 @@ use crate::direct_access::DirectAccess;
 use crate::generic_join;
 use crate::semijoin::semijoin;
 use crate::yannakakis::shared_cols;
-use cq_core::ConjunctiveQuery;
-use cq_data::{Database, Val};
+use cq_core::{ConjunctiveQuery, Var};
+use cq_data::{Database, IndexCatalog, Relation, Val};
 
 /// Direct access by ascending tuple weight (ties broken by value for
 /// determinism). Answers are full assignments in variable interning
@@ -26,7 +26,58 @@ pub struct SumOrderAccess {
     rows: Vec<(i64, Vec<Val>)>,
 }
 
+/// The weight-independent preprocessing of the covering-atom algorithm:
+/// the covering atom semijoined by every other atom, together with its
+/// variables. Cacheable per database state; the weigh-and-sort step is
+/// weight-specific and stays per call.
+fn reduced_covering_atom(
+    q: &ConjunctiveQuery,
+    db: &Database,
+) -> Result<(Vec<Var>, Relation), EvalError> {
+    let atoms = bind(q, db)?;
+    let all = q.all_vars_mask();
+    let cover = atoms.iter().position(|a| a.scope() == all).ok_or_else(|| {
+        EvalError::Unsupported(
+            "no atom contains all variables (Thm 3.26: sum-order direct \
+                 access is then 3SUM-hard, Lemma 3.25)"
+                .to_string(),
+        )
+    })?;
+    let mut rel = atoms[cover].rel.clone();
+    for (i, other) in atoms.iter().enumerate() {
+        if i == cover {
+            continue;
+        }
+        let covering = crate::bind::BoundAtom { vars: atoms[cover].vars.clone(), rel };
+        let (cc, co) = shared_cols(&covering, other);
+        rel = semijoin(&covering.rel, &cc, &other.rel, &co);
+    }
+    Ok((atoms[cover].vars.clone(), rel))
+}
+
 impl SumOrderAccess {
+    /// Weigh and sort a reduced covering atom (the per-weight half of
+    /// the covering-atom preprocessing).
+    fn weigh(
+        vars: &[Var],
+        rel: &Relation,
+        n_vars: usize,
+        weight: &dyn Fn(Val) -> i64,
+    ) -> Self {
+        let mut rows: Vec<(i64, Vec<Val>)> = Vec::with_capacity(rel.len());
+        for row in rel.iter() {
+            let mut assignment = vec![0 as Val; n_vars];
+            let mut w = 0i64;
+            for (c, v) in vars.iter().enumerate() {
+                assignment[v.index()] = row[c];
+                w += weight(row[c]);
+            }
+            rows.push((w, assignment));
+        }
+        rows.sort();
+        SumOrderAccess { rows }
+    }
+
     /// The easy side of Theorem 3.26: the query has an atom covering all
     /// variables. Preprocessing: semijoin the covering atom by every
     /// other atom, weigh, sort — Õ(m).
@@ -38,40 +89,27 @@ impl SumOrderAccess {
         if !q.is_join_query() {
             return Err(EvalError::NotJoinQuery);
         }
-        let atoms = bind(q, db)?;
-        let all = q.all_vars_mask();
-        let cover = atoms.iter().position(|a| a.scope() == all).ok_or_else(|| {
-            EvalError::Unsupported(
-                "no atom contains all variables (Thm 3.26: sum-order direct \
-                     access is then 3SUM-hard, Lemma 3.25)"
-                    .to_string(),
-            )
-        })?;
-        let mut rel = atoms[cover].rel.clone();
-        for (i, other) in atoms.iter().enumerate() {
-            if i == cover {
-                continue;
-            }
-            let covering =
-                crate::bind::BoundAtom { vars: atoms[cover].vars.clone(), rel };
-            let (cc, co) = shared_cols(&covering, other);
-            rel = semijoin(&covering.rel, &cc, &other.rel, &co);
+        let (vars, rel) = reduced_covering_atom(q, db)?;
+        Ok(Self::weigh(&vars, &rel, q.n_vars(), weight))
+    }
+
+    /// [`SumOrderAccess::build_covering_atom`] with the
+    /// weight-independent reduction memoized in the catalog: repeated
+    /// builds (e.g. re-weighings, or the same ranking re-requested) pay
+    /// only the weigh-and-sort.
+    pub fn build_covering_atom_with_catalog(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        weight: &dyn Fn(Val) -> i64,
+        catalog: &mut IndexCatalog,
+    ) -> Result<Self, EvalError> {
+        if !q.is_join_query() {
+            return Err(EvalError::NotJoinQuery);
         }
-        // rows over atoms[cover].vars → permute into interning order
-        let vars = &atoms[cover].vars;
-        let n = q.n_vars();
-        let mut rows: Vec<(i64, Vec<Val>)> = Vec::with_capacity(rel.len());
-        for row in rel.iter() {
-            let mut assignment = vec![0 as Val; n];
-            let mut w = 0i64;
-            for (c, v) in vars.iter().enumerate() {
-                assignment[v.index()] = row[c];
-                w += weight(row[c]);
-            }
-            rows.push((w, assignment));
-        }
-        rows.sort();
-        Ok(SumOrderAccess { rows })
+        let reduced = catalog
+            .artifact(db, "sum_cover", &q.to_string(), || reduced_covering_atom(q, db))?;
+        let (vars, rel) = &*reduced;
+        Ok(Self::weigh(vars, rel, q.n_vars(), weight))
     }
 
     /// The general fallback: materialize `q(D)` by generic join, weigh,
@@ -174,6 +212,34 @@ mod tests {
         let da = SumOrderAccess::build_materialized(&q, &db, &weights_fn(&ws)).unwrap();
         assert_eq!(da.len(), 1);
         assert_eq!(da.access(0), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn catalog_covering_atom_matches_plain() {
+        let mut rng = seeded_rng(7);
+        let mut db = Database::new();
+        db.insert("R", cq_data::generate::random_pairs(60, 20, &mut rng));
+        db.insert("S", Relation::from_values((0..20).collect::<Vec<_>>()));
+        let q = parse_query("q(a, b) :- R(a, b), S(a)").unwrap();
+        let ws = random_weights(20, 100, &mut rng);
+        let mut cat = cq_data::IndexCatalog::new();
+        let plain =
+            SumOrderAccess::build_covering_atom(&q, &db, &weights_fn(&ws)).unwrap();
+        for _ in 0..2 {
+            let cataloged = SumOrderAccess::build_covering_atom_with_catalog(
+                &q,
+                &db,
+                &weights_fn(&ws),
+                &mut cat,
+            )
+            .unwrap();
+            assert_eq!(plain.len(), cataloged.len());
+            for i in 0..plain.len() {
+                assert_eq!(plain.access(i), cataloged.access(i));
+            }
+        }
+        // the reduction was built exactly once
+        assert_eq!(cat.snapshot().misses, 1);
     }
 
     #[test]

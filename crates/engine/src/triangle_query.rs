@@ -10,13 +10,14 @@
 //! the Triangle Hypothesis says is close to optimal.
 
 use crate::bind::EvalError;
-use cq_data::{Database, FxHashMap, Relation, SortedView, Val};
+use cq_data::{Database, FxHashMap, IndexCatalog, Relation, SortedView, Val};
 use cq_matrix::dense::multiply_rowwise;
 use cq_matrix::BitMatrix;
 
-/// Decide `q△` with the degree-split algorithm. `delta` is the
-/// light/heavy threshold (use `cq_matrix::omega::ayz_delta`).
-pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalError> {
+/// Look up and validate the three binary triangle relations.
+fn triangle_relations(
+    db: &Database,
+) -> Result<(&Relation, &Relation, &Relation), EvalError> {
     let r1 = db.get("R1").ok_or_else(|| EvalError::MissingRelation("R1".into()))?;
     let r2 = db.get("R2").ok_or_else(|| EvalError::MissingRelation("R2".into()))?;
     let r3 = db.get("R3").ok_or_else(|| EvalError::MissingRelation("R3".into()))?;
@@ -29,9 +30,12 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
             });
         }
     }
-    let delta = delta.max(1);
+    Ok((r1, r2, r3))
+}
 
-    // degree of a domain element: number of tuples containing it
+/// Degree of each domain element: number of tuples containing it
+/// (delta-independent, so a catalog can memoize it per database state).
+fn degree_map(r1: &Relation, r2: &Relation, r3: &Relation) -> FxHashMap<Val, usize> {
     let mut degree: FxHashMap<Val, usize> = FxHashMap::default();
     for r in [r1, r2, r3] {
         for row in r.iter() {
@@ -41,14 +45,54 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
             }
         }
     }
-    let light = |v: Val| degree.get(&v).copied().unwrap_or(0) <= delta;
+    degree
+}
 
-    // --- light phases ---
+/// Decide `q△` with the degree-split algorithm. `delta` is the
+/// light/heavy threshold (use `cq_matrix::omega::ayz_delta`).
+pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalError> {
+    let (r1, r2, r3) = triangle_relations(db)?;
+    let degree = degree_map(r1, r2, r3);
     // indexes: R2 by y (col 0), R3 by z (col 0), R1 by x (col 0)
     let r2_by_y = SortedView::new(r2, &[0]);
     let r3_by_z = SortedView::new(r3, &[0]);
     let r1_by_x = SortedView::new(r1, &[0]);
+    Ok(ayz_phases(r1, r2, r3, &degree, &r1_by_x, &r2_by_y, &r3_by_z, delta))
+}
 
+/// [`decide_triangle_ayz`] with the degree map and the three sorted
+/// views acquired through the catalog: repeated triangle decisions on
+/// an unchanged database pay the light/heavy scans only.
+pub fn decide_triangle_ayz_with_catalog(
+    db: &Database,
+    delta: usize,
+    catalog: &mut IndexCatalog,
+) -> Result<bool, EvalError> {
+    let (r1, r2, r3) = triangle_relations(db)?;
+    let degree = catalog
+        .artifact(db, "ayz_degree", "", || Ok::<_, EvalError>(degree_map(r1, r2, r3)))?;
+    let r2_by_y = catalog.sorted_view(db, "R2", &[0]).expect("validated");
+    let r3_by_z = catalog.sorted_view(db, "R3", &[0]).expect("validated");
+    let r1_by_x = catalog.sorted_view(db, "R1", &[0]).expect("validated");
+    Ok(ayz_phases(r1, r2, r3, &degree, &r1_by_x, &r2_by_y, &r3_by_z, delta))
+}
+
+/// The light expansions + heavy matrix phase shared by both entries.
+#[allow(clippy::too_many_arguments)]
+fn ayz_phases(
+    r1: &Relation,
+    r2: &Relation,
+    r3: &Relation,
+    degree: &FxHashMap<Val, usize>,
+    r1_by_x: &SortedView,
+    r2_by_y: &SortedView,
+    r3_by_z: &SortedView,
+    delta: usize,
+) -> bool {
+    let delta = delta.max(1);
+    let light = |v: Val| degree.get(&v).copied().unwrap_or(0) <= delta;
+
+    // --- light phases ---
     // light y: (x,y) ∈ R1, y light: expand y's R2-tuples, check R3(z,x)
     for row in r1.iter() {
         let (x, y) = (row[0], row[1]);
@@ -59,7 +103,7 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
         for i in range {
             let z = r2_by_y.row(i)[1];
             if r3.contains(&[z, x]) {
-                return Ok(true);
+                return true;
             }
         }
     }
@@ -73,7 +117,7 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
         for i in range {
             let x = r3_by_z.row(i)[1];
             if r1.contains(&[x, y]) {
-                return Ok(true);
+                return true;
             }
         }
     }
@@ -87,7 +131,7 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
         for i in range {
             let y = r1_by_x.row(i)[1];
             if r2.contains(&[y, z]) {
-                return Ok(true);
+                return true;
             }
         }
     }
@@ -97,7 +141,7 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
         degree.iter().filter(|&(_, &d)| d > delta).map(|(&v, _)| v).collect();
     heavy.sort_unstable();
     if heavy.is_empty() {
-        return Ok(false);
+        return false;
     }
     let idx_of = |v: Val| -> Option<usize> { heavy.binary_search(&v).ok() };
     let h = heavy.len();
@@ -117,11 +161,11 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
     for row in r3.iter() {
         if let (Some(zi), Some(xi)) = (idx_of(row[0]), idx_of(row[1])) {
             if c.get(xi, zi) {
-                return Ok(true);
+                return true;
             }
         }
     }
-    Ok(false)
+    false
 }
 
 /// The generic-join baseline for `q△` (the m^{3/2} algorithm the paper
@@ -201,6 +245,27 @@ mod tests {
                     "trial={trial} delta={delta}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn catalog_ayz_matches_plain_and_reuses() {
+        let mut rng = seeded_rng(5);
+        let mut cat = cq_data::IndexCatalog::new();
+        for trial in 0..10 {
+            let db = triangle_database(&random_pairs(40 + trial, 12, &mut rng));
+            for delta in [1usize, 3, 1000] {
+                let want = decide_triangle_ayz(&db, delta).unwrap();
+                assert_eq!(
+                    decide_triangle_ayz_with_catalog(&db, delta, &mut cat).unwrap(),
+                    want,
+                    "trial={trial} delta={delta}"
+                );
+            }
+            // two more deltas on the same db: degree map + views reused
+            let before = cat.snapshot();
+            decide_triangle_ayz_with_catalog(&db, 2, &mut cat).unwrap();
+            assert_eq!(cat.snapshot().misses, before.misses);
         }
     }
 

@@ -7,24 +7,34 @@
 //! consistent ([`full_reduce`]), the starting point for counting,
 //! enumeration, and direct access.
 
-use crate::bind::{bind, BoundAtom, EvalError};
-use crate::semijoin::semijoin;
+use crate::bind::{
+    bind, collapse_rel, distinct_vars, validate_atom, BoundAtom, EvalError,
+};
+use crate::semijoin::{semijoin, semijoin_indexed};
 use cq_core::hypergraph::mask_vertices;
 use cq_core::{ConjunctiveQuery, JoinTree, Var};
-use cq_data::Database;
+use cq_data::{Database, HashIndex, IndexCatalog, Relation};
+use std::sync::Arc;
+
+/// Shared key columns between two variable lists (each distinct): for
+/// each shared variable, the column index in `a` and in `b`.
+pub fn shared_cols_of(a: &[Var], b: &[Var]) -> (Vec<usize>, Vec<usize>) {
+    let ma = a.iter().fold(0u64, |m, v| m | v.mask());
+    let mb = b.iter().fold(0u64, |m, v| m | v.mask());
+    let mut ca = Vec::new();
+    let mut cb = Vec::new();
+    for v in mask_vertices(ma & mb) {
+        let v = Var(v as u32);
+        ca.push(a.iter().position(|&u| u == v).unwrap());
+        cb.push(b.iter().position(|&u| u == v).unwrap());
+    }
+    (ca, cb)
+}
 
 /// Shared key columns between two bound atoms: for each shared variable,
 /// the column index in `a` and in `b`.
 pub fn shared_cols(a: &BoundAtom, b: &BoundAtom) -> (Vec<usize>, Vec<usize>) {
-    let shared = a.scope() & b.scope();
-    let mut ca = Vec::new();
-    let mut cb = Vec::new();
-    for v in mask_vertices(shared) {
-        let v = Var(v as u32);
-        ca.push(a.col_of(v).unwrap());
-        cb.push(b.col_of(v).unwrap());
-    }
-    (ca, cb)
+    shared_cols_of(&a.vars, &b.vars)
 }
 
 /// Build the join tree of `q`'s hypergraph (`Err(NotAcyclic)` if cyclic).
@@ -66,6 +76,87 @@ pub fn decide_acyclic(q: &ConjunctiveQuery, db: &Database) -> Result<bool, EvalE
     let tree = join_tree_of(q)?;
     upward_sweep(&mut atoms, &tree);
     Ok(!atoms[tree.root()].rel.is_empty())
+}
+
+/// [`decide_acyclic`] with all index acquisition routed through the
+/// per-database [`IndexCatalog`]: base relations are never cloned, and
+/// the semijoins against *pristine* atoms (leaves, whose relations are
+/// exactly the stored ones) probe the catalog's memoized hash indexes
+/// instead of rebuilding a key set per call. Only the relations that
+/// the sweep actually filters are materialized.
+pub fn decide_acyclic_with_catalog(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut IndexCatalog,
+) -> Result<bool, EvalError> {
+    /// A node's current relation during the sweep.
+    enum Rel<'a> {
+        /// Untouched base relation (atom without repeated variables).
+        Base(&'a Relation),
+        /// Untouched collapsed relation (repeated variables; memoized).
+        Collapsed(Arc<Relation>),
+        /// Filtered by at least one child.
+        Filtered(Relation),
+    }
+    impl Rel<'_> {
+        fn get(&self) -> &Relation {
+            match self {
+                Rel::Base(r) => r,
+                Rel::Collapsed(r) => r,
+                Rel::Filtered(r) => r,
+            }
+        }
+    }
+
+    let atoms = q.atoms();
+    let mut vars_of: Vec<Vec<Var>> = Vec::with_capacity(atoms.len());
+    let mut rels: Vec<Rel> = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        let rel = validate_atom(&atom.relation, &atom.vars, db)?;
+        let vars = distinct_vars(&atom.vars);
+        let r = if vars.len() == atom.vars.len() {
+            Rel::Base(rel)
+        } else {
+            let key = format!("{}|{:?}", atom.relation, atom.vars);
+            let collapsed = catalog.artifact(db, "bound_rel", &key, || {
+                Ok::<_, EvalError>(collapse_rel(&atom.vars, &vars, rel))
+            })?;
+            Rel::Collapsed(collapsed)
+        };
+        vars_of.push(vars);
+        rels.push(r);
+    }
+    if rels.iter().any(|r| r.get().is_empty()) {
+        return Ok(false);
+    }
+    let tree = join_tree_of(q)?;
+    for u in tree.bottom_up() {
+        let Some(p) = tree.parent(u) else { continue };
+        let (cp, cu) = shared_cols_of(&vars_of[p], &vars_of[u]);
+        let filtered = match &rels[u] {
+            Rel::Base(_) => {
+                let ix = catalog
+                    .hash_index(db, &atoms[u].relation, &cu)
+                    .expect("relation validated above");
+                semijoin_indexed(rels[p].get(), &cp, &ix)
+            }
+            Rel::Collapsed(c) => {
+                let key = format!("{}|{:?}|{cu:?}", atoms[u].relation, atoms[u].vars);
+                let (c, cu) = (Arc::clone(c), cu.clone());
+                let ix = catalog.artifact(db, "bound_hash", &key, move || {
+                    Ok::<_, EvalError>(HashIndex::new(&c, &cu))
+                })?;
+                semijoin_indexed(rels[p].get(), &cp, &ix)
+            }
+            Rel::Filtered(r) => semijoin(rels[p].get(), &cp, r, &cu),
+        };
+        if filtered.is_empty() {
+            // an emptied parent empties the root transitively; stop now
+            return Ok(false);
+        }
+        rels[p] = Rel::Filtered(filtered);
+    }
+    Ok(!rels[tree.root()].get().is_empty())
 }
 
 /// Full Yannakakis reduction: bind, upward + downward sweeps; returns the
@@ -186,6 +277,42 @@ mod tests {
         assert!(decide_acyclic(&q, &db).unwrap());
         db.insert("R", Relation::from_pairs(vec![(1, 2), (3, 4)]));
         assert!(!decide_acyclic(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn catalog_decide_matches_plain() {
+        let mut rng = seeded_rng(11);
+        let mut cat = cq_data::IndexCatalog::new();
+        for trial in 0..8 {
+            let db = path_database(3, 25 + trial, &mut rng);
+            let q = zoo::path_boolean(3);
+            let want = decide_acyclic(&q, &db).unwrap();
+            let cold = decide_acyclic_with_catalog(&q, &db, &mut cat).unwrap();
+            let warm = decide_acyclic_with_catalog(&q, &db, &mut cat).unwrap();
+            assert_eq!(cold, want, "trial {trial}");
+            assert_eq!(warm, want, "trial {trial} (warm)");
+        }
+        // self-join with repeated variables in one atom
+        let q = parse_query("q() :- R(x, x), R(x, y)").unwrap();
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 2), (3, 3)]));
+        assert!(decide_acyclic_with_catalog(&q, &db, &mut cat).unwrap());
+        db.insert("R", Relation::from_pairs(vec![(1, 2), (2, 3)]));
+        assert!(!decide_acyclic_with_catalog(&q, &db, &mut cat).unwrap());
+        // error parity
+        let q = zoo::path_boolean(2);
+        let empty = Database::new();
+        assert_eq!(
+            decide_acyclic_with_catalog(&q, &empty, &mut cat).unwrap_err(),
+            decide_acyclic(&q, &empty).unwrap_err()
+        );
+        let db =
+            cq_data::generate::triangle_database(&Relation::from_pairs(vec![(0, 1)]));
+        assert_eq!(
+            decide_acyclic_with_catalog(&zoo::triangle_boolean(), &db, &mut cat)
+                .unwrap_err(),
+            EvalError::NotAcyclic
+        );
     }
 
     #[test]

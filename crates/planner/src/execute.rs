@@ -12,7 +12,7 @@
 
 use crate::ir::{PlanOp, QueryPlan, Task};
 use cq_core::ConjunctiveQuery;
-use cq_data::{Database, Relation};
+use cq_data::{Database, IndexCatalog, Relation};
 use cq_engine::bind::EvalError;
 use cq_engine::direct_access::DirectAccess;
 use cq_engine::{count, generic_join, yannakakis, Enumerator};
@@ -73,6 +73,31 @@ pub fn execute(
         Task::Answers => answers(plan, q, db).map(Output::Answers),
         Task::Access => Err(EvalError::Unsupported(
             "direct-access plans are built with `build_lex_access`, not `execute`"
+                .to_string(),
+        )),
+    }
+}
+
+/// [`execute`] with every index acquisition routed through the
+/// per-database [`IndexCatalog`] — the facade's warm path. Results and
+/// errors are identical to [`execute`]; the only difference is that
+/// sorted views, hash indexes, bound relations, projection-elimination
+/// messages, and enumerator cores are memoized across calls instead of
+/// rebuilt, so repeated evaluation of the same shape on an unchanged
+/// database is index-build-free.
+pub fn execute_with_catalog(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut IndexCatalog,
+) -> Result<Output, EvalError> {
+    match plan.task {
+        Task::Decide => decide_catalog(plan, q, db, catalog).map(Output::Decision),
+        Task::Count => count_task_catalog(plan, q, db, catalog).map(Output::Count),
+        Task::Answers => answers_catalog(plan, q, db, catalog).map(Output::Answers),
+        Task::Access => Err(EvalError::Unsupported(
+            "direct-access plans are built with `build_lex_access_with_catalog`, \
+             not `execute_with_catalog`"
                 .to_string(),
         )),
     }
@@ -150,6 +175,77 @@ fn answers(
     }
 }
 
+fn decide_catalog(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut IndexCatalog,
+) -> Result<bool, EvalError> {
+    match &plan.op {
+        PlanOp::TrivialEmpty => Ok(false),
+        PlanOp::SemijoinSweep => yannakakis::decide_acyclic_with_catalog(q, db, catalog),
+        PlanOp::GenericJoin { order } => {
+            generic_join::decide_with_order_catalog(q, db, order, catalog)
+        }
+        _ => Err(unsupported(plan)),
+    }
+}
+
+fn count_task_catalog(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut IndexCatalog,
+) -> Result<u64, EvalError> {
+    match &plan.op {
+        PlanOp::TrivialEmpty => Ok(0),
+        // Boolean counting reuses the decision operators (|q(D)| ∈ {0,1})
+        PlanOp::SemijoinSweep if q.is_boolean() => {
+            Ok(u64::from(yannakakis::decide_acyclic_with_catalog(q, db, catalog)?))
+        }
+        PlanOp::GenericJoin { order } if q.is_boolean() => {
+            Ok(u64::from(generic_join::decide_with_order_catalog(q, db, order, catalog)?))
+        }
+        PlanOp::CountingDp => count::count_acyclic_join_with_catalog(q, db, catalog),
+        PlanOp::ProjectionEliminationDp => {
+            count::count_free_connex_with_catalog(q, db, catalog)
+        }
+        PlanOp::CountDistinctProject { order } => {
+            generic_join::count_distinct_with_order_catalog(q, db, order, catalog)
+        }
+        _ => Err(unsupported(plan)),
+    }
+}
+
+fn answers_catalog(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut IndexCatalog,
+) -> Result<Relation, EvalError> {
+    match &plan.op {
+        PlanOp::TrivialEmpty => Ok(Relation::new(q.free_vars().len())),
+        PlanOp::ConstantDelayEnumeration => {
+            let mut e = Enumerator::preprocess_with_catalog(q, db, catalog)?;
+            Ok(e.to_relation())
+        }
+        PlanOp::MaterializeProject { order } => {
+            generic_join::answers_with_order_catalog(q, db, order, catalog)
+        }
+        // cyclic Boolean queries route their (empty-schema) answer task
+        // through the early-stopping decision join
+        PlanOp::SemijoinSweep if q.is_boolean() => {
+            yannakakis::decide_acyclic_with_catalog(q, db, catalog)?;
+            Ok(Relation::new(0))
+        }
+        PlanOp::GenericJoin { order } if q.is_boolean() => {
+            generic_join::decide_with_order_catalog(q, db, order, catalog)?;
+            Ok(Relation::new(0))
+        }
+        _ => Err(unsupported(plan)),
+    }
+}
+
 /// Materialize-and-sort direct access for queries *with projections* —
 /// the hard-side fallback when the engine's `MaterializedDirectAccess`
 /// (which requires a join query) does not apply. Answers are the
@@ -216,6 +312,44 @@ pub fn build_lex_access(
         }
         PlanOp::FreeConnexDirectAccess => Ok(Box::new(
             cq_engine::fc_direct_access::FreeConnexDirectAccess::build(q, db)?,
+        )),
+        _ => Err(unsupported(plan)),
+    }
+}
+
+/// [`build_lex_access`] with the built structure memoized in the
+/// catalog: the preprocessing of a [`Task::Access`] plan (the expensive
+/// half of §3.4-style ranked access) is paid once per database state;
+/// repeated builds hand back the shared structure and `access` calls
+/// pay their Õ(log m) only.
+pub fn build_lex_access_with_catalog(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &mut IndexCatalog,
+) -> Result<Box<dyn DirectAccess>, EvalError> {
+    match &plan.op {
+        PlanOp::LexDirectAccess { order } => {
+            Ok(Box::new(cq_engine::direct_access::LexDirectAccess::build_with_catalog(
+                q, db, order, catalog,
+            )?))
+        }
+        PlanOp::MaterializedDirectAccess { order } if q.is_join_query() => Ok(Box::new(
+            cq_engine::direct_access::MaterializedDirectAccess::build_with_catalog(
+                q, db, order, catalog,
+            )?,
+        )),
+        PlanOp::MaterializedDirectAccess { order } => {
+            let key = format!("{q}|{order:?}");
+            let da = catalog.artifact(db, "proj_mat_da", &key, || {
+                ProjectedMaterializedAccess::build(q, db, order)
+            })?;
+            Ok(Box::new(da))
+        }
+        PlanOp::FreeConnexDirectAccess => Ok(Box::new(
+            cq_engine::fc_direct_access::FreeConnexDirectAccess::build_with_catalog(
+                q, db, catalog,
+            )?,
         )),
         _ => Err(unsupported(plan)),
     }

@@ -55,6 +55,9 @@ pub mod ir;
 pub mod planner;
 
 pub use cache::{CacheStats, PlanCache};
-pub use execute::{build_lex_access, execute, Output};
+pub use execute::{
+    build_lex_access, build_lex_access_with_catalog, execute, execute_with_catalog,
+    Output,
+};
 pub use ir::{CostEstimate, LowerBound, PlanOp, QueryPlan, Task};
 pub use planner::Planner;

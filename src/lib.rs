@@ -60,7 +60,7 @@ pub mod prelude {
     };
     pub use cq_core::query::zoo;
     pub use cq_core::{parse_query, ConjunctiveQuery, Hypothesis, QueryBuilder, Var};
-    pub use cq_data::{DataStats, Database, Relation, Val};
+    pub use cq_data::{DataStats, Database, IndexCatalog, Relation, Val};
     pub use cq_engine::direct_access::{
         DirectAccess, LexDirectAccess, MaterializedDirectAccess,
     };

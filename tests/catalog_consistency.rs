@@ -1,0 +1,155 @@
+//! Catalog staleness safety: across arbitrary mutate → query
+//! interleavings, catalog-backed evaluation must equal a fresh
+//! evaluation and the brute-force oracle — generation invalidation can
+//! never serve a stale view, stale statistics, or a stale preprocessing
+//! artifact.
+
+use cq_core::query::zoo;
+use cq_core::ConjunctiveQuery;
+use cq_data::{Database, IndexCatalog, Relation, Val};
+use cq_engine::bind::{brute_force_answers, brute_force_count, brute_force_decide};
+use cq_planner::{eval, Planner};
+use proptest::prelude::*;
+
+/// One step of the interleaving: mutate one relation, or query.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Replace relation `R{i}` with fresh random rows.
+    Mutate { rel: usize, seed: u64, rows: usize },
+    /// Evaluate one task (0 = decide, 1 = count, 2 = answers).
+    Query { task: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (0usize..10, any::<u64>(), 0usize..30, 0usize..3).prop_map(
+        |(sel, seed, rows, task)| {
+            if sel < 4 {
+                Step::Mutate { rel: sel % 3, seed, rows }
+            } else {
+                Step::Query { task }
+            }
+        },
+    )
+}
+
+fn random_rel(arity: usize, rows: usize, seed: u64) -> Relation {
+    let mut rng = cq_data::generate::seeded_rng(seed);
+    use rand::Rng;
+    Relation::from_rows(
+        arity,
+        (0..rows)
+            .map(|_| (0..arity).map(|_| rng.gen_range(0..8 as Val)).collect())
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Drive an interleaving against one query shape with a single
+/// long-lived planner + catalog, checking every query step against a
+/// fresh evaluation and brute force.
+fn drive(
+    q: &ConjunctiveQuery,
+    rel_names: &[&str],
+    steps: &[Step],
+) -> Result<(), TestCaseError> {
+    let mut db = Database::new();
+    for (i, name) in rel_names.iter().enumerate() {
+        db.insert(name, random_rel(2, 6 + i, 1000 + i as u64));
+    }
+    let mut planner = Planner::new();
+    let mut catalog = IndexCatalog::new();
+    for step in steps {
+        match step {
+            Step::Mutate { rel, seed, rows } => {
+                let name = rel_names[rel % rel_names.len()];
+                db.insert(name, random_rel(2, *rows, *seed));
+            }
+            Step::Query { task } => match task {
+                0 => {
+                    let (got, _) =
+                        eval::decide_with_catalog(&mut planner, q, &db, &mut catalog)
+                            .unwrap();
+                    prop_assert_eq!(got, brute_force_decide(q, &db).unwrap());
+                    let fresh = eval::decide_with_catalog(
+                        &mut Planner::new(),
+                        q,
+                        &db,
+                        &mut IndexCatalog::new(),
+                    )
+                    .unwrap()
+                    .0;
+                    prop_assert_eq!(got, fresh);
+                }
+                1 => {
+                    let (got, _) =
+                        eval::count_with_catalog(&mut planner, q, &db, &mut catalog)
+                            .unwrap();
+                    prop_assert_eq!(got, brute_force_count(q, &db).unwrap());
+                }
+                _ => {
+                    let (got, _) =
+                        eval::answers_with_catalog(&mut planner, q, &db, &mut catalog)
+                            .unwrap();
+                    if !q.is_boolean() {
+                        prop_assert_eq!(&got, &brute_force_answers(q, &db).unwrap());
+                    }
+                    let fresh = eval::answers_with_catalog(
+                        &mut Planner::new(),
+                        q,
+                        &db,
+                        &mut IndexCatalog::new(),
+                    )
+                    .unwrap()
+                    .0;
+                    prop_assert_eq!(got, fresh);
+                }
+            },
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Acyclic free-connex shape: decide routes through the catalog
+    /// semijoin sweep, answers through the cached enumerator core.
+    #[test]
+    fn path3_interleavings(steps in proptest::collection::vec(step_strategy(), 4..=14)) {
+        drive(&zoo::path_join(3), &["R1", "R2", "R3"], &steps)?;
+        drive(&zoo::path_boolean(3), &["R1", "R2", "R3"], &steps)?;
+    }
+
+    /// Cyclic shape: everything routes through catalog generic join.
+    #[test]
+    fn triangle_interleavings(steps in proptest::collection::vec(step_strategy(), 4..=12)) {
+        drive(&zoo::triangle_join(), &["R1", "R2", "R3"], &steps)?;
+    }
+
+    /// Acyclic, not free-connex: counting takes the materialization
+    /// baseline (catalog views), answers the materialize-project path.
+    #[test]
+    fn star2_interleavings(steps in proptest::collection::vec(step_strategy(), 4..=10)) {
+        drive(&zoo::star_selfjoin_free(2), &["R1", "R2"], &steps)?;
+    }
+}
+
+/// The same staleness argument for the facade's process-global registry:
+/// mutations re-stamp the database, so facade calls can never see a
+/// previous state's indexes.
+#[test]
+fn facade_registry_interleaving() {
+    let q = zoo::path_join(2);
+    let mut db = Database::new();
+    db.insert("R1", random_rel(2, 8, 1));
+    db.insert("R2", random_rel(2, 8, 2));
+    for round in 0..20u64 {
+        let (got, _) = eval::answers(&q, &db).unwrap();
+        assert_eq!(got, brute_force_answers(&q, &db).unwrap(), "round {round}");
+        if round % 3 == 0 {
+            db.insert("R1", random_rel(2, 4 + round as usize % 9, 100 + round));
+        }
+        if round % 4 == 1 {
+            db.insert("R2", random_rel(2, 3 + round as usize % 7, 200 + round));
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! reuse. The headline acceptance numbers are `path3_answers` and
 //! `triangle_decide`: warm must be ≥ 5× cold there.
 
+use cq_bench::workloads::headline_shapes;
 use cq_core::query::zoo;
 use cq_core::ConjunctiveQuery;
 use cq_data::generate as gen;
@@ -29,7 +30,7 @@ fn run(
     q: &ConjunctiveQuery,
     db: &Database,
     task: Task,
-    cat: &mut IndexCatalog,
+    cat: &IndexCatalog,
 ) -> u64 {
     match task {
         Task::Decide => {
@@ -43,35 +44,13 @@ fn run(
     }
 }
 
-/// A path-3 database with a selective head: R1 keeps a slice of its
-/// rows, so `|q(D)| ≪ m` and evaluation is preprocessing-dominated —
-/// the output-sensitive regime the preprocessing/enumeration split is
-/// about.
-fn selective_path3(rows: usize, head: usize, rng: &mut rand::rngs::StdRng) -> Database {
-    let mut db = gen::path_database(3, rows, rng);
-    let r1 = db.expect("R1");
-    let r1 = cq_data::Relation::from_row_slices(2, r1.iter().take(head));
-    db.insert("R1", r1);
-    db
-}
-
+/// The two acceptance-criterion shapes (shared with `parallel_scaling`
+/// via `cq_bench::workloads`) plus supporting coverage across the
+/// executor's operator kinds.
 fn shapes() -> Vec<(&'static str, ConjunctiveQuery, Task, Database)> {
-    let mut rng = gen::seeded_rng(42);
-    vec![
-        // the two headline shapes of the acceptance criterion
-        (
-            "path3_answers",
-            zoo::path_join(3),
-            Task::Answers,
-            selective_path3(30_000, 3_000, &mut rng),
-        ),
-        (
-            "triangle_decide",
-            zoo::triangle_boolean(),
-            Task::Decide,
-            gen::triangle_database(&gen::random_pairs(30_000, 1_000, &mut rng)),
-        ),
-        // supporting coverage across the executor's operator kinds
+    let mut rng = gen::seeded_rng(43);
+    let mut shapes = headline_shapes();
+    shapes.extend([
         (
             "path3_decide",
             zoo::path_boolean(3),
@@ -90,7 +69,8 @@ fn shapes() -> Vec<(&'static str, ConjunctiveQuery, Task, Database)> {
             Task::Count,
             gen::star_database(2, 3_000, 64, &mut rng),
         ),
-    ]
+    ]);
+    shapes
 }
 
 /// Cold (fresh catalog per iteration) vs. warm (shared catalog).
@@ -99,19 +79,19 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     for (name, q, task, db) in shapes() {
         let mut planner = Planner::new();
         // settle the plan cache so both rungs dispatch identically
-        run(&mut planner, &q, &db, task, &mut IndexCatalog::new());
+        run(&mut planner, &q, &db, task, &IndexCatalog::new());
 
         g.bench_function(format!("{name}/cold"), |b| {
             b.iter(|| {
-                let mut cat = IndexCatalog::new();
-                black_box(run(&mut planner, &q, &db, task, &mut cat))
+                let cat = IndexCatalog::new();
+                black_box(run(&mut planner, &q, &db, task, &cat))
             })
         });
 
-        let mut warm = IndexCatalog::new();
-        run(&mut planner, &q, &db, task, &mut warm);
+        let warm = IndexCatalog::new();
+        run(&mut planner, &q, &db, task, &warm);
         g.bench_function(format!("{name}/warm"), |b| {
-            b.iter(|| black_box(run(&mut planner, &q, &db, task, &mut warm)))
+            b.iter(|| black_box(run(&mut planner, &q, &db, task, &warm)))
         });
     }
     g.finish();
@@ -131,16 +111,16 @@ fn bench_access_reuse(c: &mut Criterion) {
 
     g.bench_function("star2_lex_build_and_probe/cold", |b| {
         b.iter(|| {
-            let mut cat = IndexCatalog::new();
-            let da = build_lex_access_with_catalog(&plan, &q, &db, &mut cat).unwrap();
+            let cat = IndexCatalog::new();
+            let da = build_lex_access_with_catalog(&plan, &q, &db, &cat).unwrap();
             black_box(da.access(da.len() / 2))
         })
     });
-    let mut warm = IndexCatalog::new();
-    build_lex_access_with_catalog(&plan, &q, &db, &mut warm).unwrap();
+    let warm = IndexCatalog::new();
+    build_lex_access_with_catalog(&plan, &q, &db, &warm).unwrap();
     g.bench_function("star2_lex_build_and_probe/warm", |b| {
         b.iter(|| {
-            let da = build_lex_access_with_catalog(&plan, &q, &db, &mut warm).unwrap();
+            let da = build_lex_access_with_catalog(&plan, &q, &db, &warm).unwrap();
             black_box(da.access(da.len() / 2))
         })
     });

@@ -12,10 +12,11 @@
 
 pub mod experiments;
 pub mod table;
+pub mod workloads;
 
 pub use table::Table;
 
-/// Run one experiment by id ("e1".."e15"), `quick` shrinks sizes.
+/// Run one experiment by id ("e1".."e17"), `quick` shrinks sizes.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     let f = experiments::ALL.iter().find(|(name, _)| *name == id)?;
     Some((f.1)(quick))

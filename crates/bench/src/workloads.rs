@@ -1,0 +1,50 @@
+//! Shared benchmark workloads.
+//!
+//! The `index_reuse` (cold vs. warm) and `parallel_scaling` (threads ×
+//! warm throughput) criterion benches are compared against each other
+//! by the acceptance criteria, so they must run the *same* headline
+//! workloads — defined once here so the copies cannot drift.
+
+use cq_core::query::zoo;
+use cq_core::ConjunctiveQuery;
+use cq_data::generate as gen;
+use cq_data::Database;
+use cq_planner::Task;
+
+/// A path-3 database with a selective head: R1 keeps a slice of its
+/// rows, so `|q(D)| ≪ m` and evaluation is preprocessing-dominated —
+/// the output-sensitive regime the preprocessing/enumeration split is
+/// about.
+pub fn selective_path3(
+    rows: usize,
+    head: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Database {
+    let mut db = gen::path_database(3, rows, rng);
+    let r1 = db.expect("R1");
+    let r1 = cq_data::Relation::from_row_slices(2, r1.iter().take(head));
+    db.insert("R1", r1);
+    db
+}
+
+/// The two headline shapes of the catalog acceptance criteria:
+/// `path3_answers` (selective path-3 join, answer production) and
+/// `triangle_decide` (Boolean triangle). Seeded identically wherever
+/// they are benched.
+pub fn headline_shapes() -> Vec<(&'static str, ConjunctiveQuery, Task, Database)> {
+    let mut rng = gen::seeded_rng(42);
+    vec![
+        (
+            "path3_answers",
+            zoo::path_join(3),
+            Task::Answers,
+            selective_path3(30_000, 3_000, &mut rng),
+        ),
+        (
+            "triangle_decide",
+            zoo::triangle_boolean(),
+            Task::Decide,
+            gen::triangle_database(&gen::random_pairs(30_000, 1_000, &mut rng)),
+        ),
+    ]
+}

@@ -147,7 +147,7 @@ fn vertex_invariant(
 /// produces it.
 ///
 /// Complexity: polynomial refinement plus a backtracking search bounded
-/// by [`PERMUTATION_BUDGET`] relabelings; queries whose automorphism
+/// by `PERMUTATION_BUDGET` relabelings; queries whose automorphism
 /// class is larger come back with `is_exact() == false`.
 pub fn canonical_shape(q: &ConjunctiveQuery) -> (CanonicalShape, Relabeling) {
     let n = q.n_vars();

@@ -43,7 +43,7 @@ pub enum Verdict {
         reference: &'static str,
     },
     /// The paper's theory does not settle this case (e.g. cyclic queries
-    /// with self-joins for enumeration, see [26]).
+    /// with self-joins for enumeration, see \[26\]).
     Open {
         /// Why it is open / out of scope.
         note: String,

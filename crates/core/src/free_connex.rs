@@ -1,4 +1,4 @@
-//! Free-connex acyclicity (paper §3.2, after [BDG07]).
+//! Free-connex acyclicity (paper §3.2, after BDG07).
 //!
 //! An acyclic conjunctive query with hypergraph `H` and free variables `S`
 //! is **free-connex** if `H ∪ {S}` — the hypergraph with `S` added as an

@@ -160,7 +160,7 @@ impl Hypergraph {
     /// edges, exactly a graph cycle on the vertices of `s`?
     ///
     /// Used for Brault-Baron witnesses (Theorem 3.6): “the induced
-    /// hypergraph H[S] is a cycle”.
+    /// hypergraph `H[S]` is a cycle”.
     pub fn induced_is_cycle(&self, s: u64) -> bool {
         let k = s.count_ones() as usize;
         if k < 3 {

@@ -22,16 +22,39 @@
 //! content; on mismatch the whole memo is dropped before the lookup.
 //! There is no way to read a stale view out of a catalog.
 //!
-//! The catalog is deliberately single-threaded (`&mut self`); callers
-//! that share one across threads wrap it in a lock, as
-//! `cq_planner::eval` does for its per-database catalog registry.
+//! # Concurrency
+//!
+//! The catalog is **internally locked**: every accessor takes `&self`,
+//! so one catalog can be shared across threads directly (or behind a
+//! plain `Arc`). The lock discipline keeps the critical sections to
+//! hash-map lookups only — acquire, clone the `Arc`, release:
+//!
+//! * a **hit** holds the lock for a map probe and an `Arc` clone;
+//! * a **miss** releases the lock, builds the index *outside* it, then
+//!   re-locks to insert — concurrent evaluations of different shapes
+//!   never serialize behind each other's index builds, and a builder
+//!   may itself consult the same catalog without deadlocking. Two
+//!   threads racing to build the same entry both build; the first
+//!   insert wins and every caller ends up sharing one `Arc`.
+//!
+//! Executions therefore never hold any catalog lock while joining —
+//! they operate on the `Arc`ed indexes they were handed.
+//!
+//! # Eviction
+//!
+//! The memo is bounded by [`MEMO_CAP`] entries. When an insert would
+//! exceed the cap, the *oldest* entries (FIFO over insertion order) are
+//! evicted — just enough to make room — so the views an in-flight
+//! evaluation just built stay warm. Cap evictions are counted
+//! separately from generation invalidations in [`CatalogStats`].
 
 use crate::database::Database;
 use crate::hasher::FxHashMap;
 use crate::index::{HashIndex, SortedView};
 use crate::stats::DataStats;
 use std::any::Any;
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Key of a memoized view/index: relation name + key-column permutation.
 type ViewKey = (String, Vec<usize>);
@@ -41,12 +64,20 @@ type ViewKey = (String, Vec<usize>);
 /// (typically the query's canonical text plus any parameters).
 type ArtifactKey = (&'static str, String);
 
+/// Insertion-order record of one memo entry, for FIFO eviction.
+enum MemoKey {
+    View(ViewKey),
+    Hash(ViewKey),
+    Artifact(ArtifactKey),
+}
+
 /// Upper bound on memoized entries (views + hash indexes + artifacts)
 /// per catalog. Entries can be O(m)-sized, so without a bound a stream
 /// of distinct query shapes against one long-lived database state
 /// would grow memory linearly in the number of shapes seen. Reaching
-/// the cap drops the memo (counted as an invalidation) — correctness
-/// never depends on the memo's contents.
+/// the cap evicts the oldest entries (counted in
+/// [`CatalogStats::cap_evictions`]) — correctness never depends on the
+/// memo's contents.
 pub const MEMO_CAP: usize = 512;
 
 /// Hit/miss/invalidation counters plus memo sizes (for diagnostics,
@@ -59,6 +90,8 @@ pub struct CatalogStats {
     pub misses: u64,
     /// Times the memo was dropped because the database mutated.
     pub invalidations: u64,
+    /// Times the size cap forced eviction of the oldest entries.
+    pub cap_evictions: u64,
     /// Currently memoized sorted views.
     pub views: usize,
     /// Currently memoized hash indexes.
@@ -67,36 +100,25 @@ pub struct CatalogStats {
     pub artifacts: usize,
 }
 
-/// Per-database memo of secondary indexes, statistics, and derived
-/// preprocessing artifacts. See the module docs.
+/// The lock-protected memo state. All methods assume the caller holds
+/// the catalog's mutex.
 #[derive(Default)]
-pub struct IndexCatalog {
+struct Memo {
     /// Generation the memo is valid for (`None` = empty memo).
     generation: Option<u64>,
     views: FxHashMap<ViewKey, Arc<SortedView>>,
     hash_indexes: FxHashMap<ViewKey, Arc<HashIndex>>,
     stats: Option<Arc<DataStats>>,
     artifacts: FxHashMap<ArtifactKey, Arc<dyn Any + Send + Sync>>,
+    /// Insertion order of views/hash indexes/artifacts, oldest first.
+    order: VecDeque<MemoKey>,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    cap_evictions: u64,
 }
 
-impl std::fmt::Debug for IndexCatalog {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("IndexCatalog")
-            .field("generation", &self.generation)
-            .field("stats", &self.snapshot())
-            .finish()
-    }
-}
-
-impl IndexCatalog {
-    /// An empty catalog (valid for whichever database is passed first).
-    pub fn new() -> Self {
-        IndexCatalog::default()
-    }
-
+impl Memo {
     /// Drop the memo if `db` is not the state it was filled under.
     fn sync(&mut self, db: &Database) {
         if self.generation == Some(db.generation()) {
@@ -109,77 +131,164 @@ impl IndexCatalog {
         self.hash_indexes.clear();
         self.stats = None;
         self.artifacts.clear();
+        self.order.clear();
         self.generation = Some(db.generation());
     }
 
-    /// The memoized [`DataStats`] of `db`, collecting on first use.
-    pub fn stats(&mut self, db: &Database) -> Arc<DataStats> {
-        self.sync(db);
-        if let Some(s) = &self.stats {
-            self.hits += 1;
-            return Arc::clone(s);
-        }
-        self.misses += 1;
-        let s = Arc::new(DataStats::collect(db));
-        self.stats = Some(Arc::clone(&s));
-        s
+    fn entries(&self) -> usize {
+        self.views.len() + self.hash_indexes.len() + self.artifacts.len()
     }
 
-    /// Keep the memo bounded: if the maps together exceed
-    /// [`MEMO_CAP`] entries (a pathological stream of distinct query
-    /// shapes against one database state), drop them and start over —
-    /// a cleared memo is always safe, it just rebuilds on demand.
+    /// Keep the memo bounded: evict the *oldest* entries until there is
+    /// room for one more, so a pathological stream of distinct shapes
+    /// cannot grow memory without bound — and, unlike a full clear,
+    /// cannot evict the entries the in-flight evaluation just built.
     fn ensure_capacity(&mut self) {
-        if self.views.len() + self.hash_indexes.len() + self.artifacts.len() >= MEMO_CAP {
-            self.views.clear();
-            self.hash_indexes.clear();
-            self.artifacts.clear();
-            self.invalidations += 1;
+        if self.entries() < MEMO_CAP {
+            return;
         }
+        self.cap_evictions += 1;
+        while self.entries() >= MEMO_CAP {
+            match self.order.pop_front() {
+                Some(MemoKey::View(k)) => {
+                    self.views.remove(&k);
+                }
+                Some(MemoKey::Hash(k)) => {
+                    self.hash_indexes.remove(&k);
+                }
+                Some(MemoKey::Artifact(k)) => {
+                    self.artifacts.remove(&k);
+                }
+                None => break, // stats-only memo; nothing evictable
+            }
+        }
+    }
+}
+
+/// Per-database memo of secondary indexes, statistics, and derived
+/// preprocessing artifacts. Internally locked — share it by reference
+/// (or `Arc`) across threads. See the module docs.
+#[derive(Default)]
+pub struct IndexCatalog {
+    inner: Mutex<Memo>,
+}
+
+impl std::fmt::Debug for IndexCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // read everything under one acquisition: the mutex is not
+        // reentrant, so calling `snapshot()` while holding the guard
+        // (e.g. as another builder-chain argument) would self-deadlock
+        let (generation, stats) = {
+            let m = self.lock();
+            (m.generation, self.snapshot_of(&m))
+        };
+        f.debug_struct("IndexCatalog")
+            .field("generation", &generation)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl IndexCatalog {
+    /// An empty catalog (valid for whichever database is passed first).
+    pub fn new() -> Self {
+        IndexCatalog::default()
+    }
+
+    /// Acquire the internal lock (poison-tolerant: the memo is a pure
+    /// cache, so a panicked writer cannot leave it inconsistent — at
+    /// worst an entry is missing and gets rebuilt).
+    fn lock(&self) -> MutexGuard<'_, Memo> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The memoized [`DataStats`] of `db`, collecting on first use.
+    pub fn stats(&self, db: &Database) -> Arc<DataStats> {
+        {
+            let mut guard = self.lock();
+            let m = &mut *guard;
+            m.sync(db);
+            if let Some(s) = &m.stats {
+                m.hits += 1;
+                return Arc::clone(s);
+            }
+            m.misses += 1;
+        }
+        // collect outside the lock; first insert wins a race
+        let s = Arc::new(DataStats::collect(db));
+        let mut m = self.lock();
+        m.sync(db);
+        if let Some(existing) = &m.stats {
+            return Arc::clone(existing);
+        }
+        m.stats = Some(Arc::clone(&s));
+        s
     }
 
     /// The memoized [`SortedView`] of relation `name` keyed on
     /// `key_cols`, building on first use. `None` if the relation is
     /// missing (the caller reports its own error).
     pub fn sorted_view(
-        &mut self,
+        &self,
         db: &Database,
         name: &str,
         key_cols: &[usize],
     ) -> Option<Arc<SortedView>> {
-        self.sync(db);
-        let key = (name.to_string(), key_cols.to_vec());
-        if let Some(v) = self.views.get(&key) {
-            self.hits += 1;
-            return Some(Arc::clone(v));
-        }
+        // relation presence is fixed within a generation, so resolving
+        // it before the lookup cannot change hit/miss behavior
         let rel = db.get(name)?;
-        self.misses += 1;
-        self.ensure_capacity();
+        let key = (name.to_string(), key_cols.to_vec());
+        {
+            let mut guard = self.lock();
+            let m = &mut *guard;
+            m.sync(db);
+            if let Some(v) = m.views.get(&key) {
+                m.hits += 1;
+                return Some(Arc::clone(v));
+            }
+            m.misses += 1;
+        }
         let v = Arc::new(SortedView::new(rel, key_cols));
-        self.views.insert(key, Arc::clone(&v));
+        let mut m = self.lock();
+        m.sync(db);
+        if let Some(existing) = m.views.get(&key) {
+            return Some(Arc::clone(existing));
+        }
+        m.ensure_capacity();
+        m.views.insert(key.clone(), Arc::clone(&v));
+        m.order.push_back(MemoKey::View(key));
         Some(v)
     }
 
     /// The memoized [`HashIndex`] of relation `name` on `key_cols`,
     /// building on first use. `None` if the relation is missing.
     pub fn hash_index(
-        &mut self,
+        &self,
         db: &Database,
         name: &str,
         key_cols: &[usize],
     ) -> Option<Arc<HashIndex>> {
-        self.sync(db);
-        let key = (name.to_string(), key_cols.to_vec());
-        if let Some(ix) = self.hash_indexes.get(&key) {
-            self.hits += 1;
-            return Some(Arc::clone(ix));
-        }
         let rel = db.get(name)?;
-        self.misses += 1;
-        self.ensure_capacity();
+        let key = (name.to_string(), key_cols.to_vec());
+        {
+            let mut guard = self.lock();
+            let m = &mut *guard;
+            m.sync(db);
+            if let Some(ix) = m.hash_indexes.get(&key) {
+                m.hits += 1;
+                return Some(Arc::clone(ix));
+            }
+            m.misses += 1;
+        }
         let ix = Arc::new(HashIndex::new(rel, key_cols));
-        self.hash_indexes.insert(key, Arc::clone(&ix));
+        let mut m = self.lock();
+        m.sync(db);
+        if let Some(existing) = m.hash_indexes.get(&key) {
+            return Some(Arc::clone(existing));
+        }
+        m.ensure_capacity();
+        m.hash_indexes.insert(key.clone(), Arc::clone(&ix));
+        m.order.push_back(MemoKey::Hash(key));
         Some(ix)
     }
 
@@ -189,9 +298,11 @@ impl IndexCatalog {
     ///
     /// `kind` should be a fixed string per stored type; if a key
     /// collision ever yields a stored value of the wrong type, the
-    /// artifact is rebuilt and replaced rather than served.
+    /// artifact is rebuilt and replaced rather than served. `build`
+    /// runs outside the catalog lock, so it may itself acquire catalog
+    /// entries (re-entrancy is deadlock-free).
     pub fn artifact<T, E, F>(
-        &mut self,
+        &self,
         db: &Database,
         kind: &'static str,
         key: &str,
@@ -201,30 +312,51 @@ impl IndexCatalog {
         T: Any + Send + Sync,
         F: FnOnce() -> Result<T, E>,
     {
-        self.sync(db);
         let key = (kind, key.to_string());
-        if let Some(a) = self.artifacts.get(&key) {
-            if let Ok(t) = Arc::clone(a).downcast::<T>() {
-                self.hits += 1;
-                return Ok(t);
+        {
+            let mut guard = self.lock();
+            let m = &mut *guard;
+            m.sync(db);
+            if let Some(a) = m.artifacts.get(&key) {
+                if let Ok(t) = Arc::clone(a).downcast::<T>() {
+                    m.hits += 1;
+                    return Ok(t);
+                }
+            }
+            m.misses += 1;
+        }
+        let t = Arc::new(build()?);
+        let mut m = self.lock();
+        m.sync(db);
+        if let Some(a) = m.artifacts.get(&key) {
+            if let Ok(existing) = Arc::clone(a).downcast::<T>() {
+                return Ok(existing);
             }
         }
-        self.misses += 1;
-        self.ensure_capacity();
-        let t = Arc::new(build()?);
-        self.artifacts.insert(key, Arc::clone(&t) as _);
+        m.ensure_capacity();
+        // a type-mismatched replacement reuses the key's order slot
+        if m.artifacts.insert(key.clone(), Arc::clone(&t) as _).is_none() {
+            m.order.push_back(MemoKey::Artifact(key));
+        }
         Ok(t)
     }
 
     /// Current counters and memo sizes.
     pub fn snapshot(&self) -> CatalogStats {
+        let m = self.lock();
+        self.snapshot_of(&m)
+    }
+
+    /// [`IndexCatalog::snapshot`] from an already-held guard.
+    fn snapshot_of(&self, m: &Memo) -> CatalogStats {
         CatalogStats {
-            hits: self.hits,
-            misses: self.misses,
-            invalidations: self.invalidations,
-            views: self.views.len(),
-            hash_indexes: self.hash_indexes.len(),
-            artifacts: self.artifacts.len(),
+            hits: m.hits,
+            misses: m.misses,
+            invalidations: m.invalidations,
+            cap_evictions: m.cap_evictions,
+            views: m.views.len(),
+            hash_indexes: m.hash_indexes.len(),
+            artifacts: m.artifacts.len(),
         }
     }
 }
@@ -244,7 +376,7 @@ mod tests {
     #[test]
     fn views_are_shared_until_mutation() {
         let mut db = db();
-        let mut cat = IndexCatalog::new();
+        let cat = IndexCatalog::new();
         let a = cat.sorted_view(&db, "R", &[1]).unwrap();
         let b = cat.sorted_view(&db, "R", &[1]).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the same view");
@@ -264,7 +396,7 @@ mod tests {
     #[test]
     fn stats_and_hash_indexes_memoize() {
         let db = db();
-        let mut cat = IndexCatalog::new();
+        let cat = IndexCatalog::new();
         let s1 = cat.stats(&db);
         let s2 = cat.stats(&db);
         assert!(Arc::ptr_eq(&s1, &s2));
@@ -280,7 +412,7 @@ mod tests {
     #[test]
     fn artifacts_memoize_and_do_not_cache_errors() {
         let db = db();
-        let mut cat = IndexCatalog::new();
+        let cat = IndexCatalog::new();
         let mut builds = 0;
         for _ in 0..3 {
             let v: Arc<Vec<u64>> = cat
@@ -303,22 +435,55 @@ mod tests {
     #[test]
     fn memo_is_bounded() {
         let db = db();
-        let mut cat = IndexCatalog::new();
+        let cat = IndexCatalog::new();
         for i in 0..(2 * MEMO_CAP) {
             let _: Arc<u64> = cat
                 .artifact(&db, "spam", &format!("k{i}"), || Ok::<_, ()>(i as u64))
                 .unwrap();
             assert!(cat.snapshot().artifacts < MEMO_CAP + 1, "memo must stay bounded");
         }
-        assert!(cat.snapshot().invalidations >= 1, "cap must have tripped");
+        let snap = cat.snapshot();
+        assert!(snap.cap_evictions >= 1, "cap must have tripped");
+        assert_eq!(snap.invalidations, 0, "cap trips are not invalidations");
         // the catalog still works after tripping the cap
         assert!(cat.sorted_view(&db, "R", &[0]).is_some());
     }
 
     #[test]
+    fn cap_evicts_oldest_entries_only() {
+        let db = db();
+        let cat = IndexCatalog::new();
+        // oldest entry: a view; then fill the rest of the memo with
+        // artifacts up to exactly the cap
+        let early = cat.sorted_view(&db, "R", &[0]).unwrap();
+        for i in 0..(MEMO_CAP - 1) {
+            let _: Arc<u64> =
+                cat.artifact(&db, "fill", &format!("k{i}"), || Ok::<_, ()>(0)).unwrap();
+        }
+        assert_eq!(cat.snapshot().cap_evictions, 0);
+        // one more entry trips the cap: exactly the oldest entry (the
+        // view) is evicted, everything recent survives
+        let _: Arc<u64> = cat.artifact(&db, "fill", "trip", || Ok::<_, ()>(1)).unwrap();
+        let snap = cat.snapshot();
+        assert_eq!(snap.cap_evictions, 1);
+        assert_eq!(snap.views, 0, "the oldest entry must be the one evicted");
+        assert_eq!(snap.artifacts, MEMO_CAP - 1 + 1);
+        // the most recent artifacts are still warm
+        let before = cat.snapshot().misses;
+        let _: Arc<u64> = cat.artifact(&db, "fill", "trip", || Ok::<_, ()>(2)).unwrap();
+        let _: Arc<u64> = cat
+            .artifact(&db, "fill", &format!("k{}", MEMO_CAP - 2), || Ok::<_, ()>(3))
+            .unwrap();
+        assert_eq!(cat.snapshot().misses, before, "recent entries must stay memoized");
+        // the evicted view rebuilds on demand (and is not the old Arc)
+        let again = cat.sorted_view(&db, "R", &[0]).unwrap();
+        assert!(!Arc::ptr_eq(&early, &again));
+    }
+
+    #[test]
     fn clone_keeps_catalog_valid_mutated_original_does_not() {
         let mut orig = db();
-        let mut cat = IndexCatalog::new();
+        let cat = IndexCatalog::new();
         let a = cat.sorted_view(&orig, "R", &[0]).unwrap();
         let clone = orig.clone();
         orig.insert("R", Relation::from_pairs(vec![(5, 5)]));
@@ -328,5 +493,51 @@ mod tests {
         // the mutated original must rebuild
         let c = cat.sorted_view(&orig, "R", &[0]).unwrap();
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn debug_format_does_not_deadlock() {
+        // regression: Debug used to hold the guard from one field while
+        // `snapshot()` re-locked for the next — a self-deadlock
+        let db = db();
+        let cat = IndexCatalog::new();
+        let _ = cat.sorted_view(&db, "R", &[0]);
+        let text = format!("{cat:?}");
+        assert!(text.contains("IndexCatalog"));
+        assert!(text.contains("generation"));
+    }
+
+    #[test]
+    fn concurrent_lookups_share_entries() {
+        let db = db();
+        let cat = IndexCatalog::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                handles.push(s.spawn(|| {
+                    let v = cat.sorted_view(&db, "R", &[1]).unwrap();
+                    let ix = cat.hash_index(&db, "R", &[0]).unwrap();
+                    let st = cat.stats(&db);
+                    let a: Arc<u64> =
+                        cat.artifact(&db, "conc", "k", || Ok::<_, ()>(7)).unwrap();
+                    (v, ix, st, a)
+                }));
+            }
+            let results: Vec<_> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // all threads end up with the same shared artifacts
+            for w in results.windows(2) {
+                assert!(Arc::ptr_eq(&w[0].0, &w[1].0));
+                assert!(Arc::ptr_eq(&w[0].1, &w[1].1));
+                assert!(Arc::ptr_eq(&w[0].2, &w[1].2));
+                assert!(Arc::ptr_eq(&w[0].3, &w[1].3));
+            }
+        });
+        // post-race, the memo holds exactly one entry per key
+        let snap = cat.snapshot();
+        assert_eq!(snap.views, 1);
+        assert_eq!(snap.hash_indexes, 1);
+        assert_eq!(snap.artifacts, 1);
+        assert_eq!(snap.hits + snap.misses, 32);
     }
 }

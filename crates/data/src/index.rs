@@ -22,6 +22,9 @@ pub struct SortedView {
     /// Rows in the permuted column order, sorted lexicographically.
     data: Vec<Val>,
     arity: usize,
+    /// Explicit row count: for arity 0 the data buffer carries no
+    /// information, yet the view of `{()}` has one row, not zero.
+    n_rows: usize,
 }
 
 impl SortedView {
@@ -42,7 +45,13 @@ impl SortedView {
             }
         }
         // sort rows
-        let mut view = SortedView { col_order, n_key: key_cols.len(), data, arity };
+        let mut view = SortedView {
+            col_order,
+            n_key: key_cols.len(),
+            data,
+            arity,
+            n_rows: rel.len(),
+        };
         view.sort();
         view
     }
@@ -70,14 +79,15 @@ impl SortedView {
         self.data = out;
     }
 
-    /// Number of rows.
+    /// Number of rows (explicitly tracked — correct even for views of
+    /// nullary relations, where `data.len() / arity` is undefined).
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.arity).unwrap_or(0)
+        self.n_rows
     }
 
     /// Is the view empty?
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.n_rows == 0
     }
 
     /// Arity (same as the underlying relation).
@@ -156,7 +166,13 @@ impl SortedView {
 }
 
 /// Hash index from key-column values to row indices of the underlying
-/// relation (row indices refer to the relation's sorted order).
+/// relation.
+///
+/// Row ids are positions in the relation's **iteration order** at build
+/// time (`Relation::row(i)` / `Relation::iter`), in ascending order per
+/// key. For a normalized relation that is its sorted order, but the
+/// index makes no sorting assumption: a bulk-loaded, not-yet-normalized
+/// relation is indexed exactly as it currently stores its rows.
 #[derive(Clone, Debug)]
 pub struct HashIndex {
     map: FxHashMap<Box<[Val]>, Vec<u32>>,
@@ -169,8 +185,11 @@ impl HashIndex {
     /// The probe loop hashes a reused key buffer; a boxed key is only
     /// allocated for the first row of each distinct key, not per row.
     pub fn new(rel: &Relation, key_cols: &[usize]) -> Self {
+        // no up-front reserve for rel.len(): the table holds one entry
+        // per *distinct* key, and on skewed key columns (the heavy-key
+        // case) a full-size reserve would pin tens of bytes per row in
+        // every memoized index; growth is amortized O(n) anyway
         let mut map: FxHashMap<Box<[Val]>, Vec<u32>> = FxHashMap::default();
-        map.reserve(rel.len());
         let mut keybuf: Vec<Val> = Vec::with_capacity(key_cols.len());
         for (i, row) in rel.iter().enumerate() {
             keybuf.clear();
@@ -275,5 +294,47 @@ mod tests {
         assert!(v.is_empty());
         assert_eq!(v.key_range(&[1]), 0..0);
         assert_eq!(v.groups().count(), 0);
+    }
+
+    #[test]
+    fn nullary_view_counts_the_empty_tuple() {
+        // regression: len()/is_empty() used to derive the row count as
+        // data.len() / arity, reporting 0 rows for the view of {()}
+        // (a true Boolean query's answer relation).
+        let t = Relation::nullary(true);
+        let v = SortedView::new(&t, &[]);
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+        assert_eq!(v.arity(), 0);
+        assert_eq!(v.row(0), &[] as &[crate::value::Val]);
+        assert_eq!(v.key_range(&[]), 0..1);
+        assert_eq!(v.groups().count(), 1);
+        let f = SortedView::new(&Relation::nullary(false), &[]);
+        assert_eq!(f.len(), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn hash_index_row_ids_follow_iteration_order() {
+        // pins the documented contract: row ids are iteration-order
+        // positions at build time, not "sorted order" — visible on a
+        // bulk-loaded relation that has not been normalized.
+        let mut r = Relation::new(2);
+        r.push_row(&[9, 1]);
+        r.push_row(&[1, 1]);
+        r.push_row(&[5, 2]);
+        let ix = HashIndex::new(&r, &[1]);
+        assert_eq!(ix.get(&[1]), &[0, 1], "ids 0,1 are (9,1),(1,1) as stored");
+        assert_eq!(ix.get(&[2]), &[2]);
+        for (key, ids) in ix.iter() {
+            for &i in ids {
+                assert_eq!(&r.row(i as usize)[1..], key);
+            }
+        }
+        // after normalizing, the same build yields sorted-order ids
+        r.normalize();
+        let ix = HashIndex::new(&r, &[1]);
+        assert_eq!(r.row(0), &[1, 1]);
+        assert_eq!(ix.get(&[1]), &[0, 2], "now (1,1) id 0 and (9,1) id 2");
     }
 }

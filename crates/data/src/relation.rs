@@ -8,16 +8,31 @@ use std::fmt;
 /// Rows are stored row-major in one flat buffer and kept **sorted
 /// lexicographically and deduplicated** (set semantics, as in the paper).
 /// Mutating constructors accept unsorted input and normalize once.
+///
+/// The row count is tracked explicitly rather than derived as
+/// `data.len() / arity`: a *nullary* relation (arity 0) stores no data
+/// at all, yet is either the empty set or the set containing the empty
+/// tuple — the two possible answers of a Boolean query. `{()}` and `{}`
+/// compare unequal, and [`Relation::nullary`] builds either directly.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Relation {
     arity: usize,
     data: Vec<Val>,
+    /// Number of rows. For arity ≥ 1 this equals `data.len() / arity`;
+    /// for arity 0 it is the only record of the empty tuple's presence.
+    n_rows: usize,
 }
 
 impl Relation {
     /// Empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, data: Vec::new() }
+        Relation { arity, data: Vec::new(), n_rows: 0 }
+    }
+
+    /// The nullary relation: `{()}` if `present`, else `{}` — the
+    /// answer relation of a Boolean query.
+    pub fn nullary(present: bool) -> Self {
+        Relation { arity: 0, data: Vec::new(), n_rows: usize::from(present) }
     }
 
     /// Build from rows (each of length `arity`); sorts and dedups.
@@ -27,8 +42,7 @@ impl Relation {
     pub fn from_rows(arity: usize, rows: impl IntoIterator<Item = Vec<Val>>) -> Self {
         let mut r = Relation::new(arity);
         for row in rows {
-            assert_eq!(row.len(), arity, "row arity mismatch");
-            r.data.extend_from_slice(&row);
+            r.push_row(&row);
         }
         r.normalize();
         r
@@ -41,8 +55,7 @@ impl Relation {
     ) -> Self {
         let mut r = Relation::new(arity);
         for row in rows {
-            assert_eq!(row.len(), arity, "row arity mismatch");
-            r.data.extend_from_slice(row);
+            r.push_row(row);
         }
         r.normalize();
         r
@@ -72,14 +85,15 @@ impl Relation {
     pub fn push_row(&mut self, row: &[Val]) {
         assert_eq!(row.len(), self.arity, "row arity mismatch");
         self.data.extend_from_slice(row);
+        self.n_rows += 1;
     }
 
     /// Restore the sorted + deduplicated invariant after bulk loads.
     pub fn normalize(&mut self) {
         if self.arity == 0 {
             // nullary relation: either empty or the single empty tuple;
-            // data is always empty, presence tracked by... we represent
-            // nullary relations as arity ≥ 1 in practice; keep data empty.
+            // data is always empty, presence is the explicit row count.
+            self.n_rows = self.n_rows.min(1);
             return;
         }
         let arity = self.arity;
@@ -101,6 +115,7 @@ impl Relation {
             last = Some(row);
         }
         self.data = out;
+        self.n_rows = self.data.len() / arity;
     }
 
     /// Arity.
@@ -110,12 +125,12 @@ impl Relation {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.arity).unwrap_or(0)
+        self.n_rows
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.n_rows == 0
     }
 
     /// The `i`-th row (rows are in sorted order).
@@ -126,7 +141,12 @@ impl Relation {
 
     /// Iterate over rows in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = &[Val]> + '_ {
-        self.data.chunks_exact(self.arity.max(1))
+        // arity ≥ 1: rows are the data chunks; arity 0: the data buffer
+        // is empty and the explicit count supplies the empty tuples.
+        let nullary_rows = if self.arity == 0 { self.n_rows } else { 0 };
+        self.data
+            .chunks_exact(self.arity.max(1))
+            .chain(std::iter::repeat_n(&[] as &[Val], nullary_rows))
     }
 
     /// Raw flat buffer (row-major, sorted).
@@ -197,6 +217,9 @@ impl Relation {
                 out.data.push(row[c]);
             }
         }
+        // one source row = one (pre-dedup) projected row, including the
+        // nullary projection (`cols = []`), which holds data-less rows
+        out.n_rows = self.n_rows;
         out.normalize();
         out
     }
@@ -206,7 +229,7 @@ impl Relation {
         let mut out = Relation::new(self.arity);
         for row in self.iter() {
             if pred(row) {
-                out.data.extend_from_slice(row);
+                out.push_row(row);
             }
         }
         // rows remain sorted and distinct
@@ -358,5 +381,32 @@ mod tests {
     fn wrong_arity_panics() {
         let mut r = Relation::new(2);
         r.push_row(&[1]);
+    }
+
+    #[test]
+    fn nullary_relation_tracks_empty_tuple() {
+        let t = Relation::nullary(true);
+        assert_eq!(t.arity(), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.contains(&[]));
+        assert_eq!(t.iter().count(), 1);
+        let f = Relation::nullary(false);
+        assert!(f.is_empty());
+        assert!(!f.contains(&[]));
+        assert_ne!(t, f);
+        assert_eq!(f, Relation::new(0));
+        // push_row + normalize keeps set semantics: {(), ()} = {()}
+        let mut r = Relation::new(0);
+        r.push_row(&[]);
+        r.push_row(&[]);
+        r.normalize();
+        assert_eq!(r, t);
+        // projecting onto no columns asks "is there any row at all?"
+        assert_eq!(Relation::from_pairs(vec![(1, 2), (3, 4)]).project(&[]), t);
+        assert_eq!(Relation::new(2).project(&[]), f);
+        // filter sees the empty tuple
+        assert_eq!(t.filter(|_| true), t);
+        assert_eq!(t.filter(|_| false), f);
     }
 }

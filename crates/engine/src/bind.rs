@@ -221,13 +221,9 @@ pub fn brute_force_decide(
 
 /// Brute-force answer count (distinct free-variable projections).
 ///
-/// Boolean queries count 0 or 1 (the empty tuple), matching the engine's
-/// convention — nullary [`Relation`]s cannot hold the empty tuple, so
-/// [`brute_force_answers`] alone under-reports Boolean queries.
+/// Boolean queries count 0 or 1: [`brute_force_answers`] projects onto
+/// no columns, yielding the nullary relation `{()}` or `{}`.
 pub fn brute_force_count(q: &ConjunctiveQuery, db: &Database) -> Result<u64, EvalError> {
-    if q.is_boolean() {
-        return Ok(u64::from(brute_force_decide(q, db)?));
-    }
     Ok(brute_force_answers(q, db)?.len() as u64)
 }
 

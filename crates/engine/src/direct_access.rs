@@ -97,7 +97,7 @@ impl MaterializedDirectAccess {
         q: &ConjunctiveQuery,
         db: &Database,
         order: &[Var],
-        catalog: &mut IndexCatalog,
+        catalog: &IndexCatalog,
     ) -> Result<Arc<Self>, EvalError> {
         let key = format!("{q}|{order:?}");
         catalog.artifact(db, "mat_da", &key, || Self::build(q, db, order))
@@ -248,14 +248,14 @@ impl LexDirectAccess {
         q: &ConjunctiveQuery,
         db: &Database,
         order: &[Var],
-        catalog: &mut IndexCatalog,
+        catalog: &IndexCatalog,
     ) -> Result<Arc<Self>, EvalError> {
         let key = format!("{q}|{order:?}");
         catalog.artifact(db, "lex_da", &key, || Self::build(q, db, order))
     }
 
     /// Build directly from bound atoms (the entry point used by
-    /// [`FreeConnexDirectAccess`], whose atoms are projection-elimination
+    /// [`crate::fc_direct_access::FreeConnexDirectAccess`], whose atoms are projection-elimination
     /// messages rather than database relations). `order` must cover
     /// exactly the variables occurring in the atoms; other variable
     /// indices `< n_vars` stay 0 in the output.

@@ -7,7 +7,7 @@
 //! tree as an odometer: because every relation is globally consistent,
 //! every key lookup is non-empty, so the delay between answers is bounded
 //! by the number of tree nodes — a constant depending only on the query,
-//! exactly the guarantee of [BDG07].
+//! exactly the guarantee of BDG07.
 
 use crate::bind::{BoundAtom, EvalError};
 use crate::count::eliminate_projections;
@@ -134,7 +134,7 @@ impl Enumerator {
     pub fn preprocess_with_catalog(
         q: &ConjunctiveQuery,
         db: &Database,
-        catalog: &mut IndexCatalog,
+        catalog: &IndexCatalog,
     ) -> Result<Self, EvalError> {
         let core = catalog.artifact(db, "enumerator", &q.to_string(), || {
             EnumeratorCore::build(q, db)
@@ -349,13 +349,13 @@ mod tests {
     fn catalog_enumeration_shares_preprocessing() {
         let db = path_database(3, 60, &mut seeded_rng(9));
         let q = zoo::path_join(3);
-        let mut cat = cq_data::IndexCatalog::new();
-        let mut a = Enumerator::preprocess_with_catalog(&q, &db, &mut cat).unwrap();
+        let cat = cq_data::IndexCatalog::new();
+        let mut a = Enumerator::preprocess_with_catalog(&q, &db, &cat).unwrap();
         let want = brute_force_answers(&q, &db).unwrap();
         assert_eq!(a.to_relation(), want);
         // warm: same core, fresh cursors, same answers
         let before = cat.snapshot();
-        let mut b = Enumerator::preprocess_with_catalog(&q, &db, &mut cat).unwrap();
+        let mut b = Enumerator::preprocess_with_catalog(&q, &db, &cat).unwrap();
         assert_eq!(b.to_relation(), want);
         assert_eq!(cat.snapshot().misses, before.misses, "no rebuild on warm path");
         // an enumerator can also be re-consumed after sharing

@@ -82,7 +82,7 @@ impl FreeConnexDirectAccess {
     pub fn build_with_catalog(
         q: &ConjunctiveQuery,
         db: &Database,
-        catalog: &mut IndexCatalog,
+        catalog: &IndexCatalog,
     ) -> Result<Arc<Self>, EvalError> {
         catalog.artifact(db, "fc_da", &q.to_string(), || Self::build(q, db))
     }

@@ -117,7 +117,7 @@ pub fn generic_join_visit_catalog(
     q: &ConjunctiveQuery,
     db: &Database,
     order: &[Var],
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
     visit: &mut dyn FnMut(&[Val]) -> bool,
 ) -> Result<bool, EvalError> {
     // validate every atom first (error parity with `bind`), and return
@@ -318,7 +318,7 @@ pub fn answers_with_order_catalog(
     q: &ConjunctiveQuery,
     db: &Database,
     order: &[Var],
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<Relation, EvalError> {
     let free = q.free_vars();
     let free_pos: Vec<usize> =
@@ -362,7 +362,7 @@ pub fn decide_with_order_catalog(
     q: &ConjunctiveQuery,
     db: &Database,
     order: &[Var],
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<bool, EvalError> {
     let mut found = false;
     generic_join_visit_catalog(q, db, order, catalog, &mut |_| {
@@ -407,7 +407,7 @@ pub fn count_distinct_with_order_catalog(
     q: &ConjunctiveQuery,
     db: &Database,
     order: &[Var],
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<u64, EvalError> {
     let free = q.free_vars();
     let free_pos: Vec<usize> =
@@ -568,21 +568,21 @@ mod tests {
         let db = triangle_database(&edges);
         let q = zoo::triangle_join();
         let order = default_order(&q);
-        let mut cat = cq_data::IndexCatalog::new();
-        let cold = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        let cat = cq_data::IndexCatalog::new();
+        let cold = answers_with_order_catalog(&q, &db, &order, &cat).unwrap();
         assert_eq!(cold, answers(&q, &db).unwrap());
         let before = cat.snapshot();
-        let warm = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        let warm = answers_with_order_catalog(&q, &db, &order, &cat).unwrap();
         assert_eq!(cold, warm);
         let after = cat.snapshot();
         assert_eq!(after.misses, before.misses, "warm run must build nothing");
         assert!(after.hits > before.hits);
         assert_eq!(
-            decide_with_order_catalog(&q, &db, &order, &mut cat).unwrap(),
+            decide_with_order_catalog(&q, &db, &order, &cat).unwrap(),
             decide(&q, &db).unwrap()
         );
         assert_eq!(
-            count_distinct_with_order_catalog(&q, &db, &order, &mut cat).unwrap(),
+            count_distinct_with_order_catalog(&q, &db, &order, &cat).unwrap(),
             count_distinct(&q, &db).unwrap()
         );
     }
@@ -594,12 +594,12 @@ mod tests {
         db.insert("R", Relation::from_pairs(vec![(1, 1), (2, 3), (4, 4)]));
         db.insert("S", Relation::from_pairs(vec![(1, 9), (4, 8), (2, 7)]));
         let order = default_order(&q);
-        let mut cat = cq_data::IndexCatalog::new();
-        let got = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        let cat = cq_data::IndexCatalog::new();
+        let got = answers_with_order_catalog(&q, &db, &order, &cat).unwrap();
         assert_eq!(got, brute_force_answers(&q, &db).unwrap());
         // the collapsed view is an artifact: a second run reuses it
         let before = cat.snapshot();
-        let again = answers_with_order_catalog(&q, &db, &order, &mut cat).unwrap();
+        let again = answers_with_order_catalog(&q, &db, &order, &cat).unwrap();
         assert_eq!(got, again);
         assert_eq!(cat.snapshot().misses, before.misses);
     }
@@ -610,14 +610,14 @@ mod tests {
         let mut db = Database::new();
         db.insert("R", Relation::from_pairs(vec![(1, 2)]));
         let order = default_order(&q);
-        let mut cat = cq_data::IndexCatalog::new();
+        let cat = cq_data::IndexCatalog::new();
         assert_eq!(
-            decide_with_order_catalog(&q, &db, &order, &mut cat).unwrap_err(),
+            decide_with_order_catalog(&q, &db, &order, &cat).unwrap_err(),
             decide(&q, &db).unwrap_err()
         );
         db.insert("T", Relation::from_pairs(vec![(1, 2)])); // wrong arity
         assert_eq!(
-            decide_with_order_catalog(&q, &db, &order, &mut cat).unwrap_err(),
+            decide_with_order_catalog(&q, &db, &order, &cat).unwrap_err(),
             decide(&q, &db).unwrap_err()
         );
     }

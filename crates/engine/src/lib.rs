@@ -18,7 +18,7 @@
 //! | Semiring aggregation | FAQ-style DP / generic fold | §4.1.2, Ex 4.3 | [`aggregate`] |
 //!
 //! All algorithms are validated against the brute-force oracle in
-//! [`bind`] and against each other. Cross-algorithm *dispatch* — picking
+//! [`mod@bind`] and against each other. Cross-algorithm *dispatch* — picking
 //! the dichotomy-optimal algorithm for a query — lives one layer up, in
 //! `cq-planner`: this crate exposes the per-theorem entry points
 //! (including the `*_with_order` generic-join variants the planner's

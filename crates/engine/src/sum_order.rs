@@ -101,7 +101,7 @@ impl SumOrderAccess {
         q: &ConjunctiveQuery,
         db: &Database,
         weight: &dyn Fn(Val) -> i64,
-        catalog: &mut IndexCatalog,
+        catalog: &IndexCatalog,
     ) -> Result<Self, EvalError> {
         if !q.is_join_query() {
             return Err(EvalError::NotJoinQuery);
@@ -222,7 +222,7 @@ mod tests {
         db.insert("S", Relation::from_values((0..20).collect::<Vec<_>>()));
         let q = parse_query("q(a, b) :- R(a, b), S(a)").unwrap();
         let ws = random_weights(20, 100, &mut rng);
-        let mut cat = cq_data::IndexCatalog::new();
+        let cat = cq_data::IndexCatalog::new();
         let plain =
             SumOrderAccess::build_covering_atom(&q, &db, &weights_fn(&ws)).unwrap();
         for _ in 0..2 {
@@ -230,7 +230,7 @@ mod tests {
                 &q,
                 &db,
                 &weights_fn(&ws),
-                &mut cat,
+                &cat,
             )
             .unwrap();
             assert_eq!(plain.len(), cataloged.len());

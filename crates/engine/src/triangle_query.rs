@@ -66,7 +66,7 @@ pub fn decide_triangle_ayz(db: &Database, delta: usize) -> Result<bool, EvalErro
 pub fn decide_triangle_ayz_with_catalog(
     db: &Database,
     delta: usize,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<bool, EvalError> {
     let (r1, r2, r3) = triangle_relations(db)?;
     let degree = catalog
@@ -251,20 +251,20 @@ mod tests {
     #[test]
     fn catalog_ayz_matches_plain_and_reuses() {
         let mut rng = seeded_rng(5);
-        let mut cat = cq_data::IndexCatalog::new();
+        let cat = cq_data::IndexCatalog::new();
         for trial in 0..10 {
             let db = triangle_database(&random_pairs(40 + trial, 12, &mut rng));
             for delta in [1usize, 3, 1000] {
                 let want = decide_triangle_ayz(&db, delta).unwrap();
                 assert_eq!(
-                    decide_triangle_ayz_with_catalog(&db, delta, &mut cat).unwrap(),
+                    decide_triangle_ayz_with_catalog(&db, delta, &cat).unwrap(),
                     want,
                     "trial={trial} delta={delta}"
                 );
             }
             // two more deltas on the same db: degree map + views reused
             let before = cat.snapshot();
-            decide_triangle_ayz_with_catalog(&db, 2, &mut cat).unwrap();
+            decide_triangle_ayz_with_catalog(&db, 2, &cat).unwrap();
             assert_eq!(cat.snapshot().misses, before.misses);
         }
     }

@@ -17,6 +17,12 @@
 //! so a stale index can never be served; stale catalog entries age out
 //! of the registry FIFO.
 //!
+//! The facade is **concurrency-ready**: the registry lock is held only
+//! to resolve a generation to its `Arc<IndexCatalog>`, and the catalog
+//! itself locks internally per lookup — no lock is held across an
+//! execution, so any number of threads can evaluate against one shared
+//! database simultaneously ([`batch`] does exactly that).
+//!
 //! For cache-controlled workflows (benchmarks, servers with per-tenant
 //! planners) use the `*_with` variants with an explicit [`Planner`] and
 //! pre-collected [`DataStats`], or the `*_with_catalog` variants with
@@ -29,6 +35,7 @@ use cq_core::ConjunctiveQuery;
 use cq_data::{DataStats, Database, FxHashMap, IndexCatalog, Relation};
 use cq_engine::bind::EvalError;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The process-wide planner behind the facade functions.
@@ -53,7 +60,7 @@ const CATALOG_REGISTRY_CAP: usize = 8;
 /// database generation, FIFO-evicted.
 #[derive(Default)]
 struct CatalogRegistry {
-    catalogs: FxHashMap<u64, Arc<Mutex<IndexCatalog>>>,
+    catalogs: FxHashMap<u64, Arc<IndexCatalog>>,
     order: VecDeque<u64>,
 }
 
@@ -62,27 +69,32 @@ fn registry() -> &'static Mutex<CatalogRegistry> {
     REGISTRY.get_or_init(|| Mutex::new(CatalogRegistry::default()))
 }
 
-/// Run `f` with the process-wide catalog for `db`'s current state,
-/// creating (and registering) it on first sight of this generation.
-pub fn with_catalog<T>(db: &Database, f: impl FnOnce(&mut IndexCatalog) -> T) -> T {
-    let slot = {
-        let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
-        let generation = db.generation();
-        if let Some(c) = reg.catalogs.get(&generation) {
-            Arc::clone(c)
-        } else {
-            while reg.order.len() >= CATALOG_REGISTRY_CAP {
-                let evicted = reg.order.pop_front().expect("len checked");
-                reg.catalogs.remove(&evicted);
-            }
-            let c = Arc::new(Mutex::new(IndexCatalog::new()));
-            reg.catalogs.insert(generation, Arc::clone(&c));
-            reg.order.push_back(generation);
-            c
+/// The process-wide catalog for `db`'s current state, creating (and
+/// registering) it on first sight of this generation. The registry
+/// lock is released before this returns — the catalog locks itself per
+/// lookup, so holding the `Arc` across a whole execution (or sharing
+/// it between threads) serializes nothing.
+pub fn catalog_for(db: &Database) -> Arc<IndexCatalog> {
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let generation = db.generation();
+    if let Some(c) = reg.catalogs.get(&generation) {
+        Arc::clone(c)
+    } else {
+        while reg.order.len() >= CATALOG_REGISTRY_CAP {
+            let evicted = reg.order.pop_front().expect("len checked");
+            reg.catalogs.remove(&evicted);
         }
-    };
-    let mut guard = slot.lock().unwrap_or_else(|p| p.into_inner());
-    f(&mut guard)
+        let c = Arc::new(IndexCatalog::new());
+        reg.catalogs.insert(generation, Arc::clone(&c));
+        reg.order.push_back(generation);
+        c
+    }
+}
+
+/// Run `f` with the process-wide catalog for `db`'s current state (a
+/// convenience wrapper over [`catalog_for`]).
+pub fn with_catalog<T>(db: &Database, f: impl FnOnce(&IndexCatalog) -> T) -> T {
+    f(&catalog_for(db))
 }
 
 /// Plan `task` for `q` on `db` with the process-wide planner (and the
@@ -98,7 +110,8 @@ pub fn decide(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<(bool, QueryPlan), EvalError> {
-    with_catalog(db, |cat| with_global_planner(|p| decide_with_catalog(p, q, db, cat)))
+    let cat = catalog_for(db);
+    with_global_planner(|p| decide_with_catalog(p, q, db, &cat))
 }
 
 /// [`decide`] with an explicit planner and index catalog: plans from
@@ -107,7 +120,7 @@ pub fn decide_with_catalog(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
     db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<(bool, QueryPlan), EvalError> {
     let stats = catalog.stats(db);
     let plan = planner.plan(q, Task::Decide, &stats);
@@ -130,7 +143,8 @@ pub fn decide_with(
 /// Count `|q(D)|` with the dichotomy-optimal algorithm; returns the
 /// count and the plan that ran.
 pub fn count(q: &ConjunctiveQuery, db: &Database) -> Result<(u64, QueryPlan), EvalError> {
-    with_catalog(db, |cat| with_global_planner(|p| count_with_catalog(p, q, db, cat)))
+    let cat = catalog_for(db);
+    with_global_planner(|p| count_with_catalog(p, q, db, &cat))
 }
 
 /// [`count`] with an explicit planner and index catalog.
@@ -138,7 +152,7 @@ pub fn count_with_catalog(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
     db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<(u64, QueryPlan), EvalError> {
     let stats = catalog.stats(db);
     let plan = planner.plan(q, Task::Count, &stats);
@@ -165,7 +179,8 @@ pub fn answers(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<(Relation, QueryPlan), EvalError> {
-    with_catalog(db, |cat| with_global_planner(|p| answers_with_catalog(p, q, db, cat)))
+    let cat = catalog_for(db);
+    with_global_planner(|p| answers_with_catalog(p, q, db, &cat))
 }
 
 /// [`answers`] with an explicit planner and index catalog.
@@ -173,7 +188,7 @@ pub fn answers_with_catalog(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
     db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<(Relation, QueryPlan), EvalError> {
     let stats = catalog.stats(db);
     let plan = planner.plan(q, Task::Answers, &stats);
@@ -205,6 +220,97 @@ pub fn answers_with(
 pub fn explain(q: &ConjunctiveQuery, db: &Database, task: Task) -> String {
     let p = plan(q, db, task);
     crate::explain::render(&p, q)
+}
+
+/// Evaluate a batch of independent queries' answers over one database,
+/// in parallel: one shared [`IndexCatalog`] (the registry's, so the
+/// batch both profits from and feeds the warm path) and one pass
+/// through the shared planner for the whole batch, then
+/// [`std::thread::scope`] workers pulling queries off a shared cursor.
+/// Results come back in input order, each with the plan that ran.
+pub fn batch(
+    queries: &[ConjunctiveQuery],
+    db: &Database,
+) -> Vec<Result<(Relation, QueryPlan), EvalError>> {
+    batch_tasks(queries.iter().map(|q| (q, Task::Answers)), db)
+        .into_iter()
+        .map(|r| {
+            r.map(|(out, plan)| match out {
+                Output::Answers(rel) => (rel, plan),
+                other => unreachable!("answers plan yielded {other:?}"),
+            })
+        })
+        .collect()
+}
+
+/// [`batch`] for mixed tasks: each item is a query plus the task to
+/// run it under ([`Task::Access`] items error — direct-access
+/// structures are built, not executed).
+pub fn batch_tasks<'q>(
+    items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
+    db: &Database,
+) -> Vec<Result<(Output, QueryPlan), EvalError>> {
+    batch_tasks_with_workers(items, db, default_batch_workers())
+}
+
+/// Worker count for [`batch`]/[`batch_tasks`]: the machine's available
+/// parallelism.
+fn default_batch_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// [`batch_tasks`] with an explicit worker count (`workers ≤ 1` runs
+/// inline on the calling thread). Exposed for benchmarks and servers
+/// that manage their own parallelism budget.
+pub fn batch_tasks_with_workers<'q>(
+    items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
+    db: &Database,
+    workers: usize,
+) -> Vec<Result<(Output, QueryPlan), EvalError>> {
+    let items: Vec<(&ConjunctiveQuery, Task)> = items.into_iter().collect();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let catalog = catalog_for(db);
+    // plan the whole batch in one pass through the shared planner —
+    // repeated shapes hit the plan cache, and execution below never
+    // needs the planner lock
+    let stats = catalog.stats(db);
+    let plans: Vec<QueryPlan> = with_global_planner(|p| {
+        items.iter().map(|(q, task)| p.plan(q, *task, &stats)).collect()
+    });
+
+    let run = |i: usize| -> Result<(Output, QueryPlan), EvalError> {
+        let (q, _) = items[i];
+        let plan = &plans[i];
+        execute_with_catalog(plan, q, db, &catalog).map(|out| (out, plan.clone()))
+    };
+
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return (0..items.len()).map(run).collect();
+    }
+    // work-stealing over a shared cursor: homogeneous batches split
+    // evenly, skewed ones keep every worker busy until the end
+    let results: Vec<OnceLock<Result<(Output, QueryPlan), EvalError>>> =
+        (0..items.len()).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let filled = results[i].set(run(i));
+                debug_assert!(filled.is_ok(), "cursor indices are claimed once");
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was claimed by a worker"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -286,11 +392,77 @@ mod tests {
     }
 
     #[test]
-    fn boolean_answers_are_empty_schema() {
+    fn boolean_answers_are_the_nullary_relation() {
         let db = triangle_database(&random_pairs(20, 8, &mut seeded_rng(5)));
         let q = zoo::triangle_boolean();
         let (rel, plan) = answers(&q, &db).unwrap();
         assert_eq!(rel.arity(), 0);
         assert_eq!(plan.op.name(), "generic join (worst-case optimal)");
+        // the answer relation distinguishes true ({()}) from false ({})
+        let want = brute_force_decide(&q, &db).unwrap();
+        assert_eq!(rel.len(), usize::from(want));
+        assert_eq!(rel, brute_force_answers(&q, &db).unwrap());
+        // acyclic Boolean route agrees
+        let db = path_database(2, 30, &mut seeded_rng(6));
+        let q = zoo::path_boolean(2);
+        let (rel, _) = answers(&q, &db).unwrap();
+        assert_eq!(rel.len(), usize::from(brute_force_decide(&q, &db).unwrap()));
+    }
+
+    #[test]
+    fn batch_matches_sequential_evaluation() {
+        let db = path_database(3, 40, &mut seeded_rng(21));
+        let q = zoo::path_join(3);
+        let queries: Vec<_> = (0..12).map(|_| q.clone()).collect();
+        let (want, _) = answers(&q, &db).unwrap();
+        for r in batch(&queries, &db) {
+            let (rel, plan) = r.unwrap();
+            assert_eq!(rel, want);
+            assert_eq!(plan.query, q.to_string());
+        }
+        // empty batch is fine
+        assert!(batch(&[], &db).is_empty());
+    }
+
+    #[test]
+    fn batch_tasks_mixes_tasks_and_propagates_errors() {
+        let db = path_database(3, 35, &mut seeded_rng(22));
+        let qj = zoo::path_join(3);
+        let qb = zoo::path_boolean(3);
+        let items = vec![(&qj, Task::Answers), (&qj, Task::Count), (&qb, Task::Decide)];
+        let results = batch_tasks(items, &db);
+        assert_eq!(results.len(), 3);
+        let (want_ans, _) = answers(&qj, &db).unwrap();
+        let (want_count, _) = count(&qj, &db).unwrap();
+        let (want_dec, _) = decide(&qb, &db).unwrap();
+        assert_eq!(results[0].as_ref().unwrap().0, Output::Answers(want_ans.clone()));
+        assert_eq!(results[1].as_ref().unwrap().0, Output::Count(want_count));
+        assert_eq!(results[2].as_ref().unwrap().0, Output::Decision(want_dec));
+        // per-item errors: a query over a missing relation fails alone
+        let missing = cq_core::parse_query("q(x, y) :- Nope(x, y)").unwrap();
+        let items = vec![(&qj, Task::Answers), (&missing, Task::Decide)];
+        let results = batch_tasks(items, &db);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(EvalError::MissingRelation(_))));
+        // Task::Access is a build, not an execution
+        let items = vec![(&qj, Task::Access)];
+        let results = batch_tasks_with_workers(items, &db, 1);
+        assert!(matches!(results[0], Err(EvalError::Unsupported(_))));
+    }
+
+    #[test]
+    fn batch_scales_across_worker_counts() {
+        // same results whatever the parallelism (including inline)
+        let db = path_database(2, 30, &mut seeded_rng(23));
+        let q = zoo::path_join(2);
+        let items: Vec<_> = (0..9).map(|_| (&q, Task::Count)).collect();
+        let want = batch_tasks_with_workers(items.clone(), &db, 1);
+        for workers in [2, 4, 16] {
+            let got = batch_tasks_with_workers(items.clone(), &db, workers);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.as_ref().unwrap().0, w.as_ref().unwrap().0);
+            }
+        }
     }
 }

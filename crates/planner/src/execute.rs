@@ -55,7 +55,11 @@ impl Output {
     }
 }
 
-/// Execute `plan` for `q` on `db`.
+/// Execute `plan` for `q` on `db` with a throwaway [`IndexCatalog`] —
+/// the cold path, for one-shot evaluation where nothing is worth
+/// keeping warm. This is [`execute_with_catalog`] against a fresh
+/// catalog; there is exactly one dispatch table per operator, so a new
+/// operator only ever needs one executor arm.
 ///
 /// # Errors
 /// Propagates the underlying engine's [`EvalError`]s (missing
@@ -67,34 +71,29 @@ pub fn execute(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<Output, EvalError> {
-    match plan.task {
-        Task::Decide => decide(plan, q, db).map(Output::Decision),
-        Task::Count => count_task(plan, q, db).map(Output::Count),
-        Task::Answers => answers(plan, q, db).map(Output::Answers),
-        Task::Access => Err(EvalError::Unsupported(
-            "direct-access plans are built with `build_lex_access`, not `execute`"
-                .to_string(),
-        )),
-    }
+    execute_with_catalog(plan, q, db, &IndexCatalog::new())
 }
 
-/// [`execute`] with every index acquisition routed through the
-/// per-database [`IndexCatalog`] — the facade's warm path. Results and
-/// errors are identical to [`execute`]; the only difference is that
-/// sorted views, hash indexes, bound relations, projection-elimination
-/// messages, and enumerator cores are memoized across calls instead of
-/// rebuilt, so repeated evaluation of the same shape on an unchanged
-/// database is index-build-free.
+/// Execute `plan` for `q` on `db`, every index acquisition routed
+/// through the per-database [`IndexCatalog`] — **the** dispatch table.
+/// Sorted views, hash indexes, bound relations, projection-elimination
+/// messages, and enumerator cores are memoized across calls, so
+/// repeated evaluation of the same shape on an unchanged database is
+/// index-build-free; a fresh catalog (see [`execute`]) degrades to
+/// plain cold evaluation with identical results and errors.
+///
+/// The catalog is internally locked: concurrent executions may share
+/// one catalog (and one database) freely.
 pub fn execute_with_catalog(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<Output, EvalError> {
     match plan.task {
-        Task::Decide => decide_catalog(plan, q, db, catalog).map(Output::Decision),
-        Task::Count => count_task_catalog(plan, q, db, catalog).map(Output::Count),
-        Task::Answers => answers_catalog(plan, q, db, catalog).map(Output::Answers),
+        Task::Decide => decide_task(plan, q, db, catalog).map(Output::Decision),
+        Task::Count => count_task(plan, q, db, catalog).map(Output::Count),
+        Task::Answers => answers_task(plan, q, db, catalog).map(Output::Answers),
         Task::Access => Err(EvalError::Unsupported(
             "direct-access plans are built with `build_lex_access_with_catalog`, \
              not `execute_with_catalog`"
@@ -111,75 +110,11 @@ fn unsupported(plan: &QueryPlan) -> EvalError {
     ))
 }
 
-fn decide(
+fn decide_task(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
-) -> Result<bool, EvalError> {
-    match &plan.op {
-        PlanOp::TrivialEmpty => Ok(false),
-        PlanOp::SemijoinSweep => yannakakis::decide_acyclic(q, db),
-        PlanOp::GenericJoin { order } => generic_join::decide_with_order(q, db, order),
-        _ => Err(unsupported(plan)),
-    }
-}
-
-fn count_task(
-    plan: &QueryPlan,
-    q: &ConjunctiveQuery,
-    db: &Database,
-) -> Result<u64, EvalError> {
-    match &plan.op {
-        PlanOp::TrivialEmpty => Ok(0),
-        // Boolean counting reuses the decision operators (|q(D)| ∈ {0,1})
-        PlanOp::SemijoinSweep if q.is_boolean() => {
-            Ok(u64::from(yannakakis::decide_acyclic(q, db)?))
-        }
-        PlanOp::GenericJoin { order } if q.is_boolean() => {
-            Ok(u64::from(generic_join::decide_with_order(q, db, order)?))
-        }
-        PlanOp::CountingDp => count::count_acyclic_join(q, db),
-        PlanOp::ProjectionEliminationDp => count::count_free_connex(q, db),
-        PlanOp::CountDistinctProject { order } => {
-            generic_join::count_distinct_with_order(q, db, order)
-        }
-        _ => Err(unsupported(plan)),
-    }
-}
-
-fn answers(
-    plan: &QueryPlan,
-    q: &ConjunctiveQuery,
-    db: &Database,
-) -> Result<Relation, EvalError> {
-    match &plan.op {
-        PlanOp::TrivialEmpty => Ok(Relation::new(q.free_vars().len())),
-        PlanOp::ConstantDelayEnumeration => {
-            let mut e = Enumerator::preprocess(q, db)?;
-            Ok(e.to_relation())
-        }
-        PlanOp::MaterializeProject { order } => {
-            generic_join::answers_with_order(q, db, order)
-        }
-        // cyclic Boolean queries route their (empty-schema) answer task
-        // through the early-stopping decision join
-        PlanOp::SemijoinSweep if q.is_boolean() => {
-            yannakakis::decide_acyclic(q, db)?;
-            Ok(Relation::new(0))
-        }
-        PlanOp::GenericJoin { order } if q.is_boolean() => {
-            generic_join::decide_with_order(q, db, order)?;
-            Ok(Relation::new(0))
-        }
-        _ => Err(unsupported(plan)),
-    }
-}
-
-fn decide_catalog(
-    plan: &QueryPlan,
-    q: &ConjunctiveQuery,
-    db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<bool, EvalError> {
     match &plan.op {
         PlanOp::TrivialEmpty => Ok(false),
@@ -191,11 +126,11 @@ fn decide_catalog(
     }
 }
 
-fn count_task_catalog(
+fn count_task(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<u64, EvalError> {
     match &plan.op {
         PlanOp::TrivialEmpty => Ok(0),
@@ -217,11 +152,11 @@ fn count_task_catalog(
     }
 }
 
-fn answers_catalog(
+fn answers_task(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<Relation, EvalError> {
     match &plan.op {
         PlanOp::TrivialEmpty => Ok(Relation::new(q.free_vars().len())),
@@ -232,16 +167,15 @@ fn answers_catalog(
         PlanOp::MaterializeProject { order } => {
             generic_join::answers_with_order_catalog(q, db, order, catalog)
         }
-        // cyclic Boolean queries route their (empty-schema) answer task
-        // through the early-stopping decision join
-        PlanOp::SemijoinSweep if q.is_boolean() => {
-            yannakakis::decide_acyclic_with_catalog(q, db, catalog)?;
-            Ok(Relation::new(0))
-        }
-        PlanOp::GenericJoin { order } if q.is_boolean() => {
-            generic_join::decide_with_order_catalog(q, db, order, catalog)?;
-            Ok(Relation::new(0))
-        }
+        // Boolean queries route their answer task through the
+        // early-stopping decision operators; the answer relation is the
+        // nullary {()} or {}
+        PlanOp::SemijoinSweep if q.is_boolean() => Ok(Relation::nullary(
+            yannakakis::decide_acyclic_with_catalog(q, db, catalog)?,
+        )),
+        PlanOp::GenericJoin { order } if q.is_boolean() => Ok(Relation::nullary(
+            generic_join::decide_with_order_catalog(q, db, order, catalog)?,
+        )),
         _ => Err(unsupported(plan)),
     }
 }
@@ -292,41 +226,27 @@ impl DirectAccess for ProjectedMaterializedAccess {
 }
 
 /// Build the direct-access structure a [`Task::Access`] plan names
-/// (lexicographic variants; see [`crate::planner::Planner::plan_lex_access`]).
+/// with a throwaway catalog — [`build_lex_access_with_catalog`] against
+/// fresh state (lexicographic variants; see
+/// [`crate::planner::Planner::plan_lex_access`]).
 pub fn build_lex_access(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<Box<dyn DirectAccess>, EvalError> {
-    match &plan.op {
-        PlanOp::LexDirectAccess { order } => {
-            Ok(Box::new(cq_engine::direct_access::LexDirectAccess::build(q, db, order)?))
-        }
-        // the engine's materialized access handles join queries; queries
-        // with projections take the projected materialization fallback
-        PlanOp::MaterializedDirectAccess { order } if q.is_join_query() => Ok(Box::new(
-            cq_engine::direct_access::MaterializedDirectAccess::build(q, db, order)?,
-        )),
-        PlanOp::MaterializedDirectAccess { order } => {
-            Ok(Box::new(ProjectedMaterializedAccess::build(q, db, order)?))
-        }
-        PlanOp::FreeConnexDirectAccess => Ok(Box::new(
-            cq_engine::fc_direct_access::FreeConnexDirectAccess::build(q, db)?,
-        )),
-        _ => Err(unsupported(plan)),
-    }
+    build_lex_access_with_catalog(plan, q, db, &IndexCatalog::new())
 }
 
-/// [`build_lex_access`] with the built structure memoized in the
-/// catalog: the preprocessing of a [`Task::Access`] plan (the expensive
-/// half of §3.4-style ranked access) is paid once per database state;
-/// repeated builds hand back the shared structure and `access` calls
-/// pay their Õ(log m) only.
+/// Build the direct-access structure a [`Task::Access`] plan names,
+/// memoized in the catalog: the preprocessing of a [`Task::Access`]
+/// plan (the expensive half of §3.4-style ranked access) is paid once
+/// per database state; repeated builds hand back the shared structure
+/// and `access` calls pay their Õ(log m) only.
 pub fn build_lex_access_with_catalog(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
-    catalog: &mut IndexCatalog,
+    catalog: &IndexCatalog,
 ) -> Result<Box<dyn DirectAccess>, EvalError> {
     match &plan.op {
         PlanOp::LexDirectAccess { order } => {

@@ -6,7 +6,7 @@
 //! *why nothing asymptotically faster exists* (the conditional lower
 //! bound of the paper's dichotomies, or the note explaining why the case
 //! is open). Plans are plain data — they can be cached, compared,
-//! rendered ([`QueryPlan::explain`]), and executed any number of times.
+//! rendered by `cq_planner::explain`, and executed any number of times.
 
 use cq_core::{ConjunctiveQuery, Hypothesis, Var};
 use std::fmt;

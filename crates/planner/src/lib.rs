@@ -21,7 +21,7 @@
 //! * [`cache`] — the plan cache, keyed by the canonical hypergraph
 //!   shape ([`cq_core::canonical`]): repeated and isomorphic queries
 //!   skip classification entirely.
-//! * [`execute`] — the executor dispatching plans to `cq-engine`.
+//! * [`mod@execute`] — the executor dispatching plans to `cq-engine`.
 //! * [`explain`] — EXPLAIN rendering with theorem citations and the
 //!   hypothesis ruling out anything faster.
 //! * [`eval`] — the one-call facade (`decide` / `count` / `answers` /

@@ -1,7 +1,7 @@
 //! Max-k-SAT (the §3.1.2 context for the Hyperclique Hypothesis).
 //!
 //! The paper motivates Hypothesis 3 by noting that "improving algorithms
-//! for hypercliques would give an improvement for Max-k-SAT [61], a
+//! for hypercliques would give an improvement for Max-k-SAT \[61\], a
 //! problem that … has so far resisted all tries to improve upon the
 //! trivial runtime Õ(2ⁿ)". We implement that trivial algorithm (full
 //! assignment enumeration with word-parallel clause evaluation) plus a

@@ -57,7 +57,7 @@ pub fn build(h: &UniformHypergraph, k: usize) -> (ConjunctiveQuery, Database) {
 
 /// End-to-end: decide `k`-hyperclique existence through the LW query
 /// (evaluated by the worst-case optimal join, the Õ(m^{1+1/(k−1)})
-/// algorithm of [NPRR]).
+/// algorithm of NPRR).
 pub fn hyperclique_via_lw(h: &UniformHypergraph, k: usize) -> bool {
     let (q, db) = build(h, k);
     cq_engine::generic_join::decide(&q, &db).expect("constructed database must bind")

@@ -34,7 +34,7 @@ pub fn selfjoin_free_version(q: &ConjunctiveQuery) -> ConjunctiveQuery {
 /// Count the colorful (surjectively attributed) answers of the self-join
 /// join query `q` (single relation symbol, `t = q.atoms()` occurrences)
 /// over pairwise-disjoint parts `S_1..S_t`, using only a counting oracle
-/// for `q` itself: Σ_{T⊆[t]} (−1)^{t−|T|} |q(∪_{i∈T} S_i)|.
+/// for `q` itself: `Σ_{T⊆[t]} (−1)^{t−|T|} |q(∪_{i∈T} S_i)|`.
 ///
 /// # Panics
 /// If `q` is not a join query, uses more than one relation symbol, or

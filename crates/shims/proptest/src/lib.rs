@@ -155,7 +155,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// A length range for [`vec`]: anything convertible to `(min, max)`
+    /// A length range for [`vec()`]: anything convertible to `(min, max)`
     /// inclusive bounds.
     pub trait SizeRange {
         /// Inclusive `(min, max)` length bounds.
@@ -188,7 +188,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,

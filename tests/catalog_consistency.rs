@@ -56,7 +56,7 @@ fn drive(
         db.insert(name, random_rel(2, 6 + i, 1000 + i as u64));
     }
     let mut planner = Planner::new();
-    let mut catalog = IndexCatalog::new();
+    let catalog = IndexCatalog::new();
     for step in steps {
         match step {
             Step::Mutate { rel, seed, rows } => {
@@ -66,14 +66,14 @@ fn drive(
             Step::Query { task } => match task {
                 0 => {
                     let (got, _) =
-                        eval::decide_with_catalog(&mut planner, q, &db, &mut catalog)
+                        eval::decide_with_catalog(&mut planner, q, &db, &catalog)
                             .unwrap();
                     prop_assert_eq!(got, brute_force_decide(q, &db).unwrap());
                     let fresh = eval::decide_with_catalog(
                         &mut Planner::new(),
                         q,
                         &db,
-                        &mut IndexCatalog::new(),
+                        &IndexCatalog::new(),
                     )
                     .unwrap()
                     .0;
@@ -81,13 +81,12 @@ fn drive(
                 }
                 1 => {
                     let (got, _) =
-                        eval::count_with_catalog(&mut planner, q, &db, &mut catalog)
-                            .unwrap();
+                        eval::count_with_catalog(&mut planner, q, &db, &catalog).unwrap();
                     prop_assert_eq!(got, brute_force_count(q, &db).unwrap());
                 }
                 _ => {
                     let (got, _) =
-                        eval::answers_with_catalog(&mut planner, q, &db, &mut catalog)
+                        eval::answers_with_catalog(&mut planner, q, &db, &catalog)
                             .unwrap();
                     if !q.is_boolean() {
                         prop_assert_eq!(&got, &brute_force_answers(q, &db).unwrap());
@@ -96,7 +95,7 @@ fn drive(
                         &mut Planner::new(),
                         q,
                         &db,
-                        &mut IndexCatalog::new(),
+                        &IndexCatalog::new(),
                     )
                     .unwrap()
                     .0;

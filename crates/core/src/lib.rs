@@ -52,5 +52,5 @@ pub use embedding::CliqueEmbedding;
 pub use hypergraph::Hypergraph;
 pub use hypotheses::Hypothesis;
 pub use join_tree::JoinTree;
-pub use parser::parse_query;
+pub use parser::{parse_query, ParseError};
 pub use query::{Atom, ConjunctiveQuery, QueryBuilder, QueryError, Var};

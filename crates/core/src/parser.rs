@@ -42,6 +42,53 @@ impl fmt::Display for ParseError {
     }
 }
 
+impl ParseError {
+    /// The byte position the error points at in the source, if it has
+    /// one: the offending token for `Unexpected`, the end of input for
+    /// `UnexpectedEnd`, nothing for semantic errors.
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            ParseError::Unexpected { pos, .. } => Some(*pos),
+            ParseError::UnexpectedEnd { .. } => None,
+            ParseError::Invalid(_) => None,
+        }
+    }
+
+    /// A two-line context snippet for positional errors: the offending
+    /// source line, and a caret line pointing at the error's byte
+    /// position (`UnexpectedEnd` points just past the last character).
+    /// `None` for semantic errors, which have no position.
+    pub fn context(&self, src: &str) -> Option<(String, String)> {
+        let pos = match self {
+            ParseError::Unexpected { pos, .. } => (*pos).min(src.len()),
+            ParseError::UnexpectedEnd { .. } => src.len(),
+            ParseError::Invalid(_) => return None,
+        };
+        // the line containing `pos` (multi-line sources point into the
+        // right line; the common case is a single-line query)
+        let start = src[..pos].rfind('\n').map_or(0, |i| i + 1);
+        let end = src[pos..].find('\n').map_or(src.len(), |i| pos + i);
+        let line = &src[start..end];
+        let col = src[start..pos].chars().count();
+        Some((line.to_string(), format!("{}^", " ".repeat(col))))
+    }
+
+    /// Render the error with its context snippet, for human consumption
+    /// (wire clients, REPLs):
+    ///
+    /// ```text
+    /// at byte 13: expected `,`, `.`, or end of input, found `;`
+    ///   q(x) :- R(x) ; S(x)
+    ///                ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        match self.context(src) {
+            Some((line, caret)) => format!("{self}\n  {line}\n  {caret}"),
+            None => self.to_string(),
+        }
+    }
+}
+
 impl std::error::Error for ParseError {}
 
 struct Lexer<'a> {
@@ -57,6 +104,20 @@ enum Tok {
     Comma,
     Turnstile,
     Dot,
+}
+
+impl Tok {
+    /// The user-facing spelling, for error messages.
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::LParen => "(".to_string(),
+            Tok::RParen => ")".to_string(),
+            Tok::Comma => ",".to_string(),
+            Tok::Turnstile => ":-".to_string(),
+            Tok::Dot => ".".to_string(),
+        }
+    }
 }
 
 impl<'a> Lexer<'a> {
@@ -153,11 +214,9 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, want: Tok, what: &'static str) -> Result<(), ParseError> {
         match self.advance()? {
             Some((_, t)) if t == want => Ok(()),
-            Some((pos, t)) => Err(ParseError::Unexpected {
-                pos,
-                expected: what,
-                found: format!("{t:?}"),
-            }),
+            Some((pos, t)) => {
+                Err(ParseError::Unexpected { pos, expected: what, found: t.describe() })
+            }
             None => Err(ParseError::UnexpectedEnd { expected: what }),
         }
     }
@@ -165,11 +224,9 @@ impl<'a> Parser<'a> {
     fn ident(&mut self, what: &'static str) -> Result<String, ParseError> {
         match self.advance()? {
             Some((_, Tok::Ident(s))) => Ok(s),
-            Some((pos, t)) => Err(ParseError::Unexpected {
-                pos,
-                expected: what,
-                found: format!("{t:?}"),
-            }),
+            Some((pos, t)) => {
+                Err(ParseError::Unexpected { pos, expected: what, found: t.describe() })
+            }
             None => Err(ParseError::UnexpectedEnd { expected: what }),
         }
     }
@@ -209,7 +266,14 @@ pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
     };
     p.expect(Tok::Turnstile, "`:-`")?;
 
+    // Intern head variables first: free variables keep the head's
+    // declared order (answer columns and re-rendered head lists come
+    // out in interning order), making Display ∘ parse a fixpoint on
+    // canonical query text. A head variable that never shows up in the
+    // body still fails `build()` with `FreeVariableNotInBody`.
     let mut builder = QueryBuilder::new(&head_name);
+    let frees: Vec<_> = head_vars.iter().map(|v| builder.var(v)).collect();
+    builder.free(&frees);
     loop {
         let rel = p.ident("relation name")?;
         p.expect(Tok::LParen, "`(`")?;
@@ -224,18 +288,11 @@ pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
                 return Err(ParseError::Unexpected {
                     pos,
                     expected: "`,`, `.`, or end of input",
-                    found: format!("{t:?}"),
+                    found: t.describe(),
                 })
             }
         }
     }
-    // Free variables must already occur in the body; interning them now
-    // after the body means unknown head variables produce a build error.
-    let mut frees = Vec::new();
-    for v in &head_vars {
-        frees.push(builder.var(v));
-    }
-    builder.free(&frees);
     builder.build().map_err(ParseError::Invalid)
 }
 
@@ -311,5 +368,93 @@ mod tests {
         let e = parse_query("q(x) :- R(x) ; S(x)").unwrap_err();
         let msg = e.to_string();
         assert!(msg.contains("byte"), "{msg}");
+    }
+
+    #[test]
+    fn error_context_renders_line_and_caret() {
+        let src = "q(x) :- R(x) ; S(x)";
+        let e = parse_query(src).unwrap_err();
+        assert_eq!(e.position(), Some(13));
+        let (line, caret) = e.context(src).unwrap();
+        assert_eq!(line, src);
+        assert_eq!(caret, format!("{}^", " ".repeat(13)));
+        // the caret points at the offending `;`
+        assert_eq!(line.as_bytes()[13], b';');
+        let rendered = e.render(src);
+        assert_eq!(rendered, format!("{e}\n  {src}\n  {}", caret));
+        // tokens are spelled like the user wrote them, not as Debug
+        assert!(e.to_string().contains("found `;`"), "{e}");
+    }
+
+    #[test]
+    fn error_context_at_end_of_input() {
+        let src = "q(x) :- ";
+        let e = parse_query(src).unwrap_err();
+        assert!(matches!(e, ParseError::UnexpectedEnd { .. }));
+        let (line, caret) = e.context(src).unwrap();
+        assert_eq!(line, src);
+        assert_eq!(caret.len(), src.chars().count() + 1);
+        assert!(caret.ends_with('^'));
+    }
+
+    #[test]
+    fn error_context_finds_the_right_line() {
+        let src = "q(x, y) :-\n  R(x, y),\n  S(y ; z)";
+        let e = parse_query(src).unwrap_err();
+        let (line, caret) = e.context(src).unwrap();
+        assert_eq!(line, "  S(y ; z)");
+        assert_eq!(caret.find('^'), line.find(';'));
+        // semantic errors have no position and no snippet
+        let e = parse_query("q(w) :- R(x, y)").unwrap_err();
+        assert!(e.context("q(w) :- R(x, y)").is_none());
+        assert_eq!(e.render("q(w) :- R(x, y)"), e.to_string());
+    }
+
+    #[test]
+    fn display_parse_roundtrip_is_a_fixpoint() {
+        // Display output is itself parseable, and re-displaying the
+        // reparse reproduces it byte-for-byte: the canonical query text
+        // EXPLAIN echoes over the wire is stable.
+        use crate::query::zoo;
+        let queries = [
+            zoo::triangle_boolean(),
+            zoo::triangle_join(),
+            zoo::cycle_boolean(5),
+            zoo::loomis_whitney_boolean(4),
+            zoo::star_selfjoin(3),
+            zoo::star_selfjoin_free(3),
+            zoo::star_full(2),
+            zoo::path_join(4),
+            zoo::path_boolean(3),
+            zoo::matmul_projection(),
+            zoo::clique_join(3),
+            parse_query("q(x) :- R(x, x)").unwrap(),
+        ];
+        for q in queries {
+            let text = q.to_string();
+            let reparsed = parse_query(&text)
+                .unwrap_or_else(|e| panic!("`{text}` must reparse: {e}"));
+            assert_eq!(reparsed.to_string(), text, "display/parse fixpoint");
+            // the round trip preserves semantics even when variable
+            // interning order differs (free vars are compared by name)
+            assert_eq!(reparsed.name(), q.name());
+            assert_eq!(reparsed.n_vars(), q.n_vars());
+            assert_eq!(reparsed.atoms().len(), q.atoms().len());
+            let frees = |q: &ConjunctiveQuery| -> Vec<String> {
+                q.free_vars().iter().map(|&v| q.var_name(v).to_string()).collect()
+            };
+            assert_eq!(frees(&reparsed), frees(&q));
+        }
+    }
+
+    #[test]
+    fn head_order_is_preserved() {
+        // the head's declared order survives the round trip even when
+        // it differs from the variables' body-appearance order
+        let src = "q(z, x) :- R(x, y), S(y, z)";
+        let q = parse_query(src).unwrap();
+        assert_eq!(q.to_string(), src);
+        let names: Vec<_> = q.free_vars().iter().map(|&v| q.var_name(v)).collect();
+        assert_eq!(names, ["z", "x"]);
     }
 }

@@ -76,6 +76,17 @@ impl Database {
         self.relations.get(name)
     }
 
+    /// Mutable access to a relation, for in-place single-row mutation
+    /// (e.g. [`Relation::insert_row`]). Handing out the handle
+    /// re-stamps the generation — the caller may mutate through it, so
+    /// memoized indexes of the old state must never be served. Missing
+    /// relations do not re-stamp.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        let rel = self.relations.get_mut(name)?;
+        self.generation = next_generation();
+        Some(rel)
+    }
+
     /// Get a relation, panicking with a clear message if missing.
     pub fn expect(&self, name: &str) -> &Relation {
         self.relations
@@ -186,6 +197,20 @@ mod tests {
         assert_eq!(db2.generation(), g);
         assert!(db2.remove("R").is_some());
         assert_ne!(db2.generation(), g);
+    }
+
+    #[test]
+    fn get_mut_restamps_generation() {
+        let mut db = Database::new();
+        db.insert("R", Relation::from_pairs(vec![(1, 2)]));
+        let g = db.generation();
+        db.get_mut("R").unwrap().insert_row(&[5, 6]);
+        assert_ne!(db.generation(), g, "mutable access must re-stamp");
+        assert_eq!(db.get("R").unwrap().len(), 2);
+        // missing relations neither panic nor re-stamp
+        let g = db.generation();
+        assert!(db.get_mut("missing").is_none());
+        assert_eq!(db.generation(), g);
     }
 
     #[test]

@@ -88,6 +88,32 @@ impl Relation {
         self.n_rows += 1;
     }
 
+    /// Insert one row in place, keeping the sorted + deduplicated
+    /// invariant: binary search for the insertion point, splice the
+    /// tail — O(m) worst case, no re-sort (single-row mutation path;
+    /// bulk loads should use [`Relation::push_row`] + `normalize`).
+    /// Returns `false` if the row was already present.
+    ///
+    /// # Panics
+    /// If the row has the wrong length.
+    pub fn insert_row(&mut self, row: &[Val]) -> bool {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        if self.arity == 0 {
+            let was_absent = self.n_rows == 0;
+            self.n_rows = 1;
+            return was_absent;
+        }
+        match self.binary_search(row) {
+            Ok(_) => false,
+            Err(i) => {
+                let at = i * self.arity;
+                self.data.splice(at..at, row.iter().copied());
+                self.n_rows += 1;
+                true
+            }
+        }
+    }
+
     /// Restore the sorted + deduplicated invariant after bulk loads.
     pub fn normalize(&mut self) {
         if self.arity == 0 {
@@ -381,6 +407,28 @@ mod tests {
     fn wrong_arity_panics() {
         let mut r = Relation::new(2);
         r.push_row(&[1]);
+    }
+
+    #[test]
+    fn insert_row_keeps_invariant_without_resort() {
+        let mut r = Relation::new(2);
+        assert!(r.insert_row(&[3, 1]));
+        assert!(r.insert_row(&[1, 2]));
+        assert!(r.insert_row(&[2, 9]));
+        assert!(!r.insert_row(&[1, 2]), "duplicates are rejected");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.row(0), &[1, 2]);
+        assert_eq!(r.row(1), &[2, 9]);
+        assert_eq!(r.row(2), &[3, 1]);
+        // equal to the bulk-built relation
+        let bulk =
+            Relation::from_rows(2, vec![vec![3, 1], vec![1, 2], vec![2, 9], vec![1, 2]]);
+        assert_eq!(r, bulk);
+        // nullary: inserting the empty tuple flips {} to {()} once
+        let mut n = Relation::new(0);
+        assert!(n.insert_row(&[]));
+        assert!(!n.insert_row(&[]));
+        assert_eq!(n, Relation::nullary(true));
     }
 
     #[test]

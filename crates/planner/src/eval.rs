@@ -267,11 +267,23 @@ pub fn batch_tasks_with_workers<'q>(
     db: &Database,
     workers: usize,
 ) -> Vec<Result<(Output, QueryPlan), EvalError>> {
+    batch_tasks_with_catalog(items, db, &catalog_for(db), workers)
+}
+
+/// [`batch_tasks_with_workers`] against an explicit [`IndexCatalog`]
+/// instead of the process-wide registry's — for callers that pin a
+/// catalog per database (e.g. one per server tenant), so the batch both
+/// profits from and feeds that catalog's warm indexes.
+pub fn batch_tasks_with_catalog<'q>(
+    items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
+    db: &Database,
+    catalog: &IndexCatalog,
+    workers: usize,
+) -> Vec<Result<(Output, QueryPlan), EvalError>> {
     let items: Vec<(&ConjunctiveQuery, Task)> = items.into_iter().collect();
     if items.is_empty() {
         return Vec::new();
     }
-    let catalog = catalog_for(db);
     // plan the whole batch in one pass through the shared planner —
     // repeated shapes hit the plan cache, and execution below never
     // needs the planner lock
@@ -283,7 +295,7 @@ pub fn batch_tasks_with_workers<'q>(
     let run = |i: usize| -> Result<(Output, QueryPlan), EvalError> {
         let (q, _) = items[i];
         let plan = &plans[i];
-        execute_with_catalog(plan, q, db, &catalog).map(|out| (out, plan.clone()))
+        execute_with_catalog(plan, q, db, catalog).map(|out| (out, plan.clone()))
     };
 
     let workers = workers.min(items.len());
@@ -448,6 +460,25 @@ mod tests {
         let items = vec![(&qj, Task::Access)];
         let results = batch_tasks_with_workers(items, &db, 1);
         assert!(matches!(results[0], Err(EvalError::Unsupported(_))));
+    }
+
+    #[test]
+    fn batch_with_explicit_catalog_feeds_that_catalog() {
+        let db = path_database(3, 30, &mut seeded_rng(24));
+        let q = zoo::path_join(3);
+        let catalog = IndexCatalog::new();
+        let items: Vec<_> = (0..6).map(|_| (&q, Task::Answers)).collect();
+        let results = batch_tasks_with_catalog(items.clone(), &db, &catalog, 4);
+        let (want, _) = answers(&q, &db).unwrap();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().0, Output::Answers(want.clone()));
+        }
+        let snap = catalog.snapshot();
+        assert!(snap.misses > 0, "the batch must build into the explicit catalog");
+        // a second batch on the same catalog is all-warm: no new builds
+        let misses_before = snap.misses;
+        let _ = batch_tasks_with_catalog(items, &db, &catalog, 4);
+        assert_eq!(catalog.snapshot().misses, misses_before, "second batch is warm");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! `cqd` — the conjunctive-query daemon.
+//!
+//! ```text
+//! cqd [--addr HOST:PORT] [--workers N] [--port-file PATH]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7878`; use port 0 for an ephemeral port),
+//! prints `cqd listening on <addr>`, optionally writes the resolved
+//! address to `--port-file` (so scripts can find an ephemeral port),
+//! and serves until killed.
+
+use cq_server::server::Server;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = expect_value(&mut args, "--addr"),
+            "--workers" => {
+                workers = expect_value(&mut args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--workers takes a number"))
+            }
+            "--port-file" => port_file = Some(expect_value(&mut args, "--port-file")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: cqd [--addr HOST:PORT] [--workers N] [--port-file PATH]"
+                );
+                return;
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let server = Server::bind(addr.as_str(), workers).unwrap_or_else(|e| {
+        eprintln!("cqd: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    let local = server.local_addr();
+    println!("cqd listening on {local} ({workers} workers)");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, local.to_string()) {
+            eprintln!("cqd: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    server.wait();
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "cqd: {msg}\nusage: cqd [--addr HOST:PORT] [--workers N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,127 @@
+//! `cqsh` — the interactive / scriptable shell for `cqd`.
+//!
+//! ```text
+//! cqsh [--addr HOST:PORT]
+//! ```
+//!
+//! Reads commands from stdin and prints replies in wire form. On a
+//! terminal it shows a `cq> ` prompt; when stdin is piped (scripted
+//! sessions, the CI smoke test) it instead echoes each sent line
+//! prefixed `> `, so the full transcript — commands and replies — is
+//! reproducible and diffable against a golden file.
+//!
+//! Blank lines and `#` comment lines are skipped client-side. `LOAD`
+//! and `BATCH` open blocks: the lines up to `END` are forwarded
+//! silently (the server acks the opener and replies once at `END`).
+//! Exits 0 on a clean session (even if commands returned `ERR` — those
+//! are part of the transcript), non-zero on connection failure.
+
+use cq_server::client::Client;
+use cq_server::protocol::{Reply, END_KEYWORD};
+use std::io::{BufRead, IsTerminal, Write};
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args.next().unwrap_or_else(|| {
+                    eprintln!("cqsh: --addr needs a value");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: cqsh [--addr HOST:PORT]");
+                return;
+            }
+            other => {
+                eprintln!(
+                    "cqsh: unknown argument `{other}`\nusage: cqsh [--addr HOST:PORT]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut client = Client::connect_with_retry(addr.as_str(), Duration::from_secs(10))
+        .unwrap_or_else(|e| {
+            eprintln!("cqsh: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        });
+
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut in_block = false;
+
+    if interactive {
+        print_prompt(&mut out);
+    }
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        // comments and blank lines are skipped everywhere — including
+        // inside LOAD/BATCH blocks, where a forwarded `#` line would
+        // otherwise be rejected as a bad row/item
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            if interactive {
+                print_prompt(&mut out);
+            }
+            continue;
+        }
+        if !interactive {
+            writeln!(out, "> {trimmed}").ok();
+        }
+        if in_block {
+            // rows/items are consumed silently; END closes with a reply
+            if client.send_line(trimmed).is_err() {
+                die_disconnected();
+            }
+            if trimmed.eq_ignore_ascii_case(END_KEYWORD) {
+                in_block = false;
+                match client.read_reply() {
+                    Ok(r) => print_reply(&mut out, &r),
+                    Err(_) => die_disconnected(),
+                }
+            }
+        } else {
+            let reply = match client.request(trimmed) {
+                Ok(r) => r,
+                Err(_) => die_disconnected(),
+            };
+            print_reply(&mut out, &reply);
+            let verb = trimmed.split_whitespace().next().unwrap_or("");
+            let opens_block =
+                verb.eq_ignore_ascii_case("LOAD") || verb.eq_ignore_ascii_case("BATCH");
+            if opens_block && reply.is_ok() {
+                in_block = true;
+            }
+            if verb.eq_ignore_ascii_case("QUIT") {
+                return;
+            }
+        }
+        if interactive && !in_block {
+            print_prompt(&mut out);
+        }
+    }
+}
+
+fn print_reply(out: &mut impl Write, reply: &Reply) {
+    let mut buf = Vec::new();
+    reply.write_to(&mut buf).expect("writing to a Vec cannot fail");
+    out.write_all(&buf).ok();
+    out.flush().ok();
+}
+
+fn print_prompt(out: &mut impl Write) {
+    write!(out, "cq> ").ok();
+    out.flush().ok();
+}
+
+fn die_disconnected() -> ! {
+    eprintln!("cqsh: server closed the connection");
+    std::process::exit(1);
+}

@@ -1,0 +1,118 @@
+//! A small blocking client for the wire protocol, used by `cqsh`, the
+//! integration tests, and anyone driving `cqd` from Rust.
+
+use crate::protocol::{Reply, DATA_PREFIX, END_KEYWORD};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connection to a `cqd` server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Connect, retrying for up to `timeout` — for scripts racing a
+    /// just-booted server.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        timeout: Duration,
+    ) -> std::io::Result<Client> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Send one raw request line (no newline) without reading a reply —
+    /// for rows/items inside `LOAD`/`BATCH` blocks, which the server
+    /// consumes silently.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read one framed reply: data lines until the `OK`/`ERR` terminal.
+    pub fn read_reply(&mut self) -> std::io::Result<Reply> {
+        let mut data = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-reply",
+                ));
+            }
+            let line = line.trim_end_matches(['\n', '\r']);
+            if let Some(d) = line.strip_prefix(DATA_PREFIX) {
+                data.push(d.to_string());
+            } else if line.starts_with("OK") || line.starts_with("ERR") {
+                return Ok(Reply { data, terminal: line.to_string() });
+            } else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("protocol violation: unexpected line `{line}`"),
+                ));
+            }
+        }
+    }
+
+    /// Send one command and read its reply.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Reply> {
+        self.send_line(line)?;
+        self.read_reply()
+    }
+
+    /// Bulk-load rows into a relation: `LOAD` block with one row per
+    /// slice. Returns the completion reply (the open-ack is consumed).
+    pub fn load(
+        &mut self,
+        relation: &str,
+        cols: usize,
+        rows: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> std::io::Result<Reply> {
+        let ack = self.request(&format!("LOAD {relation} {cols}"))?;
+        if !ack.is_ok() {
+            return Ok(ack); // block never opened; no END expected
+        }
+        for row in rows {
+            self.send_line(row.as_ref())?;
+        }
+        self.request(END_KEYWORD)
+    }
+
+    /// Run a `BATCH` block of `DECIDE|COUNT|ANSWERS <query>` items.
+    /// Returns the completion reply with one data line per item.
+    pub fn batch(
+        &mut self,
+        items: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> std::io::Result<Reply> {
+        let ack = self.request("BATCH")?;
+        if !ack.is_ok() {
+            return Ok(ack);
+        }
+        for item in items {
+            self.send_line(item.as_ref())?;
+        }
+        self.request(END_KEYWORD)
+    }
+
+    /// Say `QUIT` and close the connection.
+    pub fn quit(mut self) -> std::io::Result<Reply> {
+        self.request("QUIT")
+    }
+}

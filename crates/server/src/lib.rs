@@ -1,0 +1,55 @@
+//! # cq-server — the multi-tenant wire front end
+//!
+//! Serving is where the paper's dichotomies pay off operationally: many
+//! clients issuing repeated-shape queries against warm per-database
+//! state. This crate puts the whole pipeline — `cq_core::parser` →
+//! `cq-planner` (the process-wide plan cache) → `cq-engine` over a
+//! pinned per-tenant [`IndexCatalog`](cq_data::IndexCatalog) — behind a
+//! line-based text protocol on a plain [`std::net::TcpListener`] and a
+//! `std::thread` worker pool. No async runtime, no dependencies.
+//!
+//! * [`protocol`] — the request grammar and framed replies (`* ` data
+//!   lines, one `OK`/`ERR` terminal per command; errors are structured,
+//!   never connection-fatal).
+//! * [`state`] — tenancy: one [`Database`](cq_data::Database) plus one
+//!   pinned catalog per named tenant, under per-tenant read/write locks.
+//! * [`server`] — the per-connection [`Session`] interpreter and the
+//!   [`Server`] accept-loop/pool runtime with graceful shutdown.
+//! * [`client`] — a blocking [`Client`] used by `cqsh` and the
+//!   end-to-end tests.
+//!
+//! ## Quickstart
+//!
+//! Boot a server and drive it in-process (the binaries `cqd` and `cqsh`
+//! wrap exactly this):
+//!
+//! ```
+//! use cq_server::{client::Client, server::Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", 2).unwrap();
+//! let mut c = Client::connect(server.local_addr()).unwrap();
+//! c.request("CREATE DB demo").unwrap();
+//! c.request("USE demo").unwrap();
+//! c.load("R", 2, ["1 10", "2 10"]).unwrap();
+//! c.load("S", 2, ["10 7"]).unwrap();
+//! let r = c.request("COUNT q(x, z) :- R(x, y), S(y, z)").unwrap();
+//! assert_eq!(r.terminal, "OK 2");
+//! let r = c.request("ANSWERS q(x, z) :- R(x, y), S(y, z)").unwrap();
+//! assert_eq!(r.data, vec!["1 7", "2 7"]);
+//! c.quit().unwrap();
+//! server.shutdown();
+//! ```
+//!
+//! Over the wire, the same session is a plain text conversation — see
+//! the [`protocol`] docs for the grammar and `DESIGN.md` for the
+//! threading and tenancy model.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::Client;
+pub use protocol::{Command, ErrKind, Reply};
+pub use server::{Server, Session};
+pub use state::{ServerState, Tenant};

@@ -1,0 +1,488 @@
+//! The wire protocol: line-based text requests and framed text replies.
+//!
+//! ## Requests
+//!
+//! One command per line (LF or CRLF terminated); verbs are
+//! case-insensitive, arguments are case-sensitive. Blank lines are
+//! ignored. The grammar:
+//!
+//! ```text
+//! command := PING
+//!          | CREATE DB <name>
+//!          | USE <name>
+//!          | INSERT <rel> ( <val> [, <val>]* )      -- one tuple
+//!          | LOAD <rel> <n-cols>                    -- rows follow, then END
+//!          | DECIDE  <query-text>
+//!          | COUNT   <query-text>
+//!          | ANSWERS <query-text>
+//!          | EXPLAIN <task> <query-text>            -- task: DECIDE|COUNT|ANSWERS|ACCESS
+//!          | BATCH                                  -- items follow, then END
+//!          | STATS
+//!          | QUIT
+//! ```
+//!
+//! `<query-text>` is the `cq_core::parser` syntax, e.g.
+//! `q(x, z) :- R(x, y), S(y, z)`. `LOAD` rows are values separated by
+//! whitespace and/or commas; `BATCH` items are `DECIDE|COUNT|ANSWERS
+//! <query-text>` lines.
+//!
+//! ## Replies
+//!
+//! Every command produces exactly one reply: zero or more *data lines*,
+//! each prefixed `* `, followed by exactly one *terminal line* that is
+//! either `OK <info>` or `ERR <kind>: <message>`. Clients read lines
+//! until the terminal. Errors never drop the connection — the session
+//! keeps serving after any `ERR`.
+
+use cq_data::{Relation, Val};
+use cq_planner::Task;
+use std::fmt;
+
+/// Prefix of every data line on the wire.
+pub const DATA_PREFIX: &str = "* ";
+/// Terminator line for `LOAD` and `BATCH` blocks.
+pub const END_KEYWORD: &str = "END";
+
+/// Machine-readable error classes, rendered as `ERR <kind>: <message>`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrKind {
+    /// Verb not in the protocol grammar.
+    UnknownCommand,
+    /// The request line is not valid UTF-8.
+    BadUtf8,
+    /// Verb recognized but arguments malformed.
+    Usage,
+    /// Database name outside `[A-Za-z0-9_]{1,64}`.
+    BadName,
+    /// `CREATE DB` of an existing tenant.
+    Exists,
+    /// `USE` of an unknown tenant.
+    NoSuchDb,
+    /// A data or query command before any `USE`.
+    NoDb,
+    /// A tuple value is not a `u64`.
+    BadValue,
+    /// A tuple's width disagrees with the relation's arity.
+    ArityMismatch,
+    /// Query text rejected by `cq_core::parser` (syntax or semantics).
+    Parse,
+    /// The engine rejected the evaluation (e.g. missing relation).
+    Eval,
+    /// A command handler panicked; the session survives.
+    Internal,
+}
+
+impl ErrKind {
+    /// The wire spelling of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrKind::UnknownCommand => "unknown-command",
+            ErrKind::BadUtf8 => "bad-utf8",
+            ErrKind::Usage => "usage",
+            ErrKind::BadName => "bad-name",
+            ErrKind::Exists => "exists",
+            ErrKind::NoSuchDb => "no-such-db",
+            ErrKind::NoDb => "no-db",
+            ErrKind::BadValue => "bad-value",
+            ErrKind::ArityMismatch => "arity-mismatch",
+            ErrKind::Parse => "parse",
+            ErrKind::Eval => "eval",
+            ErrKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One framed reply: data lines plus the terminal `OK`/`ERR` line.
+///
+/// [`Reply::write_to`] produces the wire form; [`crate::client::Client`]
+/// parses it back into this same type, so servers, clients, and tests
+/// all speak through one representation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reply {
+    /// Data lines, without the `* ` prefix.
+    pub data: Vec<String>,
+    /// The terminal line: `OK ...` or `ERR <kind>: ...`.
+    pub terminal: String,
+}
+
+impl Reply {
+    /// A success reply with no data lines.
+    pub fn ok(info: impl fmt::Display) -> Reply {
+        Reply::ok_with(Vec::new(), info)
+    }
+
+    /// A success reply with data lines (empty `info` renders as a bare
+    /// `OK` terminal).
+    pub fn ok_with(data: Vec<String>, info: impl fmt::Display) -> Reply {
+        let info = info.to_string();
+        let terminal =
+            if info.is_empty() { "OK".to_string() } else { format!("OK {info}") };
+        Reply { data, terminal }
+    }
+
+    /// An error reply with no data lines.
+    pub fn err(kind: ErrKind, msg: impl fmt::Display) -> Reply {
+        Reply { data: Vec::new(), terminal: format!("ERR {kind}: {msg}") }
+    }
+
+    /// An error reply with context data lines (e.g. a parse-error
+    /// source snippet).
+    pub fn err_with(kind: ErrKind, data: Vec<String>, msg: impl fmt::Display) -> Reply {
+        Reply { data, terminal: format!("ERR {kind}: {msg}") }
+    }
+
+    /// Is the terminal line an `OK`?
+    pub fn is_ok(&self) -> bool {
+        self.terminal.starts_with("OK")
+    }
+
+    /// The text after `OK `, if this is a success reply.
+    pub fn ok_info(&self) -> Option<&str> {
+        self.terminal.strip_prefix("OK ").or_else(|| {
+            if self.terminal == "OK" {
+                Some("")
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Serialize to the wire form (each line newline-terminated).
+    pub fn write_to(&self, out: &mut impl std::io::Write) -> std::io::Result<()> {
+        for d in &self.data {
+            writeln!(out, "{DATA_PREFIX}{d}")?;
+        }
+        writeln!(out, "{}", self.terminal)
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// Create a tenant database.
+    CreateDb(String),
+    /// Select the connection's current tenant.
+    Use(String),
+    /// Insert one tuple into a relation of the current tenant.
+    Insert {
+        /// Relation name.
+        relation: String,
+        /// The tuple (its length fixes the arity on first insert).
+        values: Vec<Val>,
+    },
+    /// Open a bulk-load block (rows until `END`).
+    Load {
+        /// Relation name.
+        relation: String,
+        /// Expected number of columns per row.
+        cols: usize,
+    },
+    /// Evaluate a query under a task.
+    Query {
+        /// Which task to run (never [`Task::Access`] — that is
+        /// EXPLAIN-only).
+        task: Task,
+        /// Raw query text.
+        src: String,
+    },
+    /// Plan and render without executing.
+    Explain {
+        /// Task to plan for (may be [`Task::Access`]).
+        task: Task,
+        /// Raw query text.
+        src: String,
+    },
+    /// Open a batch block (items until `END`).
+    Batch,
+    /// Server and tenant statistics.
+    Stats,
+    /// Close the session.
+    Quit,
+}
+
+/// Parse a request line (already trimmed, non-empty).
+pub fn parse_command(line: &str) -> Result<Command, Reply> {
+    let (verb, rest) = split_word(line);
+    let verb_uc = verb.to_ascii_uppercase();
+    match verb_uc.as_str() {
+        "PING" => expect_no_args(rest, Command::Ping),
+        "CREATE" => {
+            let (kw, name) = split_word(rest);
+            if !kw.eq_ignore_ascii_case("DB") {
+                return Err(Reply::err(ErrKind::Usage, "usage: CREATE DB <name>"));
+            }
+            Ok(Command::CreateDb(valid_db_name(name)?))
+        }
+        "USE" => Ok(Command::Use(valid_db_name(rest)?)),
+        "INSERT" => parse_insert(rest),
+        "LOAD" => {
+            let (relation, cols_txt) = split_word(rest);
+            if relation.is_empty() || cols_txt.is_empty() {
+                return Err(Reply::err(ErrKind::Usage, "usage: LOAD <rel> <n-cols>"));
+            }
+            let cols: usize = cols_txt.trim().parse().map_err(|_| {
+                Reply::err(
+                    ErrKind::Usage,
+                    format!(
+                        "LOAD column count must be a number, got `{}`",
+                        cols_txt.trim()
+                    ),
+                )
+            })?;
+            Ok(Command::Load { relation: valid_relation_name(relation)?, cols })
+        }
+        "DECIDE" | "COUNT" | "ANSWERS" => {
+            let task = query_task(&verb_uc).expect("verb matched above");
+            if rest.is_empty() {
+                return Err(Reply::err(
+                    ErrKind::Usage,
+                    format!("usage: {verb_uc} <query>"),
+                ));
+            }
+            Ok(Command::Query { task, src: rest.to_string() })
+        }
+        "EXPLAIN" => {
+            let (task_txt, src) = split_word(rest);
+            let task = explain_task(task_txt).ok_or_else(|| {
+                Reply::err(
+                    ErrKind::Usage,
+                    "usage: EXPLAIN DECIDE|COUNT|ANSWERS|ACCESS <query>",
+                )
+            })?;
+            if src.is_empty() {
+                return Err(Reply::err(ErrKind::Usage, "EXPLAIN needs a query"));
+            }
+            Ok(Command::Explain { task, src: src.to_string() })
+        }
+        "BATCH" => expect_no_args(rest, Command::Batch),
+        "STATS" => expect_no_args(rest, Command::Stats),
+        "QUIT" => expect_no_args(rest, Command::Quit),
+        _ => Err(Reply::err(ErrKind::UnknownCommand, format!("`{verb}`"))),
+    }
+}
+
+/// The task behind a `DECIDE`/`COUNT`/`ANSWERS` verb (upper-cased), also
+/// used for `BATCH` item lines.
+pub fn query_task(verb_uc: &str) -> Option<Task> {
+    match verb_uc {
+        "DECIDE" => Some(Task::Decide),
+        "COUNT" => Some(Task::Count),
+        "ANSWERS" => Some(Task::Answers),
+        _ => None,
+    }
+}
+
+fn explain_task(word: &str) -> Option<Task> {
+    let uc = word.to_ascii_uppercase();
+    query_task(&uc).or(if uc == "ACCESS" { Some(Task::Access) } else { None })
+}
+
+fn expect_no_args(rest: &str, cmd: Command) -> Result<Command, Reply> {
+    if rest.is_empty() {
+        Ok(cmd)
+    } else {
+        Err(Reply::err(ErrKind::Usage, format!("unexpected arguments `{rest}`")))
+    }
+}
+
+/// Split off the first whitespace-delimited word; both halves trimmed.
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
+}
+
+fn is_ident(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_db_name(name: &str) -> Result<String, Reply> {
+    let name = name.trim();
+    if is_ident(name) {
+        Ok(name.to_string())
+    } else {
+        Err(Reply::err(
+            ErrKind::BadName,
+            format!("database names are [A-Za-z0-9_]{{1,64}}, got `{name}`"),
+        ))
+    }
+}
+
+/// Relation names must be query-grammar identifiers, or the inserted
+/// data could never be referenced by any query.
+fn valid_relation_name(name: &str) -> Result<String, Reply> {
+    let name = name.trim();
+    if is_ident(name) {
+        Ok(name.to_string())
+    } else {
+        Err(Reply::err(
+            ErrKind::BadName,
+            format!("relation names are [A-Za-z0-9_]{{1,64}}, got `{name}`"),
+        ))
+    }
+}
+
+fn parse_insert(rest: &str) -> Result<Command, Reply> {
+    let usage = || Reply::err(ErrKind::Usage, "usage: INSERT <rel>(<v>, <v>, ...)");
+    let rest = rest.trim();
+    let open = rest.find('(').ok_or_else(usage)?;
+    if !rest.ends_with(')') {
+        return Err(usage());
+    }
+    let relation = valid_relation_name(&rest[..open])?;
+    let inner = &rest[open + 1..rest.len() - 1];
+    let values = parse_row(inner)
+        .map_err(|bad| Reply::err(ErrKind::BadValue, format!("`{bad}` is not a u64")))?;
+    Ok(Command::Insert { relation, values })
+}
+
+/// Parse one row of values separated by whitespace and/or commas.
+/// Returns the offending token on failure.
+pub fn parse_row(line: &str) -> Result<Vec<Val>, String> {
+    line.split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse::<Val>().map_err(|_| t.to_string()))
+        .collect()
+}
+
+/// Render one answer row for the wire: values space-separated, the
+/// empty (nullary) row as `()`.
+pub fn render_row(row: &[Val]) -> String {
+    if row.is_empty() {
+        "()".to_string()
+    } else {
+        row.iter().map(Val::to_string).collect::<Vec<_>>().join(" ")
+    }
+}
+
+/// Render an answer relation as wire data lines, rows in the
+/// relation's (sorted) order. Byte-for-byte the `ANSWERS` payload —
+/// tests compare server replies against this rendering of direct
+/// `eval::answers` results.
+pub fn render_rows(rel: &Relation) -> Vec<String> {
+    rel.iter().map(render_row).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse_case_insensitively() {
+        assert_eq!(parse_command("ping").unwrap(), Command::Ping);
+        assert_eq!(parse_command("PING").unwrap(), Command::Ping);
+        assert_eq!(
+            parse_command("create db t1").unwrap(),
+            Command::CreateDb("t1".into())
+        );
+        assert_eq!(parse_command("USE t1").unwrap(), Command::Use("t1".into()));
+        assert_eq!(
+            parse_command("LOAD Edge 2").unwrap(),
+            Command::Load { relation: "Edge".into(), cols: 2 }
+        );
+        assert_eq!(parse_command("batch").unwrap(), Command::Batch);
+        assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn insert_parses_tuples() {
+        assert_eq!(
+            parse_command("INSERT R(1, 2)").unwrap(),
+            Command::Insert { relation: "R".into(), values: vec![1, 2] }
+        );
+        // nullary insert: the empty tuple (a Boolean fact)
+        assert_eq!(
+            parse_command("INSERT T()").unwrap(),
+            Command::Insert { relation: "T".into(), values: vec![] }
+        );
+        let e = parse_command("INSERT R(1, x)").unwrap_err();
+        assert!(e.terminal.starts_with("ERR bad-value"), "{}", e.terminal);
+        let e = parse_command("INSERT R 1 2").unwrap_err();
+        assert!(e.terminal.starts_with("ERR usage"), "{}", e.terminal);
+    }
+
+    #[test]
+    fn query_verbs_carry_tasks() {
+        match parse_command("DECIDE q() :- R(x)").unwrap() {
+            Command::Query { task: Task::Decide, src } => {
+                assert_eq!(src, "q() :- R(x)");
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_command("EXPLAIN access q(x) :- R(x)").unwrap() {
+            Command::Explain { task: Task::Access, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_command("EXPLAIN sideways q(x) :- R(x)").is_err());
+        assert!(parse_command("COUNT").is_err());
+    }
+
+    #[test]
+    fn db_names_validated() {
+        assert!(parse_command("CREATE DB ok_name_9").is_ok());
+        for bad in ["CREATE DB", "CREATE DB sp ace", "CREATE DB dash-y", "USE q(x)"] {
+            let e = parse_command(bad).unwrap_err();
+            assert!(
+                e.terminal.starts_with("ERR bad-name")
+                    || e.terminal.starts_with("ERR usage"),
+                "{bad}: {}",
+                e.terminal
+            );
+        }
+    }
+
+    #[test]
+    fn relation_names_are_query_grammar_idents() {
+        // a relation the query parser can never reference must be
+        // rejected at insert time, not stored unqueryably
+        for bad in ["INSERT my-rel(1, 2)", "INSERT (1)", "LOAD my-rel 2", "LOAD r:s 2"] {
+            let e = parse_command(bad).unwrap_err();
+            assert!(e.terminal.starts_with("ERR bad-name"), "{bad}: {}", e.terminal);
+        }
+        assert!(parse_command("INSERT r_9(1)").is_ok());
+        assert!(parse_command("LOAD r_9 1").is_ok());
+    }
+
+    #[test]
+    fn unknown_verb_is_structured() {
+        let e = parse_command("EXPLODE now").unwrap_err();
+        assert_eq!(e.terminal, "ERR unknown-command: `EXPLODE`");
+    }
+
+    #[test]
+    fn rows_and_rendering() {
+        assert_eq!(parse_row("1, 2 3,4").unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(parse_row("").unwrap(), Vec::<Val>::new());
+        assert_eq!(parse_row("5 nope").unwrap_err(), "nope");
+        assert_eq!(render_row(&[7, 1]), "7 1");
+        assert_eq!(render_row(&[]), "()");
+        let rel = Relation::from_pairs(vec![(2, 1), (1, 9)]);
+        assert_eq!(render_rows(&rel), vec!["1 9", "2 1"]);
+    }
+
+    #[test]
+    fn reply_roundtrips_through_wire_form() {
+        let r = Reply::ok_with(vec!["1 2".into(), "3 4".into()], "2 rows");
+        let mut buf = Vec::new();
+        r.write_to(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "* 1 2\n* 3 4\nOK 2 rows\n");
+        assert!(r.is_ok());
+        assert_eq!(r.ok_info(), Some("2 rows"));
+        let e = Reply::err(ErrKind::NoDb, "USE a database first");
+        assert!(!e.is_ok());
+        assert_eq!(e.terminal, "ERR no-db: USE a database first");
+    }
+}

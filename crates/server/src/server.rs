@@ -1,0 +1,928 @@
+//! The server: a per-connection [`Session`] command interpreter and the
+//! [`Server`] accept-loop + worker-pool runtime around it.
+//!
+//! Threading model: one acceptor thread hands accepted connections to a
+//! fixed pool of worker threads over an [`mpsc`] channel; each worker
+//! serves one connection at a time, line by line. Evaluation inside a
+//! session runs through the process-wide planner (`eval::with_global_planner`,
+//! the per-process plan cache) against the tenant's pinned
+//! [`IndexCatalog`](cq_data::IndexCatalog), so repeated query shapes
+//! skip classification and repeated queries on an unchanged tenant skip
+//! every index build. `BATCH` blocks additionally fan out over
+//! [`eval::batch_tasks_with_catalog`] — the pinned catalog and one
+//! planner pass shared by the whole batch.
+//!
+//! Sessions never panic the connection: command dispatch is wrapped in
+//! `catch_unwind`, and a panicking handler yields `ERR internal` with
+//! the session reset to idle.
+
+use crate::protocol::{
+    parse_command, parse_row, query_task, render_rows, Command, ErrKind, Reply,
+    END_KEYWORD,
+};
+use crate::state::{ServerState, StateError, Tenant};
+use cq_core::{parse_query, ConjunctiveQuery, ParseError};
+use cq_data::{Relation, Val};
+use cq_planner::{eval, execute_with_catalog, Output, Task};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One item of an open `BATCH` block: a parsed query or the per-item
+/// error that will be reported at `END`.
+enum BatchItem {
+    Task(Task, ConjunctiveQuery),
+    Bad(Reply),
+}
+
+/// What a session is currently reading.
+enum Mode {
+    /// One command per line.
+    Idle,
+    /// Inside `LOAD <rel> <cols>` ... `END`.
+    Loading {
+        relation: String,
+        cols: usize,
+        rows: Vec<Vec<Val>>,
+        /// First row-level error; rows keep being consumed until `END`.
+        error: Option<Reply>,
+    },
+    /// Inside `BATCH` ... `END`.
+    Batching { items: Vec<BatchItem> },
+}
+
+/// Per-connection protocol state: the current tenant and any open
+/// `LOAD`/`BATCH` block. Deterministic and transport-free — tests feed
+/// it lines directly, the server feeds it lines from a socket.
+pub struct Session {
+    state: Arc<ServerState>,
+    current: Option<Arc<Tenant>>,
+    mode: Mode,
+    finished: bool,
+    batch_workers: usize,
+}
+
+impl Session {
+    /// A fresh session over shared server state.
+    pub fn new(state: Arc<ServerState>) -> Session {
+        let batch_workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Session { state, current: None, mode: Mode::Idle, finished: false, batch_workers }
+    }
+
+    /// Has the client said `QUIT`?
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Feed one raw request line (newline already stripped). Returns the
+    /// reply to send, or `None` when the line was consumed silently (a
+    /// blank line, or a row/item inside an open `LOAD`/`BATCH` block).
+    ///
+    /// Never panics: a panicking handler is caught, the session resets
+    /// to idle, and the client gets `ERR internal`.
+    pub fn handle_raw(&mut self, raw: &[u8]) -> Option<Reply> {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| self.step(raw))) {
+            Ok(reply) => reply,
+            Err(_) => {
+                self.mode = Mode::Idle;
+                Some(Reply::err(
+                    ErrKind::Internal,
+                    "command handler panicked; session reset to idle",
+                ))
+            }
+        }
+    }
+
+    /// [`Session::handle_raw`] for already-decoded text.
+    pub fn handle_line(&mut self, line: &str) -> Option<Reply> {
+        self.handle_raw(line.as_bytes())
+    }
+
+    fn step(&mut self, raw: &[u8]) -> Option<Reply> {
+        match &mut self.mode {
+            Mode::Idle => {
+                let Ok(text) = std::str::from_utf8(raw) else {
+                    return Some(Reply::err(ErrKind::BadUtf8, "request is not UTF-8"));
+                };
+                let line = text.trim();
+                if line.is_empty() {
+                    return None;
+                }
+                Some(self.command(line))
+            }
+            Mode::Loading { .. } => self.load_line(raw),
+            Mode::Batching { .. } => self.batch_line(raw),
+        }
+    }
+
+    fn command(&mut self, line: &str) -> Reply {
+        let cmd = match parse_command(line) {
+            Ok(c) => c,
+            Err(reply) => return reply,
+        };
+        match cmd {
+            Command::Ping => Reply::ok("pong"),
+            Command::Quit => {
+                self.finished = true;
+                Reply::ok("bye")
+            }
+            Command::CreateDb(name) => match self.state.create_db(&name) {
+                Ok(_) => Reply::ok(format!("created {name}")),
+                Err(StateError::Exists) => Reply::err(
+                    ErrKind::Exists,
+                    format!("database `{name}` already exists"),
+                ),
+                Err(StateError::NoSuchDb) => unreachable!("create_db never reports this"),
+            },
+            Command::Use(name) => match self.state.tenant(&name) {
+                Ok(t) => {
+                    self.current = Some(t);
+                    Reply::ok(format!("using {name}"))
+                }
+                Err(_) => {
+                    Reply::err(ErrKind::NoSuchDb, format!("no database named `{name}`"))
+                }
+            },
+            Command::Insert { relation, values } => self.insert(&relation, &values),
+            Command::Load { relation, cols } => self.open_load(relation, cols),
+            Command::Query { task, src } => self.eval_query(task, &src),
+            Command::Explain { task, src } => self.explain(task, &src),
+            Command::Batch => self.open_batch(),
+            Command::Stats => self.stats(),
+        }
+    }
+
+    fn tenant(&self) -> Result<&Arc<Tenant>, Reply> {
+        self.current.as_ref().ok_or_else(|| {
+            Reply::err(ErrKind::NoDb, "no database selected; CREATE DB / USE one first")
+        })
+    }
+
+    fn insert(&mut self, relation: &str, values: &[Val]) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        tenant.mutate(|db| {
+            let total = match db.get(relation) {
+                Some(existing) if existing.arity() != values.len() => {
+                    return Reply::err(
+                        ErrKind::ArityMismatch,
+                        format!(
+                            "`{relation}` has arity {}, tuple has {} values",
+                            existing.arity(),
+                            values.len()
+                        ),
+                    );
+                }
+                Some(existing) if existing.contains(values) => {
+                    // no-op: don't touch the generation (the tenant's
+                    // warm catalog survives) and say what happened
+                    return Reply::ok(format!(
+                        "duplicate ignored in {relation} ({} total)",
+                        existing.len()
+                    ));
+                }
+                Some(_) => {
+                    // in-place sorted splice: no clone, no re-sort
+                    let rel = db.get_mut(relation).expect("presence checked above");
+                    rel.insert_row(values);
+                    rel.len()
+                }
+                None => {
+                    let mut rel = Relation::new(values.len());
+                    rel.insert_row(values);
+                    db.insert(relation, rel);
+                    1
+                }
+            };
+            Reply::ok(format!("inserted 1 row into {relation} ({total} total)"))
+        })
+    }
+
+    fn open_load(&mut self, relation: String, cols: usize) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        if let Some(existing_arity) =
+            tenant.read(|db, _| db.get(&relation).map(Relation::arity))
+        {
+            if existing_arity != cols {
+                return Reply::err(
+                    ErrKind::ArityMismatch,
+                    format!("`{relation}` has arity {existing_arity}, LOAD says {cols}"),
+                );
+            }
+        }
+        self.mode = Mode::Loading { relation, cols, rows: Vec::new(), error: None };
+        // the block is open; the one reply comes at END
+        Reply::ok("loading; rows until END")
+    }
+
+    fn load_line(&mut self, raw: &[u8]) -> Option<Reply> {
+        let text = std::str::from_utf8(raw).ok();
+        let trimmed = text.map(str::trim);
+        let Mode::Loading { relation, cols, rows, error } = &mut self.mode else {
+            unreachable!("caller checked mode")
+        };
+        match trimmed {
+            Some(t) if t.eq_ignore_ascii_case(END_KEYWORD) => {
+                let relation = std::mem::take(relation);
+                let cols = *cols;
+                let rows = std::mem::take(rows);
+                let error = error.take();
+                self.mode = Mode::Idle;
+                if let Some(e) = error {
+                    return Some(e);
+                }
+                Some(self.finish_load(&relation, cols, rows))
+            }
+            Some("") => None, // blank lines between rows are fine
+            Some(t) => {
+                if error.is_none() {
+                    match parse_row(t) {
+                        Ok(vals) if vals.len() == *cols => rows.push(vals),
+                        Ok(vals) => {
+                            *error = Some(Reply::err(
+                                ErrKind::ArityMismatch,
+                                format!(
+                                    "row {} has {} values, expected {cols}",
+                                    rows.len() + 1,
+                                    vals.len()
+                                ),
+                            ));
+                        }
+                        Err(bad) => {
+                            *error = Some(Reply::err(
+                                ErrKind::BadValue,
+                                format!("row {}: `{bad}` is not a u64", rows.len() + 1),
+                            ));
+                        }
+                    }
+                }
+                None
+            }
+            None => {
+                if error.is_none() {
+                    *error = Some(Reply::err(ErrKind::BadUtf8, "row is not UTF-8"));
+                }
+                None
+            }
+        }
+    }
+
+    fn finish_load(&mut self, relation: &str, cols: usize, rows: Vec<Vec<Val>>) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        let n = rows.len();
+        tenant.mutate(|db| {
+            let existing = db.get(relation);
+            let old_len = existing.map(Relation::len);
+            let mut rel = match existing {
+                Some(existing) if existing.arity() != cols => {
+                    // relation changed arity while the block was open
+                    return Reply::err(
+                        ErrKind::ArityMismatch,
+                        format!(
+                            "`{relation}` has arity {}, LOAD says {cols}",
+                            existing.arity()
+                        ),
+                    );
+                }
+                Some(existing) => existing.clone(),
+                None => Relation::new(cols),
+            };
+            for row in &rows {
+                rel.push_row(row);
+            }
+            rel.normalize();
+            let total = rel.len();
+            // set semantics: the content changed iff the row count did
+            // (an all-duplicates or empty LOAD is a no-op) — skip the
+            // re-insert so the generation and warm catalog survive
+            if old_len != Some(total) {
+                db.insert(relation, rel);
+            }
+            Reply::ok(format!("loaded {n} rows into {relation} ({total} total)"))
+        })
+    }
+
+    /// Parse query text, turning errors into a structured reply whose
+    /// data lines carry the source snippet with a caret.
+    fn parse(&self, src: &str) -> Result<ConjunctiveQuery, Reply> {
+        parse_query(src).map_err(|e| parse_error_reply(src, &e))
+    }
+
+    fn eval_query(&mut self, task: Task, src: &str) -> Reply {
+        debug_assert!(task != Task::Access, "the protocol layer never builds this");
+        let tenant = match self.tenant() {
+            Ok(t) => t.clone(),
+            Err(e) => return e,
+        };
+        let q = match self.parse(src) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        tenant.read(|db, catalog| {
+            let stats = catalog.stats(db);
+            let plan = eval::with_global_planner(|p| p.plan(&q, task, &stats));
+            match execute_with_catalog(&plan, &q, db, catalog) {
+                Err(e) => Reply::err(ErrKind::Eval, e),
+                Ok(out) => render_output(&out),
+            }
+        })
+    }
+
+    fn explain(&mut self, task: Task, src: &str) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t.clone(),
+            Err(e) => return e,
+        };
+        let q = match self.parse(src) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        tenant.read(|db, catalog| {
+            let stats = catalog.stats(db);
+            let plan = eval::with_global_planner(|p| p.plan(&q, task, &stats));
+            let text = cq_planner::explain::render(&plan, &q);
+            Reply::ok_with(text.lines().map(str::to_string).collect(), "")
+        })
+    }
+
+    fn open_batch(&mut self) -> Reply {
+        if let Err(e) = self.tenant() {
+            return e;
+        }
+        self.mode = Mode::Batching { items: Vec::new() };
+        Reply::ok("batching; DECIDE|COUNT|ANSWERS items until END")
+    }
+
+    fn batch_line(&mut self, raw: &[u8]) -> Option<Reply> {
+        let text = std::str::from_utf8(raw).ok();
+        let trimmed = text.map(str::trim);
+        let Mode::Batching { items } = &mut self.mode else {
+            unreachable!("caller checked mode")
+        };
+        match trimmed {
+            Some(t) if t.eq_ignore_ascii_case(END_KEYWORD) => {
+                let items = std::mem::take(items);
+                self.mode = Mode::Idle;
+                Some(self.finish_batch(items))
+            }
+            Some("") => None,
+            Some(t) => {
+                let item = parse_batch_item(t);
+                items.push(item);
+                None
+            }
+            None => {
+                items.push(BatchItem::Bad(Reply::err(
+                    ErrKind::BadUtf8,
+                    "batch item is not UTF-8",
+                )));
+                None
+            }
+        }
+    }
+
+    fn finish_batch(&mut self, items: Vec<BatchItem>) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t.clone(),
+            Err(e) => return e,
+        };
+        let n = items.len();
+        let workers = self.batch_workers;
+        tenant.read(|db, catalog| {
+            // one shared catalog (the tenant's pinned one, so the batch
+            // both profits from and feeds the tenant's warm indexes) +
+            // one planner pass for the whole batch, workers pulling
+            // items off a shared cursor
+            let good: Vec<(&ConjunctiveQuery, Task)> = items
+                .iter()
+                .filter_map(|i| match i {
+                    BatchItem::Task(t, q) => Some((q, *t)),
+                    BatchItem::Bad(_) => None,
+                })
+                .collect();
+            let mut results =
+                eval::batch_tasks_with_catalog(good, db, catalog, workers).into_iter();
+            let data: Vec<String> = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| match item {
+                    BatchItem::Bad(reply) => format!("{i} {}", reply.terminal),
+                    BatchItem::Task(..) => {
+                        let r = results.next().expect("one result per parsed item");
+                        match r {
+                            Err(e) => format!("{i} ERR {}: {e}", ErrKind::Eval),
+                            Ok((out, _plan)) => {
+                                format!("{i} {}", render_output(&out).terminal)
+                            }
+                        }
+                    }
+                })
+                .collect();
+            Reply::ok_with(data, format!("batch of {n} items"))
+        })
+    }
+
+    fn stats(&mut self) -> Reply {
+        let mut data = Vec::new();
+        data.push(format!("tenants: {}", self.state.n_tenants()));
+        data.push(format!("using: {}", self.current.as_ref().map_or("-", |t| t.name())));
+        for t in self.state.tenants() {
+            let (rels, tuples) = t.sizes();
+            data.push(format!("db {}: {rels} relations, {tuples} tuples", t.name()));
+        }
+        let (shapes, cache) =
+            eval::with_global_planner(|p| (p.cache().len(), p.cache().stats()));
+        data.push(format!(
+            "plan-cache: {shapes} shapes, {} hits, {} misses",
+            cache.hits, cache.misses
+        ));
+        Reply::ok_with(data, "")
+    }
+}
+
+/// Render an execution output as the terminal `OK` payload.
+fn render_output(out: &Output) -> Reply {
+    match out {
+        Output::Decision(b) => Reply::ok(b),
+        Output::Count(n) => Reply::ok(n),
+        Output::Answers(rel) => {
+            Reply::ok_with(render_rows(rel), format!("{} rows", rel.len()))
+        }
+    }
+}
+
+/// A `BATCH` item line: `DECIDE|COUNT|ANSWERS <query-text>`.
+fn parse_batch_item(line: &str) -> BatchItem {
+    let (verb, src) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim_start()),
+        None => (line, ""),
+    };
+    let Some(task) = query_task(&verb.to_ascii_uppercase()) else {
+        return BatchItem::Bad(Reply::err(
+            ErrKind::Usage,
+            format!("batch items are DECIDE|COUNT|ANSWERS <query>, got `{verb}`"),
+        ));
+    };
+    if src.is_empty() {
+        return BatchItem::Bad(Reply::err(ErrKind::Usage, "batch item needs a query"));
+    }
+    match parse_query(src) {
+        Ok(q) => BatchItem::Task(task, q),
+        Err(e) => BatchItem::Bad(Reply::err(ErrKind::Parse, e)),
+    }
+}
+
+/// A parse error as a reply: the `ERR parse` terminal plus the source
+/// snippet (offending line + caret) as data lines.
+fn parse_error_reply(src: &str, e: &ParseError) -> Reply {
+    let data = match e.context(src) {
+        Some((line, caret)) => vec![line, caret],
+        None => Vec::new(),
+    };
+    Reply::err_with(ErrKind::Parse, data, e)
+}
+
+/// Handle to a running server: the bound address, the shared state, and
+/// the acceptor/worker threads. Dropping (or [`Server::shutdown`]) stops
+/// accepting and joins the pool once in-flight connections close.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving on `addr` (use port 0 for an ephemeral
+    /// port; read it back from [`Server::local_addr`]) with a pool of
+    /// `workers` reusable connection-handling threads.
+    ///
+    /// Connections beyond the pool size are not queued behind
+    /// long-lived sessions: when every pooled worker is occupied, the
+    /// acceptor serves the new connection on a detached overflow
+    /// thread, so `workers` idle clients can never starve the next one.
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        // connections handed to the pool but not yet finished: queued
+        // (sent, not received) plus in service. The acceptor routes
+        // around the pool whenever this reaches the pool size.
+        let occupied = Arc::new(AtomicUsize::new(0));
+
+        let workers = workers.max(1);
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let occupied = Arc::clone(&occupied);
+            let handle = std::thread::Builder::new()
+                .name(format!("cqd-worker-{i}"))
+                .spawn(move || loop {
+                    // take the next connection, then release the
+                    // receiver lock before serving it
+                    let next = {
+                        let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                        guard.recv()
+                    };
+                    match next {
+                        Ok(stream) => {
+                            serve_connection(stream, Arc::clone(&state), &stop);
+                            occupied.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(_) => break, // acceptor gone: drain and exit
+                    }
+                })
+                .expect("spawn worker thread");
+            pool.push(handle);
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("cqd-acceptor".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        // claim a pool slot; the count is conservative
+                        // (decremented only when a session ends), so a
+                        // race at worst spawns one extra thread
+                        if occupied.fetch_add(1, Ordering::SeqCst) < workers {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        } else {
+                            occupied.fetch_sub(1, Ordering::SeqCst);
+                            let state = Arc::clone(&state);
+                            let stop = Arc::clone(&stop);
+                            let spawned = std::thread::Builder::new()
+                                .name("cqd-overflow".to_string())
+                                .spawn(move || serve_connection(stream, state, &stop));
+                            if spawned.is_err() {
+                                // out of threads: drop the connection
+                                // (the client sees EOF) rather than
+                                // queuing it behind the full pool
+                                continue;
+                            }
+                        }
+                    }
+                    // tx drops here: idle workers see the closed channel
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server { addr, state, stop, acceptor: Some(acceptor), workers: pool })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared tenant registry (for in-process inspection).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Block on the acceptor thread — `cqd`'s forever-run mode.
+    pub fn wait(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, signal every session's read
+    /// loop, and join the pool. In-flight commands finish their reply;
+    /// idle connections are closed at the next read tick (≤ 200 ms), so
+    /// shutdown never blocks on a client that stays silent. (Overflow
+    /// threads are detached and observe the same stop signal.)
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // wake the blocking accept with a no-op connection
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// How often a blocked connection read wakes up to check the server's
+/// stop flag (bounds shutdown latency with idle clients connected).
+const READ_TICK: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Serve one connection to completion: read lines, feed the session,
+/// write framed replies. IO errors or EOF end the session quietly; the
+/// `stop` flag ends it at the next read tick, so idle clients can
+/// never block [`Server::shutdown`].
+fn serve_connection(stream: TcpStream, state: Arc<ServerState>, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut session = Session::new(state);
+    let mut buf = Vec::new();
+    'sessions: loop {
+        buf.clear();
+        // accumulate one line across read-timeout ticks: a timeout
+        // leaves any partial bytes in `buf` and lets us poll `stop`
+        loop {
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => break 'sessions, // EOF
+                Ok(_) if buf.last() == Some(&b'\n') => break,
+                Ok(_) => break, // EOF mid-line: serve the partial line
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        break 'sessions;
+                    }
+                }
+                Err(_) => break 'sessions, // broken connection
+            }
+        }
+        while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+            buf.pop();
+        }
+        if let Some(reply) = session.handle_raw(&buf) {
+            if reply.write_to(&mut writer).is_err() || writer.flush().is_err() {
+                break;
+            }
+        }
+        if session.finished() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::new(Arc::new(ServerState::new()))
+    }
+
+    /// Drive a full scripted session, returning each line's reply.
+    fn drive(s: &mut Session, lines: &[&str]) -> Vec<Option<Reply>> {
+        lines.iter().map(|l| s.handle_line(l)).collect()
+    }
+
+    #[test]
+    fn create_use_insert_query() {
+        let mut s = session();
+        assert_eq!(s.handle_line("PING").unwrap().terminal, "OK pong");
+        assert!(s.handle_line("CREATE DB t").unwrap().is_ok());
+        assert!(s.handle_line("USE t").unwrap().is_ok());
+        assert!(s.handle_line("INSERT R(1, 10)").unwrap().is_ok());
+        assert!(s.handle_line("INSERT R(2, 10)").unwrap().is_ok());
+        assert!(s.handle_line("INSERT S(10, 7)").unwrap().is_ok());
+        let r = s.handle_line("COUNT q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(r.terminal, "OK 2");
+        let r = s.handle_line("ANSWERS q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(r.data, vec!["1 7", "2 7"]);
+        assert_eq!(r.terminal, "OK 2 rows");
+        let r = s.handle_line("DECIDE q() :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(r.terminal, "OK true");
+    }
+
+    #[test]
+    fn errors_are_structured_not_fatal() {
+        let mut s = session();
+        // before USE
+        let r = s.handle_line("COUNT q(x) :- R(x)").unwrap();
+        assert!(r.terminal.starts_with("ERR no-db:"), "{}", r.terminal);
+        assert!(s
+            .handle_line("USE nope")
+            .unwrap()
+            .terminal
+            .starts_with("ERR no-such-db"));
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        // parse error carries the caret snippet as data lines
+        let r = s.handle_line("COUNT q(x) :- R(x) ; S(x)").unwrap();
+        assert!(r.terminal.starts_with("ERR parse:"), "{}", r.terminal);
+        assert_eq!(r.data.len(), 2, "snippet line + caret line: {:?}", r.data);
+        assert!(r.data[0].contains("; S(x)"));
+        assert!(r.data[1].contains('^'));
+        // semantic error
+        let r = s.handle_line("COUNT q(w) :- R(x)").unwrap();
+        assert!(r.terminal.starts_with("ERR parse:"), "{}", r.terminal);
+        // eval error (missing relation)
+        let r = s.handle_line("COUNT q(x) :- Missing(x)").unwrap();
+        assert!(r.terminal.starts_with("ERR eval:"), "{}", r.terminal);
+        // the session still works
+        assert_eq!(s.handle_line("PING").unwrap().terminal, "OK pong");
+        assert!(!s.finished());
+    }
+
+    #[test]
+    fn load_block_bulk_loads() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        let replies =
+            drive(&mut s, &["LOAD Edge 2", "1 2", "2 3", "1, 2", "", "3 1", "END"]);
+        assert_eq!(replies[0].as_ref().unwrap().terminal, "OK loading; rows until END");
+        for r in &replies[1..6] {
+            assert!(r.is_none(), "rows are consumed silently");
+        }
+        let done = replies[6].as_ref().unwrap();
+        assert_eq!(done.terminal, "OK loaded 4 rows into Edge (3 total)"); // dedup
+                                                                           // arity mismatch in a row: reported at END, nothing committed
+        let replies = drive(&mut s, &["LOAD Edge 2", "7 8 9", "END"]);
+        let done = replies[2].as_ref().unwrap();
+        assert!(done.terminal.starts_with("ERR arity-mismatch"), "{}", done.terminal);
+        let r = s.handle_line("COUNT q(x, y) :- Edge(x, y)").unwrap();
+        assert_eq!(r.terminal, "OK 3");
+        // LOAD against an existing relation with the wrong arity fails fast
+        let r = s.handle_line("LOAD Edge 3").unwrap();
+        assert!(r.terminal.starts_with("ERR arity-mismatch"), "{}", r.terminal);
+        // bad value rows
+        let replies = drive(&mut s, &["LOAD Edge 2", "1 x", "END"]);
+        assert!(replies[2].as_ref().unwrap().terminal.starts_with("ERR bad-value"));
+    }
+
+    #[test]
+    fn batch_block_reports_per_item() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(&mut s, &["LOAD R 2", "1 10", "2 10", "END", "LOAD S 2", "10 7", "END"]);
+        let replies = drive(
+            &mut s,
+            &[
+                "BATCH",
+                "COUNT q(x, z) :- R(x, y), S(y, z)",
+                "DECIDE q() :- R(x, y), S(y, z)",
+                "ANSWERS q(x, z) :- R(x, y), S(y, z)",
+                "COUNT q(x) :- Missing(x)",
+                "FROB q(x) :- R(x, y)",
+                "COUNT q(x :- R(x, y)",
+                "END",
+            ],
+        );
+        let done = replies.last().unwrap().as_ref().unwrap();
+        assert_eq!(done.terminal, "OK batch of 6 items");
+        assert_eq!(done.data[0], "0 OK 2");
+        assert_eq!(done.data[1], "1 OK true");
+        assert_eq!(done.data[2], "2 OK 2 rows");
+        assert!(done.data[3].starts_with("3 ERR eval:"), "{}", done.data[3]);
+        assert!(done.data[4].starts_with("4 ERR usage:"), "{}", done.data[4]);
+        assert!(done.data[5].starts_with("5 ERR parse:"), "{}", done.data[5]);
+    }
+
+    #[test]
+    fn noop_mutations_keep_the_warm_catalog() {
+        let state = Arc::new(ServerState::new());
+        let mut s = Session::new(Arc::clone(&state));
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        s.handle_line("INSERT R(1, 2)");
+        s.handle_line("COUNT q(x, y) :- R(x, y)"); // warm the pinned catalog
+        let t = state.tenant("t").unwrap();
+        let warm = t.read(|_, cat| cat.snapshot().misses);
+        assert!(warm > 0, "the count must have built into the catalog");
+        // duplicate INSERT: honest reply, no generation bump, catalog kept
+        let r = s.handle_line("INSERT R(1, 2)").unwrap();
+        assert_eq!(r.terminal, "OK duplicate ignored in R (1 total)");
+        assert_eq!(t.read(|_, cat| cat.snapshot().misses), warm, "catalog survives");
+        // all-duplicate LOAD: also a no-op
+        let r = drive(&mut s, &["LOAD R 2", "1 2", "END"]);
+        assert_eq!(r[2].as_ref().unwrap().terminal, "OK loaded 1 rows into R (1 total)");
+        assert_eq!(t.read(|_, cat| cat.snapshot().misses), warm, "catalog survives");
+        // a real insert still invalidates (fresh pinned catalog)
+        s.handle_line("INSERT R(9, 9)");
+        assert_eq!(t.read(|_, cat| cat.snapshot().misses), 0, "fresh after mutation");
+        assert_eq!(s.handle_line("COUNT q(x, y) :- R(x, y)").unwrap().terminal, "OK 2");
+    }
+
+    #[test]
+    fn batch_feeds_the_tenant_pinned_catalog() {
+        let state = Arc::new(ServerState::new());
+        let mut s = Session::new(Arc::clone(&state));
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(&mut s, &["LOAD R 2", "1 10", "2 10", "END", "LOAD S 2", "10 7", "END"]);
+        let tenant = state.tenant("t").unwrap();
+        let misses_before = tenant.read(|_, cat| cat.snapshot().misses);
+        let batch = ["BATCH", "ANSWERS q(x, z) :- R(x, y), S(y, z)", "END"];
+        drive(&mut s, &batch);
+        let misses_after_first = tenant.read(|_, cat| cat.snapshot().misses);
+        assert!(
+            misses_after_first > misses_before,
+            "the batch must build into the tenant's pinned catalog"
+        );
+        // a repeat of the same batch is all-warm on the pinned catalog
+        drive(&mut s, &batch);
+        let misses_after_repeat = tenant.read(|_, cat| cat.snapshot().misses);
+        assert_eq!(misses_after_repeat, misses_after_first, "second batch is warm");
+    }
+
+    #[test]
+    fn explain_and_stats_render() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(&mut s, &["LOAD R1 2", "1 2", "END", "LOAD R2 2", "2 3", "END"]);
+        let r = s.handle_line("EXPLAIN COUNT q(x, z) :- R1(x, y), R2(y, z)").unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.terminal, "OK");
+        let text = r.data.join("\n");
+        assert!(text.contains("PLAN for"), "{text}");
+        assert!(text.contains("task:"), "{text}");
+        // EXPLAIN echoes the canonical query text (Display round-trip)
+        assert!(text.contains("q(x, z) :- R1(x, y), R2(y, z)"), "{text}");
+        let r = s.handle_line("EXPLAIN ACCESS q(x, y) :- R1(x, y)").unwrap();
+        assert!(r.is_ok(), "{}", r.terminal);
+        let r = s.handle_line("STATS").unwrap();
+        assert_eq!(r.data[0], "tenants: 1");
+        assert_eq!(r.data[1], "using: t");
+        assert_eq!(r.data[2], "db t: 2 relations, 2 tuples");
+        assert!(r.data[3].starts_with("plan-cache:"), "{}", r.data[3]);
+        assert_eq!(r.terminal, "OK");
+    }
+
+    #[test]
+    fn boolean_answers_render_the_nullary_row() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        s.handle_line("INSERT R(1, 2)");
+        let r = s.handle_line("ANSWERS q() :- R(x, y)").unwrap();
+        assert_eq!(r.data, vec!["()"]); // {()}: the Boolean "yes" relation
+        assert_eq!(r.terminal, "OK 1 rows");
+        let r = s.handle_line("ANSWERS q() :- R(x, x)").unwrap();
+        assert_eq!(r.data, Vec::<String>::new()); // {}: the Boolean "no"
+        assert_eq!(r.terminal, "OK 0 rows");
+        // nullary INSERT is still accepted at the data layer
+        let r = s.handle_line("INSERT T()").unwrap();
+        assert_eq!(r.terminal, "OK inserted 1 row into T (1 total)");
+    }
+
+    #[test]
+    fn quit_finishes_the_session() {
+        let mut s = session();
+        let r = s.handle_line("QUIT").unwrap();
+        assert_eq!(r.terminal, "OK bye");
+        assert!(s.finished());
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut s = session();
+        s.handle_line("CREATE DB a");
+        s.handle_line("CREATE DB b");
+        s.handle_line("USE a");
+        s.handle_line("INSERT R(1, 2)");
+        s.handle_line("USE b");
+        s.handle_line("INSERT R(5, 6)");
+        let r = s.handle_line("ANSWERS q(x, y) :- R(x, y)").unwrap();
+        assert_eq!(r.data, vec!["5 6"]);
+        s.handle_line("USE a");
+        let r = s.handle_line("ANSWERS q(x, y) :- R(x, y)").unwrap();
+        assert_eq!(r.data, vec!["1 2"]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Multi-tenant server state: named databases with pinned catalogs.
+//!
+//! Tenancy model: one [`Database`] plus one [`IndexCatalog`] per named
+//! tenant. The catalog is *pinned* to the tenant (not looked up through
+//! the facade's generation-keyed registry), so a tenant's working set
+//! of sorted views, hash indexes, and preprocessing artifacts can never
+//! be evicted by traffic on other tenants. Catalogs self-invalidate by
+//! [`Database::generation`], and every mutation additionally re-pins a
+//! fresh catalog so memory for the old state is dropped eagerly.
+//!
+//! Locking: the tenant map is under one [`RwLock`] (resolved per
+//! command, never held across evaluation); each tenant holds its
+//! database and catalog under a second [`RwLock`] so any number of
+//! sessions evaluate concurrently against one tenant while mutations
+//! (`INSERT`, `LOAD`) get exclusive access. All lock acquisitions are
+//! poison-tolerant: a panicked handler cannot take a tenant down.
+
+use cq_data::{Database, IndexCatalog};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Why a tenant operation was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StateError {
+    /// `CREATE DB` of a name that is already a tenant.
+    Exists,
+    /// Lookup of a name that is not a tenant.
+    NoSuchDb,
+}
+
+/// One tenant: a named database with its pinned index catalog.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    slot: RwLock<TenantDb>,
+}
+
+#[derive(Debug)]
+struct TenantDb {
+    db: Database,
+    catalog: Arc<IndexCatalog>,
+}
+
+impl Tenant {
+    fn new(name: &str) -> Tenant {
+        Tenant {
+            name: name.to_string(),
+            slot: RwLock::new(TenantDb {
+                db: Database::new(),
+                catalog: Arc::new(IndexCatalog::new()),
+            }),
+        }
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read_slot(&self) -> RwLockReadGuard<'_, TenantDb> {
+        self.slot.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write_slot(&self) -> RwLockWriteGuard<'_, TenantDb> {
+        self.slot.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Run `f` with shared access to the database and its pinned
+    /// catalog. Many readers evaluate concurrently; mutations wait.
+    pub fn read<T>(&self, f: impl FnOnce(&Database, &IndexCatalog) -> T) -> T {
+        let slot = self.read_slot();
+        f(&slot.db, &slot.catalog)
+    }
+
+    /// Run `f` with exclusive access to the database. If `f` mutates it
+    /// (the generation changes), a fresh catalog is pinned so indexes
+    /// of the old state are dropped immediately.
+    pub fn mutate<T>(&self, f: impl FnOnce(&mut Database) -> T) -> T {
+        let mut slot = self.write_slot();
+        let before = slot.db.generation();
+        let out = f(&mut slot.db);
+        if slot.db.generation() != before {
+            slot.catalog = Arc::new(IndexCatalog::new());
+        }
+        out
+    }
+
+    /// `(n_relations, n_tuples)` of the current state.
+    pub fn sizes(&self) -> (usize, usize) {
+        let slot = self.read_slot();
+        (slot.db.n_relations(), slot.db.size())
+    }
+}
+
+/// The registry of tenants, shared by all sessions of one server.
+#[derive(Default)]
+pub struct ServerState {
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+}
+
+impl ServerState {
+    /// An empty registry.
+    pub fn new() -> ServerState {
+        ServerState::default()
+    }
+
+    fn map(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Tenant>>> {
+        self.tenants.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Create a tenant. Names are validated by the protocol layer.
+    pub fn create_db(&self, name: &str) -> Result<Arc<Tenant>, StateError> {
+        let mut map = self.tenants.write().unwrap_or_else(|p| p.into_inner());
+        if map.contains_key(name) {
+            return Err(StateError::Exists);
+        }
+        let t = Arc::new(Tenant::new(name));
+        map.insert(name.to_string(), Arc::clone(&t));
+        Ok(t)
+    }
+
+    /// Resolve a tenant by name.
+    pub fn tenant(&self, name: &str) -> Result<Arc<Tenant>, StateError> {
+        self.map().get(name).cloned().ok_or(StateError::NoSuchDb)
+    }
+
+    /// All tenants in name order (the `STATS` listing order).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        self.map().values().cloned().collect()
+    }
+
+    /// Number of tenants.
+    pub fn n_tenants(&self) -> usize {
+        self.map().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_data::Relation;
+
+    #[test]
+    fn create_use_and_duplicate() {
+        let s = ServerState::new();
+        assert!(s.create_db("alpha").is_ok());
+        assert_eq!(s.create_db("alpha").unwrap_err(), StateError::Exists);
+        assert!(s.tenant("alpha").is_ok());
+        assert_eq!(s.tenant("beta").unwrap_err(), StateError::NoSuchDb);
+        s.create_db("beta").unwrap();
+        let names: Vec<_> = s.tenants().iter().map(|t| t.name().to_string()).collect();
+        assert_eq!(names, ["alpha", "beta"]); // sorted for deterministic STATS
+        assert_eq!(s.n_tenants(), 2);
+    }
+
+    #[test]
+    fn mutation_repins_the_catalog() {
+        let s = ServerState::new();
+        let t = s.create_db("db").unwrap();
+        // warm the catalog
+        let stats_before = t.read(|db, cat| {
+            cat.stats(db);
+            cat.snapshot()
+        });
+        assert!(stats_before.misses > 0);
+        // a read-only "mutation" keeps the pinned catalog
+        t.mutate(|_db| {});
+        assert!(t.read(|_, cat| cat.snapshot()).misses > 0, "catalog kept");
+        // a real mutation pins a fresh (empty) catalog
+        t.mutate(|db| {
+            db.insert("R", Relation::from_pairs(vec![(1, 2)]));
+        });
+        let snap = t.read(|_, cat| cat.snapshot());
+        assert_eq!(snap.misses + snap.hits, 0, "fresh catalog after mutation");
+        assert_eq!(t.sizes(), (1, 1));
+    }
+}

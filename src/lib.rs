@@ -41,6 +41,44 @@
 //! assert!(!plan.cache_hit || text.contains("cache"));
 //! ```
 //!
+//! ## Serving over the wire: `cqd` and `cqsh`
+//!
+//! The [`server`] crate puts the whole pipeline behind a multi-tenant
+//! line-based text protocol (std-only: `TcpListener` + a thread pool).
+//! Boot the daemon and talk to it from the shell:
+//!
+//! ```text
+//! $ cargo run --release -p cq-server --bin cqd -- --addr 127.0.0.1:7878
+//! cqd listening on 127.0.0.1:7878 (8 workers)
+//!
+//! $ cargo run --release -p cq-server --bin cqsh
+//! cq> CREATE DB social
+//! OK created social
+//! cq> USE social
+//! OK using social
+//! cq> LOAD Follows 2
+//! OK loading; rows until END
+//! 1 2
+//! 2 3
+//! END
+//! OK loaded 2 rows into Follows (2 total)
+//! cq> ANSWERS q(x, z) :- Follows(x, y), Follows(y, z)
+//! * 1 3
+//! OK 1 rows
+//! cq> EXPLAIN COUNT q(x, z) :- Follows(x, y), Follows(y, z)
+//! * PLAN for q(x, z) :- Follows(x, y), Follows(y, z)
+//! ...
+//! OK
+//! cq> QUIT
+//! OK bye
+//! ```
+//!
+//! Tenancy is one database + one pinned index catalog per `CREATE DB`
+//! name; every session shares the process-wide plan cache. Scripted
+//! sessions (`cqsh < script.cq`) echo commands, making transcripts
+//! diffable — CI's `server-smoke` job pins one as a golden file. See
+//! [`server`] for the protocol grammar and the in-process API.
+//!
 //! See `examples/` for end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction map.
 
@@ -51,6 +89,7 @@ pub use cq_matrix as matrix;
 pub use cq_planner as planner;
 pub use cq_problems as problems;
 pub use cq_reductions as reductions;
+pub use cq_server as server;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {

@@ -1,0 +1,124 @@
+//! The durability tax: what does routing ingest through `cq-storage`
+//! cost, compared to the in-memory path the server ran before?
+//!
+//! Three groups:
+//!   * `load` — bulk `LOAD`-shaped ingest of one relation, in-memory
+//!     (build + normalize + insert) vs. WAL-backed (the same, plus
+//!     encoding and appending one `Load` record) vs. WAL-backed with a
+//!     per-record fsync (the durability level we deliberately do *not*
+//!     run at — measured here so the choice stays an informed one);
+//!   * `snapshot_save` — serializing + atomically writing a database
+//!     snapshot, by relation size;
+//!   * `snapshot_load` — reading + checksumming + rebuilding from that
+//!     snapshot, by relation size (the boot-time recovery cost of a
+//!     checkpointed tenant).
+//!
+//! Later PRs that optimize the write path (group commit, record
+//! batching, mmap reads) regress or improve against these numbers.
+
+use cq_data::{generate as gen, Database, Relation};
+use cq_storage::{snapshot, Store, WalRecord};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+
+/// A deterministic pseudo-random edge relation (dense enough that some
+/// rows dedup, like real ingest).
+fn edges(n: usize, seed: u64) -> Relation {
+    gen::random_pairs(n, (n as u64).max(4), &mut gen::seeded_rng(seed))
+}
+
+fn edge_rows(n: usize) -> Vec<Vec<u64>> {
+    edges(n, 0xD1CE).iter().map(<[u64]>::to_vec).collect()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("cq_ingest_bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The server's LOAD mutation, minus the wire: merge rows into the
+/// database under set semantics.
+fn apply_load(db: &mut Database, rows: &[Vec<u64>]) {
+    let mut rel = db.get("Edge").cloned().unwrap_or_else(|| Relation::new(rows[0].len()));
+    for row in rows {
+        rel.push_row(row);
+    }
+    rel.normalize();
+    db.insert("Edge", rel);
+}
+
+fn load_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_durability/load");
+    for &n in &[1_000usize, 10_000] {
+        let rows = edge_rows(n);
+        group.bench_with_input(BenchmarkId::new("in_memory", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut db = Database::new();
+                apply_load(&mut db, rows);
+                black_box(db.size())
+            })
+        });
+        let dir = bench_dir(&format!("wal_{n}"));
+        let store = Store::open_dir(&dir).unwrap();
+        let mut wal = store.create_tenant("t").unwrap();
+        group.bench_with_input(BenchmarkId::new("wal_backed", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut db = Database::new();
+                apply_load(&mut db, rows);
+                let rec = WalRecord::Load {
+                    relation: "Edge".to_string(),
+                    arity: 2,
+                    rows: rows.clone(),
+                };
+                wal.append(&rec).unwrap();
+                black_box(db.size())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wal_fsync", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut db = Database::new();
+                apply_load(&mut db, rows);
+                let rec = WalRecord::Load {
+                    relation: "Edge".to_string(),
+                    arity: 2,
+                    rows: rows.clone(),
+                };
+                wal.append(&rec).unwrap();
+                wal.sync().unwrap();
+                black_box(db.size())
+            })
+        });
+        drop(wal);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn snapshot_roundtrip(c: &mut Criterion) {
+    let mut save = c.benchmark_group("ingest_durability/snapshot_save");
+    let dir = bench_dir("snapshot");
+    std::fs::create_dir_all(&dir).unwrap();
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut db = Database::new();
+        db.insert("Edge", edges(n, 0xBEEF));
+        let path = dir.join(format!("bench_{n}.cqs"));
+        save.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| black_box(snapshot::write(db, 0, &path).unwrap()))
+        });
+    }
+    save.finish();
+    let mut load = c.benchmark_group("ingest_durability/snapshot_load");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let path = dir.join(format!("bench_{n}.cqs"));
+        load.bench_with_input(BenchmarkId::from_parameter(n), &path, |b, path| {
+            b.iter(|| black_box(snapshot::read(path).unwrap().unwrap().0.size()))
+        });
+    }
+    load.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, load_throughput, snapshot_roundtrip);
+criterion_main!(benches);

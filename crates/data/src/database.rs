@@ -109,6 +109,16 @@ impl Database {
         self.relations.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Iterate (name, relation) pairs in ascending name order — the
+    /// stable schema order serializers rely on: equal contents visit
+    /// identically, so e.g. `cq-storage` snapshots are byte-
+    /// deterministic per database content.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        let mut pairs: Vec<(&str, &Relation)> = self.iter().collect();
+        pairs.sort_unstable_by_key(|(name, _)| *name);
+        pairs.into_iter()
+    }
+
     /// All values appearing anywhere, sorted + deduped.
     pub fn active_domain(&self) -> Vec<Val> {
         let mut vs: Vec<Val> = Vec::new();
@@ -123,16 +133,13 @@ impl Database {
 
 impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut names: Vec<&str> = self.relations.keys().map(|s| s.as_str()).collect();
-        names.sort_unstable();
         writeln!(
             f,
             "database: {} relations, {} tuples",
             self.n_relations(),
             self.size()
         )?;
-        for n in names {
-            let r = &self.relations[n];
+        for (n, r) in self.iter_sorted() {
             writeln!(f, "  {n}: arity {}, {} rows", r.arity(), r.len())?;
         }
         Ok(())
@@ -211,6 +218,16 @@ mod tests {
         let g = db.generation();
         assert!(db.get_mut("missing").is_none());
         assert_eq!(db.generation(), g);
+    }
+
+    #[test]
+    fn iter_sorted_is_name_ordered() {
+        let mut db = Database::new();
+        for name in ["S", "R", "T", "Aa"] {
+            db.insert(name, Relation::from_values(vec![1]));
+        }
+        let names: Vec<&str> = db.iter_sorted().map(|(n, _)| n).collect();
+        assert_eq!(names, ["Aa", "R", "S", "T"]);
     }
 
     #[test]

@@ -114,6 +114,28 @@ impl Relation {
         }
     }
 
+    /// Build from a flat row-major buffer that is already sorted and
+    /// deduplicated, without re-sorting — the deserialization path for
+    /// data that was serialized from a normalized relation. Returns
+    /// `None` if the buffer violates the invariant (wrong length, or
+    /// rows not strictly increasing), so callers can treat it as
+    /// corruption instead of silently repairing. Arity must be ≥ 1
+    /// (nullary relations carry no data; use [`Relation::nullary`]).
+    pub fn from_raw_sorted(arity: usize, data: Vec<Val>) -> Option<Relation> {
+        if arity == 0 || !data.len().is_multiple_of(arity) {
+            return None;
+        }
+        let strictly_increasing = data
+            .chunks_exact(arity)
+            .zip(data.chunks_exact(arity).skip(1))
+            .all(|(a, b)| a < b);
+        if !strictly_increasing {
+            return None;
+        }
+        let n_rows = data.len() / arity;
+        Some(Relation { arity, data, n_rows })
+    }
+
     /// Restore the sorted + deduplicated invariant after bulk loads.
     pub fn normalize(&mut self) {
         if self.arity == 0 {
@@ -429,6 +451,18 @@ mod tests {
         assert!(n.insert_row(&[]));
         assert!(!n.insert_row(&[]));
         assert_eq!(n, Relation::nullary(true));
+    }
+
+    #[test]
+    fn from_raw_sorted_validates_the_invariant() {
+        let good = Relation::from_raw_sorted(2, vec![1, 1, 1, 2, 3, 1]).unwrap();
+        assert_eq!(good, r3());
+        assert_eq!(Relation::from_raw_sorted(3, Vec::new()).unwrap(), Relation::new(3));
+        // out of order, duplicated, ragged, or nullary: rejected
+        assert!(Relation::from_raw_sorted(2, vec![1, 2, 1, 1]).is_none());
+        assert!(Relation::from_raw_sorted(2, vec![1, 1, 1, 1]).is_none());
+        assert!(Relation::from_raw_sorted(2, vec![1, 1, 2]).is_none());
+        assert!(Relation::from_raw_sorted(0, Vec::new()).is_none());
     }
 
     #[test]

@@ -1,20 +1,31 @@
 //! `cqd` — the conjunctive-query daemon.
 //!
 //! ```text
-//! cqd [--addr HOST:PORT] [--workers N] [--port-file PATH]
+//! cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] [--data-dir PATH]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7878`; use port 0 for an ephemeral port),
 //! prints `cqd listening on <addr>`, optionally writes the resolved
 //! address to `--port-file` (so scripts can find an ephemeral port),
 //! and serves until killed.
+//!
+//! With `--data-dir`, tenants are durable: every tenant found under
+//! the directory is recovered on boot (snapshot + write-ahead-log
+//! replay, torn log tails truncated with a warning), wire mutations
+//! are write-ahead logged, and `SAVE` checkpoints a tenant into a
+//! fresh snapshot. Without it, behavior is exactly the in-memory
+//! server of earlier releases.
 
 use cq_server::server::Server;
+use cq_server::state::ServerState;
+use cq_storage::Store;
+use std::sync::Arc;
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut port_file: Option<String> = None;
+    let mut data_dir: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,22 +37,63 @@ fn main() {
                     .unwrap_or_else(|_| usage("--workers takes a number"))
             }
             "--port-file" => port_file = Some(expect_value(&mut args, "--port-file")),
+            "--data-dir" => data_dir = Some(expect_value(&mut args, "--data-dir")),
             "--help" | "-h" => {
-                println!(
-                    "usage: cqd [--addr HOST:PORT] [--workers N] [--port-file PATH]"
-                );
+                println!("usage: {USAGE}");
                 return;
             }
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
 
-    let server = Server::bind(addr.as_str(), workers).unwrap_or_else(|e| {
-        eprintln!("cqd: cannot bind {addr}: {e}");
-        std::process::exit(1);
-    });
+    let state = match &data_dir {
+        None => Arc::new(ServerState::new()),
+        Some(dir) => {
+            let store = Store::open_dir(dir).unwrap_or_else(|e| {
+                eprintln!("cqd: cannot open data dir {dir}: {e}");
+                std::process::exit(1);
+            });
+            let (state, recovered) = ServerState::recover(store).unwrap_or_else(|e| {
+                eprintln!("cqd: recovery from {dir} failed: {e}");
+                std::process::exit(1);
+            });
+            for t in &recovered {
+                println!(
+                    "cqd recovered {}: {} relations, {} tuples ({} snapshot rows + {} \
+                     wal records)",
+                    t.name, t.n_relations, t.n_tuples, t.snapshot_rows, t.wal_records
+                );
+                if t.torn_bytes > 0 {
+                    eprintln!(
+                        "cqd warning: {}: truncated a torn wal tail ({} bytes) — the \
+                         final unacknowledged mutation was discarded",
+                        t.name, t.torn_bytes
+                    );
+                }
+                if t.stale_records > 0 {
+                    eprintln!(
+                        "cqd note: {}: discarded a stale wal ({} records) left by a \
+                         crash mid-checkpoint; the snapshot already holds them",
+                        t.name, t.stale_records
+                    );
+                }
+            }
+            Arc::new(state)
+        }
+    };
+
+    let server =
+        Server::bind_with_state(addr.as_str(), workers, state).unwrap_or_else(|e| {
+            eprintln!("cqd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
     let local = server.local_addr();
-    println!("cqd listening on {local} ({workers} workers)");
+    match &data_dir {
+        Some(dir) => {
+            println!("cqd listening on {local} ({workers} workers, data in {dir})")
+        }
+        None => println!("cqd listening on {local} ({workers} workers)"),
+    }
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, local.to_string()) {
             eprintln!("cqd: cannot write port file {path}: {e}");
@@ -51,13 +103,14 @@ fn main() {
     server.wait();
 }
 
+const USAGE: &str =
+    "cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] [--data-dir PATH]";
+
 fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
 }
 
 fn usage(msg: &str) -> ! {
-    eprintln!(
-        "cqd: {msg}\nusage: cqd [--addr HOST:PORT] [--workers N] [--port-file PATH]"
-    );
+    eprintln!("cqd: {msg}\nusage: {USAGE}");
     std::process::exit(2);
 }

@@ -12,11 +12,21 @@
 //!   lines, one `OK`/`ERR` terminal per command; errors are structured,
 //!   never connection-fatal).
 //! * [`state`] — tenancy: one [`Database`](cq_data::Database) plus one
-//!   pinned catalog per named tenant, under per-tenant read/write locks.
+//!   pinned catalog per named tenant, under per-tenant read/write
+//!   locks; optionally durable through `cq-storage` (each tenant then
+//!   also carries its open write-ahead log, and
+//!   [`ServerState::recover`](state::ServerState::recover) reloads
+//!   every tenant on boot).
 //! * [`server`] — the per-connection [`Session`] interpreter and the
 //!   [`Server`] accept-loop/pool runtime with graceful shutdown.
 //! * [`client`] — a blocking [`Client`] used by `cqsh` and the
 //!   end-to-end tests.
+//!
+//! Lifecycle commands: `DROP <rel>` and `DROP DB <name>` delete a
+//! relation / a tenant (in-memory and persistent modes alike), `SAVE`
+//! checkpoints the current tenant into a snapshot (persistent mode),
+//! and `STATS <name>` reports a tenant's schema, generation, and
+//! storage status.
 //!
 //! ## Quickstart
 //!

@@ -17,7 +17,10 @@
 //!          | ANSWERS <query-text>
 //!          | EXPLAIN <task> <query-text>            -- task: DECIDE|COUNT|ANSWERS|ACCESS
 //!          | BATCH                                  -- items follow, then END
-//!          | STATS
+//!          | SAVE                                   -- checkpoint the current tenant
+//!          | DROP DB <name>                         -- delete a tenant database
+//!          | DROP <rel>                             -- delete one relation
+//!          | STATS [<name>]                         -- server stats / tenant detail
 //!          | QUIT
 //! ```
 //!
@@ -64,10 +67,15 @@ pub enum ErrKind {
     BadValue,
     /// A tuple's width disagrees with the relation's arity.
     ArityMismatch,
+    /// `DROP` of a relation the current tenant does not have.
+    NoSuchRelation,
     /// Query text rejected by `cq_core::parser` (syntax or semantics).
     Parse,
     /// The engine rejected the evaluation (e.g. missing relation).
     Eval,
+    /// Durable storage refused: `SAVE` on an in-memory server, or a
+    /// disk error while persisting a mutation or checkpoint.
+    Storage,
     /// A command handler panicked; the session survives.
     Internal,
 }
@@ -85,8 +93,10 @@ impl ErrKind {
             ErrKind::NoDb => "no-db",
             ErrKind::BadValue => "bad-value",
             ErrKind::ArityMismatch => "arity-mismatch",
+            ErrKind::NoSuchRelation => "no-such-relation",
             ErrKind::Parse => "parse",
             ErrKind::Eval => "eval",
+            ErrKind::Storage => "storage",
             ErrKind::Internal => "internal",
         }
     }
@@ -202,8 +212,19 @@ pub enum Command {
     },
     /// Open a batch block (items until `END`).
     Batch,
-    /// Server and tenant statistics.
-    Stats,
+    /// Checkpoint the current tenant (snapshot + WAL truncation);
+    /// refused on an in-memory server.
+    Save,
+    /// Delete a tenant database (registry and, when persistent, disk).
+    DropDb(String),
+    /// Delete one relation of the current tenant.
+    DropRelation(String),
+    /// Server statistics, or detailed statistics for one tenant.
+    Stats {
+        /// `STATS <name>`: the tenant to detail; bare `STATS` is the
+        /// server-wide summary.
+        db: Option<String>,
+    },
     /// Close the session.
     Quit,
 }
@@ -263,7 +284,31 @@ pub fn parse_command(line: &str) -> Result<Command, Reply> {
             Ok(Command::Explain { task, src: src.to_string() })
         }
         "BATCH" => expect_no_args(rest, Command::Batch),
-        "STATS" => expect_no_args(rest, Command::Stats),
+        "SAVE" => expect_no_args(rest, Command::Save),
+        "DROP" => {
+            let (first, more) = split_word(rest);
+            if first.eq_ignore_ascii_case("DB") {
+                if more.is_empty() {
+                    return Err(Reply::err(ErrKind::Usage, "usage: DROP DB <name>"));
+                }
+                Ok(Command::DropDb(valid_db_name(more)?))
+            } else if first.is_empty() {
+                Err(Reply::err(ErrKind::Usage, "usage: DROP DB <name> | DROP <rel>"))
+            } else if !more.is_empty() {
+                Err(Reply::err(ErrKind::Usage, format!("unexpected arguments `{more}`")))
+            } else {
+                // `DB` wins the grammar race: a relation literally
+                // named DB/db cannot be dropped over the wire
+                Ok(Command::DropRelation(valid_relation_name(first)?))
+            }
+        }
+        "STATS" => {
+            if rest.is_empty() {
+                Ok(Command::Stats { db: None })
+            } else {
+                Ok(Command::Stats { db: Some(valid_db_name(rest)?) })
+            }
+        }
         "QUIT" => expect_no_args(rest, Command::Quit),
         _ => Err(Reply::err(ErrKind::UnknownCommand, format!("`{verb}`"))),
     }
@@ -393,8 +438,33 @@ mod tests {
             Command::Load { relation: "Edge".into(), cols: 2 }
         );
         assert_eq!(parse_command("batch").unwrap(), Command::Batch);
-        assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("STATS").unwrap(), Command::Stats { db: None });
+        assert_eq!(parse_command("save").unwrap(), Command::Save);
         assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn drop_and_stats_variants_parse() {
+        assert_eq!(parse_command("DROP DB t1").unwrap(), Command::DropDb("t1".into()));
+        assert_eq!(parse_command("drop db t1").unwrap(), Command::DropDb("t1".into()));
+        assert_eq!(
+            parse_command("DROP Edge").unwrap(),
+            Command::DropRelation("Edge".into())
+        );
+        assert_eq!(
+            parse_command("STATS t1").unwrap(),
+            Command::Stats { db: Some("t1".into()) }
+        );
+        for bad in ["DROP", "DROP DB", "DROP Edge extra", "DROP my-rel", "STATS sp ace"] {
+            let e = parse_command(bad).unwrap_err();
+            assert!(
+                e.terminal.starts_with("ERR usage")
+                    || e.terminal.starts_with("ERR bad-name"),
+                "{bad}: {}",
+                e.terminal
+            );
+        }
+        assert!(parse_command("SAVE now").is_err());
     }
 
     #[test]

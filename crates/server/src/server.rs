@@ -24,6 +24,7 @@ use crate::state::{ServerState, StateError, Tenant};
 use cq_core::{parse_query, ConjunctiveQuery, ParseError};
 use cq_data::{Relation, Val};
 use cq_planner::{eval, execute_with_catalog, Output, Task};
+use cq_storage::WalRecord;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
@@ -136,6 +137,7 @@ impl Session {
                     ErrKind::Exists,
                     format!("database `{name}` already exists"),
                 ),
+                Err(StateError::Storage(msg)) => Reply::err(ErrKind::Storage, msg),
                 Err(StateError::NoSuchDb) => unreachable!("create_db never reports this"),
             },
             Command::Use(name) => match self.state.tenant(&name) {
@@ -152,14 +154,42 @@ impl Session {
             Command::Query { task, src } => self.eval_query(task, &src),
             Command::Explain { task, src } => self.explain(task, &src),
             Command::Batch => self.open_batch(),
-            Command::Stats => self.stats(),
+            Command::Save => self.save(),
+            Command::DropDb(name) => self.drop_db(&name),
+            Command::DropRelation(relation) => self.drop_relation(&relation),
+            Command::Stats { db } => self.stats(db.as_deref()),
         }
     }
 
-    fn tenant(&self) -> Result<&Arc<Tenant>, Reply> {
-        self.current.as_ref().ok_or_else(|| {
-            Reply::err(ErrKind::NoDb, "no database selected; CREATE DB / USE one first")
-        })
+    fn tenant(&mut self) -> Result<Arc<Tenant>, Reply> {
+        match &self.current {
+            None => Err(Reply::err(
+                ErrKind::NoDb,
+                "no database selected; CREATE DB / USE one first",
+            )),
+            Some(t) if t.is_dropped() => {
+                let name = t.name().to_string();
+                // let go of the ghost so its memory can be reclaimed
+                self.current = None;
+                Err(Reply::err(
+                    ErrKind::NoSuchDb,
+                    format!("database `{name}` was dropped; USE another"),
+                ))
+            }
+            Some(t) => Ok(Arc::clone(t)),
+        }
+    }
+
+    /// Fold a WAL-append outcome into a reply: a mutation that applied
+    /// in memory but failed to reach the log must not report success.
+    fn walled(reply: Reply, wal: std::io::Result<()>) -> Reply {
+        match wal {
+            Ok(()) => reply,
+            Err(e) => Reply::err(
+                ErrKind::Storage,
+                format!("mutation applied in memory but the wal append failed: {e}"),
+            ),
+        }
     }
 
     fn insert(&mut self, relation: &str, values: &[Val]) -> Reply {
@@ -167,25 +197,32 @@ impl Session {
             Ok(t) => t,
             Err(e) => return e,
         };
-        tenant.mutate(|db| {
+        let (reply, wal) = tenant.mutate_wal(|db| {
             let total = match db.get(relation) {
                 Some(existing) if existing.arity() != values.len() => {
-                    return Reply::err(
-                        ErrKind::ArityMismatch,
-                        format!(
-                            "`{relation}` has arity {}, tuple has {} values",
-                            existing.arity(),
-                            values.len()
+                    return (
+                        Reply::err(
+                            ErrKind::ArityMismatch,
+                            format!(
+                                "`{relation}` has arity {}, tuple has {} values",
+                                existing.arity(),
+                                values.len()
+                            ),
                         ),
+                        None,
                     );
                 }
                 Some(existing) if existing.contains(values) => {
                     // no-op: don't touch the generation (the tenant's
-                    // warm catalog survives) and say what happened
-                    return Reply::ok(format!(
-                        "duplicate ignored in {relation} ({} total)",
-                        existing.len()
-                    ));
+                    // warm catalog survives), don't log, and say what
+                    // happened
+                    return (
+                        Reply::ok(format!(
+                            "duplicate ignored in {relation} ({} total)",
+                            existing.len()
+                        )),
+                        None,
+                    );
                 }
                 Some(_) => {
                     // in-place sorted splice: no clone, no re-sort
@@ -200,8 +237,15 @@ impl Session {
                     1
                 }
             };
-            Reply::ok(format!("inserted 1 row into {relation} ({total} total)"))
-        })
+            (
+                Reply::ok(format!("inserted 1 row into {relation} ({total} total)")),
+                Some(WalRecord::Insert {
+                    relation: relation.to_string(),
+                    row: values.to_vec(),
+                }),
+            )
+        });
+        Self::walled(reply, wal)
     }
 
     fn open_load(&mut self, relation: String, cols: usize) -> Reply {
@@ -282,18 +326,21 @@ impl Session {
             Err(e) => return e,
         };
         let n = rows.len();
-        tenant.mutate(|db| {
+        let (reply, wal) = tenant.mutate_wal(|db| {
             let existing = db.get(relation);
             let old_len = existing.map(Relation::len);
             let mut rel = match existing {
                 Some(existing) if existing.arity() != cols => {
                     // relation changed arity while the block was open
-                    return Reply::err(
-                        ErrKind::ArityMismatch,
-                        format!(
-                            "`{relation}` has arity {}, LOAD says {cols}",
-                            existing.arity()
+                    return (
+                        Reply::err(
+                            ErrKind::ArityMismatch,
+                            format!(
+                                "`{relation}` has arity {}, LOAD says {cols}",
+                                existing.arity()
+                            ),
                         ),
+                        None,
                     );
                 }
                 Some(existing) => existing.clone(),
@@ -306,12 +353,26 @@ impl Session {
             let total = rel.len();
             // set semantics: the content changed iff the row count did
             // (an all-duplicates or empty LOAD is a no-op) — skip the
-            // re-insert so the generation and warm catalog survive
-            if old_len != Some(total) {
+            // re-insert so the generation and warm catalog survive,
+            // and skip the log so replay stays a faithful history
+            let record = if old_len != Some(total) {
                 db.insert(relation, rel);
-            }
-            Reply::ok(format!("loaded {n} rows into {relation} ({total} total)"))
-        })
+                // `rows` moves into the record: no copy of the bulk
+                // payload inside the tenant's write lock
+                Some(WalRecord::Load {
+                    relation: relation.to_string(),
+                    arity: cols,
+                    rows,
+                })
+            } else {
+                None
+            };
+            (
+                Reply::ok(format!("loaded {n} rows into {relation} ({total} total)")),
+                record,
+            )
+        });
+        Self::walled(reply, wal)
     }
 
     /// Parse query text, turning errors into a structured reply whose
@@ -323,7 +384,7 @@ impl Session {
     fn eval_query(&mut self, task: Task, src: &str) -> Reply {
         debug_assert!(task != Task::Access, "the protocol layer never builds this");
         let tenant = match self.tenant() {
-            Ok(t) => t.clone(),
+            Ok(t) => t,
             Err(e) => return e,
         };
         let q = match self.parse(src) {
@@ -342,7 +403,7 @@ impl Session {
 
     fn explain(&mut self, task: Task, src: &str) -> Reply {
         let tenant = match self.tenant() {
-            Ok(t) => t.clone(),
+            Ok(t) => t,
             Err(e) => return e,
         };
         let q = match self.parse(src) {
@@ -395,7 +456,7 @@ impl Session {
 
     fn finish_batch(&mut self, items: Vec<BatchItem>) -> Reply {
         let tenant = match self.tenant() {
-            Ok(t) => t.clone(),
+            Ok(t) => t,
             Err(e) => return e,
         };
         let n = items.len();
@@ -434,7 +495,73 @@ impl Session {
         })
     }
 
-    fn stats(&mut self) -> Reply {
+    fn save(&mut self) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        let Some(store) = self.state.store().cloned() else {
+            return Reply::err(
+                ErrKind::Storage,
+                "server is in-memory (no --data-dir); SAVE has nothing to write to",
+            );
+        };
+        match tenant.checkpoint(&store) {
+            Ok((rows, bytes)) => Reply::ok(format!(
+                "checkpointed {}: {rows} rows in a {bytes} byte snapshot, wal \
+                 truncated",
+                tenant.name()
+            )),
+            Err(e) => Reply::err(ErrKind::Storage, e),
+        }
+    }
+
+    fn drop_db(&mut self, name: &str) -> Reply {
+        let reply = match self.state.drop_db(name) {
+            Ok(()) => Reply::ok(format!("dropped database {name}")),
+            Err(StateError::NoSuchDb) => {
+                Reply::err(ErrKind::NoSuchDb, format!("no database named `{name}`"))
+            }
+            Err(StateError::Storage(msg)) => Reply::err(ErrKind::Storage, msg),
+            Err(StateError::Exists) => unreachable!("drop_db never reports this"),
+        };
+        // a session that drops its own current tenant is left with no
+        // database selected, not a ghost handle
+        if self.current.as_ref().is_some_and(|t| t.name() == name && t.is_dropped()) {
+            self.current = None;
+        }
+        reply
+    }
+
+    fn drop_relation(&mut self, relation: &str) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        let (reply, wal) = tenant.mutate_wal(|db| match db.remove(relation) {
+            Some(rel) => (
+                Reply::ok(format!("dropped {relation} ({} rows)", rel.len())),
+                Some(WalRecord::DropRelation { relation: relation.to_string() }),
+            ),
+            None => (
+                Reply::err(
+                    ErrKind::NoSuchRelation,
+                    format!("no relation named `{relation}`"),
+                ),
+                None,
+            ),
+        });
+        Self::walled(reply, wal)
+    }
+
+    fn stats(&mut self, db: Option<&str>) -> Reply {
+        match db {
+            None => self.stats_summary(),
+            Some(name) => self.stats_detail(name),
+        }
+    }
+
+    fn stats_summary(&mut self) -> Reply {
         let mut data = Vec::new();
         data.push(format!("tenants: {}", self.state.n_tenants()));
         data.push(format!("using: {}", self.current.as_ref().map_or("-", |t| t.name())));
@@ -448,6 +575,41 @@ impl Session {
             "plan-cache: {shapes} shapes, {} hits, {} misses",
             cache.hits, cache.misses
         ));
+        Reply::ok_with(data, "")
+    }
+
+    /// `STATS <name>`: relation count, total rows, generation, the
+    /// per-relation schema, and durability status — enough to verify a
+    /// recovery (or any mutation) without querying data.
+    fn stats_detail(&mut self, name: &str) -> Reply {
+        let tenant = match self.state.tenant(name) {
+            Ok(t) => t,
+            Err(_) => {
+                return Reply::err(
+                    ErrKind::NoSuchDb,
+                    format!("no database named `{name}`"),
+                )
+            }
+        };
+        let d = tenant.detail();
+        let mut data = vec![format!(
+            "db {name}: {} relations, {} tuples, generation {}",
+            d.n_relations, d.n_tuples, d.generation
+        )];
+        for (rel, arity, rows) in &d.relations {
+            data.push(format!("rel {rel}: arity {arity}, {rows} rows"));
+        }
+        match (d.wal_bytes, self.state.store()) {
+            (Some(wal), Some(store)) => {
+                let snap = store
+                    .snapshot_size(name)
+                    .ok()
+                    .flatten()
+                    .map_or("none".to_string(), |b| format!("{b} bytes"));
+                data.push(format!("storage: wal {wal} bytes, snapshot {snap}"));
+            }
+            _ => data.push("storage: none (in-memory)".to_string()),
+        }
         Reply::ok_with(data, "")
     }
 }
@@ -515,9 +677,19 @@ impl Server {
     /// acceptor serves the new connection on a detached overflow
     /// thread, so `workers` idle clients can never starve the next one.
     pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Server> {
+        Server::bind_with_state(addr, workers, Arc::new(ServerState::new()))
+    }
+
+    /// [`Server::bind`] over pre-built state — the persistent-mode
+    /// entry point: recover tenants first ([`ServerState::recover`]),
+    /// then take traffic.
+    pub fn bind_with_state(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        state: Arc<ServerState>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState::new());
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -900,6 +1072,113 @@ mod tests {
         // nullary INSERT is still accepted at the data layer
         let r = s.handle_line("INSERT T()").unwrap();
         assert_eq!(r.terminal, "OK inserted 1 row into T (1 total)");
+    }
+
+    #[test]
+    fn drop_relation_is_tenant_scoped() {
+        let mut s = session();
+        s.handle_line("CREATE DB a");
+        s.handle_line("CREATE DB b");
+        s.handle_line("USE a");
+        s.handle_line("INSERT R(1, 2)");
+        s.handle_line("USE b");
+        s.handle_line("INSERT R(5, 6)");
+        // dropping b's R leaves a's R untouched
+        let r = s.handle_line("DROP R").unwrap();
+        assert_eq!(r.terminal, "OK dropped R (1 rows)");
+        let r = s.handle_line("COUNT q(x, y) :- R(x, y)").unwrap();
+        assert!(r.terminal.starts_with("ERR eval:"), "{}", r.terminal);
+        let r = s.handle_line("DROP R").unwrap();
+        assert_eq!(r.terminal, "ERR no-such-relation: no relation named `R`");
+        s.handle_line("USE a");
+        assert_eq!(s.handle_line("COUNT q(x, y) :- R(x, y)").unwrap().terminal, "OK 1");
+        // a dropped relation's name is immediately reusable at any arity
+        s.handle_line("USE b");
+        assert!(s.handle_line("INSERT R(7)").unwrap().is_ok());
+        assert_eq!(s.handle_line("COUNT q(x) :- R(x)").unwrap().terminal, "OK 1");
+    }
+
+    #[test]
+    fn drop_relation_invalidates_the_pinned_catalog() {
+        let state = Arc::new(ServerState::new());
+        let mut s = Session::new(Arc::clone(&state));
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        s.handle_line("INSERT R(1, 2)");
+        s.handle_line("COUNT q(x, y) :- R(x, y)"); // warm the pinned catalog
+        let t = state.tenant("t").unwrap();
+        assert!(t.read(|_, cat| cat.snapshot().misses) > 0);
+        s.handle_line("DROP R");
+        assert_eq!(t.read(|_, cat| cat.snapshot().misses), 0, "fresh after drop");
+    }
+
+    #[test]
+    fn drop_db_isolates_tenants_and_flags_live_sessions() {
+        let state = Arc::new(ServerState::new());
+        let mut s1 = Session::new(Arc::clone(&state));
+        let mut s2 = Session::new(Arc::clone(&state));
+        s1.handle_line("CREATE DB a");
+        s1.handle_line("CREATE DB b");
+        s1.handle_line("USE a");
+        s1.handle_line("INSERT R(1, 2)");
+        s2.handle_line("USE a");
+        // session 2 drops the database session 1 is using
+        let r = s2.handle_line("DROP DB a").unwrap();
+        assert_eq!(r.terminal, "OK dropped database a");
+        // ...which also clears session 2's own selection
+        let r = s2.handle_line("COUNT q(x, y) :- R(x, y)").unwrap();
+        assert!(r.terminal.starts_with("ERR no-db:"), "{}", r.terminal);
+        // session 1's next command gets a structured refusal, not data
+        let r = s1.handle_line("COUNT q(x, y) :- R(x, y)").unwrap();
+        assert_eq!(r.terminal, "ERR no-such-db: database `a` was dropped; USE another");
+        // tenant b is untouched; a's name is reusable as a fresh db
+        s1.handle_line("USE b");
+        assert!(s1.handle_line("INSERT S(1)").unwrap().is_ok());
+        assert!(s1.handle_line("CREATE DB a").unwrap().is_ok());
+        s1.handle_line("USE a");
+        let r = s1.handle_line("ANSWERS q(x, y) :- R(x, y)").unwrap();
+        assert!(r.terminal.starts_with("ERR eval:"), "fresh tenant: {}", r.terminal);
+        let r = s1.handle_line("DROP DB missing").unwrap();
+        assert_eq!(r.terminal, "ERR no-such-db: no database named `missing`");
+    }
+
+    #[test]
+    fn save_requires_a_persistent_server() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        let r = s.handle_line("SAVE").unwrap();
+        assert!(r.terminal.starts_with("ERR storage:"), "{}", r.terminal);
+        // and a tenant, before that
+        let mut s = session();
+        assert!(s.handle_line("SAVE").unwrap().terminal.starts_with("ERR no-db:"));
+    }
+
+    #[test]
+    fn stats_detail_reports_schema_generation_and_storage() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(&mut s, &["LOAD Edge 2", "1 2", "2 3", "END"]);
+        s.handle_line("INSERT Name(7)");
+        let r = s.handle_line("STATS t").unwrap();
+        assert!(r.is_ok());
+        assert!(
+            r.data[0].starts_with("db t: 2 relations, 3 tuples, generation "),
+            "{}",
+            r.data[0]
+        );
+        assert_eq!(r.data[1], "rel Edge: arity 2, 2 rows");
+        assert_eq!(r.data[2], "rel Name: arity 1, 1 rows");
+        assert_eq!(r.data[3], "storage: none (in-memory)");
+        // generation moves on mutation, holds on reads
+        let before = r.data[0].clone();
+        s.handle_line("COUNT q(x, y) :- Edge(x, y)");
+        assert_eq!(s.handle_line("STATS t").unwrap().data[0], before);
+        s.handle_line("INSERT Name(8)");
+        assert_ne!(s.handle_line("STATS t").unwrap().data[0], before);
+        let r = s.handle_line("STATS nope").unwrap();
+        assert_eq!(r.terminal, "ERR no-such-db: no database named `nope`");
     }
 
     #[test]

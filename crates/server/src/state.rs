@@ -1,4 +1,5 @@
-//! Multi-tenant server state: named databases with pinned catalogs.
+//! Multi-tenant server state: named databases with pinned catalogs,
+//! optionally backed by durable storage.
 //!
 //! Tenancy model: one [`Database`] plus one [`IndexCatalog`] per named
 //! tenant. The catalog is *pinned* to the tenant (not looked up through
@@ -8,30 +9,50 @@
 //! [`Database::generation`], and every mutation additionally re-pins a
 //! fresh catalog so memory for the old state is dropped eagerly.
 //!
+//! Persistence: a registry opened over a [`Store`]
+//! ([`ServerState::recover`]) reloads every tenant on boot (snapshot +
+//! WAL replay) and each tenant carries its open [`WalWriter`] inside
+//! the same slot as its database, so a mutation and its WAL append
+//! commute with nothing — both happen under the tenant's write lock,
+//! in order. Catalogs and plan caches are *not* persisted; they are
+//! memos over the data and rebuild warm on demand after recovery.
+//!
 //! Locking: the tenant map is under one [`RwLock`] (resolved per
 //! command, never held across evaluation); each tenant holds its
-//! database and catalog under a second [`RwLock`] so any number of
-//! sessions evaluate concurrently against one tenant while mutations
-//! (`INSERT`, `LOAD`) get exclusive access. All lock acquisitions are
-//! poison-tolerant: a panicked handler cannot take a tenant down.
+//! database, catalog, and WAL under a second [`RwLock`] so any number
+//! of sessions evaluate concurrently against one tenant while
+//! mutations (`INSERT`, `LOAD`, `DROP`) get exclusive access. All lock
+//! acquisitions are poison-tolerant: a panicked handler cannot take a
+//! tenant down. A dropped tenant (`DROP DB`) is removed from the map
+//! and flagged, so sessions still holding it get a structured error
+//! instead of mutating a ghost.
 
 use cq_data::{Database, IndexCatalog};
+use cq_storage::{Store, StoreError, WalRecord, WalWriter};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Why a tenant operation was refused.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum StateError {
     /// `CREATE DB` of a name that is already a tenant.
     Exists,
     /// Lookup of a name that is not a tenant.
     NoSuchDb,
+    /// Durable storage failed; the message says what broke (and what
+    /// state the registry was left in).
+    Storage(String),
 }
 
-/// One tenant: a named database with its pinned index catalog.
+/// One tenant: a named database with its pinned index catalog and,
+/// when the server is persistent, its open write-ahead log.
 #[derive(Debug)]
 pub struct Tenant {
     name: String,
+    /// Set by `DROP DB`: the tenant is out of the registry, and
+    /// sessions still holding an `Arc` must refuse further commands.
+    dropped: AtomicBool,
     slot: RwLock<TenantDb>,
 }
 
@@ -39,15 +60,19 @@ pub struct Tenant {
 struct TenantDb {
     db: Database,
     catalog: Arc<IndexCatalog>,
+    /// `Some` iff the server runs with a data directory.
+    wal: Option<WalWriter>,
 }
 
 impl Tenant {
-    fn new(name: &str) -> Tenant {
+    fn new(name: &str, db: Database, wal: Option<WalWriter>) -> Tenant {
         Tenant {
             name: name.to_string(),
+            dropped: AtomicBool::new(false),
             slot: RwLock::new(TenantDb {
-                db: Database::new(),
+                db,
                 catalog: Arc::new(IndexCatalog::new()),
+                wal,
             }),
         }
     }
@@ -55,6 +80,11 @@ impl Tenant {
     /// The tenant's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Has this tenant been `DROP DB`ed out of the registry?
+    pub fn is_dropped(&self) -> bool {
+        self.dropped.load(Ordering::SeqCst)
     }
 
     fn read_slot(&self) -> RwLockReadGuard<'_, TenantDb> {
@@ -76,13 +106,50 @@ impl Tenant {
     /// (the generation changes), a fresh catalog is pinned so indexes
     /// of the old state are dropped immediately.
     pub fn mutate<T>(&self, f: impl FnOnce(&mut Database) -> T) -> T {
+        self.mutate_wal(|db| (f(db), None)).0
+    }
+
+    /// [`Tenant::mutate`], write-ahead logged: `f` returns the record
+    /// describing the mutation it performed (`None` for no-ops and
+    /// refusals). The record is appended under the same write lock
+    /// that applied the mutation, so the log's order *is* the
+    /// database's mutation order. On an in-memory tenant the record is
+    /// discarded.
+    ///
+    /// The second return is the WAL outcome: on an append error the
+    /// in-memory mutation stands (readers already may have seen it)
+    /// but durability is broken, and the caller must surface that.
+    pub fn mutate_wal<T>(
+        &self,
+        f: impl FnOnce(&mut Database) -> (T, Option<WalRecord>),
+    ) -> (T, std::io::Result<()>) {
         let mut slot = self.write_slot();
         let before = slot.db.generation();
-        let out = f(&mut slot.db);
+        let (out, record) = f(&mut slot.db);
         if slot.db.generation() != before {
             slot.catalog = Arc::new(IndexCatalog::new());
         }
-        out
+        let wal_result = match (&record, &mut slot.wal) {
+            (Some(rec), Some(wal)) => wal.append(rec).map(|_| ()),
+            _ => Ok(()),
+        };
+        (out, wal_result)
+    }
+
+    /// Checkpoint this tenant into `store`: atomic snapshot of the
+    /// current database, then WAL truncation, all under the write lock
+    /// so no mutation lands between the two. Returns
+    /// `(rows snapshotted, snapshot bytes)`.
+    ///
+    /// # Panics
+    /// If the tenant has no WAL (callers only route `SAVE` here on a
+    /// persistent server).
+    pub fn checkpoint(&self, store: &Store) -> Result<(usize, u64), StoreError> {
+        let mut slot = self.write_slot();
+        let TenantDb { db, wal, .. } = &mut *slot;
+        let wal = wal.as_mut().expect("checkpoint requires a persistent tenant");
+        let bytes = store.checkpoint(&self.name, db, wal)?;
+        Ok((db.size(), bytes))
     }
 
     /// `(n_relations, n_tuples)` of the current state.
@@ -90,33 +157,158 @@ impl Tenant {
         let slot = self.read_slot();
         (slot.db.n_relations(), slot.db.size())
     }
+
+    /// The `STATS <name>` detail: generation, per-relation schema in
+    /// name order, and the WAL length (`None` on an in-memory server).
+    pub fn detail(&self) -> TenantDetail {
+        let slot = self.read_slot();
+        TenantDetail {
+            generation: slot.db.generation(),
+            n_relations: slot.db.n_relations(),
+            n_tuples: slot.db.size(),
+            relations: slot
+                .db
+                .iter_sorted()
+                .map(|(n, r)| (n.to_string(), r.arity(), r.len()))
+                .collect(),
+            wal_bytes: slot.wal.as_ref().map(WalWriter::len),
+        }
+    }
+}
+
+/// A point-in-time description of one tenant, for `STATS <name>`.
+#[derive(Debug)]
+pub struct TenantDetail {
+    /// The database's content-identity stamp (process-unique per
+    /// mutation): two `STATS` readings with equal generation saw the
+    /// exact same content, and a changed generation proves a mutation
+    /// landed — recovery verification without querying data.
+    pub generation: u64,
+    /// Relation count.
+    pub n_relations: usize,
+    /// Total tuples (the paper's `m`).
+    pub n_tuples: usize,
+    /// `(name, arity, rows)` in name order.
+    pub relations: Vec<(String, usize, usize)>,
+    /// Bytes in the write-ahead log since the last checkpoint;
+    /// `None` on an in-memory server.
+    pub wal_bytes: Option<u64>,
+}
+
+/// What boot-time recovery found for one tenant, for `cqd` to print.
+#[derive(Debug)]
+pub struct RecoveredTenant {
+    /// Tenant name.
+    pub name: String,
+    /// Relations after recovery.
+    pub n_relations: usize,
+    /// Tuples after recovery.
+    pub n_tuples: usize,
+    /// Rows restored from the snapshot.
+    pub snapshot_rows: usize,
+    /// WAL records replayed on top.
+    pub wal_records: usize,
+    /// Torn WAL tail bytes truncated (0 for a clean shutdown).
+    pub torn_bytes: u64,
+    /// WAL records discarded as stale (a crash landed between a
+    /// checkpoint's snapshot and its log reset; the snapshot already
+    /// holds their effects).
+    pub stale_records: usize,
 }
 
 /// The registry of tenants, shared by all sessions of one server.
 #[derive(Default)]
 pub struct ServerState {
     tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    /// `Some` iff the server runs with a data directory.
+    store: Option<Arc<Store>>,
 }
 
 impl ServerState {
-    /// An empty registry.
+    /// An empty in-memory registry (no durability).
     pub fn new() -> ServerState {
         ServerState::default()
+    }
+
+    /// A registry over a data directory: every tenant on disk is
+    /// recovered (snapshot + WAL replay, torn tails truncated), in
+    /// name order, before the server takes traffic. Returns the
+    /// per-tenant recovery summaries alongside the state.
+    pub fn recover(
+        store: Store,
+    ) -> Result<(ServerState, Vec<RecoveredTenant>), StoreError> {
+        let store = Arc::new(store);
+        let mut tenants = BTreeMap::new();
+        let mut report = Vec::new();
+        for name in store.tenant_names()? {
+            let (db, wal, recovery) = store.load_tenant(&name)?;
+            report.push(RecoveredTenant {
+                name: name.clone(),
+                n_relations: db.n_relations(),
+                n_tuples: db.size(),
+                snapshot_rows: recovery.snapshot_rows,
+                wal_records: recovery.wal_records,
+                torn_bytes: recovery.torn_bytes,
+                stale_records: recovery.stale_records,
+            });
+            tenants.insert(name.clone(), Arc::new(Tenant::new(&name, db, Some(wal))));
+        }
+        let state = ServerState { tenants: RwLock::new(tenants), store: Some(store) };
+        Ok((state, report))
+    }
+
+    /// The backing store, when the server is persistent.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     fn map(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Tenant>>> {
         self.tenants.read().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Create a tenant. Names are validated by the protocol layer.
+    /// Create a tenant. Names are validated by the protocol layer. On
+    /// a persistent server this also creates the tenant's directory
+    /// and empty WAL — a tenant exists durably from `CREATE DB`, not
+    /// from its first mutation.
     pub fn create_db(&self, name: &str) -> Result<Arc<Tenant>, StateError> {
         let mut map = self.tenants.write().unwrap_or_else(|p| p.into_inner());
         if map.contains_key(name) {
             return Err(StateError::Exists);
         }
-        let t = Arc::new(Tenant::new(name));
+        let wal = match &self.store {
+            Some(store) => Some(
+                store
+                    .create_tenant(name)
+                    .map_err(|e| StateError::Storage(e.to_string()))?,
+            ),
+            None => None,
+        };
+        let t = Arc::new(Tenant::new(name, Database::new(), wal));
         map.insert(name.to_string(), Arc::clone(&t));
         Ok(t)
+    }
+
+    /// Drop a tenant: remove it from the registry, flag it so sessions
+    /// still holding it refuse further commands, and (when persistent)
+    /// delete its directory. In-flight evaluations on other sessions
+    /// finish safely on their `Arc`.
+    pub fn drop_db(&self, name: &str) -> Result<(), StateError> {
+        let tenant = {
+            let mut map = self.tenants.write().unwrap_or_else(|p| p.into_inner());
+            map.remove(name).ok_or(StateError::NoSuchDb)?
+        };
+        tenant.dropped.store(true, Ordering::SeqCst);
+        if let Some(store) = &self.store {
+            // registry removal already happened; a disk error leaves
+            // stale files behind but the tenant is gone either way
+            store.drop_tenant(name).map_err(|e| {
+                StateError::Storage(format!(
+                    "`{name}` dropped from the registry, but removing its files \
+                     failed: {e}"
+                ))
+            })?;
+        }
+        Ok(())
     }
 
     /// Resolve a tenant by name.
@@ -140,6 +332,13 @@ mod tests {
     use super::*;
     use cq_data::Relation;
 
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir()
+            .join(format!("cq_state_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open_dir(dir).unwrap()
+    }
+
     #[test]
     fn create_use_and_duplicate() {
         let s = ServerState::new();
@@ -151,6 +350,7 @@ mod tests {
         let names: Vec<_> = s.tenants().iter().map(|t| t.name().to_string()).collect();
         assert_eq!(names, ["alpha", "beta"]); // sorted for deterministic STATS
         assert_eq!(s.n_tenants(), 2);
+        assert!(s.store().is_none());
     }
 
     #[test]
@@ -173,5 +373,84 @@ mod tests {
         let snap = t.read(|_, cat| cat.snapshot());
         assert_eq!(snap.misses + snap.hits, 0, "fresh catalog after mutation");
         assert_eq!(t.sizes(), (1, 1));
+    }
+
+    #[test]
+    fn drop_db_flags_live_handles() {
+        let s = ServerState::new();
+        let t = s.create_db("gone").unwrap();
+        assert!(!t.is_dropped());
+        assert_eq!(s.drop_db("missing").unwrap_err(), StateError::NoSuchDb);
+        s.drop_db("gone").unwrap();
+        assert!(t.is_dropped(), "held Arcs see the drop");
+        assert_eq!(s.tenant("gone").unwrap_err(), StateError::NoSuchDb);
+        assert_eq!(s.n_tenants(), 0);
+        // the name is immediately reusable, as a fresh tenant
+        let t2 = s.create_db("gone").unwrap();
+        assert!(!t2.is_dropped());
+    }
+
+    #[test]
+    fn persistent_registry_recovers_mutations_and_drops() {
+        let store = temp_store("recover");
+        let root = store.root().to_path_buf();
+        {
+            let (s, report) = ServerState::recover(store).unwrap();
+            assert!(report.is_empty());
+            let t = s.create_db("t1").unwrap();
+            let (_, wal) = t.mutate_wal(|db| {
+                let mut rel = Relation::new(2);
+                rel.insert_row(&[1, 2]);
+                db.insert("R", rel);
+                ((), Some(WalRecord::Insert { relation: "R".into(), row: vec![1, 2] }))
+            });
+            wal.unwrap();
+            s.create_db("t2").unwrap();
+            s.drop_db("t2").unwrap();
+            assert!(!root.join("t2").exists(), "drop removes the tenant dir");
+        }
+        // "reboot": a fresh registry over the same directory
+        let (s, report) = ServerState::recover(Store::open_dir(&root).unwrap()).unwrap();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].name, "t1");
+        assert_eq!(report[0].wal_records, 1);
+        assert_eq!(report[0].torn_bytes, 0);
+        let t = s.tenant("t1").unwrap();
+        assert_eq!(t.sizes(), (1, 1));
+        t.read(|db, _| {
+            assert_eq!(db.get("R").unwrap(), &Relation::from_pairs(vec![(1, 2)]));
+        });
+        // checkpoint: snapshot written, wal emptied, content unchanged
+        let store = Arc::clone(s.store().unwrap());
+        let (rows, bytes) = t.checkpoint(&store).unwrap();
+        assert_eq!(rows, 1);
+        assert!(bytes > 0);
+        assert_eq!(t.detail().wal_bytes, Some(0));
+        drop(s);
+        let (s, report) = ServerState::recover(Store::open_dir(&root).unwrap()).unwrap();
+        assert_eq!(report[0].snapshot_rows, 1);
+        assert_eq!(report[0].wal_records, 0);
+        assert_eq!(s.tenant("t1").unwrap().sizes(), (1, 1));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn detail_reports_schema_generation_and_wal() {
+        let s = ServerState::new();
+        let t = s.create_db("d").unwrap();
+        t.mutate(|db| {
+            db.insert("B", Relation::from_pairs(vec![(1, 2), (3, 4)]));
+            db.insert("A", Relation::from_values(vec![7]));
+        });
+        let d = t.detail();
+        assert_eq!(d.n_relations, 2);
+        assert_eq!(d.n_tuples, 3);
+        assert_eq!(d.relations, vec![("A".to_string(), 1, 1), ("B".to_string(), 2, 2)]);
+        assert_eq!(d.wal_bytes, None, "in-memory tenants have no wal");
+        let g = d.generation;
+        t.mutate(|db| {
+            db.insert("A", Relation::from_values(vec![7, 8]));
+        });
+        assert_ne!(t.detail().generation, g, "mutation moves the generation");
     }
 }

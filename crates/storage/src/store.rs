@@ -1,0 +1,479 @@
+//! The [`Store`]: a directory of tenants, each a snapshot plus a WAL.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <data-dir>/
+//!   <tenant>/                  one directory per tenant database
+//!     snapshot.cqs             latest checkpoint (absent until SAVE)
+//!     wal.cql                  mutations since that checkpoint
+//! ```
+//!
+//! Tenant names are restricted to `[A-Za-z0-9_]{1,64}` (the wire
+//! grammar's database names), so a tenant name is always a safe
+//! directory name.
+//!
+//! ## Recovery invariants
+//!
+//! * A tenant's logical state is `snapshot ∘ wal`: the snapshot (empty
+//!   if none exists) with every intact WAL record applied in order.
+//! * Snapshots are written atomically (temp file + rename), so a
+//!   half-written snapshot never exists under the live name; a corrupt
+//!   snapshot file is a hard [`StoreError::Corrupt`], never repaired.
+//! * A torn WAL **tail** (incomplete final record from a crash
+//!   mid-append) is truncated on open and reported in
+//!   [`Recovery::torn_bytes`] — it costs the one unacknowledged
+//!   mutation, never the boot.
+//! * [`Store::checkpoint`] snapshots at the next epoch first, then
+//!   resets the WAL under that epoch: a crash between the two leaves
+//!   a log stamped with the *previous* epoch, which the next open
+//!   recognizes as stale — already folded into the snapshot — and
+//!   discards ([`Recovery::stale_records`]), so no ordering of
+//!   crashes loses data or refuses a boot.
+
+use crate::snapshot;
+use crate::wal::{self, WalWriter};
+use cq_data::Database;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// File name of a tenant's snapshot inside its directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.cqs";
+/// File name of a tenant's write-ahead log inside its directory.
+pub const WAL_FILE: &str = "wal.cql";
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A file's content is damaged beyond the self-repairing torn-tail
+    /// case; the message names the file and the defect.
+    Corrupt(String),
+    /// A tenant name outside `[A-Za-z0-9_]{1,64}` (unsafe as a
+    /// directory name).
+    BadTenantName(String),
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(source: &Path, detail: &str) -> StoreError {
+        StoreError::Corrupt(format!("{}: {detail}", source.display()))
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage io error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt storage: {msg}"),
+            StoreError::BadTenantName(name) => {
+                write!(f, "bad tenant name `{name}` (want [A-Za-z0-9_]{{1,64}})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// What opening a tenant found — the boot-time summary `cqd` prints.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Rows restored from the snapshot (0 if no snapshot existed).
+    pub snapshot_rows: usize,
+    /// Intact WAL records replayed on top of the snapshot.
+    pub wal_records: usize,
+    /// Bytes of torn WAL tail truncated (0 for a clean log).
+    pub torn_bytes: u64,
+    /// Records discarded because the WAL's epoch predates the
+    /// snapshot's — the crash-between-snapshot-and-log-reset window;
+    /// every discarded record's effect is already in the snapshot.
+    pub stale_records: usize,
+}
+
+/// A directory of durable tenants. See the module docs for layout and
+/// recovery invariants.
+///
+/// The store itself is stateless (a validated root path); per-tenant
+/// write handles are the [`WalWriter`]s it hands out, which callers
+/// serialize with whatever lock already guards the tenant's in-memory
+/// database.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) a data directory.
+    pub fn open_dir(root: impl Into<PathBuf>) -> std::io::Result<Store> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Store { root })
+    }
+
+    /// The data directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn tenant_dir(&self, name: &str) -> Result<PathBuf, StoreError> {
+        if valid_tenant_name(name) {
+            Ok(self.root.join(name))
+        } else {
+            Err(StoreError::BadTenantName(name.to_string()))
+        }
+    }
+
+    /// Path of a tenant's snapshot file (present or not).
+    pub fn snapshot_path(&self, name: &str) -> Result<PathBuf, StoreError> {
+        Ok(self.tenant_dir(name)?.join(SNAPSHOT_FILE))
+    }
+
+    /// Size in bytes of a tenant's snapshot, if one exists.
+    pub fn snapshot_size(&self, name: &str) -> Result<Option<u64>, StoreError> {
+        let path = self.snapshot_path(name)?;
+        match std::fs::metadata(&path) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// Names of every tenant on disk, in ascending order (the boot
+    /// recovery order, so recovery is deterministic).
+    pub fn tenant_names(&self) -> std::io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            if let Some(name) = entry.file_name().to_str() {
+                if valid_tenant_name(name) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    /// Create a fresh tenant: its directory and an empty WAL. Errors if
+    /// the tenant already exists on disk.
+    pub fn create_tenant(&self, name: &str) -> Result<WalWriter, StoreError> {
+        let dir = self.tenant_dir(name)?;
+        std::fs::create_dir_all(&dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        if wal_path.exists() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!("tenant `{name}` already exists in {}", self.root.display()),
+            )));
+        }
+        Ok(WalWriter::create(wal_path, 0)?)
+    }
+
+    /// Open a tenant: read its snapshot (if any), replay the WAL on
+    /// top, self-repair a torn tail or a stale (pre-checkpoint-crash)
+    /// log, and return the recovered database with the open WAL writer
+    /// positioned for further appends.
+    pub fn load_tenant(
+        &self,
+        name: &str,
+    ) -> Result<(Database, WalWriter, Recovery), StoreError> {
+        let dir = self.tenant_dir(name)?;
+        let snap = snapshot::read(&dir.join(SNAPSHOT_FILE))?;
+        let (mut db, snap_epoch) = snap.unwrap_or_else(|| (Database::new(), 0));
+        let snapshot_rows = db.size();
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = match std::fs::read(&wal_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let replay = wal::replay(&bytes, &wal_path)?;
+        let mut recovery = Recovery {
+            snapshot_rows,
+            wal_records: 0,
+            torn_bytes: replay.torn_bytes,
+            stale_records: 0,
+        };
+        let writer = match replay.epoch {
+            Some(e) if e == snap_epoch => {
+                // the normal case: records continue the snapshot
+                for record in &replay.records {
+                    record.apply(&mut db).map_err(|msg| {
+                        StoreError::corrupt(&wal_path, &format!("replay failed: {msg}"))
+                    })?;
+                }
+                recovery.wal_records = replay.records.len();
+                if replay.torn_bytes > 0 {
+                    // self-repair: drop the torn tail so the next
+                    // append starts at a record boundary
+                    let f = std::fs::File::options().write(true).open(&wal_path)?;
+                    f.set_len(replay.good_len)?;
+                    f.sync_data()?;
+                }
+                WalWriter::open(wal_path, replay.good_len, snap_epoch)?
+            }
+            Some(e) if e < snap_epoch => {
+                // checkpoint crashed between writing the epoch-E+1
+                // snapshot and restamping the log: every record here
+                // is already folded into the snapshot — discard them
+                // rather than replay them against a schema they may
+                // predate (e.g. a relation dropped and recreated at a
+                // different arity)
+                recovery.stale_records = replay.records.len();
+                recovery.torn_bytes = 0; // the tail dies with the log
+                let mut w = WalWriter::open(wal_path, replay.good_len, e)?;
+                w.reset(snap_epoch)?;
+                w
+            }
+            Some(e) => {
+                return Err(StoreError::corrupt(
+                    &wal_path,
+                    &format!(
+                        "wal expects snapshot epoch {e} but the snapshot is epoch \
+                         {snap_epoch} — the snapshot file was replaced or deleted"
+                    ),
+                ));
+            }
+            None => {
+                // no header: an empty/torn file from a crash during
+                // tenant creation, or a pre-store directory — nothing
+                // was ever logged; start a clean epoch-matched log
+                let mut w = WalWriter::open_or_create(wal_path, snap_epoch)?;
+                w.reset(snap_epoch)?;
+                w
+            }
+        };
+        Ok((db, writer, recovery))
+    }
+
+    /// Checkpoint a tenant: write an atomic snapshot of `db` at the
+    /// next epoch, force it to stable storage, then reset the WAL
+    /// under the new epoch (its records are now redundant). Returns
+    /// the snapshot size in bytes.
+    ///
+    /// The caller must pass the tenant's own WAL writer and hold
+    /// whatever lock serializes mutations, so no record can slip in
+    /// between the snapshot and the reset. A crash between the two
+    /// leaves the log's epoch behind the snapshot's; the next
+    /// [`Store::load_tenant`] recognizes it as stale and discards it.
+    pub fn checkpoint(
+        &self,
+        name: &str,
+        db: &Database,
+        wal: &mut WalWriter,
+    ) -> Result<u64, StoreError> {
+        let path = self.snapshot_path(name)?;
+        let epoch = wal.epoch() + 1;
+        let bytes = snapshot::write(db, epoch, &path)?;
+        wal.reset(epoch)?;
+        Ok(bytes)
+    }
+
+    /// Remove a tenant's directory and everything in it. Removing a
+    /// tenant that is not on disk is a no-op.
+    pub fn drop_tenant(&self, name: &str) -> Result<(), StoreError> {
+        let dir = self.tenant_dir(name)?;
+        match std::fs::remove_dir_all(&dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+}
+
+/// Is `name` safe as a tenant directory name? Matches the wire
+/// grammar's database names.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::WalRecord;
+    use cq_data::Relation;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir()
+            .join(format!("cq_store_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open_dir(dir).unwrap()
+    }
+
+    fn cleanup(store: Store) {
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    fn db_pairs(db: &Database) -> Vec<(String, Relation)> {
+        db.iter_sorted().map(|(n, r)| (n.to_string(), r.clone())).collect()
+    }
+
+    #[test]
+    fn lifecycle_create_mutate_checkpoint_reload_drop() {
+        let store = temp_store("lifecycle");
+        assert!(store.tenant_names().unwrap().is_empty());
+        let mut wal = store.create_tenant("t1").unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1, 2] }).unwrap();
+        wal.append(&WalRecord::Load {
+            relation: "R".into(),
+            arity: 2,
+            rows: vec![vec![5, 6], vec![1, 2]],
+        })
+        .unwrap();
+        drop(wal);
+
+        // reload: snapshotless tenant is pure WAL replay
+        let (db, mut wal, rec) = store.load_tenant("t1").unwrap();
+        assert_eq!(rec.snapshot_rows, 0);
+        assert_eq!(rec.wal_records, 2);
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(db.get("R").unwrap(), &Relation::from_pairs(vec![(1, 2), (5, 6)]));
+
+        // checkpoint, then mutate beyond it
+        assert!(store.snapshot_size("t1").unwrap().is_none());
+        store.checkpoint("t1", &db, &mut wal).unwrap();
+        assert!(store.snapshot_size("t1").unwrap().is_some());
+        assert!(wal.is_empty(), "checkpoint truncates the wal");
+        wal.append(&WalRecord::DropRelation { relation: "R".into() }).unwrap();
+        wal.append(&WalRecord::Insert { relation: "S".into(), row: vec![7] }).unwrap();
+        drop(wal);
+
+        // reload: snapshot plus the two post-checkpoint records
+        let (db2, _wal, rec) = store.load_tenant("t1").unwrap();
+        assert_eq!(rec.snapshot_rows, 2);
+        assert_eq!(rec.wal_records, 2);
+        assert!(db2.get("R").is_none());
+        assert_eq!(db2.get("S").unwrap(), &Relation::from_values(vec![7]));
+
+        assert_eq!(store.tenant_names().unwrap(), vec!["t1".to_string()]);
+        store.drop_tenant("t1").unwrap();
+        assert!(store.tenant_names().unwrap().is_empty());
+        store.drop_tenant("t1").unwrap(); // idempotent
+        cleanup(store);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_once_and_appends_resume() {
+        let store = temp_store("torn");
+        let mut wal = store.create_tenant("t").unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1] }).unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![2] }).unwrap();
+        let wal_path = wal.path().to_path_buf();
+        drop(wal);
+        // tear the tail: a half-written third record
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let intact = bytes.len() as u64;
+        let partial = WalRecord::Insert { relation: "R".into(), row: vec![3] }.to_frame();
+        bytes.extend_from_slice(&partial[..partial.len() - 5]);
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let (db, mut wal, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.wal_records, 2, "only intact records replay");
+        assert_eq!(rec.torn_bytes, partial.len() as u64 - 5);
+        assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), intact, "tail cut");
+        assert_eq!(db.get("R").unwrap(), &Relation::from_values(vec![1, 2]));
+        // the next append lands on the repaired boundary
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![9] }).unwrap();
+        drop(wal);
+        let (db, _, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(db.get("R").unwrap(), &Relation::from_values(vec![1, 2, 9]));
+        cleanup(store);
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_wal_reset_discards_the_stale_log() {
+        let store = temp_store("stale");
+        let mut wal = store.create_tenant("t").unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1, 2] }).unwrap();
+        let (db, _ignored, _) = store.load_tenant("t").unwrap();
+        // snapshot written at the next epoch but wal NOT reset = the
+        // crash window inside `checkpoint`
+        snapshot::write(&db, wal.epoch() + 1, &store.snapshot_path("t").unwrap())
+            .unwrap();
+        drop(wal);
+        let (db2, wal2, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.snapshot_rows, 1);
+        assert_eq!(rec.wal_records, 0, "stale records are not replayed");
+        assert_eq!(rec.stale_records, 1, "...they are reported as discarded");
+        assert_eq!(db_pairs(&db), db_pairs(&db2), "and the snapshot already has them");
+        assert_eq!(wal2.epoch(), 1, "the log is restamped to the snapshot's epoch");
+        assert!(wal2.is_empty());
+        cleanup(store);
+    }
+
+    #[test]
+    fn checkpoint_crash_window_survives_drop_and_recreate_at_new_arity() {
+        // the sharp corner of stale replay: the log holds records for a
+        // relation that was dropped and recreated at a different arity
+        // before the checkpoint — naively replaying them over the new
+        // snapshot is an arity conflict and would refuse the boot
+        let store = temp_store("rearity");
+        let mut wal = store.create_tenant("t").unwrap();
+        let mut db = Database::new();
+        for rec in [
+            WalRecord::Insert { relation: "R".into(), row: vec![1, 2] },
+            WalRecord::DropRelation { relation: "R".into() },
+            WalRecord::Insert { relation: "R".into(), row: vec![5] },
+        ] {
+            rec.apply(&mut db).unwrap();
+            wal.append(&rec).unwrap();
+        }
+        // crash window: epoch-1 snapshot on disk, wal still epoch 0
+        snapshot::write(&db, wal.epoch() + 1, &store.snapshot_path("t").unwrap())
+            .unwrap();
+        drop(wal);
+        let (db2, _, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.stale_records, 3);
+        assert_eq!(db_pairs(&db), db_pairs(&db2));
+        assert_eq!(db2.get("R").unwrap(), &Relation::from_values(vec![5]));
+        cleanup(store);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let store = temp_store("corrupt");
+        let mut wal = store.create_tenant("t").unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1] }).unwrap();
+        let (db, _, _) = store.load_tenant("t").unwrap();
+        let path = store.snapshot_path("t").unwrap();
+        snapshot::write(&db, 0, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match store.load_tenant("t") {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("snapshot"), "{msg}"),
+            other => panic!("wanted Corrupt, got {other:?}"),
+        }
+        cleanup(store);
+    }
+
+    #[test]
+    fn tenant_names_are_validated_and_listed_sorted() {
+        let store = temp_store("names");
+        store.create_tenant("beta").unwrap();
+        store.create_tenant("alpha").unwrap();
+        assert!(matches!(
+            store.create_tenant("../evil"),
+            Err(StoreError::BadTenantName(_))
+        ));
+        assert!(matches!(store.load_tenant(""), Err(StoreError::BadTenantName(_))));
+        // stray non-tenant entries are ignored
+        std::fs::write(store.root().join("README"), "not a tenant").unwrap();
+        assert_eq!(store.tenant_names().unwrap(), vec!["alpha", "beta"]);
+        assert!(matches!(store.create_tenant("alpha"), Err(StoreError::Io(_))));
+        cleanup(store);
+    }
+}

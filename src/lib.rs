@@ -79,6 +79,51 @@
 //! diffable — CI's `server-smoke` job pins one as a golden file. See
 //! [`server`] for the protocol grammar and the in-process API.
 //!
+//! ## Persistent mode: surviving a restart
+//!
+//! Start `cqd` with `--data-dir` and tenants become durable: wire
+//! mutations are write-ahead logged, `SAVE` checkpoints a tenant into
+//! an atomic snapshot, and a rebooted daemon recovers every tenant
+//! (snapshot + log replay, torn log tails truncated with a warning —
+//! even after SIGKILL):
+//!
+//! ```text
+//! $ cqd --addr 127.0.0.1:7878 --data-dir /var/lib/cqd
+//! cqd recovered social: 2 relations, 8 tuples (5 snapshot rows + 3 wal records)
+//! cqd listening on 127.0.0.1:7878 (8 workers, data in /var/lib/cqd)
+//! ```
+//!
+//! The same machinery is a library ([`storage`]): recover a registry,
+//! mutate it through sessions, and reopen it later —
+//!
+//! ```
+//! use cq_lower_bounds::server::{ServerState, Session};
+//! use cq_lower_bounds::storage::Store;
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("cq_quickstart_{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! {
+//!     let (state, _report) = ServerState::recover(Store::open_dir(&dir).unwrap()).unwrap();
+//!     let mut s = Session::new(Arc::new(state));
+//!     s.handle_line("CREATE DB social").unwrap();
+//!     s.handle_line("USE social").unwrap();
+//!     s.handle_line("INSERT Follows(1, 2)").unwrap();
+//! } // "crash": no shutdown, no SAVE — the mutation lives in the WAL
+//! let (state, report) = ServerState::recover(Store::open_dir(&dir).unwrap()).unwrap();
+//! assert_eq!(report[0].wal_records, 1);
+//! let mut s = Session::new(Arc::new(state));
+//! s.handle_line("USE social").unwrap();
+//! let r = s.handle_line("ANSWERS q(x, y) :- Follows(x, y)").unwrap();
+//! assert_eq!(r.data, vec!["1 2"]);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! Index catalogs and the plan cache are deliberately *not* persisted:
+//! they are memos over the data and rebuild warm on demand. See the
+//! `DESIGN.md` "Durability" section for the snapshot format, WAL
+//! framing, and recovery invariants.
+//!
 //! See `examples/` for end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction map.
 
@@ -90,6 +135,7 @@ pub use cq_planner as planner;
 pub use cq_problems as problems;
 pub use cq_reductions as reductions;
 pub use cq_server as server;
+pub use cq_storage as storage;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {

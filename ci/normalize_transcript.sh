@@ -1,0 +1,14 @@
+#!/bin/sh
+# Normalize a cqsh smoke transcript before diffing against
+# ci/smoke.golden. Masks exactly the fields that cannot be byte-stable
+# across runs or server modes, and nothing else:
+#   * METRICS latency percentiles (wall-clock measurements),
+#   * `storage.wal.*` METRICS gauges (present only when cqd runs with
+#     --data-dir; the same script drives both the in-memory and the
+#     durable smoke leg against one golden),
+#   * the `STATS <db>` storage line (names the mode and WAL byte size).
+# To regenerate the golden: pipe a fresh transcript through this script.
+exec sed -E \
+    -e 's/(p50|p95|p99)=[0-9]+(\.[0-9]+)?(ns|us|ms|s)/\1=_/g' \
+    -e '/ storage\.wal\./d' \
+    -e 's/^\* storage: .*/* storage: (masked: differs between in-memory and durable legs)/'

@@ -1,0 +1,121 @@
+//! What does observability cost on the hot path?
+//!
+//! The per-command instrumentation a `Session` pays is fixed and small:
+//! two `Instant::now()`/`elapsed()` pairs (command + operator timing),
+//! one cached-handle counter increment + histogram record for the
+//! command, one for the plan operator, the slow-query threshold gate
+//! (a single relaxed load), and the error-kind scan of the reply
+//! terminal. The recording calls cannot be compiled out, so the bench
+//! decomposes instead of diffing two builds:
+//!
+//!   * `warm_count` — the full instrumented hot path: a warm repeated
+//!     `COUNT` join through `Session::handle_line` (plan cache and
+//!     catalog both hot);
+//!   * `obs_ops_per_command` — exactly the per-command observability
+//!     work listed above, alone.
+//!
+//! The acceptance bound (ISSUE 6): instrumentation stays within ~2% of
+//! the uninstrumented path, i.e. `obs_ops ≤ 2% · warm_count`. The
+//! assertion runs on `cargo bench` (CI compiles with `--no-run`; the
+//! bound is checked wherever the bench is actually executed).
+
+use cq_server::metrics::SessionMetrics;
+use cq_server::server::Session;
+use cq_server::state::ServerState;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+const QUERY: &str = "COUNT q(x, z) :- R(x, y), S(y, z)";
+
+/// A session over one tenant with a join big enough that the warm
+/// query costs tens of microseconds (so the 2% bound is meaningful).
+fn warm_session() -> (Session, Arc<ServerState>) {
+    let state = Arc::new(ServerState::new());
+    let mut s = Session::new(Arc::clone(&state));
+    s.handle_line("CREATE DB bench");
+    s.handle_line("USE bench");
+    for (rel, flip) in [("R", false), ("S", true)] {
+        s.handle_line(&format!("LOAD {rel} 2"));
+        for i in 0..5_000u64 {
+            let (a, b) = (i, i % 500);
+            if flip {
+                s.handle_line(&format!("{b} {a}"));
+            } else {
+                s.handle_line(&format!("{a} {b}"));
+            }
+        }
+        s.handle_line("END");
+    }
+    // warm the plan cache and the tenant's index catalog
+    let r = s.handle_line(QUERY).expect("warm query replies");
+    assert!(r.is_ok(), "{}", r.terminal);
+    (s, state)
+}
+
+/// Median per-iteration nanoseconds of `f` over `samples` batches.
+fn median_ns<O, F: FnMut() -> O>(mut f: F, iters: u32, samples: usize) -> f64 {
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        out.push(t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters));
+    }
+    out.sort_by(|a, b| a.total_cmp(b));
+    out[samples / 2]
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let (mut session, state) = warm_session();
+    let mut sm = SessionMetrics::new(Arc::clone(state.metrics()));
+    let slowlog = state.metrics();
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.bench_function("warm_count", |b| {
+        b.iter(|| session.handle_line(black_box(QUERY)));
+    });
+    group.bench_function("obs_ops_per_command", |b| {
+        b.iter(|| {
+            let t0 = Instant::now();
+            let e0 = t0.elapsed();
+            let t1 = Instant::now();
+            let e1 = t1.elapsed();
+            sm.record_op("bench", "generic join (worst-case optimal)", e0);
+            sm.record_cmd("db.bench", "count", e1);
+            slowlog.slowlog().should_record(e1)
+        });
+    });
+    group.finish();
+
+    // the acceptance bound, self-timed (medians; the criterion shim
+    // does not expose its measurements)
+    let query_ns = median_ns(|| session.handle_line(QUERY), 200, 9);
+    let obs_ns = median_ns(
+        || {
+            let t0 = Instant::now();
+            let e0 = t0.elapsed();
+            let t1 = Instant::now();
+            let e1 = t1.elapsed();
+            sm.record_op("bench", "generic join (worst-case optimal)", e0);
+            sm.record_cmd("db.bench", "count", e1);
+            slowlog.slowlog().should_record(e1)
+        },
+        10_000,
+        9,
+    );
+    let pct = 100.0 * obs_ns / query_ns;
+    println!(
+        "metrics_overhead: obs {obs_ns:.0} ns vs warm query {query_ns:.0} ns \
+         ({pct:.2}% of the hot path; bound 2%)"
+    );
+    assert!(
+        obs_ns <= query_ns * 0.02,
+        "per-command observability work ({obs_ns:.0} ns) exceeds 2% of the warm \
+         hot path ({query_ns:.0} ns)"
+    );
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Log₂-bucketed latency histogram.
+//!
+//! Values (nanoseconds) are assigned to bucket `i` when they fall in
+//! `[2^(i-1), 2^i)`; bucket 0 holds the value 0. 64 buckets cover the full
+//! `u64` range, so there is no clamping and no configuration. Recording is
+//! three relaxed atomic adds (bucket, count, sum); reading walks the 64
+//! buckets and interpolates a quantile as the geometric midpoint of the
+//! bucket where the cumulative count crosses the rank, which bounds the
+//! relative error of any reported percentile by √2.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Lock-free latency histogram with log-scaled buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Geometric midpoint of bucket `i` (representative value for quantiles).
+    fn bucket_mid(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (i - 1);
+        // lo * sqrt(2), computed in integers; saturates near the top bucket.
+        lo.saturating_add(lo / 2)
+    }
+
+    /// Record one observation, in nanoseconds.
+    pub fn record(&self, ns: u64) {
+        let idx = Self::bucket_index(ns).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one observation given as a [`Duration`].
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values, in nanoseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`, in nanoseconds.
+    ///
+    /// Returns 0 when the histogram is empty. Concurrent recording can make
+    /// the snapshot slightly inconsistent; that is acceptable for reporting.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_mid(i);
+            }
+        }
+        Self::bucket_mid(BUCKETS - 1)
+    }
+
+    /// `(count, p50, p95, p99)` snapshot, latencies in nanoseconds.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (self.count(), self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
+}
+
+/// Render a nanosecond value as a short human duration (`850ns`, `12.5us`,
+/// `3.2ms`, `1.5s`). ASCII-only so it is safe on the wire.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.1}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_covers_range() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200] {
+            h.record(v);
+        }
+        let (n, p50, p95, p99) = h.summary();
+        assert_eq!(n, 10);
+        assert!(p50 <= p95 && p95 <= p99);
+        // p50 of this set is ~1600; a log2 bucket estimate must be within 2x.
+        assert!((800..=3200).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 25600, "p99 = {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(850), "850ns");
+        assert_eq!(fmt_ns(12_500), "12.5us");
+        assert_eq!(fmt_ns(3_200_000), "3.2ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.5s");
+    }
+}

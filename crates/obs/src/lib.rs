@@ -1,0 +1,47 @@
+//! `cq-obs` — engine-wide observability primitives for the cq engine.
+//!
+//! Everything in this crate is `std`-only and designed for a hot path that
+//! must not regress: recording a counter is one relaxed atomic add, recording
+//! a latency is three. The registry (name → metric maps) is only locked at
+//! registration and render time; instrumented components hold `Arc` handles
+//! to their metrics, so steady-state recording never takes a lock.
+//!
+//! Three building blocks:
+//!
+//! - [`Counter`] / [`Gauge`] — monotone and settable `u64` cells.
+//! - [`Histogram`] — log₂-bucketed latency histogram with approximate
+//!   p50/p95/p99 extraction (see module docs in [`hist`]).
+//! - [`Registry`] — named scopes (one per tenant plus a `server` scope),
+//!   each a sorted map of named metrics, rendered into a stable line format
+//!   for the `METRICS` wire command.
+//!
+//! Plus a [`SlowQueryLog`]: a threshold-gated ring buffer recording query
+//! text, plan op, cost exponent, and elapsed time for queries slower than a
+//! configurable cutoff.
+//!
+//! ```
+//! use cq_obs::{Registry, SlowQueryLog};
+//! use std::time::Duration;
+//!
+//! let reg = Registry::new();
+//! let scope = reg.scope("db.example");
+//! let calls = scope.counter("cmd.count.calls");
+//! let lat = scope.histogram("cmd.count.latency");
+//! calls.inc();
+//! lat.record_duration(Duration::from_micros(42));
+//! let lines = reg.render(None);
+//! assert!(lines.iter().any(|l| l.starts_with("db.example cmd.count.calls=1")));
+//!
+//! let slow = SlowQueryLog::new(16);
+//! slow.set_threshold(Duration::from_millis(5));
+//! assert!(!slow.should_record(Duration::from_micros(10)));
+//! assert!(slow.should_record(Duration::from_millis(6)));
+//! ```
+
+pub mod hist;
+pub mod registry;
+pub mod slowlog;
+
+pub use hist::{fmt_ns, Histogram};
+pub use registry::{Counter, Gauge, Registry, Scope};
+pub use slowlog::{SlowQuery, SlowQueryLog};

@@ -1,0 +1,166 @@
+//! Threshold-gated slow-query log.
+//!
+//! A bounded ring buffer of [`SlowQuery`] records. The threshold check is a
+//! single relaxed atomic load, so the disabled / fast-query path costs one
+//! compare; only queries over the threshold take the ring's mutex.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Sentinel meaning "slow-query logging disabled".
+const DISABLED: u64 = u64::MAX;
+
+/// One slow query: what ran, how it was planned, and how long it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    /// Tenant the query ran against.
+    pub db: String,
+    /// Original query text.
+    pub query: String,
+    /// Plan operator chosen by the planner (stable `PlanOp::name()` string).
+    pub plan_op: String,
+    /// Cost exponent from the plan's `CostEstimate`.
+    pub exponent: f64,
+    /// Wall-clock time spent planning + executing.
+    pub elapsed: Duration,
+}
+
+impl SlowQuery {
+    /// One-line rendering used by the periodic dump.
+    pub fn render(&self) -> String {
+        format!(
+            "slow-query db={} elapsed={:.3}ms exponent={:.2} op={:?} query={:?}",
+            self.db,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.exponent,
+            self.plan_op,
+            self.query
+        )
+    }
+}
+
+/// Bounded, threshold-gated log of slow queries.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    threshold_ns: AtomicU64,
+    total: AtomicU64,
+    ring: Mutex<VecDeque<SlowQuery>>,
+    capacity: usize,
+}
+
+impl SlowQueryLog {
+    /// Create a log retaining at most `capacity` recent entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            threshold_ns: AtomicU64::new(DISABLED),
+            total: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enable logging for queries at or above `threshold`.
+    pub fn set_threshold(&self, threshold: Duration) {
+        let ns = threshold.as_nanos().min((DISABLED - 1) as u128) as u64;
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Disable logging.
+    pub fn disable(&self) {
+        self.threshold_ns.store(DISABLED, Ordering::Relaxed);
+    }
+
+    /// Cheap gate: should a query with this elapsed time be recorded?
+    pub fn should_record(&self, elapsed: Duration) -> bool {
+        let t = self.threshold_ns.load(Ordering::Relaxed);
+        t != DISABLED && elapsed.as_nanos() >= t as u128
+    }
+
+    /// Append an entry (caller has already checked [`should_record`], but
+    /// recording unconditionally is also fine — e.g. from tests).
+    ///
+    /// [`should_record`]: SlowQueryLog::should_record
+    pub fn push(&self, entry: SlowQuery) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Total slow queries ever recorded (monotone; survives ring eviction).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the retained entries, oldest first.
+    pub fn recent(&self) -> Vec<SlowQuery> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Drain the retained entries (used by the periodic dump so each entry
+    /// is printed once). The `total` counter is unaffected.
+    pub fn drain(&self) -> Vec<SlowQuery> {
+        self.ring.lock().unwrap().drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ms: u64) -> SlowQuery {
+        SlowQuery {
+            db: "t".into(),
+            query: "Ans() <- E(x,y)".into(),
+            plan_op: "scan".into(),
+            exponent: 1.0,
+            elapsed: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let log = SlowQueryLog::new(4);
+        assert!(!log.should_record(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn threshold_gates() {
+        let log = SlowQueryLog::new(4);
+        log.set_threshold(Duration::from_millis(10));
+        assert!(!log.should_record(Duration::from_millis(9)));
+        assert!(log.should_record(Duration::from_millis(10)));
+        log.disable();
+        assert!(!log.should_record(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_total_is_monotone() {
+        let log = SlowQueryLog::new(2);
+        log.push(q(1));
+        log.push(q(2));
+        log.push(q(3));
+        assert_eq!(log.total(), 3);
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].elapsed, Duration::from_millis(2));
+        assert_eq!(recent[1].elapsed, Duration::from_millis(3));
+        assert_eq!(log.drain().len(), 2);
+        assert!(log.recent().is_empty());
+        assert_eq!(log.total(), 3);
+    }
+
+    #[test]
+    fn render_mentions_all_fields() {
+        let line = q(12).render();
+        assert!(line.contains("db=t"));
+        assert!(line.contains("elapsed=12.000ms"));
+        assert!(line.contains("exponent=1.00"));
+        assert!(line.contains("op=\"scan\""));
+        assert!(line.contains("Ans() <- E(x,y)"));
+    }
+}

@@ -49,6 +49,38 @@ fn hypothesis_context(h: Hypothesis) -> &'static str {
     }
 }
 
+/// One-line lower-bound citation for an admission-control rejection:
+/// why the server refuses to run this plan under a cost budget, naming
+/// the hypothesis (when one applies) that rules out anything cheaper.
+///
+/// The wording leans on the plan's [`LowerBound`]: a conditional bound
+/// cites its hypotheses and witness reference; a quasi-linear or open
+/// plan still gets an honest citation (the cost can exceed a budget
+/// even when no conditional hardness is known).
+pub fn rejection_citation(plan: &QueryPlan) -> String {
+    match &plan.lower_bound {
+        LowerBound::Conditional { hypotheses, exponent, reference, .. } => {
+            let names = hypotheses
+                .iter()
+                .map(|h| format!("{} (Hypothesis {})", h.name(), h.paper_number()))
+                .collect::<Vec<_>>()
+                .join(" / ");
+            let faster = match exponent {
+                Some(e) => format!("no O(m^{{{e:.2}-eps}}) algorithm exists"),
+                None => "no O(m polylog m) algorithm exists".to_string(),
+            };
+            format!("{names} — {faster} unless the hypothesis fails [{reference}]")
+        }
+        LowerBound::Linear { reference } => format!(
+            "plan is quasi-linear and unconditionally optimal; the cost \
+             exceeds the budget on data volume alone [{reference}]"
+        ),
+        LowerBound::Open { note } => {
+            format!("no matching conditional lower bound known — {note}")
+        }
+    }
+}
+
 /// Render `plan` as a human-readable EXPLAIN block.
 pub fn render(plan: &QueryPlan, q: &ConjunctiveQuery) -> String {
     let mut out = String::new();
@@ -160,6 +192,18 @@ mod tests {
         let plan = p.plan(&q, Task::Count, &stats);
         assert!(plan.cache_hit);
         assert!(render(&plan, &q).contains("shape cache"));
+    }
+
+    #[test]
+    fn rejection_citation_names_the_hypothesis() {
+        let db = triangle_database(&random_pairs(30, 10, &mut seeded_rng(1)));
+        let stats = DataStats::collect(&db);
+        let q = zoo::triangle_boolean();
+        let plan = Planner::new().plan(&q, Task::Decide, &stats);
+        let line = rejection_citation(&plan);
+        assert!(line.contains("Triangle Hypothesis"), "{line}");
+        assert!(line.contains("no O(m"), "{line}");
+        assert!(line.contains("Thm 3.7"), "{line}");
     }
 
     #[test]

@@ -2,12 +2,22 @@
 //!
 //! ```text
 //! cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] [--data-dir PATH]
+//!     [--metrics-interval SECS] [--slow-query-ms N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7878`; use port 0 for an ephemeral port),
 //! prints `cqd listening on <addr>`, optionally writes the resolved
 //! address to `--port-file` (so scripts can find an ephemeral port),
 //! and serves until killed.
+//!
+//! `--metrics-interval SECS` dumps the full metrics registry (the same
+//! lines `METRICS` returns over the wire, prefixed `cqd metric:`) plus
+//! any slow-query log entries accumulated since the previous dump to
+//! stdout every SECS seconds. `--slow-query-ms N` enables the
+//! slow-query log for queries taking at least N milliseconds; without
+//! `--metrics-interval` the entries are still visible over the wire
+//! via `METRICS` (the `server slow-queries` gauge) and retained for
+//! the periodic dump.
 //!
 //! With `--data-dir`, tenants are durable: every tenant found under
 //! the directory is recovered on boot (snapshot + write-ahead-log
@@ -26,6 +36,8 @@ fn main() {
     let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut port_file: Option<String> = None;
     let mut data_dir: Option<String> = None;
+    let mut metrics_interval: Option<u64> = None;
+    let mut slow_query_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +50,21 @@ fn main() {
             }
             "--port-file" => port_file = Some(expect_value(&mut args, "--port-file")),
             "--data-dir" => data_dir = Some(expect_value(&mut args, "--data-dir")),
+            "--metrics-interval" => {
+                let secs: u64 = expect_value(&mut args, "--metrics-interval")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--metrics-interval takes seconds"));
+                if secs == 0 {
+                    usage("--metrics-interval must be at least 1 second");
+                }
+                metrics_interval = Some(secs);
+            }
+            "--slow-query-ms" => {
+                let ms: u64 = expect_value(&mut args, "--slow-query-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--slow-query-ms takes milliseconds"));
+                slow_query_ms = Some(ms);
+            }
             "--help" | "-h" => {
                 println!("usage: {USAGE}");
                 return;
@@ -82,6 +109,26 @@ fn main() {
         }
     };
 
+    if let Some(ms) = slow_query_ms {
+        state.metrics().slowlog().set_threshold(std::time::Duration::from_millis(ms));
+        println!("cqd slow-query log enabled at {ms}ms");
+    }
+    if let Some(secs) = metrics_interval {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("cqd-metrics".into())
+            .spawn(move || loop {
+                std::thread::sleep(std::time::Duration::from_secs(secs));
+                for line in cq_server::metrics::render(&state, None) {
+                    println!("cqd metric: {line}");
+                }
+                for entry in state.metrics().slowlog().drain() {
+                    println!("cqd {}", entry.render());
+                }
+            })
+            .expect("spawn metrics dumper");
+    }
+
     let server =
         Server::bind_with_state(addr.as_str(), workers, state).unwrap_or_else(|e| {
             eprintln!("cqd: cannot bind {addr}: {e}");
@@ -103,8 +150,8 @@ fn main() {
     server.wait();
 }
 
-const USAGE: &str =
-    "cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] [--data-dir PATH]";
+const USAGE: &str = "cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] \
+                     [--data-dir PATH] [--metrics-interval SECS] [--slow-query-ms N]";
 
 fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))

@@ -19,6 +19,10 @@
 //!   every tenant on boot).
 //! * [`server`] — the per-connection [`Session`] interpreter and the
 //!   [`Server`] accept-loop/pool runtime with graceful shutdown.
+//! * [`metrics`] — engine-wide observability: the `cq-obs` registry
+//!   (per-tenant and server scopes), the slow-query log, and the
+//!   `METRICS` rendering pipeline that also pulls catalog, WAL, and
+//!   plan-cache counters into gauges.
 //! * [`client`] — a blocking [`Client`] used by `cqsh` and the
 //!   end-to-end tests.
 //!
@@ -55,11 +59,13 @@
 //! threading and tenancy model.
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod state;
 
 pub use client::Client;
+pub use metrics::{ServerMetrics, SessionMetrics};
 pub use protocol::{Command, ErrKind, Reply};
 pub use server::{Server, Session};
-pub use state::{ServerState, Tenant};
+pub use state::{Budget, ServerState, Tenant};

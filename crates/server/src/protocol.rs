@@ -21,6 +21,10 @@
 //!          | DROP DB <name>                         -- delete a tenant database
 //!          | DROP <rel>                             -- delete one relation
 //!          | STATS [<name>]                         -- server stats / tenant detail
+//!          | METRICS [<name>]                       -- metrics registry / one tenant's scope
+//!          | SET BUDGET <name> MAX-EXPONENT <e>     -- admission control: cap plan cost m^e
+//!          | SET BUDGET <name> MAX-ROWS <n>         -- ...or cap estimated operations
+//!          | SET BUDGET <name> NONE                 -- clear both caps
 //!          | QUIT
 //! ```
 //!
@@ -76,6 +80,9 @@ pub enum ErrKind {
     /// Durable storage refused: `SAVE` on an in-memory server, or a
     /// disk error while persisting a mutation or checkpoint.
     Storage,
+    /// Admission control: the plan's cost exceeds the tenant's
+    /// `SET BUDGET` cap; the message carries the lower-bound citation.
+    Budget,
     /// A command handler panicked; the session survives.
     Internal,
 }
@@ -97,6 +104,7 @@ impl ErrKind {
             ErrKind::Parse => "parse",
             ErrKind::Eval => "eval",
             ErrKind::Storage => "storage",
+            ErrKind::Budget => "budget",
             ErrKind::Internal => "internal",
         }
     }
@@ -173,7 +181,9 @@ impl Reply {
 }
 
 /// A parsed request line.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// (`PartialEq` only — `SET BUDGET` carries an `f64` exponent.)
+#[derive(Clone, PartialEq, Debug)]
 pub enum Command {
     /// Liveness probe.
     Ping,
@@ -225,8 +235,33 @@ pub enum Command {
         /// server-wide summary.
         db: Option<String>,
     },
+    /// Dump the metrics registry, or one tenant's scope.
+    Metrics {
+        /// `METRICS <name>`: limit to that tenant's scope; bare
+        /// `METRICS` renders every scope.
+        db: Option<String>,
+    },
+    /// Set (or clear) a tenant's admission-control budget.
+    SetBudget {
+        /// The tenant whose budget changes.
+        db: String,
+        /// Which cap, and its value.
+        setting: BudgetSetting,
+    },
     /// Close the session.
     Quit,
+}
+
+/// The value side of `SET BUDGET <db> …`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BudgetSetting {
+    /// `MAX-EXPONENT <e>`: reject plans with cost exponent above `e`.
+    MaxExponent(f64),
+    /// `MAX-ROWS <n>`: reject plans whose estimated operation count
+    /// (the AGM-style worst case `m^e`) exceeds `n`.
+    MaxRows(u64),
+    /// `NONE`: clear both caps.
+    Clear,
 }
 
 /// Parse a request line (already trimmed, non-empty).
@@ -309,6 +344,14 @@ pub fn parse_command(line: &str) -> Result<Command, Reply> {
                 Ok(Command::Stats { db: Some(valid_db_name(rest)?) })
             }
         }
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Command::Metrics { db: None })
+            } else {
+                Ok(Command::Metrics { db: Some(valid_db_name(rest)?) })
+            }
+        }
+        "SET" => parse_set_budget(rest),
         "QUIT" => expect_no_args(rest, Command::Quit),
         _ => Err(Reply::err(ErrKind::UnknownCommand, format!("`{verb}`"))),
     }
@@ -377,6 +420,51 @@ fn valid_relation_name(name: &str) -> Result<String, Reply> {
             format!("relation names are [A-Za-z0-9_]{{1,64}}, got `{name}`"),
         ))
     }
+}
+
+/// Parse the tail of `SET BUDGET <db> MAX-EXPONENT <e> | MAX-ROWS <n>
+/// | NONE` (the leading `SET` is already consumed).
+fn parse_set_budget(rest: &str) -> Result<Command, Reply> {
+    const USAGE: &str = "usage: SET BUDGET <db> MAX-EXPONENT <e> | MAX-ROWS <n> | NONE";
+    let usage = || Reply::err(ErrKind::Usage, USAGE);
+    let (kw, rest) = split_word(rest);
+    if !kw.eq_ignore_ascii_case("BUDGET") {
+        return Err(usage());
+    }
+    let (name, rest) = split_word(rest);
+    if name.is_empty() {
+        return Err(usage());
+    }
+    let db = valid_db_name(name)?;
+    let (which, value) = split_word(rest);
+    let setting = match which.to_ascii_uppercase().as_str() {
+        "NONE" if value.is_empty() => BudgetSetting::Clear,
+        "MAX-EXPONENT" => {
+            let e: f64 = value.parse().map_err(|_| {
+                Reply::err(
+                    ErrKind::Usage,
+                    format!("MAX-EXPONENT takes a number, got `{value}`"),
+                )
+            })?;
+            if !e.is_finite() || e < 0.0 {
+                return Err(Reply::err(
+                    ErrKind::Usage,
+                    format!(
+                        "MAX-EXPONENT must be finite and non-negative, got `{value}`"
+                    ),
+                ));
+            }
+            BudgetSetting::MaxExponent(e)
+        }
+        "MAX-ROWS" => {
+            let n: u64 = value.parse().map_err(|_| {
+                Reply::err(ErrKind::Usage, format!("MAX-ROWS takes a u64, got `{value}`"))
+            })?;
+            BudgetSetting::MaxRows(n)
+        }
+        _ => return Err(usage()),
+    };
+    Ok(Command::SetBudget { db, setting })
 }
 
 fn parse_insert(rest: &str) -> Result<Command, Reply> {
@@ -524,6 +612,51 @@ mod tests {
         }
         assert!(parse_command("INSERT r_9(1)").is_ok());
         assert!(parse_command("LOAD r_9 1").is_ok());
+    }
+
+    #[test]
+    fn metrics_and_budget_parse() {
+        assert_eq!(parse_command("METRICS").unwrap(), Command::Metrics { db: None });
+        assert_eq!(
+            parse_command("metrics t1").unwrap(),
+            Command::Metrics { db: Some("t1".into()) }
+        );
+        assert_eq!(
+            parse_command("SET BUDGET t1 MAX-EXPONENT 1.4").unwrap(),
+            Command::SetBudget {
+                db: "t1".into(),
+                setting: BudgetSetting::MaxExponent(1.4)
+            }
+        );
+        assert_eq!(
+            parse_command("set budget t1 max-rows 1000").unwrap(),
+            Command::SetBudget { db: "t1".into(), setting: BudgetSetting::MaxRows(1000) }
+        );
+        assert_eq!(
+            parse_command("SET BUDGET t1 NONE").unwrap(),
+            Command::SetBudget { db: "t1".into(), setting: BudgetSetting::Clear }
+        );
+        for bad in [
+            "SET",
+            "SET BUDGET",
+            "SET BUDGET t1",
+            "SET BUDGET t1 MAX-EXPONENT",
+            "SET BUDGET t1 MAX-EXPONENT x",
+            "SET BUDGET t1 MAX-EXPONENT -1",
+            "SET BUDGET t1 MAX-EXPONENT inf",
+            "SET BUDGET t1 MAX-ROWS 1.5",
+            "SET BUDGET t1 NONE extra",
+            "SET SPEED t1 FAST",
+            "METRICS sp ace",
+        ] {
+            let e = parse_command(bad).unwrap_err();
+            assert!(
+                e.terminal.starts_with("ERR usage")
+                    || e.terminal.starts_with("ERR bad-name"),
+                "{bad}: {}",
+                e.terminal
+            );
+        }
     }
 
     #[test]

@@ -16,14 +16,16 @@
 //! `catch_unwind`, and a panicking handler yields `ERR internal` with
 //! the session reset to idle.
 
+use crate::metrics::{self, SessionMetrics, SERVER_SCOPE};
 use crate::protocol::{
-    parse_command, parse_row, query_task, render_rows, Command, ErrKind, Reply,
-    END_KEYWORD,
+    parse_command, parse_row, query_task, render_rows, BudgetSetting, Command, ErrKind,
+    Reply, END_KEYWORD,
 };
-use crate::state::{ServerState, StateError, Tenant};
+use crate::state::{Budget, ServerState, StateError, Tenant};
 use cq_core::{parse_query, ConjunctiveQuery, ParseError};
 use cq_data::{Relation, Val};
-use cq_planner::{eval, execute_with_catalog, Output, Task};
+use cq_obs::SlowQuery;
+use cq_planner::{eval, execute_with_catalog, Output, QueryPlan, Task};
 use cq_storage::WalRecord;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -31,6 +33,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One item of an open `BATCH` block: a parsed query or the per-item
 /// error that will be reported at `END`.
@@ -64,6 +67,9 @@ pub struct Session {
     mode: Mode,
     finished: bool,
     batch_workers: usize,
+    /// Cached metric handles (see [`SessionMetrics`]); recording on
+    /// the warm path is lock-free.
+    metrics: SessionMetrics,
 }
 
 impl Session {
@@ -71,7 +77,15 @@ impl Session {
     pub fn new(state: Arc<ServerState>) -> Session {
         let batch_workers =
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Session { state, current: None, mode: Mode::Idle, finished: false, batch_workers }
+        let metrics = SessionMetrics::new(Arc::clone(state.metrics()));
+        Session {
+            state,
+            current: None,
+            mode: Mode::Idle,
+            finished: false,
+            batch_workers,
+            metrics,
+        }
     }
 
     /// Has the client said `QUIT`?
@@ -86,7 +100,7 @@ impl Session {
     /// Never panics: a panicking handler is caught, the session resets
     /// to idle, and the client gets `ERR internal`.
     pub fn handle_raw(&mut self, raw: &[u8]) -> Option<Reply> {
-        match std::panic::catch_unwind(AssertUnwindSafe(|| self.step(raw))) {
+        let reply = match std::panic::catch_unwind(AssertUnwindSafe(|| self.step(raw))) {
             Ok(reply) => reply,
             Err(_) => {
                 self.mode = Mode::Idle;
@@ -95,7 +109,19 @@ impl Session {
                     "command handler panicked; session reset to idle",
                 ))
             }
+        };
+        // count every error reply, by wire kind, in one place — block
+        // completions (`LOAD`/`BATCH` `END`) and panics included
+        if let Some(r) = &reply {
+            if !r.is_ok() {
+                if let Some(kind) =
+                    r.terminal.strip_prefix("ERR ").and_then(|t| t.split(':').next())
+                {
+                    self.metrics.shared().record_error(kind);
+                }
+            }
         }
+        reply
     }
 
     /// [`Session::handle_raw`] for already-decoded text.
@@ -125,6 +151,44 @@ impl Session {
             Ok(c) => c,
             Err(reply) => return reply,
         };
+        let (verb, tenant_scoped) = Self::cmd_verb(&cmd);
+        let start = Instant::now();
+        let reply = self.dispatch(cmd);
+        // tenant-addressed commands count in the tenant's scope (QPS
+        // per command per database); the rest in the server scope
+        let scope = match (&self.current, tenant_scoped) {
+            (Some(t), true) => metrics::tenant_scope(t.name()),
+            _ => SERVER_SCOPE.to_string(),
+        };
+        self.metrics.record_cmd(&scope, verb, start.elapsed());
+        reply
+    }
+
+    /// The metric verb for a command, and whether it addresses the
+    /// session's current tenant (vs. the server as a whole).
+    fn cmd_verb(cmd: &Command) -> (&'static str, bool) {
+        match cmd {
+            Command::Ping => ("ping", false),
+            Command::CreateDb(_) => ("create-db", false),
+            Command::Use(_) => ("use", false),
+            Command::Insert { .. } => ("insert", true),
+            Command::Load { .. } => ("load", true),
+            Command::Query { task: Task::Decide, .. } => ("decide", true),
+            Command::Query { task: Task::Count, .. } => ("count", true),
+            Command::Query { .. } => ("answers", true),
+            Command::Explain { .. } => ("explain", true),
+            Command::Batch => ("batch", true),
+            Command::Save => ("save", true),
+            Command::DropDb(_) => ("drop-db", false),
+            Command::DropRelation(_) => ("drop", true),
+            Command::Stats { .. } => ("stats", false),
+            Command::Metrics { .. } => ("metrics", false),
+            Command::SetBudget { .. } => ("set-budget", false),
+            Command::Quit => ("quit", false),
+        }
+    }
+
+    fn dispatch(&mut self, cmd: Command) -> Reply {
         match cmd {
             Command::Ping => Reply::ok("pong"),
             Command::Quit => {
@@ -158,6 +222,8 @@ impl Session {
             Command::DropDb(name) => self.drop_db(&name),
             Command::DropRelation(relation) => self.drop_relation(&relation),
             Command::Stats { db } => self.stats(db.as_deref()),
+            Command::Metrics { db } => self.metrics_dump(db.as_deref()),
+            Command::SetBudget { db, setting } => self.set_budget(&db, setting),
         }
     }
 
@@ -391,10 +457,31 @@ impl Session {
             Ok(q) => q,
             Err(e) => return e,
         };
+        let sm = &mut self.metrics;
         tenant.read(|db, catalog| {
             let stats = catalog.stats(db);
             let plan = eval::with_global_planner(|p| p.plan(&q, task, &stats));
-            match execute_with_catalog(&plan, &q, db, catalog) {
+            // admission control: reject over-budget plans before any
+            // execution work, citing the lower bound that justifies it
+            if let Some(reason) = budget_violation(tenant.budget(), &plan) {
+                sm.record_rejection(tenant.name());
+                return budget_reply(&reason, &plan);
+            }
+            let start = Instant::now();
+            let result = execute_with_catalog(&plan, &q, db, catalog);
+            let elapsed = start.elapsed();
+            sm.record_op(tenant.name(), plan.op.name(), elapsed);
+            let slowlog = sm.shared().slowlog();
+            if slowlog.should_record(elapsed) {
+                slowlog.push(SlowQuery {
+                    db: tenant.name().to_string(),
+                    query: src.to_string(),
+                    plan_op: plan.op.name().to_string(),
+                    exponent: plan.cost.exponent,
+                    elapsed,
+                });
+            }
+            match result {
                 Err(e) => Reply::err(ErrKind::Eval, e),
                 Ok(out) => render_output(&out),
             }
@@ -461,7 +548,35 @@ impl Session {
         };
         let n = items.len();
         let workers = self.batch_workers;
+        let budget = tenant.budget();
+        let sm = &mut self.metrics;
         tenant.read(|db, catalog| {
+            // admission control first: plan each parsed item (the plans
+            // are shape-cached, so the batch's own planner pass below
+            // hits) and turn over-budget items into per-item errors
+            let items: Vec<BatchItem> = if budget.is_set() {
+                let stats = catalog.stats(db);
+                eval::with_global_planner(|p| {
+                    items
+                        .into_iter()
+                        .map(|item| match item {
+                            BatchItem::Task(t, q) => {
+                                let plan = p.plan(&q, t, &stats);
+                                match budget_violation(budget, &plan) {
+                                    Some(reason) => {
+                                        sm.record_rejection(tenant.name());
+                                        BatchItem::Bad(budget_reply(&reason, &plan))
+                                    }
+                                    None => BatchItem::Task(t, q),
+                                }
+                            }
+                            bad => bad,
+                        })
+                        .collect()
+                })
+            } else {
+                items
+            };
             // one shared catalog (the tenant's pinned one, so the batch
             // both profits from and feeds the tenant's warm indexes) +
             // one planner pass for the whole batch, workers pulling
@@ -572,8 +687,8 @@ impl Session {
         let (shapes, cache) =
             eval::with_global_planner(|p| (p.cache().len(), p.cache().stats()));
         data.push(format!(
-            "plan-cache: {shapes} shapes, {} hits, {} misses",
-            cache.hits, cache.misses
+            "plan-cache: {shapes} shapes, {} hits, {} misses, {} uncacheable",
+            cache.hits, cache.misses, cache.uncacheable
         ));
         Reply::ok_with(data, "")
     }
@@ -599,6 +714,18 @@ impl Session {
         for (rel, arity, rows) in &d.relations {
             data.push(format!("rel {rel}: arity {arity}, {rows} rows"));
         }
+        let (cat, _) = tenant.read_meta();
+        data.push(format!(
+            "catalog: {} hits, {} misses, {} invalidations, {} cap-evictions; \
+             memo {} views, {} hash-indexes, {} artifacts",
+            cat.hits,
+            cat.misses,
+            cat.invalidations,
+            cat.cap_evictions,
+            cat.views,
+            cat.hash_indexes,
+            cat.artifacts
+        ));
         match (d.wal_bytes, self.state.store()) {
             (Some(wal), Some(store)) => {
                 let snap = store
@@ -612,6 +739,87 @@ impl Session {
         }
         Reply::ok_with(data, "")
     }
+
+    /// `METRICS [<name>]`: refresh derived gauges and dump the
+    /// registry — every scope, or just one tenant's.
+    fn metrics_dump(&mut self, db: Option<&str>) -> Reply {
+        if let Some(name) = db {
+            if self.state.tenant(name).is_err() {
+                return Reply::err(
+                    ErrKind::NoSuchDb,
+                    format!("no database named `{name}`"),
+                );
+            }
+        }
+        let lines = metrics::render(&self.state, db);
+        let info = match db {
+            Some(name) => format!("metrics for {name}"),
+            None => "metrics".to_string(),
+        };
+        Reply::ok_with(lines, info)
+    }
+
+    /// `SET BUDGET <db> …`: adjust a tenant's admission-control caps.
+    /// The two caps are independent; `NONE` clears both.
+    fn set_budget(&mut self, db: &str, setting: BudgetSetting) -> Reply {
+        let tenant = match self.state.tenant(db) {
+            Ok(t) => t,
+            Err(_) => {
+                return Reply::err(ErrKind::NoSuchDb, format!("no database named `{db}`"))
+            }
+        };
+        match setting {
+            BudgetSetting::MaxExponent(e) => {
+                tenant.set_max_exponent(Some(e));
+                Reply::ok(format!("budget for {db}: max-exponent {e:.2}"))
+            }
+            BudgetSetting::MaxRows(n) => {
+                tenant.set_max_rows(Some(n));
+                Reply::ok(format!("budget for {db}: max-rows {n}"))
+            }
+            BudgetSetting::Clear => {
+                tenant.clear_budget();
+                Reply::ok(format!("budget for {db}: cleared"))
+            }
+        }
+    }
+}
+
+/// Does `plan` break `budget`? Returns the human-readable reason.
+///
+/// `MAX-EXPONENT` caps the cost exponent directly; `MAX-ROWS` caps the
+/// estimated operation count `m^e` (the AGM-style worst case the
+/// planner already reports in EXPLAIN). The epsilon keeps a budget set
+/// to exactly a plan's exponent from rejecting it over float noise.
+fn budget_violation(budget: Budget, plan: &QueryPlan) -> Option<String> {
+    if let Some(e) = budget.max_exponent {
+        if plan.cost.exponent > e + 1e-9 {
+            return Some(format!(
+                "plan cost m^{:.2} exceeds MAX-EXPONENT {e:.2}",
+                plan.cost.exponent
+            ));
+        }
+    }
+    if let Some(n) = budget.max_rows {
+        if plan.cost.operations() > n as f64 {
+            return Some(format!(
+                "estimated {:.0} operations (m^{:.2}) exceed MAX-ROWS {n}",
+                plan.cost.operations(),
+                plan.cost.exponent
+            ));
+        }
+    }
+    None
+}
+
+/// The `ERR budget` reply for a rejected plan, carrying the EXPLAIN
+/// lower-bound citation (e.g. "Triangle Hypothesis (Hypothesis 2) — no
+/// O(m^{1.00-eps}) algorithm exists …").
+fn budget_reply(reason: &str, plan: &QueryPlan) -> Reply {
+    Reply::err(
+        ErrKind::Budget,
+        format!("{reason}; rejected: {}", cq_planner::explain::rejection_citation(plan)),
+    )
 }
 
 /// Render an execution output as the terminal `OK` payload.
@@ -699,12 +907,18 @@ impl Server {
         let occupied = Arc::new(AtomicUsize::new(0));
 
         let workers = workers.max(1);
+        // pool-saturation gauges: `workers.busy` mirrors `occupied`
+        // (approximate under races — it is observability, not control)
+        let server_scope = state.metrics().server_scope();
+        server_scope.gauge("workers.pool").set(workers as u64);
+        let busy = server_scope.gauge("workers.busy");
         let mut pool = Vec::with_capacity(workers);
         for i in 0..workers {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
             let occupied = Arc::clone(&occupied);
+            let busy = Arc::clone(&busy);
             let handle = std::thread::Builder::new()
                 .name(format!("cqd-worker-{i}"))
                 .spawn(move || loop {
@@ -717,7 +931,8 @@ impl Server {
                     match next {
                         Ok(stream) => {
                             serve_connection(stream, Arc::clone(&state), &stop);
-                            occupied.fetch_sub(1, Ordering::SeqCst);
+                            let prev = occupied.fetch_sub(1, Ordering::SeqCst);
+                            busy.set(prev.saturating_sub(1) as u64);
                         }
                         Err(_) => break, // acceptor gone: drain and exit
                     }
@@ -740,12 +955,15 @@ impl Server {
                         // claim a pool slot; the count is conservative
                         // (decremented only when a session ends), so a
                         // race at worst spawns one extra thread
-                        if occupied.fetch_add(1, Ordering::SeqCst) < workers {
+                        let prev = occupied.fetch_add(1, Ordering::SeqCst);
+                        busy.set((prev + 1).min(workers) as u64);
+                        if prev < workers {
                             if tx.send(stream).is_err() {
                                 break;
                             }
                         } else {
-                            occupied.fetch_sub(1, Ordering::SeqCst);
+                            let prev = occupied.fetch_sub(1, Ordering::SeqCst);
+                            busy.set(prev.saturating_sub(1) as u64);
                             let state = Arc::clone(&state);
                             let stop = Arc::clone(&stop);
                             let spawned = std::thread::Builder::new()
@@ -829,6 +1047,10 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>, stop: &AtomicBoo
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let Ok(read_half) = stream.try_clone() else { return };
+    let scope = state.metrics().server_scope();
+    scope.counter("connections.total").inc();
+    let open_connections = scope.gauge("connections.open");
+    open_connections.add(1);
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut session = Session::new(state);
@@ -867,6 +1089,7 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>, stop: &AtomicBoo
             break;
         }
     }
+    open_connections.sub(1);
 }
 
 #[cfg(test)]
@@ -1170,7 +1393,8 @@ mod tests {
         );
         assert_eq!(r.data[1], "rel Edge: arity 2, 2 rows");
         assert_eq!(r.data[2], "rel Name: arity 1, 1 rows");
-        assert_eq!(r.data[3], "storage: none (in-memory)");
+        assert!(r.data[3].starts_with("catalog: "), "{}", r.data[3]);
+        assert_eq!(r.data[4], "storage: none (in-memory)");
         // generation moves on mutation, holds on reads
         let before = r.data[0].clone();
         s.handle_line("COUNT q(x, y) :- Edge(x, y)");
@@ -1179,6 +1403,142 @@ mod tests {
         assert_ne!(s.handle_line("STATS t").unwrap().data[0], before);
         let r = s.handle_line("STATS nope").unwrap();
         assert_eq!(r.terminal, "ERR no-such-db: no database named `nope`");
+    }
+
+    #[test]
+    fn metrics_report_per_tenant_commands_and_errors() {
+        let mut s = session();
+        s.handle_line("PING");
+        s.handle_line("USE nope"); // counted: errors.no-such-db
+        s.handle_line("CREATE DB m");
+        s.handle_line("USE m");
+        s.handle_line("INSERT R(1, 2)");
+        s.handle_line("COUNT q(x, y) :- R(x, y)");
+        s.handle_line("COUNT q(x, y) :- R(x, y)");
+        let r = s.handle_line("METRICS").unwrap();
+        assert_eq!(r.terminal, "OK metrics");
+        assert!(r.data.iter().any(|l| l == "db.m cmd.count.calls=2"), "{:?}", r.data);
+        assert!(r.data.iter().any(|l| l == "db.m cmd.insert.calls=1"), "{:?}", r.data);
+        assert!(
+            r.data.iter().any(|l| l.starts_with("db.m cmd.count.latency n=2 p50=")),
+            "{:?}",
+            r.data
+        );
+        assert!(
+            r.data.iter().any(|l| l.starts_with("db.m op.") && l.ends_with(".calls=2")),
+            "per-op counters: {:?}",
+            r.data
+        );
+        assert!(r.data.iter().any(|l| l == "server cmd.ping.calls=1"), "{:?}", r.data);
+        assert!(r.data.iter().any(|l| l == "server errors.no-such-db=1"), "{:?}", r.data);
+        assert!(r.data.iter().any(|l| l == "server plan-cache.uncacheable=0"));
+        assert!(
+            r.data.iter().any(|l| l.starts_with("db.m catalog.hits=")),
+            "{:?}",
+            r.data
+        );
+        // filtered to one tenant's scope
+        let r = s.handle_line("METRICS m").unwrap();
+        assert_eq!(r.terminal, "OK metrics for m");
+        assert!(!r.data.is_empty());
+        assert!(r.data.iter().all(|l| l.starts_with("db.m ")), "{:?}", r.data);
+        let r = s.handle_line("METRICS nope").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-db"), "{}", r.terminal);
+        // a dropped tenant's scope is forgotten
+        s.handle_line("DROP DB m");
+        let r = s.handle_line("METRICS").unwrap();
+        assert!(!r.data.iter().any(|l| l.starts_with("db.m ")), "{:?}", r.data);
+    }
+
+    #[test]
+    fn budget_rejects_over_cost_queries_with_a_citation() {
+        let mut s = session();
+        s.handle_line("CREATE DB b");
+        s.handle_line("USE b");
+        drive(
+            &mut s,
+            &[
+                "LOAD R1 2",
+                "1 2",
+                "END", //
+                "LOAD R2 2",
+                "2 3",
+                "END", //
+                "LOAD R3 2",
+                "3 1",
+                "END",
+            ],
+        );
+        let tri = "DECIDE q() :- R1(x, y), R2(y, z), R3(z, x)";
+        assert_eq!(s.handle_line(tri).unwrap().terminal, "OK true");
+        s.handle_line("SET BUDGET b MAX-EXPONENT 1.2");
+        let r = s.handle_line(tri).unwrap();
+        assert!(r.terminal.starts_with("ERR budget:"), "{}", r.terminal);
+        assert!(r.terminal.contains("MAX-EXPONENT 1.20"), "{}", r.terminal);
+        assert!(r.terminal.contains("Triangle Hypothesis"), "{}", r.terminal);
+        // under-budget queries still run
+        assert_eq!(s.handle_line("DECIDE q() :- R1(x, y)").unwrap().terminal, "OK true");
+        // the rejection is a metric
+        let m = s.handle_line("METRICS b").unwrap();
+        assert!(m.data.iter().any(|l| l == "db.b budget.rejections=1"), "{:?}", m.data);
+        // clearing the budget re-admits the query
+        s.handle_line("SET BUDGET b NONE");
+        assert_eq!(s.handle_line(tri).unwrap().terminal, "OK true");
+        // MAX-ROWS caps the estimated operation count
+        s.handle_line("SET BUDGET b MAX-ROWS 1");
+        let r = s.handle_line(tri).unwrap();
+        assert!(r.terminal.starts_with("ERR budget:"), "{}", r.terminal);
+        assert!(r.terminal.contains("MAX-ROWS 1"), "{}", r.terminal);
+        // budget commands on unknown tenants are structured errors
+        let r = s.handle_line("SET BUDGET nope MAX-ROWS 1").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-db"), "{}", r.terminal);
+    }
+
+    #[test]
+    fn batch_items_are_admission_checked_individually() {
+        let mut s = session();
+        s.handle_line("CREATE DB b");
+        s.handle_line("USE b");
+        drive(
+            &mut s,
+            &[
+                "LOAD R1 2",
+                "1 2",
+                "END", //
+                "LOAD R2 2",
+                "2 3",
+                "END", //
+                "LOAD R3 2",
+                "3 1",
+                "END",
+            ],
+        );
+        s.handle_line("SET BUDGET b MAX-EXPONENT 1.2");
+        s.handle_line("BATCH");
+        s.handle_line("DECIDE q() :- R1(x, y)");
+        s.handle_line("DECIDE q() :- R1(x, y), R2(y, z), R3(z, x)");
+        let r = s.handle_line("END").unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.data[0], "0 OK true");
+        assert!(r.data[1].starts_with("1 ERR budget:"), "{}", r.data[1]);
+        assert!(r.data[1].contains("Triangle Hypothesis"), "{}", r.data[1]);
+    }
+
+    #[test]
+    fn slow_query_log_records_over_threshold_queries() {
+        let mut s = session();
+        s.state.metrics().slowlog().set_threshold(std::time::Duration::ZERO);
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        s.handle_line("INSERT R(1, 2)");
+        s.handle_line("COUNT q(x, y) :- R(x, y)");
+        let entries = s.state.metrics().slowlog().recent();
+        assert_eq!(entries.len(), 1, "one query over the (zero) threshold");
+        assert_eq!(entries[0].db, "t");
+        assert_eq!(entries[0].query, "q(x, y) :- R(x, y)");
+        assert!(!entries[0].plan_op.is_empty());
+        let line = entries[0].render();
+        assert!(line.starts_with("slow-query db=t "), "{line}");
     }
 
     #[test]

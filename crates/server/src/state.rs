@@ -27,10 +27,11 @@
 //! and flagged, so sessions still holding it get a structured error
 //! instead of mutating a ghost.
 
-use cq_data::{Database, IndexCatalog};
-use cq_storage::{Store, StoreError, WalRecord, WalWriter};
+use crate::metrics::ServerMetrics;
+use cq_data::{CatalogStats, Database, IndexCatalog};
+use cq_storage::{Store, StoreError, WalRecord, WalStats, WalWriter};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Why a tenant operation was refused.
@@ -53,7 +54,36 @@ pub struct Tenant {
     /// Set by `DROP DB`: the tenant is out of the registry, and
     /// sessions still holding an `Arc` must refuse further commands.
     dropped: AtomicBool,
+    /// Admission-control cap on a plan's cost exponent, stored as
+    /// `f64` bits; [`BUDGET_UNSET`] (a NaN pattern no real cap can
+    /// produce) means "no cap". Atomics, not a lock: budgets are read
+    /// on every query and written only by `SET BUDGET`.
+    budget_exponent: AtomicU64,
+    /// Admission-control cap on a plan's estimated operation count
+    /// (`CostEstimate::operations`, the AGM-style worst case);
+    /// `u64::MAX` means "no cap".
+    budget_rows: AtomicU64,
     slot: RwLock<TenantDb>,
+}
+
+/// Sentinel bits for "no budget set" (`u64::MAX` is a NaN pattern, so
+/// it cannot collide with a stored finite exponent).
+const BUDGET_UNSET: u64 = u64::MAX;
+
+/// A tenant's admission-control budget, read per query at plan time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Budget {
+    /// Reject plans whose cost exponent exceeds this.
+    pub max_exponent: Option<f64>,
+    /// Reject plans whose estimated operations exceed this.
+    pub max_rows: Option<u64>,
+}
+
+impl Budget {
+    /// Is any cap set?
+    pub fn is_set(&self) -> bool {
+        self.max_exponent.is_some() || self.max_rows.is_some()
+    }
 }
 
 #[derive(Debug)]
@@ -69,6 +99,8 @@ impl Tenant {
         Tenant {
             name: name.to_string(),
             dropped: AtomicBool::new(false),
+            budget_exponent: AtomicU64::new(BUDGET_UNSET),
+            budget_rows: AtomicU64::new(BUDGET_UNSET),
             slot: RwLock::new(TenantDb {
                 db,
                 catalog: Arc::new(IndexCatalog::new()),
@@ -80,6 +112,35 @@ impl Tenant {
     /// The tenant's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The current admission-control budget.
+    pub fn budget(&self) -> Budget {
+        let exp = self.budget_exponent.load(Ordering::Relaxed);
+        let rows = self.budget_rows.load(Ordering::Relaxed);
+        Budget {
+            max_exponent: (exp != BUDGET_UNSET).then(|| f64::from_bits(exp)),
+            max_rows: (rows != BUDGET_UNSET).then_some(rows),
+        }
+    }
+
+    /// Cap (or uncap, with `None`) the plan-cost exponent.
+    pub fn set_max_exponent(&self, e: Option<f64>) {
+        let bits = e.map_or(BUDGET_UNSET, f64::to_bits);
+        self.budget_exponent.store(bits, Ordering::Relaxed);
+    }
+
+    /// Cap (or uncap, with `None`) the estimated operation count.
+    /// `u64::MAX` itself is clamped down by one (it is the sentinel).
+    pub fn set_max_rows(&self, n: Option<u64>) {
+        let v = n.map_or(BUDGET_UNSET, |n| n.min(BUDGET_UNSET - 1));
+        self.budget_rows.store(v, Ordering::Relaxed);
+    }
+
+    /// Clear both caps.
+    pub fn clear_budget(&self) {
+        self.set_max_exponent(None);
+        self.set_max_rows(None);
     }
 
     /// Has this tenant been `DROP DB`ed out of the registry?
@@ -158,6 +219,13 @@ impl Tenant {
         (slot.db.n_relations(), slot.db.size())
     }
 
+    /// Point-in-time catalog counters and WAL write counters (`None`
+    /// on an in-memory tenant) — the pull side of `METRICS`.
+    pub fn read_meta(&self) -> (CatalogStats, Option<WalStats>) {
+        let slot = self.read_slot();
+        (slot.catalog.snapshot(), slot.wal.as_ref().map(WalWriter::stats))
+    }
+
     /// The `STATS <name>` detail: generation, per-relation schema in
     /// name order, and the WAL length (`None` on an in-memory server).
     pub fn detail(&self) -> TenantDetail {
@@ -217,17 +285,28 @@ pub struct RecoveredTenant {
 }
 
 /// The registry of tenants, shared by all sessions of one server.
-#[derive(Default)]
 pub struct ServerState {
     tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
     /// `Some` iff the server runs with a data directory.
     store: Option<Arc<Store>>,
+    /// Process-wide metrics registry and slow-query log.
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServerState {
     /// An empty in-memory registry (no durability).
     pub fn new() -> ServerState {
-        ServerState::default()
+        ServerState {
+            tenants: RwLock::default(),
+            store: None,
+            metrics: Arc::new(ServerMetrics::new()),
+        }
     }
 
     /// A registry over a data directory: every tenant on disk is
@@ -253,13 +332,22 @@ impl ServerState {
             });
             tenants.insert(name.clone(), Arc::new(Tenant::new(&name, db, Some(wal))));
         }
-        let state = ServerState { tenants: RwLock::new(tenants), store: Some(store) };
+        let state = ServerState {
+            tenants: RwLock::new(tenants),
+            store: Some(store),
+            metrics: Arc::new(ServerMetrics::new()),
+        };
         Ok((state, report))
     }
 
     /// The backing store, when the server is persistent.
     pub fn store(&self) -> Option<&Arc<Store>> {
         self.store.as_ref()
+    }
+
+    /// The server's metrics registry and slow-query log.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
     }
 
     fn map(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Tenant>>> {
@@ -298,6 +386,7 @@ impl ServerState {
             map.remove(name).ok_or(StateError::NoSuchDb)?
         };
         tenant.dropped.store(true, Ordering::SeqCst);
+        self.metrics.drop_tenant(name);
         if let Some(store) = &self.store {
             // registry removal already happened; a disk error leaves
             // stale files behind but the tenant is gone either way
@@ -426,6 +515,7 @@ mod tests {
         assert_eq!(rows, 1);
         assert!(bytes > 0);
         assert_eq!(t.detail().wal_bytes, Some(0));
+        drop(store); // release the data-dir lock before the next reopen
         drop(s);
         let (s, report) = ServerState::recover(Store::open_dir(&root).unwrap()).unwrap();
         assert_eq!(report[0].snapshot_rows, 1);

@@ -56,4 +56,4 @@ pub mod store;
 pub mod wal;
 
 pub use store::{Recovery, Store, StoreError};
-pub use wal::{WalRecord, WalWriter};
+pub use wal::{WalRecord, WalStats, WalWriter};

@@ -41,6 +41,8 @@ use std::path::{Path, PathBuf};
 pub const SNAPSHOT_FILE: &str = "snapshot.cqs";
 /// File name of a tenant's write-ahead log inside its directory.
 pub const WAL_FILE: &str = "wal.cql";
+/// File name of the data directory's ownership lock.
+pub const LOCK_FILE: &str = "LOCK";
 
 /// Why a store operation failed.
 #[derive(Debug)]
@@ -99,21 +101,106 @@ pub struct Recovery {
 /// A directory of durable tenants. See the module docs for layout and
 /// recovery invariants.
 ///
-/// The store itself is stateless (a validated root path); per-tenant
-/// write handles are the [`WalWriter`]s it hands out, which callers
-/// serialize with whatever lock already guards the tenant's in-memory
-/// database.
+/// The store itself is near-stateless (a validated root path plus the
+/// directory lock); per-tenant write handles are the [`WalWriter`]s it
+/// hands out, which callers serialize with whatever lock already
+/// guards the tenant's in-memory database.
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
+    /// Held for the store's lifetime; its `Drop` releases the lock.
+    _lock: DirLock,
+}
+
+/// Advisory ownership of a data directory, recorded as a `LOCK` file
+/// holding the owner's PID. Two live processes (or two [`Store`]s in
+/// one process) mutating the same directory would interleave WAL
+/// appends and checkpoints arbitrarily, so `open_dir` refuses the
+/// second opener instead. A lock left behind by a dead process (the
+/// PID no longer exists) is stale and is taken over silently — a
+/// `kill -9`'d daemon must not require manual cleanup to reboot.
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    fn acquire(root: &Path) -> std::io::Result<DirLock> {
+        let path = root.join(LOCK_FILE);
+        // Two rounds: the second attempt only follows a stale-lock
+        // removal, so a genuinely contended file still errors.
+        for attempt in 0..2 {
+            match std::fs::File::options().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    let _ = writeln!(f, "{}", std::process::id());
+                    return Ok(DirLock { path });
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::AlreadyExists && attempt == 0 =>
+                {
+                    let owner = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match owner {
+                        Some(pid) if pid_is_live(pid) => {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::AddrInUse,
+                                format!(
+                                    "data directory {} is locked by running process \
+                                     {pid}; is another daemon using this --data-dir? \
+                                     (remove {} if the lock is wrong)",
+                                    root.display(),
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        // Dead owner or unreadable lock: stale; reclaim.
+                        _ => std::fs::remove_file(&path)?,
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second acquire attempt only runs after removing a stale lock")
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Is a process with this PID currently alive?
+fn pid_is_live(pid: u32) -> bool {
+    if pid == std::process::id() {
+        // Our own lock: a second in-process open is a real conflict.
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        // No portable std-only liveness probe: assume live, so a stale
+        // lock needs manual removal on non-Linux hosts (the safe side).
+        true
+    }
 }
 
 impl Store {
-    /// Open (creating if needed) a data directory.
+    /// Open (creating if needed) a data directory, taking exclusive
+    /// ownership of it. Fails with `AddrInUse` when another live
+    /// process — or another `Store` in this process — already owns it;
+    /// a lock left by a dead process is reclaimed automatically. The
+    /// lock is released when the `Store` is dropped.
     pub fn open_dir(root: impl Into<PathBuf>) -> std::io::Result<Store> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(Store { root })
+        let lock = DirLock::acquire(&root)?;
+        Ok(Store { root, _lock: lock })
     }
 
     /// The data directory.
@@ -317,6 +404,48 @@ mod tests {
 
     fn db_pairs(db: &Database) -> Vec<(String, Relation)> {
         db.iter_sorted().map(|(n, r)| (n.to_string(), r.clone())).collect()
+    }
+
+    #[test]
+    fn second_open_of_a_locked_dir_is_refused_until_release() {
+        let store = temp_store("lock");
+        let root = store.root().to_path_buf();
+        // the "second daemon": same directory while the first is live
+        let err = Store::open_dir(&root).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        assert!(
+            err.to_string().contains("locked by running process"),
+            "error should name the owner: {err}"
+        );
+        assert!(root.join(LOCK_FILE).exists());
+        // releasing the first store releases the lock
+        drop(store);
+        assert!(!root.join(LOCK_FILE).exists(), "drop removes the lock file");
+        let store = Store::open_dir(&root).unwrap();
+        cleanup(store);
+    }
+
+    #[test]
+    fn stale_or_garbage_locks_are_reclaimed() {
+        for bad in ["999999999", "not a pid"] {
+            let dir = std::env::temp_dir().join(format!(
+                "cq_store_test_stale_{}_{}",
+                bad.len(),
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            // a lock left by a dead process (or unreadable) is stale
+            std::fs::write(dir.join(LOCK_FILE), bad).unwrap();
+            let store = Store::open_dir(&dir).unwrap();
+            let owner: u32 = std::fs::read_to_string(dir.join(LOCK_FILE))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            assert_eq!(owner, std::process::id(), "reclaimed lock is restamped");
+            cleanup(store);
+        }
     }
 
     #[test]

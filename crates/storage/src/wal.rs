@@ -237,6 +237,21 @@ pub struct WalWriter {
     file_len: u64,
     epoch: u64,
     poisoned: bool,
+    stats: WalStats,
+}
+
+/// Cumulative write-side counters for one WAL, since the writer was
+/// opened. Checkpoints reset the log but not these counters, so they
+/// measure total write traffic, not current log volume (that is
+/// [`WalWriter::len`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended successfully.
+    pub appends: u64,
+    /// Frame bytes appended successfully (headers and CRCs included).
+    pub appended_bytes: u64,
+    /// Explicit data syncs ([`WalWriter::sync`] and resets).
+    pub syncs: u64,
 }
 
 impl WalWriter {
@@ -245,7 +260,14 @@ impl WalWriter {
     pub(crate) fn create(path: PathBuf, epoch: u64) -> std::io::Result<WalWriter> {
         let mut file = File::options().create_new(true).append(true).open(&path)?;
         file.write_all(&header_bytes(epoch))?;
-        Ok(WalWriter { path, file, file_len: WAL_HEADER_LEN, epoch, poisoned: false })
+        Ok(WalWriter {
+            path,
+            file,
+            file_len: WAL_HEADER_LEN,
+            epoch,
+            poisoned: false,
+            stats: WalStats::default(),
+        })
     }
 
     /// Open an existing WAL for appending. `file_len` must be the
@@ -257,7 +279,14 @@ impl WalWriter {
         epoch: u64,
     ) -> std::io::Result<WalWriter> {
         let file = File::options().append(true).open(&path)?;
-        Ok(WalWriter { path, file, file_len, epoch, poisoned: false })
+        Ok(WalWriter {
+            path,
+            file,
+            file_len,
+            epoch,
+            poisoned: false,
+            stats: WalStats::default(),
+        })
     }
 
     /// Open a possibly-absent or headerless WAL; the caller resets it
@@ -268,7 +297,14 @@ impl WalWriter {
     ) -> std::io::Result<WalWriter> {
         let file = File::options().create(true).append(true).open(&path)?;
         let file_len = file.metadata()?.len();
-        Ok(WalWriter { path, file, file_len, epoch, poisoned: false })
+        Ok(WalWriter {
+            path,
+            file,
+            file_len,
+            epoch,
+            poisoned: false,
+            stats: WalStats::default(),
+        })
     }
 
     /// Append one record; returns the new record-bytes length.
@@ -283,6 +319,8 @@ impl WalWriter {
         match self.file.write_all(&frame) {
             Ok(()) => {
                 self.file_len += frame.len() as u64;
+                self.stats.appends += 1;
+                self.stats.appended_bytes += frame.len() as u64;
                 Ok(self.len())
             }
             Err(e) => {
@@ -313,8 +351,15 @@ impl WalWriter {
     }
 
     /// Force appended records to stable storage.
-    pub fn sync(&self) -> std::io::Result<()> {
-        self.file.sync_data()
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Cumulative write-side counters since this writer was opened.
+    pub fn stats(&self) -> WalStats {
+        self.stats
     }
 
     /// Drop every record and restamp the header to `epoch` — called
@@ -324,6 +369,7 @@ impl WalWriter {
         self.file.set_len(0)?;
         self.file.write_all(&header_bytes(epoch))?;
         self.file.sync_data()?;
+        self.stats.syncs += 1;
         self.file_len = WAL_HEADER_LEN;
         self.epoch = epoch;
         self.poisoned = false;

@@ -124,6 +124,43 @@
 //! `DESIGN.md` "Durability" section for the snapshot format, WAL
 //! framing, and recovery invariants.
 //!
+//! ## Observability and budgets: `METRICS` + `SET BUDGET`
+//!
+//! The server counts and times everything (lock-free, via the `cq-obs`
+//! crate): per-tenant command and plan-operator latencies, plan-cache
+//! and catalog hit rates, WAL growth, errors by kind. `METRICS [<db>]`
+//! renders it over the wire, `cqd --metrics-interval SECS` dumps it
+//! periodically, and `cqd --slow-query-ms N` arms a slow-query log.
+//! On the same plumbing, per-tenant budgets turn the paper's lower
+//! bounds into admission control — a plan whose cost exponent exceeds
+//! the budget is refused *before* execution, citing the hypothesis
+//! that makes it hopeless:
+//!
+//! ```
+//! use cq_lower_bounds::server::{ServerState, Session};
+//! use std::sync::Arc;
+//!
+//! let mut s = Session::new(Arc::new(ServerState::new()));
+//! s.handle_line("CREATE DB social").unwrap();
+//! s.handle_line("USE social").unwrap();
+//! s.handle_line("INSERT Follows(1, 2)").unwrap();
+//! s.handle_line("INSERT Likes(2, 3)").unwrap();
+//! s.handle_line("INSERT Knows(3, 1)").unwrap();
+//!
+//! // every command is counted and timed, per tenant
+//! let m = s.handle_line("METRICS social").unwrap();
+//! assert!(m.data.iter().any(|l| l == "db.social cmd.insert.calls=3"));
+//!
+//! // a triangle plan is superlinear; a MAX-EXPONENT budget refuses it
+//! // up front, naming the lower-bound hypothesis
+//! s.handle_line("SET BUDGET social MAX-EXPONENT 1.0").unwrap();
+//! let r = s
+//!     .handle_line("DECIDE t() :- Follows(x, y), Likes(y, z), Knows(z, x)")
+//!     .unwrap();
+//! assert!(r.terminal.starts_with("ERR budget:"));
+//! assert!(r.terminal.contains("Triangle Hypothesis"));
+//! ```
+//!
 //! See `examples/` for end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction map.
 

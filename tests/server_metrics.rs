@@ -1,0 +1,104 @@
+//! Metrics correctness: replay a random command sequence through a
+//! session and check the `METRICS` counters against an independently
+//! computed tally. (The companion concurrency guarantee — hammered
+//! counters lose no increments — is tested inside `cq-obs` itself.)
+
+use cq_server::server::Session;
+use cq_server::state::ServerState;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Parse `METRICS` output into `{"<scope> <name>": value}` for
+/// counters/gauges and `{"<scope> <name> n": N}` for histograms.
+fn metrics_map(session: &mut Session) -> BTreeMap<String, u64> {
+    let reply = session.handle_line("METRICS").expect("METRICS always replies");
+    assert_eq!(reply.terminal, "OK metrics");
+    let mut map = BTreeMap::new();
+    for line in &reply.data {
+        let mut parts = line.split_whitespace();
+        let scope = parts.next().expect("scope");
+        let second = parts.next().expect("name");
+        if let Some((name, value)) = second.split_once('=') {
+            map.insert(format!("{scope} {name}"), value.parse().expect("counter value"));
+        } else {
+            // histogram: `<scope> <name> n=N p50=... p95=... p99=...`
+            let n = parts.next().expect("histogram n field");
+            let n = n.strip_prefix("n=").expect("n= prefix").parse().expect("n value");
+            map.insert(format!("{scope} {second} n"), n);
+        }
+    }
+    map
+}
+
+/// The replayable commands: wire line, scope it is counted under, and
+/// counter name. Picks 3/4 additionally execute a plan (one `op.*`
+/// call); pick 2 additionally draws one `errors.no-such-db`.
+const CMDS: [(&str, &str, &str); 6] = [
+    ("PING", "server", "cmd.ping.calls"),
+    ("STATS", "server", "cmd.stats.calls"),
+    ("USE nope", "server", "cmd.use.calls"),
+    ("COUNT q(x, y) :- R(x, y)", "db.p", "cmd.count.calls"),
+    ("DECIDE q() :- R(x, y)", "db.p", "cmd.decide.calls"),
+    ("EXPLAIN COUNT q(x, y) :- R(x, y)", "db.p", "cmd.explain.calls"),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn metrics_counters_match_an_independent_tally(
+        picks in proptest::collection::vec(0usize..CMDS.len(), 1..40)
+    ) {
+        let mut session = Session::new(Arc::new(ServerState::new()));
+        let mut tally: BTreeMap<String, u64> = BTreeMap::new();
+        let bump = |tally: &mut BTreeMap<String, u64>, scope: &str, name: &str| {
+            *tally.entry(format!("{scope} {name}")).or_insert(0) += 1;
+        };
+
+        // fixed prelude: one tenant with one relation
+        session.handle_line("CREATE DB p");
+        session.handle_line("USE p");
+        session.handle_line("INSERT R(1, 2)");
+        bump(&mut tally, "server", "cmd.create-db.calls");
+        bump(&mut tally, "server", "cmd.use.calls");
+        bump(&mut tally, "db.p", "cmd.insert.calls");
+
+        let mut executed_plans = 0u64;
+        for &i in &picks {
+            let (line, scope, name) = CMDS[i];
+            let reply = session.handle_line(line).expect("command replies");
+            prop_assert_eq!(reply.terminal.starts_with("ERR "), i == 2, "{}", reply.terminal);
+            bump(&mut tally, scope, name);
+            if i == 2 {
+                bump(&mut tally, "server", "errors.no-such-db");
+            }
+            if i == 3 || i == 4 {
+                executed_plans += 1;
+            }
+        }
+
+        let seen = metrics_map(&mut session);
+        for (key, &expect) in &tally {
+            prop_assert_eq!(seen.get(key).copied(), Some(expect), "counter {}", key);
+        }
+        // each executed query records exactly one per-operator call
+        let op_calls: u64 = seen
+            .iter()
+            .filter(|(k, _)| k.starts_with("db.p op.") && k.ends_with(".calls"))
+            .map(|(_, &v)| v)
+            .sum();
+        prop_assert_eq!(op_calls, executed_plans);
+        // latency histograms observe the same number of events as the
+        // matching call counters
+        for (key, &expect) in &tally {
+            if let Some(stem) = key.strip_suffix(".calls") {
+                prop_assert_eq!(
+                    seen.get(&format!("{stem}.latency n")).copied(),
+                    Some(expect),
+                    "histogram for {}", key
+                );
+            }
+        }
+    }
+}

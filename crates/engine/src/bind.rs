@@ -26,6 +26,11 @@ pub enum EvalError {
     /// The requested structure does not exist (e.g. no compatible join
     /// tree for a lexicographic order).
     Unsupported(String),
+    /// Evaluation was cancelled before completion — a
+    /// [`CancelToken`](crate::cancel::CancelToken) tripped (deadline
+    /// exceeded, external cancel, or a liveness probe reported the
+    /// caller gone). Partial results are discarded.
+    Cancelled,
 }
 
 impl fmt::Display for EvalError {
@@ -40,6 +45,7 @@ impl fmt::Display for EvalError {
             EvalError::NotFreeConnex => write!(f, "query is not free-connex"),
             EvalError::NotJoinQuery => write!(f, "query is not a join query"),
             EvalError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            EvalError::Cancelled => write!(f, "evaluation cancelled before completion"),
         }
     }
 }
@@ -150,6 +156,17 @@ pub fn brute_force_answers(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<Relation, EvalError> {
+    brute_force_answers_cancel(q, db, &crate::cancel::CancelToken::never())
+}
+
+/// [`brute_force_answers`] polling `cancel` once per candidate value —
+/// the backtracking search is exponential, so even the oracle must be
+/// interruptible.
+pub fn brute_force_answers_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<Relation, EvalError> {
     let atoms = bind(q, db)?;
     let n = q.n_vars();
     // candidate values per variable: intersection of column values
@@ -179,14 +196,16 @@ pub fn brute_force_answers(
         free: &[Var],
         out: &mut Relation,
         buf: &mut Vec<Val>,
-    ) {
+        cancel: &crate::cancel::CancelToken,
+    ) -> Result<(), EvalError> {
         if v == n {
             buf.clear();
             buf.extend(free.iter().map(|f| assignment[f.index()]));
             out.push_row(buf);
-            return;
+            return Ok(());
         }
         'vals: for &val in &domains[v] {
+            cancel.check()?;
             assignment[v] = val;
             // check all atoms fully within assigned prefix 0..=v
             for a in atoms {
@@ -201,11 +220,12 @@ pub fn brute_force_answers(
                     }
                 }
             }
-            rec(v + 1, n, domains, atoms, assignment, free, out, buf);
+            rec(v + 1, n, domains, atoms, assignment, free, out, buf, cancel)?;
         }
+        Ok(())
     }
     let mut buf = Vec::with_capacity(free.len());
-    rec(0, n, &domains, &atoms, &mut assignment, &free, &mut out, &mut buf);
+    rec(0, n, &domains, &atoms, &mut assignment, &free, &mut out, &mut buf, cancel)?;
     out.normalize();
     Ok(out)
 }

@@ -1,0 +1,179 @@
+//! Cooperative cancellation for long-running evaluations.
+//!
+//! The paper's hard-side queries are hard *in practice* too: a generic
+//! join on adversarial data runs for its full AGM bound whether or not
+//! anyone is still waiting for the answer. A [`CancelToken`] lets a
+//! caller bound that: the token carries an optional deadline, an
+//! externally settable flag, and an optional liveness probe (e.g. "is
+//! the client socket still open?"), and the engine's inner loops poll
+//! it via [`CancelToken::check`], aborting with
+//! [`EvalError::Cancelled`] when it trips.
+//!
+//! Polling is *strided*: `check` consults the clock / flag / probe only
+//! every [`STRIDE`]th call, so the per-iteration cost in a tight join
+//! loop is one relaxed atomic increment. The very first call always
+//! performs a real check, so a deadline of "now" (e.g. `SET TIMEOUT db
+//! 0`) cancels deterministically before any work is done. Once
+//! tripped, a token stays cancelled (the flag latches), so every
+//! subsequent check fails fast without consulting the clock again.
+
+use crate::bind::EvalError;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many [`CancelToken::check`] calls share one real
+/// clock/flag/probe consultation.
+pub const STRIDE: u32 = 256;
+
+/// A cancellation source shared between the engine's inner loops and
+/// whoever wants to stop them. Cheap to clone conceptually — pass by
+/// reference; the external cancel handle is the `Arc` flag from
+/// [`CancelToken::flag`].
+pub struct CancelToken {
+    deadline: Option<Instant>,
+    flag: Arc<AtomicBool>,
+    probe: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    tick: AtomicU32,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::never()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("deadline", &self.deadline)
+            .field("cancelled", &self.flag.load(Ordering::Relaxed))
+            .field("probe", &self.probe.is_some())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that never cancels — the default for every legacy entry
+    /// point.
+    pub fn never() -> Self {
+        CancelToken {
+            deadline: None,
+            flag: Arc::new(AtomicBool::new(false)),
+            probe: None,
+            tick: AtomicU32::new(0),
+        }
+    }
+
+    /// Cancel when `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken { deadline: Some(deadline), ..CancelToken::never() }
+    }
+
+    /// Cancel `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        // saturate at "no deadline" rather than panic on absurd timeouts
+        match Instant::now().checked_add(timeout) {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::never(),
+        }
+    }
+
+    /// Attach a liveness probe: `probe() == true` means "cancel now".
+    /// Typical use: peek the client socket for EOF. The probe is only
+    /// consulted every [`STRIDE`]th check, so it may make a syscall.
+    pub fn with_probe(
+        mut self,
+        probe: impl Fn() -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.probe = Some(Box::new(probe));
+        self
+    }
+
+    /// The externally settable cancel flag: store `true` (from any
+    /// thread) to cancel, no matter what the deadline says.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Cancel the token now.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has this token tripped (latched)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The strided poll for inner loops: cheap on most calls, a real
+    /// clock/flag/probe consultation every [`STRIDE`]th (and the very
+    /// first) call.
+    #[inline]
+    pub fn check(&self) -> Result<(), EvalError> {
+        if !self.tick.fetch_add(1, Ordering::Relaxed).is_multiple_of(STRIDE) {
+            return Ok(());
+        }
+        self.check_now()
+    }
+
+    /// An unstrided check: consult the flag, deadline, and probe right
+    /// now, latching the flag on a trip.
+    pub fn check_now(&self) -> Result<(), EvalError> {
+        if self.flag.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.probe.as_ref().is_some_and(|p| p())
+        {
+            self.flag.store(true, Ordering::Relaxed);
+            return Err(EvalError::Cancelled);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        for _ in 0..10_000 {
+            t.check().unwrap();
+        }
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_cancels_on_first_check() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert_eq!(t.check(), Err(EvalError::Cancelled));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn flag_cancels_and_latches() {
+        let t = CancelToken::never();
+        let flag = t.flag();
+        t.check().unwrap();
+        flag.store(true, Ordering::Relaxed);
+        // the strided path may skip up to STRIDE-1 calls before noticing
+        let tripped = (0..=STRIDE).any(|_| t.check().is_err());
+        assert!(tripped);
+        assert_eq!(t.check_now(), Err(EvalError::Cancelled));
+    }
+
+    #[test]
+    fn probe_trips_the_token() {
+        let t = CancelToken::never().with_probe(|| true);
+        assert_eq!(t.check(), Err(EvalError::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_passes_checks() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        for _ in 0..1000 {
+            t.check().unwrap();
+        }
+    }
+}

@@ -28,11 +28,24 @@ use cq_data::{Database, FxHashMap, Val};
 ///
 /// Counts are accumulated in u128 and must fit u64 at the root.
 pub fn count_dp(atoms: &[BoundAtom], tree: &JoinTree) -> u64 {
+    count_dp_cancel(atoms, tree, &crate::cancel::CancelToken::never())
+        .expect("a never-token cannot cancel")
+}
+
+/// [`count_dp`] polling `cancel` once per aggregated row: the DP is
+/// O(m) per node, so the row loop is where a deadline must be able to
+/// interrupt it.
+pub fn count_dp_cancel(
+    atoms: &[BoundAtom],
+    tree: &JoinTree,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<u64, EvalError> {
     // per node: map from parent-key values to summed subtree weights
     let mut msgs: Vec<Option<FxHashMap<Box<[Val]>, u128>>> = vec![None; atoms.len()];
     let mut total: u128 = 1;
     let order = tree.bottom_up();
     for &u in &order {
+        cancel.check_now()?;
         let a = &atoms[u];
         // columns of this node's parent key
         let key_cols: Vec<usize> = mask_vertices(tree.key_mask(u))
@@ -52,6 +65,7 @@ pub fn count_dp(atoms: &[BoundAtom], tree: &JoinTree) -> u64 {
         let mut msg: FxHashMap<Box<[Val]>, u128> = FxHashMap::default();
         let mut keybuf: Vec<Val> = Vec::new();
         for row in a.rel.iter() {
+            cancel.check()?;
             let mut w: u128 = 1;
             for (c, cols) in &kids {
                 keybuf.clear();
@@ -77,7 +91,7 @@ pub fn count_dp(atoms: &[BoundAtom], tree: &JoinTree) -> u64 {
         }
         msgs[u] = Some(msg);
     }
-    u64::try_from(total).expect("answer count exceeds u64")
+    Ok(u64::try_from(total).expect("answer count exceeds u64"))
 }
 
 /// Count answers of an acyclic *join* query in O(m) (Theorem 3.8).
@@ -98,12 +112,28 @@ pub fn count_acyclic_join_with_catalog(
     db: &Database,
     catalog: &cq_data::IndexCatalog,
 ) -> Result<u64, EvalError> {
+    count_acyclic_join_with_catalog_cancel(
+        q,
+        db,
+        catalog,
+        &crate::cancel::CancelToken::never(),
+    )
+}
+
+/// [`count_acyclic_join_with_catalog`] under a
+/// [`CancelToken`](crate::cancel::CancelToken).
+pub fn count_acyclic_join_with_catalog_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &cq_data::IndexCatalog,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<u64, EvalError> {
     if !q.is_join_query() {
         return Err(EvalError::NotJoinQuery);
     }
     let atoms = catalog.artifact(db, "bound_atoms", &q.to_string(), || bind(q, db))?;
     let tree = yannakakis::join_tree_of(q)?;
-    Ok(count_dp(&atoms, &tree))
+    count_dp_cancel(&atoms, &tree, cancel)
 }
 
 /// The projection-elimination step shared by counting, enumeration, and
@@ -118,6 +148,16 @@ pub fn count_acyclic_join_with_catalog(
 pub fn eliminate_projections(
     q: &ConjunctiveQuery,
     db: &Database,
+) -> Result<Option<Vec<BoundAtom>>, EvalError> {
+    eliminate_projections_cancel(q, db, &crate::cancel::CancelToken::never())
+}
+
+/// [`eliminate_projections`] polling `cancel` between per-node
+/// semijoin/projection passes.
+pub fn eliminate_projections_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    cancel: &crate::cancel::CancelToken,
 ) -> Result<Option<Vec<BoundAtom>>, EvalError> {
     let atoms = bind(q, db)?;
     let free = q.free_mask();
@@ -137,6 +177,7 @@ pub fn eliminate_projections(
     // relation, semijoined by children messages, projected to key(u).
     let mut msgs: Vec<Option<BoundAtom>> = vec![None; tree.n_nodes()];
     for u in tree.bottom_up() {
+        cancel.check_now()?;
         if u == virt {
             continue; // root: children messages are the result
         }
@@ -218,14 +259,32 @@ pub fn count_free_connex_with_catalog(
     db: &Database,
     catalog: &cq_data::IndexCatalog,
 ) -> Result<u64, EvalError> {
+    count_free_connex_with_catalog_cancel(
+        q,
+        db,
+        catalog,
+        &crate::cancel::CancelToken::never(),
+    )
+}
+
+/// [`count_free_connex_with_catalog`] under a
+/// [`CancelToken`](crate::cancel::CancelToken): both the
+/// projection-elimination preprocessing (when cold) and the DP poll it.
+pub fn count_free_connex_with_catalog_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &cq_data::IndexCatalog,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<u64, EvalError> {
     if q.is_boolean() {
-        let res = yannakakis::decide_acyclic_with_catalog(q, db, catalog)?;
+        let res = yannakakis::decide_acyclic_with_catalog_cancel(q, db, catalog, cancel)?;
         return Ok(u64::from(res));
     }
-    let msgs = catalog
-        .artifact(db, "elim_msgs", &q.to_string(), || eliminate_projections(q, db))?;
+    let msgs = catalog.artifact(db, "elim_msgs", &q.to_string(), || {
+        eliminate_projections_cancel(q, db, cancel)
+    })?;
     match &*msgs {
-        Some(m) => count_eliminated(q, m),
+        Some(m) => count_eliminated_cancel(q, m, cancel),
         None => Ok(0),
     }
 }
@@ -233,10 +292,18 @@ pub fn count_free_connex_with_catalog(
 /// The shared DP over projection-elimination messages: `q'` is an
 /// acyclic join query over the free variables.
 fn count_eliminated(q: &ConjunctiveQuery, msgs: &[BoundAtom]) -> Result<u64, EvalError> {
+    count_eliminated_cancel(q, msgs, &crate::cancel::CancelToken::never())
+}
+
+fn count_eliminated_cancel(
+    q: &ConjunctiveQuery,
+    msgs: &[BoundAtom],
+    cancel: &crate::cancel::CancelToken,
+) -> Result<u64, EvalError> {
     let scopes: Vec<u64> = msgs.iter().map(BoundAtom::scope).collect();
     let h = cq_core::Hypergraph::new(q.n_vars(), scopes);
     let tree = cq_core::gyo::join_tree(&h).ok_or(EvalError::NotFreeConnex)?;
-    Ok(count_dp(msgs, &tree))
+    count_dp_cancel(msgs, &tree, cancel)
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 //! exactly the guarantee of BDG07.
 
 use crate::bind::{BoundAtom, EvalError};
-use crate::count::eliminate_projections;
+use crate::cancel::CancelToken;
+use crate::count::eliminate_projections_cancel;
 use crate::yannakakis::{downward_sweep, upward_sweep};
 use cq_core::hypergraph::mask_vertices;
 use cq_core::{ConjunctiveQuery, Var};
@@ -51,12 +52,24 @@ impl EnumeratorCore {
     /// Linear-time preprocessing. Fails with `NotFreeConnex` /
     /// `NotAcyclic` on the hard side of the dichotomy.
     pub fn build(q: &ConjunctiveQuery, db: &Database) -> Result<Self, EvalError> {
+        EnumeratorCore::build_cancel(q, db, &CancelToken::never())
+    }
+
+    /// [`EnumeratorCore::build`] polling `cancel` between the
+    /// per-node passes of projection elimination, reduction, and
+    /// indexing — the preprocessing is linear in the data, so a
+    /// deadline must be able to interrupt it too.
+    pub fn build_cancel(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        cancel: &CancelToken,
+    ) -> Result<Self, EvalError> {
         let schema: Vec<Var> = q.free_vars();
         if q.is_boolean() {
             let res = crate::yannakakis::decide_acyclic(q, db)?;
             return Ok(EnumeratorCore { schema, levels: Vec::new(), empty: !res });
         }
-        let mut msgs = match eliminate_projections(q, db)? {
+        let mut msgs = match eliminate_projections_cancel(q, db, cancel)? {
             Some(m) => m,
             None => {
                 return Ok(EnumeratorCore { schema, levels: Vec::new(), empty: true })
@@ -75,6 +88,7 @@ impl EnumeratorCore {
         let slot_of = |v: Var| schema.iter().position(|&s| s == v).unwrap();
         let mut levels = Vec::with_capacity(tree.n_nodes());
         for u in tree.top_down() {
+            cancel.check_now()?;
             let a = &msgs[u];
             let key_mask = tree.key_mask(u);
             let key_vars: Vec<Var> =
@@ -136,8 +150,20 @@ impl Enumerator {
         db: &Database,
         catalog: &IndexCatalog,
     ) -> Result<Self, EvalError> {
+        Enumerator::preprocess_with_catalog_cancel(q, db, catalog, &CancelToken::never())
+    }
+
+    /// [`Enumerator::preprocess_with_catalog`] polling `cancel` during
+    /// a cold preprocessing build (a warm catalog hit does no work to
+    /// interrupt).
+    pub fn preprocess_with_catalog_cancel(
+        q: &ConjunctiveQuery,
+        db: &Database,
+        catalog: &IndexCatalog,
+        cancel: &CancelToken,
+    ) -> Result<Self, EvalError> {
         let core = catalog.artifact(db, "enumerator", &q.to_string(), || {
-            EnumeratorCore::build(q, db)
+            EnumeratorCore::build_cancel(q, db, cancel)
         })?;
         Ok(Enumerator::from(core))
     }
@@ -149,15 +175,28 @@ impl Enumerator {
 
     /// Visit every answer with constant delay; `visit` returns `false`
     /// to stop early. Returns `true` if enumeration ran to completion.
-    pub fn for_each(&mut self, mut visit: impl FnMut(&[Val]) -> bool) -> bool {
+    pub fn for_each(&mut self, visit: impl FnMut(&[Val]) -> bool) -> bool {
+        self.for_each_cancel(&CancelToken::never(), visit)
+            .expect("a never-token cannot cancel")
+    }
+
+    /// [`Enumerator::for_each`] polling `cancel` once per emitted
+    /// answer — the delay between answers is constant, so this bounds
+    /// the reaction latency by one delay step.
+    pub fn for_each_cancel(
+        &mut self,
+        cancel: &CancelToken,
+        mut visit: impl FnMut(&[Val]) -> bool,
+    ) -> Result<bool, EvalError> {
         let core = &self.core;
         let cursors = &mut self.cursors;
+        cancel.check()?;
         if core.empty {
-            return true;
+            return Ok(true);
         }
         if core.levels.is_empty() {
             // Boolean query that is true: the single empty answer.
-            return visit(&[]);
+            return Ok(visit(&[]));
         }
         let mut current: Vec<Val> = vec![0; core.schema.len()];
         let mut keybuf: Vec<Val> = Vec::new();
@@ -167,14 +206,15 @@ impl Enumerator {
             descend(lev, cur, &mut current, &mut keybuf);
         }
         loop {
+            cancel.check()?;
             if !visit(&current) {
-                return false;
+                return Ok(false);
             }
             // odometer: advance deepest level possible
             let mut i = l;
             loop {
                 if i == 0 {
-                    return true; // exhausted
+                    return Ok(true); // exhausted
                 }
                 i -= 1;
                 let (lev, cur) = (&core.levels[i], &mut cursors[i]);
@@ -213,13 +253,22 @@ impl Enumerator {
 
     /// Collect answers into a [`Relation`] over the schema.
     pub fn to_relation(&mut self) -> Relation {
+        self.to_relation_cancel(&CancelToken::never())
+            .expect("a never-token cannot cancel")
+    }
+
+    /// [`Enumerator::to_relation`] under a [`CancelToken`].
+    pub fn to_relation_cancel(
+        &mut self,
+        cancel: &CancelToken,
+    ) -> Result<Relation, EvalError> {
         let mut rel = Relation::new(self.core.schema.len());
-        self.for_each(|row| {
+        self.for_each_cancel(cancel, |row| {
             rel.push_row(row);
             true
-        });
+        })?;
         rel.normalize();
-        rel
+        Ok(rel)
     }
 }
 

@@ -12,6 +12,7 @@
 use crate::bind::{
     bind, collapse_rel, distinct_vars, validate_atom, BoundAtom, EvalError,
 };
+use crate::cancel::CancelToken;
 use cq_core::{ConjunctiveQuery, Var};
 use cq_data::{Database, FxHashSet, IndexCatalog, Relation, SortedView, Val};
 use std::sync::Arc;
@@ -58,8 +59,9 @@ fn atom_layout(vars: &[Var], pos: &[usize]) -> (Vec<usize>, Vec<usize>) {
 fn run_prepared(
     prepared: &[PreparedAtom],
     n_depths: usize,
+    cancel: &CancelToken,
     visit: &mut dyn FnMut(&[Val]) -> bool,
-) -> bool {
+) -> Result<bool, EvalError> {
     // for each global depth: (atom index, local column) of involved atoms
     let mut involved: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_depths];
     for (ai, p) in prepared.iter().enumerate() {
@@ -77,7 +79,7 @@ fn run_prepared(
     let mut ranges: Vec<std::ops::Range<usize>> =
         prepared.iter().map(|p| 0..p.view.len()).collect();
 
-    search(prepared, &involved, 0, &mut assignment, &mut ranges, visit)
+    search(prepared, &involved, 0, &mut assignment, &mut ranges, cancel, visit)
 }
 
 /// Run the generic join over `atoms` with the given global variable
@@ -92,8 +94,21 @@ pub fn generic_join_visit(
     order: &[Var],
     visit: &mut dyn FnMut(&[Val]) -> bool,
 ) -> bool {
+    generic_join_visit_cancel(atoms, order, &CancelToken::never(), visit)
+        .expect("a never-token cannot cancel")
+}
+
+/// [`generic_join_visit`] polling `cancel` at every search level: a
+/// tripped token aborts the join mid-descent with
+/// [`EvalError::Cancelled`], discarding whatever the visitor saw.
+pub fn generic_join_visit_cancel(
+    atoms: &[BoundAtom],
+    order: &[Var],
+    cancel: &CancelToken,
+    visit: &mut dyn FnMut(&[Val]) -> bool,
+) -> Result<bool, EvalError> {
     if atoms.iter().any(|a| a.rel.is_empty()) {
-        return true;
+        return Ok(true);
     }
     let pos = position_map(order);
     let prepared: Vec<PreparedAtom> = atoms
@@ -104,7 +119,7 @@ pub fn generic_join_visit(
             PreparedAtom { view, depths }
         })
         .collect();
-    run_prepared(&prepared, order.len(), visit)
+    run_prepared(&prepared, order.len(), cancel, visit)
 }
 
 /// [`generic_join_visit`] with all index acquisition routed through the
@@ -118,6 +133,19 @@ pub fn generic_join_visit_catalog(
     db: &Database,
     order: &[Var],
     catalog: &IndexCatalog,
+    visit: &mut dyn FnMut(&[Val]) -> bool,
+) -> Result<bool, EvalError> {
+    generic_join_visit_catalog_cancel(q, db, order, catalog, &CancelToken::never(), visit)
+}
+
+/// [`generic_join_visit_catalog`] polling `cancel` at every search
+/// level.
+pub fn generic_join_visit_catalog_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
     visit: &mut dyn FnMut(&[Val]) -> bool,
 ) -> Result<bool, EvalError> {
     // validate every atom first (error parity with `bind`), and return
@@ -149,7 +177,7 @@ pub fn generic_join_visit_catalog(
         };
         prepared.push(PreparedAtom { view, depths });
     }
-    Ok(run_prepared(&prepared, order.len(), visit))
+    run_prepared(&prepared, order.len(), cancel, visit)
 }
 
 /// Position of the first row in `view[range]` whose column `col` is
@@ -198,10 +226,14 @@ fn search(
     depth: usize,
     assignment: &mut Vec<Val>,
     ranges: &mut Vec<std::ops::Range<usize>>,
+    cancel: &CancelToken,
     visit: &mut dyn FnMut(&[Val]) -> bool,
-) -> bool {
+) -> Result<bool, EvalError> {
+    // poll on entry, not in the visitor: joins that produce no results
+    // still descend here constantly, so this is the live check site
+    cancel.check()?;
     if depth == involved.len() {
-        return visit(assignment);
+        return Ok(visit(assignment));
     }
     let inv = &involved[depth];
     // leapfrog: maintain a candidate value; every involved atom must
@@ -211,7 +243,7 @@ fn search(
     let mut candidate: Val = 0;
     for (ci, &(ai, lc)) in inv.iter().enumerate() {
         if cursors[ci] >= ranges[ai].end {
-            return true; // some atom has no rows left
+            return Ok(true); // some atom has no rows left
         }
         candidate = candidate.max(prepared[ai].view.row(cursors[ci])[lc]);
     }
@@ -226,7 +258,7 @@ fn search(
             );
             cursors[ci] = pos;
             if pos >= ranges[ai].end {
-                return true; // exhausted
+                return Ok(true); // exhausted
             }
             let v = prepared[ai].view.row(pos)[lc];
             if v > candidate {
@@ -248,13 +280,14 @@ fn search(
             );
             ranges[ai] = start..end;
         }
-        let keep_going = search(prepared, involved, depth + 1, assignment, ranges, visit);
+        let deeper =
+            search(prepared, involved, depth + 1, assignment, ranges, cancel, visit);
         // restore ranges
         for (ci, &(ai, _)) in inv.iter().enumerate() {
             ranges[ai] = saved[ci].clone();
         }
-        if !keep_going {
-            return false;
+        if !deeper? {
+            return Ok(false);
         }
         // advance past `candidate`
         let mut new_candidate = candidate;
@@ -267,7 +300,7 @@ fn search(
             );
             cursors[ci] = pos;
             if pos >= ranges[ai].end {
-                return true;
+                return Ok(true);
             }
             new_candidate = new_candidate.max(prepared[ai].view.row(pos)[lc]);
         }
@@ -320,18 +353,36 @@ pub fn answers_with_order_catalog(
     order: &[Var],
     catalog: &IndexCatalog,
 ) -> Result<Relation, EvalError> {
+    answers_with_order_catalog_cancel(q, db, order, catalog, &CancelToken::never())
+}
+
+/// [`answers_with_order_catalog`] under a [`CancelToken`].
+pub fn answers_with_order_catalog_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<Relation, EvalError> {
     let free = q.free_vars();
     let free_pos: Vec<usize> =
         free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
     let mut out = Relation::new(free.len());
     let mut buf: Vec<Val> = vec![0; free.len()];
-    generic_join_visit_catalog(q, db, order, catalog, &mut |assignment| {
-        for (b, &p) in buf.iter_mut().zip(&free_pos) {
-            *b = assignment[p];
-        }
-        out.push_row(&buf);
-        true
-    })?;
+    generic_join_visit_catalog_cancel(
+        q,
+        db,
+        order,
+        catalog,
+        cancel,
+        &mut |assignment| {
+            for (b, &p) in buf.iter_mut().zip(&free_pos) {
+                *b = assignment[p];
+            }
+            out.push_row(&buf);
+            true
+        },
+    )?;
     out.normalize();
     Ok(out)
 }
@@ -364,8 +415,19 @@ pub fn decide_with_order_catalog(
     order: &[Var],
     catalog: &IndexCatalog,
 ) -> Result<bool, EvalError> {
+    decide_with_order_catalog_cancel(q, db, order, catalog, &CancelToken::never())
+}
+
+/// [`decide_with_order_catalog`] under a [`CancelToken`].
+pub fn decide_with_order_catalog_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<bool, EvalError> {
     let mut found = false;
-    generic_join_visit_catalog(q, db, order, catalog, &mut |_| {
+    generic_join_visit_catalog_cancel(q, db, order, catalog, cancel, &mut |_| {
         found = true;
         false
     })?;
@@ -409,18 +471,36 @@ pub fn count_distinct_with_order_catalog(
     order: &[Var],
     catalog: &IndexCatalog,
 ) -> Result<u64, EvalError> {
+    count_distinct_with_order_catalog_cancel(q, db, order, catalog, &CancelToken::never())
+}
+
+/// [`count_distinct_with_order_catalog`] under a [`CancelToken`].
+pub fn count_distinct_with_order_catalog_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    order: &[Var],
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<u64, EvalError> {
     let free = q.free_vars();
     let free_pos: Vec<usize> =
         free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
     let mut set: FxHashSet<Box<[Val]>> = FxHashSet::default();
     let mut buf: Vec<Val> = vec![0; free.len()];
-    generic_join_visit_catalog(q, db, order, catalog, &mut |assignment| {
-        for (b, &p) in buf.iter_mut().zip(&free_pos) {
-            *b = assignment[p];
-        }
-        set.insert(buf.as_slice().into());
-        true
-    })?;
+    generic_join_visit_catalog_cancel(
+        q,
+        db,
+        order,
+        catalog,
+        cancel,
+        &mut |assignment| {
+            for (b, &p) in buf.iter_mut().zip(&free_pos) {
+                *b = assignment[p];
+            }
+            set.insert(buf.as_slice().into());
+            true
+        },
+    )?;
     Ok(set.len() as u64)
 }
 

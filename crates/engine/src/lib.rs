@@ -26,6 +26,7 @@
 
 pub mod aggregate;
 pub mod bind;
+pub mod cancel;
 pub mod count;
 pub mod direct_access;
 pub mod enumerate;
@@ -38,6 +39,7 @@ pub mod triangle_query;
 pub mod yannakakis;
 
 pub use bind::{bind, BoundAtom, EvalError};
+pub use cancel::CancelToken;
 pub use direct_access::{DirectAccess, LexDirectAccess, MaterializedDirectAccess};
 pub use enumerate::{Enumerator, EnumeratorCore};
 pub use fc_direct_access::FreeConnexDirectAccess;

@@ -89,6 +89,24 @@ pub fn decide_acyclic_with_catalog(
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<bool, EvalError> {
+    decide_acyclic_with_catalog_cancel(
+        q,
+        db,
+        catalog,
+        &crate::cancel::CancelToken::never(),
+    )
+}
+
+/// [`decide_acyclic_with_catalog`] polling `cancel` between semijoin
+/// passes: the sweep is one O(m) semijoin per tree edge, so the token
+/// is consulted before each pass and a tripped deadline aborts the
+/// sweep at the next edge boundary.
+pub fn decide_acyclic_with_catalog_cancel(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &IndexCatalog,
+    cancel: &crate::cancel::CancelToken,
+) -> Result<bool, EvalError> {
     /// A node's current relation during the sweep.
     enum Rel<'a> {
         /// Untouched base relation (atom without repeated variables).
@@ -131,6 +149,7 @@ pub fn decide_acyclic_with_catalog(
     }
     let tree = join_tree_of(q)?;
     for u in tree.bottom_up() {
+        cancel.check_now()?;
         let Some(p) = tree.parent(u) else { continue };
         let (cp, cu) = shared_cols_of(&vars_of[p], &vars_of[u]);
         let filtered = match &rels[u] {

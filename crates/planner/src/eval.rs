@@ -28,12 +28,13 @@
 //! pre-collected [`DataStats`], or the `*_with_catalog` variants with
 //! an explicit [`IndexCatalog`].
 
-use crate::execute::{execute, execute_with_catalog, Output};
+use crate::execute::{execute, execute_with_catalog_cancel, Output};
 use crate::ir::{QueryPlan, Task};
 use crate::planner::Planner;
 use cq_core::ConjunctiveQuery;
 use cq_data::{DataStats, Database, FxHashMap, IndexCatalog, Relation};
 use cq_engine::bind::EvalError;
+use cq_engine::CancelToken;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -122,9 +123,21 @@ pub fn decide_with_catalog(
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<(bool, QueryPlan), EvalError> {
+    decide_with_catalog_cancel(planner, q, db, catalog, &CancelToken::never())
+}
+
+/// [`decide_with_catalog`] under a [`CancelToken`]: a tripped deadline
+/// or probe aborts mid-execution with [`EvalError::Cancelled`].
+pub fn decide_with_catalog_cancel(
+    planner: &mut Planner,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<(bool, QueryPlan), EvalError> {
     let stats = catalog.stats(db);
     let plan = planner.plan(q, Task::Decide, &stats);
-    let out = execute_with_catalog(&plan, q, db, catalog)?;
+    let out = execute_with_catalog_cancel(&plan, q, db, catalog, cancel)?;
     Ok((out.as_decision().expect("decide plan yields decision"), plan))
 }
 
@@ -154,9 +167,20 @@ pub fn count_with_catalog(
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<(u64, QueryPlan), EvalError> {
+    count_with_catalog_cancel(planner, q, db, catalog, &CancelToken::never())
+}
+
+/// [`count_with_catalog`] under a [`CancelToken`].
+pub fn count_with_catalog_cancel(
+    planner: &mut Planner,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<(u64, QueryPlan), EvalError> {
     let stats = catalog.stats(db);
     let plan = planner.plan(q, Task::Count, &stats);
-    let out = execute_with_catalog(&plan, q, db, catalog)?;
+    let out = execute_with_catalog_cancel(&plan, q, db, catalog, cancel)?;
     Ok((out.as_count().expect("count plan yields count"), plan))
 }
 
@@ -190,9 +214,20 @@ pub fn answers_with_catalog(
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<(Relation, QueryPlan), EvalError> {
+    answers_with_catalog_cancel(planner, q, db, catalog, &CancelToken::never())
+}
+
+/// [`answers_with_catalog`] under a [`CancelToken`].
+pub fn answers_with_catalog_cancel(
+    planner: &mut Planner,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<(Relation, QueryPlan), EvalError> {
     let stats = catalog.stats(db);
     let plan = planner.plan(q, Task::Answers, &stats);
-    match execute_with_catalog(&plan, q, db, catalog)? {
+    match execute_with_catalog_cancel(&plan, q, db, catalog, cancel)? {
         Output::Answers(r) => Ok((r, plan)),
         other => unreachable!("answers plan yielded {other:?}"),
     }
@@ -280,6 +315,20 @@ pub fn batch_tasks_with_catalog<'q>(
     catalog: &IndexCatalog,
     workers: usize,
 ) -> Vec<Result<(Output, QueryPlan), EvalError>> {
+    batch_tasks_with_catalog_cancel(items, db, catalog, workers, &CancelToken::never())
+}
+
+/// [`batch_tasks_with_catalog`] under one shared [`CancelToken`]: all
+/// workers poll the same token, so one deadline bounds the whole
+/// batch; items cancelled mid-run report [`EvalError::Cancelled`]
+/// individually.
+pub fn batch_tasks_with_catalog_cancel<'q>(
+    items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
+    db: &Database,
+    catalog: &IndexCatalog,
+    workers: usize,
+    cancel: &CancelToken,
+) -> Vec<Result<(Output, QueryPlan), EvalError>> {
     let items: Vec<(&ConjunctiveQuery, Task)> = items.into_iter().collect();
     if items.is_empty() {
         return Vec::new();
@@ -295,7 +344,8 @@ pub fn batch_tasks_with_catalog<'q>(
     let run = |i: usize| -> Result<(Output, QueryPlan), EvalError> {
         let (q, _) = items[i];
         let plan = &plans[i];
-        execute_with_catalog(plan, q, db, catalog).map(|out| (out, plan.clone()))
+        execute_with_catalog_cancel(plan, q, db, catalog, cancel)
+            .map(|out| (out, plan.clone()))
     };
 
     let workers = workers.min(items.len());

@@ -15,7 +15,7 @@ use cq_core::ConjunctiveQuery;
 use cq_data::{Database, IndexCatalog, Relation};
 use cq_engine::bind::EvalError;
 use cq_engine::direct_access::DirectAccess;
-use cq_engine::{count, generic_join, yannakakis, Enumerator};
+use cq_engine::{count, generic_join, yannakakis, CancelToken, Enumerator};
 
 /// The result of executing a plan: one variant per task.
 #[derive(Clone, PartialEq, Debug)]
@@ -90,10 +90,27 @@ pub fn execute_with_catalog(
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<Output, EvalError> {
+    execute_with_catalog_cancel(plan, q, db, catalog, &CancelToken::never())
+}
+
+/// [`execute_with_catalog`] under a [`CancelToken`]: every operator's
+/// inner loops poll the token, so a deadline (or a vanished client)
+/// aborts the execution with [`EvalError::Cancelled`] instead of
+/// running to the plan's full cost bound. The token is checked once
+/// up front, so an already-expired deadline cancels deterministically
+/// before any work — whatever the plan.
+pub fn execute_with_catalog_cancel(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<Output, EvalError> {
+    cancel.check_now()?;
     match plan.task {
-        Task::Decide => decide_task(plan, q, db, catalog).map(Output::Decision),
-        Task::Count => count_task(plan, q, db, catalog).map(Output::Count),
-        Task::Answers => answers_task(plan, q, db, catalog).map(Output::Answers),
+        Task::Decide => decide_task(plan, q, db, catalog, cancel).map(Output::Decision),
+        Task::Count => count_task(plan, q, db, catalog, cancel).map(Output::Count),
+        Task::Answers => answers_task(plan, q, db, catalog, cancel).map(Output::Answers),
         Task::Access => Err(EvalError::Unsupported(
             "direct-access plans are built with `build_lex_access_with_catalog`, \
              not `execute_with_catalog`"
@@ -115,12 +132,15 @@ fn decide_task(
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
+    cancel: &CancelToken,
 ) -> Result<bool, EvalError> {
     match &plan.op {
         PlanOp::TrivialEmpty => Ok(false),
-        PlanOp::SemijoinSweep => yannakakis::decide_acyclic_with_catalog(q, db, catalog),
+        PlanOp::SemijoinSweep => {
+            yannakakis::decide_acyclic_with_catalog_cancel(q, db, catalog, cancel)
+        }
         PlanOp::GenericJoin { order } => {
-            generic_join::decide_with_order_catalog(q, db, order, catalog)
+            generic_join::decide_with_order_catalog_cancel(q, db, order, catalog, cancel)
         }
         _ => Err(unsupported(plan)),
     }
@@ -131,22 +151,29 @@ fn count_task(
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
+    cancel: &CancelToken,
 ) -> Result<u64, EvalError> {
     match &plan.op {
         PlanOp::TrivialEmpty => Ok(0),
         // Boolean counting reuses the decision operators (|q(D)| ∈ {0,1})
-        PlanOp::SemijoinSweep if q.is_boolean() => {
-            Ok(u64::from(yannakakis::decide_acyclic_with_catalog(q, db, catalog)?))
-        }
+        PlanOp::SemijoinSweep if q.is_boolean() => Ok(u64::from(
+            yannakakis::decide_acyclic_with_catalog_cancel(q, db, catalog, cancel)?,
+        )),
         PlanOp::GenericJoin { order } if q.is_boolean() => {
-            Ok(u64::from(generic_join::decide_with_order_catalog(q, db, order, catalog)?))
+            Ok(u64::from(generic_join::decide_with_order_catalog_cancel(
+                q, db, order, catalog, cancel,
+            )?))
         }
-        PlanOp::CountingDp => count::count_acyclic_join_with_catalog(q, db, catalog),
+        PlanOp::CountingDp => {
+            count::count_acyclic_join_with_catalog_cancel(q, db, catalog, cancel)
+        }
         PlanOp::ProjectionEliminationDp => {
-            count::count_free_connex_with_catalog(q, db, catalog)
+            count::count_free_connex_with_catalog_cancel(q, db, catalog, cancel)
         }
         PlanOp::CountDistinctProject { order } => {
-            generic_join::count_distinct_with_order_catalog(q, db, order, catalog)
+            generic_join::count_distinct_with_order_catalog_cancel(
+                q, db, order, catalog, cancel,
+            )
         }
         _ => Err(unsupported(plan)),
     }
@@ -157,25 +184,29 @@ fn answers_task(
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
+    cancel: &CancelToken,
 ) -> Result<Relation, EvalError> {
     match &plan.op {
         PlanOp::TrivialEmpty => Ok(Relation::new(q.free_vars().len())),
         PlanOp::ConstantDelayEnumeration => {
-            let mut e = Enumerator::preprocess_with_catalog(q, db, catalog)?;
-            Ok(e.to_relation())
+            let mut e =
+                Enumerator::preprocess_with_catalog_cancel(q, db, catalog, cancel)?;
+            e.to_relation_cancel(cancel)
         }
         PlanOp::MaterializeProject { order } => {
-            generic_join::answers_with_order_catalog(q, db, order, catalog)
+            generic_join::answers_with_order_catalog_cancel(q, db, order, catalog, cancel)
         }
         // Boolean queries route their answer task through the
         // early-stopping decision operators; the answer relation is the
         // nullary {()} or {}
         PlanOp::SemijoinSweep if q.is_boolean() => Ok(Relation::nullary(
-            yannakakis::decide_acyclic_with_catalog(q, db, catalog)?,
+            yannakakis::decide_acyclic_with_catalog_cancel(q, db, catalog, cancel)?,
         )),
-        PlanOp::GenericJoin { order } if q.is_boolean() => Ok(Relation::nullary(
-            generic_join::decide_with_order_catalog(q, db, order, catalog)?,
-        )),
+        PlanOp::GenericJoin { order } if q.is_boolean() => {
+            Ok(Relation::nullary(generic_join::decide_with_order_catalog_cancel(
+                q, db, order, catalog, cancel,
+            )?))
+        }
         _ => Err(unsupported(plan)),
     }
 }

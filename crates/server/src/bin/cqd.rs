@@ -28,7 +28,7 @@
 
 use cq_server::server::Server;
 use cq_server::state::ServerState;
-use cq_storage::Store;
+use cq_storage::{FaultPlan, Store};
 use std::sync::Arc;
 
 fn main() {
@@ -73,10 +73,21 @@ fn main() {
         }
     }
 
+    // chaos harness: CQ_FAULT_PLAN=<point:n[:times],...> injects
+    // storage failures at named points (for crash/degradation drills);
+    // unset means no injection, exactly as before
+    let faults = FaultPlan::from_env().unwrap_or_else(|e| {
+        eprintln!("cqd: bad CQ_FAULT_PLAN: {e}");
+        std::process::exit(2);
+    });
+    if faults.is_armed() {
+        println!("cqd fault injection armed (CQ_FAULT_PLAN)");
+    }
+
     let state = match &data_dir {
         None => Arc::new(ServerState::new()),
         Some(dir) => {
-            let store = Store::open_dir(dir).unwrap_or_else(|e| {
+            let store = Store::open_dir_with_faults(dir, faults).unwrap_or_else(|e| {
                 eprintln!("cqd: cannot open data dir {dir}: {e}");
                 std::process::exit(1);
             });

@@ -32,6 +32,16 @@
 //! and `STATS <name>` reports a tenant's schema, generation, and
 //! storage status.
 //!
+//! Robustness commands: `SET TIMEOUT <db> <ms>|NONE` sets a per-tenant
+//! query deadline enforced *cooperatively* inside the engine's inner
+//! loops (a tripped deadline is a structured `ERR timeout` citing the
+//! plan's cost exponent and the lower-bound hypothesis that makes the
+//! cost unavoidable — the connection keeps serving), and `RESUME <db>`
+//! repairs a tenant that degraded to read-only after an unrecoverable
+//! write-ahead-log failure (reads keep serving throughout; see
+//! `DESIGN.md`'s failure model). Both limits are logged, so they
+//! survive a restart.
+//!
 //! ## Quickstart
 //!
 //! Boot a server and drive it in-process (the binaries `cqd` and `cqsh`
@@ -50,6 +60,16 @@
 //! assert_eq!(r.terminal, "OK 2");
 //! let r = c.request("ANSWERS q(x, z) :- R(x, y), S(y, z)").unwrap();
 //! assert_eq!(r.data, vec!["1 7", "2 7"]);
+//!
+//! // a per-tenant deadline: a zero timeout is already past when
+//! // evaluation starts, so the trip is deterministic — and structured
+//! c.request("SET TIMEOUT demo 0").unwrap();
+//! let r = c.request("COUNT q(x, z) :- R(x, y), S(y, z)").unwrap();
+//! assert!(r.terminal.starts_with("ERR timeout:"));
+//! assert!(r.terminal.contains("plan cost m^"));
+//! c.request("SET TIMEOUT demo NONE").unwrap();
+//! let r = c.request("COUNT q(x, z) :- R(x, y), S(y, z)").unwrap();
+//! assert_eq!(r.terminal, "OK 2");
 //! c.quit().unwrap();
 //! server.shutdown();
 //! ```

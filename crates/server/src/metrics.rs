@@ -163,6 +163,18 @@ impl SessionMetrics {
         let scope = self.shared.registry.scope(&tenant_scope(db));
         scope.counter("budget.rejections").inc();
     }
+
+    /// Count one deadline-exceeded evaluation (`SET TIMEOUT` trip).
+    pub fn record_timeout(&mut self, db: &str) {
+        let scope = self.shared.registry.scope(&tenant_scope(db));
+        scope.counter("timeouts").inc();
+    }
+
+    /// Count one evaluation cancelled because the client disconnected.
+    pub fn record_cancellation(&mut self, db: &str) {
+        let scope = self.shared.registry.scope(&tenant_scope(db));
+        scope.counter("cancellations").inc();
+    }
 }
 
 /// Pull pulled-not-pushed values into gauges: per-tenant catalog and
@@ -181,6 +193,11 @@ pub fn refresh(state: &ServerState, db: Option<&str>) {
         server.gauge("plan-cache.misses").set(cache.misses);
         server.gauge("plan-cache.uncacheable").set(cache.uncacheable);
         server.gauge("slow-queries").set(metrics.slowlog().total());
+        // injected storage faults (0 on an in-memory server, which has
+        // no store to inject into — the gauge exists in both modes so
+        // transcripts stay mode-independent)
+        let injected = state.store().map_or(0, |s| s.fault_plan().injected());
+        server.gauge("storage.faults.injected").set(injected);
     }
     for tenant in state.tenants() {
         if db.is_some_and(|want| want != tenant.name()) {
@@ -200,6 +217,10 @@ pub fn refresh(state: &ServerState, db: Option<&str>) {
             scope.gauge("storage.wal.appended-bytes").set(wal.appended_bytes);
             scope.gauge("storage.wal.syncs").set(wal.syncs);
         }
+        if let Some(poisoned) = tenant.wal_poisoned() {
+            scope.gauge("storage.wal.poisoned").set(poisoned as u64);
+        }
+        scope.gauge("degraded").set(tenant.is_degraded() as u64);
     }
 }
 

@@ -25,6 +25,9 @@
 //!          | SET BUDGET <name> MAX-EXPONENT <e>     -- admission control: cap plan cost m^e
 //!          | SET BUDGET <name> MAX-ROWS <n>         -- ...or cap estimated operations
 //!          | SET BUDGET <name> NONE                 -- clear both caps
+//!          | SET TIMEOUT <name> <ms>                -- per-query evaluation deadline
+//!          | SET TIMEOUT <name> NONE                -- clear the deadline
+//!          | RESUME <name>                          -- restore a degraded tenant to read-write
 //!          | QUIT
 //! ```
 //!
@@ -83,6 +86,16 @@ pub enum ErrKind {
     /// Admission control: the plan's cost exceeds the tenant's
     /// `SET BUDGET` cap; the message carries the lower-bound citation.
     Budget,
+    /// Evaluation exceeded the tenant's `SET TIMEOUT` deadline (or was
+    /// cancelled because the client disconnected); the message carries
+    /// the plan's cost exponent and its lower-bound citation.
+    Timeout,
+    /// The tenant is in read-only degraded mode after an unrecoverable
+    /// storage failure; mutations refuse until `RESUME <db>` succeeds.
+    Degraded,
+    /// The server is saturated (worker pool and overflow slots all
+    /// busy); the connection is shed after this reply.
+    Busy,
     /// A command handler panicked; the session survives.
     Internal,
 }
@@ -105,6 +118,9 @@ impl ErrKind {
             ErrKind::Eval => "eval",
             ErrKind::Storage => "storage",
             ErrKind::Budget => "budget",
+            ErrKind::Timeout => "timeout",
+            ErrKind::Degraded => "degraded",
+            ErrKind::Busy => "busy",
             ErrKind::Internal => "internal",
         }
     }
@@ -248,6 +264,16 @@ pub enum Command {
         /// Which cap, and its value.
         setting: BudgetSetting,
     },
+    /// Set (or clear) a tenant's per-query evaluation deadline.
+    SetTimeout {
+        /// The tenant whose deadline changes.
+        db: String,
+        /// Deadline in milliseconds; `None` clears it.
+        ms: Option<u64>,
+    },
+    /// Restore a degraded (read-only) tenant to read-write by rolling
+    /// a fresh WAL segment (checkpoint + log reset).
+    Resume(String),
     /// Close the session.
     Quit,
 }
@@ -351,7 +377,8 @@ pub fn parse_command(line: &str) -> Result<Command, Reply> {
                 Ok(Command::Metrics { db: Some(valid_db_name(rest)?) })
             }
         }
-        "SET" => parse_set_budget(rest),
+        "SET" => parse_set(rest),
+        "RESUME" => Ok(Command::Resume(valid_db_name(rest)?)),
         "QUIT" => expect_no_args(rest, Command::Quit),
         _ => Err(Reply::err(ErrKind::UnknownCommand, format!("`{verb}`"))),
     }
@@ -422,15 +449,48 @@ fn valid_relation_name(name: &str) -> Result<String, Reply> {
     }
 }
 
+/// Parse the tail of a `SET …` command (the leading `SET` is already
+/// consumed): `SET BUDGET <db> …` or `SET TIMEOUT <db> <ms>|NONE`.
+fn parse_set(rest: &str) -> Result<Command, Reply> {
+    let (kw, rest) = split_word(rest);
+    if kw.eq_ignore_ascii_case("BUDGET") {
+        parse_set_budget(rest)
+    } else if kw.eq_ignore_ascii_case("TIMEOUT") {
+        parse_set_timeout(rest)
+    } else {
+        Err(Reply::err(
+            ErrKind::Usage,
+            "usage: SET BUDGET <db> … | SET TIMEOUT <db> <ms>|NONE",
+        ))
+    }
+}
+
+/// Parse the tail of `SET TIMEOUT <db> <ms> | NONE`.
+fn parse_set_timeout(rest: &str) -> Result<Command, Reply> {
+    const USAGE: &str = "usage: SET TIMEOUT <db> <ms> | NONE";
+    let (name, value) = split_word(rest);
+    if name.is_empty() || value.is_empty() {
+        return Err(Reply::err(ErrKind::Usage, USAGE));
+    }
+    let db = valid_db_name(name)?;
+    let ms = if value.eq_ignore_ascii_case("NONE") {
+        None
+    } else {
+        Some(value.parse::<u64>().map_err(|_| {
+            Reply::err(
+                ErrKind::Usage,
+                format!("SET TIMEOUT takes milliseconds (a u64) or NONE, got `{value}`"),
+            )
+        })?)
+    };
+    Ok(Command::SetTimeout { db, ms })
+}
+
 /// Parse the tail of `SET BUDGET <db> MAX-EXPONENT <e> | MAX-ROWS <n>
-/// | NONE` (the leading `SET` is already consumed).
+/// | NONE` (the leading `SET BUDGET` is already consumed).
 fn parse_set_budget(rest: &str) -> Result<Command, Reply> {
     const USAGE: &str = "usage: SET BUDGET <db> MAX-EXPONENT <e> | MAX-ROWS <n> | NONE";
     let usage = || Reply::err(ErrKind::Usage, USAGE);
-    let (kw, rest) = split_word(rest);
-    if !kw.eq_ignore_ascii_case("BUDGET") {
-        return Err(usage());
-    }
     let (name, rest) = split_word(rest);
     if name.is_empty() {
         return Err(usage());
@@ -648,6 +708,42 @@ mod tests {
             "SET BUDGET t1 NONE extra",
             "SET SPEED t1 FAST",
             "METRICS sp ace",
+        ] {
+            let e = parse_command(bad).unwrap_err();
+            assert!(
+                e.terminal.starts_with("ERR usage")
+                    || e.terminal.starts_with("ERR bad-name"),
+                "{bad}: {}",
+                e.terminal
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_and_resume_parse() {
+        assert_eq!(
+            parse_command("SET TIMEOUT t1 250").unwrap(),
+            Command::SetTimeout { db: "t1".into(), ms: Some(250) }
+        );
+        assert_eq!(
+            parse_command("set timeout t1 none").unwrap(),
+            Command::SetTimeout { db: "t1".into(), ms: None }
+        );
+        assert_eq!(
+            parse_command("SET TIMEOUT t1 0").unwrap(),
+            Command::SetTimeout { db: "t1".into(), ms: Some(0) }
+        );
+        assert_eq!(parse_command("RESUME t1").unwrap(), Command::Resume("t1".into()));
+        assert_eq!(parse_command("resume t1").unwrap(), Command::Resume("t1".into()));
+        for bad in [
+            "SET TIMEOUT",
+            "SET TIMEOUT t1",
+            "SET TIMEOUT t1 fast",
+            "SET TIMEOUT t1 -5",
+            "SET TIMEOUT t1 1.5",
+            "SET SPEED t1 FAST",
+            "RESUME",
+            "RESUME sp ace",
         ] {
             let e = parse_command(bad).unwrap_err();
             assert!(

@@ -24,8 +24,9 @@ use crate::protocol::{
 use crate::state::{Budget, ServerState, StateError, Tenant};
 use cq_core::{parse_query, ConjunctiveQuery, ParseError};
 use cq_data::{Relation, Val};
+use cq_engine::{CancelToken, EvalError};
 use cq_obs::SlowQuery;
-use cq_planner::{eval, execute_with_catalog, Output, QueryPlan, Task};
+use cq_planner::{eval, execute::execute_with_catalog_cancel, Output, QueryPlan, Task};
 use cq_storage::WalRecord;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -33,7 +34,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One item of an open `BATCH` block: a parsed query or the per-item
 /// error that will be reported at `END`.
@@ -70,6 +71,9 @@ pub struct Session {
     /// Cached metric handles (see [`SessionMetrics`]); recording on
     /// the warm path is lock-free.
     metrics: SessionMetrics,
+    /// Connection-liveness probe polled during evaluation: `true`
+    /// means the client is gone and in-flight work should be cancelled.
+    cancel_probe: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
 }
 
 impl Session {
@@ -85,7 +89,15 @@ impl Session {
             finished: false,
             batch_workers,
             metrics,
+            cancel_probe: None,
         }
+    }
+
+    /// Attach a liveness probe consulted while queries run: when it
+    /// returns `true` (client gone), in-flight evaluation is cancelled
+    /// cooperatively instead of running to completion for nobody.
+    pub fn set_cancel_probe(&mut self, probe: impl Fn() -> bool + Send + Sync + 'static) {
+        self.cancel_probe = Some(Arc::new(probe));
     }
 
     /// Has the client said `QUIT`?
@@ -184,6 +196,8 @@ impl Session {
             Command::Stats { .. } => ("stats", false),
             Command::Metrics { .. } => ("metrics", false),
             Command::SetBudget { .. } => ("set-budget", false),
+            Command::SetTimeout { .. } => ("set-timeout", false),
+            Command::Resume(_) => ("resume", false),
             Command::Quit => ("quit", false),
         }
     }
@@ -224,6 +238,8 @@ impl Session {
             Command::Stats { db } => self.stats(db.as_deref()),
             Command::Metrics { db } => self.metrics_dump(db.as_deref()),
             Command::SetBudget { db, setting } => self.set_budget(&db, setting),
+            Command::SetTimeout { db, ms } => self.set_timeout(&db, ms),
+            Command::Resume(db) => self.resume(&db),
         }
     }
 
@@ -246,20 +262,42 @@ impl Session {
         }
     }
 
+    /// [`Session::tenant`], then refuse if the tenant is degraded:
+    /// mutations on a read-only tenant fail fast with `ERR degraded`
+    /// instead of touching the poisoned log.
+    fn writable(&mut self) -> Result<Arc<Tenant>, Reply> {
+        let tenant = self.tenant()?;
+        match tenant.degraded_reason() {
+            Some(reason) => Err(degraded_reply(tenant.name(), &reason)),
+            None => Ok(tenant),
+        }
+    }
+
     /// Fold a WAL-append outcome into a reply: a mutation that applied
-    /// in memory but failed to reach the log must not report success.
-    fn walled(reply: Reply, wal: std::io::Result<()>) -> Reply {
+    /// in memory but failed to reach the log must not report success —
+    /// and an unrecoverable append failure flips the tenant to
+    /// read-only so later mutations can't silently widen the gap
+    /// between memory and the log.
+    fn walled(tenant: &Tenant, reply: Reply, wal: std::io::Result<()>) -> Reply {
         match wal {
             Ok(()) => reply,
-            Err(e) => Reply::err(
-                ErrKind::Storage,
-                format!("mutation applied in memory but the wal append failed: {e}"),
-            ),
+            Err(e) => {
+                tenant.set_degraded(&format!("wal append failed: {e}"));
+                Reply::err(
+                    ErrKind::Storage,
+                    format!(
+                        "mutation applied in memory but the wal append failed: {e}; \
+                         `{name}` is now read-only — RESUME {name} to restore \
+                         read-write",
+                        name = tenant.name()
+                    ),
+                )
+            }
         }
     }
 
     fn insert(&mut self, relation: &str, values: &[Val]) -> Reply {
-        let tenant = match self.tenant() {
+        let tenant = match self.writable() {
             Ok(t) => t,
             Err(e) => return e,
         };
@@ -311,11 +349,11 @@ impl Session {
                 }),
             )
         });
-        Self::walled(reply, wal)
+        Self::walled(&tenant, reply, wal)
     }
 
     fn open_load(&mut self, relation: String, cols: usize) -> Reply {
-        let tenant = match self.tenant() {
+        let tenant = match self.writable() {
             Ok(t) => t,
             Err(e) => return e,
         };
@@ -387,7 +425,7 @@ impl Session {
     }
 
     fn finish_load(&mut self, relation: &str, cols: usize, rows: Vec<Vec<Val>>) -> Reply {
-        let tenant = match self.tenant() {
+        let tenant = match self.writable() {
             Ok(t) => t,
             Err(e) => return e,
         };
@@ -438,7 +476,7 @@ impl Session {
                 record,
             )
         });
-        Self::walled(reply, wal)
+        Self::walled(&tenant, reply, wal)
     }
 
     /// Parse query text, turning errors into a structured reply whose
@@ -457,6 +495,7 @@ impl Session {
             Ok(q) => q,
             Err(e) => return e,
         };
+        let (cancel, deadline) = self.cancel_token(&tenant);
         let sm = &mut self.metrics;
         tenant.read(|db, catalog| {
             let stats = catalog.stats(db);
@@ -468,7 +507,7 @@ impl Session {
                 return budget_reply(&reason, &plan);
             }
             let start = Instant::now();
-            let result = execute_with_catalog(&plan, &q, db, catalog);
+            let result = execute_with_catalog_cancel(&plan, &q, db, catalog, &cancel);
             let elapsed = start.elapsed();
             sm.record_op(tenant.name(), plan.op.name(), elapsed);
             let slowlog = sm.shared().slowlog();
@@ -482,10 +521,41 @@ impl Session {
                 });
             }
             match result {
+                Err(EvalError::Cancelled) => {
+                    // the deadline having passed attributes the trip:
+                    // a tenant timeout, vs. the client going away
+                    let timed_out = deadline.is_some_and(|d| Instant::now() >= d);
+                    if timed_out {
+                        sm.record_timeout(tenant.name());
+                    } else {
+                        sm.record_cancellation(tenant.name());
+                    }
+                    timeout_reply(&plan, elapsed, tenant.timeout(), timed_out)
+                }
                 Err(e) => Reply::err(ErrKind::Eval, e),
                 Ok(out) => render_output(&out),
             }
         })
+    }
+
+    /// The cancellation token for one evaluation under `tenant`: its
+    /// `SET TIMEOUT` deadline (if any) plus the session's
+    /// client-liveness probe (if attached). Also returns the deadline
+    /// so a trip can be attributed to it afterwards.
+    fn cancel_token(&self, tenant: &Tenant) -> (CancelToken, Option<Instant>) {
+        let deadline = tenant.timeout().and_then(|t| Instant::now().checked_add(t));
+        let token = match deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::never(),
+        };
+        let token = match &self.cancel_probe {
+            Some(probe) => {
+                let probe = Arc::clone(probe);
+                token.with_probe(move || probe())
+            }
+            None => token,
+        };
+        (token, deadline)
     }
 
     fn explain(&mut self, task: Task, src: &str) -> Reply {
@@ -549,6 +619,9 @@ impl Session {
         let n = items.len();
         let workers = self.batch_workers;
         let budget = tenant.budget();
+        // one shared token: the tenant's deadline covers the batch as
+        // a whole, and a client disconnect cancels every worker
+        let (cancel, deadline) = self.cancel_token(&tenant);
         let sm = &mut self.metrics;
         tenant.read(|db, catalog| {
             // admission control first: plan each parsed item (the plans
@@ -588,8 +661,11 @@ impl Session {
                     BatchItem::Bad(_) => None,
                 })
                 .collect();
-            let mut results =
-                eval::batch_tasks_with_catalog(good, db, catalog, workers).into_iter();
+            let mut results = eval::batch_tasks_with_catalog_cancel(
+                good, db, catalog, workers, &cancel,
+            )
+            .into_iter();
+            let timed_out = deadline.is_some_and(|d| Instant::now() >= d);
             let data: Vec<String> = items
                 .iter()
                 .enumerate()
@@ -598,6 +674,23 @@ impl Session {
                     BatchItem::Task(..) => {
                         let r = results.next().expect("one result per parsed item");
                         match r {
+                            Err(EvalError::Cancelled) => {
+                                if timed_out {
+                                    sm.record_timeout(tenant.name());
+                                    format!(
+                                        "{i} ERR {}: batch exceeded the tenant's \
+                                         SET TIMEOUT deadline",
+                                        ErrKind::Timeout
+                                    )
+                                } else {
+                                    sm.record_cancellation(tenant.name());
+                                    format!(
+                                        "{i} ERR {}: evaluation cancelled (client \
+                                         disconnected)",
+                                        ErrKind::Timeout
+                                    )
+                                }
+                            }
                             Err(e) => format!("{i} ERR {}: {e}", ErrKind::Eval),
                             Ok((out, _plan)) => {
                                 format!("{i} {}", render_output(&out).terminal)
@@ -611,7 +704,9 @@ impl Session {
     }
 
     fn save(&mut self) -> Reply {
-        let tenant = match self.tenant() {
+        // a degraded tenant's repair verb is RESUME, not SAVE: the gate
+        // keeps the two paths distinct in transcripts and metrics
+        let tenant = match self.writable() {
             Ok(t) => t,
             Err(e) => return e,
         };
@@ -649,7 +744,7 @@ impl Session {
     }
 
     fn drop_relation(&mut self, relation: &str) -> Reply {
-        let tenant = match self.tenant() {
+        let tenant = match self.writable() {
             Ok(t) => t,
             Err(e) => return e,
         };
@@ -666,7 +761,7 @@ impl Session {
                 None,
             ),
         });
-        Self::walled(reply, wal)
+        Self::walled(&tenant, reply, wal)
     }
 
     fn stats(&mut self, db: Option<&str>) -> Reply {
@@ -737,6 +832,16 @@ impl Session {
             }
             _ => data.push("storage: none (in-memory)".to_string()),
         }
+        // failure-state lines appear only when something is wrong, so
+        // healthy transcripts (and their goldens) are unchanged
+        if d.wal_poisoned == Some(true) {
+            data.push("wal: poisoned (appends refused until RESUME)".to_string());
+        }
+        if let Some(reason) = &d.degraded {
+            data.push(format!(
+                "mode: read-only (degraded: {reason}); RESUME {name} to restore"
+            ));
+        }
         Reply::ok_with(data, "")
     }
 
@@ -760,15 +865,14 @@ impl Session {
     }
 
     /// `SET BUDGET <db> …`: adjust a tenant's admission-control caps.
-    /// The two caps are independent; `NONE` clears both.
+    /// The two caps are independent; `NONE` clears both. The new limit
+    /// set is logged so it survives a restart.
     fn set_budget(&mut self, db: &str, setting: BudgetSetting) -> Reply {
-        let tenant = match self.state.tenant(db) {
+        let tenant = match self.named_writable(db) {
             Ok(t) => t,
-            Err(_) => {
-                return Reply::err(ErrKind::NoSuchDb, format!("no database named `{db}`"))
-            }
+            Err(e) => return e,
         };
-        match setting {
+        let reply = match setting {
             BudgetSetting::MaxExponent(e) => {
                 tenant.set_max_exponent(Some(e));
                 Reply::ok(format!("budget for {db}: max-exponent {e:.2}"))
@@ -781,7 +885,121 @@ impl Session {
                 tenant.clear_budget();
                 Reply::ok(format!("budget for {db}: cleared"))
             }
+        };
+        Self::walled(&tenant, reply, tenant.persist_limits())
+    }
+
+    /// `SET TIMEOUT <db> <ms>|NONE`: the tenant's per-query deadline,
+    /// enforced cooperatively inside the engine's inner loops. Logged
+    /// like budgets, so it survives a restart.
+    fn set_timeout(&mut self, db: &str, ms: Option<u64>) -> Reply {
+        let tenant = match self.named_writable(db) {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        tenant.set_timeout_ms(ms);
+        let reply = match ms {
+            Some(ms) => Reply::ok(format!("timeout for {db}: {ms} ms")),
+            None => Reply::ok(format!("timeout for {db}: cleared")),
+        };
+        Self::walled(&tenant, reply, tenant.persist_limits())
+    }
+
+    /// Resolve a tenant by name for a limits mutation, refusing while
+    /// it is degraded (limits are WAL-backed like any other mutation).
+    fn named_writable(&mut self, db: &str) -> Result<Arc<Tenant>, Reply> {
+        let tenant = match self.state.tenant(db) {
+            Ok(t) => t,
+            Err(_) => {
+                return Err(Reply::err(
+                    ErrKind::NoSuchDb,
+                    format!("no database named `{db}`"),
+                ))
+            }
+        };
+        match tenant.degraded_reason() {
+            Some(reason) => Err(degraded_reply(db, &reason)),
+            None => Ok(tenant),
         }
+    }
+
+    /// `RESUME <db>`: repair a degraded tenant and restore read-write.
+    /// On a persistent server this checkpoints — the snapshot captures
+    /// everything in memory (including mutations whose append failed)
+    /// and the WAL rolls to a fresh segment, clearing any poison.
+    fn resume(&mut self, db: &str) -> Reply {
+        let tenant = match self.state.tenant(db) {
+            Ok(t) => t,
+            Err(_) => {
+                return Reply::err(ErrKind::NoSuchDb, format!("no database named `{db}`"))
+            }
+        };
+        let Some(store) = self.state.store().cloned() else {
+            // in-memory tenants have no storage to fail, but RESUME is
+            // still the recovery verb — make it total
+            tenant.clear_degraded();
+            return Reply::ok(format!("{db} is read-write (in-memory server)"));
+        };
+        match tenant.checkpoint(&store) {
+            Ok((rows, bytes)) => {
+                tenant.clear_degraded();
+                Reply::ok(format!(
+                    "resumed {db}: read-write restored ({rows} rows in a {bytes} \
+                     byte snapshot, fresh wal segment)"
+                ))
+            }
+            Err(e) => Reply::err(
+                ErrKind::Storage,
+                format!("RESUME {db} failed; still read-only: {e}"),
+            ),
+        }
+    }
+}
+
+/// The `ERR degraded` reply: the tenant is read-only after a storage
+/// failure; reads still serve, `RESUME` repairs.
+fn degraded_reply(db: &str, reason: &str) -> Reply {
+    Reply::err(
+        ErrKind::Degraded,
+        format!(
+            "`{db}` is read-only after a storage failure ({reason}); reads still \
+             serve — RESUME {db} to restore read-write"
+        ),
+    )
+}
+
+/// The `ERR timeout` reply for a cancelled evaluation: deadline trips
+/// cite the plan's cost exponent and the lower-bound hypothesis that
+/// makes the cost unavoidable (same citation as budget rejections);
+/// disconnect trips just say the client went away.
+fn timeout_reply(
+    plan: &QueryPlan,
+    elapsed: Duration,
+    timeout: Option<Duration>,
+    timed_out: bool,
+) -> Reply {
+    if timed_out {
+        let limit_ms = timeout.map_or(0, |t| t.as_millis());
+        Reply::err(
+            ErrKind::Timeout,
+            format!(
+                "evaluation exceeded the {limit_ms} ms deadline after {} ms; plan \
+                 cost m^{:.2} — consistent with: {}",
+                elapsed.as_millis(),
+                plan.cost.exponent,
+                cq_planner::explain::rejection_citation(plan)
+            ),
+        )
+    } else {
+        Reply::err(
+            ErrKind::Timeout,
+            format!(
+                "evaluation cancelled after {} ms (client disconnected); plan cost \
+                 m^{:.2}",
+                elapsed.as_millis(),
+                plan.cost.exponent
+            ),
+        )
     }
 }
 
@@ -941,6 +1159,15 @@ impl Server {
             pool.push(handle);
         }
 
+        // detached overflow threads are counted and capped: beyond
+        // `workers * OVERFLOW_PER_WORKER` of them, new connections are
+        // shed with a best-effort `ERR busy` instead of an unbounded
+        // thread-per-connection pile-up
+        let overflow = Arc::new(AtomicUsize::new(0));
+        let overflow_cap = workers * OVERFLOW_PER_WORKER;
+        let overflow_gauge = server_scope.gauge("workers.overflow");
+        let shed = server_scope.counter("connections.shed");
+
         let acceptor = {
             let stop = Arc::clone(&stop);
             let state = Arc::clone(&state);
@@ -964,15 +1191,34 @@ impl Server {
                         } else {
                             let prev = occupied.fetch_sub(1, Ordering::SeqCst);
                             busy.set(prev.saturating_sub(1) as u64);
+                            let prev_overflow = overflow.fetch_add(1, Ordering::SeqCst);
+                            if prev_overflow >= overflow_cap {
+                                overflow.fetch_sub(1, Ordering::SeqCst);
+                                shed.inc();
+                                shed_connection(stream);
+                                continue;
+                            }
+                            overflow_gauge.set((prev_overflow + 1) as u64);
                             let state = Arc::clone(&state);
                             let stop = Arc::clone(&stop);
+                            let counter = Arc::clone(&overflow);
+                            let gauge = Arc::clone(&overflow_gauge);
                             let spawned = std::thread::Builder::new()
                                 .name("cqd-overflow".to_string())
-                                .spawn(move || serve_connection(stream, state, &stop));
+                                .spawn(move || {
+                                    serve_connection(stream, state, &stop);
+                                    let prev = counter.fetch_sub(1, Ordering::SeqCst);
+                                    gauge.set(prev.saturating_sub(1) as u64);
+                                });
                             if spawned.is_err() {
                                 // out of threads: drop the connection
                                 // (the client sees EOF) rather than
-                                // queuing it behind the full pool
+                                // queuing it behind the full pool; the
+                                // unrun closure is dropped, so undo its
+                                // slot here
+                                let prev = overflow.fetch_sub(1, Ordering::SeqCst);
+                                overflow_gauge.set(prev.saturating_sub(1) as u64);
+                                shed.inc();
                                 continue;
                             }
                         }
@@ -1039,6 +1285,44 @@ impl Drop for Server {
 /// stop flag (bounds shutdown latency with idle clients connected).
 const READ_TICK: std::time::Duration = std::time::Duration::from_millis(200);
 
+/// Cap on detached overflow threads, as a multiple of the pool size:
+/// a server with `w` workers serves at most `w * (1 + this)` live
+/// connections before shedding new ones with `ERR busy`.
+const OVERFLOW_PER_WORKER: usize = 8;
+
+/// Best-effort saturation reply: tell the client why before closing.
+/// The write may fail (the client may already be gone) — the stream is
+/// dropped either way.
+fn shed_connection(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = Reply::err(
+        ErrKind::Busy,
+        "server saturated (worker pool and overflow slots all busy); retry later",
+    )
+    .write_to(&mut stream);
+}
+
+/// Is the client gone? A nonblocking one-byte peek distinguishes EOF or
+/// reset (gone) from "no request bytes yet" (alive, just waiting). The
+/// session and its reader run on one thread, so briefly flipping the
+/// shared socket nonblocking cannot race an in-progress blocking read.
+fn connection_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut byte = [0u8; 1];
+    let gone = match stream.peek(&mut byte) {
+        Ok(0) => true, // orderly shutdown: EOF
+        Ok(_) => false,
+        Err(e) => !matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
 /// Serve one connection to completion: read lines, feed the session,
 /// write framed replies. IO errors or EOF end the session quietly; the
 /// `stop` flag ends it at the next read tick, so idle clients can
@@ -1047,6 +1331,7 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>, stop: &AtomicBoo
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let Ok(read_half) = stream.try_clone() else { return };
+    let probe_half = stream.try_clone();
     let scope = state.metrics().server_scope();
     scope.counter("connections.total").inc();
     let open_connections = scope.gauge("connections.open");
@@ -1054,6 +1339,11 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>, stop: &AtomicBoo
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut session = Session::new(state);
+    if let Ok(probe) = probe_half {
+        // long evaluations poll this: a client that hung up mid-query
+        // gets its work cancelled instead of running to completion
+        session.set_cancel_probe(move || connection_gone(&probe));
+    }
     let mut buf = Vec::new();
     'sessions: loop {
         buf.clear();
@@ -1563,5 +1853,147 @@ mod tests {
         s.handle_line("USE a");
         let r = s.handle_line("ANSWERS q(x, y) :- R(x, y)").unwrap();
         assert_eq!(r.data, vec!["1 2"]);
+    }
+
+    fn load_triangle(s: &mut Session, db: &str) {
+        s.handle_line(&format!("CREATE DB {db}"));
+        s.handle_line(&format!("USE {db}"));
+        drive(
+            s,
+            &[
+                "LOAD R1 2",
+                "1 2",
+                "END", //
+                "LOAD R2 2",
+                "2 3",
+                "END", //
+                "LOAD R3 2",
+                "3 1",
+                "END",
+            ],
+        );
+    }
+
+    #[test]
+    fn timeout_trips_err_timeout_with_citation() {
+        let mut s = session();
+        load_triangle(&mut s, "b");
+        let tri = "DECIDE q() :- R1(x, y), R2(y, z), R3(z, x)";
+        assert_eq!(s.handle_line(tri).unwrap().terminal, "OK true");
+        // a zero deadline is already past when evaluation starts: the
+        // very first cooperative check trips, deterministically
+        assert!(s.handle_line("SET TIMEOUT b 0").unwrap().is_ok());
+        let r = s.handle_line(tri).unwrap();
+        assert!(r.terminal.starts_with("ERR timeout:"), "{}", r.terminal);
+        assert!(r.terminal.contains("0 ms deadline"), "{}", r.terminal);
+        assert!(r.terminal.contains("plan cost m^"), "{}", r.terminal);
+        assert!(r.terminal.contains("Hypothesis"), "{}", r.terminal);
+        // the session (and the tenant) keep serving
+        assert_eq!(s.handle_line("PING").unwrap().terminal, "OK pong");
+        let m = s.handle_line("METRICS b").unwrap();
+        assert!(m.data.iter().any(|l| l == "db.b timeouts=1"), "{:?}", m.data);
+        // clearing the timeout re-admits the query
+        assert!(s.handle_line("SET TIMEOUT b NONE").unwrap().is_ok());
+        assert_eq!(s.handle_line(tri).unwrap().terminal, "OK true");
+        // other tenants are untouched by b's deadline
+        load_triangle(&mut s, "c");
+        s.handle_line("SET TIMEOUT b 0");
+        s.handle_line("USE c");
+        assert_eq!(s.handle_line(tri).unwrap().terminal, "OK true");
+        // unknown tenants are structured errors
+        let r = s.handle_line("SET TIMEOUT nope 5").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-db"), "{}", r.terminal);
+    }
+
+    #[test]
+    fn timeout_applies_to_batch_items() {
+        let mut s = session();
+        load_triangle(&mut s, "b");
+        s.handle_line("SET TIMEOUT b 0");
+        s.handle_line("BATCH");
+        s.handle_line("DECIDE q() :- R1(x, y), R2(y, z), R3(z, x)");
+        let r = s.handle_line("END").unwrap();
+        assert!(r.is_ok());
+        assert!(r.data[0].starts_with("0 ERR timeout:"), "{}", r.data[0]);
+        assert!(r.data[0].contains("SET TIMEOUT deadline"), "{}", r.data[0]);
+    }
+
+    #[test]
+    fn disconnect_probe_cancels_evaluation() {
+        let mut s = session();
+        s.set_cancel_probe(|| true); // the "client" is always gone
+        load_triangle(&mut s, "b");
+        let r = s.handle_line("DECIDE q() :- R1(x, y), R2(y, z), R3(z, x)").unwrap();
+        assert!(r.terminal.starts_with("ERR timeout:"), "{}", r.terminal);
+        assert!(r.terminal.contains("client disconnected"), "{}", r.terminal);
+        let m = s.handle_line("METRICS b").unwrap();
+        assert!(m.data.iter().any(|l| l == "db.b cancellations=1"), "{:?}", m.data);
+    }
+
+    #[test]
+    fn wal_failure_degrades_tenant_to_read_only_until_resume() {
+        use cq_storage::{FaultPlan, FaultPoint, Store};
+        let dir = std::env::temp_dir()
+            .join(format!("cq_server_degrade_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open_dir_with_faults(
+            &dir,
+            FaultPlan::failing(FaultPoint::WalAppend, 2),
+        )
+        .unwrap();
+        let (state, _) = ServerState::recover(store).unwrap();
+        let mut s = Session::new(Arc::new(state));
+        s.handle_line("CREATE DB d");
+        s.handle_line("USE d");
+        assert!(s.handle_line("INSERT R(1, 2)").unwrap().is_ok());
+        // the second append is the injected failure: the mutation is in
+        // memory but not in the log — the tenant flips to read-only
+        let r = s.handle_line("INSERT R(2, 3)").unwrap();
+        assert!(r.terminal.starts_with("ERR storage:"), "{}", r.terminal);
+        assert!(r.terminal.contains("now read-only"), "{}", r.terminal);
+        // further mutations fail fast, with the RESUME hint
+        let r = s.handle_line("INSERT R(3, 4)").unwrap();
+        assert!(r.terminal.starts_with("ERR degraded:"), "{}", r.terminal);
+        assert!(r.terminal.contains("RESUME d"), "{}", r.terminal);
+        let r = s.handle_line("SET BUDGET d MAX-ROWS 1").unwrap();
+        assert!(r.terminal.starts_with("ERR degraded:"), "{}", r.terminal);
+        let r = s.handle_line("SAVE").unwrap();
+        assert!(r.terminal.starts_with("ERR degraded:"), "{}", r.terminal);
+        // reads keep serving everything that is in memory
+        let r = s.handle_line("COUNT q(x, y) :- R(x, y)").unwrap();
+        assert_eq!(r.terminal, "OK 2");
+        // the state is observable
+        let st = s.handle_line("STATS d").unwrap();
+        assert!(st.data.iter().any(|l| l.contains("mode: read-only")), "{:?}", st.data);
+        let m = s.handle_line("METRICS d").unwrap();
+        assert!(m.data.iter().any(|l| l == "db.d degraded=1"), "{:?}", m.data);
+        // RESUME checkpoints (capturing the in-memory truth, including
+        // the unlogged insert) and restores read-write
+        let r = s.handle_line("RESUME d").unwrap();
+        assert!(r.is_ok(), "{}", r.terminal);
+        assert!(r.terminal.contains("read-write restored"), "{}", r.terminal);
+        assert!(s.handle_line("INSERT R(3, 4)").unwrap().is_ok());
+        let st = s.handle_line("STATS d").unwrap();
+        assert!(!st.data.iter().any(|l| l.contains("read-only")), "{:?}", st.data);
+        // a reboot from disk sees everything the checkpoint captured
+        drop(s);
+        let store = Store::open_dir(&dir).unwrap();
+        let (state, _) = ServerState::recover(store).unwrap();
+        let mut s = Session::new(Arc::new(state));
+        s.handle_line("USE d");
+        let r = s.handle_line("COUNT q(x, y) :- R(x, y)").unwrap();
+        assert_eq!(r.terminal, "OK 3");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_is_total_on_in_memory_servers() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        let r = s.handle_line("RESUME t").unwrap();
+        assert!(r.is_ok(), "{}", r.terminal);
+        assert!(r.terminal.contains("in-memory"), "{}", r.terminal);
+        let r = s.handle_line("RESUME nope").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-db"), "{}", r.terminal);
     }
 }

@@ -29,10 +29,11 @@
 
 use crate::metrics::ServerMetrics;
 use cq_data::{CatalogStats, Database, IndexCatalog};
-use cq_storage::{Store, StoreError, WalRecord, WalStats, WalWriter};
+use cq_storage::{Store, StoreError, TenantLimits, WalRecord, WalStats, WalWriter};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// Why a tenant operation was refused.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -63,6 +64,13 @@ pub struct Tenant {
     /// (`CostEstimate::operations`, the AGM-style worst case);
     /// `u64::MAX` means "no cap".
     budget_rows: AtomicU64,
+    /// Per-query evaluation deadline in milliseconds (`SET TIMEOUT`);
+    /// `u64::MAX` means "no deadline".
+    timeout_ms: AtomicU64,
+    /// `Some(reason)` after an unrecoverable storage failure: the
+    /// tenant is read-only (mutations and `SAVE` refuse) until a
+    /// `RESUME` checkpoint rolls a fresh WAL segment.
+    degraded: Mutex<Option<String>>,
     slot: RwLock<TenantDb>,
 }
 
@@ -101,6 +109,8 @@ impl Tenant {
             dropped: AtomicBool::new(false),
             budget_exponent: AtomicU64::new(BUDGET_UNSET),
             budget_rows: AtomicU64::new(BUDGET_UNSET),
+            timeout_ms: AtomicU64::new(BUDGET_UNSET),
+            degraded: Mutex::new(None),
             slot: RwLock::new(TenantDb {
                 db,
                 catalog: Arc::new(IndexCatalog::new()),
@@ -141,6 +151,73 @@ impl Tenant {
     pub fn clear_budget(&self) {
         self.set_max_exponent(None);
         self.set_max_rows(None);
+    }
+
+    /// The per-query evaluation deadline, if one is set.
+    pub fn timeout(&self) -> Option<Duration> {
+        let ms = self.timeout_ms.load(Ordering::Relaxed);
+        (ms != BUDGET_UNSET).then(|| Duration::from_millis(ms))
+    }
+
+    /// Set (or clear, with `None`) the per-query deadline. `u64::MAX`
+    /// milliseconds is clamped down by one (it is the sentinel).
+    pub fn set_timeout_ms(&self, ms: Option<u64>) {
+        let v = ms.map_or(BUDGET_UNSET, |ms| ms.min(BUDGET_UNSET - 1));
+        self.timeout_ms.store(v, Ordering::Relaxed);
+    }
+
+    /// The tenant's limits in the WAL's persisted form.
+    pub fn limits(&self) -> TenantLimits {
+        TenantLimits {
+            max_exponent_bits: self.budget_exponent.load(Ordering::Relaxed),
+            max_rows: self.budget_rows.load(Ordering::Relaxed),
+            timeout_ms: self.timeout_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Restore limits recovered from the WAL (the boot path).
+    pub fn apply_limits(&self, l: TenantLimits) {
+        self.budget_exponent.store(l.max_exponent_bits, Ordering::Relaxed);
+        self.budget_rows.store(l.max_rows, Ordering::Relaxed);
+        self.timeout_ms.store(l.timeout_ms, Ordering::Relaxed);
+    }
+
+    /// Append the current limit set to the WAL so it survives a
+    /// restart. A no-op (always `Ok`) on an in-memory tenant.
+    pub fn persist_limits(&self) -> std::io::Result<()> {
+        let limits = self.limits();
+        self.mutate_wal(|_db| ((), Some(WalRecord::SetLimits(limits)))).1
+    }
+
+    /// Why this tenant is read-only, if it is.
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.degraded.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Is this tenant in read-only degraded mode?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_reason().is_some()
+    }
+
+    /// Enter read-only mode (first reason wins; a tenant already
+    /// degraded keeps its original diagnosis).
+    pub fn set_degraded(&self, reason: &str) {
+        let mut slot = self.degraded.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(reason.to_string());
+        }
+    }
+
+    /// Leave read-only mode (the `RESUME` success path).
+    pub fn clear_degraded(&self) {
+        *self.degraded.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    /// Is the tenant's WAL writer poisoned (a failed rollback or reset
+    /// left the on-disk log untrustworthy)? `None` on an in-memory
+    /// tenant.
+    pub fn wal_poisoned(&self) -> Option<bool> {
+        self.read_slot().wal.as_ref().map(WalWriter::is_poisoned)
     }
 
     /// Has this tenant been `DROP DB`ed out of the registry?
@@ -206,10 +283,16 @@ impl Tenant {
     /// If the tenant has no WAL (callers only route `SAVE` here on a
     /// persistent server).
     pub fn checkpoint(&self, store: &Store) -> Result<(usize, u64), StoreError> {
+        let limits = self.limits();
         let mut slot = self.write_slot();
         let TenantDb { db, wal, .. } = &mut *slot;
         let wal = wal.as_mut().expect("checkpoint requires a persistent tenant");
         let bytes = store.checkpoint(&self.name, db, wal)?;
+        // limits are not part of the snapshot image: re-append them as
+        // the first record of the fresh log so they survive truncation
+        if limits.is_set() {
+            wal.append(&WalRecord::SetLimits(limits)).map_err(StoreError::Io)?;
+        }
         Ok((db.size(), bytes))
     }
 
@@ -240,6 +323,8 @@ impl Tenant {
                 .map(|(n, r)| (n.to_string(), r.arity(), r.len()))
                 .collect(),
             wal_bytes: slot.wal.as_ref().map(WalWriter::len),
+            wal_poisoned: slot.wal.as_ref().map(WalWriter::is_poisoned),
+            degraded: self.degraded_reason(),
         }
     }
 }
@@ -261,6 +346,11 @@ pub struct TenantDetail {
     /// Bytes in the write-ahead log since the last checkpoint;
     /// `None` on an in-memory server.
     pub wal_bytes: Option<u64>,
+    /// Is the WAL writer poisoned (untrustworthy after a failed
+    /// rollback/reset)? `None` on an in-memory server.
+    pub wal_poisoned: Option<bool>,
+    /// Why the tenant is read-only, when it is degraded.
+    pub degraded: Option<String>,
 }
 
 /// What boot-time recovery found for one tenant, for `cqd` to print.
@@ -330,7 +420,13 @@ impl ServerState {
                 torn_bytes: recovery.torn_bytes,
                 stale_records: recovery.stale_records,
             });
-            tenants.insert(name.clone(), Arc::new(Tenant::new(&name, db, Some(wal))));
+            let tenant = Arc::new(Tenant::new(&name, db, Some(wal)));
+            // persisted `SET BUDGET` / `SET TIMEOUT` limits survive
+            // the restart
+            if let Some(limits) = recovery.limits {
+                tenant.apply_limits(limits);
+            }
+            tenants.insert(name.clone(), tenant);
         }
         let state = ServerState {
             tenants: RwLock::new(tenants),
@@ -521,6 +617,54 @@ mod tests {
         assert_eq!(report[0].snapshot_rows, 1);
         assert_eq!(report[0].wal_records, 0);
         assert_eq!(s.tenant("t1").unwrap().sizes(), (1, 1));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn timeout_and_degraded_state_machine() {
+        let s = ServerState::new();
+        let t = s.create_db("d").unwrap();
+        assert_eq!(t.timeout(), None);
+        t.set_timeout_ms(Some(250));
+        assert_eq!(t.timeout(), Some(Duration::from_millis(250)));
+        t.set_timeout_ms(None);
+        assert_eq!(t.timeout(), None);
+        assert!(!t.is_degraded());
+        t.set_degraded("wal append failed: disk full");
+        t.set_degraded("second diagnosis"); // first reason wins
+        assert_eq!(t.degraded_reason().as_deref(), Some("wal append failed: disk full"));
+        assert!(t.detail().degraded.is_some());
+        t.clear_degraded();
+        assert!(!t.is_degraded());
+        assert_eq!(t.wal_poisoned(), None, "in-memory tenants have no wal");
+        assert!(t.persist_limits().is_ok(), "limit persistence is a no-op in memory");
+    }
+
+    #[test]
+    fn limits_survive_checkpoint_and_recovery() {
+        let store = temp_store("limits");
+        let root = store.root().to_path_buf();
+        {
+            let (s, _) = ServerState::recover(store).unwrap();
+            let t = s.create_db("t1").unwrap();
+            t.set_max_exponent(Some(1.25));
+            t.set_max_rows(Some(500));
+            t.set_timeout_ms(Some(750));
+            t.persist_limits().unwrap();
+        }
+        let (s, _) = ServerState::recover(Store::open_dir(&root).unwrap()).unwrap();
+        let t = s.tenant("t1").unwrap();
+        assert_eq!(t.budget(), Budget { max_exponent: Some(1.25), max_rows: Some(500) });
+        assert_eq!(t.timeout(), Some(Duration::from_millis(750)));
+        // a checkpoint truncates the wal but re-appends the limit record
+        let store = Arc::clone(s.store().unwrap());
+        t.checkpoint(&store).unwrap();
+        drop(store);
+        drop(s);
+        let (s, _) = ServerState::recover(Store::open_dir(&root).unwrap()).unwrap();
+        let t = s.tenant("t1").unwrap();
+        assert_eq!(t.timeout(), Some(Duration::from_millis(750)));
+        assert_eq!(t.budget().max_rows, Some(500));
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -21,18 +21,27 @@ struct Daemon {
 
 impl Daemon {
     fn boot(data_dir: &Path, tag: &str) -> Daemon {
+        Daemon::boot_with_env(data_dir, tag, &[])
+    }
+
+    /// [`Daemon::boot`] with extra environment variables — the chaos
+    /// entry point (`CQ_FAULT_PLAN=…` arms storage fault injection in
+    /// the child).
+    fn boot_with_env(data_dir: &Path, tag: &str, envs: &[(&str, &str)]) -> Daemon {
         let port_file = data_dir.with_extension(format!("{tag}.addr"));
         let _ = std::fs::remove_file(&port_file);
-        let child = Command::new(env!("CARGO_BIN_EXE_cqd"))
-            .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_cqd"));
+        cmd.args(["--addr", "127.0.0.1:0", "--workers", "2"])
             .arg("--port-file")
             .arg(&port_file)
             .arg("--data-dir")
             .arg(data_dir)
             .stdout(Stdio::null())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn cqd");
+            .stderr(Stdio::null());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().expect("spawn cqd");
         let deadline = std::time::Instant::now() + Duration::from_secs(20);
         let addr = loop {
             if let Ok(s) = std::fs::read_to_string(&port_file) {
@@ -174,6 +183,65 @@ fn torn_wal_tail_is_a_warning_not_a_boot_failure() {
         ok(c.request("USE t"));
         let r = ok(c.request("ANSWERS q(x, y) :- Follows(x, y)"));
         assert_eq!(r.data, vec!["1 2", "2 3", "3 1", "5 6"]);
+        daemon.kill();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fault_degraded_tenant_reboots_read_write_with_intact_records() {
+    let dir = temp_dir("chaos");
+    {
+        // the 4th WAL append (and every one after) fails: two inserts
+        // and a SET TIMEOUT land, then the tenant degrades mid-flight
+        let daemon =
+            Daemon::boot_with_env(&dir, "first", &[("CQ_FAULT_PLAN", "wal-append:4:*")]);
+        let mut c = daemon.client();
+        ok(c.request("CREATE DB t"));
+        ok(c.request("USE t"));
+        ok(c.request("INSERT R(1, 2)")); // append 1
+        ok(c.request("INSERT R(2, 3)")); // append 2
+        ok(c.request("SET TIMEOUT t 0")); // append 3: the limit is logged
+        let r = c.request("INSERT R(3, 4)").expect("io"); // append 4: injected
+        assert!(r.terminal.starts_with("ERR storage:"), "{}", r.terminal);
+        assert!(r.terminal.contains("read-only"), "{}", r.terminal);
+        let r = c.request("INSERT R(4, 5)").expect("io");
+        assert!(r.terminal.starts_with("ERR degraded:"), "{}", r.terminal);
+        // in-memory truth holds 3 rows; the degradation is observable
+        let st = ok(c.request("STATS t"));
+        assert!(st.data[0].contains("3 tuples"), "{:?}", st.data);
+        assert!(st.data.iter().any(|l| l.contains("mode: read-only")), "{:?}", st.data);
+        daemon.kill(); // die degraded, mid-fault-plan
+    }
+    {
+        // reboot WITHOUT the fault plan: recovery replays exactly the
+        // intact records and the tenant is read-write again
+        let daemon = Daemon::boot(&dir, "second");
+        let mut c = daemon.client();
+        ok(c.request("USE t"));
+        let st = ok(c.request("STATS t"));
+        assert!(
+            st.data[0].contains("2 tuples"),
+            "unlogged row stays lost: {:?}",
+            st.data
+        );
+        assert!(
+            !st.data.iter().any(|l| l.contains("read-only")),
+            "degradation must not survive a reboot: {:?}",
+            st.data
+        );
+        // the logged SET TIMEOUT survived the crash: the zero deadline
+        // trips immediately, citing the plan cost
+        let r = c.request("COUNT q(x, y) :- R(x, y)").expect("io");
+        assert!(r.terminal.starts_with("ERR timeout:"), "{}", r.terminal);
+        assert!(r.terminal.contains("0 ms deadline"), "{}", r.terminal);
+        ok(c.request("SET TIMEOUT t NONE"));
+        let r = ok(c.request("COUNT q(x, y) :- R(x, y)"));
+        assert_eq!(r.terminal, "OK 2");
+        // mutations work again — fully read-write
+        ok(c.request("INSERT R(9, 9)"));
+        let st = ok(c.request("STATS t"));
+        assert!(st.data[0].contains("3 tuples"), "{:?}", st.data);
         daemon.kill();
     }
     std::fs::remove_dir_all(&dir).unwrap();

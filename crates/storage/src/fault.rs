@@ -1,0 +1,306 @@
+//! Deterministic storage fault injection: a [`FaultPlan`] names I/O
+//! points inside the WAL writer and snapshot writer that should fail,
+//! and on which occurrence, so every storage error path is drivable
+//! from a test (or a spawned `cqd`, via the `CQ_FAULT_PLAN`
+//! environment variable) without conditional compilation or real disk
+//! failures.
+//!
+//! A plan is a list of `point:n[:times]` triggers:
+//!
+//! * `point` — one of the [`FaultPoint`] names below;
+//! * `n` — the 1-based occurrence that fails (`wal-append:3` passes
+//!   two appends and fails the third);
+//! * `times` — how many consecutive occurrences fail from there
+//!   (default 1; `*` means every occurrence from the nth on, e.g. a
+//!   disk that stays full).
+//!
+//! The plan is empty by default and [`Store::open_dir`](crate::Store::open_dir)
+//! never reads the environment, so ordinary tests and embedded users
+//! see zero behavior change; only an explicitly-passed plan (or a
+//! daemon launched with `CQ_FAULT_PLAN`) injects anything.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An injectable I/O operation. Each name is also the wire/env
+/// spelling used by [`FaultPlan::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The `write(2)` of a WAL record frame (fails before any byte of
+    /// the frame is written).
+    WalAppend,
+    /// The same write, but half the frame lands on disk first — the
+    /// torn-frame case the rollback path exists for.
+    WalShortWrite,
+    /// The rollback truncation after a failed append; an injected
+    /// failure here poisons the writer (the partial frame stays).
+    WalRollback,
+    /// `WalWriter::sync` (`fdatasync`).
+    WalSync,
+    /// The WAL reset after a checkpoint (truncate + restamp header) —
+    /// also the `RESUME` repair path.
+    WalReset,
+    /// Creating the snapshot temp file (an ENOSPC-style refusal).
+    SnapCreate,
+    /// Writing the snapshot bytes into the temp file.
+    SnapWrite,
+    /// `fsync` of the written temp file.
+    SnapSync,
+    /// The rename of the temp file over the live snapshot.
+    SnapRename,
+    /// The parent-directory fsync that makes the rename durable.
+    DirSync,
+}
+
+/// Every fault point, for matrix-style iteration in tests.
+pub const ALL_FAULT_POINTS: [FaultPoint; 10] = [
+    FaultPoint::WalAppend,
+    FaultPoint::WalShortWrite,
+    FaultPoint::WalRollback,
+    FaultPoint::WalSync,
+    FaultPoint::WalReset,
+    FaultPoint::SnapCreate,
+    FaultPoint::SnapWrite,
+    FaultPoint::SnapSync,
+    FaultPoint::SnapRename,
+    FaultPoint::DirSync,
+];
+
+impl FaultPoint {
+    /// The stable spelling used in plans and error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultPoint::WalAppend => "wal-append",
+            FaultPoint::WalShortWrite => "wal-short-write",
+            FaultPoint::WalRollback => "wal-rollback",
+            FaultPoint::WalSync => "wal-sync",
+            FaultPoint::WalReset => "wal-reset",
+            FaultPoint::SnapCreate => "snap-create",
+            FaultPoint::SnapWrite => "snap-write",
+            FaultPoint::SnapSync => "snap-sync",
+            FaultPoint::SnapRename => "snap-rename",
+            FaultPoint::DirSync => "dir-sync",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultPoint> {
+        ALL_FAULT_POINTS.iter().copied().find(|p| p.as_str() == s)
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One trigger: skip `skips` occurrences of `point`, then fail the
+/// next `fires` of them.
+#[derive(Debug)]
+struct Trigger {
+    point: FaultPoint,
+    skips: AtomicU64,
+    fires: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    triggers: Vec<Trigger>,
+    injected: AtomicU64,
+}
+
+/// A shared, cheaply-cloneable set of fault triggers. Cloning shares
+/// the countdown state: a plan threaded through a `Store` and its
+/// `WalWriter`s counts occurrences globally, exactly like one failing
+/// disk under all of them.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+impl FaultPlan {
+    /// The empty plan: every check passes, zero allocation per check.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from `(point, n, times)` triggers, where `n` is
+    /// the 1-based occurrence that first fails and `times` how many
+    /// consecutive occurrences fail (`u64::MAX` = forever).
+    pub fn new(triggers: impl IntoIterator<Item = (FaultPoint, u64, u64)>) -> FaultPlan {
+        let triggers = triggers
+            .into_iter()
+            .map(|(point, n, times)| Trigger {
+                point,
+                skips: AtomicU64::new(n.saturating_sub(1)),
+                fires: AtomicU64::new(times),
+            })
+            .collect();
+        FaultPlan { inner: Arc::new(Inner { triggers, injected: AtomicU64::new(0) }) }
+    }
+
+    /// A single-trigger plan: the `n`-th occurrence of `point` fails.
+    pub fn failing(point: FaultPoint, n: u64) -> FaultPlan {
+        FaultPlan::new([(point, n, 1)])
+    }
+
+    /// Parse the `CQ_FAULT_PLAN` spelling:
+    /// `point:n[:times][,point:n[:times]]…` (`times` may be `*`).
+    /// An empty string is the empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut triggers = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let mut fields = part.split(':');
+            let name = fields.next().unwrap_or("");
+            let point = FaultPoint::parse(name)
+                .ok_or_else(|| format!("unknown fault point `{name}` in `{part}`"))?;
+            let n = match fields.next() {
+                None => 1,
+                Some(n) => {
+                    n.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("bad occurrence `{n}` in `{part}` (want >= 1)")
+                    })?
+                }
+            };
+            let times = match fields.next() {
+                None => 1,
+                Some("*") => u64::MAX,
+                Some(t) => t
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad repeat count `{t}` in `{part}`"))?,
+            };
+            if fields.next().is_some() {
+                return Err(format!("too many `:` fields in `{part}`"));
+            }
+            triggers.push((point, n, times));
+        }
+        Ok(FaultPlan::new(triggers))
+    }
+
+    /// The plan named by the `CQ_FAULT_PLAN` environment variable
+    /// (empty plan when unset). Only entry points that explicitly want
+    /// ambient faults — the `cqd` binary, chaos tests — call this;
+    /// `Store::open_dir` never does.
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var("CQ_FAULT_PLAN") {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => Ok(FaultPlan::none()),
+        }
+    }
+
+    /// Is there any trigger at all (fired or not)?
+    pub fn is_armed(&self) -> bool {
+        !self.inner.triggers.is_empty()
+    }
+
+    /// Total faults injected so far (across every clone of the plan).
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Record one occurrence of `point`; `Err` with an `"injected
+    /// fault at <point>"` I/O error when a trigger says this
+    /// occurrence fails. The empty plan always passes.
+    pub fn check(&self, point: FaultPoint) -> std::io::Result<()> {
+        if self.inner.triggers.is_empty() {
+            return Ok(());
+        }
+        let mut fire = false;
+        for t in self.inner.triggers.iter().filter(|t| t.point == point) {
+            // count this occurrence against the trigger: burn a skip,
+            // or — once the skips are gone — burn a fire
+            let skipping = t
+                .skips
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| s.checked_sub(1))
+                .is_ok();
+            if skipping {
+                continue;
+            }
+            let firing = t
+                .fires
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| {
+                    (f > 0).then(|| f.saturating_sub(u64::from(f != u64::MAX)))
+                })
+                .is_ok();
+            fire = fire || firing;
+        }
+        if fire {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+            Err(std::io::Error::other(format!(
+                "injected fault at {point} (simulated storage failure)"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_passes() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_armed());
+        for p in ALL_FAULT_POINTS {
+            for _ in 0..3 {
+                plan.check(p).unwrap();
+            }
+        }
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn nth_occurrence_fires_once() {
+        let plan = FaultPlan::failing(FaultPoint::WalAppend, 3);
+        assert!(plan.is_armed());
+        plan.check(FaultPoint::WalAppend).unwrap();
+        plan.check(FaultPoint::WalSync).unwrap(); // other points unaffected
+        plan.check(FaultPoint::WalAppend).unwrap();
+        let err = plan.check(FaultPoint::WalAppend).unwrap_err();
+        assert!(err.to_string().contains("injected fault at wal-append"), "{err}");
+        plan.check(FaultPoint::WalAppend).unwrap(); // one-shot
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn repeat_counts_and_forever() {
+        let plan = FaultPlan::new([(FaultPoint::SnapWrite, 2, 2)]);
+        plan.check(FaultPoint::SnapWrite).unwrap();
+        assert!(plan.check(FaultPoint::SnapWrite).is_err());
+        assert!(plan.check(FaultPoint::SnapWrite).is_err());
+        plan.check(FaultPoint::SnapWrite).unwrap();
+        let full = FaultPlan::new([(FaultPoint::SnapCreate, 1, u64::MAX)]);
+        for _ in 0..5 {
+            assert!(full.check(FaultPoint::SnapCreate).is_err());
+        }
+        assert_eq!(full.injected(), 5);
+    }
+
+    #[test]
+    fn clones_share_countdown_state() {
+        let plan = FaultPlan::failing(FaultPoint::WalSync, 2);
+        let clone = plan.clone();
+        plan.check(FaultPoint::WalSync).unwrap();
+        assert!(clone.check(FaultPoint::WalSync).is_err(), "occurrences count globally");
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn parse_roundtrips_the_env_spelling() {
+        let plan = FaultPlan::parse("wal-append:3, snap-rename:1:*").unwrap();
+        assert!(plan.is_armed());
+        plan.check(FaultPoint::WalAppend).unwrap();
+        plan.check(FaultPoint::WalAppend).unwrap();
+        assert!(plan.check(FaultPoint::WalAppend).is_err());
+        assert!(plan.check(FaultPoint::SnapRename).is_err());
+        assert!(plan.check(FaultPoint::SnapRename).is_err());
+        assert!(!FaultPlan::parse("").unwrap().is_armed());
+        assert!(FaultPlan::parse("wal-append").unwrap().is_armed(), "bare point = :1");
+        assert!(FaultPlan::parse("frobnicate:1").is_err());
+        assert!(FaultPlan::parse("wal-append:0").is_err(), "occurrences are 1-based");
+        assert!(FaultPlan::parse("wal-append:1:2:3").is_err());
+    }
+}

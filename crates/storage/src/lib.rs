@@ -16,7 +16,11 @@
 //!   [`open_dir`](Store::open_dir), [`load_tenant`](Store::load_tenant),
 //!   [`create_tenant`](Store::create_tenant),
 //!   [`checkpoint`](Store::checkpoint) (snapshot + WAL truncation),
-//!   [`drop_tenant`](Store::drop_tenant).
+//!   [`drop_tenant`](Store::drop_tenant);
+//! * [`fault`] — deterministic failure injection: a [`FaultPlan`]
+//!   threaded through the writers above fails named I/O points on
+//!   chosen occurrences, so every storage error path is drivable from
+//!   tests (`Store::open_dir` never arms one by itself).
 //!
 //! What is deliberately **not** durable: index catalogs, statistics,
 //! and plan caches. Those are memos over the data, rebuilt warm on
@@ -50,10 +54,12 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod fault;
 pub mod format;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use fault::{FaultPlan, FaultPoint};
 pub use store::{Recovery, Store, StoreError};
-pub use wal::{WalRecord, WalStats, WalWriter};
+pub use wal::{TenantLimits, WalRecord, WalStats, WalWriter};

@@ -25,6 +25,7 @@
 //! checksum, and re-validates the sorted-row invariant before handing
 //! the database out.
 
+use crate::fault::{FaultPlan, FaultPoint};
 use crate::format::{crc32, Dec, Enc};
 use crate::store::StoreError;
 use cq_data::{Database, Relation};
@@ -127,22 +128,50 @@ pub fn from_bytes(bytes: &[u8], source: &Path) -> Result<(Database, u64), StoreE
 /// directory so the rename itself is durable. Returns the snapshot
 /// size in bytes.
 pub fn write(db: &Database, epoch: u64, path: &Path) -> std::io::Result<u64> {
+    write_with_faults(db, epoch, path, &FaultPlan::none())
+}
+
+/// [`write`](fn@write) under an injected-failure plan. Each step —
+/// temp-file creation, the bulk write, its fsync, the rename, the
+/// directory fsync — is a [`FaultPoint`]; an injected failure aborts
+/// exactly where the real one would, and the temp file is cleaned up
+/// so an aborted write never leaves a stray `.tmp` behind. (A
+/// `dir-sync` failure reports an error *after* the rename, like a
+/// real one would: the new snapshot is in place but its durability is
+/// unconfirmed.)
+pub fn write_with_faults(
+    db: &Database,
+    epoch: u64,
+    path: &Path,
+    faults: &FaultPlan,
+) -> std::io::Result<u64> {
     let bytes = to_bytes(db, epoch);
     let tmp = path.with_extension("tmp");
-    {
+    let result: std::io::Result<u64> = (|| {
+        faults.check(FaultPoint::SnapCreate)?;
         let mut f = File::create(&tmp)?;
+        faults.check(FaultPoint::SnapWrite)?;
         f.write_all(&bytes)?;
+        faults.check(FaultPoint::SnapSync)?;
         f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent() {
-        // direct the directory entry to disk too; best-effort on
-        // platforms where opening a directory for sync is not allowed
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
+        drop(f);
+        faults.check(FaultPoint::SnapRename)?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            faults.check(FaultPoint::DirSync)?;
+            // direct the directory entry to disk too; best-effort on
+            // platforms where opening a directory for sync is not
+            // allowed
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
         }
+        Ok(bytes.len() as u64)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
     }
-    Ok(bytes.len() as u64)
+    result
 }
 
 /// Read the snapshot at `path`, returning the database and its

@@ -31,8 +31,9 @@
 //!   discards ([`Recovery::stale_records`]), so no ordering of
 //!   crashes loses data or refuses a boot.
 
+use crate::fault::FaultPlan;
 use crate::snapshot;
-use crate::wal::{self, WalWriter};
+use crate::wal::{self, TenantLimits, WalRecord, WalWriter};
 use cq_data::Database;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -96,6 +97,10 @@ pub struct Recovery {
     /// snapshot's — the crash-between-snapshot-and-log-reset window;
     /// every discarded record's effect is already in the snapshot.
     pub stale_records: usize,
+    /// The tenant's persisted resource limits (`SET BUDGET` /
+    /// `SET TIMEOUT`): the last [`WalRecord::SetLimits`] replayed, if
+    /// any.
+    pub limits: Option<TenantLimits>,
 }
 
 /// A directory of durable tenants. See the module docs for layout and
@@ -108,6 +113,9 @@ pub struct Recovery {
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
+    /// Injected-failure plan threaded into every writer this store
+    /// hands out (empty outside fault-injection runs).
+    faults: FaultPlan,
     /// Held for the store's lifetime; its `Drop` releases the lock.
     _lock: DirLock,
 }
@@ -197,15 +205,32 @@ impl Store {
     /// a lock left by a dead process is reclaimed automatically. The
     /// lock is released when the `Store` is dropped.
     pub fn open_dir(root: impl Into<PathBuf>) -> std::io::Result<Store> {
+        Store::open_dir_with_faults(root, FaultPlan::none())
+    }
+
+    /// [`Store::open_dir`] with an injected-failure plan threaded into
+    /// every WAL writer and snapshot write this store performs. This
+    /// never reads the environment — a caller that wants the ambient
+    /// `CQ_FAULT_PLAN` (the `cqd` binary, chaos tests) passes
+    /// [`FaultPlan::from_env`] explicitly.
+    pub fn open_dir_with_faults(
+        root: impl Into<PathBuf>,
+        faults: FaultPlan,
+    ) -> std::io::Result<Store> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
         let lock = DirLock::acquire(&root)?;
-        Ok(Store { root, _lock: lock })
+        Ok(Store { root, faults, _lock: lock })
     }
 
     /// The data directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The injected-failure plan (empty outside fault-injection runs).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     fn tenant_dir(&self, name: &str) -> Result<PathBuf, StoreError> {
@@ -262,7 +287,9 @@ impl Store {
                 format!("tenant `{name}` already exists in {}", self.root.display()),
             )));
         }
-        Ok(WalWriter::create(wal_path, 0)?)
+        let mut w = WalWriter::create(wal_path, 0)?;
+        w.set_faults(self.faults.clone());
+        Ok(w)
     }
 
     /// Open a tenant: read its snapshot (if any), replay the WAL on
@@ -289,11 +316,15 @@ impl Store {
             wal_records: 0,
             torn_bytes: replay.torn_bytes,
             stale_records: 0,
+            limits: None,
         };
-        let writer = match replay.epoch {
+        let mut writer = match replay.epoch {
             Some(e) if e == snap_epoch => {
                 // the normal case: records continue the snapshot
                 for record in &replay.records {
+                    if let WalRecord::SetLimits(l) = record {
+                        recovery.limits = Some(*l);
+                    }
                     record.apply(&mut db).map_err(|msg| {
                         StoreError::corrupt(&wal_path, &format!("replay failed: {msg}"))
                     })?;
@@ -339,6 +370,7 @@ impl Store {
                 w
             }
         };
+        writer.set_faults(self.faults.clone());
         Ok((db, writer, recovery))
     }
 
@@ -360,7 +392,7 @@ impl Store {
     ) -> Result<u64, StoreError> {
         let path = self.snapshot_path(name)?;
         let epoch = wal.epoch() + 1;
-        let bytes = snapshot::write(db, epoch, &path)?;
+        let bytes = snapshot::write_with_faults(db, epoch, &path, &self.faults)?;
         wal.reset(epoch)?;
         Ok(bytes)
     }
@@ -586,6 +618,157 @@ mod tests {
             Err(StoreError::Corrupt(msg)) => assert!(msg.contains("snapshot"), "{msg}"),
             other => panic!("wanted Corrupt, got {other:?}"),
         }
+        cleanup(store);
+    }
+
+    fn temp_store_with_faults(tag: &str, faults: FaultPlan) -> Store {
+        let dir = std::env::temp_dir()
+            .join(format!("cq_store_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open_dir_with_faults(dir, faults).unwrap()
+    }
+
+    #[test]
+    fn injected_append_failure_rolls_back_and_appends_resume() {
+        use crate::fault::FaultPoint;
+        let store = temp_store_with_faults(
+            "fault_append",
+            FaultPlan::failing(FaultPoint::WalAppend, 2),
+        );
+        let mut wal = store.create_tenant("t").unwrap();
+        let r1 = WalRecord::Insert { relation: "R".into(), row: vec![1] };
+        let r2 = WalRecord::Insert { relation: "R".into(), row: vec![2] };
+        let r3 = WalRecord::Insert { relation: "R".into(), row: vec![3] };
+        wal.append(&r1).unwrap();
+        let err = wal.append(&r2).unwrap_err();
+        assert!(err.to_string().contains("injected fault at wal-append"), "{err}");
+        assert!(!wal.is_poisoned(), "a rolled-back append does not poison");
+        wal.append(&r3).unwrap();
+        drop(wal);
+        let (db, _, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.wal_records, 2);
+        assert_eq!(rec.torn_bytes, 0, "the failed append left no partial frame");
+        assert_eq!(db.get("R").unwrap(), &Relation::from_values(vec![1, 3]));
+        assert_eq!(store.fault_plan().injected(), 1);
+        cleanup(store);
+    }
+
+    #[test]
+    fn short_write_with_failed_rollback_poisons_and_recovery_truncates() {
+        use crate::fault::FaultPoint;
+        let store = temp_store_with_faults(
+            "fault_torn",
+            FaultPlan::new([
+                (FaultPoint::WalShortWrite, 2, 1),
+                (FaultPoint::WalRollback, 1, 1),
+            ]),
+        );
+        let mut wal = store.create_tenant("t").unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1] }).unwrap();
+        let err = wal
+            .append(&WalRecord::Insert { relation: "R".into(), row: vec![2] })
+            .unwrap_err();
+        assert!(err.to_string().contains("wal-short-write"), "{err}");
+        assert!(wal.is_poisoned(), "failed rollback must poison the writer");
+        // a poisoned writer refuses to acknowledge further mutations
+        let err = wal
+            .append(&WalRecord::Insert { relation: "R".into(), row: vec![3] })
+            .unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        let wal_path = wal.path().to_path_buf();
+        drop(wal);
+        // the partial frame really is on disk (the rollback "failed")
+        let replayed =
+            wal::replay(&std::fs::read(&wal_path).unwrap(), &wal_path).unwrap();
+        assert!(replayed.torn_bytes > 0, "half a frame should be on disk");
+        // recovery truncates the torn frame; only the acknowledged row survives
+        let (db, wal2, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.wal_records, 1);
+        assert!(rec.torn_bytes > 0);
+        assert!(!wal2.is_poisoned(), "a reopened writer starts clean");
+        assert_eq!(db.get("R").unwrap(), &Relation::from_values(vec![1]));
+        cleanup(store);
+    }
+
+    #[test]
+    fn injected_snapshot_failures_leave_the_previous_checkpoint_intact() {
+        use crate::fault::FaultPoint;
+        for point in
+            [FaultPoint::SnapCreate, FaultPoint::SnapWrite, FaultPoint::SnapRename]
+        {
+            let store = temp_store_with_faults(
+                &format!("fault_{point}"),
+                FaultPlan::failing(point, 1),
+            );
+            let mut wal = store.create_tenant("t").unwrap();
+            wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1] })
+                .unwrap();
+            let (db, _, _) = store.load_tenant("t").unwrap();
+            let err = store.checkpoint("t", &db, &mut wal).unwrap_err();
+            assert!(err.to_string().contains("injected fault"), "{err}");
+            assert!(!wal.is_poisoned(), "a failed snapshot leaves the wal usable");
+            assert!(!wal.is_empty(), "the wal still holds the records");
+            assert!(store.snapshot_size("t").unwrap().is_none(), "no snapshot landed");
+            let tmp = store.snapshot_path("t").unwrap().with_extension("tmp");
+            assert!(!tmp.exists(), "no stray temp file");
+            // the tenant is fully recoverable from the intact wal
+            drop(wal);
+            let (db2, _, rec) = store.load_tenant("t").unwrap();
+            assert_eq!(rec.wal_records, 1);
+            assert_eq!(db_pairs(&db), db_pairs(&db2));
+            cleanup(store);
+        }
+    }
+
+    #[test]
+    fn failed_wal_reset_after_snapshot_poisons_but_recovery_converges() {
+        use crate::fault::FaultPoint;
+        let store = temp_store_with_faults(
+            "fault_reset",
+            FaultPlan::failing(FaultPoint::WalReset, 1),
+        );
+        let mut wal = store.create_tenant("t").unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1] }).unwrap();
+        let (db, _, _) = store.load_tenant("t").unwrap();
+        // the snapshot lands, then the wal reset fails: the log's epoch
+        // now trails the snapshot's
+        let err = store.checkpoint("t", &db, &mut wal).unwrap_err();
+        assert!(err.to_string().contains("wal-reset"), "{err}");
+        assert!(store.snapshot_size("t").unwrap().is_some());
+        assert!(
+            wal.is_poisoned(),
+            "appends to a stale-epoch log would be discarded on boot, so the \
+             writer must refuse them"
+        );
+        drop(wal);
+        let (db2, wal2, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.stale_records, 1, "the old log is recognized as folded in");
+        assert_eq!(db_pairs(&db), db_pairs(&db2), "nothing acknowledged is lost");
+        assert_eq!(wal2.epoch(), 1);
+        cleanup(store);
+    }
+
+    #[test]
+    fn limits_records_survive_recovery_and_report_the_last_one() {
+        let store = temp_store("limits");
+        let mut wal = store.create_tenant("t").unwrap();
+        wal.append(&WalRecord::Insert { relation: "R".into(), row: vec![1] }).unwrap();
+        let first =
+            TenantLimits { max_exponent_bits: 2.0f64.to_bits(), ..Default::default() };
+        let second = TenantLimits {
+            max_exponent_bits: 1.5f64.to_bits(),
+            max_rows: 100,
+            timeout_ms: 250,
+        };
+        wal.append(&WalRecord::SetLimits(first)).unwrap();
+        wal.append(&WalRecord::SetLimits(second)).unwrap();
+        drop(wal);
+        let (db, _, rec) = store.load_tenant("t").unwrap();
+        assert_eq!(rec.wal_records, 3, "limits records count as records");
+        assert_eq!(rec.limits, Some(second), "the last limits record wins");
+        assert_eq!(db.get("R").unwrap(), &Relation::from_values(vec![1]));
+        assert!(second.is_set());
+        assert!(!TenantLimits::default().is_set());
         cleanup(store);
     }
 

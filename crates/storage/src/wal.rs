@@ -17,11 +17,14 @@
 //! u32   payload length
 //! u32   CRC-32 of the payload
 //! payload:
-//!   u8          tag (1 = insert, 2 = load, 3 = drop-relation)
-//!   u16 + bytes relation name (UTF-8)
-//!   insert:     u32 arity, arity × u64 (the row)
-//!   load:       u32 arity, u64 value count, values (row-major)
-//!   drop:       nothing further
+//!   u8          tag (1 = insert, 2 = load, 3 = drop-relation,
+//!               4 = set-limits)
+//!   insert:     u16 + bytes relation name, u32 arity, arity × u64
+//!   load:       u16 + bytes relation name, u32 arity, u64 value
+//!               count, values (row-major)
+//!   drop:       u16 + bytes relation name
+//!   set-limits: 3 × u64 (budget exponent bits, row cap, timeout ms;
+//!               u64::MAX = unset)
 //! ```
 //!
 //! Each record is appended with a single `write(2)`, so a record is
@@ -37,12 +40,45 @@
 //! decode or apply is different — the frame was fully written, so the
 //! log is genuinely corrupt and replay refuses it.
 
+use crate::fault::{FaultPlan, FaultPoint};
 use crate::format::{crc32, Dec, Enc};
 use crate::store::StoreError;
 use cq_data::{Database, Relation, Val};
 use std::fs::File;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Per-tenant resource limits as persisted by a
+/// [`WalRecord::SetLimits`] record. Each field uses `u64::MAX` as the
+/// "unset" sentinel; `max_exponent_bits` holds the `f64` bit pattern
+/// of the budget exponent (the sentinel decodes to a NaN, which is
+/// never a valid budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLimits {
+    /// `f64::to_bits` of the `SET BUDGET … MAX-EXPONENT` cap.
+    pub max_exponent_bits: u64,
+    /// The `SET BUDGET … MAX-ROWS` cap.
+    pub max_rows: u64,
+    /// The `SET TIMEOUT` deadline in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for TenantLimits {
+    fn default() -> TenantLimits {
+        TenantLimits {
+            max_exponent_bits: u64::MAX,
+            max_rows: u64::MAX,
+            timeout_ms: u64::MAX,
+        }
+    }
+}
+
+impl TenantLimits {
+    /// Is any limit actually set?
+    pub fn is_set(&self) -> bool {
+        *self != TenantLimits::default()
+    }
+}
 
 /// One logged mutation, mirroring the server's wire mutations.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -69,12 +105,20 @@ pub enum WalRecord {
         /// Relation name.
         relation: String,
     },
+    /// The tenant's resource limits (`SET BUDGET` / `SET TIMEOUT`)
+    /// changed. Carries the full limit set, so the last such record
+    /// in the log wins and replay needs no merging. Limits are not
+    /// part of the snapshot image; a checkpoint re-appends one of
+    /// these as the first record of the fresh log when any limit is
+    /// set, which is how limits survive the WAL truncation.
+    SetLimits(TenantLimits),
 }
 
 impl WalRecord {
     const TAG_INSERT: u8 = 1;
     const TAG_LOAD: u8 = 2;
     const TAG_DROP: u8 = 3;
+    const TAG_LIMITS: u8 = 4;
 
     /// Encode to a framed record (header + payload).
     pub fn to_frame(&self) -> Vec<u8> {
@@ -104,6 +148,12 @@ impl WalRecord {
                 p.u8(Self::TAG_DROP);
                 p.str(relation);
             }
+            WalRecord::SetLimits(l) => {
+                p.u8(Self::TAG_LIMITS);
+                p.u64(l.max_exponent_bits);
+                p.u64(l.max_rows);
+                p.u64(l.timeout_ms);
+            }
         }
         let payload = p.into_bytes();
         let mut f = Enc::new();
@@ -117,13 +167,14 @@ impl WalRecord {
     fn from_payload(payload: &[u8]) -> Option<WalRecord> {
         let mut d = Dec::new(payload);
         let tag = d.u8()?;
-        let relation = d.str()?;
         let rec = match tag {
             Self::TAG_INSERT => {
+                let relation = d.str()?;
                 let arity = d.u32()? as usize;
                 WalRecord::Insert { relation, row: d.u64s(arity)? }
             }
             Self::TAG_LOAD => {
+                let relation = d.str()?;
                 let arity = d.u32()? as usize;
                 let n_rows = usize::try_from(d.u64()?).ok()?;
                 let flat = d.u64s(n_rows.checked_mul(arity)?)?;
@@ -134,7 +185,12 @@ impl WalRecord {
                 };
                 WalRecord::Load { relation, arity, rows }
             }
-            Self::TAG_DROP => WalRecord::DropRelation { relation },
+            Self::TAG_DROP => WalRecord::DropRelation { relation: d.str()? },
+            Self::TAG_LIMITS => WalRecord::SetLimits(TenantLimits {
+                max_exponent_bits: d.u64()?,
+                max_rows: d.u64()?,
+                timeout_ms: d.u64()?,
+            }),
             _ => return None,
         };
         d.is_empty().then_some(rec)
@@ -198,6 +254,9 @@ impl WalRecord {
                 db.remove(relation);
                 Ok(())
             }
+            // limits live beside the data, not in it: the store reports
+            // the last one seen through `Recovery::limits` instead
+            WalRecord::SetLimits(_) => Ok(()),
         }
     }
 }
@@ -238,6 +297,8 @@ pub struct WalWriter {
     epoch: u64,
     poisoned: bool,
     stats: WalStats,
+    /// Injected-failure plan (empty outside fault-injection runs).
+    faults: FaultPlan,
 }
 
 /// Cumulative write-side counters for one WAL, since the writer was
@@ -267,6 +328,7 @@ impl WalWriter {
             epoch,
             poisoned: false,
             stats: WalStats::default(),
+            faults: FaultPlan::none(),
         })
     }
 
@@ -286,6 +348,7 @@ impl WalWriter {
             epoch,
             poisoned: false,
             stats: WalStats::default(),
+            faults: FaultPlan::none(),
         })
     }
 
@@ -304,6 +367,7 @@ impl WalWriter {
             epoch,
             poisoned: false,
             stats: WalStats::default(),
+            faults: FaultPlan::none(),
         })
     }
 
@@ -316,7 +380,18 @@ impl WalWriter {
             ));
         }
         let frame = record.to_frame();
-        match self.file.write_all(&frame) {
+        let write = self.faults.check(FaultPoint::WalAppend).and_then(|()| {
+            match self.faults.check(FaultPoint::WalShortWrite) {
+                Ok(()) => self.file.write_all(&frame),
+                Err(e) => {
+                    // the torn-frame case: half the frame really lands
+                    // before the "disk" gives out
+                    let _ = self.file.write_all(&frame[..frame.len() / 2]);
+                    Err(e)
+                }
+            }
+        });
+        match write {
             Ok(()) => {
                 self.file_len += frame.len() as u64;
                 self.stats.appends += 1;
@@ -326,12 +401,27 @@ impl WalWriter {
             Err(e) => {
                 // drop any partially-written frame; if the disk won't
                 // even do that, stop accepting appends entirely
-                if self.file.set_len(self.file_len).is_err() {
+                if self.faults.check(FaultPoint::WalRollback).is_err()
+                    || self.file.set_len(self.file_len).is_err()
+                {
                     self.poisoned = true;
                 }
                 Err(e)
             }
         }
+    }
+
+    /// Has an earlier failed append/rollback poisoned this writer?
+    /// A poisoned writer refuses appends until `WalWriter::reset`
+    /// gives it a fresh segment (the `RESUME` repair path).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Arm this writer with an injected-failure plan (threaded in by
+    /// the owning [`Store`](crate::Store)).
+    pub(crate) fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
     }
 
     /// Bytes of records in the log (excluding the file header) —
@@ -352,6 +442,7 @@ impl WalWriter {
 
     /// Force appended records to stable storage.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        self.faults.check(FaultPoint::WalSync)?;
         self.file.sync_data()?;
         self.stats.syncs += 1;
         Ok(())
@@ -364,16 +455,34 @@ impl WalWriter {
 
     /// Drop every record and restamp the header to `epoch` — called
     /// after a successful epoch-`epoch` snapshot has made the records
-    /// redundant (and by recovery, to discard a stale log).
+    /// redundant (by recovery, to discard a stale log; and by `RESUME`,
+    /// to roll a degraded tenant onto a fresh segment).
+    ///
+    /// A successful reset un-poisons the writer — the fresh segment
+    /// has no partial frame to distrust. A *failed* reset poisons it:
+    /// the log's epoch may now trail a successfully-written snapshot,
+    /// and anything appended to such a log would be silently discarded
+    /// as stale on the next boot — refusing further appends is what
+    /// keeps every acknowledged mutation recoverable.
     pub(crate) fn reset(&mut self, epoch: u64) -> std::io::Result<()> {
-        self.file.set_len(0)?;
-        self.file.write_all(&header_bytes(epoch))?;
-        self.file.sync_data()?;
-        self.stats.syncs += 1;
-        self.file_len = WAL_HEADER_LEN;
-        self.epoch = epoch;
-        self.poisoned = false;
-        Ok(())
+        let result = self.faults.check(FaultPoint::WalReset).and_then(|()| {
+            self.file.set_len(0)?;
+            self.file.write_all(&header_bytes(epoch))?;
+            self.file.sync_data()
+        });
+        match result {
+            Ok(()) => {
+                self.stats.syncs += 1;
+                self.file_len = WAL_HEADER_LEN;
+                self.epoch = epoch;
+                self.poisoned = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     /// The log's path (for diagnostics).

@@ -1,0 +1,165 @@
+//! Robustness drills over the wire: per-tenant query deadlines
+//! (`SET TIMEOUT`) tripping as structured `ERR timeout` replies while
+//! the connection and other tenants keep serving, fault-injected WAL
+//! failures degrading one tenant to read-only without touching its
+//! neighbors, and the acceptor shedding connections with `ERR busy`
+//! once the worker pool and the overflow-thread budget are both full.
+
+use cq_server::client::Client;
+use cq_server::server::Server;
+use cq_server::state::ServerState;
+use cq_storage::{FaultPlan, FaultPoint, Store};
+use std::sync::Arc;
+
+fn triangle_load(c: &mut Client) {
+    // edges a → a+2 (mod 6) close the triangles {0,2,4} and {1,3,5};
+    // a shifted a → a+1 (mod 7) ring adds triangle-free bulk
+    let edges: Vec<String> = (0..6)
+        .map(|a| format!("{a} {}", (a + 2) % 6))
+        .chain((0..7).map(|a| format!("{} {}", 10 + a, 10 + (a + 1) % 7)))
+        .collect();
+    for name in ["R1", "R2", "R3"] {
+        assert!(c.load(name, 2, edges.clone()).unwrap().is_ok());
+    }
+}
+
+const TRI: &str = "DECIDE q() :- R1(x, y), R2(y, z), R3(z, x)";
+
+#[test]
+fn timeout_over_the_wire_cites_the_lower_bound() {
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    assert!(c.request("CREATE DB slow").unwrap().is_ok());
+    assert!(c.request("CREATE DB fast").unwrap().is_ok());
+    assert!(c.request("USE slow").unwrap().is_ok());
+    triangle_load(&mut c);
+
+    // a zero deadline is already past at evaluation entry: the trip is
+    // deterministic, and the reply must cite the plan's cost exponent
+    // and the lower-bound hypothesis behind it
+    assert!(c.request("SET TIMEOUT slow 0").unwrap().is_ok());
+    let r = c.request(TRI).unwrap();
+    assert!(r.terminal.starts_with("ERR timeout:"), "{}", r.terminal);
+    assert!(r.terminal.contains("plan cost m^"), "{}", r.terminal);
+    assert!(r.terminal.contains("Hypothesis"), "{}", r.terminal);
+
+    // the connection survived the timeout...
+    assert_eq!(c.request("PING").unwrap().terminal, "OK pong");
+    // ...and an unthrottled tenant on a second connection still serves
+    let mut other = Client::connect(addr).unwrap();
+    assert!(other.request("USE fast").unwrap().is_ok());
+    triangle_load(&mut other);
+    assert_eq!(other.request(TRI).unwrap().terminal, "OK true");
+
+    // clearing the deadline re-admits the query on the first tenant
+    assert!(c.request("SET TIMEOUT slow NONE").unwrap().is_ok());
+    assert_eq!(c.request(TRI).unwrap().terminal, "OK true");
+
+    // the trip is visible in the tenant's metrics
+    let m = c.request("METRICS slow").unwrap();
+    assert!(m.data.iter().any(|l| l == "db.slow timeouts=1"), "{:?}", m.data);
+
+    let _ = c.quit();
+    let _ = other.quit();
+    server.shutdown();
+}
+
+#[test]
+fn degraded_tenant_leaves_neighbors_read_write() {
+    let dir =
+        std::env::temp_dir().join(format!("cq_robust_degrade_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // third WAL append fails once: tenant `frail` takes two good
+    // mutations elsewhere in the schedule, then degrades
+    let store =
+        Store::open_dir_with_faults(&dir, FaultPlan::failing(FaultPoint::WalAppend, 3))
+            .unwrap();
+    let (state, _) = ServerState::recover(store).unwrap();
+    let server =
+        Server::bind_with_state("127.0.0.1:0", 2, Arc::new(state)).expect("bind");
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    assert!(c.request("CREATE DB frail").unwrap().is_ok());
+    assert!(c.request("CREATE DB sturdy").unwrap().is_ok());
+    assert!(c.request("USE frail").unwrap().is_ok());
+    assert!(c.request("INSERT R(1, 2)").unwrap().is_ok()); // append 1
+    assert!(c.request("INSERT R(2, 3)").unwrap().is_ok()); // append 2
+    let r = c.request("INSERT R(3, 4)").unwrap(); // append 3: injected
+    assert!(r.terminal.starts_with("ERR storage:"), "{}", r.terminal);
+    assert!(r.terminal.contains("read-only"), "{}", r.terminal);
+
+    // frail: mutations refused, reads fine
+    let r = c.request("INSERT R(4, 5)").unwrap();
+    assert!(r.terminal.starts_with("ERR degraded:"), "{}", r.terminal);
+    assert_eq!(c.request("COUNT q(x, y) :- R(x, y)").unwrap().terminal, "OK 3");
+
+    // sturdy: completely unaffected, on a separate connection
+    let mut other = Client::connect(addr).unwrap();
+    assert!(other.request("USE sturdy").unwrap().is_ok());
+    assert!(other.request("INSERT R(7, 8)").unwrap().is_ok());
+    assert_eq!(other.request("COUNT q(x, y) :- R(x, y)").unwrap().terminal, "OK 1");
+
+    // RESUME repairs frail over the wire
+    let r = c.request("RESUME frail").unwrap();
+    assert!(r.is_ok(), "{}", r.terminal);
+    assert!(c.request("INSERT R(4, 5)").unwrap().is_ok());
+    assert_eq!(c.request("COUNT q(x, y) :- R(x, y)").unwrap().terminal, "OK 4");
+
+    let _ = c.quit();
+    let _ = other.quit();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturated_acceptor_sheds_with_err_busy() {
+    // pool of 1 worker + 1 * 8 overflow threads = 9 live sessions max
+    let server = Server::bind("127.0.0.1:0", 1).expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    // saturate: 9 clients, each proven live with a PING round-trip (so
+    // the acceptor has committed a worker or overflow slot to each)
+    let mut held = Vec::new();
+    for i in 0..9 {
+        let mut c = Client::connect(addr).unwrap_or_else(|e| panic!("client {i}: {e}"));
+        assert_eq!(c.request("PING").unwrap().terminal, "OK pong", "client {i}");
+        held.push(c);
+    }
+
+    // the 10th connection is shed at accept time with a best-effort
+    // `ERR busy` (no request needed — the reply is pushed)
+    let mut shed = Client::connect(addr).expect("tcp connect still accepts");
+    let r = shed.read_reply().expect("shed reply");
+    assert!(r.terminal.starts_with("ERR busy:"), "{}", r.terminal);
+
+    // the shed is counted; held sessions keep serving
+    let m = held[0].request("METRICS").unwrap();
+    assert!(m.data.iter().any(|l| l == "server connections.shed=1"), "{:?}", m.data);
+    for (i, c) in held.iter_mut().enumerate() {
+        assert_eq!(c.request("PING").unwrap().terminal, "OK pong", "client {i}");
+    }
+
+    // freeing a slot re-admits new connections (the slot is released
+    // just after the QUIT reply, so poll briefly)
+    let _ = held.pop().unwrap().quit();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let mut again = Client::connect(addr).expect("reconnect");
+        match again.request("PING") {
+            Ok(r) if r.terminal == "OK pong" => {
+                let _ = again.quit();
+                break;
+            }
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            other => panic!("slot never freed: {other:?}"),
+        }
+    }
+    for c in held {
+        let _ = c.quit();
+    }
+    server.shutdown();
+}

@@ -1,0 +1,175 @@
+//! Chaos fault-injection invariants of `cq-storage`: under **any**
+//! injected fault plan — failed appends, short writes, failed
+//! rollbacks, failed fsyncs, ENOSPC-style snapshot refusals, failed
+//! renames, failed WAL resets — the store must
+//!
+//! 1. never acknowledge a mutation it cannot recover (`append`
+//!    returning `Ok` is the acknowledgment),
+//! 2. never panic, and
+//! 3. boot cleanly afterwards into a state that **byte-matches** an
+//!    independent oracle holding exactly the acknowledged mutations
+//!    (compared through the deterministic snapshot serialization).
+//!
+//! The oracle database is maintained outside the store: a record is
+//! applied to it only when the store acknowledged that record, so a
+//! false `OK` (acknowledged but lost) and a false recovery (recovered
+//! but never acknowledged) both fail the byte comparison.
+//!
+//! `chaos_env_fault_plan_scenario_upholds_invariants` additionally
+//! reads the ambient `CQ_FAULT_PLAN` (empty outside the CI chaos
+//! matrix), so the same invariant runs under the representative plans
+//! CI pins: fail-fsync, fail-append, ENOSPC.
+
+use cq_data::{Database, Val};
+use cq_storage::fault::ALL_FAULT_POINTS;
+use cq_storage::{snapshot, FaultPlan, Store, WalRecord};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Fixed schema for generated histories: relation name → arity.
+const RELS: [(&str, usize); 3] = [("R", 1), ("S", 2), ("T", 3)];
+
+#[derive(Clone, Debug)]
+enum Mutation {
+    Insert { rel: usize, seed: u64 },
+    Load { rel: usize, n_rows: usize, seed: u64 },
+    Drop { rel: usize },
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    (0usize..10, 0usize..RELS.len(), any::<u64>(), 0usize..5).prop_map(
+        |(sel, rel, seed, n_rows)| match sel {
+            0..=4 => Mutation::Insert { rel, seed },
+            5..=8 => Mutation::Load { rel, n_rows, seed },
+            _ => Mutation::Drop { rel },
+        },
+    )
+}
+
+/// One fault trigger: which point, the 1-based occurrence that first
+/// fails, and how many consecutive occurrences fail.
+fn fault_strategy() -> impl Strategy<Value = (usize, u64, u64)> {
+    (0usize..ALL_FAULT_POINTS.len(), 1u64..=6, 1u64..=3)
+}
+
+fn row(arity: usize, seed: u64) -> Vec<Val> {
+    (0..arity).map(|i| (seed >> (4 * i)) % 4).collect()
+}
+
+fn to_record(m: &Mutation) -> WalRecord {
+    match *m {
+        Mutation::Insert { rel, seed } => {
+            let (name, arity) = RELS[rel];
+            WalRecord::Insert { relation: name.to_string(), row: row(arity, seed) }
+        }
+        Mutation::Load { rel, n_rows, seed } => {
+            let (name, arity) = RELS[rel];
+            WalRecord::Load {
+                relation: name.to_string(),
+                arity,
+                rows: (0..n_rows)
+                    .map(|i| row(arity, seed.wrapping_add(1 + i as u64)))
+                    .collect(),
+            }
+        }
+        Mutation::Drop { rel } => {
+            WalRecord::DropRelation { relation: RELS[rel].0.to_string() }
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cq_chaos_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drive `history` through a faulted store, checkpointing and syncing
+/// along the way, and return the acknowledged-mutations oracle.
+/// Checkpoint and sync failures are tolerated (the storage layer's
+/// own poisoning keeps them honest); append acknowledgments gate the
+/// oracle.
+fn drive(dir: &PathBuf, history: &[Mutation], plan: FaultPlan) -> Database {
+    let store = Store::open_dir_with_faults(dir, plan).unwrap();
+    let mut wal = store.create_tenant("t").unwrap();
+    let mut acked = Database::new();
+    for (i, m) in history.iter().enumerate() {
+        let rec = to_record(m);
+        if wal.append(&rec).is_ok() {
+            rec.apply(&mut acked).unwrap();
+        }
+        if i % 5 == 4 {
+            // a failed checkpoint must leave the tenant recoverable in
+            // every crash window; the writer poisons itself when that
+            // requires refusing further appends
+            let _ = store.checkpoint("t", &acked, &mut wal);
+        }
+        if i % 7 == 6 {
+            let _ = wal.sync();
+        }
+    }
+    acked
+}
+
+/// Reopen the directory with a clean store and assert the recovered
+/// state byte-matches the oracle.
+fn assert_recovers_to(dir: &PathBuf, acked: &Database) -> Result<(), TestCaseError> {
+    let store = Store::open_dir(dir).unwrap();
+    let (recovered, _, _) = store.load_tenant("t").unwrap();
+    prop_assert_eq!(
+        snapshot::to_bytes(acked, 0),
+        snapshot::to_bytes(&recovered, 0),
+        "recovered state must byte-match the acknowledged-mutations oracle"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: arbitrary histories under arbitrary
+    /// fault plans — no false `OK`, no panic, clean boot, byte-matched
+    /// recovery.
+    #[test]
+    fn chaos_any_fault_plan_never_loses_acknowledged_mutations(
+        history in proptest::collection::vec(mutation_strategy(), 1..=16),
+        faults in proptest::collection::vec(fault_strategy(), 0..=5),
+    ) {
+        let dir = temp_dir("any_plan");
+        let plan = FaultPlan::new(
+            faults.iter().map(|&(p, n, times)| (ALL_FAULT_POINTS[p], n, times)),
+        );
+        let acked = drive(&dir, &history, plan);
+        assert_recovers_to(&dir, &acked)?;
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The CI chaos-matrix entry point: a fixed, checkpoint-heavy history
+/// under whatever plan `CQ_FAULT_PLAN` names (the empty plan outside
+/// the matrix, where this doubles as a fault-free regression).
+#[test]
+fn chaos_env_fault_plan_scenario_upholds_invariants() {
+    let plan = FaultPlan::from_env().expect("CQ_FAULT_PLAN must parse");
+    let dir = temp_dir("env_plan");
+    let history: Vec<Mutation> = (0..18)
+        .map(|i| match i % 6 {
+            0..=2 => Mutation::Insert { rel: i % RELS.len(), seed: 0x9E37 * i as u64 },
+            3 | 4 => {
+                Mutation::Load { rel: i % RELS.len(), n_rows: 3, seed: 7 * i as u64 }
+            }
+            _ => Mutation::Drop { rel: i % RELS.len() },
+        })
+        .collect();
+    let acked = drive(&dir, &history, plan);
+    let store = Store::open_dir(&dir).unwrap();
+    let (recovered, _, _) = store.load_tenant("t").unwrap();
+    assert_eq!(
+        snapshot::to_bytes(&acked, 0),
+        snapshot::to_bytes(&recovered, 0),
+        "recovered state must byte-match the acknowledged-mutations oracle"
+    );
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

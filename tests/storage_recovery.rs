@@ -82,6 +82,7 @@ fn oracle(records: &[WalRecord]) -> Vec<(String, Vec<Vec<Val>>)> {
             WalRecord::DropRelation { relation } => {
                 rels.remove(relation);
             }
+            WalRecord::SetLimits(_) => {}
         }
     }
     // BTreeSet row order is lexicographic — the same order Relation
@@ -202,6 +203,9 @@ proptest! {
                     }
                     WalRecord::DropRelation { relation } => {
                         session.handle_line(&format!("DROP {relation}"));
+                    }
+                    WalRecord::SetLimits(_) => {
+                        unreachable!("to_record never builds this")
                     }
                 }
             }

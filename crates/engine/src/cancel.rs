@@ -33,8 +33,22 @@ pub const STRIDE: u32 = 256;
 pub struct CancelToken {
     deadline: Option<Instant>,
     flag: Arc<AtomicBool>,
-    probe: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    probe: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
     tick: AtomicU32,
+}
+
+impl Clone for CancelToken {
+    /// Clones share the latching flag and probe (cancelling one cancels
+    /// all) but keep an independent poll stride, so a clone's first
+    /// `check` is always a real one.
+    fn clone(&self) -> Self {
+        CancelToken {
+            deadline: self.deadline,
+            flag: Arc::clone(&self.flag),
+            probe: self.probe.clone(),
+            tick: AtomicU32::new(0),
+        }
+    }
 }
 
 impl Default for CancelToken {
@@ -86,7 +100,7 @@ impl CancelToken {
         mut self,
         probe: impl Fn() -> bool + Send + Sync + 'static,
     ) -> Self {
-        self.probe = Some(Box::new(probe));
+        self.probe = Some(Arc::new(probe));
         self
     }
 

@@ -12,6 +12,7 @@
 use crate::bind::{BoundAtom, EvalError};
 use crate::cancel::CancelToken;
 use crate::count::eliminate_projections_cancel;
+use crate::stream::AnswerStream;
 use crate::yannakakis::{downward_sweep, upward_sweep};
 use cq_core::hypergraph::mask_vertices;
 use cq_core::{ConjunctiveQuery, Var};
@@ -110,10 +111,10 @@ impl EnumeratorCore {
 /// A prepared constant-delay enumerator. Create with
 /// [`Enumerator::preprocess`] (or, sharing preprocessing across calls,
 /// [`Enumerator::preprocess_with_catalog`]), consume with
-/// [`Enumerator::for_each`] or [`Enumerator::collect_all`].
+/// [`Enumerator::for_each`], [`Enumerator::collect_all`], or — the
+/// primitive the others are built on — [`Enumerator::into_stream`].
 pub struct Enumerator {
     core: Arc<EnumeratorCore>,
-    cursors: Vec<Cursor>,
 }
 
 impl std::fmt::Debug for Enumerator {
@@ -128,8 +129,7 @@ impl std::fmt::Debug for Enumerator {
 
 impl From<Arc<EnumeratorCore>> for Enumerator {
     fn from(core: Arc<EnumeratorCore>) -> Self {
-        let cursors = vec![Cursor::default(); core.levels.len()];
-        Enumerator { core, cursors }
+        Enumerator { core }
     }
 }
 
@@ -173,6 +173,18 @@ impl Enumerator {
         &self.core.schema
     }
 
+    /// A fresh pull-driven stream over the shared preprocessing — the
+    /// single odometer implementation; every other consumer below is a
+    /// wrapper around it.
+    pub fn stream(&self) -> EnumeratorStream {
+        EnumeratorStream::new(Arc::clone(&self.core))
+    }
+
+    /// Consume the enumerator into its stream.
+    pub fn into_stream(self) -> EnumeratorStream {
+        EnumeratorStream::new(self.core)
+    }
+
     /// Visit every answer with constant delay; `visit` returns `false`
     /// to stop early. Returns `true` if enumeration ran to completion.
     pub fn for_each(&mut self, visit: impl FnMut(&[Val]) -> bool) -> bool {
@@ -188,46 +200,14 @@ impl Enumerator {
         cancel: &CancelToken,
         mut visit: impl FnMut(&[Val]) -> bool,
     ) -> Result<bool, EvalError> {
-        let core = &self.core;
-        let cursors = &mut self.cursors;
-        cancel.check()?;
-        if core.empty {
-            return Ok(true);
-        }
-        if core.levels.is_empty() {
-            // Boolean query that is true: the single empty answer.
-            return Ok(visit(&[]));
-        }
-        let mut current: Vec<Val> = vec![0; core.schema.len()];
-        let mut keybuf: Vec<Val> = Vec::new();
-        // descend all levels from 0
-        let l = core.levels.len();
-        for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()) {
-            descend(lev, cur, &mut current, &mut keybuf);
-        }
-        loop {
-            cancel.check()?;
-            if !visit(&current) {
+        let mut s = self.stream();
+        s.set_cancel(cancel.clone());
+        while let Some(row) = s.next()? {
+            if !visit(row) {
                 return Ok(false);
             }
-            // odometer: advance deepest level possible
-            let mut i = l;
-            loop {
-                if i == 0 {
-                    return Ok(true); // exhausted
-                }
-                i -= 1;
-                let (lev, cur) = (&core.levels[i], &mut cursors[i]);
-                if cur.pos + 1 < cur.range.end {
-                    cur.pos += 1;
-                    write_row(lev, cur, &mut current);
-                    break;
-                }
-            }
-            for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()).skip(i + 1) {
-                descend(lev, cur, &mut current, &mut keybuf);
-            }
         }
+        Ok(true)
     }
 
     /// Materialize all answers (ordered by the enumeration order).
@@ -262,13 +242,105 @@ impl Enumerator {
         &mut self,
         cancel: &CancelToken,
     ) -> Result<Relation, EvalError> {
-        let mut rel = Relation::new(self.core.schema.len());
-        self.for_each_cancel(cancel, |row| {
-            rel.push_row(row);
-            true
-        })?;
-        rel.normalize();
-        Ok(rel)
+        let mut s = self.stream();
+        s.set_cancel(cancel.clone());
+        s.collect()
+    }
+}
+
+/// Where an [`EnumeratorStream`] is in its walk.
+enum StreamState {
+    /// No row pulled yet: the first `next` does the initial descent.
+    NotStarted,
+    /// Mid-walk: the odometer cursors point at the last emitted row.
+    Active,
+    /// Exhausted (or the result was empty from the start).
+    Done,
+}
+
+/// The pull-driven constant-delay walk over an [`EnumeratorCore`]: each
+/// [`AnswerStream::next`] advances the odometer by exactly one answer,
+/// using O(1) extra memory (the cursors plus one row buffer) — Thm 3.17
+/// with the consumer holding the reins.
+pub struct EnumeratorStream {
+    core: Arc<EnumeratorCore>,
+    cursors: Vec<Cursor>,
+    /// The row buffer `next` hands out; slots are keyed by the schema.
+    current: Vec<Val>,
+    keybuf: Vec<Val>,
+    state: StreamState,
+    cancel: CancelToken,
+}
+
+impl EnumeratorStream {
+    /// A fresh walk over `core`, starting before the first answer.
+    pub fn new(core: Arc<EnumeratorCore>) -> Self {
+        let cursors = vec![Cursor::default(); core.levels.len()];
+        let current = vec![0; core.schema.len()];
+        EnumeratorStream {
+            core,
+            cursors,
+            current,
+            keybuf: Vec::new(),
+            state: StreamState::NotStarted,
+            cancel: CancelToken::never(),
+        }
+    }
+}
+
+impl AnswerStream for EnumeratorStream {
+    fn schema(&self) -> &[Var] {
+        &self.core.schema
+    }
+
+    fn next(&mut self) -> Result<Option<&[Val]>, EvalError> {
+        self.cancel.check()?;
+        let EnumeratorStream { core, cursors, current, keybuf, state, .. } = self;
+        match state {
+            StreamState::Done => return Ok(None),
+            StreamState::NotStarted => {
+                if core.empty {
+                    *state = StreamState::Done;
+                    return Ok(None);
+                }
+                if core.levels.is_empty() {
+                    // Boolean query that is true: the single empty
+                    // answer (`current` has length 0).
+                    *state = StreamState::Done;
+                    return Ok(Some(current));
+                }
+                for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()) {
+                    descend(lev, cur, current, keybuf);
+                }
+                *state = StreamState::Active;
+                return Ok(Some(current));
+            }
+            StreamState::Active => {}
+        }
+        // odometer: advance the deepest level possible, then re-descend
+        // everything below it
+        let mut i = core.levels.len();
+        loop {
+            if i == 0 {
+                *state = StreamState::Done;
+                return Ok(None); // exhausted
+            }
+            i -= 1;
+            let (lev, cur) = (&core.levels[i], &mut cursors[i]);
+            if cur.pos + 1 < cur.range.end {
+                cur.pos += 1;
+                write_row(lev, cur, current);
+                break;
+            }
+        }
+        for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()).skip(i + 1) {
+            descend(lev, cur, current, keybuf);
+        }
+        Ok(Some(current))
+    }
+
+    fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 }
 

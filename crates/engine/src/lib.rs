@@ -33,6 +33,7 @@ pub mod enumerate;
 pub mod fc_direct_access;
 pub mod generic_join;
 pub mod semijoin;
+pub mod stream;
 pub mod sum_order;
 pub mod testing;
 pub mod triangle_query;
@@ -41,6 +42,8 @@ pub mod yannakakis;
 pub use bind::{bind, BoundAtom, EvalError};
 pub use cancel::CancelToken;
 pub use direct_access::{DirectAccess, LexDirectAccess, MaterializedDirectAccess};
+pub use enumerate::EnumeratorStream;
 pub use enumerate::{Enumerator, EnumeratorCore};
 pub use fc_direct_access::FreeConnexDirectAccess;
+pub use stream::{AnswerStream, DirectAccessStream, RelationStream};
 pub use sum_order::SumOrderAccess;

@@ -228,7 +228,9 @@ pub fn answers_with_catalog_cancel(
     let stats = catalog.stats(db);
     let plan = planner.plan(q, Task::Answers, &stats);
     match execute_with_catalog_cancel(&plan, q, db, catalog, cancel)? {
-        Output::Answers(r) => Ok((r, plan)),
+        // the facade keeps its materialized signature: drain the stream
+        // into the normalized relation callers and oracles expect
+        Output::Answers(a) => Ok((a.collect()?, plan)),
         other => unreachable!("answers plan yielded {other:?}"),
     }
 }
@@ -242,10 +244,10 @@ pub fn answers_with(
 ) -> Result<(Relation, QueryPlan), EvalError> {
     let plan = planner.plan(q, Task::Answers, stats);
     match execute(&plan, q, db)? {
-        Output::Answers(r) => Ok((r, plan)),
         // execute() dispatches on plan.task, and the Answers dispatcher
         // returns Output::Answers from every arm (Boolean queries get an
         // empty nullary relation), so nothing else can come back.
+        Output::Answers(a) => Ok((a.collect()?, plan)),
         other => unreachable!("answers plan yielded {other:?}"),
     }
 }
@@ -270,8 +272,8 @@ pub fn batch(
     batch_tasks(queries.iter().map(|q| (q, Task::Answers)), db)
         .into_iter()
         .map(|r| {
-            r.map(|(out, plan)| match out {
-                Output::Answers(rel) => (rel, plan),
+            r.and_then(|(out, plan)| match out {
+                Output::Answers(a) => Ok((a.collect()?, plan)),
                 other => unreachable!("answers plan yielded {other:?}"),
             })
         })
@@ -279,8 +281,8 @@ pub fn batch(
 }
 
 /// [`batch`] for mixed tasks: each item is a query plus the task to
-/// run it under ([`Task::Access`] items error — direct-access
-/// structures are built, not executed).
+/// run it under ([`Task::Access`] items yield a seekable
+/// [`Output::Answers`] stream over the built structure).
 pub fn batch_tasks<'q>(
     items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
     db: &Database,
@@ -497,19 +499,31 @@ mod tests {
         let (want_ans, _) = answers(&qj, &db).unwrap();
         let (want_count, _) = count(&qj, &db).unwrap();
         let (want_dec, _) = decide(&qb, &db).unwrap();
-        assert_eq!(results[0].as_ref().unwrap().0, Output::Answers(want_ans.clone()));
-        assert_eq!(results[1].as_ref().unwrap().0, Output::Count(want_count));
-        assert_eq!(results[2].as_ref().unwrap().0, Output::Decision(want_dec));
+        let mut results = results.into_iter();
+        match results.next().unwrap().unwrap().0 {
+            Output::Answers(a) => assert_eq!(a.collect().unwrap(), want_ans),
+            other => panic!("answers item yielded {other:?}"),
+        }
+        assert_eq!(results.next().unwrap().unwrap().0.as_count(), Some(want_count));
+        assert_eq!(results.next().unwrap().unwrap().0.as_decision(), Some(want_dec));
         // per-item errors: a query over a missing relation fails alone
         let missing = cq_core::parse_query("q(x, y) :- Nope(x, y)").unwrap();
         let items = vec![(&qj, Task::Answers), (&missing, Task::Decide)];
         let results = batch_tasks(items, &db);
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(EvalError::MissingRelation(_))));
-        // Task::Access is a build, not an execution
+        // Task::Access executes to a seekable stream over the built
+        // structure
         let items = vec![(&qj, Task::Access)];
         let results = batch_tasks_with_workers(items, &db, 1);
-        assert!(matches!(results[0], Err(EvalError::Unsupported(_))));
+        match results.into_iter().next().unwrap().unwrap().0 {
+            Output::Answers(mut a) => {
+                assert!(a.can_seek());
+                a.seek(0).unwrap();
+                assert_eq!(a.collect().unwrap(), want_ans);
+            }
+            other => panic!("access item yielded {other:?}"),
+        }
     }
 
     #[test]
@@ -520,8 +534,11 @@ mod tests {
         let items: Vec<_> = (0..6).map(|_| (&q, Task::Answers)).collect();
         let results = batch_tasks_with_catalog(items.clone(), &db, &catalog, 4);
         let (want, _) = answers(&q, &db).unwrap();
-        for r in &results {
-            assert_eq!(r.as_ref().unwrap().0, Output::Answers(want.clone()));
+        for r in results {
+            match r.unwrap().0 {
+                Output::Answers(a) => assert_eq!(a.collect().unwrap(), want),
+                other => panic!("answers item yielded {other:?}"),
+            }
         }
         let snap = catalog.snapshot();
         assert!(snap.misses > 0, "the batch must build into the explicit catalog");
@@ -542,7 +559,10 @@ mod tests {
             let got = batch_tasks_with_workers(items.clone(), &db, workers);
             assert_eq!(got.len(), want.len());
             for (g, w) in got.iter().zip(&want) {
-                assert_eq!(g.as_ref().unwrap().0, w.as_ref().unwrap().0);
+                assert_eq!(
+                    g.as_ref().unwrap().0.as_count(),
+                    w.as_ref().unwrap().0.as_count()
+                );
             }
         }
     }

@@ -11,22 +11,118 @@
 //! only be replayed against the database they were planned for).
 
 use crate::ir::{PlanOp, QueryPlan, Task};
-use cq_core::ConjunctiveQuery;
-use cq_data::{Database, IndexCatalog, Relation};
+use cq_core::{ConjunctiveQuery, Var};
+use cq_data::{Database, IndexCatalog, Relation, Val};
 use cq_engine::bind::EvalError;
 use cq_engine::direct_access::DirectAccess;
+use cq_engine::stream::{AnswerStream, DirectAccessStream, RelationStream};
 use cq_engine::{count, generic_join, yannakakis, CancelToken, Enumerator};
 
+/// The answer payload of an executed plan: a pull-driven
+/// [`AnswerStream`] plus the operator name that produced it (so cursor
+/// surfaces can cite the plan op in `seek`-unsupported errors).
+///
+/// Rows arrive in the producer's native deterministic order —
+/// enumeration order for constant-delay plans, the structure's
+/// lexicographic order for direct access, normalized sorted order for
+/// materialized operators. Callers needing normalized output use
+/// [`Answers::collect`].
+pub struct Answers {
+    stream: Box<dyn AnswerStream>,
+    op_name: &'static str,
+}
+
+impl std::fmt::Debug for Answers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Answers")
+            .field("schema", &self.stream.schema())
+            .field("op", &self.op_name)
+            .field("size_hint", &self.stream.size_hint())
+            .field("seekable", &self.stream.can_seek())
+            .finish()
+    }
+}
+
+impl Answers {
+    /// Wrap a stream produced by the named plan operator.
+    pub fn from_stream(stream: Box<dyn AnswerStream>, op_name: &'static str) -> Self {
+        Answers { stream, op_name }
+    }
+
+    /// Wrap an already-materialized relation (trivially seekable).
+    pub fn from_relation(schema: Vec<Var>, rel: Relation, op_name: &'static str) -> Self {
+        Answers { stream: Box::new(RelationStream::new(schema, rel)), op_name }
+    }
+
+    /// The output schema: free variables in interning order.
+    pub fn schema(&self) -> &[Var] {
+        self.stream.schema()
+    }
+
+    /// The plan operator that produced this stream.
+    pub fn op_name(&self) -> &'static str {
+        self.op_name
+    }
+
+    /// Pull the next row (see [`AnswerStream::next`]). Not an
+    /// [`Iterator`]: the row borrows the stream's internal buffer, a
+    /// lending shape `Iterator::next` cannot express.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<&[Val]>, EvalError> {
+        self.stream.next()
+    }
+
+    /// Does [`Answers::seek`] work — i.e. is the plan direct-access or
+    /// materialized?
+    pub fn can_seek(&self) -> bool {
+        self.stream.can_seek()
+    }
+
+    /// Position the stream at the k-th answer; `ERR`s citing the
+    /// operator when the plan has no random access.
+    pub fn seek(&mut self, k: u64) -> Result<(), EvalError> {
+        if !self.stream.can_seek() {
+            return Err(EvalError::Unsupported(format!(
+                "operator `{}` enumerates with constant delay but has no random \
+                 access; SEEK needs a direct-access or materialized plan",
+                self.op_name
+            )));
+        }
+        self.stream.seek(k)
+    }
+
+    /// Install the cancel token polled on every pull.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.stream.set_cancel(cancel);
+    }
+
+    /// Total rows, when known without enumerating.
+    pub fn size_hint(&self) -> Option<u64> {
+        self.stream.size_hint()
+    }
+
+    /// Drain into a normalized (sorted, deduplicated) [`Relation`].
+    pub fn collect(mut self) -> Result<Relation, EvalError> {
+        self.stream.collect()
+    }
+
+    /// The underlying stream, for consumers that drive it directly.
+    pub fn into_stream(self) -> Box<dyn AnswerStream> {
+        self.stream
+    }
+}
+
 /// The result of executing a plan: one variant per task.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Debug)]
 pub enum Output {
     /// `Task::Decide`: is the answer set non-empty?
     Decision(bool),
     /// `Task::Count`: number of answers.
     Count(u64),
-    /// `Task::Answers`: the materialized (or enumerated) answer
-    /// relation over the free variables, sorted and deduplicated.
-    Answers(Relation),
+    /// `Task::Answers` / `Task::Access`: a pull-driven stream of answer
+    /// rows over the free variables (see [`Answers`] for the order
+    /// contract).
+    Answers(Answers),
 }
 
 impl Output {
@@ -46,10 +142,12 @@ impl Output {
         }
     }
 
-    /// The relation payload, if this is an answer set.
+    /// The answers, drained into a normalized relation, if this is an
+    /// answer set. (Streaming consumers match on [`Output::Answers`]
+    /// and pull instead.)
     pub fn into_answers(self) -> Option<Relation> {
         match self {
-            Output::Answers(r) => Some(r),
+            Output::Answers(a) => a.collect().ok(),
             _ => None,
         }
     }
@@ -111,11 +209,15 @@ pub fn execute_with_catalog_cancel(
         Task::Decide => decide_task(plan, q, db, catalog, cancel).map(Output::Decision),
         Task::Count => count_task(plan, q, db, catalog, cancel).map(Output::Count),
         Task::Answers => answers_task(plan, q, db, catalog, cancel).map(Output::Answers),
-        Task::Access => Err(EvalError::Unsupported(
-            "direct-access plans are built with `build_lex_access_with_catalog`, \
-             not `execute_with_catalog`"
-                .to_string(),
-        )),
+        Task::Access => {
+            // the structure is built (and memoized) once; the stream
+            // over it has O(1) `seek(k)` — the ranked-access guarantee
+            // of Thm 3.24 / 3.18 as an executable plan
+            let da = build_lex_access_with_catalog(plan, q, db, catalog)?;
+            let mut s = DirectAccessStream::new(q.free_vars(), da);
+            s.set_cancel(cancel.clone());
+            Ok(Output::Answers(Answers::from_stream(Box::new(s), plan.op.name())))
+        }
     }
 }
 
@@ -185,27 +287,38 @@ fn answers_task(
     db: &Database,
     catalog: &IndexCatalog,
     cancel: &CancelToken,
-) -> Result<Relation, EvalError> {
+) -> Result<Answers, EvalError> {
+    let op = plan.op.name();
+    let wrap = |rel: Relation| {
+        let mut a = Answers::from_relation(q.free_vars(), rel, op);
+        a.set_cancel(cancel.clone());
+        a
+    };
     match &plan.op {
-        PlanOp::TrivialEmpty => Ok(Relation::new(q.free_vars().len())),
+        PlanOp::TrivialEmpty => Ok(wrap(Relation::new(q.free_vars().len()))),
         PlanOp::ConstantDelayEnumeration => {
-            let mut e =
-                Enumerator::preprocess_with_catalog_cancel(q, db, catalog, cancel)?;
-            e.to_relation_cancel(cancel)
+            // only the (memoized, linear) preprocessing happens here;
+            // answers are pulled one at a time by the consumer
+            let e = Enumerator::preprocess_with_catalog_cancel(q, db, catalog, cancel)?;
+            let mut s = e.into_stream();
+            s.set_cancel(cancel.clone());
+            Ok(Answers::from_stream(Box::new(s), op))
         }
         PlanOp::MaterializeProject { order } => {
-            generic_join::answers_with_order_catalog_cancel(q, db, order, catalog, cancel)
+            Ok(wrap(generic_join::answers_with_order_catalog_cancel(
+                q, db, order, catalog, cancel,
+            )?))
         }
         // Boolean queries route their answer task through the
         // early-stopping decision operators; the answer relation is the
         // nullary {()} or {}
-        PlanOp::SemijoinSweep if q.is_boolean() => Ok(Relation::nullary(
+        PlanOp::SemijoinSweep if q.is_boolean() => Ok(wrap(Relation::nullary(
             yannakakis::decide_acyclic_with_catalog_cancel(q, db, catalog, cancel)?,
-        )),
+        ))),
         PlanOp::GenericJoin { order } if q.is_boolean() => {
-            Ok(Relation::nullary(generic_join::decide_with_order_catalog_cancel(
+            Ok(wrap(Relation::nullary(generic_join::decide_with_order_catalog_cancel(
                 q, db, order, catalog, cancel,
-            )?))
+            )?)))
         }
         _ => Err(unsupported(plan)),
     }
@@ -264,7 +377,7 @@ pub fn build_lex_access(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
-) -> Result<Box<dyn DirectAccess>, EvalError> {
+) -> Result<Box<dyn DirectAccess + Send + Sync>, EvalError> {
     build_lex_access_with_catalog(plan, q, db, &IndexCatalog::new())
 }
 
@@ -278,7 +391,7 @@ pub fn build_lex_access_with_catalog(
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
-) -> Result<Box<dyn DirectAccess>, EvalError> {
+) -> Result<Box<dyn DirectAccess + Send + Sync>, EvalError> {
     match &plan.op {
         PlanOp::LexDirectAccess { order } => {
             Ok(Box::new(cq_engine::direct_access::LexDirectAccess::build_with_catalog(
@@ -364,7 +477,7 @@ mod tests {
             match execute(&plan, &q, &db).unwrap() {
                 Output::Decision(b) => assert!(!b),
                 Output::Count(c) => assert_eq!(c, 0),
-                Output::Answers(r) => assert!(r.is_empty()),
+                Output::Answers(a) => assert!(a.collect().unwrap().is_empty()),
             }
         }
     }
@@ -406,6 +519,44 @@ mod tests {
             }
             assert_eq!(da.access(da.len()), None);
         }
+    }
+
+    #[test]
+    fn access_task_executes_to_a_seekable_stream() {
+        let db = path_database(2, 30, &mut seeded_rng(10));
+        let stats = DataStats::collect(&db);
+        let q = zoo::path_join(2);
+        let order: Vec<_> = q.vars().collect();
+        let plan = Planner::plan_lex_access(&q, &order, &stats);
+        let da = build_lex_access(&plan, &q, &db).unwrap();
+        let n = da.len();
+        assert!(n > 0);
+        let Output::Answers(mut a) = execute(&plan, &q, &db).unwrap() else {
+            panic!("access task must yield an answer stream");
+        };
+        assert!(a.can_seek());
+        assert_eq!(a.size_hint(), Some(n));
+        // seek to the last row without enumerating the prefix
+        a.seek(n - 1).unwrap();
+        assert_eq!(a.next().unwrap().unwrap(), &da.access(n - 1).unwrap()[..]);
+        assert!(a.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn seek_on_enumeration_plan_cites_the_operator() {
+        let db = path_database(2, 20, &mut seeded_rng(11));
+        let stats = DataStats::collect(&db);
+        let q = zoo::path_join(2);
+        let plan = Planner::new().plan(&q, Task::Answers, &stats);
+        assert_eq!(plan.op, PlanOp::ConstantDelayEnumeration);
+        let Output::Answers(mut a) = execute(&plan, &q, &db).unwrap() else {
+            panic!("answers task must yield an answer stream");
+        };
+        assert!(!a.can_seek());
+        let Err(EvalError::Unsupported(msg)) = a.seek(3) else {
+            panic!("seek on an enumeration stream must be unsupported");
+        };
+        assert!(msg.contains("constant-delay enumeration"), "{msg}");
     }
 
     #[test]

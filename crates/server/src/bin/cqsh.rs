@@ -15,6 +15,12 @@
 //! silently (the server acks the opener and replies once at `END`).
 //! Exits 0 on a clean session (even if commands returned `ERR` — those
 //! are part of the transcript), non-zero on connection failure.
+//!
+//! `FETCHALL <cursor-id> [page-size]` is a client-side convenience:
+//! it loops `FETCH` in pages (default 512 rows) until `eof`, printing
+//! rows as they arrive — constant memory on both ends — and finishes
+//! with one `OK <total> rows total` line (or the server's error reply,
+//! e.g. `ERR stale-cursor`, if the iteration is cut short).
 
 use cq_server::client::Client;
 use cq_server::protocol::{Reply, END_KEYWORD};
@@ -87,6 +93,12 @@ fn main() {
                     Err(_) => die_disconnected(),
                 }
             }
+        } else if trimmed
+            .split_whitespace()
+            .next()
+            .is_some_and(|v| v.eq_ignore_ascii_case("FETCHALL"))
+        {
+            fetchall(&mut client, &mut out, trimmed);
         } else {
             let reply = match client.request(trimmed) {
                 Ok(r) => r,
@@ -106,6 +118,33 @@ fn main() {
         if interactive && !in_block {
             print_prompt(&mut out);
         }
+    }
+}
+
+/// The `FETCHALL <id> [page]` meta-command: page a cursor to eof.
+fn fetchall(client: &mut Client, out: &mut impl Write, line: &str) {
+    let mut words = line.split_whitespace().skip(1);
+    let id = words.next().and_then(|w| w.parse::<u64>().ok());
+    let page = match words.next() {
+        None => Some(512),
+        Some(w) => w.parse::<u64>().ok().filter(|&p| p > 0),
+    };
+    let (Some(id), Some(page)) = (id, page) else {
+        writeln!(out, "ERR usage: FETCHALL <cursor-id> [page-size]").ok();
+        return;
+    };
+    let outcome = client.for_each_page(id, page, |rows| {
+        for row in rows {
+            writeln!(out, "* {row}").ok();
+        }
+    });
+    match outcome {
+        Ok(Ok(total)) => {
+            writeln!(out, "OK {total} rows total").ok();
+            out.flush().ok();
+        }
+        Ok(Err(reply)) => print_reply(out, &reply),
+        Err(_) => die_disconnected(),
     }
 }
 

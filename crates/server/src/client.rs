@@ -111,6 +111,77 @@ impl Client {
         self.request(END_KEYWORD)
     }
 
+    /// Open a streaming cursor: `CURSOR ANSWERS|ACCESS <query>`.
+    /// Returns the cursor id from `OK cursor <id>`, or the server's
+    /// error reply.
+    pub fn cursor(
+        &mut self,
+        task: &str,
+        query: &str,
+    ) -> std::io::Result<Result<u64, Reply>> {
+        let reply = self.request(&format!("CURSOR {task} {query}"))?;
+        let id = reply
+            .ok_info()
+            .and_then(|info| info.strip_prefix("cursor "))
+            .and_then(|id| id.trim().parse::<u64>().ok());
+        Ok(match id {
+            Some(id) => Ok(id),
+            None => Err(reply),
+        })
+    }
+
+    /// Pull up to `n` rows from a cursor. Returns the rows and whether
+    /// the stream is exhausted (`OK <k> rows eof`), or the server's
+    /// error reply (stale cursor, timeout, …).
+    pub fn fetch(
+        &mut self,
+        id: u64,
+        n: u64,
+    ) -> std::io::Result<Result<(Vec<String>, bool), Reply>> {
+        let reply = self.request(&format!("FETCH {id} {n}"))?;
+        Ok(if reply.is_ok() {
+            let eof = reply.ok_info().is_some_and(|i| i.ends_with(" rows eof"));
+            Ok((reply.data, eof))
+        } else {
+            Err(reply)
+        })
+    }
+
+    /// Position a cursor at the k-th answer: `SEEK <id> <k>`.
+    pub fn seek(&mut self, id: u64, k: u64) -> std::io::Result<Reply> {
+        self.request(&format!("SEEK {id} {k}"))
+    }
+
+    /// Release a cursor: `CLOSE <id>`.
+    pub fn close_cursor(&mut self, id: u64) -> std::io::Result<Reply> {
+        self.request(&format!("CLOSE {id}"))
+    }
+
+    /// Drain a cursor to completion in pages of `page` rows, invoking
+    /// `on_page` per page — constant client memory no matter the
+    /// result size. Returns the total row count, or the server's error
+    /// reply if a page fails mid-iteration.
+    pub fn for_each_page(
+        &mut self,
+        id: u64,
+        page: u64,
+        mut on_page: impl FnMut(&[String]),
+    ) -> std::io::Result<Result<u64, Reply>> {
+        let mut total = 0u64;
+        loop {
+            match self.fetch(id, page)? {
+                Ok((rows, eof)) => {
+                    total += rows.len() as u64;
+                    on_page(&rows);
+                    if eof {
+                        return Ok(Ok(total));
+                    }
+                }
+                Err(reply) => return Ok(Err(reply)),
+            }
+        }
+    }
+
     /// Say `QUIT` and close the connection.
     pub fn quit(mut self) -> std::io::Result<Reply> {
         self.request("QUIT")

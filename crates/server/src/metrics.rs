@@ -175,6 +175,41 @@ impl SessionMetrics {
         let scope = self.shared.registry.scope(&tenant_scope(db));
         scope.counter("cancellations").inc();
     }
+
+    /// Count `n` answer rows streamed to a client (`answers.rows`) —
+    /// one increment per chunk, not per row, so the hot drain loop
+    /// touches the counter O(result/chunk) times.
+    pub fn record_answer_rows(&mut self, db: &str, n: u64) {
+        let scope = self.shared.registry.scope(&tenant_scope(db));
+        scope.counter("answers.rows").add(n);
+    }
+
+    /// Record the time from query receipt to the first answer row
+    /// reaching the wire (`answers.ttfr.latency`). The companion
+    /// counter counts streamed responses that produced ≥ 1 row.
+    pub fn record_time_to_first_row(&mut self, db: &str, elapsed: Duration) {
+        let scope = tenant_scope(db);
+        let (calls, latency) = self.pair(&scope, "answers.ttfr");
+        calls.inc();
+        latency.record_duration(elapsed);
+    }
+
+    /// A cursor was opened: bump the `cursors.open` gauge.
+    pub fn record_cursor_opened(&mut self, db: &str) {
+        let scope = self.shared.registry.scope(&tenant_scope(db));
+        scope.gauge("cursors.open").add(1);
+    }
+
+    /// A cursor was released (CLOSE, session end, or staleness): drop
+    /// the `cursors.open` gauge; staleness also counts in
+    /// `cursors.stale`.
+    pub fn record_cursor_closed(&mut self, db: &str, stale: bool) {
+        let scope = self.shared.registry.scope(&tenant_scope(db));
+        scope.gauge("cursors.open").sub(1);
+        if stale {
+            scope.counter("cursors.stale").inc();
+        }
+    }
 }
 
 /// Pull pulled-not-pushed values into gauges: per-tenant catalog and

@@ -16,6 +16,10 @@
 //!          | COUNT   <query-text>
 //!          | ANSWERS <query-text>
 //!          | EXPLAIN <task> <query-text>            -- task: DECIDE|COUNT|ANSWERS|ACCESS
+//!          | CURSOR ANSWERS|ACCESS <query-text>     -- open a streaming cursor → OK cursor <id>
+//!          | FETCH <id> <n>                         -- pull up to n rows from a cursor
+//!          | SEEK <id> <k>                          -- jump to answer k (direct-access plans, O(1))
+//!          | CLOSE <id>                             -- release a cursor
 //!          | BATCH                                  -- items follow, then END
 //!          | SAVE                                   -- checkpoint the current tenant
 //!          | DROP DB <name>                         -- delete a tenant database
@@ -96,6 +100,19 @@ pub enum ErrKind {
     /// The server is saturated (worker pool and overflow slots all
     /// busy); the connection is shed after this reply.
     Busy,
+    /// The operation is structurally impossible for this plan — e.g.
+    /// `SEEK` on a cursor whose operator enumerates with constant delay
+    /// but has no random access; the message cites the plan op.
+    Unsupported,
+    /// `FETCH`/`SEEK`/`CLOSE` of a cursor id this session never opened
+    /// (or already closed).
+    NoSuchCursor,
+    /// The cursor's pinned snapshot generation no longer matches the
+    /// tenant: a mutation (or drop) invalidated it. The cursor is
+    /// closed; re-open to see the new data.
+    StaleCursor,
+    /// `CURSOR` beyond the per-session open-cursor limit.
+    CursorLimit,
     /// A command handler panicked; the session survives.
     Internal,
 }
@@ -121,6 +138,10 @@ impl ErrKind {
             ErrKind::Timeout => "timeout",
             ErrKind::Degraded => "degraded",
             ErrKind::Busy => "busy",
+            ErrKind::Unsupported => "unsupported",
+            ErrKind::NoSuchCursor => "no-such-cursor",
+            ErrKind::StaleCursor => "stale-cursor",
+            ErrKind::CursorLimit => "cursor-limit",
             ErrKind::Internal => "internal",
         }
     }
@@ -236,6 +257,36 @@ pub enum Command {
         /// Raw query text.
         src: String,
     },
+    /// Open a streaming cursor over a query's answers; the reply is
+    /// `OK cursor <id>`.
+    Cursor {
+        /// [`Task::Answers`] (`CURSOR ANSWERS`, constant-delay or
+        /// materialized stream) or [`Task::Access`] (`CURSOR ACCESS`,
+        /// direct-access stream with O(1) `SEEK`).
+        task: Task,
+        /// Raw query text.
+        src: String,
+    },
+    /// Pull up to `n` rows from an open cursor.
+    Fetch {
+        /// Cursor id from `OK cursor <id>`.
+        id: u64,
+        /// Maximum rows to return.
+        n: u64,
+    },
+    /// Position a cursor at the k-th answer (0-based); `ERR
+    /// unsupported` when the plan has no random access.
+    SeekCursor {
+        /// Cursor id.
+        id: u64,
+        /// Target answer index.
+        k: u64,
+    },
+    /// Release a cursor.
+    CloseCursor {
+        /// Cursor id.
+        id: u64,
+    },
     /// Open a batch block (items until `END`).
     Batch,
     /// Checkpoint the current tenant (snapshot + WAL truncation);
@@ -344,6 +395,34 @@ pub fn parse_command(line: &str) -> Result<Command, Reply> {
             }
             Ok(Command::Explain { task, src: src.to_string() })
         }
+        "CURSOR" => {
+            const USAGE: &str = "usage: CURSOR ANSWERS|ACCESS <query>";
+            let (task_txt, src) = split_word(rest);
+            let task = match task_txt.to_ascii_uppercase().as_str() {
+                "ANSWERS" => Task::Answers,
+                "ACCESS" => Task::Access,
+                _ => return Err(Reply::err(ErrKind::Usage, USAGE)),
+            };
+            if src.is_empty() {
+                return Err(Reply::err(ErrKind::Usage, USAGE));
+            }
+            Ok(Command::Cursor { task, src: src.to_string() })
+        }
+        "FETCH" => {
+            let (id, n) = parse_two_u64(rest, "usage: FETCH <cursor-id> <n-rows>")?;
+            Ok(Command::Fetch { id, n })
+        }
+        "SEEK" => {
+            let (id, k) = parse_two_u64(rest, "usage: SEEK <cursor-id> <answer-index>")?;
+            Ok(Command::SeekCursor { id, k })
+        }
+        "CLOSE" => {
+            let id = rest
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| Reply::err(ErrKind::Usage, "usage: CLOSE <cursor-id>"))?;
+            Ok(Command::CloseCursor { id })
+        }
         "BATCH" => expect_no_args(rest, Command::Batch),
         "SAVE" => expect_no_args(rest, Command::Save),
         "DROP" => {
@@ -398,6 +477,15 @@ pub fn query_task(verb_uc: &str) -> Option<Task> {
 fn explain_task(word: &str) -> Option<Task> {
     let uc = word.to_ascii_uppercase();
     query_task(&uc).or(if uc == "ACCESS" { Some(Task::Access) } else { None })
+}
+
+/// Parse exactly two u64 arguments (for `FETCH`/`SEEK`).
+fn parse_two_u64(rest: &str, usage: &str) -> Result<(u64, u64), Reply> {
+    let (a, b) = split_word(rest);
+    let (Ok(a), Ok(b)) = (a.parse::<u64>(), b.trim().parse::<u64>()) else {
+        return Err(Reply::err(ErrKind::Usage, usage));
+    };
+    Ok((a, b))
 }
 
 fn expect_no_args(rest: &str, cmd: Command) -> Result<Command, Reply> {
@@ -561,9 +649,11 @@ pub fn render_row(row: &[Val]) -> String {
 }
 
 /// Render an answer relation as wire data lines, rows in the
-/// relation's (sorted) order. Byte-for-byte the `ANSWERS` payload —
-/// tests compare server replies against this rendering of direct
-/// `eval::answers` results.
+/// relation's order. `ANSWERS` streams rows in the *plan's*
+/// deterministic order (enumeration / direct-access order), so tests
+/// compare a sorted copy of the server payload against this rendering
+/// of normalized `eval::answers` results — same set, byte-for-byte,
+/// modulo order.
 pub fn render_rows(rel: &Relation) -> Vec<String> {
     rel.iter().map(render_row).collect()
 }
@@ -589,6 +679,41 @@ mod tests {
         assert_eq!(parse_command("STATS").unwrap(), Command::Stats { db: None });
         assert_eq!(parse_command("save").unwrap(), Command::Save);
         assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn cursor_commands_parse() {
+        assert_eq!(
+            parse_command("CURSOR ANSWERS q(x) :- R(x)").unwrap(),
+            Command::Cursor { task: Task::Answers, src: "q(x) :- R(x)".into() }
+        );
+        assert_eq!(
+            parse_command("cursor access q(x) :- R(x)").unwrap(),
+            Command::Cursor { task: Task::Access, src: "q(x) :- R(x)".into() }
+        );
+        assert_eq!(
+            parse_command("FETCH 3 100").unwrap(),
+            Command::Fetch { id: 3, n: 100 }
+        );
+        assert_eq!(
+            parse_command("seek 3 7").unwrap(),
+            Command::SeekCursor { id: 3, k: 7 }
+        );
+        assert_eq!(parse_command("CLOSE 3").unwrap(), Command::CloseCursor { id: 3 });
+        // malformed variants are usage errors
+        for bad in [
+            "CURSOR",
+            "CURSOR COUNT q(x) :- R(x)",
+            "CURSOR ANSWERS",
+            "FETCH 3",
+            "FETCH x 10",
+            "SEEK 3",
+            "CLOSE",
+            "CLOSE x",
+        ] {
+            let e = parse_command(bad).unwrap_err();
+            assert!(e.terminal.starts_with("ERR usage:"), "{bad}: {}", e.terminal);
+        }
     }
 
     #[test]

@@ -18,16 +18,21 @@
 
 use crate::metrics::{self, SessionMetrics, SERVER_SCOPE};
 use crate::protocol::{
-    parse_command, parse_row, query_task, render_rows, BudgetSetting, Command, ErrKind,
-    Reply, END_KEYWORD,
+    parse_command, parse_row, query_task, render_row, render_rows, BudgetSetting,
+    Command, ErrKind, Reply, DATA_PREFIX, END_KEYWORD,
 };
 use crate::state::{Budget, ServerState, StateError, Tenant};
 use cq_core::{parse_query, ConjunctiveQuery, ParseError};
 use cq_data::{Relation, Val};
 use cq_engine::{CancelToken, EvalError};
 use cq_obs::SlowQuery;
-use cq_planner::{eval, execute::execute_with_catalog_cancel, Output, QueryPlan, Task};
+use cq_planner::{
+    eval,
+    execute::{execute_with_catalog_cancel, Answers},
+    Output, QueryPlan, Task,
+};
 use cq_storage::WalRecord;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
@@ -35,6 +40,57 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Rows buffered per write while streaming `ANSWERS`: the transport
+/// drains the answer stream in chunks of this many rows, writing and
+/// flushing each chunk before pulling the next. Per-connection answer
+/// memory is bounded by one chunk regardless of result size — a slow
+/// client backpressures the drain through the TCP send buffer instead
+/// of ballooning the server.
+pub const STREAM_CHUNK_ROWS: usize = 256;
+
+/// Cap on concurrently open cursors per session: cursors pin catalog
+/// artifacts (enumerator structures, direct-access indexes), so an
+/// unbounded registry would let one client hold unbounded memory.
+pub const MAX_CURSORS_PER_SESSION: usize = 16;
+
+/// An open cursor: a paused answer stream pinned to the tenant
+/// snapshot generation it was planned against. The stream holds only
+/// `Arc`'d catalog artifacts and owned relations, so an idle cursor
+/// never holds the tenant's read lock — writers proceed, and a
+/// mutation bumps the generation, which [`Session::live_cursor`]
+/// detects as staleness on the next touch.
+struct CursorEntry {
+    tenant: Arc<Tenant>,
+    generation: u64,
+    plan: QueryPlan,
+    answers: Answers,
+}
+
+/// A streamed `ANSWERS` response in flight: the evaluated stream plus
+/// everything the transport needs to finish the reply on its own —
+/// the plan (for timeout attribution in the terminal), the tenant's
+/// deadline, and the receipt time (for the time-to-first-row metric).
+pub struct AnswerFlow {
+    answers: Answers,
+    db: String,
+    plan: QueryPlan,
+    timeout: Option<Duration>,
+    deadline: Option<Instant>,
+    started: Instant,
+}
+
+/// What the transport should do with one request's result: write a
+/// framed reply, or drain an answer stream to the wire incrementally
+/// (rows in bounded chunks, then the terminal).
+pub enum Action {
+    /// An ordinary framed reply.
+    Reply(Reply),
+    /// A streamed `ANSWERS` response; hand it to
+    /// [`Session::drain_flow`]. Boxed: a flow carries its plan and
+    /// stream, far bigger than the everyday `Reply`.
+    Stream(Box<AnswerFlow>),
+}
 
 /// One item of an open `BATCH` block: a parsed query or the per-item
 /// error that will be reported at `END`.
@@ -74,6 +130,13 @@ pub struct Session {
     /// Connection-liveness probe polled during evaluation: `true`
     /// means the client is gone and in-flight work should be cancelled.
     cancel_probe: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+    /// Open cursors, by the id handed out in `OK cursor <id>`.
+    cursors: HashMap<u64, CursorEntry>,
+    /// The next cursor id (session-scoped, never reused).
+    next_cursor_id: u64,
+    /// A streamed response produced by the current command, picked up
+    /// by [`Session::handle_action`] after dispatch returns.
+    pending_flow: Option<AnswerFlow>,
 }
 
 impl Session {
@@ -90,6 +153,9 @@ impl Session {
             batch_workers,
             metrics,
             cancel_probe: None,
+            cursors: HashMap::new(),
+            next_cursor_id: 0,
+            pending_flow: None,
         }
     }
 
@@ -105,40 +171,167 @@ impl Session {
         self.finished
     }
 
-    /// Feed one raw request line (newline already stripped). Returns the
-    /// reply to send, or `None` when the line was consumed silently (a
-    /// blank line, or a row/item inside an open `LOAD`/`BATCH` block).
+    /// Feed one raw request line (newline already stripped). Returns
+    /// what the transport should do: write a framed [`Action::Reply`],
+    /// drain an [`Action::Stream`], or nothing (`None`) when the line
+    /// was consumed silently (a blank line, or a row/item inside an
+    /// open `LOAD`/`BATCH` block).
     ///
     /// Never panics: a panicking handler is caught, the session resets
     /// to idle, and the client gets `ERR internal`.
-    pub fn handle_raw(&mut self, raw: &[u8]) -> Option<Reply> {
+    pub fn handle_action(&mut self, raw: &[u8]) -> Option<Action> {
         let reply = match std::panic::catch_unwind(AssertUnwindSafe(|| self.step(raw))) {
             Ok(reply) => reply,
             Err(_) => {
                 self.mode = Mode::Idle;
+                self.pending_flow = None;
                 Some(Reply::err(
                     ErrKind::Internal,
                     "command handler panicked; session reset to idle",
                 ))
             }
         };
-        // count every error reply, by wire kind, in one place — block
-        // completions (`LOAD`/`BATCH` `END`) and panics included
-        if let Some(r) = &reply {
-            if !r.is_ok() {
-                if let Some(kind) =
-                    r.terminal.strip_prefix("ERR ").and_then(|t| t.split(':').next())
-                {
-                    self.metrics.shared().record_error(kind);
-                }
-            }
+        if let Some(flow) = self.pending_flow.take() {
+            // the dispatch reply is a placeholder; the real terminal is
+            // written (and error-counted) when the drain finishes
+            return Some(Action::Stream(Box::new(flow)));
         }
-        reply
+        let reply = reply?;
+        self.count_error(&reply);
+        Some(Action::Reply(reply))
+    }
+
+    /// [`Session::handle_action`] with any streamed response collected
+    /// into one full reply — the in-process surface (tests, doctests,
+    /// embedded use) where incremental writes have no transport to
+    /// flow through.
+    pub fn handle_raw(&mut self, raw: &[u8]) -> Option<Reply> {
+        match self.handle_action(raw)? {
+            Action::Reply(r) => Some(r),
+            Action::Stream(flow) => Some(self.collect_flow(*flow)),
+        }
     }
 
     /// [`Session::handle_raw`] for already-decoded text.
     pub fn handle_line(&mut self, line: &str) -> Option<Reply> {
         self.handle_raw(line.as_bytes())
+    }
+
+    /// Count one error reply, by wire kind — block completions
+    /// (`LOAD`/`BATCH` `END`), stream terminals, and panics included.
+    fn count_error(&self, reply: &Reply) {
+        if !reply.is_ok() {
+            if let Some(kind) =
+                reply.terminal.strip_prefix("ERR ").and_then(|t| t.split(':').next())
+            {
+                self.metrics.shared().record_error(kind);
+            }
+        }
+    }
+
+    /// Pull up to `max` rows off a stream, wire-rendered into `rows`.
+    /// `Ok(true)` means the stream is exhausted; `Err` is an
+    /// evaluation error (cancellation included) mid-stream.
+    fn pull_rows(
+        answers: &mut Answers,
+        max: usize,
+        rows: &mut Vec<String>,
+    ) -> Result<bool, EvalError> {
+        for _ in 0..max {
+            match answers.next()? {
+                Some(row) => rows.push(render_row(row)),
+                None => return Ok(true),
+            }
+        }
+        Ok(false)
+    }
+
+    /// The terminal for a stream that failed mid-drain: cancellation is
+    /// attributed (deadline vs. disconnect) exactly like the
+    /// materialized path; anything else is `ERR eval`.
+    fn flow_error(&mut self, flow: &AnswerFlow, e: EvalError) -> Reply {
+        match e {
+            EvalError::Cancelled => {
+                let timed_out = flow.deadline.is_some_and(|d| Instant::now() >= d);
+                if timed_out {
+                    self.metrics.record_timeout(&flow.db);
+                } else {
+                    self.metrics.record_cancellation(&flow.db);
+                }
+                timeout_reply(&flow.plan, flow.started.elapsed(), flow.timeout, timed_out)
+            }
+            e => Reply::err(ErrKind::Eval, e),
+        }
+    }
+
+    /// Drain a streamed response to the wire: `* ` data lines in
+    /// chunks of [`STREAM_CHUNK_ROWS`], each written and flushed before
+    /// the next is pulled, then the one terminal line. Rows already on
+    /// the wire stay there when the stream fails mid-drain — the
+    /// client sees partial data followed by the `ERR` terminal.
+    pub fn drain_flow(
+        &mut self,
+        mut flow: AnswerFlow,
+        out: &mut impl Write,
+    ) -> std::io::Result<()> {
+        let mut total: u64 = 0;
+        let mut buf = String::new();
+        let terminal = loop {
+            let mut rows = Vec::with_capacity(STREAM_CHUNK_ROWS);
+            let res = Self::pull_rows(&mut flow.answers, STREAM_CHUNK_ROWS, &mut rows);
+            if total == 0 && !rows.is_empty() {
+                self.metrics.record_time_to_first_row(&flow.db, flow.started.elapsed());
+            }
+            total += rows.len() as u64;
+            buf.clear();
+            for r in &rows {
+                buf.push_str(DATA_PREFIX);
+                buf.push_str(r);
+                buf.push('\n');
+            }
+            out.write_all(buf.as_bytes())?;
+            out.flush()?;
+            match res {
+                Ok(false) => continue,
+                Ok(true) => break Reply::ok(format!("{total} rows")),
+                Err(e) => break self.flow_error(&flow, e),
+            }
+        };
+        self.metrics.record_answer_rows(&flow.db, total);
+        self.count_error(&terminal);
+        terminal.write_to(out)?;
+        out.flush()
+    }
+
+    /// [`Session::drain_flow`] into one in-memory [`Reply`] — the
+    /// in-process bridge used by [`Session::handle_raw`]. Partial rows
+    /// pulled before a mid-stream failure are kept as data lines, like
+    /// the wire form.
+    fn collect_flow(&mut self, mut flow: AnswerFlow) -> Reply {
+        let mut data = Vec::new();
+        let outcome = loop {
+            match flow.answers.next() {
+                Ok(Some(row)) => {
+                    if data.is_empty() {
+                        self.metrics
+                            .record_time_to_first_row(&flow.db, flow.started.elapsed());
+                    }
+                    data.push(render_row(row));
+                }
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        self.metrics.record_answer_rows(&flow.db, data.len() as u64);
+        let terminal = match outcome {
+            Ok(()) => {
+                let n = data.len();
+                return Reply::ok_with(data, format!("{n} rows"));
+            }
+            Err(e) => self.flow_error(&flow, e),
+        };
+        self.count_error(&terminal);
+        Reply { data, terminal: terminal.terminal }
     }
 
     fn step(&mut self, raw: &[u8]) -> Option<Reply> {
@@ -189,6 +382,10 @@ impl Session {
             Command::Query { task: Task::Count, .. } => ("count", true),
             Command::Query { .. } => ("answers", true),
             Command::Explain { .. } => ("explain", true),
+            Command::Cursor { .. } => ("cursor", true),
+            Command::Fetch { .. } => ("fetch", true),
+            Command::SeekCursor { .. } => ("seek", true),
+            Command::CloseCursor { .. } => ("close", true),
             Command::Batch => ("batch", true),
             Command::Save => ("save", true),
             Command::DropDb(_) => ("drop-db", false),
@@ -231,6 +428,10 @@ impl Session {
             Command::Load { relation, cols } => self.open_load(relation, cols),
             Command::Query { task, src } => self.eval_query(task, &src),
             Command::Explain { task, src } => self.explain(task, &src),
+            Command::Cursor { task, src } => self.open_cursor(task, &src),
+            Command::Fetch { id, n } => self.fetch(id, n),
+            Command::SeekCursor { id, k } => self.seek_cursor(id, k),
+            Command::CloseCursor { id } => self.close_cursor(id),
             Command::Batch => self.open_batch(),
             Command::Save => self.save(),
             Command::DropDb(name) => self.drop_db(&name),
@@ -496,18 +697,57 @@ impl Session {
             Err(e) => return e,
         };
         let (cancel, deadline) = self.cancel_token(&tenant);
+        let started = Instant::now();
+        let outcome = self.plan_and_execute(&tenant, task, src, &q, &cancel, deadline);
+        match outcome {
+            Err(reply) => reply,
+            Ok((Output::Answers(answers), plan, _gen)) => {
+                // hand the stream to the transport: preprocessing is
+                // done, the tenant read lock is released (the stream
+                // holds only Arc'd artifacts), and rows go out — or
+                // into a cursorless collect — pull by pull
+                self.pending_flow = Some(AnswerFlow {
+                    answers,
+                    db: tenant.name().to_string(),
+                    plan,
+                    timeout: tenant.timeout(),
+                    deadline,
+                    started,
+                });
+                Reply::ok("streaming") // placeholder, replaced by the drain
+            }
+            Ok((out, _plan, _gen)) => render_output(out),
+        }
+    }
+
+    /// Plan, admission-check, and execute one query under the tenant's
+    /// read lock. `Err` is the finished error reply (budget, timeout,
+    /// eval); `Ok` carries the output — for `ANSWERS`/`ACCESS` a
+    /// pull-driven stream whose artifacts outlive the lock — the plan
+    /// that produced it, and the snapshot generation it ran against
+    /// (read under the same lock, so cursors pin exactly the snapshot
+    /// their stream was built on).
+    fn plan_and_execute(
+        &mut self,
+        tenant: &Arc<Tenant>,
+        task: Task,
+        src: &str,
+        q: &ConjunctiveQuery,
+        cancel: &CancelToken,
+        deadline: Option<Instant>,
+    ) -> Result<(Output, QueryPlan, u64), Reply> {
         let sm = &mut self.metrics;
         tenant.read(|db, catalog| {
             let stats = catalog.stats(db);
-            let plan = eval::with_global_planner(|p| p.plan(&q, task, &stats));
+            let plan = eval::with_global_planner(|p| p.plan(q, task, &stats));
             // admission control: reject over-budget plans before any
             // execution work, citing the lower bound that justifies it
             if let Some(reason) = budget_violation(tenant.budget(), &plan) {
                 sm.record_rejection(tenant.name());
-                return budget_reply(&reason, &plan);
+                return Err(budget_reply(&reason, &plan));
             }
             let start = Instant::now();
-            let result = execute_with_catalog_cancel(&plan, &q, db, catalog, &cancel);
+            let result = execute_with_catalog_cancel(&plan, q, db, catalog, cancel);
             let elapsed = start.elapsed();
             sm.record_op(tenant.name(), plan.op.name(), elapsed);
             let slowlog = sm.shared().slowlog();
@@ -530,12 +770,167 @@ impl Session {
                     } else {
                         sm.record_cancellation(tenant.name());
                     }
-                    timeout_reply(&plan, elapsed, tenant.timeout(), timed_out)
+                    Err(timeout_reply(&plan, elapsed, tenant.timeout(), timed_out))
                 }
-                Err(e) => Reply::err(ErrKind::Eval, e),
-                Ok(out) => render_output(&out),
+                Err(e) => Err(Reply::err(ErrKind::Eval, e)),
+                Ok(out) => Ok((out, plan, db.generation())),
             }
         })
+    }
+
+    /// `CURSOR ANSWERS|ACCESS <query>`: plan and execute like a query,
+    /// but park the resulting stream in the session's cursor registry
+    /// instead of draining it. The reply is `OK cursor <id>`; rows are
+    /// pulled by `FETCH`, positioned by `SEEK` (direct-access plans),
+    /// released by `CLOSE`. The cursor pins the tenant's snapshot
+    /// generation — any later mutation invalidates it
+    /// (`ERR stale-cursor` on next touch).
+    fn open_cursor(&mut self, task: Task, src: &str) -> Reply {
+        let tenant = match self.tenant() {
+            Ok(t) => t,
+            Err(e) => return e,
+        };
+        if self.cursors.len() >= MAX_CURSORS_PER_SESSION {
+            return Reply::err(
+                ErrKind::CursorLimit,
+                format!(
+                    "session already has {MAX_CURSORS_PER_SESSION} open cursors; \
+                     CLOSE one first"
+                ),
+            );
+        }
+        let q = match self.parse(src) {
+            Ok(q) => q,
+            Err(e) => return e,
+        };
+        let (cancel, deadline) = self.cancel_token(&tenant);
+        let outcome = self.plan_and_execute(&tenant, task, src, &q, &cancel, deadline);
+        let (out, plan, generation) = match outcome {
+            Ok(v) => v,
+            Err(reply) => return reply,
+        };
+        let Output::Answers(mut answers) = out else {
+            unreachable!("ANSWERS/ACCESS tasks always execute to a stream")
+        };
+        // the cursor outlives this request: each FETCH installs a fresh
+        // deadline, so the opening one must not poison later pulls
+        answers.set_cancel(CancelToken::never());
+        let id = self.next_cursor_id;
+        self.next_cursor_id += 1;
+        self.metrics.record_cursor_opened(tenant.name());
+        self.cursors.insert(id, CursorEntry { tenant, generation, plan, answers });
+        Reply::ok(format!("cursor {id}"))
+    }
+
+    /// Look up a cursor for `FETCH`/`SEEK`, evicting it with
+    /// `ERR stale-cursor` when the tenant mutated (or was dropped)
+    /// since the cursor pinned its snapshot generation.
+    fn live_cursor(&mut self, id: u64) -> Result<&mut CursorEntry, Reply> {
+        let stale = match self.cursors.get(&id) {
+            None => {
+                return Err(Reply::err(
+                    ErrKind::NoSuchCursor,
+                    format!("no open cursor {id} in this session"),
+                ))
+            }
+            Some(entry) => {
+                entry.tenant.is_dropped()
+                    || entry.tenant.read(|db, _| db.generation()) != entry.generation
+            }
+        };
+        if stale {
+            let entry = self.cursors.remove(&id).expect("present above");
+            self.metrics.record_cursor_closed(entry.tenant.name(), true);
+            return Err(Reply::err(
+                ErrKind::StaleCursor,
+                format!(
+                    "cursor {id} is stale: `{}` mutated since the cursor pinned \
+                     generation {}; the cursor is closed — re-open to see the new \
+                     data",
+                    entry.tenant.name(),
+                    entry.generation
+                ),
+            ));
+        }
+        Ok(self.cursors.get_mut(&id).expect("present and live"))
+    }
+
+    /// `FETCH <id> <n>`: pull up to `n` rows from an open cursor. The
+    /// terminal reports how many came and whether the stream is done
+    /// (`OK <k> rows eof`). Each FETCH runs under a fresh tenant
+    /// deadline; a trip leaves the cursor open with the already-pulled
+    /// rows delivered.
+    fn fetch(&mut self, id: u64, n: u64) -> Reply {
+        let tenant = match self.live_cursor(id) {
+            Ok(entry) => Arc::clone(&entry.tenant),
+            Err(e) => return e,
+        };
+        let (cancel, deadline) = self.cancel_token(&tenant);
+        let started = Instant::now();
+        let entry = self.cursors.get_mut(&id).expect("verified live above");
+        entry.answers.set_cancel(cancel);
+        let mut data = Vec::new();
+        let max = usize::try_from(n).unwrap_or(usize::MAX);
+        let outcome = Self::pull_rows(&mut entry.answers, max, &mut data);
+        self.metrics.record_answer_rows(tenant.name(), data.len() as u64);
+        match outcome {
+            Ok(eof) => {
+                let n = data.len();
+                let info =
+                    if eof { format!("{n} rows eof") } else { format!("{n} rows") };
+                Reply::ok_with(data, info)
+            }
+            Err(EvalError::Cancelled) => {
+                let timed_out = deadline.is_some_and(|d| Instant::now() >= d);
+                if timed_out {
+                    self.metrics.record_timeout(tenant.name());
+                } else {
+                    self.metrics.record_cancellation(tenant.name());
+                }
+                let entry = self.cursors.get(&id).expect("still open");
+                let terminal = timeout_reply(
+                    &entry.plan,
+                    started.elapsed(),
+                    tenant.timeout(),
+                    timed_out,
+                );
+                Reply { data, terminal: terminal.terminal }
+            }
+            Err(e) => Reply { data, terminal: Reply::err(ErrKind::Eval, e).terminal },
+        }
+    }
+
+    /// `SEEK <id> <k>`: position a cursor so the next `FETCH` starts at
+    /// the k-th answer (0-based). O(1) cursor arithmetic on
+    /// direct-access and materialized plans — the skipped prefix is
+    /// never enumerated; `ERR unsupported` (citing the plan operator)
+    /// on constant-delay enumeration plans, which have no random
+    /// access (Lemma 3.23 makes that a structural fact, not a missing
+    /// feature).
+    fn seek_cursor(&mut self, id: u64, k: u64) -> Reply {
+        let entry = match self.live_cursor(id) {
+            Ok(e) => e,
+            Err(reply) => return reply,
+        };
+        match entry.answers.seek(k) {
+            Ok(()) => Reply::ok(format!("cursor {id} at {k}")),
+            Err(EvalError::Unsupported(msg)) => Reply::err(ErrKind::Unsupported, msg),
+            Err(e) => Reply::err(ErrKind::Eval, e),
+        }
+    }
+
+    /// `CLOSE <id>`: release a cursor and its pinned artifacts.
+    fn close_cursor(&mut self, id: u64) -> Reply {
+        match self.cursors.remove(&id) {
+            Some(entry) => {
+                self.metrics.record_cursor_closed(entry.tenant.name(), false);
+                Reply::ok(format!("closed cursor {id}"))
+            }
+            None => Reply::err(
+                ErrKind::NoSuchCursor,
+                format!("no open cursor {id} in this session"),
+            ),
+        }
     }
 
     /// The cancellation token for one evaluation under `tenant`: its
@@ -673,29 +1068,24 @@ impl Session {
                     BatchItem::Bad(reply) => format!("{i} {}", reply.terminal),
                     BatchItem::Task(..) => {
                         let r = results.next().expect("one result per parsed item");
-                        match r {
+                        let line = match r {
                             Err(EvalError::Cancelled) => {
-                                if timed_out {
-                                    sm.record_timeout(tenant.name());
-                                    format!(
-                                        "{i} ERR {}: batch exceeded the tenant's \
-                                         SET TIMEOUT deadline",
-                                        ErrKind::Timeout
-                                    )
-                                } else {
-                                    sm.record_cancellation(tenant.name());
-                                    format!(
-                                        "{i} ERR {}: evaluation cancelled (client \
-                                         disconnected)",
-                                        ErrKind::Timeout
-                                    )
+                                cancelled_batch_terminal(sm, tenant.name(), timed_out)
+                            }
+                            Err(e) => format!("ERR {}: {e}", ErrKind::Eval),
+                            // ANSWERS items enumerate here, at collect
+                            // time, so the deadline can also trip
+                            // mid-drain
+                            Ok((Output::Answers(a), _plan)) => match a.collect() {
+                                Ok(rel) => format!("OK {} rows", rel.len()),
+                                Err(EvalError::Cancelled) => {
+                                    cancelled_batch_terminal(sm, tenant.name(), timed_out)
                                 }
-                            }
-                            Err(e) => format!("{i} ERR {}: {e}", ErrKind::Eval),
-                            Ok((out, _plan)) => {
-                                format!("{i} {}", render_output(&out).terminal)
-                            }
-                        }
+                                Err(e) => format!("ERR {}: {e}", ErrKind::Eval),
+                            },
+                            Ok((out, _plan)) => render_output(out).terminal,
+                        };
+                        format!("{i} {line}")
                     }
                 })
                 .collect();
@@ -956,6 +1346,17 @@ impl Session {
     }
 }
 
+impl Drop for Session {
+    fn drop(&mut self) {
+        // a vanished connection releases its cursors — the open-cursor
+        // gauge must not count the dead
+        let entries: Vec<CursorEntry> = self.cursors.drain().map(|(_, e)| e).collect();
+        for entry in entries {
+            self.metrics.record_cursor_closed(entry.tenant.name(), false);
+        }
+    }
+}
+
 /// The `ERR degraded` reply: the tenant is read-only after a storage
 /// failure; reads still serve, `RESUME` repairs.
 fn degraded_reply(db: &str, reason: &str) -> Reply {
@@ -1040,14 +1441,36 @@ fn budget_reply(reason: &str, plan: &QueryPlan) -> Reply {
     )
 }
 
-/// Render an execution output as the terminal `OK` payload.
-fn render_output(out: &Output) -> Reply {
+/// The per-item `ERR timeout` terminal for a cancelled batch item,
+/// attributed (and counted) as a deadline trip or a client disconnect.
+fn cancelled_batch_terminal(
+    sm: &mut SessionMetrics,
+    db: &str,
+    timed_out: bool,
+) -> String {
+    if timed_out {
+        sm.record_timeout(db);
+        format!(
+            "ERR {}: batch exceeded the tenant's SET TIMEOUT deadline",
+            ErrKind::Timeout
+        )
+    } else {
+        sm.record_cancellation(db);
+        format!("ERR {}: evaluation cancelled (client disconnected)", ErrKind::Timeout)
+    }
+}
+
+/// Render an execution output as one full reply. `Answers` outputs are
+/// collected — the callers that stream instead (the `ANSWERS` flow
+/// path, cursors) never reach here.
+fn render_output(out: Output) -> Reply {
     match out {
         Output::Decision(b) => Reply::ok(b),
         Output::Count(n) => Reply::ok(n),
-        Output::Answers(rel) => {
-            Reply::ok_with(render_rows(rel), format!("{} rows", rel.len()))
-        }
+        Output::Answers(a) => match a.collect() {
+            Ok(rel) => Reply::ok_with(render_rows(&rel), format!("{} rows", rel.len())),
+            Err(e) => Reply::err(ErrKind::Eval, e),
+        },
     }
 }
 
@@ -1370,10 +1793,17 @@ fn serve_connection(stream: TcpStream, state: Arc<ServerState>, stop: &AtomicBoo
         while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
             buf.pop();
         }
-        if let Some(reply) = session.handle_raw(&buf) {
-            if reply.write_to(&mut writer).is_err() || writer.flush().is_err() {
-                break;
+        let wrote = match session.handle_action(&buf) {
+            Some(Action::Reply(reply)) => {
+                reply.write_to(&mut writer).is_ok() && writer.flush().is_ok()
             }
+            // streamed ANSWERS: rows go out in bounded chunks as the
+            // stream is pulled; a slow client backpressures here
+            Some(Action::Stream(flow)) => session.drain_flow(*flow, &mut writer).is_ok(),
+            None => true,
+        };
+        if !wrote {
+            break;
         }
         if session.finished() {
             break;
@@ -1829,6 +2259,242 @@ mod tests {
         assert!(!entries[0].plan_op.is_empty());
         let line = entries[0].render();
         assert!(line.starts_with("slow-query db=t "), "{line}");
+    }
+
+    #[test]
+    fn cursor_fetch_pages_through_the_answer_set() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(
+            &mut s,
+            &[
+                "LOAD R 2", "1 10", "2 10", "3 11", "END", "LOAD S 2", "10 7", "11 8",
+                "END",
+            ],
+        );
+        let full = s.handle_line("ANSWERS q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(full.terminal, "OK 3 rows");
+        let r = s.handle_line("CURSOR ANSWERS q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert_eq!(r.terminal, "OK cursor 0");
+        assert!(r.data.is_empty(), "opening a cursor sends no rows");
+        // paged FETCHes concatenate to exactly the one-shot ANSWERS
+        let p1 = s.handle_line("FETCH 0 2").unwrap();
+        assert_eq!(p1.terminal, "OK 2 rows");
+        let p2 = s.handle_line("FETCH 0 100").unwrap();
+        assert_eq!(p2.terminal, "OK 1 rows eof");
+        let mut paged = p1.data.clone();
+        paged.extend(p2.data.clone());
+        assert_eq!(paged, full.data, "FETCH pages byte-match the streamed ANSWERS");
+        // exhausted cursors keep answering eof until closed
+        assert_eq!(s.handle_line("FETCH 0 5").unwrap().terminal, "OK 0 rows eof");
+        let m = s.handle_line("METRICS t").unwrap();
+        assert!(m.data.iter().any(|l| l == "db.t cursors.open=1"), "{:?}", m.data);
+        assert!(
+            m.data.iter().any(|l| l.starts_with("db.t answers.rows=")),
+            "{:?}",
+            m.data
+        );
+        assert!(
+            m.data.iter().any(|l| l.starts_with("db.t answers.ttfr.latency ")),
+            "time-to-first-row histogram: {:?}",
+            m.data
+        );
+        assert_eq!(s.handle_line("CLOSE 0").unwrap().terminal, "OK closed cursor 0");
+        let m = s.handle_line("METRICS t").unwrap();
+        assert!(m.data.iter().any(|l| l == "db.t cursors.open=0"), "{:?}", m.data);
+        // touching a closed (or never-opened) cursor is structured
+        let r = s.handle_line("FETCH 0 1").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-cursor"), "{}", r.terminal);
+        let r = s.handle_line("CLOSE 0").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-cursor"), "{}", r.terminal);
+        let r = s.handle_line("SEEK 99 0").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-cursor"), "{}", r.terminal);
+    }
+
+    #[test]
+    fn seek_is_o1_on_access_cursors_and_refused_on_enumeration() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(
+            &mut s,
+            &[
+                "LOAD R1 2",
+                "1 10",
+                "2 10",
+                "3 11",
+                "END",
+                "LOAD R2 2",
+                "10 7",
+                "11 8",
+                "END",
+            ],
+        );
+        // a direct-access cursor: SEEK jumps, the skipped prefix is
+        // never enumerated (DirectAccessStream::seek moves a position
+        // counter only — witnessed by the engine's accesses() test)
+        let r = s.handle_line("CURSOR ACCESS q(x, y, z) :- R1(x, y), R2(y, z)").unwrap();
+        assert_eq!(r.terminal, "OK cursor 0");
+        let full = s.handle_line("FETCH 0 100").unwrap();
+        assert_eq!(full.terminal, "OK 3 rows eof");
+        assert_eq!(s.handle_line("SEEK 0 2").unwrap().terminal, "OK cursor 0 at 2");
+        let r = s.handle_line("FETCH 0 10").unwrap();
+        assert_eq!(r.data, vec![full.data[2].clone()], "SEEK lands on the k-th answer");
+        // seek back to the start: cursors are rewindable
+        s.handle_line("SEEK 0 0");
+        assert_eq!(s.handle_line("FETCH 0 100").unwrap().data, full.data);
+        // a constant-delay enumeration cursor has no random access:
+        // SEEK is a structural refusal citing the plan operator
+        let r = s.handle_line("CURSOR ANSWERS q(x, y, z) :- R1(x, y), R2(y, z)").unwrap();
+        assert_eq!(r.terminal, "OK cursor 1");
+        let r = s.handle_line("SEEK 1 2").unwrap();
+        assert!(r.terminal.starts_with("ERR unsupported:"), "{}", r.terminal);
+        assert!(r.terminal.contains("constant-delay enumeration"), "{}", r.terminal);
+        // the cursor survives the refused SEEK
+        assert_eq!(s.handle_line("FETCH 1 100").unwrap().terminal, "OK 3 rows eof");
+    }
+
+    #[test]
+    fn mutations_invalidate_open_cursors() {
+        let state = Arc::new(ServerState::new());
+        let mut s = Session::new(Arc::clone(&state));
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(&mut s, &["LOAD R 2", "1 2", "3 4", "END"]);
+        s.handle_line("CURSOR ANSWERS q(x, y) :- R(x, y)");
+        // reads don't invalidate
+        s.handle_line("COUNT q(x, y) :- R(x, y)");
+        assert!(s.handle_line("FETCH 0 1").unwrap().is_ok());
+        // a mutation bumps the generation: the pinned snapshot is gone
+        s.handle_line("INSERT R(9, 9)");
+        let r = s.handle_line("FETCH 0 1").unwrap();
+        assert!(r.terminal.starts_with("ERR stale-cursor:"), "{}", r.terminal);
+        assert!(r.terminal.contains("re-open"), "{}", r.terminal);
+        // the stale cursor was evicted, and the metrics say so
+        let r = s.handle_line("FETCH 0 1").unwrap();
+        assert!(r.terminal.starts_with("ERR no-such-cursor"), "{}", r.terminal);
+        let m = s.handle_line("METRICS t").unwrap();
+        assert!(m.data.iter().any(|l| l == "db.t cursors.stale=1"), "{:?}", m.data);
+        assert!(m.data.iter().any(|l| l == "db.t cursors.open=0"), "{:?}", m.data);
+        // SEEK on a stale cursor is the same structured eviction
+        s.handle_line("CURSOR ANSWERS q(x, y) :- R(x, y)");
+        s.handle_line("INSERT R(8, 8)");
+        let r = s.handle_line("SEEK 1 0").unwrap();
+        assert!(r.terminal.starts_with("ERR stale-cursor:"), "{}", r.terminal);
+        // dropping the tenant invalidates too
+        s.handle_line("CURSOR ANSWERS q(x, y) :- R(x, y)");
+        s.handle_line("DROP DB t");
+        let r = s.handle_line("FETCH 2 1").unwrap();
+        assert!(r.terminal.starts_with("ERR stale-cursor:"), "{}", r.terminal);
+    }
+
+    #[test]
+    fn cursor_limit_is_enforced_per_session() {
+        let mut s = session();
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        s.handle_line("INSERT R(1, 2)");
+        for _ in 0..MAX_CURSORS_PER_SESSION {
+            assert!(s.handle_line("CURSOR ANSWERS q(x, y) :- R(x, y)").unwrap().is_ok());
+        }
+        let r = s.handle_line("CURSOR ANSWERS q(x, y) :- R(x, y)").unwrap();
+        assert!(r.terminal.starts_with("ERR cursor-limit:"), "{}", r.terminal);
+        // closing one frees a slot
+        assert!(s.handle_line("CLOSE 0").unwrap().is_ok());
+        assert!(s.handle_line("CURSOR ANSWERS q(x, y) :- R(x, y)").unwrap().is_ok());
+    }
+
+    #[test]
+    fn open_cursors_do_not_pin_the_tenant_read_lock() {
+        // an idle cursor holds only Arc'd artifacts: writers must be
+        // able to mutate (and thereby invalidate) while it sits open —
+        // if the cursor held the read lock this would deadlock
+        let state = Arc::new(ServerState::new());
+        let mut s = Session::new(Arc::clone(&state));
+        s.handle_line("CREATE DB t");
+        s.handle_line("USE t");
+        drive(&mut s, &["LOAD R 2", "1 2", "3 4", "END"]);
+        s.handle_line("CURSOR ANSWERS q(x, y) :- R(x, y)");
+        assert!(s.handle_line("FETCH 0 1").unwrap().is_ok(), "cursor mid-stream");
+        let done = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let t = state.tenant("t").unwrap();
+                let ((), wal) = t.mutate_wal(|db| {
+                    let rel = db.get_mut("R").expect("loaded above");
+                    rel.insert_row(&[7, 7]);
+                    ((), None)
+                });
+                wal.expect("no WAL in memory mode");
+                done.store(true, Ordering::SeqCst);
+            });
+        });
+        assert!(done.load(Ordering::SeqCst), "writer finished with a cursor open");
+    }
+
+    /// A writer that records the largest single `write` it ever saw —
+    /// the observable ceiling on per-connection answer buffering.
+    struct ChunkMeter {
+        bytes: Vec<u8>,
+        max_write: usize,
+        writes: usize,
+    }
+
+    impl Write for ChunkMeter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.max_write = self.max_write.max(buf.len());
+            self.writes += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_buffers_at_most_one_chunk_for_huge_results() {
+        // 400 x 400 free-connex join: 160_000 answers from 800 input
+        // rows — the paper's point that answers can dwarf the data
+        let mut s = session();
+        s.handle_line("CREATE DB big");
+        s.handle_line("USE big");
+        s.handle_line("LOAD R 2");
+        for i in 0..400u64 {
+            s.handle_line(&format!("{i} 0"));
+        }
+        s.handle_line("END");
+        s.handle_line("LOAD S 2");
+        for j in 0..400u64 {
+            s.handle_line(&format!("0 {j}"));
+        }
+        s.handle_line("END");
+        let action = s.handle_action(b"ANSWERS q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let Action::Stream(flow) = action else {
+            panic!("a successful ANSWERS must stream, not materialize a reply");
+        };
+        let mut meter = ChunkMeter { bytes: Vec::new(), max_write: 0, writes: 0 };
+        s.drain_flow(*flow, &mut meter).unwrap();
+        let text = String::from_utf8(meter.bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let (rows, terminal) = lines.split_at(lines.len() - 1);
+        assert_eq!(rows.len(), 160_000, "every answer reaches the wire");
+        assert!(rows.iter().all(|l| l.starts_with(DATA_PREFIX)));
+        assert_eq!(terminal, ["OK 160000 rows"]);
+        // peak per-connection buffering is one chunk, not the result:
+        // a row here is ≤ 10 wire bytes, so a chunk stays under 16 KiB
+        // while the full result is > 1 MiB
+        assert!(
+            meter.max_write <= STREAM_CHUNK_ROWS * 64,
+            "largest single write was {} bytes",
+            meter.max_write
+        );
+        assert!(
+            meter.writes >= 160_000 / STREAM_CHUNK_ROWS,
+            "the result must go out chunk by chunk, got {} writes",
+            meter.writes
+        );
     }
 
     #[test]

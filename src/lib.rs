@@ -161,6 +161,58 @@
 //! assert!(r.terminal.contains("Triangle Hypothesis"));
 //! ```
 //!
+//! ## Streaming answers: cursors, `FETCH`, `SEEK`
+//!
+//! `ANSWERS` streams its rows — the server pulls from the engine's
+//! constant-delay enumerator and writes the wire in bounded chunks, so
+//! a huge result never materializes server-side. For client-paced
+//! consumption, open a *cursor*: `CURSOR ANSWERS|ACCESS <query>` pins
+//! the plan (not the tenant lock — writers stay unblocked) and hands
+//! back an id; `FETCH <id> <n>` pulls the next `n` rows; on a
+//! direct-access plan (`CURSOR ACCESS`, Thm 3.24) `SEEK <id> <k>`
+//! jumps to the k-th answer in O(1) without enumerating the skipped
+//! prefix. A mutation invalidates open cursors on that tenant — the
+//! next `FETCH` reports `ERR stale-cursor` rather than a torn mix of
+//! old and new rows:
+//!
+//! ```
+//! use cq_lower_bounds::server::{ServerState, Session};
+//! use std::sync::Arc;
+//!
+//! let mut s = Session::new(Arc::new(ServerState::new()));
+//! s.handle_line("CREATE DB social").unwrap();
+//! s.handle_line("USE social").unwrap();
+//! for (a, b) in [(1, 10), (2, 10), (3, 11)] {
+//!     s.handle_line(&format!("INSERT Follows({a}, {b})")).unwrap();
+//! }
+//!
+//! // open a seekable cursor over q's answers
+//! let r = s.handle_line("CURSOR ACCESS q(x, y) :- Follows(x, y)").unwrap();
+//! assert_eq!(r.terminal, "OK cursor 0");
+//!
+//! // page through it: two rows, then the rest
+//! let r = s.handle_line("FETCH 0 2").unwrap();
+//! assert_eq!(r.data, vec!["1 10", "2 10"]);
+//! let r = s.handle_line("FETCH 0 10").unwrap();
+//! assert_eq!(r.data, vec!["3 11"]);
+//! assert_eq!(r.terminal, "OK 1 rows eof");
+//!
+//! // rewind to the second answer in O(1) — no re-enumeration
+//! s.handle_line("SEEK 0 1").unwrap();
+//! let r = s.handle_line("FETCH 0 1").unwrap();
+//! assert_eq!(r.data, vec!["2 10"]);
+//!
+//! // a mutation invalidates the cursor instead of tearing it
+//! s.handle_line("INSERT Follows(4, 12)").unwrap();
+//! let r = s.handle_line("FETCH 0 1").unwrap();
+//! assert!(r.terminal.starts_with("ERR stale-cursor:"));
+//! ```
+//!
+//! `cqsh` wraps the loop as `FETCHALL <id> [page]`, and the
+//! [`server::client::Client`] library exposes `cursor` / `fetch` /
+//! `seek` / `for_each_page`. See the `DESIGN.md` "Streaming" section
+//! for the cursor lifecycle, staleness rules, and memory bounds.
+//!
 //! See `examples/` for end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction map.
 

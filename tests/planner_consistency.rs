@@ -66,9 +66,9 @@ fn zoo_decide_count_answers_match_oracle() {
 
             let plan = planner.plan(&q, Task::Answers, &stats);
             match execute(&plan, &q, &db).unwrap() {
-                Output::Answers(rel) => {
+                Output::Answers(a) => {
                     assert_eq!(
-                        rel,
+                        a.collect().unwrap(),
                         brute_force_answers(&q, &db).unwrap(),
                         "answers {q} seed {seed}"
                     );
@@ -112,7 +112,17 @@ fn zoo_cached_plans_execute_identically() {
             let warm = planner.plan(&q, task, &stats);
             let a = execute(&cold, &q, &db).unwrap();
             let b = execute(&warm, &q, &db).unwrap();
-            assert_eq!(a, b, "{q} {task:?}");
+            // Output carries live streams now: compare by materializing
+            match (a, b) {
+                (Output::Decision(a), Output::Decision(b)) => {
+                    assert_eq!(a, b, "{q} {task:?}")
+                }
+                (Output::Count(a), Output::Count(b)) => assert_eq!(a, b, "{q} {task:?}"),
+                (Output::Answers(a), Output::Answers(b)) => {
+                    assert_eq!(a.collect().unwrap(), b.collect().unwrap(), "{q} {task:?}")
+                }
+                (a, b) => panic!("{q} {task:?}: mismatched outputs {a:?} vs {b:?}"),
+            }
         }
     }
 }

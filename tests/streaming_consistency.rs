@@ -1,0 +1,154 @@
+//! Streaming consistency: the pull-driven answer pipeline must be a
+//! pure refactor of the materialized path. For random data and page
+//! sizes, the one-shot `ANSWERS` wire data, a `CURSOR`/`FETCH`-paged
+//! drain, and the direct [`eval::answers`] result must all agree —
+//! byte-exact where the order contract promises it, as sets otherwise.
+//! Also covers seek-resume mid-stream on direct-access cursors and
+//! cursor invalidation after a mutation.
+
+use cq_lower_bounds::prelude::*;
+use cq_server::protocol::render_rows;
+use cq_server::server::Session;
+use cq_server::state::ServerState;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const Q: &str = "q(x, z) :- R(x, y), S(y, z)";
+
+/// Boot an in-process session with tenant `t` holding relations
+/// `R`/`S` built from the given pairs, plus a local mirror database.
+fn session_with(r: &[(u64, u64)], s: &[(u64, u64)]) -> (Session, Database) {
+    let mut sess = Session::new(Arc::new(ServerState::new()));
+    assert!(sess.handle_line("CREATE DB t").unwrap().is_ok());
+    assert!(sess.handle_line("USE t").unwrap().is_ok());
+    for (name, pairs) in [("R", r), ("S", s)] {
+        assert!(sess.handle_line(&format!("LOAD {name} 2")).unwrap().is_ok());
+        for (a, b) in pairs {
+            assert!(sess.handle_line(&format!("{a} {b}")).is_none());
+        }
+        assert!(sess.handle_line("END").unwrap().is_ok());
+    }
+    let mut db = Database::new();
+    db.insert("R", Relation::from_pairs(r.to_vec()));
+    db.insert("S", Relation::from_pairs(s.to_vec()));
+    (sess, db)
+}
+
+/// Open a cursor and return its id from `OK cursor <id>`.
+fn open_cursor(sess: &mut Session, task: &str) -> u64 {
+    let reply = sess.handle_line(&format!("CURSOR {task} {Q}")).unwrap();
+    reply
+        .ok_info()
+        .and_then(|i| i.strip_prefix("cursor "))
+        .and_then(|i| i.trim().parse().ok())
+        .unwrap_or_else(|| panic!("CURSOR {task} did not open: {}", reply.terminal))
+}
+
+/// Drain a cursor to eof in pages of `page`, concatenating the rows.
+fn drain(sess: &mut Session, id: u64, page: u64) -> Vec<String> {
+    let mut rows = Vec::new();
+    loop {
+        let reply = sess.handle_line(&format!("FETCH {id} {page}")).unwrap();
+        assert!(reply.is_ok(), "FETCH failed: {}", reply.terminal);
+        let eof = reply.ok_info().is_some_and(|i| i.ends_with(" rows eof"));
+        rows.extend(reply.data);
+        if eof {
+            return rows;
+        }
+    }
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..12, 0u64..12), 0..40)
+}
+
+/// Non-empty relations: an empty input makes the planner pick the
+/// trivial-empty short-circuit, which has no direct-access surface.
+fn nonempty_pairs_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..12, 0u64..12), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FETCH-paged cursor drains byte-match one-shot ANSWERS, and both
+    /// carry exactly the materialized `eval::answers` rows.
+    #[test]
+    fn paged_fetch_matches_one_shot_and_materialized(
+        r in pairs_strategy(),
+        s in pairs_strategy(),
+        page in 1u64..9,
+    ) {
+        let (mut sess, db) = session_with(&r, &s);
+
+        let one_shot = sess.handle_line(&format!("ANSWERS {Q}")).unwrap();
+        prop_assert!(one_shot.is_ok(), "{}", one_shot.terminal);
+
+        let id = open_cursor(&mut sess, "ANSWERS");
+        let paged = drain(&mut sess, id, page);
+        // paging must be invisible: same rows, same order, same bytes
+        prop_assert_eq!(&paged, &one_shot.data, "page size {}", page);
+
+        // and the stream is the materialized result, up to the order
+        // contract (streams emit plan-native order, eval normalizes)
+        let q = parse_query(Q).unwrap();
+        let (rel, _) = eval::answers(&q, &db).unwrap();
+        let mut sorted = paged.clone();
+        sorted.sort();
+        let mut want = render_rows(&rel);
+        want.sort();
+        prop_assert_eq!(sorted, want);
+
+        prop_assert!(sess.handle_line(&format!("CLOSE {id}")).unwrap().is_ok());
+    }
+
+    /// On a direct-access cursor, SEEK k then drain equals the suffix
+    /// of a full drain starting at k — even after consuming an
+    /// unrelated prefix first (seek-resume mid-stream).
+    #[test]
+    fn seek_resume_matches_full_drain_suffix(
+        r in nonempty_pairs_strategy(),
+        s in nonempty_pairs_strategy(),
+        prefix in 0u64..10,
+        k in 0u64..10,
+    ) {
+        let (mut sess, _db) = session_with(&r, &s);
+
+        let full_id = open_cursor(&mut sess, "ACCESS");
+        let full = drain(&mut sess, full_id, 7);
+
+        let id = open_cursor(&mut sess, "ACCESS");
+        // consume an arbitrary prefix, then jump to position k
+        let burned = sess.handle_line(&format!("FETCH {id} {prefix}")).unwrap();
+        prop_assert!(burned.is_ok(), "{}", burned.terminal);
+        let seek = sess.handle_line(&format!("SEEK {id} {k}")).unwrap();
+        prop_assert!(seek.is_ok(), "{}", seek.terminal);
+        let suffix = drain(&mut sess, id, 3);
+        let want: Vec<String> =
+            full.iter().skip(k as usize).cloned().collect();
+        prop_assert_eq!(suffix, want, "full len {}", full.len());
+    }
+
+    /// A mutation invalidates every open cursor on the tenant: the
+    /// next FETCH reports `ERR stale-cursor` and evicts the cursor.
+    #[test]
+    fn mutation_invalidates_open_cursors(
+        r in pairs_strategy(),
+        s in pairs_strategy(),
+    ) {
+        let (mut sess, _db) = session_with(&r, &s);
+        let id = open_cursor(&mut sess, "ANSWERS");
+        prop_assert!(sess.handle_line("INSERT R(999, 999)").unwrap().is_ok());
+        let reply = sess.handle_line(&format!("FETCH {id} 5")).unwrap();
+        prop_assert!(
+            reply.terminal.starts_with("ERR stale-cursor:"),
+            "{}", reply.terminal
+        );
+        // evicted: the id is gone, not retryable
+        let reply = sess.handle_line(&format!("FETCH {id} 5")).unwrap();
+        prop_assert!(
+            reply.terminal.starts_with("ERR no-such-cursor:"),
+            "{}", reply.terminal
+        );
+    }
+}

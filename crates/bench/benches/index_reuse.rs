@@ -22,7 +22,7 @@ use cq_core::query::zoo;
 use cq_core::ConjunctiveQuery;
 use cq_data::generate as gen;
 use cq_data::{Database, IndexCatalog};
-use cq_planner::{build_lex_access_with_catalog, eval, Planner, Task};
+use cq_planner::{build_lex_access_with_catalog, EvalCtx, Planner, Task};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn run(
@@ -32,14 +32,11 @@ fn run(
     task: Task,
     cat: &IndexCatalog,
 ) -> u64 {
+    let ctx = EvalCtx::new().with_catalog(cat);
     match task {
-        Task::Decide => {
-            u64::from(eval::decide_with_catalog(planner, q, db, cat).unwrap().0)
-        }
-        Task::Count => eval::count_with_catalog(planner, q, db, cat).unwrap().0,
-        Task::Answers => {
-            eval::answers_with_catalog(planner, q, db, cat).unwrap().0.len() as u64
-        }
+        Task::Decide => u64::from(ctx.decide(planner, q, db).unwrap().0),
+        Task::Count => ctx.count(planner, q, db).unwrap().0,
+        Task::Answers => ctx.answers(planner, q, db).unwrap().0.len() as u64,
         Task::Access => unreachable!("access shapes use build_lex_access"),
     }
 }

@@ -1,25 +1,33 @@
 //! The durability tax: what does routing ingest through `cq-storage`
 //! cost, compared to the in-memory path the server ran before?
 //!
-//! Three groups:
+//! Four groups:
 //!   * `load` — bulk `LOAD`-shaped ingest of one relation, in-memory
 //!     (build + normalize + insert) vs. WAL-backed (the same, plus
 //!     encoding and appending one `Load` record) vs. WAL-backed with a
 //!     per-record fsync (the durability level we deliberately do *not*
 //!     run at — measured here so the choice stays an informed one);
+//!   * `acked_commits` — per-mutation *acknowledged* durability: every
+//!     row is individually acked only after its bytes are fsynced,
+//!     either with one fsync per append (the naive floor) or through a
+//!     shared [`GroupGate`] coalescing concurrent committers' flushes
+//!     (`--group-commit-ms`'s mechanism; acceptance: ≥ 2× the naive
+//!     floor at 10k rows);
 //!   * `snapshot_save` — serializing + atomically writing a database
 //!     snapshot, by relation size;
 //!   * `snapshot_load` — reading + checksumming + rebuilding from that
 //!     snapshot, by relation size (the boot-time recovery cost of a
 //!     checkpointed tenant).
 //!
-//! Later PRs that optimize the write path (group commit, record
-//! batching, mmap reads) regress or improve against these numbers.
+//! Later PRs that optimize the write path further (record batching,
+//! mmap reads) regress or improve against these numbers.
 
 use cq_data::{generate as gen, Database, Relation};
-use cq_storage::{snapshot, Store, WalRecord};
+use cq_storage::{snapshot, GroupGate, Store, WalRecord};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A deterministic pseudo-random edge relation (dense enough that some
 /// rows dedup, like real ingest).
@@ -96,6 +104,76 @@ fn load_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Acked per-mutation durability: `n` single-row inserts, each one
+/// acknowledged only once a sync covering its append has landed.
+/// `fsync_per_append` pays one flush per row; `group_commit` routes the
+/// same rows through [`COMMITTERS`] concurrent threads sharing one
+/// [`GroupGate`] (zero coalescing window — the gate still batches
+/// everything that queued while the previous leader flushed, which is
+/// exactly the server's steady state under load).
+const COMMITTERS: usize = 8;
+
+fn acked_commits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_durability/acked_commits");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("fsync_per_append", n), &n, |b, &n| {
+            b.iter(|| {
+                let dir = bench_dir("acked_naive");
+                let store = Store::open_dir(&dir).unwrap();
+                let mut wal = store.create_tenant("t").unwrap();
+                for i in 0..n as u64 {
+                    let rec =
+                        WalRecord::Insert { relation: "Edge".into(), row: vec![i, i] };
+                    wal.append(&rec).unwrap();
+                    wal.sync().unwrap();
+                }
+                let syncs = wal.stats().syncs;
+                drop(wal);
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(syncs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("group_commit", n), &n, |b, &n| {
+            b.iter(|| {
+                let dir = bench_dir("acked_group");
+                let store = Store::open_dir(&dir).unwrap();
+                let wal = Arc::new(Mutex::new(store.create_tenant("t").unwrap()));
+                let gate = Arc::new(GroupGate::new());
+                let per_thread = n / COMMITTERS;
+                std::thread::scope(|s| {
+                    for t in 0..COMMITTERS as u64 {
+                        let wal = Arc::clone(&wal);
+                        let gate = Arc::clone(&gate);
+                        s.spawn(move || {
+                            for i in 0..per_thread as u64 {
+                                let rec = WalRecord::Insert {
+                                    relation: "Edge".into(),
+                                    row: vec![t, i],
+                                };
+                                let seq = {
+                                    let mut w = wal.lock().unwrap();
+                                    w.append(&rec).unwrap();
+                                    w.stats().appends
+                                };
+                                gate.commit(seq, Duration::ZERO, || {
+                                    let mut w = wal.lock().unwrap();
+                                    (w.stats().appends, w.sync())
+                                })
+                                .unwrap();
+                            }
+                        });
+                    }
+                });
+                let rounds = gate.rounds();
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn snapshot_roundtrip(c: &mut Criterion) {
     let mut save = c.benchmark_group("ingest_durability/snapshot_save");
     let dir = bench_dir("snapshot");
@@ -120,5 +198,5 @@ fn snapshot_roundtrip(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, load_throughput, snapshot_roundtrip);
+criterion_group!(benches, load_throughput, acked_commits, snapshot_roundtrip);
 criterion_main!(benches);

@@ -920,7 +920,7 @@ pub fn e15_sat_chain(quick: bool) -> Table {
 // ---------------------------------------------------------------------
 pub fn e16_index_reuse(quick: bool) -> Table {
     use cq_data::IndexCatalog;
-    use cq_planner::{eval, Planner, Task};
+    use cq_planner::{EvalCtx, Planner, Task};
 
     let mut t = Table::new(
         "E16",
@@ -959,15 +959,14 @@ pub fn e16_index_reuse(quick: bool) -> Table {
     let mut speedups: Vec<(String, f64)> = Vec::new();
     for (name, q, task, db) in shapes {
         let mut planner = Planner::new();
-        let run = |planner: &mut Planner, cat: &IndexCatalog| match task {
-            Task::Decide => {
-                eval::decide_with_catalog(planner, &q, &db, cat).unwrap().0 as u64
+        let run = |planner: &mut Planner, cat: &IndexCatalog| {
+            let ctx = EvalCtx::new().with_catalog(cat);
+            match task {
+                Task::Decide => ctx.decide(planner, &q, &db).unwrap().0 as u64,
+                Task::Count => ctx.count(planner, &q, &db).unwrap().0,
+                Task::Answers => ctx.answers(planner, &q, &db).unwrap().0.len() as u64,
+                Task::Access => unreachable!(),
             }
-            Task::Count => eval::count_with_catalog(planner, &q, &db, cat).unwrap().0,
-            Task::Answers => {
-                eval::answers_with_catalog(planner, &q, &db, cat).unwrap().0.len() as u64
-            }
-            Task::Access => unreachable!(),
         };
         // settle the plan cache, then best-of-k both ways
         run(&mut planner, &IndexCatalog::new());

@@ -31,6 +31,10 @@ pub enum EvalError {
     /// exceeded, external cancel, or a liveness probe reported the
     /// caller gone). Partial results are discarded.
     Cancelled,
+    /// Admission control refused the plan before execution: its
+    /// estimated cost breaks the caller's evaluation budget. The
+    /// message carries the violated cap.
+    OverBudget(String),
 }
 
 impl fmt::Display for EvalError {
@@ -46,6 +50,7 @@ impl fmt::Display for EvalError {
             EvalError::NotJoinQuery => write!(f, "query is not a join query"),
             EvalError::Unsupported(s) => write!(f, "unsupported: {s}"),
             EvalError::Cancelled => write!(f, "evaluation cancelled before completion"),
+            EvalError::OverBudget(s) => write!(f, "over budget: {s}"),
         }
     }
 }

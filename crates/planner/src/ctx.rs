@@ -1,0 +1,398 @@
+//! Evaluation options as a value: [`EvalCtx`].
+//!
+//! The facade originally grew one function per option combination —
+//! `decide`, `decide_with_catalog`, `decide_with_catalog_cancel`, and
+//! the same ladder for `count`, `answers`, `batch_tasks`, and
+//! `execute`. Every new cross-cutting concern (the cancel token was
+//! the second, a budget would have been the third) doubled the
+//! surface. This module collapses the ladder: an [`EvalCtx`] carries
+//! the options — index catalog, cancel token, admission budget — and
+//! one method per task consumes it. New concerns become new fields,
+//! not new suffixes.
+//!
+//! ```
+//! use cq_planner::{eval, EvalCtx, Planner};
+//! use cq_data::{Database, IndexCatalog, Relation};
+//!
+//! let mut db = Database::new();
+//! db.insert("R", Relation::from_pairs(vec![(1, 2), (2, 3)]));
+//! let q = cq_core::parse_query("q(x, z) :- R(x, y), R(y, z)").unwrap();
+//!
+//! let catalog = IndexCatalog::new();
+//! let ctx = EvalCtx::new().with_catalog(&catalog);
+//! let mut planner = Planner::new();
+//! let (n, _plan) = ctx.count(&mut planner, &q, &db).unwrap();
+//! assert_eq!(n, 1);
+//! ```
+//!
+//! The deprecated `*_with_catalog` / `*_with_catalog_cancel` functions
+//! in [`eval`](crate::eval) and [`execute`](mod@crate::execute) are thin
+//! shims over this type and will be removed once external callers
+//! migrate.
+
+use crate::eval::{catalog_for, with_global_planner};
+use crate::execute::{execute_in, Output};
+use crate::ir::{QueryPlan, Task};
+use crate::planner::Planner;
+use cq_core::ConjunctiveQuery;
+use cq_data::{Database, IndexCatalog, Relation};
+use cq_engine::bind::EvalError;
+use cq_engine::CancelToken;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Admission-control caps on a plan's estimated cost, checked between
+/// planning and execution. `None` fields are uncapped; the default is
+/// no budget at all.
+///
+/// `max_exponent` caps the cost exponent directly; `max_rows` caps the
+/// estimated operation count `m^e` (the AGM-style worst case the
+/// planner already reports in EXPLAIN).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalBudget {
+    /// Reject plans whose cost exponent exceeds this.
+    pub max_exponent: Option<f64>,
+    /// Reject plans whose estimated operation count `m^e` exceeds this.
+    pub max_rows: Option<u64>,
+}
+
+impl EvalBudget {
+    /// No caps — every plan is admitted.
+    pub fn unlimited() -> EvalBudget {
+        EvalBudget::default()
+    }
+
+    /// Does `plan` break this budget? Returns the human-readable
+    /// reason. The epsilon keeps a budget set to exactly a plan's
+    /// exponent from rejecting it over float noise.
+    pub fn violation(&self, plan: &QueryPlan) -> Option<String> {
+        if let Some(e) = self.max_exponent {
+            if plan.cost.exponent > e + 1e-9 {
+                return Some(format!(
+                    "plan cost m^{:.2} exceeds MAX-EXPONENT {e:.2}",
+                    plan.cost.exponent
+                ));
+            }
+        }
+        if let Some(n) = self.max_rows {
+            if plan.cost.operations() > n as f64 {
+                return Some(format!(
+                    "estimated {:.0} operations (m^{:.2}) exceed MAX-ROWS {n}",
+                    plan.cost.operations(),
+                    plan.cost.exponent
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// The options of one evaluation, as a value: which [`IndexCatalog`]
+/// to run warm against, the [`CancelToken`] bounding it, and the
+/// [`EvalBudget`] admitting its plan. Build one with [`EvalCtx::new`]
+/// and the `with_*` setters, then call a task method.
+///
+/// Defaults: no explicit catalog (task methods fall back to the
+/// process-wide registry's catalog for the database, [`EvalCtx::execute`]
+/// to a throwaway cold catalog — exactly the defaults of the suffix-free
+/// facade functions), a never-tripping token, and no budget.
+#[derive(Clone)]
+pub struct EvalCtx<'a> {
+    catalog: Option<&'a IndexCatalog>,
+    cancel: CancelToken,
+    budget: EvalBudget,
+}
+
+impl Default for EvalCtx<'_> {
+    fn default() -> Self {
+        EvalCtx::new()
+    }
+}
+
+impl<'a> EvalCtx<'a> {
+    /// The default context: registry catalog, never cancelled, no
+    /// budget.
+    pub fn new() -> EvalCtx<'static> {
+        EvalCtx {
+            catalog: None,
+            cancel: CancelToken::never(),
+            budget: EvalBudget::unlimited(),
+        }
+    }
+
+    /// Run against an explicit catalog (e.g. one pinned per server
+    /// tenant) instead of the process-wide registry's.
+    pub fn with_catalog<'b>(self, catalog: &'b IndexCatalog) -> EvalCtx<'b> {
+        EvalCtx { catalog: Some(catalog), cancel: self.cancel, budget: self.budget }
+    }
+
+    /// Bound the evaluation by `cancel`: a tripped deadline or probe
+    /// aborts mid-execution with [`EvalError::Cancelled`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> EvalCtx<'a> {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Admission-check plans against `budget` before executing them;
+    /// an over-budget plan fails with [`EvalError::OverBudget`] without
+    /// doing any evaluation work.
+    pub fn with_budget(mut self, budget: EvalBudget) -> EvalCtx<'a> {
+        self.budget = budget;
+        self
+    }
+
+    /// The context's cancel token (shared with every clone).
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The context's admission budget.
+    pub fn budget(&self) -> EvalBudget {
+        self.budget
+    }
+
+    /// Admit `plan` against the context's budget: `Err` carries the
+    /// violation reason. Exposed for callers (like the server) that
+    /// render their own refusal message around the reason.
+    pub fn admit(&self, plan: &QueryPlan) -> Result<(), String> {
+        match self.budget.violation(plan) {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
+    }
+
+    /// Execute an already-made `plan` under this context's options.
+    /// With no explicit catalog this is the *cold* path (a throwaway
+    /// catalog, like [`execute`](crate::execute::execute)); the budget
+    /// still admission-checks the plan.
+    pub fn execute(
+        &self,
+        plan: &QueryPlan,
+        q: &ConjunctiveQuery,
+        db: &Database,
+    ) -> Result<Output, EvalError> {
+        self.admit(plan).map_err(EvalError::OverBudget)?;
+        match self.catalog {
+            Some(cat) => execute_in(plan, q, db, cat, &self.cancel),
+            None => execute_in(plan, q, db, &IndexCatalog::new(), &self.cancel),
+        }
+    }
+
+    /// The catalog task methods run against: the explicit one, or the
+    /// process-wide registry's for `db`'s current state.
+    fn resolve_catalog(&self, db: &Database) -> CatalogRef<'a> {
+        match self.catalog {
+            Some(cat) => CatalogRef::Borrowed(cat),
+            None => CatalogRef::Registry(catalog_for(db)),
+        }
+    }
+
+    /// Plan and run [`Task::Decide`]: is `q(D)` non-empty? Returns the
+    /// decision and the plan that ran.
+    pub fn decide(
+        &self,
+        planner: &mut Planner,
+        q: &ConjunctiveQuery,
+        db: &Database,
+    ) -> Result<(bool, QueryPlan), EvalError> {
+        let (out, plan) = self.run(planner, q, db, Task::Decide)?;
+        Ok((out.as_decision().expect("decide plan yields decision"), plan))
+    }
+
+    /// Plan and run [`Task::Count`]: `|q(D)|`. Returns the count and
+    /// the plan that ran.
+    pub fn count(
+        &self,
+        planner: &mut Planner,
+        q: &ConjunctiveQuery,
+        db: &Database,
+    ) -> Result<(u64, QueryPlan), EvalError> {
+        let (out, plan) = self.run(planner, q, db, Task::Count)?;
+        Ok((out.as_count().expect("count plan yields count"), plan))
+    }
+
+    /// Plan and run [`Task::Answers`]: all answers of `q(D)`,
+    /// materialized. Returns the answer relation and the plan that ran.
+    pub fn answers(
+        &self,
+        planner: &mut Planner,
+        q: &ConjunctiveQuery,
+        db: &Database,
+    ) -> Result<(Relation, QueryPlan), EvalError> {
+        match self.run(planner, q, db, Task::Answers)? {
+            (Output::Answers(a), plan) => Ok((a.collect()?, plan)),
+            (other, _) => unreachable!("answers plan yielded {other:?}"),
+        }
+    }
+
+    fn run(
+        &self,
+        planner: &mut Planner,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        task: Task,
+    ) -> Result<(Output, QueryPlan), EvalError> {
+        let catalog = self.resolve_catalog(db);
+        let stats = catalog.get().stats(db);
+        let plan = planner.plan(q, task, &stats);
+        self.admit(&plan).map_err(EvalError::OverBudget)?;
+        let out = execute_in(&plan, q, db, catalog.get(), &self.cancel)?;
+        Ok((out, plan))
+    }
+
+    /// Evaluate a batch of independent `(query, task)` items over one
+    /// database in parallel under this context: one shared catalog, one
+    /// planning pass through the process-wide planner for the whole
+    /// batch (so execution never holds the planner lock), then up to
+    /// `workers` threads pulling items off a shared cursor. Results
+    /// come back in input order, each with the plan that ran;
+    /// over-budget items fail individually with
+    /// [`EvalError::OverBudget`], and all workers poll the context's
+    /// one token, so a single deadline bounds the whole batch.
+    pub fn batch_tasks<'q>(
+        &self,
+        items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
+        db: &Database,
+        workers: usize,
+    ) -> Vec<Result<(Output, QueryPlan), EvalError>> {
+        let items: Vec<(&ConjunctiveQuery, Task)> = items.into_iter().collect();
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let catalog = self.resolve_catalog(db);
+        let catalog = catalog.get();
+        // plan the whole batch in one pass through the shared planner —
+        // repeated shapes hit the plan cache, and execution below never
+        // needs the planner lock
+        let stats = catalog.stats(db);
+        let plans: Vec<QueryPlan> = with_global_planner(|p| {
+            items.iter().map(|(q, task)| p.plan(q, *task, &stats)).collect()
+        });
+
+        let run = |i: usize| -> Result<(Output, QueryPlan), EvalError> {
+            let (q, _) = items[i];
+            let plan = &plans[i];
+            self.admit(plan).map_err(EvalError::OverBudget)?;
+            execute_in(plan, q, db, catalog, &self.cancel).map(|out| (out, plan.clone()))
+        };
+
+        let workers = workers.min(items.len());
+        if workers <= 1 {
+            return (0..items.len()).map(run).collect();
+        }
+        // work-stealing over a shared cursor: homogeneous batches split
+        // evenly, skewed ones keep every worker busy until the end
+        let results: Vec<OnceLock<Result<(Output, QueryPlan), EvalError>>> =
+            (0..items.len()).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let filled = results[i].set(run(i));
+                    debug_assert!(filled.is_ok(), "cursor indices are claimed once");
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every index was claimed by a worker"))
+            .collect()
+    }
+}
+
+/// An explicit borrowed catalog or the registry's owned `Arc` — so
+/// task methods resolve the default without cloning borrowed ones.
+enum CatalogRef<'a> {
+    Borrowed(&'a IndexCatalog),
+    Registry(std::sync::Arc<IndexCatalog>),
+}
+
+impl CatalogRef<'_> {
+    fn get(&self) -> &IndexCatalog {
+        match self {
+            CatalogRef::Borrowed(c) => c,
+            CatalogRef::Registry(c) => c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_core::query::zoo;
+    use cq_data::generate::{path_database, seeded_rng};
+
+    #[test]
+    fn ctx_matches_the_suffix_ladder() {
+        let db = path_database(3, 40, &mut seeded_rng(31));
+        let q = zoo::path_join(3);
+        let catalog = IndexCatalog::new();
+        let ctx = EvalCtx::new().with_catalog(&catalog);
+        let mut planner = Planner::new();
+        let (n, plan) = ctx.count(&mut planner, &q, &db).unwrap();
+        let (want, _) = crate::eval::count(&q, &db).unwrap();
+        assert_eq!(n, want);
+        assert_eq!(plan.op.name(), "counting DP over join tree");
+        // the boolean variant has the same body: non-empty iff count > 0
+        let (dec, _) = ctx.decide(&mut planner, &zoo::path_boolean(3), &db).unwrap();
+        assert_eq!(dec, want > 0);
+        let (rel, _) = ctx.answers(&mut planner, &q, &db).unwrap();
+        assert_eq!(rel.len() as u64, n);
+    }
+
+    #[test]
+    fn budget_rejects_before_execution() {
+        let db = path_database(2, 20, &mut seeded_rng(32));
+        let q = zoo::path_join(2);
+        let catalog = IndexCatalog::new();
+        let tight = EvalBudget { max_exponent: Some(0.0), max_rows: None };
+        let ctx = EvalCtx::new().with_catalog(&catalog).with_budget(tight);
+        let mut planner = Planner::new();
+        // warm the stats memo so the only remaining misses would be
+        // execution artifacts (indexes, enumerator cores)
+        let _ = catalog.stats(&db);
+        let misses_before = catalog.snapshot().misses;
+        let err = ctx.count(&mut planner, &q, &db).unwrap_err();
+        match err {
+            EvalError::OverBudget(reason) => {
+                assert!(reason.contains("MAX-EXPONENT"), "{reason}");
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        // nothing was built: admission happened before any execution
+        assert_eq!(catalog.snapshot().misses, misses_before);
+        // lifting the budget admits the same query
+        let ctx = ctx.with_budget(EvalBudget::unlimited());
+        assert!(ctx.count(&mut planner, &q, &db).is_ok());
+    }
+
+    #[test]
+    fn batch_budget_fails_items_individually() {
+        let db = path_database(2, 20, &mut seeded_rng(33));
+        let q = zoo::path_join(2);
+        let catalog = IndexCatalog::new();
+        let tight = EvalBudget { max_exponent: Some(0.0), max_rows: None };
+        let ctx = EvalCtx::new().with_catalog(&catalog).with_budget(tight);
+        let results = ctx.batch_tasks(vec![(&q, Task::Count)], &db, 2);
+        assert!(matches!(results[0], Err(EvalError::OverBudget(_))));
+    }
+
+    #[test]
+    fn default_catalog_is_the_registry() {
+        // with no explicit catalog, repeated ctx calls share the
+        // registry's warm catalog — same as the suffix-free facade
+        let db = path_database(2, 25, &mut seeded_rng(34));
+        let q = zoo::path_join(2);
+        let ctx = EvalCtx::new();
+        let mut planner = Planner::new();
+        let _ = ctx.answers(&mut planner, &q, &db).unwrap();
+        let misses = crate::eval::with_catalog(&db, |cat| cat.snapshot().misses);
+        let _ = ctx.answers(&mut planner, &q, &db).unwrap();
+        let after = crate::eval::with_catalog(&db, |cat| cat.snapshot().misses);
+        assert_eq!(misses, after, "second call must be warm");
+    }
+}

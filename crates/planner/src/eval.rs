@@ -25,10 +25,13 @@
 //!
 //! For cache-controlled workflows (benchmarks, servers with per-tenant
 //! planners) use the `*_with` variants with an explicit [`Planner`] and
-//! pre-collected [`DataStats`], or the `*_with_catalog` variants with
-//! an explicit [`IndexCatalog`].
+//! pre-collected [`DataStats`], or build an [`EvalCtx`] with an
+//! explicit [`IndexCatalog`], [`CancelToken`], and/or budget — the
+//! options struct that replaced the deprecated
+//! `*_with_catalog`/`*_with_catalog_cancel` suffix ladder.
 
-use crate::execute::{execute, execute_with_catalog_cancel, Output};
+use crate::ctx::EvalCtx;
+use crate::execute::{execute, Output};
 use crate::ir::{QueryPlan, Task};
 use crate::planner::Planner;
 use cq_core::ConjunctiveQuery;
@@ -36,7 +39,6 @@ use cq_data::{DataStats, Database, FxHashMap, IndexCatalog, Relation};
 use cq_engine::bind::EvalError;
 use cq_engine::CancelToken;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The process-wide planner behind the facade functions.
@@ -111,23 +113,30 @@ pub fn decide(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<(bool, QueryPlan), EvalError> {
-    let cat = catalog_for(db);
-    with_global_planner(|p| decide_with_catalog(p, q, db, &cat))
+    with_global_planner(|p| EvalCtx::new().decide(p, q, db))
 }
 
 /// [`decide`] with an explicit planner and index catalog: plans from
 /// the catalog's memoized statistics and executes on the warm path.
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).decide(planner, q, db)`"
+)]
 pub fn decide_with_catalog(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<(bool, QueryPlan), EvalError> {
-    decide_with_catalog_cancel(planner, q, db, catalog, &CancelToken::never())
+    EvalCtx::new().with_catalog(catalog).decide(planner, q, db)
 }
 
 /// [`decide_with_catalog`] under a [`CancelToken`]: a tripped deadline
 /// or probe aborts mid-execution with [`EvalError::Cancelled`].
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).with_cancel(cancel).decide(planner, q, db)`"
+)]
 pub fn decide_with_catalog_cancel(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
@@ -135,10 +144,10 @@ pub fn decide_with_catalog_cancel(
     catalog: &IndexCatalog,
     cancel: &CancelToken,
 ) -> Result<(bool, QueryPlan), EvalError> {
-    let stats = catalog.stats(db);
-    let plan = planner.plan(q, Task::Decide, &stats);
-    let out = execute_with_catalog_cancel(&plan, q, db, catalog, cancel)?;
-    Ok((out.as_decision().expect("decide plan yields decision"), plan))
+    EvalCtx::new()
+        .with_catalog(catalog)
+        .with_cancel(cancel.clone())
+        .decide(planner, q, db)
 }
 
 /// [`decide`] with an explicit planner and pre-collected statistics.
@@ -156,21 +165,28 @@ pub fn decide_with(
 /// Count `|q(D)|` with the dichotomy-optimal algorithm; returns the
 /// count and the plan that ran.
 pub fn count(q: &ConjunctiveQuery, db: &Database) -> Result<(u64, QueryPlan), EvalError> {
-    let cat = catalog_for(db);
-    with_global_planner(|p| count_with_catalog(p, q, db, &cat))
+    with_global_planner(|p| EvalCtx::new().count(p, q, db))
 }
 
 /// [`count`] with an explicit planner and index catalog.
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).count(planner, q, db)`"
+)]
 pub fn count_with_catalog(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<(u64, QueryPlan), EvalError> {
-    count_with_catalog_cancel(planner, q, db, catalog, &CancelToken::never())
+    EvalCtx::new().with_catalog(catalog).count(planner, q, db)
 }
 
 /// [`count_with_catalog`] under a [`CancelToken`].
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).with_cancel(cancel).count(planner, q, db)`"
+)]
 pub fn count_with_catalog_cancel(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
@@ -178,10 +194,7 @@ pub fn count_with_catalog_cancel(
     catalog: &IndexCatalog,
     cancel: &CancelToken,
 ) -> Result<(u64, QueryPlan), EvalError> {
-    let stats = catalog.stats(db);
-    let plan = planner.plan(q, Task::Count, &stats);
-    let out = execute_with_catalog_cancel(&plan, q, db, catalog, cancel)?;
-    Ok((out.as_count().expect("count plan yields count"), plan))
+    EvalCtx::new().with_catalog(catalog).with_cancel(cancel.clone()).count(planner, q, db)
 }
 
 /// [`count`] with an explicit planner and pre-collected statistics.
@@ -203,21 +216,28 @@ pub fn answers(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<(Relation, QueryPlan), EvalError> {
-    let cat = catalog_for(db);
-    with_global_planner(|p| answers_with_catalog(p, q, db, &cat))
+    with_global_planner(|p| EvalCtx::new().answers(p, q, db))
 }
 
 /// [`answers`] with an explicit planner and index catalog.
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).answers(planner, q, db)`"
+)]
 pub fn answers_with_catalog(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<(Relation, QueryPlan), EvalError> {
-    answers_with_catalog_cancel(planner, q, db, catalog, &CancelToken::never())
+    EvalCtx::new().with_catalog(catalog).answers(planner, q, db)
 }
 
 /// [`answers_with_catalog`] under a [`CancelToken`].
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).with_cancel(cancel).answers(planner, q, db)`"
+)]
 pub fn answers_with_catalog_cancel(
     planner: &mut Planner,
     q: &ConjunctiveQuery,
@@ -225,14 +245,10 @@ pub fn answers_with_catalog_cancel(
     catalog: &IndexCatalog,
     cancel: &CancelToken,
 ) -> Result<(Relation, QueryPlan), EvalError> {
-    let stats = catalog.stats(db);
-    let plan = planner.plan(q, Task::Answers, &stats);
-    match execute_with_catalog_cancel(&plan, q, db, catalog, cancel)? {
-        // the facade keeps its materialized signature: drain the stream
-        // into the normalized relation callers and oracles expect
-        Output::Answers(a) => Ok((a.collect()?, plan)),
-        other => unreachable!("answers plan yielded {other:?}"),
-    }
+    EvalCtx::new()
+        .with_catalog(catalog)
+        .with_cancel(cancel.clone())
+        .answers(planner, q, db)
 }
 
 /// [`answers`] with an explicit planner and pre-collected statistics.
@@ -304,26 +320,34 @@ pub fn batch_tasks_with_workers<'q>(
     db: &Database,
     workers: usize,
 ) -> Vec<Result<(Output, QueryPlan), EvalError>> {
-    batch_tasks_with_catalog(items, db, &catalog_for(db), workers)
+    EvalCtx::new().batch_tasks(items, db, workers)
 }
 
 /// [`batch_tasks_with_workers`] against an explicit [`IndexCatalog`]
 /// instead of the process-wide registry's — for callers that pin a
 /// catalog per database (e.g. one per server tenant), so the batch both
 /// profits from and feeds that catalog's warm indexes.
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).batch_tasks(items, db, workers)`"
+)]
 pub fn batch_tasks_with_catalog<'q>(
     items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
     db: &Database,
     catalog: &IndexCatalog,
     workers: usize,
 ) -> Vec<Result<(Output, QueryPlan), EvalError>> {
-    batch_tasks_with_catalog_cancel(items, db, catalog, workers, &CancelToken::never())
+    EvalCtx::new().with_catalog(catalog).batch_tasks(items, db, workers)
 }
 
 /// [`batch_tasks_with_catalog`] under one shared [`CancelToken`]: all
 /// workers poll the same token, so one deadline bounds the whole
 /// batch; items cancelled mid-run report [`EvalError::Cancelled`]
 /// individually.
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).with_cancel(cancel).batch_tasks(items, db, workers)`"
+)]
 pub fn batch_tasks_with_catalog_cancel<'q>(
     items: impl IntoIterator<Item = (&'q ConjunctiveQuery, Task)>,
     db: &Database,
@@ -331,50 +355,10 @@ pub fn batch_tasks_with_catalog_cancel<'q>(
     workers: usize,
     cancel: &CancelToken,
 ) -> Vec<Result<(Output, QueryPlan), EvalError>> {
-    let items: Vec<(&ConjunctiveQuery, Task)> = items.into_iter().collect();
-    if items.is_empty() {
-        return Vec::new();
-    }
-    // plan the whole batch in one pass through the shared planner —
-    // repeated shapes hit the plan cache, and execution below never
-    // needs the planner lock
-    let stats = catalog.stats(db);
-    let plans: Vec<QueryPlan> = with_global_planner(|p| {
-        items.iter().map(|(q, task)| p.plan(q, *task, &stats)).collect()
-    });
-
-    let run = |i: usize| -> Result<(Output, QueryPlan), EvalError> {
-        let (q, _) = items[i];
-        let plan = &plans[i];
-        execute_with_catalog_cancel(plan, q, db, catalog, cancel)
-            .map(|out| (out, plan.clone()))
-    };
-
-    let workers = workers.min(items.len());
-    if workers <= 1 {
-        return (0..items.len()).map(run).collect();
-    }
-    // work-stealing over a shared cursor: homogeneous batches split
-    // evenly, skewed ones keep every worker busy until the end
-    let results: Vec<OnceLock<Result<(Output, QueryPlan), EvalError>>> =
-        (0..items.len()).map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let filled = results[i].set(run(i));
-                debug_assert!(filled.is_ok(), "cursor indices are claimed once");
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every index was claimed by a worker"))
-        .collect()
+    EvalCtx::new()
+        .with_catalog(catalog)
+        .with_cancel(cancel.clone())
+        .batch_tasks(items, db, workers)
 }
 
 #[cfg(test)]
@@ -531,8 +515,9 @@ mod tests {
         let db = path_database(3, 30, &mut seeded_rng(24));
         let q = zoo::path_join(3);
         let catalog = IndexCatalog::new();
+        let ctx = EvalCtx::new().with_catalog(&catalog);
         let items: Vec<_> = (0..6).map(|_| (&q, Task::Answers)).collect();
-        let results = batch_tasks_with_catalog(items.clone(), &db, &catalog, 4);
+        let results = ctx.batch_tasks(items.clone(), &db, 4);
         let (want, _) = answers(&q, &db).unwrap();
         for r in results {
             match r.unwrap().0 {
@@ -544,7 +529,7 @@ mod tests {
         assert!(snap.misses > 0, "the batch must build into the explicit catalog");
         // a second batch on the same catalog is all-warm: no new builds
         let misses_before = snap.misses;
-        let _ = batch_tasks_with_catalog(items, &db, &catalog, 4);
+        let _ = ctx.batch_tasks(items, &db, 4);
         assert_eq!(catalog.snapshot().misses, misses_before, "second batch is warm");
     }
 

@@ -169,7 +169,7 @@ pub fn execute(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<Output, EvalError> {
-    execute_with_catalog(plan, q, db, &IndexCatalog::new())
+    execute_in(plan, q, db, &IndexCatalog::new(), &CancelToken::never())
 }
 
 /// Execute `plan` for `q` on `db`, every index acquisition routed
@@ -182,13 +182,17 @@ pub fn execute(
 ///
 /// The catalog is internally locked: concurrent executions may share
 /// one catalog (and one database) freely.
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).execute(plan, q, db)`"
+)]
 pub fn execute_with_catalog(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,
     catalog: &IndexCatalog,
 ) -> Result<Output, EvalError> {
-    execute_with_catalog_cancel(plan, q, db, catalog, &CancelToken::never())
+    execute_in(plan, q, db, catalog, &CancelToken::never())
 }
 
 /// [`execute_with_catalog`] under a [`CancelToken`]: every operator's
@@ -197,7 +201,24 @@ pub fn execute_with_catalog(
 /// running to the plan's full cost bound. The token is checked once
 /// up front, so an already-expired deadline cancels deterministically
 /// before any work — whatever the plan.
+#[deprecated(
+    since = "0.3.0",
+    note = "build an `EvalCtx` instead: `EvalCtx::new().with_catalog(catalog).with_cancel(cancel).execute(plan, q, db)`"
+)]
 pub fn execute_with_catalog_cancel(
+    plan: &QueryPlan,
+    q: &ConjunctiveQuery,
+    db: &Database,
+    catalog: &IndexCatalog,
+    cancel: &CancelToken,
+) -> Result<Output, EvalError> {
+    execute_in(plan, q, db, catalog, cancel)
+}
+
+/// The one executor spine behind [`EvalCtx::execute`](crate::EvalCtx)
+/// and the deprecated suffix entry points: dispatch `plan.task` to the
+/// operator arms under `catalog` and `cancel`.
+pub(crate) fn execute_in(
     plan: &QueryPlan,
     q: &ConjunctiveQuery,
     db: &Database,

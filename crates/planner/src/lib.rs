@@ -26,6 +26,9 @@
 //!   hypothesis ruling out anything faster.
 //! * [`eval`] — the one-call facade (`decide` / `count` / `answers` /
 //!   `explain`) used by the facade crate, examples, and experiments.
+//! * [`ctx`] — [`EvalCtx`], the options struct (catalog, cancel token,
+//!   budget) behind the facade; build one instead of reaching for the
+//!   deprecated `*_with_catalog`/`*_with_catalog_cancel` suffix ladder.
 //!
 //! ## Example
 //!
@@ -47,6 +50,7 @@
 //! ```
 
 pub mod cache;
+pub mod ctx;
 pub mod eval;
 pub mod execute;
 pub mod explain;
@@ -55,6 +59,11 @@ pub mod ir;
 pub mod planner;
 
 pub use cache::{CacheStats, PlanCache};
+pub use ctx::{EvalBudget, EvalCtx};
+// `execute_with_catalog` stays re-exported (deprecated) so existing
+// `cq_planner::execute_with_catalog` paths keep resolving while they
+// migrate to `EvalCtx`.
+#[allow(deprecated)]
 pub use execute::{
     build_lex_access, build_lex_access_with_catalog, execute, execute_with_catalog,
     Output,

@@ -3,6 +3,7 @@
 //! ```text
 //! cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] [--data-dir PATH]
 //!     [--metrics-interval SECS] [--slow-query-ms N]
+//!     [--group-commit-ms N] [--auto-save-bytes N] [--replica-of HOST:PORT]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7878`; use port 0 for an ephemeral port),
@@ -25,9 +26,26 @@
 //! are write-ahead logged, and `SAVE` checkpoints a tenant into a
 //! fresh snapshot. Without it, behavior is exactly the in-memory
 //! server of earlier releases.
+//!
+//! `--group-commit-ms N` turns on group commit: each acked mutation is
+//! fsynced, with concurrent committers coalesced into one flush whose
+//! leader waits up to N ms (0 = coalesce without waiting) — an ack
+//! then means *on stable storage*. `--auto-save-bytes N` checkpoints a
+//! tenant automatically once its write-ahead log reaches N bytes, so
+//! logs (and recovery time) stay bounded without manual `SAVE`s. Both
+//! require `--data-dir`.
+//!
+//! `--replica-of HOST:PORT` runs this process as a read-only replica:
+//! it pulls snapshots and WAL segments from the primary at that
+//! address over the `SHIP` verb, applies them continuously into warm
+//! in-memory tenants, and serves reads (`DECIDE`/`COUNT`/`ANSWERS`,
+//! cursors, `EXPLAIN`, `STATS`, `METRICS`) while refusing mutations
+//! with `ERR read-only` naming the primary. Per-tenant replication
+//! gauges `replica.lag_bytes` / `replica.epoch` report its position.
 
+use cq_server::replica;
 use cq_server::server::Server;
-use cq_server::state::ServerState;
+use cq_server::state::{ServerState, WritePolicy};
 use cq_storage::{FaultPlan, Store};
 use std::sync::Arc;
 
@@ -38,6 +56,9 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut metrics_interval: Option<u64> = None;
     let mut slow_query_ms: Option<u64> = None;
+    let mut group_commit_ms: Option<u64> = None;
+    let mut auto_save_bytes: Option<u64> = None;
+    let mut replica_of: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,12 +86,45 @@ fn main() {
                     .unwrap_or_else(|_| usage("--slow-query-ms takes milliseconds"));
                 slow_query_ms = Some(ms);
             }
+            "--group-commit-ms" => {
+                let ms: u64 = expect_value(&mut args, "--group-commit-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--group-commit-ms takes milliseconds"));
+                group_commit_ms = Some(ms);
+            }
+            "--auto-save-bytes" => {
+                let bytes: u64 = expect_value(&mut args, "--auto-save-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--auto-save-bytes takes a byte count"));
+                if bytes == 0 {
+                    usage("--auto-save-bytes must be at least 1");
+                }
+                auto_save_bytes = Some(bytes);
+            }
+            "--replica-of" => {
+                replica_of = Some(expect_value(&mut args, "--replica-of"));
+            }
             "--help" | "-h" => {
                 println!("usage: {USAGE}");
                 return;
             }
             other => usage(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if replica_of.is_some() {
+        // a replica's state is a mirror of the primary's, rebuilt on
+        // boot by the puller — combining it with local durability (or
+        // local durability knobs) would create a second write source
+        if data_dir.is_some() {
+            usage("--replica-of runs in-memory; it conflicts with --data-dir");
+        }
+        if group_commit_ms.is_some() || auto_save_bytes.is_some() {
+            usage("--group-commit-ms / --auto-save-bytes need --data-dir, which a replica cannot have");
+        }
+    }
+    if data_dir.is_none() && (group_commit_ms.is_some() || auto_save_bytes.is_some()) {
+        usage("--group-commit-ms / --auto-save-bytes require --data-dir");
     }
 
     // chaos harness: CQ_FAULT_PLAN=<point:n[:times],...> injects
@@ -120,6 +174,21 @@ fn main() {
         }
     };
 
+    state.set_write_policy(WritePolicy {
+        group_commit: group_commit_ms.map(std::time::Duration::from_millis),
+        auto_save_bytes,
+    });
+    if let Some(ms) = group_commit_ms {
+        println!("cqd group commit enabled ({ms}ms window)");
+    }
+    if let Some(bytes) = auto_save_bytes {
+        println!("cqd auto-checkpoint enabled at {bytes} wal bytes");
+    }
+    let _replica = replica_of.as_ref().map(|primary| {
+        println!("cqd replicating from {primary} (read-only)");
+        replica::start(Arc::clone(&state), primary.clone(), replica::DEFAULT_POLL)
+    });
+
     if let Some(ms) = slow_query_ms {
         state.metrics().slowlog().set_threshold(std::time::Duration::from_millis(ms));
         println!("cqd slow-query log enabled at {ms}ms");
@@ -162,7 +231,9 @@ fn main() {
 }
 
 const USAGE: &str = "cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] \
-                     [--data-dir PATH] [--metrics-interval SECS] [--slow-query-ms N]";
+                     [--data-dir PATH] [--metrics-interval SECS] [--slow-query-ms N] \
+                     [--group-commit-ms N] [--auto-save-bytes N] \
+                     [--replica-of HOST:PORT]";
 
 fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| usage(&format!("{flag} needs a value")))

@@ -1,7 +1,7 @@
 //! A small blocking client for the wire protocol, used by `cqsh`, the
 //! integration tests, and anyone driving `cqd` from Rust.
 
-use crate::protocol::{Reply, DATA_PREFIX, END_KEYWORD};
+use crate::protocol::{BudgetSetting, Reply, DATA_PREFIX, END_KEYWORD};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -161,6 +161,13 @@ impl Client {
     /// `on_page` per page — constant client memory no matter the
     /// result size. Returns the total row count, or the server's error
     /// reply if a page fails mid-iteration.
+    ///
+    /// The cursor is closed on every exit path — exhaustion, a
+    /// server-side error reply, and an `on_page` panic (the panic
+    /// resumes after the `CLOSE`) — so a session never leaks cursor
+    /// slots through this helper. Only an I/O error skips the close:
+    /// the connection (and with it the server-side session registry)
+    /// is gone anyway.
     pub fn for_each_page(
         &mut self,
         id: u64,
@@ -172,13 +179,92 @@ impl Client {
             match self.fetch(id, page)? {
                 Ok((rows, eof)) => {
                     total += rows.len() as u64;
-                    on_page(&rows);
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            on_page(&rows)
+                        }));
+                    if let Err(panic) = outcome {
+                        let _ = self.close_cursor(id);
+                        std::panic::resume_unwind(panic);
+                    }
                     if eof {
+                        self.close_cursor(id)?;
                         return Ok(Ok(total));
                     }
                 }
-                Err(reply) => return Ok(Err(reply)),
+                Err(reply) => {
+                    // best-effort: the error may be the cursor itself
+                    // being gone (stale, evicted), in which case the
+                    // close's ERR is expected and ignored
+                    let _ = self.close_cursor(id);
+                    return Ok(Err(reply));
+                }
             }
+        }
+    }
+
+    // ---- typed admin surface ------------------------------------
+    //
+    // One method per admin verb, so callers never format raw request
+    // lines (and never typo the grammar). Each returns the server's
+    // framed reply; inspect `Reply::is_ok` / `Reply::err_kind` for the
+    // typed outcome — the kinds are the same `ErrKind` enum the server
+    // renders from, on both ends of the wire.
+
+    /// Create a tenant: `CREATE DB <name>`.
+    pub fn create_db(&mut self, db: &str) -> std::io::Result<Reply> {
+        self.request(&format!("CREATE DB {db}"))
+    }
+
+    /// Select the session's tenant: `USE <name>`.
+    pub fn use_db(&mut self, db: &str) -> std::io::Result<Reply> {
+        self.request(&format!("USE {db}"))
+    }
+
+    /// Set or clear a tenant's admission-control budget:
+    /// `SET BUDGET <db> MAX-EXPONENT <e> | MAX-ROWS <n> | NONE`.
+    pub fn set_budget(
+        &mut self,
+        db: &str,
+        setting: BudgetSetting,
+    ) -> std::io::Result<Reply> {
+        self.request(&format!("SET BUDGET {db} {setting}"))
+    }
+
+    /// Set (`Some(ms)`) or clear (`None`) a tenant's per-query
+    /// deadline: `SET TIMEOUT <db> <ms>|NONE`.
+    pub fn set_timeout(&mut self, db: &str, ms: Option<u64>) -> std::io::Result<Reply> {
+        match ms {
+            Some(ms) => self.request(&format!("SET TIMEOUT {db} {ms}")),
+            None => self.request(&format!("SET TIMEOUT {db} NONE")),
+        }
+    }
+
+    /// Checkpoint the session's tenant into a fresh snapshot: `SAVE`.
+    pub fn save(&mut self) -> std::io::Result<Reply> {
+        self.request("SAVE")
+    }
+
+    /// Repair a degraded (read-only) tenant: `RESUME <db>`.
+    pub fn resume(&mut self, db: &str) -> std::io::Result<Reply> {
+        self.request(&format!("RESUME {db}"))
+    }
+
+    /// Server or per-tenant statistics: `STATS [<db>]`. Data lines
+    /// carry the report.
+    pub fn stats(&mut self, db: Option<&str>) -> std::io::Result<Reply> {
+        match db {
+            Some(db) => self.request(&format!("STATS {db}")),
+            None => self.request("STATS"),
+        }
+    }
+
+    /// Dump the metrics registry: `METRICS [<db>]`. Data lines carry
+    /// `scope metric value` triples.
+    pub fn metrics(&mut self, db: Option<&str>) -> std::io::Result<Reply> {
+        match db {
+            Some(db) => self.request(&format!("METRICS {db}")),
+            None => self.request("METRICS"),
         }
     }
 

@@ -52,8 +52,8 @@
 //!
 //! let server = Server::bind("127.0.0.1:0", 2).unwrap();
 //! let mut c = Client::connect(server.local_addr()).unwrap();
-//! c.request("CREATE DB demo").unwrap();
-//! c.request("USE demo").unwrap();
+//! c.create_db("demo").unwrap();
+//! c.use_db("demo").unwrap();
 //! c.load("R", 2, ["1 10", "2 10"]).unwrap();
 //! c.load("S", 2, ["10 7"]).unwrap();
 //! let r = c.request("COUNT q(x, z) :- R(x, y), S(y, z)").unwrap();
@@ -63,15 +63,71 @@
 //!
 //! // a per-tenant deadline: a zero timeout is already past when
 //! // evaluation starts, so the trip is deterministic — and structured
-//! c.request("SET TIMEOUT demo 0").unwrap();
+//! c.set_timeout("demo", Some(0)).unwrap();
 //! let r = c.request("COUNT q(x, z) :- R(x, y), S(y, z)").unwrap();
-//! assert!(r.terminal.starts_with("ERR timeout:"));
+//! assert_eq!(r.err_kind(), Some(cq_server::ErrKind::Timeout));
 //! assert!(r.terminal.contains("plan cost m^"));
-//! c.request("SET TIMEOUT demo NONE").unwrap();
+//! c.set_timeout("demo", None).unwrap();
 //! let r = c.request("COUNT q(x, z) :- R(x, y), S(y, z)").unwrap();
 //! assert_eq!(r.terminal, "OK 2");
 //! c.quit().unwrap();
 //! server.shutdown();
+//! ```
+//!
+//! ## Primary + replica
+//!
+//! A durable server can be followed by any number of read-only
+//! replicas: each replica pulls epoch-stamped snapshots and WAL
+//! segments over the `SHIP` verb and serves `ANSWERS` against warm
+//! local catalogs, while mutations answer `ERR read-only` naming the
+//! primary (`cqd --replica-of <addr>` wraps exactly this):
+//!
+//! ```
+//! use cq_server::{client::Client, server::Server, state::ServerState};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! // a durable primary over a scratch directory
+//! let dir = std::env::temp_dir().join(format!("cq_quickstart_{}", std::process::id()));
+//! let store = cq_storage::Store::open_dir(&dir).unwrap();
+//! let (state, _report) = ServerState::recover(store).unwrap();
+//! let primary = Server::bind_with_state("127.0.0.1:0", 2, Arc::new(state)).unwrap();
+//! let mut p = Client::connect(primary.local_addr()).unwrap();
+//! p.create_db("demo").unwrap();
+//! p.use_db("demo").unwrap();
+//! p.load("R", 2, ["1 10", "2 10"]).unwrap();
+//!
+//! // an in-memory replica pulling from the primary
+//! let replica_state = Arc::new(ServerState::new());
+//! let puller = cq_server::replica::start(
+//!     Arc::clone(&replica_state),
+//!     primary.local_addr().to_string(),
+//!     Duration::from_millis(20),
+//! );
+//! let replica = Server::bind_with_state("127.0.0.1:0", 2, replica_state).unwrap();
+//! let mut r = Client::connect(replica.local_addr()).unwrap();
+//!
+//! // wait for catch-up, then reads serve and writes refuse
+//! let deadline = std::time::Instant::now() + Duration::from_secs(10);
+//! let q = "ANSWERS q(x, y) :- R(x, y)";
+//! let want = p.request(q).unwrap().data;
+//! loop {
+//!     if r.use_db("demo").unwrap().is_ok() {
+//!         let got = r.request(q).unwrap();
+//!         if got.is_ok() && got.data == want {
+//!             break; // byte-identical answers
+//!         }
+//!     }
+//!     assert!(std::time::Instant::now() < deadline, "replica never caught up");
+//!     std::thread::sleep(Duration::from_millis(20));
+//! }
+//! let refused = r.request("INSERT R(9, 9)").unwrap();
+//! assert_eq!(refused.err_kind(), Some(cq_server::ErrKind::ReadOnly));
+//!
+//! puller.stop();
+//! replica.shutdown();
+//! primary.shutdown();
+//! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 //!
 //! Over the wire, the same session is a plain text conversation — see
@@ -81,11 +137,13 @@
 pub mod client;
 pub mod metrics;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod state;
 
 pub use client::Client;
 pub use metrics::{ServerMetrics, SessionMetrics};
 pub use protocol::{Command, ErrKind, Reply};
+pub use replica::ReplicaHandle;
 pub use server::{Server, Session};
 pub use state::{Budget, ServerState, Tenant};

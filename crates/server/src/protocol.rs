@@ -32,6 +32,8 @@
 //!          | SET TIMEOUT <name> <ms>                -- per-query evaluation deadline
 //!          | SET TIMEOUT <name> NONE                -- clear the deadline
 //!          | RESUME <name>                          -- restore a degraded tenant to read-write
+//!          | SHIP                                   -- replication: list tenant ship positions
+//!          | SHIP <db> <epoch> <offset>             -- replication: next snapshot/WAL segment
 //!          | QUIT
 //! ```
 //!
@@ -113,9 +115,41 @@ pub enum ErrKind {
     StaleCursor,
     /// `CURSOR` beyond the per-session open-cursor limit.
     CursorLimit,
+    /// A mutation verb on a read-only replica (`cqd --replica-of`);
+    /// the message names the primary that accepts writes.
+    ReadOnly,
     /// A command handler panicked; the session survives.
     Internal,
 }
+
+/// Every error kind, in declaration order — the shared vocabulary both
+/// wire ends iterate (the client's [`ErrKind::parse`], kind-exhaustive
+/// tests).
+pub const ALL_ERR_KINDS: [ErrKind; 23] = [
+    ErrKind::UnknownCommand,
+    ErrKind::BadUtf8,
+    ErrKind::Usage,
+    ErrKind::BadName,
+    ErrKind::Exists,
+    ErrKind::NoSuchDb,
+    ErrKind::NoDb,
+    ErrKind::BadValue,
+    ErrKind::ArityMismatch,
+    ErrKind::NoSuchRelation,
+    ErrKind::Parse,
+    ErrKind::Eval,
+    ErrKind::Storage,
+    ErrKind::Budget,
+    ErrKind::Timeout,
+    ErrKind::Degraded,
+    ErrKind::Busy,
+    ErrKind::Unsupported,
+    ErrKind::NoSuchCursor,
+    ErrKind::StaleCursor,
+    ErrKind::CursorLimit,
+    ErrKind::ReadOnly,
+    ErrKind::Internal,
+];
 
 impl ErrKind {
     /// The wire spelling of this kind.
@@ -142,8 +176,16 @@ impl ErrKind {
             ErrKind::NoSuchCursor => "no-such-cursor",
             ErrKind::StaleCursor => "stale-cursor",
             ErrKind::CursorLimit => "cursor-limit",
+            ErrKind::ReadOnly => "read-only",
             ErrKind::Internal => "internal",
         }
+    }
+
+    /// The kind spelled `s` on the wire, if any — the client-side half
+    /// of the shared vocabulary ([`Reply::err_kind`] uses this to type
+    /// an `ERR <kind>: …` terminal).
+    pub fn parse(s: &str) -> Option<ErrKind> {
+        ALL_ERR_KINDS.iter().copied().find(|k| k.as_str() == s)
     }
 }
 
@@ -195,6 +237,14 @@ impl Reply {
     /// Is the terminal line an `OK`?
     pub fn is_ok(&self) -> bool {
         self.terminal.starts_with("OK")
+    }
+
+    /// The typed kind of an `ERR <kind>: …` terminal; `None` for `OK`
+    /// replies (and for kinds this build does not know, which a
+    /// version-skewed peer could send).
+    pub fn err_kind(&self) -> Option<ErrKind> {
+        let rest = self.terminal.strip_prefix("ERR ")?;
+        ErrKind::parse(rest.split(':').next()?.trim())
     }
 
     /// The text after `OK `, if this is a success reply.
@@ -325,6 +375,20 @@ pub enum Command {
     /// Restore a degraded (read-only) tenant to read-write by rolling
     /// a fresh WAL segment (checkpoint + log reset).
     Resume(String),
+    /// Replication pull: bare `SHIP` lists every tenant's shippable
+    /// position (`<name> <epoch> <wal-len>` lines); `SHIP <db> <epoch>
+    /// <offset>` ships the next segment past the replica's position —
+    /// WAL record bytes when the epoch matches the primary's live log,
+    /// the whole snapshot otherwise.
+    Ship {
+        /// `None` for the bare listing form.
+        db: Option<String>,
+        /// The epoch the replica has applied through (listing: unused).
+        epoch: u64,
+        /// The WAL byte offset the replica has fetched through
+        /// (listing: unused).
+        offset: u64,
+    },
     /// Close the session.
     Quit,
 }
@@ -339,6 +403,19 @@ pub enum BudgetSetting {
     MaxRows(u64),
     /// `NONE`: clear both caps.
     Clear,
+}
+
+impl fmt::Display for BudgetSetting {
+    /// The wire spelling of the value side — what
+    /// [`Client::set_budget`](crate::Client::set_budget) sends after
+    /// `SET BUDGET <db> `.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetSetting::MaxExponent(e) => write!(f, "MAX-EXPONENT {e}"),
+            BudgetSetting::MaxRows(n) => write!(f, "MAX-ROWS {n}"),
+            BudgetSetting::Clear => write!(f, "NONE"),
+        }
+    }
 }
 
 /// Parse a request line (already trimmed, non-empty).
@@ -457,6 +534,16 @@ pub fn parse_command(line: &str) -> Result<Command, Reply> {
             }
         }
         "SET" => parse_set(rest),
+        "SHIP" => {
+            if rest.is_empty() {
+                return Ok(Command::Ship { db: None, epoch: 0, offset: 0 });
+            }
+            let (name, pos) = split_word(rest);
+            let db = valid_db_name(name)?;
+            let (epoch, offset) =
+                parse_two_u64(pos, "usage: SHIP | SHIP <db> <epoch> <offset>")?;
+            Ok(Command::Ship { db: Some(db), epoch, offset })
+        }
         "RESUME" => Ok(Command::Resume(valid_db_name(rest)?)),
         "QUIT" => expect_no_args(rest, Command::Quit),
         _ => Err(Reply::err(ErrKind::UnknownCommand, format!("`{verb}`"))),
@@ -636,6 +723,37 @@ pub fn parse_row(line: &str) -> Result<Vec<Val>, String> {
         .filter(|t| !t.is_empty())
         .map(|t| t.parse::<Val>().map_err(|_| t.to_string()))
         .collect()
+}
+
+/// Encode bytes as lowercase hex for `SHIP` data lines (the wire is
+/// line-based text; raw WAL/snapshot bytes must not contain newlines).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        use std::fmt::Write as _;
+        write!(s, "{b:02x}").expect("writing to a String cannot fail");
+    }
+    s
+}
+
+/// Decode a `SHIP` hex data line back to bytes. Returns the offending
+/// character on failure.
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex line".to_string());
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16);
+        let lo = (pair[1] as char).to_digit(16);
+        match (hi, lo) {
+            (Some(hi), Some(lo)) => out.push((hi * 16 + lo) as u8),
+            _ => return Err(format!("`{}` is not hex", String::from_utf8_lossy(pair))),
+        }
+    }
+    Ok(out)
 }
 
 /// Render one answer row for the wire: values space-separated, the
@@ -895,6 +1013,48 @@ mod tests {
         assert_eq!(render_row(&[]), "()");
         let rel = Relation::from_pairs(vec![(2, 1), (1, 9)]);
         assert_eq!(render_rows(&rel), vec!["1 9", "2 1"]);
+    }
+
+    #[test]
+    fn ship_parses_both_forms() {
+        assert_eq!(
+            parse_command("SHIP").unwrap(),
+            Command::Ship { db: None, epoch: 0, offset: 0 }
+        );
+        assert_eq!(
+            parse_command("ship social 3 4096").unwrap(),
+            Command::Ship { db: Some("social".into()), epoch: 3, offset: 4096 }
+        );
+        let e = parse_command("SHIP social 3").unwrap_err();
+        assert_eq!(e.err_kind(), Some(ErrKind::Usage));
+        let e = parse_command("SHIP social three 4096").unwrap_err();
+        assert_eq!(e.err_kind(), Some(ErrKind::Usage));
+        let e = parse_command("SHIP ../evil 0 0").unwrap_err();
+        assert_eq!(e.err_kind(), Some(ErrKind::BadName));
+    }
+
+    #[test]
+    fn hex_roundtrips_arbitrary_segment_bytes() {
+        let bytes: Vec<u8> = (0..=255u8).collect();
+        let line = hex_encode(&bytes);
+        assert!(line.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(hex_decode(&line).unwrap(), bytes);
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("abc").is_err(), "odd length must refuse");
+        assert!(hex_decode("zz").is_err(), "non-hex must refuse");
+    }
+
+    #[test]
+    fn err_kinds_roundtrip_the_shared_vocabulary() {
+        for kind in ALL_ERR_KINDS {
+            assert_eq!(ErrKind::parse(kind.as_str()), Some(kind));
+            let reply = Reply::err(kind, "detail");
+            assert_eq!(reply.err_kind(), Some(kind), "{}", reply.terminal);
+        }
+        assert_eq!(ErrKind::parse("not-a-kind"), None);
+        // free-text ERR terminals (pre-typed or foreign) degrade to None
+        let untyped = Reply { data: vec![], terminal: "ERR something odd".into() };
+        assert_eq!(untyped.err_kind(), None);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! [`IndexCatalog`](cq_data::IndexCatalog), so repeated query shapes
 //! skip classification and repeated queries on an unchanged tenant skip
 //! every index build. `BATCH` blocks additionally fan out over
-//! [`eval::batch_tasks_with_catalog`] — the pinned catalog and one
-//! planner pass shared by the whole batch.
+//! [`EvalCtx::batch_tasks`] — the pinned catalog and one planner pass
+//! shared by the whole batch.
 //!
 //! Sessions never panic the connection: command dispatch is wrapped in
 //! `catch_unwind`, and a panicking handler yields `ERR internal` with
@@ -18,19 +18,15 @@
 
 use crate::metrics::{self, SessionMetrics, SERVER_SCOPE};
 use crate::protocol::{
-    parse_command, parse_row, query_task, render_row, render_rows, BudgetSetting,
-    Command, ErrKind, Reply, DATA_PREFIX, END_KEYWORD,
+    hex_encode, parse_command, parse_row, query_task, render_row, render_rows,
+    BudgetSetting, Command, ErrKind, Reply, DATA_PREFIX, END_KEYWORD,
 };
-use crate::state::{Budget, ServerState, StateError, Tenant};
+use crate::state::{Budget, ServerState, ShipSegment, StateError, Tenant};
 use cq_core::{parse_query, ConjunctiveQuery, ParseError};
 use cq_data::{Relation, Val};
 use cq_engine::{CancelToken, EvalError};
 use cq_obs::SlowQuery;
-use cq_planner::{
-    eval,
-    execute::{execute_with_catalog_cancel, Answers},
-    Output, QueryPlan, Task,
-};
+use cq_planner::{eval, execute::Answers, EvalBudget, EvalCtx, Output, QueryPlan, Task};
 use cq_storage::WalRecord;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -53,6 +49,17 @@ pub const STREAM_CHUNK_ROWS: usize = 256;
 /// artifacts (enumerator structures, direct-access indexes), so an
 /// unbounded registry would let one client hold unbounded memory.
 pub const MAX_CURSORS_PER_SESSION: usize = 16;
+
+/// Cap on raw bytes per `SHIP <db> <epoch> <offset>` WAL reply: the
+/// segment transfer is pull-driven (the replica issues a `SHIP` per
+/// segment, exactly like `FETCH` pages a cursor), so this bounds both
+/// the primary's per-reply memory and how long the tenant read lock is
+/// held reading bytes — a slow replica backpressures by pulling slower,
+/// never by ballooning the primary.
+pub const SHIP_MAX_BYTES: u64 = 1 << 20;
+
+/// Raw bytes per `SHIP` hex data line (wire lines are 2x this).
+const SHIP_LINE_BYTES: usize = 2048;
 
 /// An open cursor: a paused answer stream pinned to the tenant
 /// snapshot generation it was planned against. The stream holds only
@@ -395,6 +402,7 @@ impl Session {
             Command::SetBudget { .. } => ("set-budget", false),
             Command::SetTimeout { .. } => ("set-timeout", false),
             Command::Resume(_) => ("resume", false),
+            Command::Ship { .. } => ("ship", false),
             Command::Quit => ("quit", false),
         }
     }
@@ -406,14 +414,18 @@ impl Session {
                 self.finished = true;
                 Reply::ok("bye")
             }
-            Command::CreateDb(name) => match self.state.create_db(&name) {
+            Command::CreateDb(name) => match self.replica_guard().and_then(|()| {
+                self.state.create_db(&name).map_err(|e| match e {
+                    StateError::Exists => Reply::err(
+                        ErrKind::Exists,
+                        format!("database `{name}` already exists"),
+                    ),
+                    StateError::Storage(msg) => Reply::err(ErrKind::Storage, msg),
+                    StateError::NoSuchDb => unreachable!("create_db never reports this"),
+                })
+            }) {
                 Ok(_) => Reply::ok(format!("created {name}")),
-                Err(StateError::Exists) => Reply::err(
-                    ErrKind::Exists,
-                    format!("database `{name}` already exists"),
-                ),
-                Err(StateError::Storage(msg)) => Reply::err(ErrKind::Storage, msg),
-                Err(StateError::NoSuchDb) => unreachable!("create_db never reports this"),
+                Err(reply) => reply,
             },
             Command::Use(name) => match self.state.tenant(&name) {
                 Ok(t) => {
@@ -441,6 +453,25 @@ impl Session {
             Command::SetBudget { db, setting } => self.set_budget(&db, setting),
             Command::SetTimeout { db, ms } => self.set_timeout(&db, ms),
             Command::Resume(db) => self.resume(&db),
+            Command::Ship { db, epoch, offset } => {
+                self.ship(db.as_deref(), epoch, offset)
+            }
+        }
+    }
+
+    /// The `ERR read-only` refusal when this server is a replica —
+    /// every mutating verb checks it before anything else, so a client
+    /// that writes to the wrong end of a pair is told where the
+    /// primary is.
+    fn replica_guard(&self) -> Result<(), Reply> {
+        match self.state.replica_of() {
+            Some(primary) => Err(Reply::err(
+                ErrKind::ReadOnly,
+                format!(
+                    "this server is a read-only replica of {primary}; send writes there"
+                ),
+            )),
+            None => Ok(()),
         }
     }
 
@@ -463,15 +494,57 @@ impl Session {
         }
     }
 
-    /// [`Session::tenant`], then refuse if the tenant is degraded:
-    /// mutations on a read-only tenant fail fast with `ERR degraded`
-    /// instead of touching the poisoned log.
+    /// [`Session::tenant`], then refuse if this server is a replica or
+    /// the tenant is degraded: mutations fail fast with `ERR read-only`
+    /// / `ERR degraded` instead of touching a log they must not write.
     fn writable(&mut self) -> Result<Arc<Tenant>, Reply> {
+        self.replica_guard()?;
         let tenant = self.tenant()?;
         match tenant.degraded_reason() {
             Some(reason) => Err(degraded_reply(tenant.name(), &reason)),
             None => Ok(tenant),
         }
+    }
+
+    /// The group-commit coalescing window mutations should wait on,
+    /// from the server's write policy (`None`: ack from the page
+    /// cache, the pre-group-commit behavior).
+    fn commit_window(&self) -> Option<Duration> {
+        self.state.write_policy().group_commit
+    }
+
+    /// Post-mutation bookkeeping: fold the WAL outcome into the reply
+    /// ([`Session::walled`]), then — when the mutation stood and the
+    /// policy asks for it — checkpoint automatically once the tenant's
+    /// log crosses `--auto-save-bytes`. An auto-checkpoint failure is
+    /// counted but does not fail the already-durable mutation (the log
+    /// is intact; the next mutation retries the checkpoint).
+    fn finish_mutation(
+        &mut self,
+        tenant: &Arc<Tenant>,
+        reply: Reply,
+        wal: std::io::Result<()>,
+    ) -> Reply {
+        let reply = Self::walled(tenant, reply, wal);
+        if !reply.is_ok() {
+            return reply;
+        }
+        let Some(limit) = self.state.write_policy().auto_save_bytes else {
+            return reply;
+        };
+        let Some(store) = self.state.store().cloned() else { return reply };
+        if tenant.wal_len().is_some_and(|len| len >= limit) {
+            let scope = self
+                .state
+                .metrics()
+                .registry()
+                .scope(&metrics::tenant_scope(tenant.name()));
+            match tenant.checkpoint(&store) {
+                Ok(_) => scope.counter("storage.auto-checkpoints").inc(),
+                Err(_) => scope.counter("storage.auto-checkpoint-failures").inc(),
+            }
+        }
+        reply
     }
 
     /// Fold a WAL-append outcome into a reply: a mutation that applied
@@ -502,7 +575,7 @@ impl Session {
             Ok(t) => t,
             Err(e) => return e,
         };
-        let (reply, wal) = tenant.mutate_wal(|db| {
+        let (reply, wal) = tenant.mutate_durable(self.commit_window(), |db| {
             let total = match db.get(relation) {
                 Some(existing) if existing.arity() != values.len() => {
                     return (
@@ -550,7 +623,7 @@ impl Session {
                 }),
             )
         });
-        Self::walled(&tenant, reply, wal)
+        self.finish_mutation(&tenant, reply, wal)
     }
 
     fn open_load(&mut self, relation: String, cols: usize) -> Reply {
@@ -631,7 +704,7 @@ impl Session {
             Err(e) => return e,
         };
         let n = rows.len();
-        let (reply, wal) = tenant.mutate_wal(|db| {
+        let (reply, wal) = tenant.mutate_durable(self.commit_window(), |db| {
             let existing = db.get(relation);
             let old_len = existing.map(Relation::len);
             let mut rel = match existing {
@@ -677,7 +750,7 @@ impl Session {
                 record,
             )
         });
-        Self::walled(&tenant, reply, wal)
+        self.finish_mutation(&tenant, reply, wal)
     }
 
     /// Parse query text, turning errors into a structured reply whose
@@ -742,12 +815,16 @@ impl Session {
             let plan = eval::with_global_planner(|p| p.plan(q, task, &stats));
             // admission control: reject over-budget plans before any
             // execution work, citing the lower bound that justifies it
-            if let Some(reason) = budget_violation(tenant.budget(), &plan) {
+            let ctx = EvalCtx::new()
+                .with_catalog(catalog)
+                .with_cancel(cancel.clone())
+                .with_budget(eval_budget(tenant.budget()));
+            if let Err(reason) = ctx.admit(&plan) {
                 sm.record_rejection(tenant.name());
                 return Err(budget_reply(&reason, &plan));
             }
             let start = Instant::now();
-            let result = execute_with_catalog_cancel(&plan, q, db, catalog, cancel);
+            let result = ctx.execute(&plan, q, db);
             let elapsed = start.elapsed();
             sm.record_op(tenant.name(), plan.op.name(), elapsed);
             let slowlog = sm.shared().slowlog();
@@ -1056,10 +1133,11 @@ impl Session {
                     BatchItem::Bad(_) => None,
                 })
                 .collect();
-            let mut results = eval::batch_tasks_with_catalog_cancel(
-                good, db, catalog, workers, &cancel,
-            )
-            .into_iter();
+            let mut results = EvalCtx::new()
+                .with_catalog(catalog)
+                .with_cancel(cancel.clone())
+                .batch_tasks(good, db, workers)
+                .into_iter();
             let timed_out = deadline.is_some_and(|d| Instant::now() >= d);
             let data: Vec<String> = items
                 .iter()
@@ -1117,6 +1195,9 @@ impl Session {
     }
 
     fn drop_db(&mut self, name: &str) -> Reply {
+        if let Err(reply) = self.replica_guard() {
+            return reply;
+        }
         let reply = match self.state.drop_db(name) {
             Ok(()) => Reply::ok(format!("dropped database {name}")),
             Err(StateError::NoSuchDb) => {
@@ -1138,20 +1219,76 @@ impl Session {
             Ok(t) => t,
             Err(e) => return e,
         };
-        let (reply, wal) = tenant.mutate_wal(|db| match db.remove(relation) {
-            Some(rel) => (
-                Reply::ok(format!("dropped {relation} ({} rows)", rel.len())),
-                Some(WalRecord::DropRelation { relation: relation.to_string() }),
-            ),
-            None => (
-                Reply::err(
-                    ErrKind::NoSuchRelation,
-                    format!("no relation named `{relation}`"),
+        let (reply, wal) =
+            tenant.mutate_durable(self.commit_window(), |db| match db.remove(relation) {
+                Some(rel) => (
+                    Reply::ok(format!("dropped {relation} ({} rows)", rel.len())),
+                    Some(WalRecord::DropRelation { relation: relation.to_string() }),
                 ),
-                None,
-            ),
-        });
-        Self::walled(&tenant, reply, wal)
+                None => (
+                    Reply::err(
+                        ErrKind::NoSuchRelation,
+                        format!("no relation named `{relation}`"),
+                    ),
+                    None,
+                ),
+            });
+        self.finish_mutation(&tenant, reply, wal)
+    }
+
+    /// `SHIP` / `SHIP <db> <epoch> <offset>`: the replication pull
+    /// surface. Bare `SHIP` lists every tenant's shippable position
+    /// (`<name> <epoch> <wal-len>` lines, name order) so a replica can
+    /// sync its tenant set; the addressed form ships the next segment
+    /// past the replica's position — a header line (`wal <epoch>
+    /// <offset> <total>` or `snapshot <epoch> <len>`) followed by hex
+    /// payload lines. Transfers are pull-driven and capped at
+    /// [`SHIP_MAX_BYTES`] per WAL reply, so a slow replica
+    /// backpressures the primary the same way a slow `FETCH` client
+    /// backpressures a cursor.
+    fn ship(&mut self, db: Option<&str>, epoch: u64, offset: u64) -> Reply {
+        let Some(store) = self.state.store().cloned() else {
+            return Reply::err(
+                ErrKind::Storage,
+                "server is in-memory (no --data-dir); there is nothing to SHIP",
+            );
+        };
+        let Some(name) = db else {
+            let tenants = self.state.tenants();
+            let data = tenants
+                .iter()
+                .filter_map(|t| {
+                    let (epoch, len) = t.wal_position()?;
+                    Some(format!("{} {epoch} {len}", t.name()))
+                })
+                .collect::<Vec<_>>();
+            let n = data.len();
+            return Reply::ok_with(data, format!("{n} tenants"));
+        };
+        let tenant = match self.state.tenant(name) {
+            Ok(t) => t,
+            Err(_) => {
+                return Reply::err(
+                    ErrKind::NoSuchDb,
+                    format!("no database named `{name}`"),
+                )
+            }
+        };
+        match tenant.ship(&store, epoch, offset, SHIP_MAX_BYTES) {
+            Ok(ShipSegment::Wal { epoch, offset, total, bytes }) => {
+                let n = bytes.len();
+                let mut data = vec![format!("wal {epoch} {offset} {total}")];
+                data.extend(bytes.chunks(SHIP_LINE_BYTES).map(hex_encode));
+                Reply::ok_with(data, format!("{n} bytes"))
+            }
+            Ok(ShipSegment::Snapshot { epoch, bytes }) => {
+                let n = bytes.len();
+                let mut data = vec![format!("snapshot {epoch} {n}")];
+                data.extend(bytes.chunks(SHIP_LINE_BYTES).map(hex_encode));
+                Reply::ok_with(data, format!("{n} bytes"))
+            }
+            Err(e) => Reply::err(ErrKind::Storage, e),
+        }
     }
 
     fn stats(&mut self, db: Option<&str>) -> Reply {
@@ -1222,8 +1359,18 @@ impl Session {
             }
             _ => data.push("storage: none (in-memory)".to_string()),
         }
-        // failure-state lines appear only when something is wrong, so
-        // healthy transcripts (and their goldens) are unchanged
+        // replica / failure-state lines appear only on replicas / when
+        // something is wrong, so healthy primary transcripts (and
+        // their goldens) are unchanged
+        if let Some(primary) = self.state.replica_of() {
+            let scope =
+                self.state.metrics().registry().scope(&metrics::tenant_scope(name));
+            data.push(format!(
+                "replica: of {primary}, epoch {}, lag {} bytes",
+                scope.gauge("replica.epoch").get(),
+                scope.gauge("replica.lag_bytes").get()
+            ));
+        }
         if d.wal_poisoned == Some(true) {
             data.push("wal: poisoned (appends refused until RESUME)".to_string());
         }
@@ -1276,7 +1423,8 @@ impl Session {
                 Reply::ok(format!("budget for {db}: cleared"))
             }
         };
-        Self::walled(&tenant, reply, tenant.persist_limits())
+        let wal = tenant.persist_limits_durable(self.commit_window());
+        Self::walled(&tenant, reply, wal)
     }
 
     /// `SET TIMEOUT <db> <ms>|NONE`: the tenant's per-query deadline,
@@ -1292,12 +1440,15 @@ impl Session {
             Some(ms) => Reply::ok(format!("timeout for {db}: {ms} ms")),
             None => Reply::ok(format!("timeout for {db}: cleared")),
         };
-        Self::walled(&tenant, reply, tenant.persist_limits())
+        let wal = tenant.persist_limits_durable(self.commit_window());
+        Self::walled(&tenant, reply, wal)
     }
 
     /// Resolve a tenant by name for a limits mutation, refusing while
-    /// it is degraded (limits are WAL-backed like any other mutation).
+    /// this server is a replica or the tenant is degraded (limits are
+    /// WAL-backed like any other mutation).
     fn named_writable(&mut self, db: &str) -> Result<Arc<Tenant>, Reply> {
+        self.replica_guard()?;
         let tenant = match self.state.tenant(db) {
             Ok(t) => t,
             Err(_) => {
@@ -1318,6 +1469,9 @@ impl Session {
     /// everything in memory (including mutations whose append failed)
     /// and the WAL rolls to a fresh segment, clearing any poison.
     fn resume(&mut self, db: &str) -> Reply {
+        if let Err(reply) = self.replica_guard() {
+            return reply;
+        }
         let tenant = match self.state.tenant(db) {
             Ok(t) => t,
             Err(_) => {
@@ -1404,31 +1558,16 @@ fn timeout_reply(
     }
 }
 
+/// The tenant's wire-level [`Budget`] as the planner's [`EvalBudget`]:
+/// the admission logic (and its human-readable violation messages)
+/// lives in `cq_planner::ctx` now, shared with every `EvalCtx` caller.
+fn eval_budget(budget: Budget) -> EvalBudget {
+    EvalBudget { max_exponent: budget.max_exponent, max_rows: budget.max_rows }
+}
+
 /// Does `plan` break `budget`? Returns the human-readable reason.
-///
-/// `MAX-EXPONENT` caps the cost exponent directly; `MAX-ROWS` caps the
-/// estimated operation count `m^e` (the AGM-style worst case the
-/// planner already reports in EXPLAIN). The epsilon keeps a budget set
-/// to exactly a plan's exponent from rejecting it over float noise.
 fn budget_violation(budget: Budget, plan: &QueryPlan) -> Option<String> {
-    if let Some(e) = budget.max_exponent {
-        if plan.cost.exponent > e + 1e-9 {
-            return Some(format!(
-                "plan cost m^{:.2} exceeds MAX-EXPONENT {e:.2}",
-                plan.cost.exponent
-            ));
-        }
-    }
-    if let Some(n) = budget.max_rows {
-        if plan.cost.operations() > n as f64 {
-            return Some(format!(
-                "estimated {:.0} operations (m^{:.2}) exceed MAX-ROWS {n}",
-                plan.cost.operations(),
-                plan.cost.exponent
-            ));
-        }
-    }
-    None
+    eval_budget(budget).violation(plan)
 }
 
 /// The `ERR budget` reply for a rejected plan, carrying the EXPLAIN

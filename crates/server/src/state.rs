@@ -29,7 +29,9 @@
 
 use crate::metrics::ServerMetrics;
 use cq_data::{CatalogStats, Database, IndexCatalog};
-use cq_storage::{Store, StoreError, TenantLimits, WalRecord, WalStats, WalWriter};
+use cq_storage::{
+    GroupGate, Store, StoreError, TenantLimits, WalRecord, WalStats, WalWriter,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -71,7 +73,26 @@ pub struct Tenant {
     /// tenant is read-only (mutations and `SAVE` refuse) until a
     /// `RESUME` checkpoint rolls a fresh WAL segment.
     degraded: Mutex<Option<String>>,
+    /// Group-commit gate: coalesces concurrent committers' fsyncs when
+    /// the server's [`WritePolicy`] asks for durable acks.
+    group: GroupGate,
     slot: RwLock<TenantDb>,
+}
+
+/// Server-wide write-path policy, set once at boot (before serving).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WritePolicy {
+    /// `Some(window)`: every mutation ack waits for an fsync covering
+    /// its WAL append, coalesced across committers by a per-tenant
+    /// [`GroupGate`] whose leader waits `window` before flushing
+    /// (`cqd --group-commit-ms`). `None`: appends reach the OS page
+    /// cache per record and stable storage at checkpoints only — the
+    /// pre-group-commit behavior.
+    pub group_commit: Option<Duration>,
+    /// Checkpoint a tenant automatically once its WAL exceeds this
+    /// many record bytes (`cqd --auto-save-bytes`), instead of waiting
+    /// for an explicit `SAVE`.
+    pub auto_save_bytes: Option<u64>,
 }
 
 /// Sentinel bits for "no budget set" (`u64::MAX` is a NaN pattern, so
@@ -111,6 +132,7 @@ impl Tenant {
             budget_rows: AtomicU64::new(BUDGET_UNSET),
             timeout_ms: AtomicU64::new(BUDGET_UNSET),
             degraded: Mutex::new(None),
+            group: GroupGate::new(),
             slot: RwLock::new(TenantDb {
                 db,
                 catalog: Arc::new(IndexCatalog::new()),
@@ -185,8 +207,18 @@ impl Tenant {
     /// Append the current limit set to the WAL so it survives a
     /// restart. A no-op (always `Ok`) on an in-memory tenant.
     pub fn persist_limits(&self) -> std::io::Result<()> {
+        self.persist_limits_durable(None)
+    }
+
+    /// [`Tenant::persist_limits`] under the server's group-commit
+    /// window: limit changes are acked with the same durability as any
+    /// other mutation.
+    pub fn persist_limits_durable(
+        &self,
+        window: Option<Duration>,
+    ) -> std::io::Result<()> {
         let limits = self.limits();
-        self.mutate_wal(|_db| ((), Some(WalRecord::SetLimits(limits)))).1
+        self.mutate_durable(window, |_db| ((), Some(WalRecord::SetLimits(limits)))).1
     }
 
     /// Why this tenant is read-only, if it is.
@@ -261,17 +293,71 @@ impl Tenant {
         &self,
         f: impl FnOnce(&mut Database) -> (T, Option<WalRecord>),
     ) -> (T, std::io::Result<()>) {
-        let mut slot = self.write_slot();
-        let before = slot.db.generation();
-        let (out, record) = f(&mut slot.db);
-        if slot.db.generation() != before {
-            slot.catalog = Arc::new(IndexCatalog::new());
-        }
-        let wal_result = match (&record, &mut slot.wal) {
-            (Some(rec), Some(wal)) => wal.append(rec).map(|_| ()),
-            _ => Ok(()),
+        self.mutate_durable(None, f)
+    }
+
+    /// [`Tenant::mutate_wal`] with group commit: when `window` is
+    /// `Some`, the WAL outcome additionally covers an fsync of the
+    /// append — coalesced across concurrent committers through the
+    /// tenant's [`GroupGate`], whose leader waits `window` before
+    /// flushing. `Ok` then means *on stable storage*, not merely in
+    /// the OS page cache; a failed group sync is reported to every
+    /// committer it covered, so no ack can be false.
+    ///
+    /// The append sequence is captured under the same write lock that
+    /// applied the mutation ([`WalStats::appends`] only moves under
+    /// that lock), and the gate is waited on *after* the lock is
+    /// released so readers and the sync leader are never blocked by a
+    /// committer parked at the gate.
+    pub fn mutate_durable<T>(
+        &self,
+        window: Option<Duration>,
+        f: impl FnOnce(&mut Database) -> (T, Option<WalRecord>),
+    ) -> (T, std::io::Result<()>) {
+        let (out, seq, wal_result) = {
+            let mut slot = self.write_slot();
+            let before = slot.db.generation();
+            let (out, record) = f(&mut slot.db);
+            if slot.db.generation() != before {
+                slot.catalog = Arc::new(IndexCatalog::new());
+            }
+            match (&record, &mut slot.wal) {
+                (Some(rec), Some(wal)) => match wal.append(rec) {
+                    Ok(_) => (out, Some(wal.stats().appends), Ok(())),
+                    Err(e) => (out, None, Err(e)),
+                },
+                _ => (out, None, Ok(())),
+            }
+        };
+        let wal_result = match (wal_result, seq, window) {
+            (Ok(()), Some(seq), Some(window)) => {
+                self.group.commit(seq, window, || {
+                    let mut slot = self.write_slot();
+                    match slot.wal.as_mut() {
+                        Some(wal) => (wal.stats().appends, wal.sync()),
+                        // WAL vanished mid-commit (not reachable today:
+                        // a tenant never loses its writer) — nothing to
+                        // sync, nothing to fail
+                        None => (seq, Ok(())),
+                    }
+                })
+            }
+            (r, _, _) => r,
         };
         (out, wal_result)
+    }
+
+    /// Group-commit sync rounds performed so far (one per coalesced
+    /// leader flush); together with [`WalStats::syncs`] this exposes
+    /// the coalescing factor.
+    pub fn group_rounds(&self) -> u64 {
+        self.group.rounds()
+    }
+
+    /// Bytes in the write-ahead log since the last checkpoint (`None`
+    /// on an in-memory tenant) — the auto-checkpoint threshold input.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.read_slot().wal.as_ref().map(WalWriter::len)
     }
 
     /// Checkpoint this tenant into `store`: atomic snapshot of the
@@ -294,6 +380,48 @@ impl Tenant {
             wal.append(&WalRecord::SetLimits(limits)).map_err(StoreError::Io)?;
         }
         Ok((db.size(), bytes))
+    }
+
+    /// The tenant's shippable position: `(wal epoch, wal record
+    /// bytes)`. `None` on an in-memory tenant (nothing to replicate
+    /// from).
+    pub fn wal_position(&self) -> Option<(u64, u64)> {
+        let slot = self.read_slot();
+        slot.wal.as_ref().map(|w| (w.epoch(), w.len()))
+    }
+
+    /// The next replication segment for a replica that has applied
+    /// through `(epoch, offset)`: WAL record bytes (at most `max` of
+    /// them) when the replica's epoch matches the live log, the whole
+    /// snapshot otherwise. Bytes are read under the tenant's read lock,
+    /// which excludes writers and checkpoints — a segment is always a
+    /// consistent cut of one epoch.
+    ///
+    /// # Panics
+    /// If the tenant has no WAL (callers only route `SHIP` here on a
+    /// persistent server).
+    pub fn ship(
+        &self,
+        store: &Store,
+        epoch: u64,
+        offset: u64,
+        max: u64,
+    ) -> Result<ShipSegment, StoreError> {
+        let slot = self.read_slot();
+        let wal = slot.wal.as_ref().expect("SHIP requires a persistent tenant");
+        let cur_epoch = wal.epoch();
+        let len = wal.len();
+        if epoch == cur_epoch && offset <= len {
+            let take = (len - offset).min(max);
+            let bytes = store.read_wal_range(&self.name, offset, take)?;
+            Ok(ShipSegment::Wal { epoch: cur_epoch, offset, total: len, bytes })
+        } else {
+            // the replica's log position is from another epoch (a
+            // checkpoint rolled the log since) — restart it from the
+            // snapshot image; no snapshot file means "empty database"
+            let bytes = store.read_snapshot_bytes(&self.name)?.unwrap_or_default();
+            Ok(ShipSegment::Snapshot { epoch: cur_epoch, bytes })
+        }
     }
 
     /// `(n_relations, n_tuples)` of the current state.
@@ -327,6 +455,35 @@ impl Tenant {
             degraded: self.degraded_reason(),
         }
     }
+}
+
+/// One replication segment, as [`Tenant::ship`] cuts it.
+#[derive(Debug)]
+pub enum ShipSegment {
+    /// WAL record bytes `[offset, offset + bytes.len())` of epoch
+    /// `epoch`'s log, whose record region is `total` bytes long right
+    /// now — the replica's lag is `total - offset - bytes.len()`.
+    Wal {
+        /// The live log's epoch.
+        epoch: u64,
+        /// Where in the record region these bytes start.
+        offset: u64,
+        /// The record region's current total length.
+        total: u64,
+        /// The raw record bytes (may end mid-frame; the replica
+        /// buffers and decodes complete frames only).
+        bytes: Vec<u8>,
+    },
+    /// The whole snapshot image for epoch `epoch`; empty bytes mean
+    /// "no snapshot — start from an empty database". The replica
+    /// restarts its WAL offset at 0 after applying.
+    Snapshot {
+        /// The epoch the replica adopts (the live log's epoch; the
+        /// snapshot was written at the checkpoint that opened it).
+        epoch: u64,
+        /// The serialized snapshot (`cq_storage::snapshot` format).
+        bytes: Vec<u8>,
+    },
 }
 
 /// A point-in-time description of one tenant, for `STATS <name>`.
@@ -381,6 +538,13 @@ pub struct ServerState {
     store: Option<Arc<Store>>,
     /// Process-wide metrics registry and slow-query log.
     metrics: Arc<ServerMetrics>,
+    /// Group-commit and auto-checkpoint knobs; set at boot, read per
+    /// mutation.
+    policy: RwLock<WritePolicy>,
+    /// `Some(primary address)` when this server is a read-only replica
+    /// (`cqd --replica-of`): every mutation verb refuses, naming where
+    /// writes should go instead.
+    replica_of: RwLock<Option<String>>,
 }
 
 impl Default for ServerState {
@@ -396,6 +560,8 @@ impl ServerState {
             tenants: RwLock::default(),
             store: None,
             metrics: Arc::new(ServerMetrics::new()),
+            policy: RwLock::default(),
+            replica_of: RwLock::default(),
         }
     }
 
@@ -432,6 +598,8 @@ impl ServerState {
             tenants: RwLock::new(tenants),
             store: Some(store),
             metrics: Arc::new(ServerMetrics::new()),
+            policy: RwLock::default(),
+            replica_of: RwLock::default(),
         };
         Ok((state, report))
     }
@@ -444,6 +612,30 @@ impl ServerState {
     /// The server's metrics registry and slow-query log.
     pub fn metrics(&self) -> &Arc<ServerMetrics> {
         &self.metrics
+    }
+
+    /// The write-path policy every session applies to mutations.
+    pub fn write_policy(&self) -> WritePolicy {
+        *self.policy.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Install the write-path policy (boot-time configuration: `cqd`
+    /// flags, or a test setting up a scenario before serving).
+    pub fn set_write_policy(&self, policy: WritePolicy) {
+        *self.policy.write().unwrap_or_else(|p| p.into_inner()) = policy;
+    }
+
+    /// `Some(primary address)` when this server is a read-only replica.
+    pub fn replica_of(&self) -> Option<String> {
+        self.replica_of.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Mark this server as a read-only replica of `primary` (the
+    /// `--replica-of` boot path). Mutation verbs then answer
+    /// `ERR read-only` naming the primary.
+    pub fn set_replica_of(&self, primary: &str) {
+        *self.replica_of.write().unwrap_or_else(|p| p.into_inner()) =
+            Some(primary.to_string());
     }
 
     fn map(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Tenant>>> {

@@ -87,14 +87,14 @@ const QUERIES: [&str; 3] = [
 ];
 
 fn transcript(c: &mut Client, db: &str) -> Vec<Reply> {
-    ok(c.request(&format!("USE {db}")));
+    ok(c.use_db(db));
     QUERIES.iter().map(|q| ok(c.request(q))).collect()
 }
 
 /// The `rel ...` schema lines of `STATS <db>` — content recovery
 /// evidence for relations (like a nullary one) no query can reach.
 fn schema_lines(c: &mut Client, db: &str) -> Vec<String> {
-    let r = ok(c.request(&format!("STATS {db}")));
+    let r = ok(c.stats(Some(db)));
     r.data.iter().filter(|l| l.starts_with("rel ")).cloned().collect()
 }
 
@@ -104,19 +104,19 @@ fn sigkill_between_mutation_and_checkpoint_loses_nothing() {
     let pre_kill = {
         let daemon = Daemon::boot(&dir, "first");
         let mut c = daemon.client();
-        ok(c.request("CREATE DB social"));
-        ok(c.request("USE social"));
+        ok(c.create_db("social"));
+        ok(c.use_db("social"));
         ok(c.load("Follows", 2, ["1 2", "2 3", "3 1", "2 4"]));
-        ok(c.request("SAVE")); // snapshot the first batch
-                               // post-checkpoint mutations live only in the wal
+        ok(c.save()); // snapshot the first batch
+                      // post-checkpoint mutations live only in the wal
         ok(c.request("INSERT Follows(4, 1)"));
         ok(c.load("Likes", 2, ["1 10", "4 10"]));
         ok(c.request("INSERT Boolean()"));
         ok(c.request("INSERT Scratch(9, 9)"));
         ok(c.request("DROP Scratch"));
         // a second tenant, never checkpointed: pure wal recovery
-        ok(c.request("CREATE DB other"));
-        ok(c.request("USE other"));
+        ok(c.create_db("other"));
+        ok(c.use_db("other"));
         ok(c.request("INSERT Edge(7, 8)"));
         let replies = (transcript(&mut c, "social"), schema_lines(&mut c, "social"));
         daemon.kill(); // no QUIT, no graceful shutdown
@@ -132,11 +132,11 @@ fn sigkill_between_mutation_and_checkpoint_loses_nothing() {
             "the nullary relation survives: {:?}",
             pre_kill.1
         );
-        ok(c.request("USE other"));
+        ok(c.use_db("other"));
         let r = ok(c.request("ANSWERS q(x, y) :- Edge(x, y)"));
         assert_eq!(r.data, vec!["7 8"]);
         // the dropped relation stayed dropped through recovery
-        ok(c.request("USE social"));
+        ok(c.use_db("social"));
         let r = c.request("COUNT q(x, y) :- Scratch(x, y)").expect("io");
         assert!(r.terminal.starts_with("ERR eval:"), "{}", r.terminal);
         daemon.kill();
@@ -150,8 +150,8 @@ fn torn_wal_tail_is_a_warning_not_a_boot_failure() {
     let pre = {
         let daemon = Daemon::boot(&dir, "first");
         let mut c = daemon.client();
-        ok(c.request("CREATE DB t"));
-        ok(c.request("USE t"));
+        ok(c.create_db("t"));
+        ok(c.use_db("t"));
         ok(c.load("Follows", 2, ["1 2", "2 3", "3 1"]));
         ok(c.request("INSERT Likes(1, 10)"));
         ok(c.request("INSERT Boolean()"));
@@ -180,7 +180,7 @@ fn torn_wal_tail_is_a_warning_not_a_boot_failure() {
     {
         let daemon = Daemon::boot(&dir, "third");
         let mut c = daemon.client();
-        ok(c.request("USE t"));
+        ok(c.use_db("t"));
         let r = ok(c.request("ANSWERS q(x, y) :- Follows(x, y)"));
         assert_eq!(r.data, vec!["1 2", "2 3", "3 1", "5 6"]);
         daemon.kill();
@@ -197,18 +197,18 @@ fn fault_degraded_tenant_reboots_read_write_with_intact_records() {
         let daemon =
             Daemon::boot_with_env(&dir, "first", &[("CQ_FAULT_PLAN", "wal-append:4:*")]);
         let mut c = daemon.client();
-        ok(c.request("CREATE DB t"));
-        ok(c.request("USE t"));
+        ok(c.create_db("t"));
+        ok(c.use_db("t"));
         ok(c.request("INSERT R(1, 2)")); // append 1
         ok(c.request("INSERT R(2, 3)")); // append 2
-        ok(c.request("SET TIMEOUT t 0")); // append 3: the limit is logged
+        ok(c.set_timeout("t", Some(0))); // append 3: the limit is logged
         let r = c.request("INSERT R(3, 4)").expect("io"); // append 4: injected
         assert!(r.terminal.starts_with("ERR storage:"), "{}", r.terminal);
         assert!(r.terminal.contains("read-only"), "{}", r.terminal);
         let r = c.request("INSERT R(4, 5)").expect("io");
         assert!(r.terminal.starts_with("ERR degraded:"), "{}", r.terminal);
         // in-memory truth holds 3 rows; the degradation is observable
-        let st = ok(c.request("STATS t"));
+        let st = ok(c.stats(Some("t")));
         assert!(st.data[0].contains("3 tuples"), "{:?}", st.data);
         assert!(st.data.iter().any(|l| l.contains("mode: read-only")), "{:?}", st.data);
         daemon.kill(); // die degraded, mid-fault-plan
@@ -218,8 +218,8 @@ fn fault_degraded_tenant_reboots_read_write_with_intact_records() {
         // intact records and the tenant is read-write again
         let daemon = Daemon::boot(&dir, "second");
         let mut c = daemon.client();
-        ok(c.request("USE t"));
-        let st = ok(c.request("STATS t"));
+        ok(c.use_db("t"));
+        let st = ok(c.stats(Some("t")));
         assert!(
             st.data[0].contains("2 tuples"),
             "unlogged row stays lost: {:?}",
@@ -235,12 +235,12 @@ fn fault_degraded_tenant_reboots_read_write_with_intact_records() {
         let r = c.request("COUNT q(x, y) :- R(x, y)").expect("io");
         assert!(r.terminal.starts_with("ERR timeout:"), "{}", r.terminal);
         assert!(r.terminal.contains("0 ms deadline"), "{}", r.terminal);
-        ok(c.request("SET TIMEOUT t NONE"));
+        ok(c.set_timeout("t", None));
         let r = ok(c.request("COUNT q(x, y) :- R(x, y)"));
         assert_eq!(r.terminal, "OK 2");
         // mutations work again — fully read-write
         ok(c.request("INSERT R(9, 9)"));
-        let st = ok(c.request("STATS t"));
+        let st = ok(c.stats(Some("t")));
         assert!(st.data[0].contains("3 tuples"), "{:?}", st.data);
         daemon.kill();
     }
@@ -253,12 +253,12 @@ fn save_then_kill_recovers_from_snapshot_alone() {
     let pre = {
         let daemon = Daemon::boot(&dir, "first");
         let mut c = daemon.client();
-        ok(c.request("CREATE DB t"));
-        ok(c.request("USE t"));
+        ok(c.create_db("t"));
+        ok(c.use_db("t"));
         ok(c.load("Follows", 2, ["1 2", "2 3"]));
         ok(c.load("Likes", 2, ["1 10"]));
         ok(c.request("INSERT Boolean()"));
-        let r = ok(c.request("SAVE"));
+        let r = ok(c.save());
         assert!(r.terminal.contains("wal truncated"), "{}", r.terminal);
         let replies = transcript(&mut c, "t");
         daemon.kill();
@@ -278,7 +278,7 @@ fn save_then_kill_recovers_from_snapshot_alone() {
     daemon.kill();
     let daemon = Daemon::boot(&dir, "third");
     let mut c = daemon.client();
-    let r = c.request("USE t").expect("io");
+    let r = c.use_db("t").expect("io");
     assert!(r.terminal.starts_with("ERR no-such-db"), "{}", r.terminal);
     daemon.kill();
     std::fs::remove_dir_all(&dir).unwrap();

@@ -51,10 +51,14 @@ pub enum FaultPoint {
     SnapRename,
     /// The parent-directory fsync that makes the rename durable.
     DirSync,
+    /// Reading snapshot/WAL bytes for a replication `SHIP` reply — an
+    /// injected failure interrupts the segment mid-ship, so replica
+    /// retry/resync paths are drivable from tests.
+    ShipRead,
 }
 
 /// Every fault point, for matrix-style iteration in tests.
-pub const ALL_FAULT_POINTS: [FaultPoint; 10] = [
+pub const ALL_FAULT_POINTS: [FaultPoint; 11] = [
     FaultPoint::WalAppend,
     FaultPoint::WalShortWrite,
     FaultPoint::WalRollback,
@@ -65,6 +69,7 @@ pub const ALL_FAULT_POINTS: [FaultPoint; 10] = [
     FaultPoint::SnapSync,
     FaultPoint::SnapRename,
     FaultPoint::DirSync,
+    FaultPoint::ShipRead,
 ];
 
 impl FaultPoint {
@@ -81,6 +86,7 @@ impl FaultPoint {
             FaultPoint::SnapSync => "snap-sync",
             FaultPoint::SnapRename => "snap-rename",
             FaultPoint::DirSync => "dir-sync",
+            FaultPoint::ShipRead => "ship-read",
         }
     }
 

@@ -1,0 +1,281 @@
+//! Group commit: coalesce many committers' WAL fsyncs into one.
+//!
+//! A [`WalWriter::append`](crate::WalWriter::append) is a single
+//! `write(2)` — it survives process death but not power loss until an
+//! fsync lands. Syncing per append makes every mutation pay the full
+//! device flush; a [`GroupGate`] instead lets concurrent committers
+//! share one flush: the first committer to arrive becomes the *leader*,
+//! waits a short coalescing window so more appends can queue behind it,
+//! performs one sync covering everything appended so far, and wakes the
+//! group. An ack is released only after a sync covering that
+//! committer's append has landed — there is no window in which a
+//! mutation is acknowledged but not yet on stable storage.
+//!
+//! Sequencing is the [`WalStats::appends`](crate::WalStats) counter:
+//! appends happen under the owner's write lock, so "my append is
+//! covered" is exactly `synced_appends >= my_append_seq`. A failed sync
+//! fails *every* committer whose append predates the attempt — their
+//! bytes may or may not be durable, and a false `OK` is the one thing
+//! group commit must never produce (the chaos suite drives an injected
+//! `wal-sync` fault through here to prove it). Appends sequenced after
+//! a failed attempt are unaffected: the next leader retries the sync.
+//!
+//! The gate is storage-policy-free on purpose: it never touches the
+//! `WalWriter` itself. The leader runs a caller-supplied closure that
+//! locks the log, syncs it, and reports the append sequence the sync
+//! covered — so the server can route the sync through its per-tenant
+//! lock, and a bench can route it through a plain `Mutex`.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Highest append sequence covered by a successful sync.
+    synced: u64,
+    /// Highest append sequence covered by a *failed* sync attempt —
+    /// commits at or below it report the failure instead of hanging.
+    failed_upto: u64,
+    /// The message of the most recent failed sync.
+    fail_msg: String,
+    /// Is some committer currently coalescing + syncing as the leader?
+    leader: bool,
+    /// Total syncs attempted (successful or not), for observability.
+    rounds: u64,
+}
+
+/// A per-log group-commit gate. See the module docs for the protocol.
+/// The gate is pure mechanism — the coalescing window is a `commit`
+/// parameter, so the owner can decide policy (and change it) without
+/// rebuilding gates.
+#[derive(Debug, Default)]
+pub struct GroupGate {
+    inner: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl GroupGate {
+    /// A fresh gate: nothing synced, no leader.
+    pub fn new() -> GroupGate {
+        GroupGate::default()
+    }
+
+    /// Sync rounds performed so far (one per leader flush, successful
+    /// or not) — `commits / rounds` is the coalescing factor.
+    pub fn rounds(&self) -> u64 {
+        self.inner.lock().unwrap().rounds
+    }
+
+    /// Block until a sync covering append sequence `seq` has landed.
+    /// The leader waits `window` before flushing, so appends arriving
+    /// within the window share the flush; a zero window still
+    /// coalesces everything that queued while the previous leader was
+    /// flushing.
+    ///
+    /// `sync` is invoked by at most one thread at a time (the current
+    /// leader). It must flush the log to stable storage and return the
+    /// append sequence number the flush covered — read under the same
+    /// lock that serializes appends, so the coverage is exact. On
+    /// `Err`, the u64 is the sequence the *attempt* covered: every
+    /// commit at or below it shares the error.
+    ///
+    /// Returns `Ok(())` once `seq` is durably synced; `Err` if a sync
+    /// attempt covering `seq` failed (the mutation must not be acked).
+    pub fn commit<F>(
+        &self,
+        seq: u64,
+        window: Duration,
+        mut sync: F,
+    ) -> std::io::Result<()>
+    where
+        F: FnMut() -> (u64, std::io::Result<()>),
+    {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if st.synced >= seq {
+                return Ok(());
+            }
+            if st.failed_upto >= seq {
+                return Err(std::io::Error::other(st.fail_msg.clone()));
+            }
+            if st.leader {
+                st = self.cv.wait(st).unwrap();
+                continue;
+            }
+            // become the leader: coalesce, then flush for the group
+            st.leader = true;
+            drop(st);
+            if !window.is_zero() {
+                std::thread::sleep(window);
+            }
+            let (upto, result) = sync();
+            st = self.inner.lock().unwrap();
+            st.leader = false;
+            st.rounds += 1;
+            match result {
+                Ok(()) => st.synced = st.synced.max(upto),
+                Err(e) => {
+                    st.failed_upto = st.failed_upto.max(upto);
+                    st.fail_msg = e.to_string();
+                }
+            }
+            self.cv.notify_all();
+            // fall through: decide our own fate from the updated state
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultPoint};
+    use crate::wal::{WalRecord, WalWriter};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("cq_group_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(v: u64) -> WalRecord {
+        WalRecord::Insert { relation: "R".into(), row: vec![v, v] }
+    }
+
+    #[test]
+    fn single_commit_syncs_and_acks() {
+        let dir = test_dir("single");
+        let wal = Mutex::new(WalWriter::create(dir.join("wal.cql"), 0).unwrap());
+        let gate = GroupGate::new();
+        let seq = {
+            let mut w = wal.lock().unwrap();
+            w.append(&rec(1)).unwrap();
+            w.stats().appends
+        };
+        gate.commit(seq, Duration::ZERO, || {
+            let mut w = wal.lock().unwrap();
+            (w.stats().appends, w.sync())
+        })
+        .unwrap();
+        assert_eq!(wal.lock().unwrap().stats().syncs, 1);
+        assert_eq!(gate.rounds(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_appended_group_shares_one_sync() {
+        let dir = test_dir("coalesce");
+        let wal =
+            Arc::new(Mutex::new(WalWriter::create(dir.join("wal.cql"), 0).unwrap()));
+        let gate = Arc::new(GroupGate::new());
+        const N: u64 = 8;
+        // all appends land before any commit: one leader's sync must
+        // cover the whole group
+        let seqs: Vec<u64> = (0..N)
+            .map(|i| {
+                let mut w = wal.lock().unwrap();
+                w.append(&rec(i)).unwrap();
+                w.stats().appends
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for seq in seqs {
+                let wal = Arc::clone(&wal);
+                let gate = Arc::clone(&gate);
+                s.spawn(move || {
+                    gate.commit(seq, Duration::ZERO, || {
+                        let mut w = wal.lock().unwrap();
+                        (w.stats().appends, w.sync())
+                    })
+                    .unwrap();
+                });
+            }
+        });
+        assert_eq!(wal.lock().unwrap().stats().syncs, 1, "one flush for the group");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_committers_coalesce() {
+        let dir = test_dir("concurrent");
+        let wal =
+            Arc::new(Mutex::new(WalWriter::create(dir.join("wal.cql"), 0).unwrap()));
+        let gate = Arc::new(GroupGate::new());
+        const N: u64 = 16;
+        std::thread::scope(|s| {
+            for i in 0..N {
+                let wal = Arc::clone(&wal);
+                let gate = Arc::clone(&gate);
+                s.spawn(move || {
+                    let seq = {
+                        let mut w = wal.lock().unwrap();
+                        w.append(&rec(i)).unwrap();
+                        w.stats().appends
+                    };
+                    gate.commit(seq, Duration::ZERO, || {
+                        let mut w = wal.lock().unwrap();
+                        (w.stats().appends, w.sync())
+                    })
+                    .unwrap();
+                });
+            }
+        });
+        let syncs = wal.lock().unwrap().stats().syncs;
+        assert!((1..=N).contains(&syncs), "coalesced into {syncs} flushes");
+        assert_eq!(wal.lock().unwrap().stats().appends, N);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_sync_fails_every_covered_commit_and_later_appends_recover() {
+        let dir = test_dir("fault");
+        let mut writer = WalWriter::create(dir.join("wal.cql"), 0).unwrap();
+        writer.set_faults(FaultPlan::failing(FaultPoint::WalSync, 1));
+        let wal = Arc::new(Mutex::new(writer));
+        let gate = Arc::new(GroupGate::new());
+        let failures = Arc::new(AtomicU64::new(0));
+        const N: u64 = 4;
+        let seqs: Vec<u64> = (0..N)
+            .map(|i| {
+                let mut w = wal.lock().unwrap();
+                w.append(&rec(i)).unwrap();
+                w.stats().appends
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for seq in seqs {
+                let wal = Arc::clone(&wal);
+                let gate = Arc::clone(&gate);
+                let failures = Arc::clone(&failures);
+                s.spawn(move || {
+                    let r = gate.commit(seq, Duration::ZERO, || {
+                        let mut w = wal.lock().unwrap();
+                        (w.stats().appends, w.sync())
+                    });
+                    if r.is_err() {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        // the injected wal-sync failure covered every pre-appended
+        // commit: no committer may see a false OK
+        assert_eq!(failures.load(Ordering::Relaxed), N);
+        // a later append is past the failed attempt and syncs fine
+        // (the fault was one-shot)
+        let seq = {
+            let mut w = wal.lock().unwrap();
+            w.append(&rec(99)).unwrap();
+            w.stats().appends
+        };
+        gate.commit(seq, Duration::ZERO, || {
+            let mut w = wal.lock().unwrap();
+            (w.stats().appends, w.sync())
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

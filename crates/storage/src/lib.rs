@@ -17,6 +17,9 @@
 //!   [`create_tenant`](Store::create_tenant),
 //!   [`checkpoint`](Store::checkpoint) (snapshot + WAL truncation),
 //!   [`drop_tenant`](Store::drop_tenant);
+//! * [`group`] — group commit: a [`GroupGate`] coalesces concurrent
+//!   committers' fsyncs into one leader-driven flush, releasing each
+//!   ack only after a sync covering its append has landed;
 //! * [`fault`] — deterministic failure injection: a [`FaultPlan`]
 //!   threaded through the writers above fails named I/O points on
 //!   chosen occurrences, so every storage error path is drivable from
@@ -56,10 +59,12 @@
 
 pub mod fault;
 pub mod format;
+pub mod group;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use fault::{FaultPlan, FaultPoint};
+pub use group::GroupGate;
 pub use store::{Recovery, Store, StoreError};
-pub use wal::{TenantLimits, WalRecord, WalStats, WalWriter};
+pub use wal::{decode_frames, TenantLimits, WalRecord, WalStats, WalWriter};

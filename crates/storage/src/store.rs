@@ -31,7 +31,7 @@
 //!   discards ([`Recovery::stale_records`]), so no ordering of
 //!   crashes loses data or refuses a boot.
 
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, FaultPoint};
 use crate::snapshot;
 use crate::wal::{self, TenantLimits, WalRecord, WalWriter};
 use cq_data::Database;
@@ -254,6 +254,44 @@ impl Store {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(StoreError::Io(e)),
         }
+    }
+
+    /// Read a tenant's whole snapshot file for replication shipping —
+    /// `None` when the tenant has never been checkpointed. Goes
+    /// through the `ship-read` fault point so an interrupted ship is
+    /// drivable from tests.
+    pub fn read_snapshot_bytes(&self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        self.faults.check(FaultPoint::ShipRead).map_err(StoreError::Io)?;
+        match std::fs::read(self.snapshot_path(name)?) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// Read `len` bytes of a tenant's WAL starting at record-byte
+    /// `offset` (0 = just past the file header) for replication
+    /// shipping. The caller bounds `offset + len` by the live writer's
+    /// record length under its own lock, so the range is an intact
+    /// prefix of whole frames. Goes through the `ship-read` fault
+    /// point.
+    pub fn read_wal_range(
+        &self,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, StoreError> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        self.faults.check(FaultPoint::ShipRead).map_err(StoreError::Io)?;
+        let path = self.tenant_dir(name)?.join(WAL_FILE);
+        let inner = || -> std::io::Result<Vec<u8>> {
+            let mut f = std::fs::File::open(&path)?;
+            f.seek(SeekFrom::Start(wal::WAL_HEADER_LEN + offset))?;
+            let mut buf = vec![0u8; usize::try_from(len).expect("ship range fits usize")];
+            f.read_exact(&mut buf)?;
+            Ok(buf)
+        };
+        inner().map_err(StoreError::Io)
     }
 
     /// Names of every tenant on disk, in ascending order (the boot

@@ -507,6 +507,40 @@ pub struct Replay {
     pub torn_bytes: u64,
 }
 
+/// Decode the complete record frames at the front of a *headerless*
+/// byte run — a replication `SHIP` segment, which starts at a record
+/// boundary but may end mid-frame when the primary's per-call byte cap
+/// splits a record. Returns the decoded records and the bytes they
+/// consumed; an incomplete trailing frame is simply not consumed (the
+/// caller buffers it and retries once more bytes arrive). Unlike
+/// [`replay`], a framing defect is an error, not a torn tail: these
+/// bytes came out of the intact prefix of a live log, so a complete
+/// frame that fails its checksum (or decodes to nothing) means the
+/// stream is wrong, not short.
+pub fn decode_frames(bytes: &[u8]) -> Result<(Vec<WalRecord>, usize), String> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let payload_len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..(pos + 8).saturating_add(payload_len))
+        else {
+            break; // frame split by the segment boundary: wait for more
+        };
+        if crc32(payload) != stored_crc {
+            return Err(format!("shipped record at byte {pos} fails its checksum"));
+        }
+        let record = WalRecord::from_payload(payload).ok_or_else(|| {
+            format!(
+                "shipped record at byte {pos} passes its checksum but does not decode"
+            )
+        })?;
+        records.push(record);
+        pos += 8 + payload_len;
+    }
+    Ok((records, pos))
+}
+
 /// Decode every intact record of a WAL image. Framing defects after
 /// the last intact record are reported as the torn tail; a
 /// checksum-valid record that fails to decode — and a present-but-

@@ -8,7 +8,7 @@ use cq_core::query::zoo;
 use cq_core::ConjunctiveQuery;
 use cq_data::{Database, IndexCatalog, Relation, Val};
 use cq_engine::bind::{brute_force_answers, brute_force_count, brute_force_decide};
-use cq_planner::{eval, Planner};
+use cq_planner::{eval, EvalCtx, Planner};
 use proptest::prelude::*;
 
 /// One step of the interleaving: mutate one relation, or query.
@@ -65,40 +65,34 @@ fn drive(
             }
             Step::Query { task } => match task {
                 0 => {
-                    let (got, _) =
-                        eval::decide_with_catalog(&mut planner, q, &db, &catalog)
-                            .unwrap();
+                    let ctx = EvalCtx::new().with_catalog(&catalog);
+                    let (got, _) = ctx.decide(&mut planner, q, &db).unwrap();
                     prop_assert_eq!(got, brute_force_decide(q, &db).unwrap());
-                    let fresh = eval::decide_with_catalog(
-                        &mut Planner::new(),
-                        q,
-                        &db,
-                        &IndexCatalog::new(),
-                    )
-                    .unwrap()
-                    .0;
+                    let cold = IndexCatalog::new();
+                    let fresh = EvalCtx::new()
+                        .with_catalog(&cold)
+                        .decide(&mut Planner::new(), q, &db)
+                        .unwrap()
+                        .0;
                     prop_assert_eq!(got, fresh);
                 }
                 1 => {
-                    let (got, _) =
-                        eval::count_with_catalog(&mut planner, q, &db, &catalog).unwrap();
+                    let ctx = EvalCtx::new().with_catalog(&catalog);
+                    let (got, _) = ctx.count(&mut planner, q, &db).unwrap();
                     prop_assert_eq!(got, brute_force_count(q, &db).unwrap());
                 }
                 _ => {
-                    let (got, _) =
-                        eval::answers_with_catalog(&mut planner, q, &db, &catalog)
-                            .unwrap();
+                    let ctx = EvalCtx::new().with_catalog(&catalog);
+                    let (got, _) = ctx.answers(&mut planner, q, &db).unwrap();
                     if !q.is_boolean() {
                         prop_assert_eq!(&got, &brute_force_answers(q, &db).unwrap());
                     }
-                    let fresh = eval::answers_with_catalog(
-                        &mut Planner::new(),
-                        q,
-                        &db,
-                        &IndexCatalog::new(),
-                    )
-                    .unwrap()
-                    .0;
+                    let cold = IndexCatalog::new();
+                    let fresh = EvalCtx::new()
+                        .with_catalog(&cold)
+                        .answers(&mut Planner::new(), q, &db)
+                        .unwrap()
+                        .0;
                     prop_assert_eq!(got, fresh);
                 }
             },

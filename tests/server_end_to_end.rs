@@ -56,13 +56,13 @@ const BETA_BOOL: &str = "t() :- R1(x, y), R2(y, z), R3(z, x)";
 /// Load both tenants over the wire, mirroring the data locally.
 fn setup(addr: SocketAddr) -> Client {
     let mut admin = Client::connect(addr).expect("connect admin");
-    assert_eq!(admin.request("CREATE DB alpha").unwrap().terminal, "OK created alpha");
-    assert_eq!(admin.request("CREATE DB beta").unwrap().terminal, "OK created beta");
-    assert_eq!(admin.request("USE alpha").unwrap().terminal, "OK using alpha");
+    assert_eq!(admin.create_db("alpha").unwrap().terminal, "OK created alpha");
+    assert_eq!(admin.create_db("beta").unwrap().terminal, "OK created beta");
+    assert_eq!(admin.use_db("alpha").unwrap().terminal, "OK using alpha");
     let (r, s) = alpha_rows();
     assert!(admin.load("R", 2, pair_lines(&r)).unwrap().is_ok());
     assert!(admin.load("S", 2, pair_lines(&s)).unwrap().is_ok());
-    assert_eq!(admin.request("USE beta").unwrap().terminal, "OK using beta");
+    assert_eq!(admin.use_db("beta").unwrap().terminal, "OK using beta");
     let pairs = beta_rows();
     for name in ["R1", "R2", "R3"] {
         assert!(admin.load(name, 2, pair_lines(&pairs)).unwrap().is_ok());
@@ -114,7 +114,7 @@ fn concurrent_clients_byte_match_direct_eval() {
             };
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect worker");
-                assert!(c.request(&format!("USE {tenant}")).unwrap().is_ok());
+                assert!(c.use_db(tenant).unwrap().is_ok());
                 for _round in 0..5 {
                     let r = c.request(&format!("ANSWERS {query}")).unwrap();
                     assert_eq!(r.data, want.answers_data, "client {i} answers data");
@@ -140,7 +140,7 @@ fn concurrent_clients_byte_match_direct_eval() {
 fn batch_matches_direct_batch_eval() {
     let server = Server::bind("127.0.0.1:0", 4).expect("bind ephemeral");
     let mut admin = setup(server.local_addr());
-    assert!(admin.request("USE alpha").unwrap().is_ok());
+    assert!(admin.use_db("alpha").unwrap().is_ok());
 
     let reply = admin
         .batch([
@@ -170,11 +170,11 @@ fn mutations_are_visible_and_tenant_isolated() {
     let server = Server::bind("127.0.0.1:0", 4).expect("bind ephemeral");
     let mut admin = setup(server.local_addr());
     let mut other = Client::connect(server.local_addr()).unwrap();
-    assert!(other.request("USE beta").unwrap().is_ok());
+    assert!(other.use_db("beta").unwrap().is_ok());
     let beta_before = other.request(&format!("COUNT {BETA_Q}")).unwrap();
 
     // mutate alpha over the wire; mirror the mutation locally
-    assert!(admin.request("USE alpha").unwrap().is_ok());
+    assert!(admin.use_db("alpha").unwrap().is_ok());
     assert!(admin.request("INSERT R(1000, 3)").unwrap().is_ok());
     let mut db = alpha_mirror();
     let mut r = db.get("R").unwrap().clone();
@@ -192,7 +192,7 @@ fn mutations_are_visible_and_tenant_isolated() {
     assert_eq!(beta_before.terminal, beta_after.terminal);
 
     // STATS sees both tenants, name-ordered
-    let stats = admin.request("STATS").unwrap();
+    let stats = admin.stats(None).unwrap();
     assert_eq!(stats.data[0], "tenants: 2");
     assert!(stats.data[2].starts_with("db alpha:"), "{:?}", stats.data);
     assert!(stats.data[3].starts_with("db beta:"), "{:?}", stats.data);
@@ -239,7 +239,7 @@ fn shutdown_completes_while_clients_stay_connected() {
 fn explain_echoes_canonical_query_text() {
     let server = Server::bind("127.0.0.1:0", 2).expect("bind ephemeral");
     let mut admin = setup(server.local_addr());
-    assert!(admin.request("USE alpha").unwrap().is_ok());
+    assert!(admin.use_db("alpha").unwrap().is_ok());
     for task in ["DECIDE", "COUNT", "ANSWERS", "ACCESS"] {
         let r = admin.request(&format!("EXPLAIN {task} {ALPHA_Q}")).unwrap();
         assert!(r.is_ok(), "EXPLAIN {task}: {}", r.terminal);
@@ -252,6 +252,59 @@ fn explain_echoes_canonical_query_text() {
     assert!(r.terminal.starts_with("ERR parse:"), "{}", r.terminal);
     assert_eq!(r.data.len(), 2);
     assert!(r.data[1].trim_end().ends_with('^'), "{:?}", r.data);
+
+    admin.quit().unwrap();
+    server.shutdown();
+}
+
+/// Cursor hygiene through the typed client: `for_each_page` releases
+/// the server-side cursor slot on every exit path (exhaustion and an
+/// `on_page` panic), and touching a closed cursor is the structured
+/// `ERR no-such-cursor` — observable as [`ErrKind::NoSuchCursor`] on
+/// the client end of the wire.
+#[test]
+fn cursors_are_closed_on_every_client_exit_path() {
+    use cq_server::protocol::ErrKind;
+
+    let server = Server::bind("127.0.0.1:0", 2).expect("bind ephemeral");
+    let mut admin = setup(server.local_addr());
+    assert!(admin.use_db("alpha").unwrap().is_ok());
+
+    // FETCH / SEEK / CLOSE on an explicitly closed cursor: typed error
+    let id = admin.cursor("ANSWERS", ALPHA_Q).unwrap().expect("open cursor");
+    assert!(admin.close_cursor(id).unwrap().is_ok());
+    for reply in [
+        admin.fetch(id, 4).unwrap().expect_err("fetch after close must fail"),
+        admin.seek(id, 0).unwrap(),
+        admin.close_cursor(id).unwrap(),
+    ] {
+        assert_eq!(reply.err_kind(), Some(ErrKind::NoSuchCursor), "{}", reply.terminal);
+    }
+
+    // exhaustion auto-closes: a scripted CLOSE after a full drain is
+    // already a no-such-cursor error
+    let id = admin.cursor("ANSWERS", ALPHA_Q).unwrap().expect("open cursor");
+    let expected = expected(&alpha_mirror(), ALPHA_Q, "q() :- R(x, y), S(y, z)");
+    let mut rows = Vec::new();
+    let total = admin
+        .for_each_page(id, 7, |page| rows.extend_from_slice(page))
+        .unwrap()
+        .expect("drain");
+    assert_eq!(rows, expected.answers_data);
+    assert_eq!(total as usize, rows.len());
+    let reply = admin.close_cursor(id).unwrap();
+    assert_eq!(reply.err_kind(), Some(ErrKind::NoSuchCursor), "{}", reply.terminal);
+
+    // a panicking on_page closes before unwinding — the slot is freed
+    // even though the drain never reached eof
+    let id = admin.cursor("ANSWERS", ALPHA_Q).unwrap().expect("open cursor");
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = admin.for_each_page(id, 2, |_| panic!("consumer bails"));
+    }))
+    .expect_err("the consumer panic must propagate");
+    assert_eq!(*panic.downcast_ref::<&str>().unwrap(), "consumer bails");
+    let reply = admin.close_cursor(id).unwrap();
+    assert_eq!(reply.err_kind(), Some(ErrKind::NoSuchCursor), "{}", reply.terminal);
 
     admin.quit().unwrap();
     server.shutdown();

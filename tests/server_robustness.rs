@@ -30,15 +30,15 @@ fn timeout_over_the_wire_cites_the_lower_bound() {
     let server = Server::bind("127.0.0.1:0", 2).expect("bind ephemeral");
     let addr = server.local_addr();
     let mut c = Client::connect(addr).unwrap();
-    assert!(c.request("CREATE DB slow").unwrap().is_ok());
-    assert!(c.request("CREATE DB fast").unwrap().is_ok());
-    assert!(c.request("USE slow").unwrap().is_ok());
+    assert!(c.create_db("slow").unwrap().is_ok());
+    assert!(c.create_db("fast").unwrap().is_ok());
+    assert!(c.use_db("slow").unwrap().is_ok());
     triangle_load(&mut c);
 
     // a zero deadline is already past at evaluation entry: the trip is
     // deterministic, and the reply must cite the plan's cost exponent
     // and the lower-bound hypothesis behind it
-    assert!(c.request("SET TIMEOUT slow 0").unwrap().is_ok());
+    assert!(c.set_timeout("slow", Some(0)).unwrap().is_ok());
     let r = c.request(TRI).unwrap();
     assert!(r.terminal.starts_with("ERR timeout:"), "{}", r.terminal);
     assert!(r.terminal.contains("plan cost m^"), "{}", r.terminal);
@@ -48,16 +48,16 @@ fn timeout_over_the_wire_cites_the_lower_bound() {
     assert_eq!(c.request("PING").unwrap().terminal, "OK pong");
     // ...and an unthrottled tenant on a second connection still serves
     let mut other = Client::connect(addr).unwrap();
-    assert!(other.request("USE fast").unwrap().is_ok());
+    assert!(other.use_db("fast").unwrap().is_ok());
     triangle_load(&mut other);
     assert_eq!(other.request(TRI).unwrap().terminal, "OK true");
 
     // clearing the deadline re-admits the query on the first tenant
-    assert!(c.request("SET TIMEOUT slow NONE").unwrap().is_ok());
+    assert!(c.set_timeout("slow", None).unwrap().is_ok());
     assert_eq!(c.request(TRI).unwrap().terminal, "OK true");
 
     // the trip is visible in the tenant's metrics
-    let m = c.request("METRICS slow").unwrap();
+    let m = c.metrics(Some("slow")).unwrap();
     assert!(m.data.iter().any(|l| l == "db.slow timeouts=1"), "{:?}", m.data);
 
     let _ = c.quit();
@@ -81,9 +81,9 @@ fn degraded_tenant_leaves_neighbors_read_write() {
     let addr = server.local_addr();
 
     let mut c = Client::connect(addr).unwrap();
-    assert!(c.request("CREATE DB frail").unwrap().is_ok());
-    assert!(c.request("CREATE DB sturdy").unwrap().is_ok());
-    assert!(c.request("USE frail").unwrap().is_ok());
+    assert!(c.create_db("frail").unwrap().is_ok());
+    assert!(c.create_db("sturdy").unwrap().is_ok());
+    assert!(c.use_db("frail").unwrap().is_ok());
     assert!(c.request("INSERT R(1, 2)").unwrap().is_ok()); // append 1
     assert!(c.request("INSERT R(2, 3)").unwrap().is_ok()); // append 2
     let r = c.request("INSERT R(3, 4)").unwrap(); // append 3: injected
@@ -97,12 +97,12 @@ fn degraded_tenant_leaves_neighbors_read_write() {
 
     // sturdy: completely unaffected, on a separate connection
     let mut other = Client::connect(addr).unwrap();
-    assert!(other.request("USE sturdy").unwrap().is_ok());
+    assert!(other.use_db("sturdy").unwrap().is_ok());
     assert!(other.request("INSERT R(7, 8)").unwrap().is_ok());
     assert_eq!(other.request("COUNT q(x, y) :- R(x, y)").unwrap().terminal, "OK 1");
 
     // RESUME repairs frail over the wire
-    let r = c.request("RESUME frail").unwrap();
+    let r = c.resume("frail").unwrap();
     assert!(r.is_ok(), "{}", r.terminal);
     assert!(c.request("INSERT R(4, 5)").unwrap().is_ok());
     assert_eq!(c.request("COUNT q(x, y) :- R(x, y)").unwrap().terminal, "OK 4");
@@ -135,7 +135,7 @@ fn saturated_acceptor_sheds_with_err_busy() {
     assert!(r.terminal.starts_with("ERR busy:"), "{}", r.terminal);
 
     // the shed is counted; held sessions keep serving
-    let m = held[0].request("METRICS").unwrap();
+    let m = held[0].metrics(None).unwrap();
     assert!(m.data.iter().any(|l| l == "server connections.shed=1"), "{:?}", m.data);
     for (i, c) in held.iter_mut().enumerate() {
         assert_eq!(c.request("PING").unwrap().terminal, "OK pong", "client {i}");

@@ -6,9 +6,21 @@
 #   * `storage.wal.*` METRICS gauges (present only when cqd runs with
 #     --data-dir; the same script drives both the in-memory and the
 #     durable smoke leg against one golden),
-#   * the `STATS <db>` storage line (names the mode and WAL byte size).
+#   * the `STATS <db>` storage line (names the mode and WAL byte size),
+#   * EXPLAIN ANALYZE / PROFILE span timings (`time=…ms`, `ns=…`) —
+#     row counts and span names stay exact,
+#   * METRICS RATE windows and per-second rates (`window=…s`,
+#     `snapshots=…`, `rate=…/s`) — the counter set stays exact,
+#   * the `STATS <db>` traffic line (qps/err-rate over a wall-clock
+#     window).
 # To regenerate the golden: pipe a fresh transcript through this script.
 exec sed -E \
     -e 's/(p50|p95|p99)=[0-9]+(\.[0-9]+)?(ns|us|ms|s)/\1=_/g' \
     -e '/ storage\.wal\./d' \
-    -e 's/^\* storage: .*/* storage: (masked: differs between in-memory and durable legs)/'
+    -e 's/^\* storage: .*/* storage: (masked: differs between in-memory and durable legs)/' \
+    -e 's/time=[0-9]+(\.[0-9]+)?ms/time=<dur>/g' \
+    -e 's/\bns=[0-9]+/ns=<n>/g' \
+    -e 's/window=[0-9]+(\.[0-9]+)?s/window=<w>s/g' \
+    -e 's/snapshots=[0-9]+/snapshots=<n>/g' \
+    -e 's#rate=[0-9]+(\.[0-9]+)?/s#rate=<r>/s#g' \
+    -e 's/^\* traffic: .*/* traffic: (masked: rates over a wall-clock window)/'

@@ -143,6 +143,7 @@ pub fn collapse_rel(atom_vars: &[Var], vars: &[Var], rel: &Relation) -> Relation
 
 /// Bind all atoms of `q` against `db`.
 pub fn bind(q: &ConjunctiveQuery, db: &Database) -> Result<Vec<BoundAtom>, EvalError> {
+    let _span = cq_obs::trace::span("op.bind");
     let mut out = Vec::with_capacity(q.atoms().len());
     for atom in q.atoms() {
         let rel = validate_atom(&atom.relation, &atom.vars, db)?;

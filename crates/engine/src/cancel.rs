@@ -120,6 +120,15 @@ impl CancelToken {
         self.flag.load(Ordering::Relaxed)
     }
 
+    /// How many [`CancelToken::check`] calls this *instance* has
+    /// absorbed. Clones keep independent strides (see [`Clone`]), so
+    /// this counts the polls issued through this particular handle —
+    /// which is what a trace span wants to attribute: the polling done
+    /// by the loop that owns the handle.
+    pub fn polls(&self) -> u64 {
+        u64::from(self.tick.load(Ordering::Relaxed))
+    }
+
     /// The strided poll for inner loops: cheap on most calls, a real
     /// clock/flag/probe consultation every [`STRIDE`]th (and the very
     /// first) call.

@@ -131,9 +131,13 @@ pub fn count_acyclic_join_with_catalog_cancel(
     if !q.is_join_query() {
         return Err(EvalError::NotJoinQuery);
     }
+    let mut span = cq_obs::trace::span("op.count-acyclic");
     let atoms = catalog.artifact(db, "bound_atoms", &q.to_string(), || bind(q, db))?;
     let tree = yannakakis::join_tree_of(q)?;
-    count_dp_cancel(&atoms, &tree, cancel)
+    let n = count_dp_cancel(&atoms, &tree, cancel)?;
+    span.attr("rows", n);
+    span.attr("cancel-polls", cancel.polls());
+    Ok(n)
 }
 
 /// The projection-elimination step shared by counting, enumeration, and
@@ -280,13 +284,20 @@ pub fn count_free_connex_with_catalog_cancel(
         let res = yannakakis::decide_acyclic_with_catalog_cancel(q, db, catalog, cancel)?;
         return Ok(u64::from(res));
     }
+    let mut span = cq_obs::trace::span("op.count-free-connex");
+    let mut cold = false;
     let msgs = catalog.artifact(db, "elim_msgs", &q.to_string(), || {
+        cold = true;
         eliminate_projections_cancel(q, db, cancel)
     })?;
-    match &*msgs {
-        Some(m) => count_eliminated_cancel(q, m, cancel),
-        None => Ok(0),
-    }
+    span.attr("cold-build", u64::from(cold));
+    let n = match &*msgs {
+        Some(m) => count_eliminated_cancel(q, m, cancel)?,
+        None => 0,
+    };
+    span.attr("rows", n);
+    span.attr("cancel-polls", cancel.polls());
+    Ok(n)
 }
 
 /// The shared DP over projection-elimination messages: `q'` is an

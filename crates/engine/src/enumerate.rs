@@ -162,9 +162,13 @@ impl Enumerator {
         catalog: &IndexCatalog,
         cancel: &CancelToken,
     ) -> Result<Self, EvalError> {
+        let mut span = cq_obs::trace::span("op.enumerate.preprocess");
+        let mut cold = false;
         let core = catalog.artifact(db, "enumerator", &q.to_string(), || {
+            cold = true;
             EnumeratorCore::build_cancel(q, db, cancel)
         })?;
+        span.attr("cold-build", u64::from(cold));
         Ok(Enumerator::from(core))
     }
 
@@ -270,6 +274,8 @@ pub struct EnumeratorStream {
     keybuf: Vec<Val>,
     state: StreamState,
     cancel: CancelToken,
+    rows: u64,
+    span: Option<cq_obs::trace::SpanGuard>,
 }
 
 impl EnumeratorStream {
@@ -284,6 +290,17 @@ impl EnumeratorStream {
             keybuf: Vec::new(),
             state: StreamState::NotStarted,
             cancel: CancelToken::never(),
+            rows: 0,
+            span: Some(cq_obs::trace::current().span("stream.enumerate")),
+        }
+    }
+}
+
+impl Drop for EnumeratorStream {
+    fn drop(&mut self) {
+        if let Some(mut span) = self.span.take() {
+            span.attr("rows", self.rows);
+            span.attr("cancel-polls", self.cancel.polls());
         }
     }
 }
@@ -295,7 +312,7 @@ impl AnswerStream for EnumeratorStream {
 
     fn next(&mut self) -> Result<Option<&[Val]>, EvalError> {
         self.cancel.check()?;
-        let EnumeratorStream { core, cursors, current, keybuf, state, .. } = self;
+        let EnumeratorStream { core, cursors, current, keybuf, state, rows, .. } = self;
         match state {
             StreamState::Done => return Ok(None),
             StreamState::NotStarted => {
@@ -307,12 +324,14 @@ impl AnswerStream for EnumeratorStream {
                     // Boolean query that is true: the single empty
                     // answer (`current` has length 0).
                     *state = StreamState::Done;
+                    *rows += 1;
                     return Ok(Some(current));
                 }
                 for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()) {
                     descend(lev, cur, current, keybuf);
                 }
                 *state = StreamState::Active;
+                *rows += 1;
                 return Ok(Some(current));
             }
             StreamState::Active => {}
@@ -336,6 +355,7 @@ impl AnswerStream for EnumeratorStream {
         for (lev, cur) in core.levels.iter().zip(cursors.iter_mut()).skip(i + 1) {
             descend(lev, cur, current, keybuf);
         }
+        *rows += 1;
         Ok(Some(current))
     }
 

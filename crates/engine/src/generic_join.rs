@@ -364,6 +364,7 @@ pub fn answers_with_order_catalog_cancel(
     catalog: &IndexCatalog,
     cancel: &CancelToken,
 ) -> Result<Relation, EvalError> {
+    let mut span = cq_obs::trace::span("op.generic-join.answers");
     let free = q.free_vars();
     let free_pos: Vec<usize> =
         free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
@@ -384,6 +385,8 @@ pub fn answers_with_order_catalog_cancel(
         },
     )?;
     out.normalize();
+    span.attr("rows", out.len() as u64);
+    span.attr("cancel-polls", cancel.polls());
     Ok(out)
 }
 
@@ -426,11 +429,14 @@ pub fn decide_with_order_catalog_cancel(
     catalog: &IndexCatalog,
     cancel: &CancelToken,
 ) -> Result<bool, EvalError> {
+    let mut span = cq_obs::trace::span("op.generic-join.decide");
     let mut found = false;
     generic_join_visit_catalog_cancel(q, db, order, catalog, cancel, &mut |_| {
         found = true;
         false
     })?;
+    span.attr("rows", u64::from(found));
+    span.attr("cancel-polls", cancel.polls());
     Ok(found)
 }
 
@@ -482,6 +488,7 @@ pub fn count_distinct_with_order_catalog_cancel(
     catalog: &IndexCatalog,
     cancel: &CancelToken,
 ) -> Result<u64, EvalError> {
+    let mut span = cq_obs::trace::span("op.generic-join.count");
     let free = q.free_vars();
     let free_pos: Vec<usize> =
         free.iter().map(|f| order.iter().position(|v| v == f).unwrap()).collect();
@@ -501,6 +508,8 @@ pub fn count_distinct_with_order_catalog_cancel(
             true
         },
     )?;
+    span.attr("rows", set.len() as u64);
+    span.attr("cancel-polls", cancel.polls());
     Ok(set.len() as u64)
 }
 

@@ -21,12 +21,21 @@
 //! sorted emission for disrupted orders is impossible without
 //! superlinear preprocessing, so callers who need normalized output
 //! collect and sort (`eval::answers*` does exactly that).
+//!
+//! Tracing: each stream captures the thread's current
+//! [`TraceSink`](cq_obs::TraceSink) at construction (construction
+//! happens inside the executor's `trace::with` scope; draining usually
+//! does not) and records one `stream.*` span over its whole lifetime,
+//! tagged with the rows it actually emitted and the cancel polls it
+//! absorbed. With tracing off — the default — the capture is a
+//! thread-local read and the span guard is inert.
 
 use crate::bind::EvalError;
 use crate::cancel::CancelToken;
 use crate::direct_access::DirectAccess;
 use cq_core::Var;
 use cq_data::{Relation, Val};
+use cq_obs::trace::{self, SpanGuard};
 
 /// A pull-driven stream of answer rows over a fixed schema.
 ///
@@ -93,13 +102,31 @@ pub struct RelationStream {
     rel: Relation,
     pos: usize,
     cancel: CancelToken,
+    rows: u64,
+    span: Option<SpanGuard>,
 }
 
 impl RelationStream {
     /// Stream `rel` (whatever order its rows are in) under `schema`.
     pub fn new(schema: Vec<Var>, rel: Relation) -> Self {
         debug_assert!(rel.is_empty() || rel.arity() == schema.len());
-        RelationStream { schema, rel, pos: 0, cancel: CancelToken::never() }
+        RelationStream {
+            schema,
+            rel,
+            pos: 0,
+            cancel: CancelToken::never(),
+            rows: 0,
+            span: Some(trace::current().span("stream.relation")),
+        }
+    }
+}
+
+impl Drop for RelationStream {
+    fn drop(&mut self) {
+        if let Some(mut span) = self.span.take() {
+            span.attr("rows", self.rows);
+            span.attr("cancel-polls", self.cancel.polls());
+        }
     }
 }
 
@@ -115,6 +142,7 @@ impl AnswerStream for RelationStream {
         }
         let row = self.rel.row(self.pos);
         self.pos += 1;
+        self.rows += 1;
         Ok(Some(row))
     }
 
@@ -147,6 +175,7 @@ pub struct DirectAccessStream {
     buf: Vec<Val>,
     cancel: CancelToken,
     accesses: u64,
+    span: Option<SpanGuard>,
 }
 
 impl DirectAccessStream {
@@ -160,6 +189,7 @@ impl DirectAccessStream {
             buf: Vec::new(),
             cancel: CancelToken::never(),
             accesses: 0,
+            span: Some(trace::current().span("stream.direct-access")),
         }
     }
 
@@ -168,6 +198,15 @@ impl DirectAccessStream {
     /// enumerating it.
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+}
+
+impl Drop for DirectAccessStream {
+    fn drop(&mut self) {
+        if let Some(mut span) = self.span.take() {
+            span.attr("rows", self.accesses);
+            span.attr("cancel-polls", self.cancel.polls());
+        }
     }
 }
 

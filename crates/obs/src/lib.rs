@@ -19,6 +19,16 @@
 //! text, plan op, cost exponent, and elapsed time for queries slower than a
 //! configurable cutoff.
 //!
+//! Two higher-level pieces build on those:
+//!
+//! - [`trace`] — per-query span trees ([`TraceSink`] / [`QueryTrace`]),
+//!   recorded through a scoped thread-local so instrumentation sites need
+//!   no plumbing and cost one branch when tracing is off. Feeds
+//!   `EXPLAIN ANALYZE`, `PROFILE`, and the slow-query log's top spans.
+//! - [`history`] — a [`HistoryRing`] of periodic counter snapshots that
+//!   turns any registry counter into a windowed rate (`METRICS RATE`,
+//!   per-tenant QPS in `STATS`).
+//!
 //! ```
 //! use cq_obs::{Registry, SlowQueryLog};
 //! use std::time::Duration;
@@ -39,9 +49,13 @@
 //! ```
 
 pub mod hist;
+pub mod history;
 pub mod registry;
 pub mod slowlog;
+pub mod trace;
 
 pub use hist::{fmt_ns, Histogram};
+pub use history::{HistoryRing, MetricsSnapshot, RateReport};
 pub use registry::{Counter, Gauge, Registry, Scope};
 pub use slowlog::{SlowQuery, SlowQueryLog};
+pub use trace::{QueryTrace, Span, SpanGuard, TraceSink};

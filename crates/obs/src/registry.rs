@@ -189,6 +189,33 @@ impl Registry {
         self.scopes.lock().unwrap().remove(name);
     }
 
+    /// Every nonzero counter as `(scope, name, value)`, scope- then
+    /// name-ordered. Gauges and histograms are excluded: this feeds
+    /// the [`HistoryRing`](crate::HistoryRing), whose deltas only mean
+    /// something for monotone values. Zero counters are skipped for
+    /// the same reason render skips them — the *registered* set
+    /// depends on which code paths ran, the *nonzero* set only on
+    /// what the commands did.
+    pub fn counters_snapshot(&self) -> Vec<(String, String, u64)> {
+        let scopes: Vec<(String, Arc<Scope>)> = {
+            let s = self.scopes.lock().unwrap();
+            s.iter().map(|(n, sc)| (n.clone(), Arc::clone(sc))).collect()
+        };
+        let mut out = Vec::new();
+        for (scope_name, scope) in scopes {
+            let m = scope.metrics.lock().unwrap();
+            for (name, metric) in m.iter() {
+                if let Metric::Counter(c) = metric {
+                    let v = c.get();
+                    if v > 0 {
+                        out.push((scope_name.clone(), name.clone(), v));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Render all scopes — or only the one named by `filter` — into a stable
     /// list of lines: scopes in name order, metrics in name order within a
     /// scope, each line `"<scope> <metric>=<value>"`.

@@ -25,19 +25,38 @@ pub struct SlowQuery {
     pub exponent: f64,
     /// Wall-clock time spent planning + executing.
     pub elapsed: Duration,
+    /// Tenant generation the query ran against, so a slow entry can be
+    /// correlated with the catalog state it actually saw (the entry
+    /// may be read long after further mutations).
+    pub generation: u64,
+    /// The trace's most expensive spans (`(name, elapsed)`, longest
+    /// first), when the query ran with tracing armed; empty otherwise.
+    /// Makes a slow entry self-diagnosing: it says *where* the time
+    /// went, not just how much there was.
+    pub top_spans: Vec<(String, Duration)>,
 }
 
 impl SlowQuery {
     /// One-line rendering used by the periodic dump.
     pub fn render(&self) -> String {
-        format!(
-            "slow-query db={} elapsed={:.3}ms exponent={:.2} op={:?} query={:?}",
+        let mut line = format!(
+            "slow-query db={} gen={} elapsed={:.3}ms exponent={:.2} op={:?} query={:?}",
             self.db,
+            self.generation,
             self.elapsed.as_secs_f64() * 1e3,
             self.exponent,
             self.plan_op,
             self.query
-        )
+        );
+        if !self.top_spans.is_empty() {
+            let spans: Vec<String> = self
+                .top_spans
+                .iter()
+                .map(|(name, t)| format!("{name}={:.3}ms", t.as_secs_f64() * 1e3))
+                .collect();
+            line.push_str(&format!(" top=[{}]", spans.join(", ")));
+        }
+        line
     }
 }
 
@@ -119,6 +138,8 @@ mod tests {
             plan_op: "scan".into(),
             exponent: 1.0,
             elapsed: Duration::from_millis(ms),
+            generation: 7,
+            top_spans: Vec::new(),
         }
     }
 
@@ -158,9 +179,23 @@ mod tests {
     fn render_mentions_all_fields() {
         let line = q(12).render();
         assert!(line.contains("db=t"));
+        assert!(line.contains("gen=7"));
         assert!(line.contains("elapsed=12.000ms"));
         assert!(line.contains("exponent=1.00"));
         assert!(line.contains("op=\"scan\""));
         assert!(line.contains("Ans() <- E(x,y)"));
+        // no trace → no top-spans suffix
+        assert!(!line.contains("top="));
+    }
+
+    #[test]
+    fn render_appends_top_spans_when_present() {
+        let mut entry = q(12);
+        entry.top_spans = vec![
+            ("op.generic-join.count".into(), Duration::from_millis(9)),
+            ("wal.append".into(), Duration::from_millis(2)),
+        ];
+        let line = entry.render();
+        assert!(line.contains("top=[op.generic-join.count=9.000ms, wal.append=2.000ms]"));
     }
 }

@@ -1,0 +1,444 @@
+//! Query-execution trace spans.
+//!
+//! A [`TraceSink`] collects lightweight spans — name, start offset and
+//! elapsed time on the monotonic clock, plus `u64` attribute pairs
+//! (rows emitted, cancel polls, catalog hits, WAL bytes, …) — from
+//! anywhere in a query's execution path, and assembles them into a
+//! [`QueryTrace`] span *tree* when the query finishes. The tree is
+//! recovered from the flat span log by interval containment (a span
+//! whose `[start, start+elapsed]` interval nests inside another's is
+//! its child), so recording never needs parent pointers or depth
+//! bookkeeping and works across the operator / stream / storage layers
+//! without threading state through their signatures.
+//!
+//! Instrumented code does not receive a sink parameter at all: the
+//! session installs its sink in a scoped thread-local via
+//! [`with`], and instrumentation sites open spans through the
+//! free function [`span`] (or capture [`current`] at construction
+//! time, as the answer streams do, since they drain after the
+//! installing scope has exited). When no sink is installed — the
+//! default — every operation is a no-op behind one thread-local read
+//! and a branch, which is what keeps the `metrics_overhead` ≤2% gate
+//! honest: tracing costs nothing unless a sink is armed.
+//!
+//! ```
+//! use cq_obs::trace::{self, TraceSink};
+//!
+//! let sink = TraceSink::enabled();
+//! trace::with(&sink, || {
+//!     let mut outer = trace::span("eval.count");
+//!     outer.attr("rows", 3);
+//!     let inner = trace::span("op.generic-join");
+//!     drop(inner);
+//! });
+//! let t = sink.finish("db", "COUNT q() :- R(x)").unwrap();
+//! assert_eq!(t.roots.len(), 1);
+//! assert_eq!(t.roots[0].name, "eval.count");
+//! assert_eq!(t.roots[0].children[0].name, "op.generic-join");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One closed span, as recorded: offsets are relative to the owning
+/// sink's epoch so the tree can be rebuilt without shared state.
+#[derive(Debug, Clone)]
+struct SpanRec {
+    name: String,
+    start: Duration,
+    elapsed: Duration,
+    attrs: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    epoch: Instant,
+    frames: Mutex<Vec<SpanRec>>,
+}
+
+/// A handle to an in-progress trace. Cheap to clone (one `Arc` bump
+/// when enabled, nothing when disabled); the disabled sink is the
+/// no-op default everywhere.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl TraceSink {
+    /// The no-op sink: spans opened against it cost a branch.
+    pub fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// A live sink; its creation instant is the epoch all span offsets
+    /// are measured from.
+    pub fn enabled() -> Self {
+        TraceSink {
+            inner: Some(Arc::new(TraceInner {
+                epoch: Instant::now(),
+                frames: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Will spans opened against this sink be recorded?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span named `name`; it records itself when dropped.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            open: self.inner.as_ref().map(|inner| OpenSpan {
+                inner: Arc::clone(inner),
+                name: name.to_string(),
+                start: Instant::now(),
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Close out the trace: drain every recorded span and assemble the
+    /// span tree. Returns `None` for a disabled sink or one that
+    /// recorded nothing. Spans still open (guards not yet dropped) are
+    /// not included; spans recorded after `finish` are discarded with
+    /// the sink.
+    pub fn finish(&self, db: &str, query: &str) -> Option<QueryTrace> {
+        let inner = self.inner.as_ref()?;
+        let recs: Vec<SpanRec> = inner.frames.lock().unwrap().drain(..).collect();
+        assemble(recs, db, query)
+    }
+
+    /// Like [`finish`](Self::finish) but non-draining: assemble a tree
+    /// from a *copy* of the spans recorded so far, leaving the sink
+    /// intact for a later `finish`. For mid-query peeks (the slow-query
+    /// log wants top spans before the session-level trace closes).
+    pub fn snapshot(&self, db: &str, query: &str) -> Option<QueryTrace> {
+        let inner = self.inner.as_ref()?;
+        let recs: Vec<SpanRec> = inner.frames.lock().unwrap().clone();
+        assemble(recs, db, query)
+    }
+}
+
+/// Assemble flat span records into a [`QueryTrace`] by interval
+/// containment.
+fn assemble(mut recs: Vec<SpanRec>, db: &str, query: &str) -> Option<QueryTrace> {
+    if recs.is_empty() {
+        return None;
+    }
+    // Parents start no later and end no earlier than their
+    // children, so (start asc, elapsed desc) visits each parent
+    // before anything nested inside it; the sort is stable, so
+    // indistinguishable intervals keep recording order.
+    recs.sort_by(|a, b| a.start.cmp(&b.start).then(b.elapsed.cmp(&a.elapsed)));
+    let total = recs.iter().map(|r| r.start + r.elapsed).max().unwrap_or(Duration::ZERO);
+    let mut roots: Vec<Span> = Vec::new();
+    let mut stack: Vec<Span> = Vec::new();
+    fn close(stack: &mut [Span], roots: &mut Vec<Span>, done: Span) {
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(done),
+            None => roots.push(done),
+        }
+    }
+    for rec in recs {
+        let sp = Span {
+            name: rec.name,
+            start: rec.start,
+            elapsed: rec.elapsed,
+            attrs: rec.attrs,
+            children: Vec::new(),
+        };
+        while let Some(top) = stack.last() {
+            let fits =
+                sp.start >= top.start && sp.start + sp.elapsed <= top.start + top.elapsed;
+            if fits {
+                break;
+            }
+            let done = stack.pop().unwrap();
+            close(&mut stack, &mut roots, done);
+        }
+        stack.push(sp);
+    }
+    while let Some(done) = stack.pop() {
+        close(&mut stack, &mut roots, done);
+    }
+    Some(QueryTrace { db: db.to_string(), query: query.to_string(), total, roots })
+}
+
+/// The live half of an enabled [`SpanGuard`].
+#[derive(Debug)]
+struct OpenSpan {
+    inner: Arc<TraceInner>,
+    name: String,
+    start: Instant,
+    attrs: Vec<(&'static str, u64)>,
+}
+
+/// An open span: created by [`TraceSink::span`] / [`span`], recorded
+/// into the sink when dropped. A guard from a disabled sink is inert.
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// Attach (or overwrite) a `u64` attribute. No-op when inert.
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if let Some(open) = self.open.as_mut() {
+            match open.attrs.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 = value,
+                None => open.attrs.push((key, value)),
+            }
+        }
+    }
+
+    /// Is this guard actually recording?
+    pub fn is_recording(&self) -> bool {
+        self.open.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            let rec = SpanRec {
+                start: open.start.duration_since(open.inner.epoch),
+                elapsed: open.start.elapsed(),
+                name: open.name,
+                attrs: open.attrs,
+            };
+            open.inner.frames.lock().unwrap().push(rec);
+        }
+    }
+}
+
+/// One node of an assembled span tree.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Instrumentation-site name (`op.generic-join.count`,
+    /// `stream.enumerate`, `wal.append`, …).
+    pub name: String,
+    /// Offset from the trace's epoch.
+    pub start: Duration,
+    /// Wall time between the span's open and close.
+    pub elapsed: Duration,
+    /// Site-specific `u64` attributes (`rows`, `cancel-polls`, …).
+    pub attrs: Vec<(&'static str, u64)>,
+    /// Spans whose intervals nest inside this one.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<u64> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+/// A finished per-query trace: the assembled span forest plus enough
+/// identity (tenant, query text) to be useful later in a `PROFILE`
+/// ring.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Tenant the query ran against.
+    pub db: String,
+    /// The query (or command) text as received.
+    pub query: String,
+    /// Latest span end, measured from the sink's epoch — an upper
+    /// bound on the traced work's wall time.
+    pub total: Duration,
+    /// Top-level spans in start order.
+    pub roots: Vec<Span>,
+}
+
+impl QueryTrace {
+    /// The `n` most expensive spans anywhere in the tree, as
+    /// `(name, elapsed)` pairs, longest first (name-ordered on ties so
+    /// the result is deterministic). Self time is not subtracted — a
+    /// parent reporting its children's time too is the useful answer
+    /// for "where did the time go".
+    pub fn top_spans(&self, n: usize) -> Vec<(String, Duration)> {
+        let mut all: Vec<(String, Duration)> = Vec::new();
+        let mut queue: VecDeque<&Span> = self.roots.iter().collect();
+        while let Some(sp) = queue.pop_front() {
+            all.push((sp.name.clone(), sp.elapsed));
+            queue.extend(sp.children.iter());
+        }
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Walk the tree depth-first, calling `f(depth, span)`.
+    pub fn visit(&self, mut f: impl FnMut(usize, &Span)) {
+        fn walk(sp: &Span, depth: usize, f: &mut impl FnMut(usize, &Span)) {
+            f(depth, sp);
+            for child in &sp.children {
+                walk(child, depth + 1, f);
+            }
+        }
+        for root in &self.roots {
+            walk(root, 0, &mut f);
+        }
+    }
+
+    /// Total spans in the tree.
+    pub fn span_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(|_, _| n += 1);
+        n
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<TraceSink> = RefCell::new(TraceSink::disabled());
+}
+
+struct Restore(Option<TraceSink>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        if let Some(prev) = self.0.take() {
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Run `f` with `sink` installed as the thread's current trace sink;
+/// the previous sink is restored afterwards (including on panic).
+pub fn with<R>(sink: &TraceSink, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), sink.clone()));
+    let _restore = Restore(Some(prev));
+    f()
+}
+
+/// The thread's current sink (disabled unless inside [`with`]).
+/// Components whose work outlives the installing scope — answer
+/// streams, which drain after `execute` returns — clone this at
+/// construction time.
+pub fn current() -> TraceSink {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Open a span against the thread's current sink. The common
+/// instrumentation entry point: free when no sink is installed.
+pub fn span(name: &str) -> SpanGuard {
+    CURRENT.with(|c| c.borrow().span(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        let mut g = sink.span("x");
+        g.attr("rows", 1);
+        assert!(!g.is_recording());
+        drop(g);
+        assert!(sink.finish("db", "q").is_none());
+    }
+
+    #[test]
+    fn empty_enabled_sink_finishes_to_none() {
+        assert!(TraceSink::enabled().finish("db", "q").is_none());
+    }
+
+    #[test]
+    fn nesting_is_recovered_from_intervals() {
+        let sink = TraceSink::enabled();
+        let outer = sink.span("outer");
+        let mid = sink.span("mid");
+        let inner = sink.span("inner");
+        drop(inner);
+        drop(mid);
+        let sibling = sink.span("sibling");
+        drop(sibling);
+        drop(outer);
+        let t = sink.finish("db", "q").unwrap();
+        assert_eq!(t.roots.len(), 1);
+        let outer = &t.roots[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.children.len(), 2);
+        assert_eq!(outer.children[0].name, "mid");
+        assert_eq!(outer.children[0].children[0].name, "inner");
+        assert_eq!(outer.children[1].name, "sibling");
+        assert_eq!(t.span_count(), 4);
+    }
+
+    #[test]
+    fn sequential_spans_become_sibling_roots() {
+        let sink = TraceSink::enabled();
+        drop(sink.span("a"));
+        std::thread::sleep(Duration::from_micros(50));
+        drop(sink.span("b"));
+        let t = sink.finish("db", "q").unwrap();
+        assert_eq!(t.roots.len(), 2);
+        assert_eq!(t.roots[0].name, "a");
+        assert_eq!(t.roots[1].name, "b");
+    }
+
+    #[test]
+    fn attrs_survive_and_overwrite() {
+        let sink = TraceSink::enabled();
+        let mut g = sink.span("op");
+        g.attr("rows", 1);
+        g.attr("rows", 7);
+        g.attr("polls", 3);
+        drop(g);
+        let t = sink.finish("db", "q").unwrap();
+        assert_eq!(t.roots[0].attr("rows"), Some(7));
+        assert_eq!(t.roots[0].attr("polls"), Some(3));
+        assert_eq!(t.roots[0].attr("missing"), None);
+    }
+
+    #[test]
+    fn tls_scope_installs_and_restores() {
+        assert!(!current().is_enabled());
+        let sink = TraceSink::enabled();
+        with(&sink, || {
+            assert!(current().is_enabled());
+            drop(span("inside"));
+            // nested scopes mask the outer sink
+            with(&TraceSink::disabled(), || {
+                assert!(!current().is_enabled());
+                drop(span("lost"));
+            });
+            assert!(current().is_enabled());
+        });
+        assert!(!current().is_enabled());
+        let t = sink.finish("db", "q").unwrap();
+        assert_eq!(t.span_count(), 1);
+        assert_eq!(t.roots[0].name, "inside");
+    }
+
+    #[test]
+    fn top_spans_orders_by_elapsed() {
+        let sink = TraceSink::enabled();
+        let slow = sink.span("slow");
+        std::thread::sleep(Duration::from_millis(2));
+        let fast = sink.span("fast");
+        drop(fast);
+        drop(slow);
+        let t = sink.finish("db", "q").unwrap();
+        let top = t.top_spans(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, "slow");
+        assert_eq!(t.top_spans(10).len(), 2);
+    }
+
+    #[test]
+    fn captured_sink_records_outside_the_scope() {
+        // the answer-stream pattern: capture current() inside the
+        // scope, record after it exits
+        let sink = TraceSink::enabled();
+        let captured = with(&sink, current);
+        drop(captured.span("late"));
+        let t = sink.finish("db", "q").unwrap();
+        assert_eq!(t.roots[0].name, "late");
+    }
+}

@@ -38,6 +38,7 @@ use cq_core::ConjunctiveQuery;
 use cq_data::{Database, IndexCatalog, Relation};
 use cq_engine::bind::EvalError;
 use cq_engine::CancelToken;
+use cq_obs::trace::{self, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -101,6 +102,7 @@ pub struct EvalCtx<'a> {
     catalog: Option<&'a IndexCatalog>,
     cancel: CancelToken,
     budget: EvalBudget,
+    trace: TraceSink,
 }
 
 impl Default for EvalCtx<'_> {
@@ -117,13 +119,22 @@ impl<'a> EvalCtx<'a> {
             catalog: None,
             cancel: CancelToken::never(),
             budget: EvalBudget::unlimited(),
+            // inherit whatever sink the caller's scope has installed
+            // (disabled outside any `trace::with`), so a session-level
+            // profiling sink reaches evaluation without plumbing
+            trace: trace::current(),
         }
     }
 
     /// Run against an explicit catalog (e.g. one pinned per server
     /// tenant) instead of the process-wide registry's.
     pub fn with_catalog<'b>(self, catalog: &'b IndexCatalog) -> EvalCtx<'b> {
-        EvalCtx { catalog: Some(catalog), cancel: self.cancel, budget: self.budget }
+        EvalCtx {
+            catalog: Some(catalog),
+            cancel: self.cancel,
+            budget: self.budget,
+            trace: self.trace,
+        }
     }
 
     /// Bound the evaluation by `cancel`: a tripped deadline or probe
@@ -138,6 +149,17 @@ impl<'a> EvalCtx<'a> {
     /// doing any evaluation work.
     pub fn with_budget(mut self, budget: EvalBudget) -> EvalCtx<'a> {
         self.budget = budget;
+        self
+    }
+
+    /// Record execution into `trace`: the executor opens a root
+    /// `execute` span (catalog hits vs. builds, cancel polls, rows)
+    /// and installs the sink as the thread-current one for the
+    /// duration, so operator, stream, and WAL spans land in the same
+    /// trace with no signature changes anywhere below. A disabled
+    /// sink (the default) short-circuits to the untraced path.
+    pub fn with_trace(mut self, trace: TraceSink) -> EvalCtx<'a> {
+        self.trace = trace;
         self
     }
 
@@ -173,9 +195,42 @@ impl<'a> EvalCtx<'a> {
     ) -> Result<Output, EvalError> {
         self.admit(plan).map_err(EvalError::OverBudget)?;
         match self.catalog {
-            Some(cat) => execute_in(plan, q, db, cat, &self.cancel),
-            None => execute_in(plan, q, db, &IndexCatalog::new(), &self.cancel),
+            Some(cat) => self.execute_traced(plan, q, db, cat),
+            None => self.execute_traced(plan, q, db, &IndexCatalog::new()),
         }
+    }
+
+    /// [`execute_in`] under this context's trace sink: a no-op
+    /// passthrough when tracing is off; otherwise the sink is
+    /// installed thread-locally around the call and a root `execute`
+    /// span records catalog hits vs. builds, cancel polls, and the
+    /// result cardinality (streamed answers record their own rows as
+    /// they drain).
+    fn execute_traced(
+        &self,
+        plan: &QueryPlan,
+        q: &ConjunctiveQuery,
+        db: &Database,
+        catalog: &IndexCatalog,
+    ) -> Result<Output, EvalError> {
+        if !self.trace.is_enabled() {
+            return execute_in(plan, q, db, catalog, &self.cancel);
+        }
+        trace::with(&self.trace, || {
+            let mut span = trace::span("execute");
+            let before = catalog.snapshot();
+            let out = execute_in(plan, q, db, catalog, &self.cancel);
+            let after = catalog.snapshot();
+            span.attr("catalog-hits", after.hits.saturating_sub(before.hits));
+            span.attr("catalog-builds", after.misses.saturating_sub(before.misses));
+            span.attr("cancel-polls", self.cancel.polls());
+            match &out {
+                Ok(Output::Count(n)) => span.attr("rows", *n),
+                Ok(Output::Decision(d)) => span.attr("rows", u64::from(*d)),
+                _ => {}
+            }
+            out
+        })
     }
 
     /// The catalog task methods run against: the explicit one, or the
@@ -236,7 +291,7 @@ impl<'a> EvalCtx<'a> {
         let stats = catalog.get().stats(db);
         let plan = planner.plan(q, task, &stats);
         self.admit(&plan).map_err(EvalError::OverBudget)?;
-        let out = execute_in(&plan, q, db, catalog.get(), &self.cancel)?;
+        let out = self.execute_traced(&plan, q, db, catalog.get())?;
         Ok((out, plan))
     }
 
@@ -269,11 +324,14 @@ impl<'a> EvalCtx<'a> {
             items.iter().map(|(q, task)| p.plan(q, *task, &stats)).collect()
         });
 
+        // execute_traced installs the sink per call, so worker threads
+        // (which do not inherit the session thread's trace TLS) still
+        // record into the shared trace
         let run = |i: usize| -> Result<(Output, QueryPlan), EvalError> {
             let (q, _) = items[i];
             let plan = &plans[i];
             self.admit(plan).map_err(EvalError::OverBudget)?;
-            execute_in(plan, q, db, catalog, &self.cancel).map(|out| (out, plan.clone()))
+            self.execute_traced(plan, q, db, catalog).map(|out| (out, plan.clone()))
         };
 
         let workers = workers.min(items.len());

@@ -3,6 +3,7 @@
 //! ```text
 //! cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] [--data-dir PATH]
 //!     [--metrics-interval SECS] [--slow-query-ms N]
+//!     [--metrics-history N] [--profile N]
 //!     [--group-commit-ms N] [--auto-save-bytes N] [--replica-of HOST:PORT]
 //! ```
 //!
@@ -19,6 +20,15 @@
 //! `--metrics-interval` the entries are still visible over the wire
 //! via `METRICS` (the `server slow-queries` gauge) and retained for
 //! the periodic dump.
+//!
+//! `--metrics-history N` sizes the counter-snapshot ring behind
+//! `METRICS RATE` (default 8). With `--metrics-interval` the dumper
+//! thread also captures a snapshot each tick, so rates are available
+//! without a client polling `METRICS RATE`. `--profile N` turns on
+//! per-query execution tracing, retaining the last N span trees per
+//! tenant for the `PROFILE <db>` command (and `EXPLAIN ANALYZE`
+//! results); without it, tracing is compiled to no-ops and `PROFILE`
+//! answers `ERR tracing-off`.
 //!
 //! With `--data-dir`, tenants are durable: every tenant found under
 //! the directory is recovered on boot (snapshot + write-ahead-log
@@ -56,6 +66,8 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut metrics_interval: Option<u64> = None;
     let mut slow_query_ms: Option<u64> = None;
+    let mut metrics_history: Option<usize> = None;
+    let mut profile: Option<usize> = None;
     let mut group_commit_ms: Option<u64> = None;
     let mut auto_save_bytes: Option<u64> = None;
     let mut replica_of: Option<String> = None;
@@ -85,6 +97,24 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--slow-query-ms takes milliseconds"));
                 slow_query_ms = Some(ms);
+            }
+            "--metrics-history" => {
+                let n: usize = expect_value(&mut args, "--metrics-history")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--metrics-history takes a count"));
+                if n < 2 {
+                    usage("--metrics-history needs at least 2 snapshots to rate");
+                }
+                metrics_history = Some(n);
+            }
+            "--profile" => {
+                let n: usize = expect_value(&mut args, "--profile")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--profile takes a trace count"));
+                if n == 0 {
+                    usage("--profile must retain at least 1 trace");
+                }
+                profile = Some(n);
             }
             "--group-commit-ms" => {
                 let ms: u64 = expect_value(&mut args, "--group-commit-ms")
@@ -193,12 +223,23 @@ fn main() {
         state.metrics().slowlog().set_threshold(std::time::Duration::from_millis(ms));
         println!("cqd slow-query log enabled at {ms}ms");
     }
+    if let Some(n) = metrics_history {
+        state.metrics().history().set_capacity(n);
+        println!("cqd metrics history ring sized to {n} snapshots");
+    }
+    if let Some(n) = profile {
+        state.metrics().set_profile_capacity(n);
+        println!("cqd per-query tracing enabled ({n} traces per tenant)");
+    }
     if let Some(secs) = metrics_interval {
         let state = Arc::clone(&state);
         std::thread::Builder::new()
             .name("cqd-metrics".into())
             .spawn(move || loop {
                 std::thread::sleep(std::time::Duration::from_secs(secs));
+                // feed the rate ring on the same cadence: every dump
+                // tick is a snapshot `METRICS RATE` can difference
+                state.metrics().capture_history();
                 for line in cq_server::metrics::render(&state, None) {
                     println!("cqd metric: {line}");
                 }
@@ -232,6 +273,7 @@ fn main() {
 
 const USAGE: &str = "cqd [--addr HOST:PORT] [--workers N] [--port-file PATH] \
                      [--data-dir PATH] [--metrics-interval SECS] [--slow-query-ms N] \
+                     [--metrics-history N] [--profile N] \
                      [--group-commit-ms N] [--auto-save-bytes N] \
                      [--replica-of HOST:PORT]";
 

@@ -21,6 +21,11 @@
 //! rows as they arrive — constant memory on both ends — and finishes
 //! with one `OK <total> rows total` line (or the server's error reply,
 //! e.g. `ERR stale-cursor`, if the iteration is cut short).
+//!
+//! `PROFILE <db>` replies are pretty-printed: the wire's flat
+//! `trace …` / `span …` lines become an indented span tree with each
+//! span's share of its trace total. `ERR` replies (e.g. `tracing-off`)
+//! pass through in wire form.
 
 use cq_server::client::Client;
 use cq_server::protocol::{Reply, END_KEYWORD};
@@ -104,8 +109,12 @@ fn main() {
                 Ok(r) => r,
                 Err(_) => die_disconnected(),
             };
-            print_reply(&mut out, &reply);
             let verb = trimmed.split_whitespace().next().unwrap_or("");
+            if verb.eq_ignore_ascii_case("PROFILE") && reply.is_ok() {
+                print_profile(&mut out, &reply);
+            } else {
+                print_reply(&mut out, &reply);
+            }
             let opens_block =
                 verb.eq_ignore_ascii_case("LOAD") || verb.eq_ignore_ascii_case("BATCH");
             if opens_block && reply.is_ok() {
@@ -146,6 +155,61 @@ fn fetchall(client: &mut Client, out: &mut impl Write, line: &str) {
         Ok(Err(reply)) => print_reply(out, &reply),
         Err(_) => die_disconnected(),
     }
+}
+
+/// Pretty-print a `PROFILE` reply: each `trace …` header becomes a
+/// one-line summary, each `span …` line an indented tree row with the
+/// span's share of the trace total. Unrecognized data lines pass
+/// through in wire form, so a newer server never breaks the shell.
+fn print_profile(out: &mut impl Write, reply: &Reply) {
+    let mut total_ns: u128 = 0;
+    for line in &reply.data {
+        if let Some(rest) = line.strip_prefix("trace ") {
+            total_ns = field(rest, "total-ns=").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let db = field(rest, "db=").unwrap_or("?");
+            let spans = field(rest, "spans=").unwrap_or("?");
+            let query = rest.split_once("query=").map_or("", |(_, q)| q);
+            writeln!(
+                out,
+                "profile {db}: {} across {spans} spans, query {query}",
+                fmt_ns(total_ns)
+            )
+            .ok();
+        } else if let Some(rest) = line.strip_prefix("span ") {
+            let depth: usize =
+                field(rest, "depth=").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let name = field(rest, "name=").unwrap_or("?");
+            let ns: u128 = field(rest, "ns=").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let pct =
+                if total_ns > 0 { 100.0 * ns as f64 / total_ns as f64 } else { 0.0 };
+            let attrs = rest
+                .split_whitespace()
+                .filter(|t| {
+                    !t.starts_with("depth=")
+                        && !t.starts_with("name=")
+                        && !t.starts_with("ns=")
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let indent = "  ".repeat(depth + 1);
+            let tail = if attrs.is_empty() { String::new() } else { format!(" {attrs}") };
+            writeln!(out, "{indent}{name} {} ({pct:.0}%){tail}", fmt_ns(ns)).ok();
+        } else {
+            writeln!(out, "* {line}").ok();
+        }
+    }
+    writeln!(out, "{}", reply.terminal).ok();
+    out.flush().ok();
+}
+
+/// The value of a `key=` token in a space-separated line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace().find_map(|t| t.strip_prefix(key))
+}
+
+/// Nanoseconds as milliseconds with microsecond precision.
+fn fmt_ns(ns: u128) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
 }
 
 fn print_reply(out: &mut impl Write, reply: &Reply) {

@@ -268,6 +268,39 @@ impl Client {
         }
     }
 
+    /// Windowed counter rates from the server's metrics history ring:
+    /// `METRICS RATE [<db>] [<window-s>]`. The first call seeds the
+    /// ring (`rate: n/a …` data line); later calls report
+    /// `scope name rate=<v>/s` lines under a `window=…` header.
+    pub fn metrics_rate(
+        &mut self,
+        db: Option<&str>,
+        window_s: Option<u64>,
+    ) -> std::io::Result<Reply> {
+        let mut line = "METRICS RATE".to_string();
+        if let Some(db) = db {
+            line.push(' ');
+            line.push_str(db);
+        }
+        if let Some(w) = window_s {
+            line.push_str(&format!(" {w}"));
+        }
+        self.request(&line)
+    }
+
+    /// A tenant's retained query traces: `PROFILE <db>`. Answers
+    /// `ERR tracing-off` unless the server runs with `--profile N`.
+    pub fn profile(&mut self, db: &str) -> std::io::Result<Reply> {
+        self.request(&format!("PROFILE {db}"))
+    }
+
+    /// Plan, execute, and measure a query: `EXPLAIN ANALYZE <task>
+    /// <query>`. Data lines carry the plan rendering followed by the
+    /// measured `analyze: …` section and the per-operator span tree.
+    pub fn explain_analyze(&mut self, task: &str, query: &str) -> std::io::Result<Reply> {
+        self.request(&format!("EXPLAIN ANALYZE {task} {query}"))
+    }
+
     /// Say `QUIT` and close the connection.
     pub fn quit(mut self) -> std::io::Result<Reply> {
         self.request("QUIT")

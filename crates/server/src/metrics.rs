@@ -30,10 +30,13 @@
 //! `cq-planner` free of any observability dependency.
 
 use crate::state::ServerState;
-use cq_obs::{Counter, Histogram, Registry, Scope, SlowQueryLog};
+use cq_obs::{
+    Counter, Histogram, HistoryRing, QueryTrace, Registry, Scope, SlowQueryLog,
+};
 use cq_planner::eval;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Name of the cross-tenant scope.
@@ -66,10 +69,22 @@ pub fn op_slug(op_name: &str) -> String {
 pub struct ServerMetrics {
     registry: Registry,
     slowlog: SlowQueryLog,
+    /// Periodic counter snapshots; `METRICS RATE` differences two of
+    /// them into windowed per-second rates.
+    history: HistoryRing,
+    /// Per-query trace retention: 0 disables tracing entirely (the
+    /// default — spans cost nothing when no sink is installed), N keeps
+    /// the last N [`QueryTrace`]s per tenant for `PROFILE`.
+    profile_capacity: AtomicUsize,
+    profiles: Mutex<BTreeMap<String, VecDeque<QueryTrace>>>,
 }
 
 /// Retained slow-query entries (the log's ring capacity).
 const SLOWLOG_CAPACITY: usize = 128;
+
+/// Default metrics-history snapshots retained (`--metrics-history`
+/// overrides).
+const HISTORY_CAPACITY: usize = 8;
 
 impl Default for ServerMetrics {
     fn default() -> Self {
@@ -82,6 +97,9 @@ impl ServerMetrics {
         ServerMetrics {
             registry: Registry::new(),
             slowlog: SlowQueryLog::new(SLOWLOG_CAPACITY),
+            history: HistoryRing::new(HISTORY_CAPACITY),
+            profile_capacity: AtomicUsize::new(0),
+            profiles: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -110,6 +128,68 @@ impl ServerMetrics {
     /// from zero rather than inheriting a dead namesake's counters).
     pub fn drop_tenant(&self, db: &str) {
         self.registry.drop_scope(&tenant_scope(db));
+        self.profiles.lock().unwrap().remove(db);
+    }
+
+    /// The counter-snapshot history ring behind `METRICS RATE`.
+    pub fn history(&self) -> &HistoryRing {
+        &self.history
+    }
+
+    /// Capture a counter snapshot into the history ring.
+    pub fn capture_history(&self) {
+        self.history.capture(&self.registry);
+    }
+
+    /// How many traces `PROFILE` retains per tenant (0 = tracing off).
+    pub fn profile_capacity(&self) -> usize {
+        self.profile_capacity.load(Ordering::Relaxed)
+    }
+
+    /// Enable (or resize) per-tenant trace retention. Shrinking evicts
+    /// oldest traces; 0 turns tracing back off and clears everything.
+    pub fn set_profile_capacity(&self, cap: usize) {
+        self.profile_capacity.store(cap, Ordering::Relaxed);
+        let mut rings = self.profiles.lock().unwrap();
+        if cap == 0 {
+            rings.clear();
+        } else {
+            for ring in rings.values_mut() {
+                while ring.len() > cap {
+                    ring.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Is per-query tracing on (`PROFILE` retention > 0)?
+    pub fn profiling(&self) -> bool {
+        self.profile_capacity() > 0
+    }
+
+    /// Retain a finished trace for `PROFILE <db>` (evicting the oldest
+    /// past capacity). No-op when tracing is off.
+    pub fn push_trace(&self, trace: QueryTrace) {
+        let cap = self.profile_capacity();
+        if cap == 0 {
+            return;
+        }
+        let mut rings = self.profiles.lock().unwrap();
+        let ring = rings.entry(trace.db.clone()).or_default();
+        while ring.len() >= cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// A tenant's retained traces, oldest first.
+    pub fn recent_traces(&self, db: &str) -> Vec<QueryTrace> {
+        self.profiles
+            .lock()
+            .unwrap()
+            .get(db)
+            .map(|ring| ring.iter().cloned().collect())
+            .unwrap_or_default()
     }
 }
 
@@ -156,6 +236,15 @@ impl SessionMetrics {
         let (calls, latency) = self.pair(&scope, &format!("op.{}", op_slug(op_name)));
         calls.inc();
         latency.record_duration(elapsed);
+    }
+
+    /// Count one error reply on a tenant-addressed command in the
+    /// tenant's own scope (`errors`) — the per-kind breakdown stays
+    /// server-wide ([`ServerMetrics::record_error`]); this counter
+    /// feeds the tenant's `err-rate` line in `STATS <name>`.
+    pub fn record_tenant_error(&mut self, db: &str) {
+        let scope = self.shared.registry.scope(&tenant_scope(db));
+        scope.counter("errors").inc();
     }
 
     /// Count one admission-control rejection for a tenant.

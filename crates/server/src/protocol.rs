@@ -16,6 +16,7 @@
 //!          | COUNT   <query-text>
 //!          | ANSWERS <query-text>
 //!          | EXPLAIN <task> <query-text>            -- task: DECIDE|COUNT|ANSWERS|ACCESS
+//!          | EXPLAIN ANALYZE <task> <query-text>    -- plan, execute, annotate with measured spans
 //!          | CURSOR ANSWERS|ACCESS <query-text>     -- open a streaming cursor → OK cursor <id>
 //!          | FETCH <id> <n>                         -- pull up to n rows from a cursor
 //!          | SEEK <id> <k>                          -- jump to answer k (direct-access plans, O(1))
@@ -26,6 +27,8 @@
 //!          | DROP <rel>                             -- delete one relation
 //!          | STATS [<name>]                         -- server stats / tenant detail
 //!          | METRICS [<name>]                       -- metrics registry / one tenant's scope
+//!          | METRICS RATE [<name>] [<window-s>]     -- windowed counter rates from the history ring
+//!          | PROFILE <name>                         -- a tenant's recent query traces (needs --profile)
 //!          | SET BUDGET <name> MAX-EXPONENT <e>     -- admission control: cap plan cost m^e
 //!          | SET BUDGET <name> MAX-ROWS <n>         -- ...or cap estimated operations
 //!          | SET BUDGET <name> NONE                 -- clear both caps
@@ -120,12 +123,16 @@ pub enum ErrKind {
     ReadOnly,
     /// A command handler panicked; the session survives.
     Internal,
+    /// `PROFILE` on a server whose trace ring is disabled (`cqd` was
+    /// started without `--profile N`); the message says how to enable
+    /// it.
+    TracingOff,
 }
 
 /// Every error kind, in declaration order — the shared vocabulary both
 /// wire ends iterate (the client's [`ErrKind::parse`], kind-exhaustive
 /// tests).
-pub const ALL_ERR_KINDS: [ErrKind; 23] = [
+pub const ALL_ERR_KINDS: [ErrKind; 24] = [
     ErrKind::UnknownCommand,
     ErrKind::BadUtf8,
     ErrKind::Usage,
@@ -149,6 +156,7 @@ pub const ALL_ERR_KINDS: [ErrKind; 23] = [
     ErrKind::CursorLimit,
     ErrKind::ReadOnly,
     ErrKind::Internal,
+    ErrKind::TracingOff,
 ];
 
 impl ErrKind {
@@ -178,6 +186,7 @@ impl ErrKind {
             ErrKind::CursorLimit => "cursor-limit",
             ErrKind::ReadOnly => "read-only",
             ErrKind::Internal => "internal",
+            ErrKind::TracingOff => "tracing-off",
         }
     }
 
@@ -307,6 +316,15 @@ pub enum Command {
         /// Raw query text.
         src: String,
     },
+    /// Plan, render, execute under a trace, and report measured
+    /// per-operator spans alongside the plan.
+    ExplainAnalyze {
+        /// Task to run (never [`Task::Access`] — there is nothing to
+        /// execute for a bare access structure).
+        task: Task,
+        /// Raw query text.
+        src: String,
+    },
     /// Open a streaming cursor over a query's answers; the reply is
     /// `OK cursor <id>`.
     Cursor {
@@ -357,6 +375,21 @@ pub enum Command {
         /// `METRICS <name>`: limit to that tenant's scope; bare
         /// `METRICS` renders every scope.
         db: Option<String>,
+    },
+    /// Windowed counter rates from the metrics history ring (also
+    /// captures a fresh snapshot into the ring first).
+    MetricsRate {
+        /// `METRICS RATE <name> …`: limit to that tenant's scope.
+        db: Option<String>,
+        /// `METRICS RATE … <window-s>`: how far back (in seconds) the
+        /// baseline snapshot may lie; `None` spans the whole ring.
+        window_s: Option<u64>,
+    },
+    /// A tenant's recent query traces (`ERR tracing-off` unless the
+    /// server was started with `--profile N`).
+    Profile {
+        /// The tenant whose trace ring to dump.
+        db: String,
     },
     /// Set (or clear) a tenant's admission-control budget.
     SetBudget {
@@ -461,10 +494,27 @@ pub fn parse_command(line: &str) -> Result<Command, Reply> {
         }
         "EXPLAIN" => {
             let (task_txt, src) = split_word(rest);
+            if task_txt.eq_ignore_ascii_case("ANALYZE") {
+                let (task_txt, src) = split_word(src);
+                let task =
+                    query_task(&task_txt.to_ascii_uppercase()).ok_or_else(|| {
+                        Reply::err(
+                            ErrKind::Usage,
+                            "usage: EXPLAIN ANALYZE DECIDE|COUNT|ANSWERS <query>",
+                        )
+                    })?;
+                if src.is_empty() {
+                    return Err(Reply::err(
+                        ErrKind::Usage,
+                        "EXPLAIN ANALYZE needs a query",
+                    ));
+                }
+                return Ok(Command::ExplainAnalyze { task, src: src.to_string() });
+            }
             let task = explain_task(task_txt).ok_or_else(|| {
                 Reply::err(
                     ErrKind::Usage,
-                    "usage: EXPLAIN DECIDE|COUNT|ANSWERS|ACCESS <query>",
+                    "usage: EXPLAIN [ANALYZE] DECIDE|COUNT|ANSWERS|ACCESS <query>",
                 )
             })?;
             if src.is_empty() {
@@ -527,12 +577,17 @@ pub fn parse_command(line: &str) -> Result<Command, Reply> {
             }
         }
         "METRICS" => {
+            let (first, more) = split_word(rest);
+            if first.eq_ignore_ascii_case("RATE") {
+                return parse_metrics_rate(more);
+            }
             if rest.is_empty() {
                 Ok(Command::Metrics { db: None })
             } else {
                 Ok(Command::Metrics { db: Some(valid_db_name(rest)?) })
             }
         }
+        "PROFILE" => Ok(Command::Profile { db: valid_db_name(rest)? }),
         "SET" => parse_set(rest),
         "SHIP" => {
             if rest.is_empty() {
@@ -564,6 +619,30 @@ pub fn query_task(verb_uc: &str) -> Option<Task> {
 fn explain_task(word: &str) -> Option<Task> {
     let uc = word.to_ascii_uppercase();
     query_task(&uc).or(if uc == "ACCESS" { Some(Task::Access) } else { None })
+}
+
+/// Parse the tail of `METRICS RATE [<name>] [<window-s>]`. A single
+/// argument that parses as a number is a window; otherwise it is a
+/// tenant name (tenant names never start with a digit — see
+/// [`valid_db_name`]'s identifier rule — so the forms cannot collide).
+fn parse_metrics_rate(rest: &str) -> Result<Command, Reply> {
+    const USAGE: &str = "usage: METRICS RATE [<name>] [<window-s>]";
+    if rest.is_empty() {
+        return Ok(Command::MetricsRate { db: None, window_s: None });
+    }
+    let (first, more) = split_word(rest);
+    if let Ok(w) = first.parse::<u64>() {
+        return expect_no_args(
+            more,
+            Command::MetricsRate { db: None, window_s: Some(w) },
+        );
+    }
+    let db = valid_db_name(first)?;
+    if more.is_empty() {
+        return Ok(Command::MetricsRate { db: Some(db), window_s: None });
+    }
+    let w = more.trim().parse::<u64>().map_err(|_| Reply::err(ErrKind::Usage, USAGE))?;
+    Ok(Command::MetricsRate { db: Some(db), window_s: Some(w) })
 }
 
 /// Parse exactly two u64 arguments (for `FETCH`/`SEEK`).
@@ -831,6 +910,60 @@ mod tests {
         ] {
             let e = parse_command(bad).unwrap_err();
             assert!(e.terminal.starts_with("ERR usage:"), "{bad}: {}", e.terminal);
+        }
+    }
+
+    #[test]
+    fn explain_analyze_and_observability_verbs_parse() {
+        assert_eq!(
+            parse_command("EXPLAIN ANALYZE COUNT q() :- R(x)").unwrap(),
+            Command::ExplainAnalyze { task: Task::Count, src: "q() :- R(x)".into() }
+        );
+        assert_eq!(
+            parse_command("explain analyze answers q(x) :- R(x)").unwrap(),
+            Command::ExplainAnalyze { task: Task::Answers, src: "q(x) :- R(x)".into() }
+        );
+        assert_eq!(
+            parse_command("PROFILE t1").unwrap(),
+            Command::Profile { db: "t1".into() }
+        );
+        assert_eq!(
+            parse_command("METRICS RATE").unwrap(),
+            Command::MetricsRate { db: None, window_s: None }
+        );
+        assert_eq!(
+            parse_command("metrics rate 60").unwrap(),
+            Command::MetricsRate { db: None, window_s: Some(60) }
+        );
+        assert_eq!(
+            parse_command("METRICS RATE t1").unwrap(),
+            Command::MetricsRate { db: Some("t1".into()), window_s: None }
+        );
+        assert_eq!(
+            parse_command("METRICS RATE t1 60").unwrap(),
+            Command::MetricsRate { db: Some("t1".into()), window_s: Some(60) }
+        );
+        // plain METRICS forms still parse
+        assert_eq!(parse_command("METRICS").unwrap(), Command::Metrics { db: None });
+        assert_eq!(
+            parse_command("METRICS t1").unwrap(),
+            Command::Metrics { db: Some("t1".into()) }
+        );
+        for bad in [
+            "EXPLAIN ANALYZE",
+            "EXPLAIN ANALYZE ACCESS q(x) :- R(x)", // nothing to execute
+            "EXPLAIN ANALYZE COUNT",
+            "PROFILE",
+            "METRICS RATE 60 extra",
+            "METRICS RATE t1 sixty",
+        ] {
+            let e = parse_command(bad).unwrap_err();
+            assert!(
+                e.terminal.starts_with("ERR usage")
+                    || e.terminal.starts_with("ERR bad-name"),
+                "{bad}: {}",
+                e.terminal
+            );
         }
     }
 

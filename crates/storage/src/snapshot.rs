@@ -145,7 +145,9 @@ pub fn write_with_faults(
     path: &Path,
     faults: &FaultPlan,
 ) -> std::io::Result<u64> {
+    let mut span = cq_obs::trace::span("snapshot.write");
     let bytes = to_bytes(db, epoch);
+    span.attr("bytes", bytes.len() as u64);
     let tmp = path.with_extension("tmp");
     let result: std::io::Result<u64> = (|| {
         faults.check(FaultPoint::SnapCreate)?;

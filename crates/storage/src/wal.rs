@@ -380,6 +380,8 @@ impl WalWriter {
             ));
         }
         let frame = record.to_frame();
+        let mut span = cq_obs::trace::span("wal.append");
+        span.attr("wal-bytes", frame.len() as u64);
         let write = self.faults.check(FaultPoint::WalAppend).and_then(|()| {
             match self.faults.check(FaultPoint::WalShortWrite) {
                 Ok(()) => self.file.write_all(&frame),
@@ -442,6 +444,7 @@ impl WalWriter {
 
     /// Force appended records to stable storage.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        let _span = cq_obs::trace::span("wal.sync");
         self.faults.check(FaultPoint::WalSync)?;
         self.file.sync_data()?;
         self.stats.syncs += 1;

@@ -161,6 +161,44 @@
 //! assert!(r.terminal.contains("Triangle Hypothesis"));
 //! ```
 //!
+//! ## Profiling a query: `EXPLAIN ANALYZE`
+//!
+//! `EXPLAIN` predicts; `EXPLAIN ANALYZE` also *runs*: one reply carries
+//! the plan, the measured total, a per-operator span tree (exact row
+//! counts, cancellation polls, catalog hits), and the paper's
+//! worst-case prediction next to the observed output size. On the same
+//! span machinery, `cqd --profile N` retains the last N traces per
+//! tenant for `PROFILE <db>` (pretty-printed by `cqsh`), and
+//! `METRICS RATE [<db>] [<window-s>]` differences counter snapshots
+//! from a history ring into per-second rates:
+//!
+//! ```
+//! use cq_lower_bounds::server::{ServerState, Session};
+//! use std::sync::Arc;
+//!
+//! let mut s = Session::new(Arc::new(ServerState::new()));
+//! s.handle_line("CREATE DB social").unwrap();
+//! s.handle_line("USE social").unwrap();
+//! s.handle_line("INSERT Follows(1, 2)").unwrap();
+//! s.handle_line("INSERT Follows(2, 3)").unwrap();
+//!
+//! let r = s
+//!     .handle_line("EXPLAIN ANALYZE COUNT q(x, z) :- Follows(x, y), Follows(y, z)")
+//!     .unwrap();
+//! assert_eq!(r.terminal, "OK analyzed");
+//! // the plan, then the measured reality next to the prediction
+//! assert!(r.data.iter().any(|l| l.starts_with("PLAN for")));
+//! assert!(r.data.iter().any(|l| l.starts_with("analyze: total time=")));
+//! assert!(r.data.iter().any(|l| l.contains("observed 1 rows")));
+//! // the span tree: per-operator wall time and exact row counts
+//! assert!(r.data.iter().any(|l| l.trim_start().starts_with("execute time=")));
+//! assert!(r.data.iter().any(|l| l.contains("rows=1")));
+//!
+//! // counter rates need two snapshots; the first call seeds the ring
+//! let r = s.handle_line("METRICS RATE social").unwrap();
+//! assert_eq!(r.data, vec!["rate: n/a (need 2 metric snapshots)"]);
+//! ```
+//!
 //! ## Streaming answers: cursors, `FETCH`, `SEEK`
 //!
 //! `ANSWERS` streams its rows — the server pulls from the engine's
